@@ -1,0 +1,33 @@
+//! One benchmark per paper table/figure: each runs the corresponding
+//! experiment-harness regenerator (scaled down so `cargo bench` finishes
+//! in minutes) and reports how long the regeneration takes.
+//!
+//! These double as the canonical "regenerate figure X" entry points:
+//! `cargo bench -p clipcache-bench --bench figures -- fig2` runs exactly
+//! the code behind Figure 2 (see also the `repro` binary for full-scale
+//! text/CSV output).
+
+use clipcache_experiments::{run_experiment, ExperimentContext, ALL_EXPERIMENTS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = ExperimentContext::at_scale(0.05);
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for id in ALL_EXPERIMENTS {
+        group.bench_with_input(BenchmarkId::from_parameter(id), id, |b, id| {
+            b.iter(|| {
+                let results = run_experiment(id, &ctx).expect("known experiment id");
+                black_box(results)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

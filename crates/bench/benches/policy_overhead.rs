@@ -1,0 +1,70 @@
+//! Processor-utilization microbenchmarks (the paper's Section 1 metric:
+//! "Processor utilization quantifies the complexity of a design and its
+//! implementation").
+//!
+//! Measures the wall time each policy needs to service the paper's
+//! 10,000-request Zipfian trace against the 576-clip repository at
+//! `S_T/S_DB = 0.125`, i.e. the cost of the bookkeeping alone — every
+//! policy sees the identical reference string.
+
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use clipcache_workload::{RequestGenerator, ShiftedZipf, Trace, Zipf};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_policies(c: &mut Criterion) {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let n = repo.len();
+    let trace = Trace::from_generator(RequestGenerator::paper(n, 42));
+    let freqs = ShiftedZipf::new(Zipf::paper(n), 0).frequencies();
+    let capacity = repo.cache_capacity_for_ratio(0.125);
+
+    let mut group = c.benchmark_group("policy_overhead_10k_requests");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let lineup = [
+        PolicyKind::Random,
+        PolicyKind::Lru,
+        PolicyKind::Lfu,
+        PolicyKind::LfuDa,
+        PolicyKind::Size,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::LruSK { k: 2 },
+        PolicyKind::GreedyDual,
+        PolicyKind::GreedyDualNaive,
+        PolicyKind::GreedyDualHeap,
+        PolicyKind::GdFreq,
+        PolicyKind::Igd,
+        PolicyKind::Simple,
+        PolicyKind::DynSimple { k: 2 },
+        PolicyKind::DynSimple { k: 32 },
+        PolicyKind::DynSimpleBypass { k: 2 },
+    ];
+    for policy in lineup {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.to_string()),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let mut cache = policy.build(Arc::clone(&repo), capacity, 7, Some(&freqs));
+                    let mut hits = 0u64;
+                    for req in trace.iter() {
+                        if cache.access(req.clip, req.at).is_hit() {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

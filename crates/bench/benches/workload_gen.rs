@@ -1,0 +1,94 @@
+//! Workload-substrate benchmarks: PCG throughput, Zipf inverse-CDF
+//! sampling, full request generation and trace materialization.
+
+use clipcache_workload::{Pcg64, RequestGenerator, Trace, Zipf};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("pcg64_next_u64_x1000", |b| {
+        let mut rng = Pcg64::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("pcg64_bounded_x1000", |b| {
+        let mut rng = Pcg64::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc += rng.next_bounded(576);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    for n in [576usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| black_box(Zipf::new(n, 0.27)));
+        });
+        let z = Zipf::new(n, 0.27);
+        group.bench_with_input(BenchmarkId::new("sample_x1000", n), &n, |b, _| {
+            let mut rng = Pcg64::seed_from_u64(3);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1000 {
+                    acc += z.sample(&mut rng);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("generate_10k_requests", |b| {
+        b.iter(|| black_box(Trace::from_generator(RequestGenerator::paper(576, 7))));
+    });
+    group.bench_function("stack_model_10k_requests", |b| {
+        use clipcache_workload::locality::StackModelGenerator;
+        b.iter(|| {
+            black_box(StackModelGenerator::new(576, 0.27, 0.5, 16, 10_000, 7).collect::<Vec<_>>())
+        });
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    use clipcache_media::paper;
+    use clipcache_workload::reuse::StackDistanceAnalyzer;
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    let repo = paper::variable_sized_repository();
+    let trace = Trace::from_generator(RequestGenerator::paper(576, 7));
+    group.bench_function("mattson_pass_10k_requests", |b| {
+        b.iter(|| {
+            let mut analyzer = StackDistanceAnalyzer::new(&repo);
+            analyzer.record_all(trace.requests());
+            black_box(analyzer.cold_misses())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng, bench_zipf, bench_trace, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! The `ClipCache` trait: the common interface of every policy.
+
+use clipcache_media::{ByteSize, ClipId};
+use clipcache_workload::Timestamp;
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The clip was cache resident; the request is serviced locally.
+    Hit,
+    /// The clip was not resident and had to be fetched from the server.
+    Miss {
+        /// Whether the clip was materialized in the cache afterwards.
+        /// False only for bypass policies and for clips larger than the
+        /// whole cache.
+        admitted: bool,
+        /// Clips swapped out to make room, in eviction order.
+        evicted: Vec<ClipId>,
+    },
+}
+
+impl AccessOutcome {
+    /// True for a cache hit.
+    #[inline]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// A miss that admitted the clip without evicting anything.
+    pub fn miss_clean() -> Self {
+        AccessOutcome::Miss {
+            admitted: true,
+            evicted: Vec::new(),
+        }
+    }
+
+    /// The clips evicted by this access (empty on a hit).
+    pub fn evicted(&self) -> &[ClipId] {
+        match self {
+            AccessOutcome::Hit => &[],
+            AccessOutcome::Miss { evicted, .. } => evicted,
+        }
+    }
+}
+
+/// A cache of clips driven by a reference string.
+///
+/// Implementations must maintain `used() ≤ capacity()` at all times and must
+/// be deterministic given their construction-time seed.
+pub trait ClipCache {
+    /// A human-readable policy name, e.g. `"DYNSimple(K=32)"`.
+    fn name(&self) -> String;
+
+    /// The fixed byte capacity `S_T`.
+    fn capacity(&self) -> ByteSize;
+
+    /// Bytes currently occupied by resident clips.
+    fn used(&self) -> ByteSize;
+
+    /// Whether `clip` is currently resident.
+    fn contains(&self, clip: ClipId) -> bool;
+
+    /// The ids of all resident clips (order unspecified).
+    ///
+    /// Used for the paper's *theoretical hit rate* metric (Figure 6.a),
+    /// which sums the accurate access frequencies of resident clips.
+    fn resident_clips(&self) -> Vec<ClipId>;
+
+    /// Service a request for `clip` issued at virtual time `now`.
+    ///
+    /// Timestamps must be strictly increasing across calls.
+    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome;
+
+    /// Inform the policy of new accurate access frequencies.
+    ///
+    /// Only meaningful for off-line policies (Simple), which are defined
+    /// as having oracle knowledge: when an experiment shifts the request
+    /// distribution, the oracle is re-informed through this hook. On-line
+    /// policies ignore it (the default).
+    fn inform_frequencies(&mut self, _frequencies: &[f64]) {}
+
+    /// Free bytes remaining.
+    fn free(&self) -> ByteSize {
+        self.capacity().saturating_sub(self.used())
+    }
+
+    /// Number of resident clips.
+    fn resident_count(&self) -> usize {
+        self.resident_clips().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(AccessOutcome::Hit.is_hit());
+        assert!(!AccessOutcome::miss_clean().is_hit());
+        assert!(AccessOutcome::Hit.evicted().is_empty());
+        let out = AccessOutcome::Miss {
+            admitted: true,
+            evicted: vec![ClipId::new(4)],
+        };
+        assert_eq!(out.evicted(), &[ClipId::new(4)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! LFU baseline: evict the resident clip with the fewest references.
+//!
+//! Reference counts accumulate for the whole run (perfect LFU over the
+//! observed past), which exhibits the classic *cache pollution* problem the
+//! paper attributes to frequency-based techniques: previously popular clips
+//! linger after the access pattern shifts. Ties break least-recently-used.
+
+use crate::cache::{AccessOutcome, ClipCache};
+use crate::policies::admit_with_evictions;
+use crate::space::CacheSpace;
+use clipcache_media::{ByteSize, ClipId, Repository};
+use clipcache_workload::Timestamp;
+use std::sync::Arc;
+
+/// Least-frequently-used replacement.
+#[derive(Debug, Clone)]
+pub struct LfuCache {
+    space: CacheSpace,
+    counts: Vec<u64>,
+    last_ref: Vec<Timestamp>,
+}
+
+impl LfuCache {
+    /// Create an empty LFU cache.
+    pub fn new(repo: Arc<Repository>, capacity: ByteSize) -> Self {
+        let n = repo.len();
+        LfuCache {
+            space: CacheSpace::new(repo, capacity),
+            counts: vec![0; n],
+            last_ref: vec![Timestamp::ZERO; n],
+        }
+    }
+
+    /// The lifetime reference count of a clip.
+    pub fn count(&self, clip: ClipId) -> u64 {
+        self.counts[clip.index()]
+    }
+}
+
+impl ClipCache for LfuCache {
+    fn name(&self) -> String {
+        "LFU".into()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.space.capacity()
+    }
+
+    fn used(&self) -> ByteSize {
+        self.space.used()
+    }
+
+    fn contains(&self, clip: ClipId) -> bool {
+        self.space.contains(clip)
+    }
+
+    fn resident_clips(&self) -> Vec<ClipId> {
+        self.space.resident_ids()
+    }
+
+    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+        self.counts[clip.index()] += 1;
+        self.last_ref[clip.index()] = now;
+        if self.space.contains(clip) {
+            return AccessOutcome::Hit;
+        }
+        let counts = &self.counts;
+        let last_ref = &self.last_ref;
+        admit_with_evictions(
+            &mut self.space,
+            clip,
+            |space| {
+                space
+                    .iter_resident()
+                    .filter(|&c| c != clip)
+                    .min_by_key(|&c| (counts[c.index()], last_ref[c.index()], c))
+                    .expect("eviction requested from an empty cache")
+            },
+            |_| {},
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{assert_invariants, equi_repo};
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut c = LfuCache::new(equi_repo(5), ByteSize::mb(20));
+        c.access(ClipId::new(1), Timestamp(1));
+        c.access(ClipId::new(1), Timestamp(2));
+        c.access(ClipId::new(2), Timestamp(3));
+        // Clip 2 has 1 reference, clip 1 has 2; clip 3 evicts clip 2.
+        let out = c.access(ClipId::new(3), Timestamp(4));
+        assert_eq!(out.evicted(), &[ClipId::new(2)]);
+        assert_eq!(c.count(ClipId::new(1)), 2);
+    }
+
+    #[test]
+    fn ties_break_lru() {
+        let mut c = LfuCache::new(equi_repo(5), ByteSize::mb(20));
+        c.access(ClipId::new(1), Timestamp(1));
+        c.access(ClipId::new(2), Timestamp(2));
+        // Both have count 1; clip 1 is least recent.
+        let out = c.access(ClipId::new(3), Timestamp(3));
+        assert_eq!(out.evicted(), &[ClipId::new(1)]);
+    }
+
+    #[test]
+    fn pollution_after_shift() {
+        // Clips 1,2 get heavy history, then the pattern moves to 3,4,5.
+        // LFU keeps 1,2 resident: new clips keep evicting each other.
+        let repo = equi_repo(5);
+        let mut c = LfuCache::new(Arc::clone(&repo), ByteSize::mb(30));
+        let mut t = 0u64;
+        let mut tick = || {
+            t += 1;
+            Timestamp(t)
+        };
+        for _ in 0..10 {
+            c.access(ClipId::new(1), tick());
+            c.access(ClipId::new(2), tick());
+        }
+        for _ in 0..3 {
+            c.access(ClipId::new(3), tick());
+            c.access(ClipId::new(4), tick());
+            c.access(ClipId::new(5), tick());
+        }
+        assert!(c.contains(ClipId::new(1)));
+        assert!(c.contains(ClipId::new(2)));
+        assert_invariants(&c, &repo);
+    }
+}

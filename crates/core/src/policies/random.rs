@@ -1,0 +1,118 @@
+//! The Random yardstick: victims chosen uniformly at random.
+//!
+//! Section 3.3: "As a comparison yard stick, we have included a technique
+//! that chooses victims randomly. This technique is called Random."
+
+use crate::cache::{AccessOutcome, ClipCache};
+use crate::policies::admit_with_evictions;
+use crate::space::CacheSpace;
+use clipcache_media::{ByteSize, ClipId, Repository};
+use clipcache_workload::{Pcg64, Timestamp};
+use std::sync::Arc;
+
+/// Random replacement.
+#[derive(Debug, Clone)]
+pub struct RandomCache {
+    space: CacheSpace,
+    rng: Pcg64,
+}
+
+impl RandomCache {
+    /// Create an empty random-replacement cache.
+    pub fn new(repo: Arc<Repository>, capacity: ByteSize, seed: u64) -> Self {
+        RandomCache {
+            space: CacheSpace::new(repo, capacity),
+            rng: Pcg64::seed_from_u64_stream(seed, RAND_STREAM),
+        }
+    }
+}
+
+/// RNG stream constant decorrelating victim choice from workload RNGs.
+const RAND_STREAM: u64 = 0x7261_6e64; // "rand"
+
+impl ClipCache for RandomCache {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.space.capacity()
+    }
+
+    fn used(&self) -> ByteSize {
+        self.space.used()
+    }
+
+    fn contains(&self, clip: ClipId) -> bool {
+        self.space.contains(clip)
+    }
+
+    fn resident_clips(&self) -> Vec<ClipId> {
+        self.space.resident_ids()
+    }
+
+    fn access(&mut self, clip: ClipId, _now: Timestamp) -> AccessOutcome {
+        if self.space.contains(clip) {
+            return AccessOutcome::Hit;
+        }
+        let rng = &mut self.rng;
+        admit_with_evictions(
+            &mut self.space,
+            clip,
+            |space| {
+                let residents = space.resident_ids();
+                residents[rng.next_index(residents.len())]
+            },
+            |_| {},
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{assert_invariants, drive, tiny_repo};
+
+    #[test]
+    fn hit_after_admit() {
+        let repo = tiny_repo();
+        let mut c = RandomCache::new(repo, ByteSize::mb(100), 1);
+        assert!(!c.access(ClipId::new(1), Timestamp(1)).is_hit());
+        assert!(c.access(ClipId::new(1), Timestamp(2)).is_hit());
+    }
+
+    #[test]
+    fn evicts_when_full_and_respects_capacity() {
+        let repo = tiny_repo();
+        let mut c = RandomCache::new(Arc::clone(&repo), ByteSize::mb(60), 7);
+        drive(&mut c, &[1, 2, 3, 4, 5, 1, 2, 3, 4, 5]);
+        assert_invariants(&c, &repo);
+        assert!(c.used() <= ByteSize::mb(60));
+        assert!(c.resident_count() >= 1);
+    }
+
+    #[test]
+    fn oversized_clip_not_admitted() {
+        let repo = tiny_repo();
+        let mut c = RandomCache::new(repo, ByteSize::mb(30), 3);
+        let out = c.access(ClipId::new(5), Timestamp(1)); // 50 MB > 30 MB
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                admitted: false,
+                evicted: vec![]
+            }
+        );
+        assert_eq!(c.used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let repo = tiny_repo();
+        let trace = [1u32, 2, 3, 4, 5, 1, 3, 5, 2, 4, 1, 2, 3];
+        let mut a = RandomCache::new(Arc::clone(&repo), ByteSize::mb(60), 11);
+        let mut b = RandomCache::new(repo, ByteSize::mb(60), 11);
+        assert_eq!(drive(&mut a, &trace), drive(&mut b, &trace));
+        assert_eq!(a.resident_clips(), b.resident_clips());
+    }
+}

@@ -1,0 +1,126 @@
+//! SIZE: the classic size-based web-caching baseline.
+//!
+//! The paper's footnote 2 taxonomizes greedy techniques as recency-based,
+//! frequency-based, **size-based**, function-based and randomized. SIZE
+//! (Williams et al.'s web-proxy policy) is the purest size-based point:
+//! always evict the largest resident clip, breaking ties by least-recent
+//! use. It hoards small objects — great for hit rate on mixed-size
+//! repositories, terrible for byte hit rate — and ignores popularity
+//! entirely, so it cannot adapt to shifts at all beyond its recency
+//! tie-break. Included as the taxonomy's missing corner in the shootout.
+
+use crate::cache::{AccessOutcome, ClipCache};
+use crate::policies::admit_with_evictions;
+use crate::space::CacheSpace;
+use clipcache_media::{ByteSize, ClipId, Repository};
+use clipcache_workload::Timestamp;
+use std::sync::Arc;
+
+/// Largest-first eviction.
+#[derive(Debug, Clone)]
+pub struct SizeCache {
+    space: CacheSpace,
+    last_ref: Vec<Timestamp>,
+}
+
+impl SizeCache {
+    /// Create an empty SIZE cache.
+    pub fn new(repo: Arc<Repository>, capacity: ByteSize) -> Self {
+        let n = repo.len();
+        SizeCache {
+            space: CacheSpace::new(repo, capacity),
+            last_ref: vec![Timestamp::ZERO; n],
+        }
+    }
+}
+
+impl ClipCache for SizeCache {
+    fn name(&self) -> String {
+        "SIZE".into()
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.space.capacity()
+    }
+
+    fn used(&self) -> ByteSize {
+        self.space.used()
+    }
+
+    fn contains(&self, clip: ClipId) -> bool {
+        self.space.contains(clip)
+    }
+
+    fn resident_clips(&self) -> Vec<ClipId> {
+        self.space.resident_ids()
+    }
+
+    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+        self.last_ref[clip.index()] = now;
+        if self.space.contains(clip) {
+            return AccessOutcome::Hit;
+        }
+        let last_ref = &self.last_ref;
+        admit_with_evictions(
+            &mut self.space,
+            clip,
+            |space| {
+                space
+                    .iter_resident()
+                    .filter(|&c| c != clip)
+                    .max_by_key(|&c| {
+                        (
+                            space.size_of(c),
+                            // Among equal sizes, evict the stalest:
+                            // larger (now − last_ref) wins, i.e. smaller
+                            // last_ref; invert by subtracting from now.
+                            now.since(last_ref[c.index()]),
+                            c,
+                        )
+                    })
+                    .expect("eviction requested from an empty cache")
+            },
+            |_| {},
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{assert_invariants, drive, equi_repo, tiny_repo};
+
+    #[test]
+    fn evicts_largest_first() {
+        let repo = tiny_repo(); // 10..50 MB clips
+        let mut c = SizeCache::new(repo, ByteSize::mb(90));
+        c.access(ClipId::new(1), Timestamp(1)); // 10
+        c.access(ClipId::new(5), Timestamp(2)); // 50
+        c.access(ClipId::new(3), Timestamp(3)); // 30 → 90 used
+        let out = c.access(ClipId::new(2), Timestamp(4)); // 20 MB
+        assert_eq!(out.evicted(), &[ClipId::new(5)]);
+    }
+
+    #[test]
+    fn equal_sizes_fall_back_to_lru() {
+        let repo = equi_repo(4);
+        let mut c = SizeCache::new(repo, ByteSize::mb(20));
+        c.access(ClipId::new(1), Timestamp(1));
+        c.access(ClipId::new(2), Timestamp(2));
+        assert!(c.access(ClipId::new(1), Timestamp(3)).is_hit());
+        let out = c.access(ClipId::new(3), Timestamp(4));
+        assert_eq!(out.evicted(), &[ClipId::new(2)]);
+    }
+
+    #[test]
+    fn hoards_small_clips() {
+        let repo = tiny_repo();
+        let mut c = SizeCache::new(Arc::clone(&repo), ByteSize::mb(60));
+        drive(&mut c, &[5, 4, 3, 2, 1, 5, 4, 3, 2, 1]);
+        // The small clips survive; the big ones churn.
+        assert!(c.contains(ClipId::new(1)));
+        assert!(c.contains(ClipId::new(2)));
+        assert!(!c.contains(ClipId::new(5)));
+        assert_invariants(&c, &repo);
+    }
+}

@@ -1,0 +1,522 @@
+//! Policy registry: construct any policy by descriptor.
+//!
+//! The experiment harness and examples configure runs with a
+//! [`PolicyKind`]; [`PolicyKind::build`] instantiates the matching
+//! [`ClipCache`]. Off-line policies (Simple) additionally need the
+//! workload's accurate frequencies.
+
+use crate::cache::ClipCache;
+use crate::policies::block_lru_k::BlockLruKCache;
+use crate::policies::dyn_simple::DynSimpleCache;
+use crate::policies::gd_freq::GdFreqCache;
+use crate::policies::gds_pop::GdsPopularityCache;
+use crate::policies::greedy_dual::{GdMode, GreedyDualCache, GreedyDualHeapCache};
+use crate::policies::igd::IgdCache;
+use crate::policies::lfu::LfuCache;
+use crate::policies::lru::{RecencyCache, RecencyVariant};
+use crate::policies::lru_k::LruKCache;
+use crate::policies::lru_sk::LruSKCache;
+use crate::policies::random::RandomCache;
+use crate::policies::simple::{SimpleAdmission, SimpleCache};
+use clipcache_media::{ByteSize, Repository};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a policy could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An off-line policy was requested without oracle frequencies.
+    MissingFrequencies {
+        /// The policy that needed them.
+        policy: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingFrequencies { policy } => {
+                write!(f, "{policy} requires oracle frequencies")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A descriptor naming a policy and its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Random victims (the paper's yardstick).
+    Random,
+    /// Least-recently-used.
+    Lru,
+    /// Most-recently-used.
+    Mru,
+    /// First-in first-out.
+    Fifo,
+    /// Least-frequently-used (lifetime counts).
+    Lfu,
+    /// LFU with dynamic aging (Dilley & Arlitt) — pollution-free LFU.
+    LfuDa,
+    /// LRU-K with history depth `k`.
+    LruK {
+        /// History depth; the paper's figures use K = 2 ("LRU-2").
+        k: usize,
+    },
+    /// LRU-K with a Correlated Reference Period (O'Neil et al.).
+    LruKCrp {
+        /// History depth.
+        k: usize,
+        /// Correlated Reference Period in ticks.
+        crp: u64,
+    },
+    /// The paper's LRU-SK with history depth `k`.
+    LruSK {
+        /// History depth; the paper's figures use K = 2 ("LRU-S2").
+        k: usize,
+    },
+    /// SIZE: evict the largest resident clip (web-caching baseline).
+    Size,
+    /// GreedyDual (Cao–Irani inflation implementation).
+    GreedyDual,
+    /// GreedyDual with `cost = fetch time` over a link of the given rate.
+    /// Degenerate (`cost/size` is constant); see
+    /// [`crate::policies::greedy_dual::CostModel::FetchTime`].
+    GreedyDualFetchTime {
+        /// The modelled fetch-link bandwidth, in Mbps.
+        mbps: u64,
+    },
+    /// GreedyDual with Cao–Irani's packet cost (`2 + size/536`).
+    GreedyDualPackets,
+    /// GreedyDual with `cost = startup latency of a miss` over a link of
+    /// the given rate — the useful latency-minimizing objective.
+    GreedyDualLatency {
+        /// The modelled link bandwidth, in Mbps.
+        mbps: u64,
+    },
+    /// GreedyDual in Young's naive formulation (for cross-validation).
+    GreedyDualNaive,
+    /// GreedyDual with heap-accelerated victim selection.
+    GreedyDualHeap,
+    /// GreedyDual-Freq (Cherkasova & Ciardo).
+    GdFreq,
+    /// GDS-Popularity (Jin & Bestavros) — byte-hit objective.
+    GdsPopularity,
+    /// The paper's interval-based GreedyDual.
+    Igd,
+    /// Off-line Simple (needs accurate frequencies).
+    Simple,
+    /// Off-line Simple with the bypass admission variant.
+    SimpleBypass,
+    /// The paper's DYNSimple with history depth `k`.
+    DynSimple {
+        /// History depth for frequency estimation (paper: 2 or 32).
+        k: usize,
+    },
+    /// DYNSimple with the no-materialize admission variant (the paper's
+    /// Section 2 future-work scenario).
+    DynSimpleBypass {
+        /// History depth for frequency estimation.
+        k: usize,
+    },
+    /// Footnote 3's block-partitioned LRU-K.
+    BlockLruK {
+        /// History depth.
+        k: usize,
+        /// Block size in bytes.
+        block_bytes: u64,
+    },
+}
+
+impl PolicyKind {
+    /// All policy kinds the paper's figures evaluate, with paper defaults.
+    pub fn paper_lineup() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Simple,
+            PolicyKind::LruK { k: 2 },
+            PolicyKind::GreedyDual,
+            PolicyKind::Random,
+            PolicyKind::DynSimple { k: 32 },
+            PolicyKind::DynSimple { k: 2 },
+            PolicyKind::Igd,
+            PolicyKind::LruSK { k: 2 },
+            PolicyKind::GdFreq,
+        ]
+    }
+
+    /// Whether this policy needs oracle frequencies at construction.
+    pub fn is_offline(&self) -> bool {
+        matches!(self, PolicyKind::Simple | PolicyKind::SimpleBypass)
+    }
+
+    /// Instantiate the policy.
+    ///
+    /// `seed` feeds any internal randomness (Random victims, GreedyDual
+    /// tie-breaks); `frequencies` supplies the oracle for off-line
+    /// policies.
+    ///
+    /// ```
+    /// use clipcache_core::{PolicyKind, Timestamp};
+    /// use clipcache_media::{paper, ClipId};
+    /// use std::sync::Arc;
+    ///
+    /// let repo = Arc::new(paper::variable_sized_repository_of(12));
+    /// let mut cache = PolicyKind::DynSimple { k: 2 }
+    ///     .build(Arc::clone(&repo), repo.cache_capacity_for_ratio(0.5), 7, None);
+    /// assert!(!cache.access(ClipId::new(1), Timestamp(1)).is_hit()); // cold
+    /// assert!(cache.access(ClipId::new(1), Timestamp(2)).is_hit());  // warm
+    /// ```
+    ///
+    /// # Panics
+    /// If an off-line policy is built without `frequencies`; use
+    /// [`PolicyKind::try_build`] for a fallible variant.
+    pub fn build(
+        &self,
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        seed: u64,
+        frequencies: Option<&[f64]>,
+    ) -> Box<dyn ClipCache> {
+        self.try_build(repo, capacity, seed, frequencies)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Instantiate the policy, reporting configuration errors instead of
+    /// panicking.
+    pub fn try_build(
+        &self,
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        seed: u64,
+        frequencies: Option<&[f64]>,
+    ) -> Result<Box<dyn ClipCache>, BuildError> {
+        if self.is_offline() && frequencies.is_none() {
+            return Err(BuildError::MissingFrequencies {
+                policy: self.to_string(),
+            });
+        }
+        Ok(match *self {
+            PolicyKind::Random => Box::new(RandomCache::new(repo, capacity, seed)),
+            PolicyKind::Lru => Box::new(RecencyCache::new(repo, capacity, RecencyVariant::Lru)),
+            PolicyKind::Mru => Box::new(RecencyCache::new(repo, capacity, RecencyVariant::Mru)),
+            PolicyKind::Fifo => Box::new(RecencyCache::new(repo, capacity, RecencyVariant::Fifo)),
+            PolicyKind::Lfu => Box::new(LfuCache::new(repo, capacity)),
+            PolicyKind::LfuDa => Box::new(crate::policies::lfu_da::LfuDaCache::new(repo, capacity)),
+            PolicyKind::LruK { k } => Box::new(LruKCache::new(repo, capacity, k)),
+            PolicyKind::LruKCrp { k, crp } => Box::new(LruKCache::with_crp(repo, capacity, k, crp)),
+            PolicyKind::LruSK { k } => Box::new(LruSKCache::new(repo, capacity, k)),
+            PolicyKind::Size => Box::new(crate::policies::size::SizeCache::new(repo, capacity)),
+            PolicyKind::GreedyDual => Box::new(GreedyDualCache::new(repo, capacity, seed)),
+            PolicyKind::GreedyDualFetchTime { mbps } => Box::new(GreedyDualCache::with_options(
+                repo,
+                capacity,
+                seed,
+                crate::policies::greedy_dual::CostModel::FetchTime(
+                    clipcache_media::Bandwidth::mbps(mbps),
+                ),
+                GdMode::Inflation,
+            )),
+            PolicyKind::GreedyDualPackets => Box::new(GreedyDualCache::with_options(
+                repo,
+                capacity,
+                seed,
+                crate::policies::greedy_dual::CostModel::Packets,
+                GdMode::Inflation,
+            )),
+            PolicyKind::GreedyDualLatency { mbps } => Box::new(GreedyDualCache::with_options(
+                repo,
+                capacity,
+                seed,
+                crate::policies::greedy_dual::CostModel::StartupLatency(
+                    clipcache_media::Bandwidth::mbps(mbps),
+                ),
+                GdMode::Inflation,
+            )),
+            PolicyKind::GreedyDualNaive => Box::new(GreedyDualCache::with_options(
+                repo,
+                capacity,
+                seed,
+                crate::policies::greedy_dual::CostModel::Uniform,
+                GdMode::Naive,
+            )),
+            PolicyKind::GreedyDualHeap => Box::new(GreedyDualHeapCache::new(repo, capacity)),
+            PolicyKind::GdFreq => Box::new(GdFreqCache::new(repo, capacity, seed)),
+            PolicyKind::GdsPopularity => Box::new(GdsPopularityCache::new(repo, capacity, seed)),
+            PolicyKind::Igd => Box::new(IgdCache::new(repo, capacity, seed)),
+            PolicyKind::Simple => Box::new(SimpleCache::new(
+                repo,
+                capacity,
+                frequencies.expect("Simple requires oracle frequencies"),
+                SimpleAdmission::Always,
+            )),
+            PolicyKind::SimpleBypass => Box::new(SimpleCache::new(
+                repo,
+                capacity,
+                frequencies.expect("Simple(bypass) requires oracle frequencies"),
+                SimpleAdmission::Bypass,
+            )),
+            PolicyKind::DynSimple { k } => Box::new(DynSimpleCache::new(repo, capacity, k)),
+            PolicyKind::DynSimpleBypass { k } => Box::new(DynSimpleCache::with_admission(
+                repo,
+                capacity,
+                k,
+                crate::policies::dyn_simple::DynAdmission::Bypass,
+            )),
+            PolicyKind::BlockLruK { k, block_bytes } => Box::new(BlockLruKCache::new(
+                repo,
+                capacity,
+                ByteSize::bytes(block_bytes),
+                k,
+            )),
+        })
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PolicyKind::Random => write!(f, "Random"),
+            PolicyKind::Lru => write!(f, "LRU"),
+            PolicyKind::Mru => write!(f, "MRU"),
+            PolicyKind::Fifo => write!(f, "FIFO"),
+            PolicyKind::Lfu => write!(f, "LFU"),
+            PolicyKind::LfuDa => write!(f, "LFU-DA"),
+            PolicyKind::LruK { k } => write!(f, "LRU-{k}"),
+            PolicyKind::LruKCrp { k, crp } => write!(f, "LRU-{k}(CRP={crp})"),
+            PolicyKind::LruSK { k } => write!(f, "LRU-S{k}"),
+            PolicyKind::Size => write!(f, "SIZE"),
+            PolicyKind::GreedyDual => write!(f, "GreedyDual"),
+            PolicyKind::GreedyDualFetchTime { mbps } => {
+                write!(f, "GreedyDual(cost=fetch@{mbps}Mbps)")
+            }
+            PolicyKind::GreedyDualPackets => write!(f, "GreedyDual(cost=packets)"),
+            PolicyKind::GreedyDualLatency { mbps } => {
+                write!(f, "GreedyDual(cost=latency@{mbps}Mbps)")
+            }
+            PolicyKind::GreedyDualNaive => write!(f, "GreedyDual(naive)"),
+            PolicyKind::GreedyDualHeap => write!(f, "GreedyDual(heap)"),
+            PolicyKind::GdFreq => write!(f, "GreedyDual-Freq"),
+            PolicyKind::GdsPopularity => write!(f, "GDS-Popularity"),
+            PolicyKind::Igd => write!(f, "IGD"),
+            PolicyKind::Simple => write!(f, "Simple"),
+            PolicyKind::SimpleBypass => write!(f, "Simple(bypass)"),
+            PolicyKind::DynSimple { k } => write!(f, "DYNSimple(K={k})"),
+            PolicyKind::DynSimpleBypass { k } => write!(f, "DYNSimple(K={k},bypass)"),
+            PolicyKind::BlockLruK { k, block_bytes } => {
+                write!(f, "BlockLRU-{k}(block={})", ByteSize::bytes(block_bytes))
+            }
+        }
+    }
+}
+
+/// Parse a policy from its command-line spelling.
+///
+/// Accepted forms (case-insensitive): `random`, `lru`, `mru`, `fifo`,
+/// `lfu`, `lfu-da`, `size`, `lru-K` (e.g. `lru-2`), `lru-sK`
+/// (e.g. `lru-s2`), `lru-K:crp=N`, `greedydual`, `greedydual-heap`,
+/// `greedydual-naive`, `gd-freq`, `gds-popularity`, `igd`, `simple`,
+/// `simple-bypass`, `dynsimple:K` (e.g. `dynsimple:2`),
+/// `dynsimple-bypass:K`, `block-lruK:MB` (e.g. `block-lru2:10`).
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        let parse_num = |v: &str, what: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("invalid {what} in policy '{s}'"))
+        };
+        Ok(match t.as_str() {
+            "random" => PolicyKind::Random,
+            "lru" => PolicyKind::Lru,
+            "mru" => PolicyKind::Mru,
+            "fifo" => PolicyKind::Fifo,
+            "lfu" => PolicyKind::Lfu,
+            "lfu-da" | "lfuda" => PolicyKind::LfuDa,
+            "size" => PolicyKind::Size,
+            "greedydual" | "gd" => PolicyKind::GreedyDual,
+            "greedydual-heap" | "gd-heap" => PolicyKind::GreedyDualHeap,
+            "greedydual-naive" | "gd-naive" => PolicyKind::GreedyDualNaive,
+            "gd-freq" | "greedydual-freq" => PolicyKind::GdFreq,
+            "gds-popularity" | "gds-pop" => PolicyKind::GdsPopularity,
+            "greedydual-packets" | "gd-packets" => PolicyKind::GreedyDualPackets,
+            "igd" => PolicyKind::Igd,
+            "simple" => PolicyKind::Simple,
+            "simple-bypass" => PolicyKind::SimpleBypass,
+            _ => {
+                if let Some(rest) = t.strip_prefix("dynsimple-bypass:") {
+                    PolicyKind::DynSimpleBypass {
+                        k: parse_num(rest, "K")? as usize,
+                    }
+                } else if let Some(rest) = t.strip_prefix("dynsimple:") {
+                    PolicyKind::DynSimple {
+                        k: parse_num(rest, "K")? as usize,
+                    }
+                } else if t == "dynsimple" {
+                    PolicyKind::DynSimple { k: 2 }
+                } else if let Some(rest) = t.strip_prefix("lru-s") {
+                    PolicyKind::LruSK {
+                        k: parse_num(rest, "K")? as usize,
+                    }
+                } else if let Some(rest) = t.strip_prefix("block-lru") {
+                    let (k, mb) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("block-lru needs K:MB in '{s}'"))?;
+                    PolicyKind::BlockLruK {
+                        k: parse_num(k, "K")? as usize,
+                        block_bytes: parse_num(mb, "block MB")? * 1_000_000,
+                    }
+                } else if let Some(rest) = t.strip_prefix("lru-") {
+                    match rest.split_once(":crp=") {
+                        Some((k, crp)) => PolicyKind::LruKCrp {
+                            k: parse_num(k, "K")? as usize,
+                            crp: parse_num(crp, "CRP")?,
+                        },
+                        None => PolicyKind::LruK {
+                            k: parse_num(rest, "K")? as usize,
+                        },
+                    }
+                } else {
+                    return Err(format!("unknown policy '{s}'"));
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::tiny_repo;
+    use clipcache_workload::Timestamp;
+
+    #[test]
+    fn build_all_online_policies() {
+        let repo = tiny_repo();
+        let kinds = [
+            PolicyKind::Random,
+            PolicyKind::Lru,
+            PolicyKind::Mru,
+            PolicyKind::Fifo,
+            PolicyKind::Lfu,
+            PolicyKind::LfuDa,
+            PolicyKind::LruK { k: 2 },
+            PolicyKind::LruKCrp { k: 2, crp: 3 },
+            PolicyKind::LruSK { k: 2 },
+            PolicyKind::Size,
+            PolicyKind::GreedyDual,
+            PolicyKind::GreedyDualFetchTime { mbps: 8 },
+            PolicyKind::GreedyDualLatency { mbps: 1 },
+            PolicyKind::GreedyDualPackets,
+            PolicyKind::GreedyDualNaive,
+            PolicyKind::GreedyDualHeap,
+            PolicyKind::GdFreq,
+            PolicyKind::GdsPopularity,
+            PolicyKind::Igd,
+            PolicyKind::DynSimple { k: 2 },
+            PolicyKind::DynSimpleBypass { k: 2 },
+            PolicyKind::BlockLruK {
+                k: 2,
+                block_bytes: 10_000_000,
+            },
+        ];
+        for kind in kinds {
+            let mut cache = kind.build(Arc::clone(&repo), ByteSize::mb(60), 1, None);
+            // Display name matches the cache's own name.
+            assert_eq!(cache.name(), kind.to_string(), "{kind:?}");
+            // Smoke-drive each policy.
+            for (i, id) in [1u32, 2, 3, 1, 4, 5, 1, 2].iter().enumerate() {
+                cache.access(clipcache_media::ClipId::new(*id), Timestamp(i as u64 + 1));
+                assert!(cache.used() <= cache.capacity());
+            }
+        }
+    }
+
+    #[test]
+    fn build_offline_with_frequencies() {
+        let repo = tiny_repo();
+        let f = vec![0.4, 0.3, 0.2, 0.05, 0.05];
+        for kind in [PolicyKind::Simple, PolicyKind::SimpleBypass] {
+            assert!(kind.is_offline());
+            let cache = kind.build(Arc::clone(&repo), ByteSize::mb(50), 1, Some(&f));
+            assert_eq!(cache.name(), kind.to_string());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires oracle frequencies")]
+    fn offline_without_frequencies_panics() {
+        PolicyKind::Simple.build(tiny_repo(), ByteSize::mb(10), 1, None);
+    }
+
+    #[test]
+    fn paper_lineup_contains_novel_techniques() {
+        let lineup = PolicyKind::paper_lineup();
+        assert!(lineup.contains(&PolicyKind::Igd));
+        assert!(lineup.contains(&PolicyKind::DynSimple { k: 2 }));
+        assert!(lineup.contains(&PolicyKind::LruSK { k: 2 }));
+    }
+
+    #[test]
+    fn try_build_reports_missing_frequencies() {
+        let err = PolicyKind::Simple
+            .try_build(tiny_repo(), ByteSize::mb(10), 1, None)
+            .err()
+            .expect("must fail without frequencies");
+        assert_eq!(
+            err,
+            crate::registry::BuildError::MissingFrequencies {
+                policy: "Simple".into()
+            }
+        );
+        assert!(err.to_string().contains("oracle frequencies"));
+        // On-line policies never need them.
+        assert!(PolicyKind::Lru
+            .try_build(tiny_repo(), ByteSize::mb(10), 1, None)
+            .is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let kind = PolicyKind::DynSimple { k: 32 };
+        let json = serde_json::to_string(&kind).unwrap();
+        assert_eq!(kind, serde_json::from_str::<PolicyKind>(&json).unwrap());
+    }
+
+    #[test]
+    fn parse_policy_spellings() {
+        let cases: &[(&str, PolicyKind)] = &[
+            ("random", PolicyKind::Random),
+            ("LRU", PolicyKind::Lru),
+            ("lfu-da", PolicyKind::LfuDa),
+            ("size", PolicyKind::Size),
+            ("lru-2", PolicyKind::LruK { k: 2 }),
+            ("lru-3:crp=5", PolicyKind::LruKCrp { k: 3, crp: 5 }),
+            ("lru-s2", PolicyKind::LruSK { k: 2 }),
+            ("greedydual", PolicyKind::GreedyDual),
+            ("gd-freq", PolicyKind::GdFreq),
+            ("gds-pop", PolicyKind::GdsPopularity),
+            ("igd", PolicyKind::Igd),
+            ("simple", PolicyKind::Simple),
+            ("simple-bypass", PolicyKind::SimpleBypass),
+            ("dynsimple", PolicyKind::DynSimple { k: 2 }),
+            ("dynsimple:32", PolicyKind::DynSimple { k: 32 }),
+            ("dynsimple-bypass:2", PolicyKind::DynSimpleBypass { k: 2 }),
+            (
+                "block-lru2:10",
+                PolicyKind::BlockLruK {
+                    k: 2,
+                    block_bytes: 10_000_000,
+                },
+            ),
+        ];
+        for (text, expect) in cases {
+            assert_eq!(&text.parse::<PolicyKind>().unwrap(), expect, "{text}");
+        }
+        assert!("nonsense".parse::<PolicyKind>().is_err());
+        assert!("lru-x".parse::<PolicyKind>().is_err());
+        assert!("block-lru2".parse::<PolicyKind>().is_err());
+    }
+}

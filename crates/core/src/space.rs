@@ -1,0 +1,224 @@
+//! Shared residency and capacity bookkeeping.
+//!
+//! Every policy delegates the "which clips are resident, how many bytes are
+//! used" state to [`CacheSpace`], so the capacity invariant lives in exactly
+//! one place. The structure is dense (indexed by [`ClipId::index`]) because
+//! repositories are fixed, known universes of clips.
+
+use clipcache_media::{ByteSize, ClipId, Repository};
+use std::sync::Arc;
+
+/// Residency map + byte accounting for one cache.
+#[derive(Debug, Clone)]
+pub struct CacheSpace {
+    repo: Arc<Repository>,
+    capacity: ByteSize,
+    used: ByteSize,
+    resident: Vec<bool>,
+    resident_count: usize,
+}
+
+impl CacheSpace {
+    /// Create an empty cache over `repo` with byte capacity `capacity`.
+    pub fn new(repo: Arc<Repository>, capacity: ByteSize) -> Self {
+        let n = repo.len();
+        CacheSpace {
+            repo,
+            capacity,
+            used: ByteSize::ZERO,
+            resident: vec![false; n],
+            resident_count: 0,
+        }
+    }
+
+    /// The repository this cache serves.
+    #[inline]
+    pub fn repo(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// A clone of the repository handle.
+    #[inline]
+    pub fn repo_handle(&self) -> Arc<Repository> {
+        Arc::clone(&self.repo)
+    }
+
+    /// The byte capacity `S_T`.
+    #[inline]
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently used.
+    #[inline]
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Free bytes.
+    #[inline]
+    pub fn free(&self) -> ByteSize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Whether `clip` is resident.
+    #[inline]
+    pub fn contains(&self, clip: ClipId) -> bool {
+        self.resident[clip.index()]
+    }
+
+    /// Number of resident clips.
+    #[inline]
+    pub fn resident_count(&self) -> usize {
+        self.resident_count
+    }
+
+    /// Size of `clip` per the repository.
+    #[inline]
+    pub fn size_of(&self, clip: ClipId) -> ByteSize {
+        self.repo.size_of(clip)
+    }
+
+    /// Whether `clip` could ever fit (size ≤ capacity).
+    #[inline]
+    pub fn can_ever_fit(&self, clip: ClipId) -> bool {
+        self.size_of(clip) <= self.capacity
+    }
+
+    /// Whether `clip` fits in the current free space.
+    #[inline]
+    pub fn fits_now(&self, clip: ClipId) -> bool {
+        self.size_of(clip) <= self.free()
+    }
+
+    /// All resident clip ids, in id order.
+    pub fn resident_ids(&self) -> Vec<ClipId> {
+        self.resident
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .map(|(i, _)| ClipId::from_index(i))
+            .collect()
+    }
+
+    /// Iterate resident clip ids without allocating.
+    pub fn iter_resident(&self) -> impl Iterator<Item = ClipId> + '_ {
+        self.resident
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .map(|(i, _)| ClipId::from_index(i))
+    }
+
+    /// Materialize `clip`.
+    ///
+    /// # Panics
+    /// If the clip is already resident or does not fit in free space —
+    /// policies must evict first; violating this is a policy bug.
+    pub fn insert(&mut self, clip: ClipId) {
+        assert!(
+            !self.resident[clip.index()],
+            "{clip} inserted while already resident"
+        );
+        let size = self.size_of(clip);
+        assert!(
+            size <= self.free(),
+            "{clip} ({size}) exceeds free space ({free})",
+            free = self.free()
+        );
+        self.resident[clip.index()] = true;
+        self.resident_count += 1;
+        self.used += size;
+    }
+
+    /// Swap `clip` out.
+    ///
+    /// # Panics
+    /// If the clip is not resident.
+    pub fn remove(&mut self, clip: ClipId) {
+        assert!(
+            self.resident[clip.index()],
+            "{clip} evicted while not resident"
+        );
+        self.resident[clip.index()] = false;
+        self.resident_count -= 1;
+        self.used -= self.size_of(clip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clipcache_media::paper;
+
+    fn space(cap_gb: u64) -> CacheSpace {
+        let repo = Arc::new(paper::variable_sized_repository_of(12));
+        CacheSpace::new(repo, ByteSize::gb(cap_gb))
+    }
+
+    #[test]
+    fn insert_remove_accounting() {
+        let mut s = space(10);
+        let big = ClipId::new(1); // 3.5 GB video
+        let small = ClipId::new(2); // 8.8 MB audio
+        assert_eq!(s.used(), ByteSize::ZERO);
+        s.insert(big);
+        s.insert(small);
+        assert_eq!(s.used(), ByteSize::bytes(3_508_800_000));
+        assert_eq!(s.resident_count(), 2);
+        assert!(s.contains(big));
+        s.remove(big);
+        assert!(!s.contains(big));
+        assert_eq!(s.used(), ByteSize::bytes(8_800_000));
+        assert_eq!(s.resident_count(), 1);
+    }
+
+    #[test]
+    fn fits_checks() {
+        let mut s = space(4);
+        assert!(s.can_ever_fit(ClipId::new(1))); // 3.5 GB in 4 GB
+        assert!(s.fits_now(ClipId::new(1)));
+        s.insert(ClipId::new(1));
+        assert!(!s.fits_now(ClipId::new(3))); // 1.8 GB doesn't fit in 0.5 GB
+        assert!(s.fits_now(ClipId::new(2)));
+    }
+
+    #[test]
+    fn clip_larger_than_cache() {
+        let s = space(1);
+        assert!(!s.can_ever_fit(ClipId::new(1))); // 3.5 GB in 1 GB cache
+        assert!(s.can_ever_fit(ClipId::new(5))); // 0.9 GB
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut s = space(10);
+        s.insert(ClipId::new(2));
+        s.insert(ClipId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn remove_absent_panics() {
+        let mut s = space(10);
+        s.remove(ClipId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds free space")]
+    fn overfill_panics() {
+        let mut s = space(4);
+        s.insert(ClipId::new(1)); // 3.5 GB
+        s.insert(ClipId::new(3)); // 1.8 GB > 0.5 GB free
+    }
+
+    #[test]
+    fn resident_ids_in_order() {
+        let mut s = space(10);
+        s.insert(ClipId::new(5));
+        s.insert(ClipId::new(2));
+        assert_eq!(s.resident_ids(), vec![ClipId::new(2), ClipId::new(5)]);
+        assert_eq!(s.iter_resident().count(), 2);
+    }
+}

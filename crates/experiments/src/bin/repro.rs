@@ -1,0 +1,207 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale <f64>] [--seed <u64>] [--out <dir>] [--jobs <n>]
+//!       [all | fig2 fig3 ...]
+//! ```
+//!
+//! Prints each figure as a text table and, when `--out` is given, writes
+//! one CSV per figure into the directory.
+
+use clipcache_experiments::{run_experiment, ExperimentContext, ALL_EXPERIMENTS};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    ctx: ExperimentContext,
+    out: Option<PathBuf>,
+    experiments: Vec<String>,
+    jobs: usize,
+    custom: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ctx = ExperimentContext::default();
+    let mut out = None;
+    let mut experiments = Vec::new();
+    let mut jobs = 1usize;
+    let mut custom: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                ctx.scale = v.parse().map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                ctx.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(argv.next().ok_or("--out needs a value")?));
+            }
+            "--jobs" => {
+                let v = argv.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--custom" => {
+                let path = argv.next().ok_or("--custom needs a JSON file")?;
+                custom = Some(path);
+            }
+            "--list" => {
+                return Err(clipcache_experiments::ALL_EXPERIMENTS
+                    .iter()
+                    .map(|id| {
+                        format!(
+                            "{id:<12} {}",
+                            clipcache_experiments::describe(id).unwrap_or("")
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n"));
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: repro [--scale f] [--seed n] [--out dir] [--jobs n] \
+       [--custom sweep.json] [--list] [all | {}]",
+                    ALL_EXPERIMENTS.join(" | ")
+                ));
+            }
+            "all" => experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() && custom.is_none() {
+        experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    Ok(Args {
+        ctx,
+        out,
+        experiments,
+        jobs,
+        custom,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.custom {
+        let json = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let sweep = match clipcache_experiments::custom::CustomSweep::from_json(&json) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match sweep.run() {
+            Ok(figs) => {
+                for fig in &figs {
+                    println!("{}", fig.to_text_table());
+                    if let Some(dir) = &args.out {
+                        let _ = std::fs::create_dir_all(dir);
+                        let p = dir.join(format!("{}.csv", fig.id));
+                        if let Err(e) = std::fs::write(&p, fig.to_csv()) {
+                            eprintln!("cannot write {}: {e}", p.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if args.experiments.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    for id in &args.experiments {
+        if !ALL_EXPERIMENTS.contains(&id.as_str()) {
+            eprintln!(
+                "unknown experiment '{id}' (try: all {})",
+                ALL_EXPERIMENTS.join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Run experiments across worker threads (they are independent and
+    // deterministic); print results in submission order.
+    let n = args.experiments.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    type Slot = Option<(Vec<clipcache_experiments::FigureResult>, f64)>;
+    let slot_cells: Vec<std::sync::Mutex<Slot>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..args.jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let id = &args.experiments[i];
+                let started = std::time::Instant::now();
+                let results = run_experiment(id, &args.ctx).expect("validated above");
+                *slot_cells[i].lock().expect("no panics hold this lock") =
+                    Some((results, started.elapsed().as_secs_f64()));
+            });
+        }
+    });
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for (i, id) in args.experiments.iter().enumerate() {
+        let (results, secs) = slot_cells[i]
+            .lock()
+            .expect("workers finished")
+            .take()
+            .expect("every slot filled");
+        for fig in &results {
+            // Hundreds of columns render unreadably; wide figures get
+            // sparklines on the console (the CSV keeps full precision).
+            if fig.x.len() > 24 {
+                let _ = writeln!(lock, "{}", fig.to_sparklines());
+            } else {
+                let _ = writeln!(lock, "{}", fig.to_text_table());
+            }
+            if let Some(dir) = &args.out {
+                let path = dir.join(format!("{}.csv", fig.id));
+                if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                let md = dir.join(format!("{}.md", fig.id));
+                if let Err(e) = std::fs::write(&md, fig.to_markdown()) {
+                    eprintln!("cannot write {}: {e}", md.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let _ = writeln!(lock, "[{id} finished in {secs:.1}s]\n");
+    }
+    ExitCode::SUCCESS
+}

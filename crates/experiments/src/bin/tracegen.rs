@@ -1,0 +1,145 @@
+//! `tracegen` — generate, save, and analyze reference strings.
+//!
+//! ```text
+//! tracegen gen  --clips 576 --theta 0.27 --requests 10000 --seed 7 \
+//!               [--shift g] [--format json|text] [--out trace.json]
+//! tracegen info trace.json [--repo variable|equi]
+//! ```
+//!
+//! `gen` materializes a deterministic trace (stdout or `--out`); `info`
+//! loads one and prints request counts, per-clip frequency head, cold-miss
+//! count and the Mattson-predicted LRU hit-rate curve.
+
+use clipcache_media::paper;
+use clipcache_workload::reuse::StackDistanceAnalyzer;
+use clipcache_workload::stats::FrequencyCounter;
+use clipcache_workload::{RequestGenerator, Trace};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage:\n  tracegen gen --clips N --theta T --requests R --seed S [--shift G] [--out F]\n  tracegen info FILE [--repo variable|equi]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("info") => info(&args[1..]),
+        _ => fail("missing or unknown subcommand"),
+    }
+}
+
+use clipcache_experiments::cli::flag_value;
+
+fn gen(args: &[String]) -> ExitCode {
+    let clips: usize = flag_value(args, "--clips")
+        .unwrap_or("576")
+        .parse()
+        .unwrap_or(0);
+    if clips == 0 {
+        return fail("--clips must be a positive integer");
+    }
+    let theta: f64 = match flag_value(args, "--theta").unwrap_or("0.27").parse() {
+        Ok(t) => t,
+        Err(_) => return fail("--theta must be a float in [0, 1)"),
+    };
+    let requests: u64 = flag_value(args, "--requests")
+        .unwrap_or("10000")
+        .parse()
+        .unwrap_or(0);
+    if requests == 0 {
+        return fail("--requests must be a positive integer");
+    }
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("7")
+        .parse()
+        .unwrap_or(7);
+    let shift: usize = flag_value(args, "--shift")
+        .unwrap_or("0")
+        .parse()
+        .unwrap_or(0);
+
+    let trace = Trace::from_generator(RequestGenerator::new(clips, theta, shift, requests, seed));
+    let payload = match flag_value(args, "--format").unwrap_or("json") {
+        "text" => trace.to_plain_text(),
+        "json" => trace.to_json(),
+        other => return fail(&format!("unknown --format {other} (json|text)")),
+    };
+    match flag_value(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, payload) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {requests} requests over {clips} clips to {path}");
+        }
+        None => print!("{payload}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("info needs a trace file");
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Accept either format: JSON first, then the plain-text fallback.
+    let trace = match Trace::from_json(&json) {
+        Ok(t) => t,
+        Err(_) => match Trace::from_plain_text(&json) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path} is not a valid trace (json or text): {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let max_clip = trace.iter().map(|r| r.clip.get()).max().unwrap_or(1) as usize;
+
+    let repo = match flag_value(args, "--repo").unwrap_or("variable") {
+        "equi" => paper::equi_sized_repository_of(max_clip, clipcache_media::ByteSize::gb(1)),
+        _ => paper::variable_sized_repository_of(max_clip),
+    };
+
+    let mut counter = FrequencyCounter::new(max_clip);
+    counter.record_all(trace.requests());
+    let mut analyzer = StackDistanceAnalyzer::new(&repo);
+    analyzer.record_all(trace.requests());
+
+    println!(
+        "trace: {} requests over up to {} clips",
+        trace.len(),
+        max_clip
+    );
+    println!("cold misses: {}", analyzer.cold_misses());
+    println!("top clips by observed frequency:");
+    let mut by_freq: Vec<(u32, u64)> = (1..=max_clip as u32)
+        .map(|i| (i, counter.count(clipcache_media::ClipId::new(i))))
+        .collect();
+    by_freq.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for (clip, count) in by_freq.into_iter().take(10) {
+        println!(
+            "  clip#{clip:<6} {count:>8} requests ({:.2}%)",
+            100.0 * count as f64 / trace.len() as f64
+        );
+    }
+    println!("Mattson-predicted LRU hit rate:");
+    for ratio in [0.0125, 0.05, 0.125, 0.25, 0.5] {
+        let cap = repo.cache_capacity_for_ratio(ratio);
+        println!(
+            "  S_T/S_DB = {ratio:<6} -> {:.1}%",
+            100.0 * analyzer.predicted_hit_rate(cap)
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,110 @@
+//! Tiny argv helpers shared by the `repro`, `simulate` and `tracegen`
+//! binaries — kept dependency-free on purpose (no clap in the offline
+//! dependency budget) and unit-tested here since binaries have no test
+//! harness of their own.
+
+/// The value following `name`, if present (`--flag value` style).
+pub fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Whether the bare switch `name` is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parse `--name value` into `T`, with a default when absent and a
+/// readable error when malformed.
+pub fn parsed_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} got '{v}', which does not parse")),
+    }
+}
+
+/// Parse a required-to-be-positive integer flag.
+pub fn positive_flag(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    let v: u64 = parsed_flag(args, name, default)?;
+    if v == 0 {
+        Err(format!("{name} must be a positive integer"))
+    } else {
+        Ok(v)
+    }
+}
+
+/// Parse a flag constrained to a closed range.
+pub fn ranged_flag(
+    args: &[String],
+    name: &str,
+    default: f64,
+    lo: f64,
+    hi: f64,
+) -> Result<f64, String> {
+    let v: f64 = parsed_flag(args, name, default)?;
+    if (lo..=hi).contains(&v) {
+        Ok(v)
+    } else {
+        Err(format!("{name} must be in [{lo}, {hi}], got {v}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_finds_following_token() {
+        let a = argv(&["--seed", "9", "--out", "dir"]);
+        assert_eq!(flag_value(&a, "--seed"), Some("9"));
+        assert_eq!(flag_value(&a, "--out"), Some("dir"));
+        assert_eq!(flag_value(&a, "--nope"), None);
+        // Trailing flag without a value.
+        let b = argv(&["--seed"]);
+        assert_eq!(flag_value(&b, "--seed"), None);
+    }
+
+    #[test]
+    fn has_flag_detects_switches() {
+        let a = argv(&["--series", "x"]);
+        assert!(has_flag(&a, "--series"));
+        assert!(!has_flag(&a, "--quiet"));
+    }
+
+    #[test]
+    fn parsed_flag_defaults_and_errors() {
+        let a = argv(&["--seed", "9"]);
+        assert_eq!(parsed_flag(&a, "--seed", 1u64).unwrap(), 9);
+        assert_eq!(parsed_flag(&a, "--shift", 5usize).unwrap(), 5);
+        let bad = argv(&["--seed", "not-a-number"]);
+        assert!(parsed_flag(&bad, "--seed", 1u64).is_err());
+    }
+
+    #[test]
+    fn positive_flag_rejects_zero() {
+        let a = argv(&["--requests", "0"]);
+        assert!(positive_flag(&a, "--requests", 10).is_err());
+        let b = argv(&[]);
+        assert_eq!(positive_flag(&b, "--requests", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn ranged_flag_enforces_bounds() {
+        let a = argv(&["--theta", "0.27"]);
+        assert_eq!(ranged_flag(&a, "--theta", 0.0, 0.0, 0.99).unwrap(), 0.27);
+        let b = argv(&["--theta", "1.5"]);
+        assert!(ranged_flag(&b, "--theta", 0.0, 0.0, 0.99).is_err());
+    }
+}

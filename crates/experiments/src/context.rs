@@ -1,0 +1,64 @@
+//! Shared experiment configuration.
+
+/// Configuration shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Base seed; each figure derives per-run seeds from it.
+    pub seed: u64,
+    /// Request-count multiplier: 1.0 = the paper's 10,000 requests per
+    /// data point. Tests and benches use smaller values.
+    pub scale: f64,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        ExperimentContext {
+            seed: 0x5EED_2007,
+            scale: 1.0,
+        }
+    }
+}
+
+impl ExperimentContext {
+    /// A context at reduced scale (for tests/benches).
+    pub fn at_scale(scale: f64) -> Self {
+        ExperimentContext {
+            scale,
+            ..ExperimentContext::default()
+        }
+    }
+
+    /// Scale a request count, keeping at least one window of 100.
+    pub fn requests(&self, paper_count: u64) -> u64 {
+        ((paper_count as f64 * self.scale).round() as u64).max(100)
+    }
+
+    /// Derive a seed for a sub-run (per figure / per policy).
+    pub fn sub_seed(&self, tag: u64) -> u64 {
+        // SplitMix64 step over (seed ^ tag) for decorrelated sub-seeds.
+        let mut z = self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_scale_and_floor() {
+        let ctx = ExperimentContext::at_scale(0.1);
+        assert_eq!(ctx.requests(10_000), 1_000);
+        assert_eq!(ctx.requests(100), 100); // floored
+        assert_eq!(ExperimentContext::default().requests(10_000), 10_000);
+    }
+
+    #[test]
+    fn sub_seeds_differ() {
+        let ctx = ExperimentContext::default();
+        assert_ne!(ctx.sub_seed(1), ctx.sub_seed(2));
+        assert_eq!(ctx.sub_seed(1), ctx.sub_seed(1));
+    }
+}

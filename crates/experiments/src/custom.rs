@@ -1,0 +1,284 @@
+//! User-defined sweeps from a JSON config.
+//!
+//! The built-in experiments pin the paper's parameters. `repro --custom
+//! sweep.json` runs *your* sweep with the same machinery:
+//!
+//! ```json
+//! {
+//!   "id": "my-sweep",
+//!   "title": "DYNSimple vs LRU-2 on a heavy-tailed repository",
+//!   "repository": { "kind": "lognormal", "clips": 1000, "sigma": 2.0 },
+//!   "policies": ["dynsimple:2", "lru-2", "greedydual"],
+//!   "ratios": [0.05, 0.1, 0.2],
+//!   "requests": 10000,
+//!   "theta": 0.27,
+//!   "seed": 7
+//! }
+//! ```
+//!
+//! Policies use the registry's command-line spellings
+//! ([`PolicyKind::from_str`](clipcache_core::PolicyKind)); off-line
+//! policies receive the sweep's analytic frequencies automatically.
+
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::{paper, ByteSize, Repository};
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::synthetic::{lognormal_repository, LognormalSpec};
+use clipcache_workload::{RequestGenerator, ShiftedZipf, Trace, Zipf};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which repository a custom sweep runs against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "lowercase")]
+pub enum RepoSpec {
+    /// The paper's variable-sized pattern.
+    Variable {
+        /// Clip count (default 576).
+        #[serde(default = "default_clips")]
+        clips: usize,
+    },
+    /// Equal-size clips.
+    Equi {
+        /// Clip count (default 576).
+        #[serde(default = "default_clips")]
+        clips: usize,
+        /// Clip size in megabytes (default 1000).
+        #[serde(default = "default_equi_mb")]
+        size_mb: u64,
+    },
+    /// Heavy-tailed lognormal sizes.
+    Lognormal {
+        /// Clip count (default 576).
+        #[serde(default = "default_clips")]
+        clips: usize,
+        /// Shape parameter (default 1.8).
+        #[serde(default = "default_sigma")]
+        sigma: f64,
+    },
+}
+
+fn default_clips() -> usize {
+    576
+}
+fn default_equi_mb() -> u64 {
+    1_000
+}
+fn default_sigma() -> f64 {
+    1.8
+}
+fn default_requests() -> u64 {
+    10_000
+}
+fn default_theta() -> f64 {
+    0.27
+}
+fn default_seed() -> u64 {
+    7
+}
+
+/// A user-defined ratio sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomSweep {
+    /// Identifier (used for output file names).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The repository to simulate.
+    pub repository: RepoSpec,
+    /// Registry spellings of the policies to compare.
+    pub policies: Vec<String>,
+    /// The `S_T / S_DB` values swept.
+    pub ratios: Vec<f64>,
+    /// Requests per data point.
+    #[serde(default = "default_requests")]
+    pub requests: u64,
+    /// Zipf parameter.
+    #[serde(default = "default_theta")]
+    pub theta: f64,
+    /// Workload seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+}
+
+impl CustomSweep {
+    /// Parse a sweep from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let sweep: CustomSweep = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        sweep.validate()?;
+        Ok(sweep)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.policies.is_empty() {
+            return Err("a sweep needs at least one policy".into());
+        }
+        if self.ratios.is_empty() {
+            return Err("a sweep needs at least one ratio".into());
+        }
+        for r in &self.ratios {
+            if !(0.0..=1.0).contains(r) {
+                return Err(format!("ratio {r} outside [0, 1]"));
+            }
+        }
+        if !(0.0..1.0).contains(&self.theta) {
+            return Err(format!("theta {} outside [0, 1)", self.theta));
+        }
+        if self.requests == 0 {
+            return Err("requests must be positive".into());
+        }
+        for p in &self.policies {
+            p.parse::<PolicyKind>()?;
+        }
+        Ok(())
+    }
+
+    fn build_repo(&self) -> Arc<Repository> {
+        Arc::new(match self.repository {
+            RepoSpec::Variable { clips } => paper::variable_sized_repository_of(clips),
+            RepoSpec::Equi { clips, size_mb } => {
+                paper::equi_sized_repository_of(clips, ByteSize::mb(size_mb))
+            }
+            RepoSpec::Lognormal { clips, sigma } => lognormal_repository(
+                LognormalSpec {
+                    clips,
+                    sigma,
+                    ..LognormalSpec::default()
+                },
+                self.seed,
+            ),
+        })
+    }
+
+    /// Run the sweep: one hit-rate figure and one byte-hit-rate figure.
+    pub fn run(&self) -> Result<Vec<FigureResult>, String> {
+        self.validate()?;
+        let repo = self.build_repo();
+        let trace = Trace::from_generator(RequestGenerator::new(
+            repo.len(),
+            self.theta,
+            0,
+            self.requests,
+            self.seed,
+        ));
+        let freqs = ShiftedZipf::new(Zipf::new(repo.len(), self.theta), 0).frequencies();
+        let config = SimulationConfig::default();
+
+        let mut hit_series = Vec::new();
+        let mut byte_series = Vec::new();
+        for spec in &self.policies {
+            let policy: PolicyKind = spec.parse()?;
+            let mut hits = Vec::with_capacity(self.ratios.len());
+            let mut bytes = Vec::with_capacity(self.ratios.len());
+            for &ratio in &self.ratios {
+                let mut cache = policy
+                    .try_build(
+                        Arc::clone(&repo),
+                        repo.cache_capacity_for_ratio(ratio),
+                        self.seed,
+                        Some(&freqs),
+                    )
+                    .map_err(|e| e.to_string())?;
+                let report = simulate(cache.as_mut(), &repo, trace.requests(), &config);
+                hits.push(report.hit_rate());
+                bytes.push(report.byte_hit_rate());
+            }
+            hit_series.push(Series::new(policy.to_string(), hits));
+            byte_series.push(Series::new(policy.to_string(), bytes));
+        }
+        let x: Vec<String> = self.ratios.iter().map(|r| r.to_string()).collect();
+        Ok(vec![
+            FigureResult::new(
+                format!("{}_hit", self.id),
+                format!("{} — cache hit rate", self.title),
+                "S_T/S_DB",
+                x.clone(),
+                hit_series,
+            ),
+            FigureResult::new(
+                format!("{}_byte", self.id),
+                format!("{} — byte hit rate", self.title),
+                "S_T/S_DB",
+                x,
+                byte_series,
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_json() -> &'static str {
+        r#"{
+            "id": "demo",
+            "title": "demo sweep",
+            "repository": { "kind": "lognormal", "clips": 48, "sigma": 1.5 },
+            "policies": ["dynsimple:2", "lru-2"],
+            "ratios": [0.1, 0.3],
+            "requests": 800,
+            "seed": 3
+        }"#
+    }
+
+    #[test]
+    fn parses_and_runs() {
+        let sweep = CustomSweep::from_json(sample_json()).unwrap();
+        assert_eq!(sweep.theta, 0.27); // default applied
+        let figs = sweep.run().unwrap();
+        assert_eq!(figs.len(), 2);
+        assert_eq!(figs[0].id, "demo_hit");
+        assert_eq!(figs[0].series.len(), 2);
+        assert_eq!(figs[0].series[0].values.len(), 2);
+        for s in &figs[0].series {
+            for v in &s.values {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(CustomSweep::from_json("{}").is_err());
+        let bad_policy = sample_json().replace("lru-2", "frobnicate");
+        assert!(CustomSweep::from_json(&bad_policy)
+            .unwrap_err()
+            .contains("frobnicate"));
+        let bad_ratio = sample_json().replace("0.3", "1.5");
+        assert!(CustomSweep::from_json(&bad_ratio)
+            .unwrap_err()
+            .contains("outside"));
+    }
+
+    #[test]
+    fn repo_specs_build() {
+        for repo_json in [
+            r#"{ "kind": "variable" }"#,
+            r#"{ "kind": "equi", "clips": 10, "size_mb": 100 }"#,
+            r#"{ "kind": "lognormal" }"#,
+        ] {
+            let spec: RepoSpec = serde_json::from_str(repo_json).unwrap();
+            let sweep = CustomSweep {
+                id: "x".into(),
+                title: "x".into(),
+                repository: spec,
+                policies: vec!["lru".into()],
+                ratios: vec![0.1],
+                requests: 100,
+                theta: 0.27,
+                seed: 1,
+            };
+            assert!(!sweep.build_repo().is_empty());
+        }
+    }
+
+    #[test]
+    fn offline_policies_get_frequencies() {
+        let json = sample_json().replace("\"lru-2\"", "\"simple\"");
+        let sweep = CustomSweep::from_json(&json).unwrap();
+        let figs = sweep.run().unwrap();
+        assert!(figs[0].series.iter().any(|s| s.name == "Simple"));
+    }
+}

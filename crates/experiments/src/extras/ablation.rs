@@ -1,0 +1,164 @@
+//! Ablations of the design choices DESIGN.md documents.
+//!
+//! 1. **IGD `nref` on admission** — the paper's text resets `nref` to 0,
+//!    which makes a freshly admitted clip the next eviction candidate
+//!    unless it earns a hit first: an implicit admission probation. The
+//!    ablation runs both readings on *both* repositories: probation wins
+//!    ~7–9 points on equi-sized clips (placing IGD exactly where Figure
+//!    5.a draws it) but collapses on the variable-sized repository,
+//!    where every fresh clip ties at priority `L` and size-awareness is
+//!    lost. Neither reading matches every figure; DESIGN.md documents
+//!    why `nref = 1` is the default.
+//! 2. **DYNSimple's two-pass victim selection** — Figure 4 over-collects
+//!    the cheapest candidates and then evicts biggest-first, sparing
+//!    over-collected small clips. The ablation replaces pass 2 with plain
+//!    ascending-value eviction to measure what the sparing pass buys.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::policies::dyn_simple::{DynSimpleCache, EvictionMode};
+use clipcache_core::policies::igd::{IgdCache, NrefMode};
+use clipcache_core::ClipCache;
+use clipcache_media::{paper, Repository};
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+/// The cache-size ratios swept (Figure 5's axis).
+pub const RATIOS: [f64; 4] = [0.05, 0.1, 0.175, 0.25];
+
+fn rate(cache: &mut dyn ClipCache, repo: &Repository, trace: &Trace) -> f64 {
+    simulate(cache, repo, trace.requests(), &SimulationConfig::default()).hit_rate()
+}
+
+/// Run both ablations.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let requests = ctx.requests(10_000);
+    let x: Vec<String> = RATIOS.iter().map(|r| r.to_string()).collect();
+
+    // 1. IGD nref — on both repositories: the two readings win in
+    //    different regimes.
+    let equi = Arc::new(paper::equi_sized_repository());
+    let var0 = Arc::new(paper::variable_sized_repository());
+    let trace_e = Trace::from_generator(RequestGenerator::new(
+        equi.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xF8),
+    ));
+    let trace_v0 = Trace::from_generator(RequestGenerator::new(
+        var0.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xFA),
+    ));
+    let mut counted_equi = Vec::new();
+    let mut literal_equi = Vec::new();
+    let mut counted_var = Vec::new();
+    let mut literal_var = Vec::new();
+    for &ratio in &RATIOS {
+        let cap_e = equi.cache_capacity_for_ratio(ratio);
+        let mut a = IgdCache::with_nref_mode(Arc::clone(&equi), cap_e, 1, NrefMode::CountAdmission);
+        counted_equi.push(rate(&mut a, &equi, &trace_e));
+        let mut b = IgdCache::with_nref_mode(Arc::clone(&equi), cap_e, 1, NrefMode::LiteralZero);
+        literal_equi.push(rate(&mut b, &equi, &trace_e));
+        let cap_v = var0.cache_capacity_for_ratio(ratio);
+        let mut c = IgdCache::with_nref_mode(Arc::clone(&var0), cap_v, 1, NrefMode::CountAdmission);
+        counted_var.push(rate(&mut c, &var0, &trace_v0));
+        let mut d = IgdCache::with_nref_mode(Arc::clone(&var0), cap_v, 1, NrefMode::LiteralZero);
+        literal_var.push(rate(&mut d, &var0, &trace_v0));
+    }
+    let igd_fig = FigureResult::new(
+        "ablation_igd",
+        "IGD nref on admission: nref=1 (default) vs the paper's literal nref=0",
+        "S_T/S_DB",
+        x.clone(),
+        vec![
+            Series::new("nref=1, equi-sized", counted_equi),
+            Series::new("nref=0, equi-sized", literal_equi),
+            Series::new("nref=1, variable-sized", counted_var),
+            Series::new("nref=0, variable-sized", literal_var),
+        ],
+    );
+
+    // 2. DYNSimple pass-2 sparing — on the variable-sized repository,
+    //    where over-collection actually happens.
+    let var = Arc::new(paper::variable_sized_repository());
+    let trace_v = Trace::from_generator(RequestGenerator::new(
+        var.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xF9),
+    ));
+    let mut two_pass = Vec::new();
+    let mut single_pass = Vec::new();
+    for &ratio in &RATIOS {
+        let capacity = var.cache_capacity_for_ratio(ratio);
+        let mut a = DynSimpleCache::new(Arc::clone(&var), capacity, 2);
+        two_pass.push(rate(&mut a, &var, &trace_v));
+        let mut b = DynSimpleCache::new(Arc::clone(&var), capacity, 2);
+        b.set_eviction_mode(EvictionMode::SinglePass);
+        single_pass.push(rate(&mut b, &var, &trace_v));
+    }
+    let dyn_fig = FigureResult::new(
+        "ablation_dynsimple",
+        "DYNSimple victim selection: Figure 4's two-pass vs plain ascending-value",
+        "S_T/S_DB",
+        x,
+        vec![
+            Series::new("two-pass (Figure 4)", two_pass),
+            Series::new("single-pass", single_pass),
+        ],
+    );
+
+    vec![igd_fig, dyn_fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nref_readings_win_in_different_regimes() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let figs = run(&ctx);
+        let igd = &figs[0];
+        let counted_e = igd.series_named("nref=1, equi-sized").unwrap();
+        let literal_e = igd.series_named("nref=0, equi-sized").unwrap();
+        let counted_v = igd.series_named("nref=1, variable-sized").unwrap();
+        let literal_v = igd.series_named("nref=0, variable-sized").unwrap();
+        // Probation wins on equal sizes…
+        assert!(
+            literal_e.mean() > counted_e.mean() + 0.02,
+            "equi: literal {} vs counted {}",
+            literal_e.mean(),
+            counted_e.mean()
+        );
+        // …and loses on variable sizes, where it forfeits size-awareness.
+        assert!(
+            counted_v.mean() > literal_v.mean() + 0.02,
+            "variable: counted {} vs literal {}",
+            counted_v.mean(),
+            literal_v.mean()
+        );
+    }
+
+    #[test]
+    fn two_pass_never_loses_to_single_pass() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let figs = run(&ctx);
+        let d = &figs[1];
+        let two = d.series_named("two-pass (Figure 4)").unwrap();
+        let one = d.series_named("single-pass").unwrap();
+        assert!(
+            two.mean() >= one.mean() - 0.005,
+            "two-pass {} vs single-pass {}",
+            two.mean(),
+            one.mean()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Section 3.3's Simple variant: streaming unpopular clips without caching
+//! them "performs either identical or slightly better" than always
+//! materializing. This experiment reruns the Figure 2 sweep with both
+//! admission modes.
+
+use crate::context::ExperimentContext;
+use crate::figures::{fig2, ratio_sweep};
+use crate::report::FigureResult;
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use std::sync::Arc;
+
+/// Run the Simple-vs-bypass comparison, including the on-line variant
+/// (DYNSimple with no-materialize admission — the paper's Section 2
+/// future-work scenario).
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let policies = [
+        PolicyKind::Simple,
+        PolicyKind::SimpleBypass,
+        PolicyKind::DynSimple { k: 2 },
+        PolicyKind::DynSimpleBypass { k: 2 },
+    ];
+    let (hits, _) = ratio_sweep(ctx, &repo, &policies, &fig2::RATIOS, 10_000, 0xE4);
+    vec![FigureResult::new(
+        "bypass",
+        "Always-materialize vs bypass admission: cache hit rate vs S_T/S_DB",
+        "S_T/S_DB",
+        fig2::RATIOS.iter().map(|r| r.to_string()).collect(),
+        hits,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bypass_never_loses_much() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let fig = run(&ctx).remove(0);
+        let base = fig.series_named("Simple").unwrap();
+        let bypass = fig.series_named("Simple(bypass)").unwrap();
+        for (i, (b, p)) in base.values.iter().zip(&bypass.values).enumerate() {
+            assert!(p >= &(b - 0.02), "ratio index {i}: bypass {p} vs base {b}");
+        }
+        // And on average it is at least as good.
+        assert!(bypass.mean() >= base.mean() - 1e-9);
+    }
+
+    #[test]
+    fn online_bypass_competitive_with_always_materialize() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let fig = run(&ctx).remove(0);
+        let always = fig.series_named("DYNSimple(K=2)").unwrap();
+        let bypass = fig.series_named("DYNSimple(K=2,bypass)").unwrap();
+        assert!(
+            bypass.mean() >= always.mean() - 0.02,
+            "online bypass {} vs always {}",
+            bypass.mean(),
+            always.mean()
+        );
+    }
+}

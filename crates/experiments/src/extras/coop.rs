@@ -1,0 +1,187 @@
+//! Cooperative vs greedy caching — the paper's Section 5 future work,
+//! made measurable. Sixteen devices on a ring, each with a DYNSimple
+//! cache, sweep the ad-hoc radio radius from 0 (pure greedy, the paper's
+//! setting) upward and report the global metric the paper names: the
+//! fraction of requests serviced without the base station.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::{paper, Bandwidth};
+use clipcache_sim::coop::{CoopConfig, CoopRegionSim, PartitionedAdmission};
+use clipcache_sim::device::Device;
+use clipcache_sim::network::{ConnectivitySchedule, NetworkLink};
+use clipcache_sim::station::BaseStation;
+use clipcache_workload::RequestGenerator;
+use std::sync::Arc;
+
+/// Radio radii swept (ring hops); 0 = greedy.
+pub const RADII: [usize; 5] = [0, 1, 2, 4, 8];
+/// Devices in the region.
+pub const DEVICES: usize = 16;
+
+/// Run the cooperation sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository_of(96));
+    let rounds = ctx.requests(1_000);
+
+    let mut offload = Vec::with_capacity(RADII.len());
+    let mut peer = Vec::with_capacity(RADII.len());
+    let mut throughput = Vec::with_capacity(RADII.len());
+    for &radius in &RADII {
+        let devices: Vec<Device> = (0..DEVICES)
+            .map(|i| {
+                let cache = PolicyKind::DynSimple { k: 2 }.build(
+                    Arc::clone(&repo),
+                    repo.cache_capacity_for_ratio(0.1),
+                    ctx.sub_seed(0xEA ^ i as u64),
+                    None,
+                );
+                let gen = RequestGenerator::new(
+                    repo.len(),
+                    THETA,
+                    0,
+                    rounds,
+                    ctx.sub_seed(0xEA0 + i as u64),
+                );
+                Device::new(
+                    i,
+                    Arc::clone(&repo),
+                    cache,
+                    gen,
+                    ConnectivitySchedule::always(NetworkLink::cellular_default()),
+                )
+            })
+            .collect();
+        let config = CoopConfig {
+            radio_radius: radius,
+            max_uploads_per_peer: 2,
+        };
+        let mut sim = CoopRegionSim::new(devices, BaseStation::new(Bandwidth::mbps(8)), config);
+        let report = sim.run(rounds);
+        offload.push(report.offload_rate());
+        peer.push(report.peer_hit_rate());
+        throughput.push(report.mean_throughput());
+    }
+
+    let radius_fig = FigureResult::new(
+        "coop",
+        "Cooperative caching: requests serviced without the base station vs radio radius",
+        "radio radius (hops)",
+        RADII.iter().map(|r| r.to_string()).collect(),
+        vec![
+            Series::new("offload rate (local + peer)", offload),
+            Series::new("peer hit rate", peer),
+            Series::new("mean devices displaying / round", throughput),
+        ],
+    );
+
+    // Coordinated placement: partition clip ownership across the region
+    // (replicas = number of owners per clip; `greedy` = no partition).
+    let replica_axis: [Option<usize>; 5] = [Some(1), Some(2), Some(4), Some(8), None];
+    let mut offload_c = Vec::new();
+    let mut local_c = Vec::new();
+    let mut peer_c = Vec::new();
+    for &replicas in &replica_axis {
+        let devices: Vec<Device> = (0..DEVICES)
+            .map(|i| {
+                let inner = PolicyKind::DynSimple { k: 2 }.build(
+                    Arc::clone(&repo),
+                    repo.cache_capacity_for_ratio(0.1),
+                    ctx.sub_seed(0xEA ^ i as u64),
+                    None,
+                );
+                let cache: Box<dyn clipcache_core::ClipCache> = match replicas {
+                    Some(r) => {
+                        Box::new(PartitionedAdmission::new(inner, repo.len(), i, DEVICES, r))
+                    }
+                    None => inner,
+                };
+                let gen = RequestGenerator::new(
+                    repo.len(),
+                    THETA,
+                    0,
+                    rounds,
+                    ctx.sub_seed(0xEA0 + i as u64),
+                );
+                Device::new(
+                    i,
+                    Arc::clone(&repo),
+                    cache,
+                    gen,
+                    ConnectivitySchedule::always(NetworkLink::cellular_default()),
+                )
+            })
+            .collect();
+        let config = CoopConfig {
+            radio_radius: 8,
+            max_uploads_per_peer: 2,
+        };
+        let mut sim = CoopRegionSim::new(devices, BaseStation::new(Bandwidth::mbps(8)), config);
+        let report = sim.run(rounds);
+        offload_c.push(report.offload_rate());
+        peer_c.push(report.peer_hit_rate());
+        local_c.push(report.offload_rate() - report.peer_hit_rate());
+    }
+    let coordination_fig = FigureResult::new(
+        "coop_coordination",
+        "Coordinated (partitioned) vs greedy placement at radio radius 8",
+        "owners per clip",
+        replica_axis
+            .iter()
+            .map(|r| match r {
+                Some(n) => n.to_string(),
+                None => "greedy".to_string(),
+            })
+            .collect(),
+        vec![
+            Series::new("offload rate (local + peer)", offload_c),
+            Series::new("local hit rate", local_c),
+            Series::new("peer hit rate", peer_c),
+        ],
+    );
+
+    vec![radius_fig, coordination_fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordination_beats_greedy_placement() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let figs = run(&ctx);
+        let fig = &figs[1];
+        let offload = fig.series_named("offload rate (local + peer)").unwrap();
+        let greedy = *offload.values.last().unwrap();
+        // Some partitioning level must beat unpartitioned greedy caches.
+        let best = offload.values[..offload.values.len() - 1]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        assert!(best > greedy, "partitioned best {best} vs greedy {greedy}");
+    }
+
+    #[test]
+    fn cooperation_strictly_helps_the_global_metric() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let fig = run(&ctx).remove(0);
+        let offload = fig.series_named("offload rate (local + peer)").unwrap();
+        let peer = fig.series_named("peer hit rate").unwrap();
+        // Radius 0 has no peer hits; wider radios offload strictly more.
+        assert_eq!(peer.values[0], 0.0);
+        assert!(peer.values.last().unwrap() > &0.0);
+        assert!(
+            offload.values.last().unwrap() > &offload.values[0],
+            "radius 8 offload {} must beat greedy {}",
+            offload.values.last().unwrap(),
+            offload.values[0]
+        );
+        // Offload rate grows (weakly) with the radius.
+        for pair in offload.values.windows(2) {
+            assert!(pair[1] >= pair[0] - 0.01);
+        }
+    }
+}

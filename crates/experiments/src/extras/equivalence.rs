@@ -1,0 +1,51 @@
+//! Section 4.4's equivalence claim: "If one employs K=2 with both LRU-SK
+//! and DYNSimple then their cache hit rates become almost identical. This
+//! is because the way they use clip size and reference time to its last 2
+//! requests results in the same ranking of victim clips."
+//!
+//! We measure hit rates of both at K = 2 across the Figure 5 ratio sweep
+//! and report the absolute gap (expected ≈ 0).
+
+use crate::context::ExperimentContext;
+use crate::figures::{fig5, ratio_sweep};
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use std::sync::Arc;
+
+/// Run the equivalence measurement.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let policies = [PolicyKind::DynSimple { k: 2 }, PolicyKind::LruSK { k: 2 }];
+    let (hits, _) = ratio_sweep(ctx, &repo, &policies, &fig5::RATIOS, 10_000, 0xE6);
+    let gap: Vec<f64> = hits[0]
+        .values
+        .iter()
+        .zip(&hits[1].values)
+        .map(|(a, b)| (a - b).abs())
+        .collect();
+    let mut series = hits;
+    series.push(Series::new("|gap|", gap));
+    vec![FigureResult::new(
+        "equivalence",
+        "DYNSimple(K=2) vs LRU-S2: cache hit rate and absolute gap",
+        "S_T/S_DB",
+        fig5::RATIOS.iter().map(|r| r.to_string()).collect(),
+        series,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k2_hit_rates_almost_identical() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let fig = run(&ctx).remove(0);
+        let gap = fig.series_named("|gap|").unwrap();
+        for (i, g) in gap.values.iter().enumerate() {
+            assert!(*g < 0.03, "ratio index {i}: gap {g} too large");
+        }
+    }
+}

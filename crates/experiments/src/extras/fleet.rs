@@ -1,0 +1,129 @@
+//! Fleet upgrades: what does a region gain as devices adopt the better
+//! policy?
+//!
+//! The paper argues per-device hit-rate gains compound into regional
+//! throughput. Operators do not upgrade every handset at once, so the
+//! operative question is the *adoption curve*: sixteen devices share one
+//! 8 Mbps station; a sweep moves them from LRU-2 firmware to
+//! DYNSimple(K=2), measuring round-based throughput and rejections at
+//! each adoption level.
+//!
+//! The measured curve is **non-monotone**: partial adoption *dips*
+//! regional throughput (9.8 → 8.6 devices/round at 4 of 16 upgraded)
+//! before full adoption wins (11.1). The mechanism: DYNSimple hits the
+//! tiny audio clips locally, so nearly all of its *misses* are 4 Mbps
+//! video requests — expensive to admit (two fill the station) — while
+//! LRU-2 hoards videos and misses cheap 300 Kbps audio that the station
+//! can admit in bulk. Aggregate hit rate rises monotonically throughout;
+//! it is the miss *mix* that makes the region's bandwidth go further or
+//! shorter. A caution the paper's per-device framing doesn't surface.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::{paper, Bandwidth};
+use clipcache_sim::device::Device;
+use clipcache_sim::network::{ConnectivitySchedule, NetworkLink};
+use clipcache_sim::region::RegionSim;
+use clipcache_sim::station::BaseStation;
+use clipcache_workload::RequestGenerator;
+use std::sync::Arc;
+
+/// Devices in the region.
+pub const DEVICES: usize = 16;
+/// Adoption levels swept (devices running DYNSimple).
+pub const UPGRADED: [usize; 5] = [0, 4, 8, 12, 16];
+
+/// Run the adoption sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository_of(96));
+    let rounds = ctx.requests(1_000);
+
+    let mut throughput = Vec::with_capacity(UPGRADED.len());
+    let mut rejections = Vec::with_capacity(UPGRADED.len());
+    let mut hit_rate = Vec::with_capacity(UPGRADED.len());
+    for &upgraded in &UPGRADED {
+        let devices: Vec<Device> = (0..DEVICES)
+            .map(|i| {
+                let policy = if i < upgraded {
+                    PolicyKind::DynSimple { k: 2 }
+                } else {
+                    PolicyKind::LruK { k: 2 }
+                };
+                let cache = policy.build(
+                    Arc::clone(&repo),
+                    repo.cache_capacity_for_ratio(0.1),
+                    ctx.sub_seed(0xFC00 + i as u64),
+                    None,
+                );
+                let gen = RequestGenerator::new(
+                    repo.len(),
+                    THETA,
+                    0,
+                    rounds,
+                    ctx.sub_seed(0xFD00 + i as u64),
+                );
+                Device::new(
+                    i,
+                    Arc::clone(&repo),
+                    cache,
+                    gen,
+                    ConnectivitySchedule::always(NetworkLink::cellular_default()),
+                )
+            })
+            .collect();
+        let mut region = RegionSim::new(devices, BaseStation::new(Bandwidth::mbps(8)));
+        let report = region.run(rounds);
+        throughput.push(report.mean_throughput());
+        rejections.push(report.mean_rejections());
+        hit_rate.push(report.aggregate_hit_rate());
+    }
+
+    vec![FigureResult::new(
+        "fleet",
+        "Regional throughput as devices upgrade LRU-2 -> DYNSimple (16 devices)",
+        "devices upgraded",
+        UPGRADED.iter().map(|u| u.to_string()).collect(),
+        vec![
+            Series::new("mean devices displaying / round", throughput),
+            Series::new("mean rejections / round", rejections),
+            Series::new("aggregate hit rate", hit_rate),
+        ],
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adoption_wins_but_the_curve_dips() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let fig = run(&ctx).remove(0);
+        let tp = fig.series_named("mean devices displaying / round").unwrap();
+        let hit = fig.series_named("aggregate hit rate").unwrap();
+        // Endpoints: a fully upgraded fleet beats a fully legacy one.
+        assert!(tp.values.last().unwrap() > tp.values.first().unwrap());
+        // Aggregate hit rate is monotone in adoption even where
+        // throughput is not.
+        for pair in hit.values.windows(2) {
+            assert!(
+                pair[1] > pair[0] - 0.01,
+                "hit rate dipped: {:?}",
+                hit.values
+            );
+        }
+        // The documented non-monotonicity: some interior level sits below
+        // the legacy baseline (if this stops holding, the module docs
+        // need rewriting, not just the test).
+        let baseline = tp.values[0];
+        assert!(
+            tp.values[1..tp.values.len() - 1]
+                .iter()
+                .any(|v| *v < baseline),
+            "expected an interior throughput dip: {:?}",
+            tp.values
+        );
+    }
+}

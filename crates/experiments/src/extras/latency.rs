@@ -1,0 +1,83 @@
+//! Section 1's startup-latency metric: streaming from the cache is
+//! near-instant; Wi-Fi misses pay admission overhead; cellular misses on
+//! video must prefetch most of the clip; disconnected misses cannot be
+//! served at all. This experiment quantifies mean startup latency and
+//! unavailability across cache sizes under the FMC connectivity day.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use clipcache_sim::network::ConnectivitySchedule;
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+/// Cache ratios swept.
+pub const RATIOS: [f64; 4] = [0.05, 0.125, 0.25, 0.5];
+
+/// Run the latency experiment with DYNSimple(K=2).
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let requests = ctx.requests(10_000);
+    let trace = Trace::from_generator(RequestGenerator::new(
+        repo.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xE7),
+    ));
+    let config = SimulationConfig {
+        connectivity: Some(ConnectivitySchedule::fmc_day(250)),
+        ..SimulationConfig::default()
+    };
+
+    let mut mean_latency = Vec::with_capacity(RATIOS.len());
+    let mut p95_latency = Vec::with_capacity(RATIOS.len());
+    let mut unavailability = Vec::with_capacity(RATIOS.len());
+    let mut hit_rates = Vec::with_capacity(RATIOS.len());
+    for &ratio in &RATIOS {
+        let mut cache = PolicyKind::DynSimple { k: 2 }.build(
+            Arc::clone(&repo),
+            repo.cache_capacity_for_ratio(ratio),
+            1,
+            None,
+        );
+        let report = simulate(cache.as_mut(), &repo, trace.requests(), &config);
+        mean_latency.push(report.latency.mean_secs());
+        p95_latency.push(report.latency.percentile(0.95));
+        unavailability.push(report.latency.unavailability());
+        hit_rates.push(report.hit_rate());
+    }
+
+    vec![FigureResult::new(
+        "latency",
+        "Startup latency and unavailability vs cache size (DYNSimple, FMC day)",
+        "S_T/S_DB",
+        RATIOS.iter().map(|r| r.to_string()).collect(),
+        vec![
+            Series::new("mean startup latency (s)", mean_latency),
+            Series::new("p95 startup latency (s)", p95_latency),
+            Series::new("unavailability", unavailability),
+            Series::new("cache hit rate", hit_rates),
+        ],
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_cache_means_lower_latency_and_unavailability() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let fig = run(&ctx).remove(0);
+        let lat = fig.series_named("mean startup latency (s)").unwrap();
+        let unav = fig.series_named("unavailability").unwrap();
+        let hits = fig.series_named("cache hit rate").unwrap();
+        assert!(lat.values.first().unwrap() > lat.values.last().unwrap());
+        assert!(unav.values.first().unwrap() > unav.values.last().unwrap());
+        assert!(hits.values.first().unwrap() < hits.values.last().unwrap());
+    }
+}

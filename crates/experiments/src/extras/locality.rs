@@ -1,0 +1,100 @@
+//! Robustness beyond the IRM: do the paper's conclusions survive
+//! temporal locality?
+//!
+//! The paper's workload is the independent reference model. Real request
+//! streams re-reference what was watched recently, which favours
+//! recency-based policies. Sweeping the LRU-stack-model locality knob
+//! from 0 (the paper's IRM) to 0.9 shows: recency-blind techniques
+//! barely move, LRU-2 climbs steeply — but on the variable-sized
+//! repository the size-aware DYNSimple keeps its lead throughout, so the
+//! paper's headline conclusion is not an artifact of the IRM.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::locality::StackModelGenerator;
+use clipcache_workload::Trace;
+use std::sync::Arc;
+
+/// Locality probabilities swept (0 = the paper's IRM).
+pub const LOCALITY: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
+/// Re-reference window depth.
+pub const DEPTH_WINDOW: usize = 16;
+
+/// Run the locality sweep at `S_T/S_DB = 0.125`.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let requests = ctx.requests(10_000);
+    let capacity = repo.cache_capacity_for_ratio(0.125);
+    let policies = [
+        PolicyKind::DynSimple { k: 2 },
+        PolicyKind::GreedyDual,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Lru,
+    ];
+    let config = SimulationConfig::default();
+
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for (li, &locality) in LOCALITY.iter().enumerate() {
+        let trace = Trace::from_requests(
+            StackModelGenerator::new(
+                repo.len(),
+                THETA,
+                locality,
+                DEPTH_WINDOW,
+                requests,
+                ctx.sub_seed(0xF400 + li as u64),
+            )
+            .collect(),
+        );
+        for (pi, policy) in policies.iter().enumerate() {
+            let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
+            per_policy[pi]
+                .push(simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate());
+        }
+    }
+
+    let series = policies
+        .iter()
+        .zip(per_policy)
+        .map(|(p, v)| Series::new(p.to_string(), v))
+        .collect();
+    vec![FigureResult::new(
+        "locality",
+        "Cache hit rate vs temporal locality (stack model; 0 = the paper's IRM)",
+        "locality",
+        LOCALITY.iter().map(|l| l.to_string()).collect(),
+        series,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recency_policies_gain_most_from_locality() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let fig = run(&ctx).remove(0);
+        let lru2 = fig.series_named("LRU-2").unwrap();
+        let dyn2 = fig.series_named("DYNSimple(K=2)").unwrap();
+        let n = LOCALITY.len();
+        // LRU-2's absolute gain across the sweep exceeds everyone's
+        // baseline noise and narrows the gap to DYNSimple.
+        let lru2_gain = lru2.values[n - 1] - lru2.values[0];
+        assert!(lru2_gain > 0.1, "LRU-2 gain {lru2_gain}");
+        let gap_irm = dyn2.values[0] - lru2.values[0];
+        let gap_local = dyn2.values[n - 1] - lru2.values[n - 1];
+        assert!(
+            gap_local < gap_irm,
+            "locality must narrow the gap: {gap_local} vs {gap_irm}"
+        );
+        // ... but DYNSimple still leads at every locality level.
+        for (i, (d, l)) in dyn2.values.iter().zip(&lru2.values).enumerate() {
+            assert!(d > l, "locality index {i}: DYNSimple {d} vs LRU-2 {l}");
+        }
+    }
+}

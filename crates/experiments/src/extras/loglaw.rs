@@ -1,0 +1,164 @@
+//! The paper's closing argument, quantified (Section 5):
+//!
+//! > "One may argue that increasing cache hit rate by several percentage
+//! > points is negligible. Such a conclusion is ill-guided because several
+//! > studies have shown that cache hit rate grows as a log function of
+//! > cache size. Thus, a better algorithm that increases cache hit rate by
+//! > only several percentage points would be equivalent to several fold
+//! > increase in cache size."
+//!
+//! Two measurements:
+//!
+//! 1. **The log law itself** — DYNSimple's hit rate sampled at
+//!    geometrically spaced cache sizes; if hit rate ~ a + b·log(S_T), the
+//!    first differences over a geometric ladder are roughly constant.
+//! 2. **The equivalent-cache-size multiplier** — for each anchor ratio,
+//!    how much *more* cache LRU-2 needs (found by bisection on its
+//!    monotone hit-rate curve) to match DYNSimple(K=2)'s hit rate.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::{paper, Repository};
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+/// Geometric ladder of cache ratios for the log-law fit.
+pub const LADDER: [f64; 6] = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32];
+/// Anchor ratios for the equivalence measurement.
+pub const ANCHORS: [f64; 3] = [0.05, 0.1, 0.2];
+
+fn hit_rate(repo: &Arc<Repository>, policy: PolicyKind, ratio: f64, trace: &Trace) -> f64 {
+    let mut cache = policy.build(
+        Arc::clone(repo),
+        repo.cache_capacity_for_ratio(ratio),
+        1,
+        None,
+    );
+    simulate(
+        cache.as_mut(),
+        repo,
+        trace.requests(),
+        &SimulationConfig::default(),
+    )
+    .hit_rate()
+}
+
+/// Bisect the smallest LRU-2 ratio whose hit rate reaches `target`.
+/// Returns `None` when even a full-repository cache falls short.
+fn lru2_ratio_for(repo: &Arc<Repository>, trace: &Trace, target: f64) -> Option<f64> {
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    if hit_rate(repo, PolicyKind::LruK { k: 2 }, hi, trace) < target {
+        return None;
+    }
+    for _ in 0..12 {
+        let mid = (lo + hi) / 2.0;
+        if hit_rate(repo, PolicyKind::LruK { k: 2 }, mid, trace) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Run the log-law and equivalence measurements.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let requests = ctx.requests(10_000);
+    let trace = Trace::from_generator(RequestGenerator::new(
+        repo.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xF5),
+    ));
+
+    // 1. The log law: hit rate up a geometric ladder.
+    let ladder_rates: Vec<f64> = LADDER
+        .iter()
+        .map(|&r| hit_rate(&repo, PolicyKind::DynSimple { k: 2 }, r, &trace))
+        .collect();
+    let log_fig = FigureResult::new(
+        "loglaw",
+        "Hit rate up a geometric cache-size ladder (log law: equal steps)",
+        "S_T/S_DB",
+        LADDER.iter().map(|r| r.to_string()).collect(),
+        vec![Series::new("DYNSimple(K=2)", ladder_rates)],
+    );
+
+    // 2. Equivalent-cache multipliers.
+    let mut multipliers = Vec::with_capacity(ANCHORS.len());
+    let mut dyn_rates = Vec::with_capacity(ANCHORS.len());
+    for &anchor in &ANCHORS {
+        let target = hit_rate(&repo, PolicyKind::DynSimple { k: 2 }, anchor, &trace);
+        dyn_rates.push(target);
+        let needed = lru2_ratio_for(&repo, &trace, target);
+        multipliers.push(match needed {
+            Some(r) => r / anchor,
+            None => f64::INFINITY,
+        });
+    }
+    let eq_fig = FigureResult::new(
+        "loglaw_equiv",
+        "Cache size LRU-2 needs to match DYNSimple(K=2)'s hit rate",
+        "anchor S_T/S_DB",
+        ANCHORS.iter().map(|r| r.to_string()).collect(),
+        vec![
+            Series::new("DYNSimple hit rate at anchor", dyn_rates),
+            Series::new("LRU-2 cache multiplier", multipliers),
+        ],
+    );
+
+    vec![log_fig, eq_fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_gain_is_worth_multiples_of_cache() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let figs = run(&ctx);
+        let eq = &figs[1];
+        let mult = eq.series_named("LRU-2 cache multiplier").unwrap();
+        // The paper's argument: the better algorithm is worth a
+        // several-fold cache increase. At full scale the measured
+        // multipliers are 6.1x / 3.9x / 2.5x; at the reduced test scale
+        // they compress somewhat, so demand >1.5x everywhere and >2.5x
+        // at the smallest anchor, where the effect is strongest.
+        for (i, m) in mult.values.iter().enumerate() {
+            assert!(
+                *m > 1.5,
+                "anchor index {i}: multiplier {m} should exceed 1.5x"
+            );
+        }
+        assert!(
+            mult.values[0] > 2.5,
+            "smallest anchor multiplier {} should exceed 2.5x",
+            mult.values[0]
+        );
+    }
+
+    #[test]
+    fn hit_rate_grows_sublinearly_in_cache_size() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let figs = run(&ctx);
+        let ladder = figs[0].series_named("DYNSimple(K=2)").unwrap();
+        // Monotone up the ladder…
+        for pair in ladder.values.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        // …and strongly sublinear in cache size: 32x the cache buys far
+        // less than 32x the hit rate (the log-law regime).
+        let growth = ladder.values[5] / ladder.values[0].max(1e-9);
+        assert!(
+            growth < 8.0,
+            "32x cache size produced {growth}x hit rate — not log-like"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Analytic cross-check: Mattson stack-distance analysis predicts the LRU
+//! hit-rate-vs-cache-size curve from **one** trace pass; here it is laid
+//! next to the simulated LRU curve over the Figure 2 ratio sweep.
+//!
+//! On the equi-sized repository the two must match exactly (LRU's
+//! inclusion property); on the paper's variable-sized repository,
+//! whole-clip admission can violate inclusion and a small residual gap
+//! appears — this experiment measures it.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::{paper, Repository};
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::reuse::StackDistanceAnalyzer;
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+/// The ratio sweep shared with Figure 2.
+pub const RATIOS: [f64; 6] = [0.0125, 0.1, 0.2, 0.3, 0.5, 0.75];
+
+fn curve_pair(repo: &Arc<Repository>, trace: &Trace) -> (Vec<f64>, Vec<f64>) {
+    let mut analyzer = StackDistanceAnalyzer::new(repo);
+    analyzer.record_all(trace.requests());
+    let capacities: Vec<_> = RATIOS
+        .iter()
+        .map(|&r| repo.cache_capacity_for_ratio(r))
+        .collect();
+    let predicted = analyzer.predicted_curve(&capacities);
+
+    let config = SimulationConfig::default();
+    let simulated: Vec<f64> = capacities
+        .iter()
+        .map(|&cap| {
+            let mut cache = PolicyKind::Lru.build(Arc::clone(repo), cap, 1, None);
+            simulate(cache.as_mut(), repo, trace.requests(), &config).hit_rate()
+        })
+        .collect();
+    (predicted, simulated)
+}
+
+/// Run the predicted-vs-simulated comparison on both repositories.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let requests = ctx.requests(10_000);
+    let x: Vec<String> = RATIOS.iter().map(|r| r.to_string()).collect();
+
+    let equi = Arc::new(paper::equi_sized_repository());
+    let trace_e = Trace::from_generator(RequestGenerator::new(
+        equi.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xEC),
+    ));
+    let (pred_e, sim_e) = curve_pair(&equi, &trace_e);
+
+    let var = Arc::new(paper::variable_sized_repository());
+    let trace_v = Trace::from_generator(RequestGenerator::new(
+        var.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xED),
+    ));
+    let (pred_v, sim_v) = curve_pair(&var, &trace_v);
+
+    vec![
+        FigureResult::new(
+            "mattson_equi",
+            "Mattson-predicted vs simulated LRU hit rate (equi-sized)",
+            "S_T/S_DB",
+            x.clone(),
+            vec![
+                Series::new("predicted (stack distance)", pred_e),
+                Series::new("simulated LRU", sim_e),
+            ],
+        ),
+        FigureResult::new(
+            "mattson_var",
+            "Mattson-predicted vs simulated LRU hit rate (variable-sized)",
+            "S_T/S_DB",
+            x,
+            vec![
+                Series::new("predicted (stack distance)", pred_v),
+                Series::new("simulated LRU", sim_v),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_exact_on_equi_sized() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let figs = run(&ctx);
+        let equi = &figs[0];
+        let pred = equi.series_named("predicted (stack distance)").unwrap();
+        let sim = equi.series_named("simulated LRU").unwrap();
+        for (i, (p, s)) in pred.values.iter().zip(&sim.values).enumerate() {
+            assert!(
+                (p - s).abs() < 1e-9,
+                "ratio index {i}: predicted {p} vs simulated {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_close_on_variable_sized() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let figs = run(&ctx);
+        let var = &figs[1];
+        let pred = var.series_named("predicted (stack distance)").unwrap();
+        let sim = var.series_named("simulated LRU").unwrap();
+        for (i, (p, s)) in pred.values.iter().zip(&sim.values).enumerate() {
+            assert!(
+                (p - s).abs() < 0.05,
+                "ratio index {i}: predicted {p} vs simulated {s}"
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Extension experiments reproducing the paper's textual claims
+//! (DESIGN.md's second experiment table).
+
+pub mod ablation;
+pub mod blocks;
+pub mod bypass;
+pub mod composition;
+pub mod coop;
+pub mod equivalence;
+pub mod fleet;
+pub mod ksweep;
+pub mod latency;
+pub mod locality;
+pub mod loglaw;
+pub mod mattson;
+pub mod objectives;
+pub mod optimality;
+pub mod quality;
+pub mod region;
+pub mod restart;
+pub mod retention;
+pub mod sizes;
+pub mod skew;
+pub mod streaming;
+pub mod table1;
+pub mod variance;

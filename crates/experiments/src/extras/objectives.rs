@@ -1,0 +1,108 @@
+//! Objective functions: what the cache optimizes matters.
+//!
+//! Section 1 argues for maximizing hit rate and explicitly excludes
+//! techniques that trade it away — "An example is GDS-Popularity which
+//! enhances byte hit rate at the expense of cache hit rate" — while
+//! Section 3.2 notes GreedyDual's cost knob can instead minimize average
+//! latency \[3\]. This experiment puts the three objectives side by side
+//! on the paper's workload: hit rate, byte hit rate, and mean startup
+//! latency over a cellular link.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use clipcache_sim::network::{ConnectivitySchedule, NetworkLink};
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+/// The three objective representatives.
+pub fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::GreedyDual,                      // maximize hit rate
+        PolicyKind::GreedyDualLatency { mbps: 1 },   // minimize startup latency
+        PolicyKind::GreedyDualFetchTime { mbps: 1 }, // degenerate (≈ Random)
+        PolicyKind::GreedyDualPackets,               // minimize network packets
+        PolicyKind::GdsPopularity,                   // maximize byte hit rate
+    ]
+}
+
+/// Run the objectives comparison at `S_T/S_DB = 0.125`.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let requests = ctx.requests(10_000);
+    let trace = Trace::from_generator(RequestGenerator::new(
+        repo.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xEB),
+    ));
+    let config = SimulationConfig {
+        connectivity: Some(ConnectivitySchedule::always(NetworkLink::cellular_default())),
+        ..SimulationConfig::default()
+    };
+    let capacity = repo.cache_capacity_for_ratio(0.125);
+
+    let lineup = policies();
+    let mut hit = Vec::new();
+    let mut byte = Vec::new();
+    let mut latency = Vec::new();
+    for policy in &lineup {
+        let mut cache = policy.build(Arc::clone(&repo), capacity, 3, None);
+        let report = simulate(cache.as_mut(), &repo, trace.requests(), &config);
+        hit.push(report.hit_rate());
+        byte.push(report.byte_hit_rate());
+        latency.push(report.latency.mean_secs());
+    }
+
+    vec![FigureResult::new(
+        "objectives",
+        "Objective comparison at S_T/S_DB = 0.125 (cellular link)",
+        "metric",
+        lineup.iter().map(|p| p.to_string()).collect(),
+        vec![
+            Series::new("cache hit rate", hit),
+            Series::new("byte hit rate", byte),
+            Series::new("mean startup latency (s)", latency),
+        ],
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_objective_wins_its_own_metric() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let fig = run(&ctx).remove(0);
+        let hit = fig.series_named("cache hit rate").unwrap();
+        let byte = fig.series_named("byte hit rate").unwrap();
+        let lat = fig.series_named("mean startup latency (s)").unwrap();
+        // Columns: 0 = GreedyDual, 1 = latency objective, 2 = degenerate
+        // fetch-time, 3 = packets, 4 = GDS-Popularity.
+        assert!(
+            hit.values[0] > hit.values[4],
+            "hit-rate objective must beat byte-hit objective on hit rate: {} vs {}",
+            hit.values[0],
+            hit.values[4]
+        );
+        assert!(
+            byte.values[4] > byte.values[0],
+            "byte-hit objective must win byte hit rate: {} vs {}",
+            byte.values[4],
+            byte.values[0]
+        );
+        // Packet cost sits between: better byte-hit than pure hit-rate GD.
+        assert!(byte.values[3] > byte.values[0]);
+        assert!(
+            lat.values[1] < lat.values[2],
+            "latency objective must beat the degenerate fetch-time cost: {} vs {}",
+            lat.values[1],
+            lat.values[2]
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! How far from optimal are the paper's techniques?
+//!
+//! Belady's MIN (clairvoyant, provably optimal for equal sizes) sits
+//! above every realizable policy; the gap to it is the headroom an
+//! on-line policy leaves. On the equi-sized repository this experiment
+//! stacks MIN, the oracle-frequency Simple, and the strongest on-line
+//! techniques over the Figure 5.a sweep — quantifying the paper's
+//! implicit claim that DYNSimple approaches what frequency knowledge can
+//! deliver, and showing how much more *future* knowledge is worth than
+//! *frequency* knowledge.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::policies::belady::BeladyCache;
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::{RequestGenerator, ShiftedZipf, Trace, Zipf};
+use std::sync::Arc;
+
+/// The Figure 5.a cache-size axis.
+pub const RATIOS: [f64; 6] = [0.01, 0.05, 0.1, 0.15, 0.2, 0.25];
+
+/// Run the optimality-gap experiment (equi-sized repository).
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::equi_sized_repository());
+    let requests = ctx.requests(10_000);
+    let trace = Trace::from_generator(RequestGenerator::new(
+        repo.len(),
+        THETA,
+        0,
+        requests,
+        ctx.sub_seed(0xFE),
+    ));
+    let freqs = ShiftedZipf::new(Zipf::new(repo.len(), THETA), 0).frequencies();
+    let config = SimulationConfig::default();
+
+    let online = [
+        PolicyKind::Simple,
+        PolicyKind::DynSimple { k: 32 },
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Igd,
+    ];
+    let mut min_rates = Vec::with_capacity(RATIOS.len());
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); online.len()];
+    for &ratio in &RATIOS {
+        let capacity = repo.cache_capacity_for_ratio(ratio);
+        let mut min = BeladyCache::new(Arc::clone(&repo), capacity, trace.requests());
+        min_rates.push(simulate(&mut min, &repo, trace.requests(), &config).hit_rate());
+        for (pi, policy) in online.iter().enumerate() {
+            let mut cache = policy.build(Arc::clone(&repo), capacity, 1, Some(&freqs));
+            series[pi].push(simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate());
+        }
+    }
+
+    let mut all = vec![Series::new("Belady-MIN (offline optimal)", min_rates)];
+    all.extend(
+        online
+            .iter()
+            .zip(series)
+            .map(|(p, v)| Series::new(p.to_string(), v)),
+    );
+    vec![FigureResult::new(
+        "optimality",
+        "Distance to the clairvoyant optimum (equi-sized clips)",
+        "S_T/S_DB",
+        RATIOS.iter().map(|r| r.to_string()).collect(),
+        all,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_dominates_and_simple_is_second() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let fig = run(&ctx).remove(0);
+        let min = fig.series_named("Belady-MIN (offline optimal)").unwrap();
+        for s in &fig.series[1..] {
+            for (i, (m, v)) in min.values.iter().zip(&s.values).enumerate() {
+                assert!(
+                    m + 1e-9 >= *v,
+                    "{} beat MIN at ratio index {i}: {v} vs {m}",
+                    s.name
+                );
+            }
+        }
+        // Future knowledge beats frequency knowledge by a clear margin in
+        // the middle of the sweep.
+        let simple = fig.series_named("Simple").unwrap();
+        assert!(min.values[2] > simple.values[2] + 0.03);
+    }
+}

@@ -1,0 +1,95 @@
+//! Section 1's region-throughput metric: devices sharing one base station
+//! compete for bandwidth on misses. Higher per-device hit rates translate
+//! directly into higher regional throughput; this experiment sweeps the
+//! per-device cache ratio and reports mean round throughput for a region
+//! of 16 devices behind an 8 Mbps station (room for two concurrent 4 Mbps
+//! video streams).
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::PolicyKind;
+use clipcache_media::{paper, Bandwidth};
+use clipcache_sim::device::Device;
+use clipcache_sim::network::{ConnectivitySchedule, NetworkLink};
+use clipcache_sim::region::RegionSim;
+use clipcache_sim::station::BaseStation;
+use clipcache_workload::RequestGenerator;
+use std::sync::Arc;
+
+/// Per-device cache ratios swept.
+pub const RATIOS: [f64; 4] = [0.02, 0.1, 0.25, 0.5];
+/// Devices in the region.
+pub const DEVICES: usize = 16;
+
+/// Run the region-throughput experiment.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository_of(96));
+    let rounds = ctx.requests(1_000);
+
+    let mut throughput = Vec::with_capacity(RATIOS.len());
+    let mut rejections = Vec::with_capacity(RATIOS.len());
+    let mut hit_rates = Vec::with_capacity(RATIOS.len());
+    for &ratio in &RATIOS {
+        let devices: Vec<Device> = (0..DEVICES)
+            .map(|i| {
+                let cache = PolicyKind::DynSimple { k: 2 }.build(
+                    Arc::clone(&repo),
+                    repo.cache_capacity_for_ratio(ratio),
+                    ctx.sub_seed(0xE8 ^ i as u64),
+                    None,
+                );
+                let gen = RequestGenerator::new(
+                    repo.len(),
+                    THETA,
+                    0,
+                    rounds,
+                    ctx.sub_seed(0xE80 + i as u64),
+                );
+                Device::new(
+                    i,
+                    Arc::clone(&repo),
+                    cache,
+                    gen,
+                    ConnectivitySchedule::always(NetworkLink::cellular_default()),
+                )
+            })
+            .collect();
+        let mut region = RegionSim::new(devices, BaseStation::new(Bandwidth::mbps(8)));
+        let report = region.run(rounds);
+        throughput.push(report.mean_throughput());
+        rejections.push(report.mean_rejections());
+        hit_rates.push(report.aggregate_hit_rate());
+    }
+
+    vec![FigureResult::new(
+        "region",
+        "Region throughput vs per-device cache size (16 devices, 8 Mbps station)",
+        "S_T/S_DB",
+        RATIOS.iter().map(|r| r.to_string()).collect(),
+        vec![
+            Series::new("mean devices displaying / round", throughput),
+            Series::new("mean rejections / round", rejections),
+            Series::new("aggregate hit rate", hit_rates),
+        ],
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_rises_with_cache_size() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let fig = run(&ctx).remove(0);
+        let tp = fig.series_named("mean devices displaying / round").unwrap();
+        let rej = fig.series_named("mean rejections / round").unwrap();
+        assert!(tp.values.first().unwrap() < tp.values.last().unwrap());
+        assert!(rej.values.first().unwrap() > rej.values.last().unwrap());
+        // Throughput can never exceed the device count.
+        for v in &tp.values {
+            assert!(*v <= DEVICES as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Device restart: what does losing the cache manager's metadata cost?
+//!
+//! A phone reboots mid-day. The clips on disk survive; the policy's
+//! in-memory state (reference histories, priorities) does not.
+//! `core::snapshot` restores residency exactly and lets the policy
+//! relearn its metadata. This experiment runs 20,000 requests with a
+//! snapshot/restore restart at 10,000 and plots the windowed hit rate of
+//! the interrupted run against an uninterrupted control — the dip at the
+//! restart is the metadata's worth.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::snapshot::{restore, CacheSnapshot};
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use clipcache_sim::metrics::WindowedSeries;
+use clipcache_workload::{RequestGenerator, Timestamp, Trace};
+use std::sync::Arc;
+
+/// Policies compared across the restart.
+pub fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::DynSimple { k: 2 },
+        PolicyKind::DynSimple { k: 32 },
+        PolicyKind::Igd,
+        PolicyKind::LruK { k: 2 },
+    ]
+}
+
+/// Run the restart experiment at `S_T/S_DB = 0.125`.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let half = ctx.requests(10_000);
+    let trace = Trace::from_generator(RequestGenerator::new(
+        repo.len(),
+        THETA,
+        0,
+        half * 2,
+        ctx.sub_seed(0xFB),
+    ));
+    let capacity = repo.cache_capacity_for_ratio(0.125);
+
+    let mut x: Vec<String> = Vec::new();
+    let mut series = Vec::new();
+    for policy in policies() {
+        // Interrupted run: snapshot at the midpoint, rebuild, resume.
+        let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
+        let mut windows = WindowedSeries::new(100);
+        let mut tick = Timestamp::ZERO;
+        for req in trace.slice(0, half as usize) {
+            tick = req.at;
+            windows.record(cache.access(req.clip, req.at).is_hit());
+        }
+        let snap = CacheSnapshot::take(cache.as_ref(), policy, tick);
+        drop(cache); // the reboot
+        let (mut cache, mut tick) =
+            restore(&snap, Arc::clone(&repo), 1, None).expect("online policies restore");
+        for req in trace.slice(half as usize, 2 * half as usize) {
+            tick = tick.next();
+            windows.record(cache.access(req.clip, tick).is_hit());
+        }
+        if x.is_empty() {
+            x = (1..=windows.points().len())
+                .map(|w| (w * 100).to_string())
+                .collect();
+        }
+        series.push(Series::new(
+            format!("{policy} (restart at {half})"),
+            windows.points().to_vec(),
+        ));
+    }
+
+    // Uninterrupted control for the strongest policy.
+    let policy = PolicyKind::DynSimple { k: 2 };
+    let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
+    let mut windows = WindowedSeries::new(100);
+    for req in trace.requests() {
+        windows.record(cache.access(req.clip, req.at).is_hit());
+    }
+    series.push(Series::new(
+        format!("{policy} (no restart)"),
+        windows.points().to_vec(),
+    ));
+
+    vec![FigureResult::new(
+        "restart",
+        "Windowed hit rate across a device restart (residency restored, metadata lost)",
+        "request",
+        x,
+        series,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_transient_recovers() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let fig = run(&ctx).remove(0);
+        let restarted = &fig.series[0]; // DYNSimple(K=2) with restart
+        let control = fig
+            .series
+            .iter()
+            .find(|s| s.name.contains("no restart"))
+            .unwrap();
+        let n = restarted.values.len();
+        let half = n / 2;
+        // By the last quarter the interrupted run matches the control.
+        let late_r: f64 = restarted.values[n - n / 4..].iter().sum::<f64>() / (n / 4) as f64;
+        let late_c: f64 = control.values[n - n / 4..].iter().sum::<f64>() / (n / 4) as f64;
+        assert!(
+            (late_r - late_c).abs() < 0.04,
+            "post-restart steady state {late_r} vs control {late_c}"
+        );
+        // The pre-restart halves are identical (same policy, same trace).
+        for i in 0..half.min(10) {
+            assert!((restarted.values[i] - control.values[i]).abs() < 1e-9);
+        }
+    }
+}

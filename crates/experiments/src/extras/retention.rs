@@ -1,0 +1,100 @@
+//! The paper's metadata-retention direction (Sections 4.1 and 5):
+//! DYNSimple keeps K timestamps even for non-resident clips; "some
+//! applications may not tolerate the storage overhead … we propose to
+//! develop a rule similar to the 5 minute rule … deciding how long to
+//! keep the meta-data for the past references."
+//!
+//! This experiment implements that rule as a sliding horizon: every 100
+//! requests, histories whose latest reference is older than `horizon`
+//! ticks are forgotten. We sweep the horizon and report the hit rate next
+//! to the peak metadata footprint — the economics trade-off the rule is
+//! meant to navigate.
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_core::policies::dyn_simple::DynSimpleCache;
+use clipcache_core::ClipCache;
+use clipcache_media::paper;
+use clipcache_workload::{RequestGenerator, Timestamp};
+use std::sync::Arc;
+
+/// Retention horizons swept, in virtual ticks (requests); `u64::MAX`
+/// means "never forget" (the paper's default DYNSimple).
+pub const HORIZONS: [u64; 6] = [100, 250, 500, 1_000, 5_000, u64::MAX];
+
+/// Run the retention sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let requests = ctx.requests(10_000);
+    let capacity = repo.cache_capacity_for_ratio(0.125);
+
+    let mut hit_rates = Vec::with_capacity(HORIZONS.len());
+    let mut peak_meta = Vec::with_capacity(HORIZONS.len());
+    for &horizon in &HORIZONS {
+        let mut cache = DynSimpleCache::new(Arc::clone(&repo), capacity, 2);
+        let gen = RequestGenerator::new(repo.len(), THETA, 0, requests, ctx.sub_seed(0xE9));
+        let mut hits = 0u64;
+        let mut peak = 0usize;
+        for req in gen {
+            if cache.access(req.clip, req.at).is_hit() {
+                hits += 1;
+            }
+            if req.at.get() % 100 == 0 {
+                if horizon != u64::MAX {
+                    let cutoff = Timestamp(req.at.get().saturating_sub(horizon));
+                    cache.prune_history(cutoff);
+                }
+                peak = peak.max(cache.history().metadata_bytes());
+            }
+        }
+        hit_rates.push(hits as f64 / requests as f64);
+        peak_meta.push(peak as f64);
+    }
+
+    let x: Vec<String> = HORIZONS
+        .iter()
+        .map(|&h| {
+            if h == u64::MAX {
+                "never".to_string()
+            } else {
+                h.to_string()
+            }
+        })
+        .collect();
+    vec![FigureResult::new(
+        "retention",
+        "DYNSimple(K=2) under metadata retention horizons (S_T/S_DB = 0.125)",
+        "horizon (requests)",
+        x,
+        vec![
+            Series::new("cache hit rate", hit_rates),
+            Series::new("peak metadata bytes", peak_meta),
+        ],
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forgetting_saves_metadata_and_costs_little() {
+        let ctx = ExperimentContext::at_scale(0.3);
+        let fig = run(&ctx).remove(0);
+        let hits = fig.series_named("cache hit rate").unwrap();
+        let meta = fig.series_named("peak metadata bytes").unwrap();
+        let n = hits.values.len();
+        // Metadata footprint grows with the horizon.
+        assert!(meta.values[0] < meta.values[n - 1]);
+        // A generous horizon loses almost nothing against never-forget.
+        assert!(
+            (hits.values[n - 2] - hits.values[n - 1]).abs() < 0.02,
+            "5000-tick horizon {} vs never {}",
+            hits.values[n - 2],
+            hits.values[n - 1]
+        );
+        // Even the tightest horizon keeps the cache functional.
+        assert!(hits.values[0] > 0.3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Table 1 — "Parameters and their definitions" — rendered with the
+//! concrete values of the paper's evaluation repository. The paper's
+//! table defines symbols; this regenerator instantiates them so the
+//! simulated database can be audited at a glance:
+//!
+//! * `N` — number of clips (576),
+//! * `f(i)` — frequency of access to clip i (Zipf θ = 0.27; we report the
+//!   head),
+//! * `size(i)` — clip sizes (the six-class pattern),
+//! * `S_DB = Σ size(i)`,
+//! * `S_T` — the device cache size (reported for the figures' ratios),
+//! * `B_Display(i)` — display bandwidth (300 Kbps audio / 4 Mbps video).
+
+use crate::context::ExperimentContext;
+use crate::figures::THETA;
+use crate::report::{FigureResult, Series};
+use clipcache_media::{paper, CatalogStats};
+use clipcache_workload::{ShiftedZipf, Zipf};
+
+/// Render Table 1's parameters for the evaluation repository.
+pub fn run(_ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = paper::variable_sized_repository();
+    let stats = CatalogStats::of(&repo);
+    let dist = ShiftedZipf::new(Zipf::new(repo.len(), THETA), 0);
+
+    // Scalar parameters, one column each.
+    let scalar = FigureResult::new(
+        "table1",
+        "Table 1 instantiated: repository and workload parameters",
+        "parameter",
+        vec![
+            "N (clips)".into(),
+            "S_DB (bytes)".into(),
+            "max size(i) (bytes)".into(),
+            "min size(i) (bytes)".into(),
+            "B_Display audio (bps)".into(),
+            "B_Display video (bps)".into(),
+            "Zipf theta".into(),
+            "f(1) most popular".into(),
+            "f(N) least popular".into(),
+        ],
+        vec![Series::new(
+            "value",
+            vec![
+                stats.clips as f64,
+                stats.total_size.as_f64(),
+                stats.max_clip_size.as_f64(),
+                stats.min_clip_size.as_f64(),
+                paper::AUDIO_BW.as_bps() as f64,
+                paper::VIDEO_BW.as_bps() as f64,
+                THETA,
+                dist.frequency_of_clip(clipcache_media::ClipId::new(1)),
+                dist.frequency_of_clip(clipcache_media::ClipId::new(repo.len() as u32)),
+            ],
+        )],
+    );
+
+    // The S_T values used across the figures.
+    let ratios = [0.0125, 0.05, 0.1, 0.125, 0.2, 0.25, 0.3, 0.5, 0.75];
+    let st = FigureResult::new(
+        "table1_st",
+        "Cache sizes S_T for the figures' S_T/S_DB ratios",
+        "S_T/S_DB",
+        ratios.iter().map(|r| r.to_string()).collect(),
+        vec![Series::new(
+            "S_T (bytes)",
+            ratios
+                .iter()
+                .map(|&r| repo.cache_capacity_for_ratio(r).as_f64())
+                .collect(),
+        )],
+    );
+
+    vec![scalar, st]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_match_the_paper() {
+        let figs = run(&ExperimentContext::default());
+        let t1 = &figs[0];
+        let v = &t1.series[0].values;
+        assert_eq!(v[0], 576.0); // N
+        assert!((v[1] - 596.678_4e9).abs() < 1e6); // S_DB ≈ 596.7 GB
+        assert_eq!(v[2], 3.5e9); // biggest video
+        assert_eq!(v[3], 2.2e6); // smallest audio
+        assert_eq!(v[4], 300_000.0);
+        assert_eq!(v[5], 4_000_000.0);
+        assert_eq!(v[6], 0.27);
+        assert!(v[7] > v[8], "rank 1 must outdraw rank N");
+        // S_T at 0.125 is the 74.6 GB the adaptability figures use.
+        let st = &figs[1];
+        let idx = st.x.iter().position(|x| x == "0.125").unwrap();
+        assert!((st.series[0].values[idx] - 74.584_8e9).abs() < 1e6);
+    }
+}

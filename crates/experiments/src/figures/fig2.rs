@@ -1,0 +1,86 @@
+//! Figure 2: Simple vs LRU-2 vs GreedyDual vs Random on the variable-sized
+//! repository — cache hit rate (2.a) and byte hit rate (2.b) as a function
+//! of `S_T / S_DB`.
+//!
+//! Expected shape (paper):
+//! * Simple gives the highest hit rate at every ratio (it is off-line);
+//! * Simple and GreedyDual beat LRU-2 on hit rate because they are
+//!   size-aware;
+//! * LRU-2 is competitive on *byte* hit rate;
+//! * Random trails everything but also rises with cache size.
+
+use crate::context::ExperimentContext;
+use crate::figures::ratio_sweep;
+use crate::report::FigureResult;
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use std::sync::Arc;
+
+/// The paper's x-axis: `S_T / S_DB` values of Figure 2.
+pub const RATIOS: [f64; 6] = [0.0125, 0.1, 0.2, 0.3, 0.5, 0.75];
+
+/// The four techniques of Figure 2.
+pub fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Simple,
+        PolicyKind::GreedyDual,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Random,
+    ]
+}
+
+/// Run Figure 2 (both panels).
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let (hits, bytes) = ratio_sweep(ctx, &repo, &policies(), &RATIOS, 10_000, 0xF2);
+    let x: Vec<String> = RATIOS.iter().map(|r| r.to_string()).collect();
+    vec![
+        FigureResult::new(
+            "fig2a",
+            "Cache hit rate vs S_T/S_DB (variable-sized clips)",
+            "S_T/S_DB",
+            x.clone(),
+            hits,
+        ),
+        FigureResult::new(
+            "fig2b",
+            "Byte hit rate vs S_T/S_DB (variable-sized clips)",
+            "S_T/S_DB",
+            x,
+            bytes,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper_at_reduced_scale() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let figs = run(&ctx);
+        assert_eq!(figs.len(), 2);
+        let hit = &figs[0];
+        let simple = hit.series_named("Simple").unwrap();
+        let gd = hit.series_named("GreedyDual").unwrap();
+        let lru2 = hit.series_named("LRU-2").unwrap();
+        let random = hit.series_named("Random").unwrap();
+
+        // Hit rate rises with cache size for every technique.
+        for s in [simple, gd, lru2, random] {
+            assert!(
+                s.values.last().unwrap() > s.values.first().unwrap(),
+                "{} should rise with cache size",
+                s.name
+            );
+        }
+        // Size-aware techniques beat LRU-2 on mean hit rate.
+        assert!(simple.mean() > lru2.mean());
+        assert!(gd.mean() > lru2.mean());
+        // Simple dominates Random everywhere.
+        for (s, r) in simple.values.iter().zip(&random.values) {
+            assert!(s >= r, "Simple {s} vs Random {r}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 3: LRU-2 provides a higher cache hit rate than GreedyDual for a
+//! repository of equi-sized clips.
+//!
+//! On equal sizes GreedyDual's priorities collapse (`cost/size` identical
+//! for every clip) and it must break ties randomly, forfeiting recency
+//! information; LRU-2 exploits the last two reference times and wins.
+
+use crate::context::ExperimentContext;
+use crate::figures::ratio_sweep;
+use crate::report::FigureResult;
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use std::sync::Arc;
+
+/// Figure 3 uses the same ratio axis as Figure 2.
+pub const RATIOS: [f64; 6] = [0.0125, 0.1, 0.2, 0.3, 0.5, 0.75];
+
+/// Run Figure 3.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::equi_sized_repository());
+    let policies = [PolicyKind::LruK { k: 2 }, PolicyKind::GreedyDual];
+    let (hits, _) = ratio_sweep(ctx, &repo, &policies, &RATIOS, 10_000, 0xF3);
+    let x: Vec<String> = RATIOS.iter().map(|r| r.to_string()).collect();
+    vec![FigureResult::new(
+        "fig3",
+        "Cache hit rate vs S_T/S_DB (equi-sized clips)",
+        "S_T/S_DB",
+        x,
+        hits,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru2_beats_greedydual_on_equi_sized() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let fig = run(&ctx).remove(0);
+        let lru2 = fig.series_named("LRU-2").unwrap();
+        let gd = fig.series_named("GreedyDual").unwrap();
+        assert!(
+            lru2.mean() > gd.mean(),
+            "LRU-2 {} vs GreedyDual {}",
+            lru2.mean(),
+            gd.mean()
+        );
+        // At the extremes both converge (tiny cache: nothing helps; huge
+        // cache: everything fits), so check mid-range points directly.
+        for i in 1..4 {
+            assert!(
+                lru2.values[i] >= gd.values[i] - 0.02,
+                "mid-range point {i}: LRU-2 {} vs GreedyDual {}",
+                lru2.values[i],
+                gd.values[i]
+            );
+        }
+    }
+}

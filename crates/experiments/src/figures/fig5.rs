@@ -1,0 +1,88 @@
+//! Figure 5: the paper's new techniques against the old ones.
+//!
+//! * 5.a (equi-sized): DYNSimple and IGD recover the hit rate GreedyDual
+//!   loses on equal sizes, matching or beating LRU-2.
+//! * 5.b (variable-sized): DYNSimple(K=32) leads; LRU-S2 and GreedyDual
+//!   are competitive; LRU-2 trails badly.
+
+use crate::context::ExperimentContext;
+use crate::figures::ratio_sweep;
+use crate::report::FigureResult;
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use std::sync::Arc;
+
+/// The x-axis of Figure 5: `S_T / S_DB` from 0.01 to 0.25.
+pub const RATIOS: [f64; 6] = [0.01, 0.05, 0.1, 0.15, 0.2, 0.25];
+
+/// Run Figure 5 (both panels).
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let x: Vec<String> = RATIOS.iter().map(|r| r.to_string()).collect();
+
+    // 5.a — equi-sized repository.
+    let equi = Arc::new(paper::equi_sized_repository());
+    let policies_a = [
+        PolicyKind::DynSimple { k: 32 },
+        PolicyKind::Igd,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::GreedyDual,
+    ];
+    let (hits_a, _) = ratio_sweep(ctx, &equi, &policies_a, &RATIOS, 10_000, 0xF5A);
+
+    // 5.b — variable-sized repository.
+    let var = Arc::new(paper::variable_sized_repository());
+    let policies_b = [
+        PolicyKind::DynSimple { k: 32 },
+        PolicyKind::LruSK { k: 2 },
+        PolicyKind::GreedyDual,
+        PolicyKind::LruK { k: 2 },
+    ];
+    let (hits_b, _) = ratio_sweep(ctx, &var, &policies_b, &RATIOS, 10_000, 0xF5B);
+
+    vec![
+        FigureResult::new(
+            "fig5a",
+            "Cache hit rate vs S_T/S_DB (equi-sized clips)",
+            "S_T/S_DB",
+            x.clone(),
+            hits_a,
+        ),
+        FigureResult::new(
+            "fig5b",
+            "Cache hit rate vs S_T/S_DB (variable-sized clips)",
+            "S_T/S_DB",
+            x,
+            hits_b,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_techniques_fix_greedydual_on_equi_sized() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let figs = run(&ctx);
+        let a = &figs[0];
+        let dyn_s = a.series_named("DYNSimple(K=32)").unwrap();
+        let igd = a.series_named("IGD").unwrap();
+        let gd = a.series_named("GreedyDual").unwrap();
+        assert!(dyn_s.mean() > gd.mean(), "DYNSimple must beat GreedyDual");
+        assert!(igd.mean() > gd.mean(), "IGD must beat GreedyDual");
+    }
+
+    #[test]
+    fn variable_sized_ranking() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let figs = run(&ctx);
+        let b = &figs[1];
+        let dyn_s = b.series_named("DYNSimple(K=32)").unwrap();
+        let lru_s2 = b.series_named("LRU-S2").unwrap();
+        let lru2 = b.series_named("LRU-2").unwrap();
+        // Size-aware techniques clear LRU-2 by a wide margin.
+        assert!(dyn_s.mean() > lru2.mean() + 0.05);
+        assert!(lru_s2.mean() > lru2.mean() + 0.05);
+    }
+}

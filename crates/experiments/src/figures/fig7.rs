@@ -1,0 +1,90 @@
+//! Figure 7: IGD vs GreedyDual-Freq vs GreedyDual under evolving access
+//! patterns (`S_T/S_DB` = 0.125, variable-sized repository).
+//!
+//! * 7.a — theoretical hit rate over shift-ids: IGD beats GreedyDual-Freq
+//!   whenever g > 0, because GreedyDual-Freq's reference counts grow
+//!   monotonically while IGD's age away; GreedyDual-Freq can even fall
+//!   below plain GreedyDual.
+//! * 7.b — windowed hit rate over a 20,000-request run whose pattern
+//!   shifts at 10,000: GreedyDual-Freq matches IGD while the pattern is
+//!   fixed (first half) but recovers more slowly after the shift.
+
+use crate::context::ExperimentContext;
+use crate::figures::{adaptivity_sweep, windowed_adaptivity};
+use crate::report::FigureResult;
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use std::sync::Arc;
+
+/// The shift-ids of Figure 7.a (same as 6.a).
+pub const SHIFTS: [usize; 6] = [0, 100, 200, 300, 400, 500];
+
+/// Run Figure 7 (both panels).
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let policies = [PolicyKind::Igd, PolicyKind::GdFreq, PolicyKind::GreedyDual];
+
+    let series_a = adaptivity_sweep(ctx, &repo, &policies, &SHIFTS, 10_000, 0xF7A);
+    let x_a: Vec<String> = SHIFTS.iter().map(|g| g.to_string()).collect();
+
+    let (x_b, series_b) =
+        windowed_adaptivity(ctx, &repo, &policies, &[(10_000, 0), (10_000, 200)], 0xF7B);
+
+    vec![
+        FigureResult::new(
+            "fig7a",
+            "Theoretical cache hit rate vs shift-id g (S_T/S_DB = 0.125)",
+            "shift g",
+            x_a,
+            series_a,
+        ),
+        FigureResult::new(
+            "fig7b",
+            "Cache hit rate per 100 requests across a pattern shift at 10,000",
+            "request",
+            x_b,
+            series_b,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn igd_adapts_better_than_gd_freq() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let figs = run(&ctx);
+        let a = &figs[0];
+        let igd = a.series_named("IGD").unwrap();
+        let gdf = a.series_named("GreedyDual-Freq").unwrap();
+        // GreedyDual-Freq is strongest while the pattern is fresh (g = 0)
+        // and decays as shifts accumulate; IGD holds steady. The claim we
+        // pin is the *relative* one: IGD's margin over GreedyDual-Freq
+        // improves from the first phase to the last two.
+        let gap_start = igd.values[0] - gdf.values[0];
+        let gap_end = (igd.values[4] - gdf.values[4] + igd.values[5] - gdf.values[5]) / 2.0;
+        assert!(
+            gap_end > gap_start,
+            "IGD margin must improve under shifts: start {gap_start}, end {gap_end}"
+        );
+    }
+
+    #[test]
+    fn gd_freq_competitive_before_shift() {
+        let ctx = ExperimentContext::at_scale(0.1);
+        let figs = run(&ctx);
+        let b = &figs[1];
+        let igd = b.series_named("IGD").unwrap();
+        let gdf = b.series_named("GreedyDual-Freq").unwrap();
+        let half = igd.values.len() / 2;
+        // Stable first half: the two are close (within 10 points).
+        let igd_first = igd.values[half / 2..half].iter().sum::<f64>() / (half - half / 2) as f64;
+        let gdf_first = gdf.values[half / 2..half].iter().sum::<f64>() / (half - half / 2) as f64;
+        assert!(
+            (igd_first - gdf_first).abs() < 0.10,
+            "first half: IGD {igd_first} vs GDF {gdf_first}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! # clipcache-experiments
+//!
+//! Reproduces every table and figure of the paper's evaluation, plus the
+//! textual claims DESIGN.md indexes as extension experiments.
+//!
+//! Each figure lives in its own module under [`figures`] and returns
+//! [`report::FigureResult`] values — named series over an x-axis — which
+//! render as text tables (the `repro` binary) and CSV files (for
+//! EXPERIMENTS.md and plotting).
+//!
+//! All experiments are deterministic: workload seeds are fixed per figure,
+//! and policy-internal randomness is seeded from the experiment context.
+//!
+//! ## Scale
+//!
+//! `ExperimentContext::scale` multiplies every request count. `1.0` is the
+//! paper's scale (10,000 requests per data point); integration tests and
+//! benches use smaller scales for speed. Hit-rate *shapes* are stable well
+//! below full scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod context;
+pub mod custom;
+pub mod extras;
+pub mod figures;
+pub mod report;
+
+pub use context::ExperimentContext;
+pub use report::{FigureResult, Series};
+
+/// Every experiment id the `repro` binary understands, in run order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "quality",
+    "ksweep",
+    "skew",
+    "bypass",
+    "blocks",
+    "equivalence",
+    "latency",
+    "region",
+    "retention",
+    "coop",
+    "objectives",
+    "mattson",
+    "variance",
+    "composition",
+    "streaming",
+    "locality",
+    "loglaw",
+    "sizes",
+    "ablation",
+    "restart",
+    "fleet",
+    "optimality",
+];
+
+/// One-line description per experiment id (for `repro --list`).
+pub fn describe(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "table1" => "Table 1 instantiated: repository and workload parameters",
+        "fig2" => "Fig 2: Simple/GreedyDual/LRU-2/Random, hit + byte hit rate (variable sizes)",
+        "fig3" => "Fig 3: LRU-2 beats GreedyDual on equi-sized clips",
+        "fig5" => "Fig 5: DYNSimple/IGD/LRU-SK vs the prior techniques, both repositories",
+        "fig6" => "Fig 6: adaptability to shift-ids; theoretical + windowed hit rates",
+        "fig7" => "Fig 7: IGD vs GreedyDual-Freq vs GreedyDual under shifts",
+        "quality" => "S4.1: frequency-estimate quality vs K",
+        "ksweep" => "S4.4: DYNSimple and LRU-SK hit rate vs history depth K",
+        "skew" => "S4.4.1: hit rates vs Zipf theta (skewed to uniform)",
+        "bypass" => "S3.3/S2: always-materialize vs bypass admission (Simple and DYNSimple)",
+        "blocks" => "footnote 3: block-partitioned LRU-2 vs DYNSimple",
+        "equivalence" => "S4.4: DYNSimple(K=2) vs LRU-S2 hit-rate gap",
+        "latency" => "S1 metric: startup latency/unavailability across the FMC day",
+        "region" => "S1 metric: round-based regional throughput vs cache size",
+        "retention" => "S4.1/S5: metadata-retention horizon (5-minute-rule direction)",
+        "coop" => "S5: cooperative ad-hoc caching; radio radius + coordinated placement",
+        "objectives" => "S1/S3.2: hit-rate vs byte-hit vs latency cost objectives",
+        "mattson" => "cross-check: stack-distance-predicted vs simulated LRU curves",
+        "variance" => "seed robustness of the headline orderings (5 seeds)",
+        "composition" => "mechanism: per-media residency and hit rates per policy",
+        "streaming" => "continuous-time DES region: denial/throughput over a simulated day",
+        "locality" => "robustness: LRU-stack temporal locality vs the paper's IRM",
+        "loglaw" => "S5: log law + equivalent-cache-size multiplier of the better algorithm",
+        "sizes" => "robustness: lognormal (heavy-tailed) size spreads vs the six-class pattern",
+        "ablation" => "ablations: IGD nref normalization; DYNSimple two-pass victim selection",
+        "restart" => "device restart: snapshot/restore residency, relearn metadata",
+        "fleet" => "adoption curve: regional throughput as devices upgrade LRU-2 -> DYNSimple",
+        "optimality" => "distance to Belady's clairvoyant MIN on equi-sized clips",
+        _ => return None,
+    })
+}
+
+/// Run one experiment by id.
+///
+/// Returns the figure results, or `None` for an unknown id.
+pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<FigureResult>> {
+    let results = match id {
+        "fig2" => figures::fig2::run(ctx),
+        "fig3" => figures::fig3::run(ctx),
+        "fig5" => figures::fig5::run(ctx),
+        "fig6" => figures::fig6::run(ctx),
+        "fig7" => figures::fig7::run(ctx),
+        "quality" => extras::quality::run(ctx),
+        "ksweep" => extras::ksweep::run(ctx),
+        "skew" => extras::skew::run(ctx),
+        "bypass" => extras::bypass::run(ctx),
+        "blocks" => extras::blocks::run(ctx),
+        "equivalence" => extras::equivalence::run(ctx),
+        "latency" => extras::latency::run(ctx),
+        "region" => extras::region::run(ctx),
+        "retention" => extras::retention::run(ctx),
+        "coop" => extras::coop::run(ctx),
+        "objectives" => extras::objectives::run(ctx),
+        "mattson" => extras::mattson::run(ctx),
+        "variance" => extras::variance::run(ctx),
+        "table1" => extras::table1::run(ctx),
+        "composition" => extras::composition::run(ctx),
+        "streaming" => extras::streaming::run(ctx),
+        "locality" => extras::locality::run(ctx),
+        "loglaw" => extras::loglaw::run(ctx),
+        "sizes" => extras::sizes::run(ctx),
+        "ablation" => extras::ablation::run(ctx),
+        "restart" => extras::restart::run(ctx),
+        "fleet" => extras::fleet::run(ctx),
+        "optimality" => extras::optimality::run(ctx),
+        _ => return None,
+    };
+    Some(results)
+}

@@ -1,0 +1,211 @@
+//! End-to-end tests of the three binaries: real processes, real argv,
+//! real files — the full `tracegen → simulate → repro` workflow a user
+//! runs. Cargo exposes each binary's path via `CARGO_BIN_EXE_*`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin(name: &str) -> Command {
+    let path = match name {
+        "repro" => env!("CARGO_BIN_EXE_repro"),
+        "simulate" => env!("CARGO_BIN_EXE_simulate"),
+        "tracegen" => env!("CARGO_BIN_EXE_tracegen"),
+        other => panic!("unknown binary {other}"),
+    };
+    Command::new(path)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("clipcache-e2e-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn tracegen_then_simulate_round_trip() {
+    let trace = tmp("trace.txt");
+    let out = bin("tracegen")
+        .args([
+            "gen",
+            "--clips",
+            "64",
+            "--requests",
+            "500",
+            "--seed",
+            "3",
+            "--format",
+            "text",
+            "--out",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("tracegen runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin("simulate")
+        .args(["--policy", "dynsimple:2", "--clips", "64", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("simulate runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hit rate:"), "{stdout}");
+    assert!(stdout.contains("requests:      500"), "{stdout}");
+
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn tracegen_info_reports_mattson_curve() {
+    let trace = tmp("info.json");
+    assert!(bin("tracegen")
+        .args(["gen", "--clips", "32", "--requests", "300", "--out"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin("tracegen").arg("info").arg(&trace).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cold misses:"), "{stdout}");
+    assert!(
+        stdout.contains("Mattson-predicted LRU hit rate:"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn simulate_snapshot_restore_cycle() {
+    let snap = tmp("snap.json");
+    assert!(bin("simulate")
+        .args([
+            "--policy",
+            "lru-2",
+            "--clips",
+            "48",
+            "--requests",
+            "400",
+            "--snapshot-out",
+        ])
+        .arg(&snap)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin("simulate")
+        .args([
+            "--policy",
+            "lru-2",
+            "--clips",
+            "48",
+            "--requests",
+            "400",
+            "--restore",
+        ])
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("restored"));
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn simulate_comparison_mode_prints_all_policies() {
+    let out = bin("simulate")
+        .args([
+            "--policy",
+            "dynsimple:2,lru-2,random",
+            "--clips",
+            "48",
+            "--requests",
+            "300",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["DYNSimple(K=2)", "LRU-2", "Random"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn repro_runs_one_experiment_and_writes_outputs() {
+    let dir = tmp("results");
+    let out = bin("repro")
+        .args(["--scale", "0.02", "--out"])
+        .arg(&dir)
+        .arg("fig3")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fig3"));
+    assert!(dir.join("fig3.csv").exists());
+    assert!(dir.join("fig3.md").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_custom_sweep_from_json() {
+    let cfg = tmp("sweep.json");
+    std::fs::write(
+        &cfg,
+        r#"{
+            "id": "e2e",
+            "title": "e2e sweep",
+            "repository": { "kind": "equi", "clips": 24, "size_mb": 100 },
+            "policies": ["lru", "random"],
+            "ratios": [0.25],
+            "requests": 200,
+            "seed": 1
+        }"#,
+    )
+    .unwrap();
+    let out = bin("repro").arg("--custom").arg(&cfg).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("e2e_hit"));
+    assert!(stdout.contains("LRU"));
+    let _ = std::fs::remove_file(&cfg);
+}
+
+#[test]
+fn binaries_reject_bad_input_with_nonzero_exit() {
+    assert!(!bin("simulate")
+        .args(["--policy", "made-up-policy"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(!bin("repro")
+        .arg("no-such-experiment")
+        .status()
+        .unwrap()
+        .success());
+    assert!(!bin("tracegen")
+        .arg("bogus-subcommand")
+        .status()
+        .unwrap()
+        .success());
+}

@@ -1,0 +1,53 @@
+//! Error types for repository construction.
+
+use std::fmt;
+
+/// Errors raised while building or validating a repository.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MediaError {
+    /// The repository would contain no clips.
+    EmptyRepository,
+    /// A clip was declared with zero size.
+    ZeroSizedClip {
+        /// The 1-based id of the offending clip.
+        id: u32,
+    },
+    /// A duplicate clip id was added.
+    DuplicateClip {
+        /// The 1-based id of the offending clip.
+        id: u32,
+    },
+}
+
+impl fmt::Display for MediaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaError::EmptyRepository => write!(f, "repository contains no clips"),
+            MediaError::ZeroSizedClip { id } => write!(f, "clip#{id} has zero size"),
+            MediaError::DuplicateClip { id } => write!(f, "clip#{id} added twice"),
+        }
+    }
+}
+
+impl std::error::Error for MediaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            MediaError::EmptyRepository.to_string(),
+            "repository contains no clips"
+        );
+        assert_eq!(
+            MediaError::ZeroSizedClip { id: 9 }.to_string(),
+            "clip#9 has zero size"
+        );
+        assert_eq!(
+            MediaError::DuplicateClip { id: 2 }.to_string(),
+            "clip#2 added twice"
+        );
+    }
+}

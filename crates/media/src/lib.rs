@@ -1,0 +1,38 @@
+//! # clipcache-media
+//!
+//! The clip and repository model underlying the clipcache workspace.
+//!
+//! The paper ("Greedy Cache Management Techniques for Mobile Devices",
+//! Ghandeharizadeh & Shayandeh, ICDE 2007) studies caching of a repository
+//! of *continuous media* clips: audio and video objects with a byte size and
+//! a display-bandwidth requirement. This crate models:
+//!
+//! * [`ClipId`] — the identity of a clip (1-based, matching the paper's
+//!   numbering of clips 1..=576),
+//! * [`Clip`] — a clip's immutable attributes (size, media type, display
+//!   bandwidth, display duration),
+//! * [`Repository`] — the full server-side database of clips, with the
+//!   aggregate statistics the paper's Table 1 defines (`S_DB`, clip count),
+//! * [`RepositoryBuilder`] — general construction,
+//! * [`paper`] — the two exact repositories used by the paper's evaluation
+//!   (576 mixed variable-sized clips; 576 equi-sized clips).
+//!
+//! Everything here is plain data: no interior mutability, no I/O. The
+//! workload generator and the cache policies consume repositories by shared
+//! reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod clip;
+pub mod error;
+pub mod paper;
+pub mod repository;
+pub mod units;
+
+pub use catalog::CatalogStats;
+pub use clip::{Clip, ClipId, MediaType};
+pub use error::MediaError;
+pub use repository::{Repository, RepositoryBuilder};
+pub use units::{Bandwidth, ByteSize, Duration, GB, KB, MB};

@@ -1,0 +1,168 @@
+//! The exact repositories used by the paper's evaluation (Section 3.3).
+//!
+//! > "The repository consists of 576 clips. Half are audio clips and the
+//! > other half are video clips with display bandwidth requirement of
+//! > 300 Kbps and 4 Mbps, respectively. The database consists of 3 different
+//! > clip sizes for each media type. With video, clips have a display time
+//! > of 2 hours, 60 minutes, and 30 minutes. The size of these clips are
+//! > 3.5 GB, 1.8 GB, and 0.9 GB, respectively. With audio, clip display
+//! > times are 4 minutes (8.8 MB), 2 minutes (4.4 MB), and 1 minute
+//! > (2.2 MB). We number clips from 1 to 576. ... Odd numbered clips are
+//! > video and even numbered clips are audio. Clips are assigned in
+//! > descending size order in a round-robin manner. Thus, the pattern of
+//! > clip sizes is 3.5 GB, 8.8 MB, 1.8 GB, 4.4 MB, 0.9 GB, and 2.2 MB."
+
+use crate::clip::MediaType;
+use crate::repository::{Repository, RepositoryBuilder};
+use crate::units::{Bandwidth, ByteSize, Duration};
+
+/// Number of clips in the paper's repositories.
+pub const PAPER_CLIP_COUNT: usize = 576;
+
+/// The paper's Zipfian parameter ("a Zipfian distribution with a mean of
+/// 0.27"); see the workload crate's Zipf module for the
+/// parameterization.
+pub const PAPER_ZIPF_THETA: f64 = 0.27;
+
+/// Video display rate: 4 Mbps.
+pub const VIDEO_BW: Bandwidth = Bandwidth(4_000_000);
+/// Audio display rate: 300 Kbps.
+pub const AUDIO_BW: Bandwidth = Bandwidth(300_000);
+
+/// The three video (size, duration) classes, descending by size.
+pub const VIDEO_CLASSES: [(ByteSize, Duration); 3] = [
+    (ByteSize(3_500_000_000), Duration(2 * 3600)),
+    (ByteSize(1_800_000_000), Duration(3600)),
+    (ByteSize(900_000_000), Duration(1800)),
+];
+
+/// The three audio (size, duration) classes, descending by size.
+pub const AUDIO_CLASSES: [(ByteSize, Duration); 3] = [
+    (ByteSize(8_800_000), Duration(4 * 60)),
+    (ByteSize(4_400_000), Duration(2 * 60)),
+    (ByteSize(2_200_000), Duration(60)),
+];
+
+/// Build the paper's variable-sized repository of 576 clips.
+///
+/// Clip 1 is a 3.5 GB video, clip 2 an 8.8 MB audio, clip 3 a 1.8 GB video,
+/// clip 4 a 4.4 MB audio, clip 5 a 0.9 GB video, clip 6 a 2.2 MB audio, and
+/// the six-clip pattern repeats 96 times.
+pub fn variable_sized_repository() -> Repository {
+    variable_sized_repository_of(PAPER_CLIP_COUNT)
+}
+
+/// The variable-sized pattern truncated/extended to `n` clips (useful for
+/// fast tests). `n` must be > 0.
+pub fn variable_sized_repository_of(n: usize) -> Repository {
+    assert!(n > 0, "repository must hold at least one clip");
+    let mut b = RepositoryBuilder::new();
+    for i in 0..n {
+        // Positions 0,2,4 in each six-clip pattern are video classes 0,1,2;
+        // positions 1,3,5 are audio classes 0,1,2.
+        let pos = i % 6;
+        let class = pos / 2;
+        b = if pos % 2 == 0 {
+            let (size, dur) = VIDEO_CLASSES[class];
+            b.push_with_duration(MediaType::Video, size, VIDEO_BW, dur)
+        } else {
+            let (size, dur) = AUDIO_CLASSES[class];
+            b.push_with_duration(MediaType::Audio, size, AUDIO_BW, dur)
+        };
+    }
+    b.build()
+        .expect("paper repository is valid by construction")
+}
+
+/// Build the paper's equi-sized repository: 576 clips of identical size.
+///
+/// The paper does not state the common size (only hit *rate* matters, and it
+/// depends only on the cache/database ratio); we default to 1 GB video clips.
+pub fn equi_sized_repository() -> Repository {
+    equi_sized_repository_of(PAPER_CLIP_COUNT, ByteSize::gb(1))
+}
+
+/// An equi-sized repository with explicit clip count and size.
+pub fn equi_sized_repository_of(n: usize, size: ByteSize) -> Repository {
+    assert!(n > 0, "repository must hold at least one clip");
+    RepositoryBuilder::new()
+        .push_uniform(n, MediaType::Video, size, VIDEO_BW)
+        .build()
+        .expect("equi-sized repository is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clip::ClipId;
+
+    #[test]
+    fn paper_repo_shape() {
+        let r = variable_sized_repository();
+        assert_eq!(r.len(), 576);
+        let video = r.iter().filter(|c| c.media == MediaType::Video).count();
+        let audio = r.iter().filter(|c| c.media == MediaType::Audio).count();
+        assert_eq!(video, 288);
+        assert_eq!(audio, 288);
+    }
+
+    #[test]
+    fn paper_repo_pattern() {
+        let r = variable_sized_repository();
+        let expect = [
+            ByteSize(3_500_000_000),
+            ByteSize(8_800_000),
+            ByteSize(1_800_000_000),
+            ByteSize(4_400_000),
+            ByteSize(900_000_000),
+            ByteSize(2_200_000),
+        ];
+        for i in 0..12 {
+            assert_eq!(
+                r.clip(ClipId::from_index(i)).size,
+                expect[i % 6],
+                "clip index {i}"
+            );
+        }
+        // Odd ids are video, even ids audio (ids are 1-based).
+        assert_eq!(r.clip(ClipId::new(1)).media, MediaType::Video);
+        assert_eq!(r.clip(ClipId::new(2)).media, MediaType::Audio);
+        assert_eq!(r.clip(ClipId::new(575)).media, MediaType::Video);
+        assert_eq!(r.clip(ClipId::new(576)).media, MediaType::Audio);
+    }
+
+    #[test]
+    fn paper_repo_total_size() {
+        // 96 * (3.5 + 1.8 + 0.9) GB + 96 * (8.8 + 4.4 + 2.2) MB
+        let r = variable_sized_repository();
+        let expect = 96 * (3_500_000_000u64 + 1_800_000_000 + 900_000_000)
+            + 96 * (8_800_000 + 4_400_000 + 2_200_000);
+        assert_eq!(r.total_size(), ByteSize::bytes(expect));
+        // ≈ 596.7 GB as stated in DESIGN.md.
+        assert!((r.total_size().as_f64() / 1e9 - 596.68).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_repo_durations() {
+        let r = variable_sized_repository();
+        assert_eq!(r.clip(ClipId::new(1)).duration, Duration::hours(2));
+        assert_eq!(r.clip(ClipId::new(2)).duration, Duration::mins(4));
+        assert_eq!(r.clip(ClipId::new(5)).duration, Duration::mins(30));
+    }
+
+    #[test]
+    fn equi_repo_shape() {
+        let r = equi_sized_repository();
+        assert_eq!(r.len(), 576);
+        assert!(r.iter().all(|c| c.size == ByteSize::gb(1)));
+        assert_eq!(r.total_size(), ByteSize::gb(576));
+        assert_eq!(r.max_clip_size(), ByteSize::gb(1));
+    }
+
+    #[test]
+    fn truncated_repo() {
+        let r = variable_sized_repository_of(10);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.clip(ClipId::new(7)).size, ByteSize(3_500_000_000));
+    }
+}

@@ -1,0 +1,289 @@
+//! The clip repository (`S_DB` in the paper's Table 1).
+
+use crate::clip::{Clip, ClipId, MediaType};
+use crate::error::MediaError;
+use crate::units::{Bandwidth, ByteSize, Duration};
+use serde::{Deserialize, Serialize};
+
+/// The server-side database of clips.
+///
+/// Clips are stored densely, indexed by [`ClipId::index`]. The repository is
+/// immutable after construction; policies and workload generators borrow it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Repository {
+    clips: Vec<Clip>,
+    total_size: ByteSize,
+    max_clip_size: ByteSize,
+    max_display_bandwidth: Bandwidth,
+}
+
+impl Repository {
+    /// Build a repository from a dense clip list (ids must be 1..=n in order).
+    ///
+    /// Use [`RepositoryBuilder`] for incremental construction with
+    /// validation.
+    pub fn from_clips(clips: Vec<Clip>) -> Result<Self, MediaError> {
+        if clips.is_empty() {
+            return Err(MediaError::EmptyRepository);
+        }
+        for (i, c) in clips.iter().enumerate() {
+            if c.id.index() != i {
+                return Err(MediaError::DuplicateClip { id: c.id.get() });
+            }
+            if c.size == ByteSize::ZERO {
+                return Err(MediaError::ZeroSizedClip { id: c.id.get() });
+            }
+        }
+        let total_size = clips.iter().map(|c| c.size).sum();
+        let max_clip_size = clips.iter().map(|c| c.size).max().unwrap_or(ByteSize::ZERO);
+        let max_display_bandwidth = clips
+            .iter()
+            .map(|c| c.display_bandwidth)
+            .max()
+            .unwrap_or(Bandwidth::ZERO);
+        Ok(Repository {
+            clips,
+            total_size,
+            max_clip_size,
+            max_display_bandwidth,
+        })
+    }
+
+    /// Number of clips (`N` in Table 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// True when the repository holds no clips (never true post-construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+
+    /// Total database size `S_DB = Σ size(i)`.
+    #[inline]
+    pub fn total_size(&self) -> ByteSize {
+        self.total_size
+    }
+
+    /// The largest single clip. The paper assumes the cache exceeds this.
+    #[inline]
+    pub fn max_clip_size(&self) -> ByteSize {
+        self.max_clip_size
+    }
+
+    /// The highest display-bandwidth requirement across clips.
+    #[inline]
+    pub fn max_display_bandwidth(&self) -> Bandwidth {
+        self.max_display_bandwidth
+    }
+
+    /// Look up a clip. Panics if `id` is out of range — ids come from the
+    /// workload generator which is constructed against this repository.
+    #[inline]
+    pub fn clip(&self, id: ClipId) -> &Clip {
+        &self.clips[id.index()]
+    }
+
+    /// Look up a clip, returning `None` when out of range.
+    #[inline]
+    pub fn get(&self, id: ClipId) -> Option<&Clip> {
+        self.clips.get(id.index())
+    }
+
+    /// Size of a clip in bytes.
+    #[inline]
+    pub fn size_of(&self, id: ClipId) -> ByteSize {
+        self.clip(id).size
+    }
+
+    /// Iterate over all clips in id order.
+    #[inline]
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Clip> {
+        self.clips.iter()
+    }
+
+    /// Iterate over all clip ids in order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = ClipId> + '_ {
+        (0..self.clips.len()).map(ClipId::from_index)
+    }
+
+    /// Derive a cache capacity `S_T` from a `S_T / S_DB` ratio.
+    #[inline]
+    pub fn cache_capacity_for_ratio(&self, ratio: f64) -> ByteSize {
+        self.total_size.scale(ratio)
+    }
+}
+
+/// Incremental, validating repository construction.
+///
+/// ```
+/// use clipcache_media::{RepositoryBuilder, MediaType, ByteSize, Bandwidth};
+///
+/// let repo = RepositoryBuilder::new()
+///     .push(MediaType::Video, ByteSize::gb(1), Bandwidth::mbps(4))
+///     .push(MediaType::Audio, ByteSize::mb(9), Bandwidth::kbps(300))
+///     .build()
+///     .unwrap();
+/// assert_eq!(repo.len(), 2);
+/// assert_eq!(repo.total_size(), ByteSize::bytes(1_009_000_000));
+/// ```
+#[derive(Debug, Default)]
+pub struct RepositoryBuilder {
+    clips: Vec<Clip>,
+}
+
+impl RepositoryBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a clip; the id is assigned sequentially (1-based) and the
+    /// duration derived from size and display rate.
+    pub fn push(mut self, media: MediaType, size: ByteSize, bw: Bandwidth) -> Self {
+        let id = ClipId::from_index(self.clips.len());
+        self.clips
+            .push(Clip::with_derived_duration(id, media, size, bw));
+        self
+    }
+
+    /// Append a clip with an explicit duration.
+    pub fn push_with_duration(
+        mut self,
+        media: MediaType,
+        size: ByteSize,
+        bw: Bandwidth,
+        duration: Duration,
+    ) -> Self {
+        let id = ClipId::from_index(self.clips.len());
+        self.clips.push(Clip::new(id, media, size, bw, duration));
+        self
+    }
+
+    /// Append `n` identical clips.
+    pub fn push_uniform(
+        mut self,
+        n: usize,
+        media: MediaType,
+        size: ByteSize,
+        bw: Bandwidth,
+    ) -> Self {
+        for _ in 0..n {
+            let id = ClipId::from_index(self.clips.len());
+            self.clips
+                .push(Clip::with_derived_duration(id, media, size, bw));
+        }
+        self
+    }
+
+    /// Number of clips added so far.
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// True when no clips have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+
+    /// Finalize and validate.
+    pub fn build(self) -> Result<Repository, MediaError> {
+        Repository::from_clips(self.clips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_repo() -> Repository {
+        RepositoryBuilder::new()
+            .push(MediaType::Video, ByteSize::gb(2), Bandwidth::mbps(4))
+            .push(MediaType::Audio, ByteSize::mb(5), Bandwidth::kbps(300))
+            .push(MediaType::Video, ByteSize::gb(1), Bandwidth::mbps(4))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn totals_and_max() {
+        let r = small_repo();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_size(), ByteSize::bytes(3_005_000_000));
+        assert_eq!(r.max_clip_size(), ByteSize::gb(2));
+        assert_eq!(r.max_display_bandwidth(), Bandwidth::mbps(4));
+    }
+
+    #[test]
+    fn lookup() {
+        let r = small_repo();
+        assert_eq!(r.clip(ClipId::new(2)).media, MediaType::Audio);
+        assert_eq!(r.size_of(ClipId::new(3)), ByteSize::gb(1));
+        assert!(r.get(ClipId::new(4)).is_none());
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let r = small_repo();
+        let ids: Vec<u32> = r.ids().map(|i| i.get()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cache_capacity_ratio() {
+        let r = small_repo();
+        let cap = r.cache_capacity_for_ratio(0.5);
+        assert_eq!(cap, ByteSize::bytes(1_502_500_000));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            RepositoryBuilder::new().build().unwrap_err(),
+            MediaError::EmptyRepository
+        );
+    }
+
+    #[test]
+    fn zero_sized_rejected() {
+        let err = RepositoryBuilder::new()
+            .push(MediaType::Audio, ByteSize::ZERO, Bandwidth::kbps(300))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, MediaError::ZeroSizedClip { id: 1 });
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let clips = vec![Clip::with_derived_duration(
+            ClipId::new(2),
+            MediaType::Audio,
+            ByteSize::mb(1),
+            Bandwidth::kbps(300),
+        )];
+        assert_eq!(
+            Repository::from_clips(clips).unwrap_err(),
+            MediaError::DuplicateClip { id: 2 }
+        );
+    }
+
+    #[test]
+    fn push_uniform_appends_identical_clips() {
+        let r = RepositoryBuilder::new()
+            .push_uniform(4, MediaType::Video, ByteSize::gb(1), Bandwidth::mbps(4))
+            .build()
+            .unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|c| c.size == ByteSize::gb(1)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = small_repo();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Repository = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,139 @@
+//! A mobile device: a cache plus a connectivity schedule.
+//!
+//! Devices are the unit of the region-throughput simulation
+//! ([`crate::region`]): each device services hits from its own cache and
+//! competes for base-station bandwidth on misses.
+
+use crate::latency::{LatencyModel, StartupLatency};
+use crate::metrics::HitStats;
+use crate::network::ConnectivitySchedule;
+use clipcache_core::{AccessOutcome, ClipCache};
+use clipcache_media::Repository;
+use clipcache_workload::{Request, RequestGenerator};
+use std::sync::Arc;
+
+/// A simulated mobile device.
+pub struct Device {
+    /// Stable identifier within a region.
+    pub id: usize,
+    repo: Arc<Repository>,
+    cache: Box<dyn ClipCache>,
+    workload: RequestGenerator,
+    connectivity: ConnectivitySchedule,
+    latency_model: LatencyModel,
+    /// Per-device hit statistics.
+    pub stats: HitStats,
+    issued: u64,
+}
+
+impl Device {
+    /// Create a device with its own cache and workload.
+    pub fn new(
+        id: usize,
+        repo: Arc<Repository>,
+        cache: Box<dyn ClipCache>,
+        workload: RequestGenerator,
+        connectivity: ConnectivitySchedule,
+    ) -> Self {
+        Device {
+            id,
+            repo,
+            cache,
+            workload,
+            connectivity,
+            latency_model: LatencyModel::default(),
+            stats: HitStats::new(),
+            issued: 0,
+        }
+    }
+
+    /// The device's cache (for inspection).
+    pub fn cache(&self) -> &dyn ClipCache {
+        self.cache.as_ref()
+    }
+
+    /// Issue the next request against the local cache only.
+    ///
+    /// Returns `None` when the workload is exhausted; otherwise the
+    /// request, whether it hit, and the display bandwidth a miss would
+    /// need to reserve.
+    pub fn next_request(&mut self) -> Option<DeviceRequest> {
+        let req = self.workload.next()?;
+        self.issued += 1;
+        let clip = *self.repo.clip(req.clip);
+        let outcome = self.cache.access(req.clip, req.at);
+        let hit = outcome.is_hit();
+        let evictions = match &outcome {
+            AccessOutcome::Hit => 0,
+            AccessOutcome::Miss { evicted, .. } => evicted.len(),
+        };
+        self.stats.record(hit, clip.size, evictions);
+        let link = self.connectivity.link_at(self.issued);
+        let latency = if hit {
+            self.latency_model.cache_hit_latency(&clip)
+        } else {
+            self.latency_model.network_latency(&clip, link)
+        };
+        Some(DeviceRequest {
+            device: self.id,
+            request: req,
+            hit,
+            display_bandwidth: clip.display_bandwidth,
+            connected: link.is_connected(),
+            latency,
+        })
+    }
+}
+
+/// One device-issued request, annotated for the region simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceRequest {
+    /// The issuing device.
+    pub device: usize,
+    /// The underlying clip request.
+    pub request: Request,
+    /// Whether the device's own cache serviced it.
+    pub hit: bool,
+    /// Bandwidth a network stream must reserve.
+    pub display_bandwidth: clipcache_media::Bandwidth,
+    /// Whether the device currently has any link.
+    pub connected: bool,
+    /// Startup latency under the device's own link (ignoring contention).
+    pub latency: StartupLatency,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ConnectivitySchedule, NetworkLink};
+    use clipcache_core::PolicyKind;
+    use clipcache_media::paper;
+
+    #[test]
+    fn device_issues_and_counts() {
+        let repo = Arc::new(paper::variable_sized_repository_of(12));
+        let cache = PolicyKind::Lru.build(
+            Arc::clone(&repo),
+            repo.cache_capacity_for_ratio(0.3),
+            1,
+            None,
+        );
+        let gen = RequestGenerator::new(12, 0.27, 0, 50, 9);
+        let mut dev = Device::new(
+            0,
+            repo,
+            cache,
+            gen,
+            ConnectivitySchedule::always(NetworkLink::wifi_default()),
+        );
+        let mut seen = 0;
+        while let Some(r) = dev.next_request() {
+            seen += 1;
+            assert!(r.connected);
+            assert!(r.latency.secs().is_some());
+        }
+        assert_eq!(seen, 50);
+        assert_eq!(dev.stats.requests(), 50);
+        assert!(dev.stats.hits > 0, "a 30% cache must produce some hits");
+    }
+}

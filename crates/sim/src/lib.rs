@@ -1,0 +1,43 @@
+//! # clipcache-sim
+//!
+//! The client/server simulation substrate of the clipcache workspace.
+//!
+//! The paper evaluates caching techniques with a trace-driven simulation:
+//! a server holding the full repository streams clips to a single client
+//! whose cache is a fraction of the repository size, and the client's
+//! observed **cache hit rate** is the headline metric. Section 1 also
+//! defines four further metrics — byte hit rate, processor/network
+//! utilization, average startup latency, and the throughput of a
+//! geographical region — which this crate models:
+//!
+//! * [`metrics`] — hit/byte-hit accounting, windowed hit-rate series
+//!   (Figures 6.b/7.b) and the *theoretical hit rate* (Figure 6.a),
+//! * [`runner`] — replay a reference string against any
+//!   [`ClipCache`](clipcache_core::ClipCache) and collect a
+//!   [`runner::SimulationReport`],
+//! * [`network`] — Wi-Fi / cellular / disconnected links with the
+//!   bandwidth ranges Section 1 quotes,
+//! * [`latency`] — the startup-latency model with the prefetch formula of
+//!   Ghandeharizadeh–Dashti–Shahabi \[10\],
+//! * [`station`] — a base station with bandwidth reservation and admission
+//!   control,
+//! * [`device`] / [`region`] — multi-device regional throughput: each
+//!   device services hits locally and competes for base-station bandwidth
+//!   on misses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coop;
+pub mod des;
+pub mod device;
+pub mod latency;
+pub mod metrics;
+pub mod network;
+pub mod region;
+pub mod runner;
+pub mod station;
+
+pub use metrics::{HitStats, WindowedSeries};
+pub use network::{LinkKind, NetworkLink};
+pub use runner::{simulate, SimulationConfig, SimulationReport};

@@ -1,0 +1,45 @@
+//! # clipcache-workload
+//!
+//! Deterministic request generation for the clipcache simulator.
+//!
+//! The paper's evaluation drives a single client with a reference string of
+//! clip requests drawn from "a Zipfian distribution with a mean of 0.27"
+//! (the movie-ticket parameterization of Dan et al.), optionally shifted by
+//! a *shift-id* `g` to model evolving access patterns (Section 4.4.1). All
+//! random number generators are seeded so that every policy sees the exact
+//! same reference string, as the paper requires (footnote 5).
+//!
+//! This crate provides:
+//!
+//! * [`rng::Pcg64`] — a tiny, self-contained, seedable PCG-XSL-RR 128/64
+//!   generator so workloads are bit-reproducible regardless of external
+//!   crate versions,
+//! * [`zipf::Zipf`] — the Zipfian popularity distribution over clip ranks,
+//!   with O(log n) inverse-CDF sampling and access to the analytic pmf
+//!   (needed for the paper's *theoretical hit rate* metric),
+//! * [`generator`] — rank→clip mapping with shift-id, and phase schedules
+//!   that change `g` mid-run (Figures 6 and 7),
+//! * [`trace`] — materialized reference strings with serde round-tripping,
+//! * [`stats`] — empirical frequency accounting used to validate the
+//!   sampler and to reproduce the paper's estimate-quality experiment,
+//! * [`reuse`] — Mattson LRU stack-distance analysis: one trace pass
+//!   predicts the LRU hit-rate-vs-cache-size curve.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod locality;
+pub mod request;
+pub mod reuse;
+pub mod rng;
+pub mod stats;
+pub mod synthetic;
+pub mod trace;
+pub mod zipf;
+
+pub use generator::{PhaseSchedule, RequestGenerator, ShiftedZipf};
+pub use request::{Request, Timestamp};
+pub use rng::Pcg64;
+pub use trace::Trace;
+pub use zipf::Zipf;

@@ -1,0 +1,184 @@
+//! A temporal-locality request generator (the LRU-stack model).
+//!
+//! The paper's workload is the *independent reference model* (IRM): each
+//! request draws a clip from a fixed Zipf, independent of history. Real
+//! users also exhibit *temporal locality* — re-watching what they watched
+//! recently — which the IRM cannot express and which systematically
+//! favours recency-based policies. The classic way to add it is the LRU
+//! stack model (Spirn; Almeida et al. \[1\]): with probability
+//! `locality`, the next request re-references the clip at a
+//! Zipf-distributed depth of the LRU stack; otherwise it draws fresh from
+//! the IRM Zipf.
+//!
+//! `locality = 0` reduces exactly to the paper's workload; the `locality`
+//! experiment sweeps the knob to show where the paper's conclusions do
+//! and do not depend on the IRM assumption.
+
+use crate::request::{Request, Timestamp};
+use crate::rng::Pcg64;
+use crate::zipf::Zipf;
+use clipcache_media::ClipId;
+
+/// Request generator mixing IRM draws with LRU-stack re-references.
+#[derive(Debug, Clone)]
+pub struct StackModelGenerator {
+    popularity: Zipf,
+    depth: Zipf,
+    /// Most-recently-used first.
+    stack: Vec<ClipId>,
+    locality: f64,
+    rng: Pcg64,
+    issued: u64,
+    total: u64,
+}
+
+impl StackModelGenerator {
+    /// Create a generator over `n_clips` clips.
+    ///
+    /// * `theta` — the IRM Zipf parameter (paper: 0.27),
+    /// * `locality` — probability a request re-references the stack,
+    /// * `depth_window` — how deep re-references can reach (the stack
+    ///   depth is drawn from a Zipf(0) over `1..=depth_window`, so depth
+    ///   1 — the last clip watched — is the most likely),
+    /// * `requests` / `seed` — stream length and determinism.
+    ///
+    /// # Panics
+    /// If `locality` is outside `[0, 1]` or `depth_window == 0`.
+    pub fn new(
+        n_clips: usize,
+        theta: f64,
+        locality: f64,
+        depth_window: usize,
+        requests: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&locality),
+            "locality must be in [0, 1], got {locality}"
+        );
+        assert!(depth_window > 0, "depth window must be positive");
+        StackModelGenerator {
+            popularity: Zipf::new(n_clips, theta),
+            depth: Zipf::new(depth_window, 0.0),
+            stack: Vec::with_capacity(n_clips),
+            locality,
+            rng: Pcg64::seed_from_u64_stream(seed, 0x6c6f_6361), // "loca"
+            issued: 0,
+            total: requests,
+        }
+    }
+
+    /// The locality probability.
+    pub fn locality(&self) -> f64 {
+        self.locality
+    }
+
+    fn touch(&mut self, clip: ClipId) {
+        if let Some(pos) = self.stack.iter().position(|&c| c == clip) {
+            self.stack.remove(pos);
+        }
+        self.stack.insert(0, clip);
+    }
+}
+
+impl Iterator for StackModelGenerator {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.issued >= self.total {
+            return None;
+        }
+        self.issued += 1;
+        let use_stack = !self.stack.is_empty() && self.rng.next_f64() < self.locality;
+        let clip = if use_stack {
+            let depth = self.depth.sample(&mut self.rng).min(self.stack.len());
+            self.stack[depth - 1]
+        } else {
+            ClipId::from_index(self.popularity.sample(&mut self.rng) - 1)
+        };
+        self.touch(clip);
+        Some(Request::new(Timestamp(self.issued), clip))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.total - self.issued) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for StackModelGenerator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::StackDistanceAnalyzer;
+    use clipcache_media::paper;
+
+    #[test]
+    fn zero_locality_is_pure_irm() {
+        // With locality 0 the stack is never consulted; requests follow
+        // the Zipf head like the plain generator's.
+        let reqs: Vec<_> = StackModelGenerator::new(64, 0.27, 0.0, 8, 20_000, 3).collect();
+        assert_eq!(reqs.len(), 20_000);
+        let head = reqs.iter().filter(|r| r.clip.index() < 6).count() as f64 / reqs.len() as f64;
+        let analytic: f64 = (1..=6).map(|r| Zipf::new(64, 0.27).pmf(r)).sum();
+        assert!((head - analytic).abs() < 0.02, "head {head} vs {analytic}");
+    }
+
+    #[test]
+    fn locality_shortens_reuse_distances() {
+        let repo = paper::equi_sized_repository_of(64, clipcache_media::ByteSize::mb(10));
+        let mean_distance = |locality: f64| {
+            let mut analyzer = StackDistanceAnalyzer::new(&repo);
+            for r in StackModelGenerator::new(64, 0.27, locality, 4, 10_000, 9) {
+                analyzer.record(r.clip);
+            }
+            // Mean finite byte distance.
+            let (sum, n) = analyzer
+                .distances()
+                .iter()
+                .fold((0u64, 0u64), |acc, d| match d {
+                    crate::reuse::StackDistance::Bytes(b) => (acc.0 + b, acc.1 + 1),
+                    crate::reuse::StackDistance::Cold => acc,
+                });
+            sum as f64 / n as f64
+        };
+        let irm = mean_distance(0.0);
+        let local = mean_distance(0.8);
+        assert!(
+            local < irm * 0.6,
+            "locality must shorten reuse distances: {local} vs {irm}"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a: Vec<_> = StackModelGenerator::new(32, 0.27, 0.5, 8, 500, 7).collect();
+        let b: Vec<_> = StackModelGenerator::new(32, 0.27, 0.5, 8, 500, 7).collect();
+        assert_eq!(a, b);
+        let mut gen = StackModelGenerator::new(32, 0.27, 0.5, 8, 500, 7);
+        assert_eq!(gen.len(), 500);
+        gen.next();
+        assert_eq!(gen.len(), 499);
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.at, Timestamp(i as u64 + 1));
+            assert!(r.clip.index() < 32);
+        }
+    }
+
+    #[test]
+    fn full_locality_replays_the_first_clip_heavily() {
+        // locality 1.0 with window 1: after the first IRM draw (the stack
+        // starts empty), every request re-references depth 1 — the same
+        // clip forever.
+        let reqs: Vec<_> = StackModelGenerator::new(16, 0.27, 1.0, 1, 100, 5).collect();
+        let first = reqs[0].clip;
+        assert!(reqs.iter().all(|r| r.clip == first));
+    }
+
+    #[test]
+    #[should_panic(expected = "locality must be in [0, 1]")]
+    fn bad_locality_rejected() {
+        StackModelGenerator::new(8, 0.27, 1.5, 4, 10, 1);
+    }
+}

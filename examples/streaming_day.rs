@@ -1,0 +1,82 @@
+//! A simulated day of continuous-time streaming.
+//!
+//! Sixteen FMC phones share one 8 Mbps base station for 24 hours. Unlike
+//! the round-based region model, the discrete-event engine charges every
+//! network stream its real display duration — a missed 2-hour video holds
+//! half the station's bandwidth for two hours — so the availability gap
+//! between small and large caches compounds over the day.
+//!
+//! ```text
+//! cargo run --release --example streaming_day
+//! ```
+
+use clipcache::core::PolicyKind;
+use clipcache::media::{paper, Bandwidth};
+use clipcache::sim::des::{StreamingConfig, StreamingSim};
+use clipcache::sim::network::{ConnectivitySchedule, NetworkLink};
+use clipcache::sim::station::BaseStation;
+use clipcache::workload::RequestGenerator;
+use std::sync::Arc;
+
+const DEVICES: usize = 16;
+
+fn run_day(
+    repo: &Arc<clipcache::media::Repository>,
+    ratio: f64,
+    policy: PolicyKind,
+) -> clipcache::sim::des::StreamingReport {
+    let caches = (0..DEVICES)
+        .map(|i| {
+            policy.build(
+                Arc::clone(repo),
+                repo.cache_capacity_for_ratio(ratio),
+                i as u64,
+                None,
+            )
+        })
+        .collect();
+    let workloads = (0..DEVICES)
+        .map(|i| RequestGenerator::new(repo.len(), 0.27, 0, 1_000_000, 41 + i as u64))
+        .collect();
+    let mut sim = StreamingSim::new(
+        Arc::clone(repo),
+        BaseStation::new(Bandwidth::mbps(8)),
+        StreamingConfig::default(), // 24-hour horizon
+        caches,
+        workloads,
+        ConnectivitySchedule::always(NetworkLink::cellular_default()),
+    );
+    sim.warm_up(2_000, 7);
+    sim.run()
+}
+
+fn main() {
+    let repo = Arc::new(paper::variable_sized_repository_of(96));
+    println!("16 phones, one 8 Mbps base station, 24 simulated hours");
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>14}",
+        "configuration", "cache", "denied", "displays", "streams", "mean startup"
+    );
+    for (label, policy) in [
+        ("DYNSimple(K=2)", PolicyKind::DynSimple { k: 2 }),
+        ("LRU-2", PolicyKind::LruK { k: 2 }),
+    ] {
+        for ratio in [0.02, 0.1, 0.25, 0.5] {
+            let r = run_day(&repo, ratio, policy);
+            println!(
+                "{:<22} {:>7.0}% {:>9.1}% {:>10} {:>12} {:>12.0} s",
+                label,
+                ratio * 100.0,
+                r.denial_rate() * 100.0,
+                r.displays_completed,
+                r.streamed,
+                r.mean_startup_secs(),
+            );
+        }
+    }
+    println!();
+    println!("Reading the table: the station can carry two concurrent 4 Mbps");
+    println!("video streams; every extra point of hit rate converts denied");
+    println!("requests into local displays. The size-aware DYNSimple denies a");
+    println!("fraction of what LRU-2 does at the same cache size.");
+}

@@ -1,0 +1,101 @@
+//! Offline trace analysis: understand a workload before running a cache.
+//!
+//! A single pass over a reference string answers three questions the
+//! policy experiments otherwise answer by brute force:
+//!
+//! 1. how concentrated is popularity? (frequency head),
+//! 2. what would LRU achieve at any cache size? (Mattson stack distance),
+//! 3. how much cache buys a target hit rate?
+//!
+//! And a second instrumented run shows per-clip churn — which clips a
+//! policy keeps re-admitting and re-evicting.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+
+use clipcache::core::instrument::InstrumentedCache;
+use clipcache::core::{ClipCache, PolicyKind};
+use clipcache::media::paper;
+use clipcache::workload::reuse::StackDistanceAnalyzer;
+use clipcache::workload::stats::FrequencyCounter;
+use clipcache::workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+fn main() {
+    let repo = Arc::new(paper::variable_sized_repository());
+    let trace = Trace::from_generator(RequestGenerator::paper(repo.len(), 99));
+
+    // --- 1. Popularity concentration -----------------------------------
+    let mut freq = FrequencyCounter::new(repo.len());
+    freq.record_all(trace.requests());
+    let mut counts: Vec<u64> = repo.ids().map(|c| freq.count(c)).collect();
+    counts.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
+    let total: u64 = counts.iter().sum();
+    let head10: u64 = counts.iter().take(repo.len() / 10).sum();
+    println!(
+        "popularity: top 10% of clips draw {:.1}% of {} requests",
+        100.0 * head10 as f64 / total as f64,
+        total
+    );
+
+    // --- 2. The LRU curve from one pass ---------------------------------
+    let mut analyzer = StackDistanceAnalyzer::new(&repo);
+    analyzer.record_all(trace.requests());
+    println!(
+        "cold misses: {} ({:.1}% of requests)",
+        analyzer.cold_misses(),
+        100.0 * analyzer.cold_misses() as f64 / trace.len() as f64
+    );
+    println!("Mattson-predicted LRU hit rate:");
+    for ratio in [0.05, 0.125, 0.25, 0.5] {
+        let cap = repo.cache_capacity_for_ratio(ratio);
+        println!(
+            "  S_T/S_DB = {ratio:<6} -> {:.1}%",
+            100.0 * analyzer.predicted_hit_rate(cap)
+        );
+    }
+
+    // --- 3. Cache size for a target ------------------------------------
+    for target in [0.3, 0.5, 0.7] {
+        match analyzer.capacity_for_hit_rate(target) {
+            Some(cap) => println!(
+                "LRU needs {cap} (S_T/S_DB = {:.3}) for a {:.0}% hit rate",
+                cap.ratio(repo.total_size()),
+                target * 100.0
+            ),
+            None => println!(
+                "no LRU cache reaches {:.0}% (cold misses bound it)",
+                target * 100.0
+            ),
+        }
+    }
+
+    // --- 4. Per-clip churn under a real policy --------------------------
+    let capacity = repo.cache_capacity_for_ratio(0.125);
+    let inner = PolicyKind::GreedyDual.build(Arc::clone(&repo), capacity, 5, None);
+    let mut cache = InstrumentedCache::new(inner, repo.len());
+    for req in trace.iter() {
+        cache.access(req.clip, req.at);
+    }
+    println!();
+    println!("GreedyDual at S_T/S_DB = 0.125 — churn leaders:");
+    println!(
+        "{:<10} {:>9} {:>6} {:>11} {:>10} {:>9}",
+        "clip", "requests", "hits", "admissions", "evictions", "size"
+    );
+    for (clip, c) in cache.churn_leaders(8) {
+        println!(
+            "{:<10} {:>9} {:>6} {:>11} {:>10} {:>9}",
+            clip.to_string(),
+            c.requests,
+            c.hits,
+            c.admissions,
+            c.evictions,
+            repo.size_of(clip).to_string()
+        );
+    }
+    println!();
+    println!("The churn leaders are mid-popularity video clips: popular enough");
+    println!("to be re-admitted constantly, too big to survive the next miss.");
+}

@@ -1,0 +1,153 @@
+//! Integration tests: the experiment pipeline reproduces the paper's
+//! qualitative results end-to-end at reduced scale.
+//!
+//! Each test pins one *shape* claim from the evaluation section — who
+//! wins, in which regime — rather than absolute numbers, matching the
+//! reproduction contract in DESIGN.md.
+
+use clipcache::experiments::{run_experiment, ExperimentContext, ALL_EXPERIMENTS};
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::at_scale(0.15)
+}
+
+#[test]
+fn every_experiment_id_runs_and_renders() {
+    // The cheapest smoke pass over the whole harness: tiny scale, every
+    // experiment id, tables and CSV render without panicking.
+    let ctx = ExperimentContext::at_scale(0.02);
+    for id in ALL_EXPERIMENTS {
+        let results = run_experiment(id, &ctx).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(!results.is_empty(), "{id} produced no figures");
+        for fig in &results {
+            assert!(!fig.series.is_empty(), "{}: no series", fig.id);
+            let table = fig.to_text_table();
+            assert!(table.contains(&fig.id), "{}: table lacks id", fig.id);
+            let csv = fig.to_csv();
+            assert_eq!(
+                csv.lines().count(),
+                fig.x.len() + 1,
+                "{}: csv row count",
+                fig.id
+            );
+        }
+    }
+    assert!(run_experiment("nope", &ctx).is_none());
+}
+
+#[test]
+fn fig2_hit_rate_ordering_holds() {
+    let figs = run_experiment("fig2", &ctx()).unwrap();
+    let hit = &figs[0];
+    let simple = hit.series_named("Simple").unwrap();
+    let gd = hit.series_named("GreedyDual").unwrap();
+    let lru2 = hit.series_named("LRU-2").unwrap();
+    let random = hit.series_named("Random").unwrap();
+    // The paper's Figure 2.a ordering, on mean hit rate across the sweep.
+    assert!(simple.mean() > gd.mean());
+    assert!(gd.mean() > lru2.mean());
+    assert!(lru2.mean() > random.mean());
+}
+
+#[test]
+fn fig2_lru2_competitive_on_byte_hit_rate() {
+    let figs = run_experiment("fig2", &ctx()).unwrap();
+    let bytes = &figs[1];
+    let lru2 = bytes.series_named("LRU-2").unwrap();
+    let gd = bytes.series_named("GreedyDual").unwrap();
+    // Figure 2.b: LRU-2's byte hit rate is competitive — it beats
+    // GreedyDual on average even though it lost badly on hit rate.
+    assert!(
+        lru2.mean() > gd.mean() - 0.02,
+        "LRU-2 {} vs GreedyDual {} (byte hit rate)",
+        lru2.mean(),
+        gd.mean()
+    );
+}
+
+#[test]
+fn fig3_recency_wins_on_equal_sizes() {
+    let figs = run_experiment("fig3", &ctx()).unwrap();
+    let fig = &figs[0];
+    let lru2 = fig.series_named("LRU-2").unwrap();
+    let gd = fig.series_named("GreedyDual").unwrap();
+    assert!(lru2.mean() > gd.mean());
+}
+
+#[test]
+fn fig5_new_techniques_work_on_both_repositories() {
+    // Slightly larger scale than the other tests: DYNSimple(K=32) needs
+    // a few thousand requests to warm its 32-deep histories before its
+    // paper-scale lead over LRU-S2 materializes.
+    let figs = run_experiment("fig5", &ExperimentContext::at_scale(0.4)).unwrap();
+    let equi = &figs[0];
+    let var = &figs[1];
+    // Equi-sized: the new techniques close GreedyDual's gap.
+    let dyn32 = equi.series_named("DYNSimple(K=32)").unwrap();
+    let igd = equi.series_named("IGD").unwrap();
+    let gd = equi.series_named("GreedyDual").unwrap();
+    assert!(dyn32.mean() > gd.mean());
+    assert!(igd.mean() > gd.mean());
+    // Variable-sized: size-aware techniques crush LRU-2.
+    let dyn32v = var.series_named("DYNSimple(K=32)").unwrap();
+    let lru2 = var.series_named("LRU-2").unwrap();
+    assert!(dyn32v.mean() > lru2.mean() + 0.1);
+    // DYNSimple leads 5.b at paper scale; at the reduced test scale its
+    // K = 32 history is still warming, so allow a one-point slack.
+    for s in &var.series {
+        assert!(
+            dyn32v.mean() >= s.mean() - 0.01,
+            "DYNSimple(K=32) must (nearly) lead 5.b, but {} is ahead by {}",
+            s.name,
+            s.mean() - dyn32v.mean()
+        );
+    }
+}
+
+#[test]
+fn fig6_oracle_dominates_every_shift() {
+    let figs = run_experiment("fig6", &ctx()).unwrap();
+    let a = &figs[0];
+    let simple = a.series_named("Simple").unwrap();
+    for s in &a.series {
+        for (i, (os, v)) in simple.values.iter().zip(&s.values).enumerate() {
+            assert!(
+                os + 1e-9 >= *v,
+                "shift index {i}: Simple {os} below {} {v}",
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig6_hit_rate_monotone_in_cache_size_for_all_policies() {
+    // Cross-cutting sanity: bigger cache never hurts (on the fig2 sweep
+    // whose ratios span 0.0125 → 0.75).
+    let figs = run_experiment("fig2", &ctx()).unwrap();
+    for s in &figs[0].series {
+        for pair in s.values.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 0.02,
+                "{}: hit rate dropped from {} to {} with a larger cache",
+                s.name,
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn quality_and_equivalence_claims() {
+    let q = run_experiment("quality", &ctx()).unwrap().remove(0);
+    let err = &q.series[0].values;
+    assert!(
+        err.first().unwrap() > err.last().unwrap(),
+        "estimate error must shrink with K"
+    );
+
+    let e = run_experiment("equivalence", &ctx()).unwrap().remove(0);
+    let gap = e.series_named("|gap|").unwrap();
+    assert!(gap.values.iter().all(|g| *g < 0.05));
+}

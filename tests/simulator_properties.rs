@@ -1,0 +1,188 @@
+//! Property tests for the simulation substrate: metric consistency, the
+//! latency model, and base-station bandwidth accounting.
+
+use clipcache::core::PolicyKind;
+use clipcache::media::{paper, Bandwidth, ByteSize, Clip, ClipId, MediaType};
+use clipcache::sim::latency::LatencyModel;
+use clipcache::sim::network::{LinkKind, NetworkLink};
+use clipcache::sim::runner::{simulate, SimulationConfig};
+use clipcache::sim::station::{Admission, BaseStation};
+use clipcache::workload::{RequestGenerator, Trace};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The windowed series is a lossless decomposition of the aggregate
+    /// hit count when the request count divides into whole windows.
+    #[test]
+    fn windowed_series_sums_to_aggregate(
+        n_clips in 4usize..64,
+        windows in 2u64..30,
+        seed in 0u64..1000,
+    ) {
+        let repo = Arc::new(paper::equi_sized_repository_of(n_clips, ByteSize::mb(10)));
+        let requests = windows * 100;
+        let trace = Trace::from_generator(
+            RequestGenerator::new(n_clips, 0.27, 0, requests, seed));
+        let mut cache = PolicyKind::Lru.build(
+            Arc::clone(&repo),
+            ByteSize::mb(10 * (n_clips as u64 / 2).max(1)),
+            seed,
+            None,
+        );
+        let report = simulate(cache.as_mut(), &repo, trace.requests(),
+                              &SimulationConfig::default());
+        prop_assert_eq!(report.series.points().len() as u64, windows);
+        let windowed_hits: f64 = report.series.points().iter().sum::<f64>() * 100.0;
+        prop_assert!((windowed_hits - report.stats.hits as f64).abs() < 1e-6);
+        // Byte accounting is conservative: hits + misses = total bytes.
+        let total_bytes: ByteSize = trace.iter().map(|r| repo.size_of(r.clip)).sum();
+        prop_assert_eq!(report.stats.byte_hits + report.stats.byte_misses, total_bytes);
+    }
+
+    /// Startup latency shrinks monotonically as the link speeds up, and
+    /// prefetch vanishes once the link outruns the display rate.
+    #[test]
+    fn latency_monotone_in_bandwidth(
+        size_mb in 1u64..4000,
+        display_kbps in 100u64..8000,
+    ) {
+        let model = LatencyModel::default();
+        let clip = Clip::with_derived_duration(
+            ClipId::new(1),
+            MediaType::Video,
+            ByteSize::mb(size_mb),
+            Bandwidth::kbps(display_kbps),
+        );
+        let mut last = f64::INFINITY;
+        for link_kbps in [100u64, 500, 1_000, 4_000, 10_000, 50_000] {
+            let link = NetworkLink::new(LinkKind::WiFi, Bandwidth::kbps(link_kbps));
+            let lat = model
+                .network_latency(&clip, link)
+                .secs()
+                .expect("connected link");
+            prop_assert!(
+                lat <= last + 1e-9,
+                "latency must not rise with bandwidth: {lat} after {last}"
+            );
+            last = lat;
+            if link_kbps >= display_kbps {
+                let p = model.prefetch_bytes(
+                    clip.size,
+                    clip.display_bandwidth,
+                    Bandwidth::kbps(link_kbps),
+                );
+                prop_assert_eq!(p, ByteSize::ZERO);
+            }
+        }
+        // The cache hit is at least as fast as any network source.
+        let hit = model.cache_hit_latency(&clip).secs().unwrap();
+        prop_assert!(hit <= last + 1e-9);
+    }
+
+    /// Base-station accounting: reserved bandwidth equals the sum of live
+    /// reservations and never exceeds the backhaul.
+    #[test]
+    fn station_accounting(
+        total_mbps in 1u64..100,
+        ops in proptest::collection::vec((0u64..20, any::<bool>()), 1..60),
+    ) {
+        let mut station = BaseStation::new(Bandwidth::mbps(total_mbps));
+        let mut live: Vec<(clipcache::sim::station::StreamId, u64)> = Vec::new();
+        for (mbps, release_one) in ops {
+            if release_one && !live.is_empty() {
+                let (id, _) = live.remove(0);
+                station.release(id);
+            } else if mbps > 0 {
+                match station.admit(Bandwidth::mbps(mbps)) {
+                    Admission::Admitted(id) => live.push((id, mbps)),
+                    Admission::Rejected => {
+                        // Rejection must mean it genuinely doesn't fit.
+                        prop_assert!(
+                            station.reserved_bandwidth() + Bandwidth::mbps(mbps)
+                                > station.total_bandwidth()
+                        );
+                    }
+                }
+            }
+            let expect: u64 = live.iter().map(|&(_, m)| m).sum();
+            prop_assert_eq!(station.reserved_bandwidth(), Bandwidth::mbps(expect));
+            prop_assert!(station.reserved_bandwidth() <= station.total_bandwidth());
+            prop_assert_eq!(station.active_streams(), live.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every cooperative round partitions its requests: local hits, peer
+    /// hits, admissions and rejections sum to the devices that issued.
+    #[test]
+    fn coop_rounds_partition_requests(
+        n_devices in 2usize..8,
+        radius in 0usize..4,
+        uploads in 1u64..4,
+        ratio in 0.02f64..0.4,
+    ) {
+        use clipcache::sim::coop::{CoopConfig, CoopRegionSim};
+        use clipcache::sim::device::Device;
+        use clipcache::sim::network::ConnectivitySchedule;
+        use clipcache::sim::station::BaseStation;
+        let repo = Arc::new(paper::variable_sized_repository_of(24));
+        let rounds = 60u64;
+        let devices: Vec<Device> = (0..n_devices)
+            .map(|i| {
+                let cache = PolicyKind::DynSimple { k: 2 }.build(
+                    Arc::clone(&repo),
+                    repo.cache_capacity_for_ratio(ratio),
+                    i as u64,
+                    None,
+                );
+                let gen = RequestGenerator::new(24, 0.27, 0, rounds, 700 + i as u64);
+                Device::new(
+                    i,
+                    Arc::clone(&repo),
+                    cache,
+                    gen,
+                    ConnectivitySchedule::always(NetworkLink::cellular_default()),
+                )
+            })
+            .collect();
+        let mut sim = CoopRegionSim::new(
+            devices,
+            BaseStation::new(Bandwidth::mbps(8)),
+            CoopConfig {
+                radio_radius: radius,
+                max_uploads_per_peer: uploads,
+            },
+        );
+        let report = sim.run(rounds);
+        for round in &report.rounds {
+            let total = round.local_hits + round.peer_hits + round.admitted + round.rejected;
+            prop_assert_eq!(total, n_devices as u64);
+            if radius == 0 {
+                prop_assert_eq!(round.peer_hits, 0);
+            }
+        }
+        prop_assert!(report.offload_rate() >= 0.0 && report.offload_rate() <= 1.0);
+    }
+}
+
+/// Regression: a run with zero requests produces a sane empty report.
+#[test]
+fn empty_trace_report() {
+    let repo = Arc::new(paper::variable_sized_repository_of(6));
+    let mut cache = PolicyKind::Lru.build(Arc::clone(&repo), ByteSize::gb(5), 1, None);
+    let report = simulate(
+        cache.as_mut(),
+        &repo,
+        [].iter(),
+        &SimulationConfig::default(),
+    );
+    assert_eq!(report.stats.requests(), 0);
+    assert_eq!(report.hit_rate(), 0.0);
+    assert!(report.series.points().is_empty());
+}

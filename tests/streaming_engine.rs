@@ -1,0 +1,138 @@
+//! Integration tests for the continuous-time streaming engine: event
+//! conservation, determinism across policies, and consistency with the
+//! trace-driven runner on the quantities both can measure.
+
+use clipcache::core::PolicyKind;
+use clipcache::media::{paper, Bandwidth, Repository};
+use clipcache::sim::des::{StreamingConfig, StreamingSim};
+use clipcache::sim::network::{ConnectivitySchedule, NetworkLink};
+use clipcache::sim::station::BaseStation;
+use clipcache::workload::RequestGenerator;
+use std::sync::Arc;
+
+fn build(
+    repo: &Arc<Repository>,
+    policy: PolicyKind,
+    n_devices: usize,
+    ratio: f64,
+    station: Bandwidth,
+    horizon_secs: f64,
+    link: NetworkLink,
+) -> StreamingSim {
+    let caches = (0..n_devices)
+        .map(|i| {
+            policy.build(
+                Arc::clone(repo),
+                repo.cache_capacity_for_ratio(ratio),
+                i as u64,
+                None,
+            )
+        })
+        .collect();
+    let workloads = (0..n_devices)
+        .map(|i| RequestGenerator::new(repo.len(), 0.27, 0, 1_000_000, 31 + i as u64))
+        .collect();
+    StreamingSim::new(
+        Arc::clone(repo),
+        BaseStation::new(station),
+        StreamingConfig {
+            horizon_secs,
+            ..StreamingConfig::default()
+        },
+        caches,
+        workloads,
+        ConnectivitySchedule::always(link),
+    )
+}
+
+#[test]
+fn every_policy_runs_the_streaming_world() {
+    let repo = Arc::new(paper::variable_sized_repository_of(24));
+    for policy in [
+        PolicyKind::DynSimple { k: 2 },
+        PolicyKind::Igd,
+        PolicyKind::LruSK { k: 2 },
+        PolicyKind::GreedyDual,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Lfu,
+        PolicyKind::Random,
+    ] {
+        let mut sim = build(
+            &repo,
+            policy,
+            4,
+            0.2,
+            Bandwidth::mbps(8),
+            3_600.0,
+            NetworkLink::cellular_default(),
+        );
+        sim.warm_up(500, 3);
+        let report = sim.run();
+        assert!(report.requests() > 0, "{policy}: no requests issued");
+        assert_eq!(
+            report.requests(),
+            report.hits + report.streamed + report.rejected + report.unavailable,
+            "{policy}: request classification must be a partition"
+        );
+        assert!(
+            report.mean_concurrent_displays() <= 4.0 + 1e-9,
+            "{policy}: concurrency cannot exceed the device count"
+        );
+        for cache in sim.caches() {
+            assert!(cache.used() <= cache.capacity(), "{policy}");
+        }
+    }
+}
+
+#[test]
+fn disconnected_world_serves_only_from_caches() {
+    let repo = Arc::new(paper::variable_sized_repository_of(24));
+    let mut sim = build(
+        &repo,
+        PolicyKind::DynSimple { k: 2 },
+        4,
+        0.3,
+        Bandwidth::mbps(100),
+        3_600.0,
+        NetworkLink::disconnected(),
+    );
+    sim.warm_up(1_000, 9);
+    let report = sim.run();
+    assert_eq!(report.streamed, 0);
+    assert_eq!(report.rejected, 0);
+    assert!(report.unavailable > 0);
+    // Everything that displayed came from a warm cache.
+    assert_eq!(report.displays_started, report.hits);
+}
+
+#[test]
+fn warmup_reduces_denials() {
+    let repo = Arc::new(paper::variable_sized_repository_of(24));
+    let cold = build(
+        &repo,
+        PolicyKind::DynSimple { k: 2 },
+        8,
+        0.3,
+        Bandwidth::mbps(8),
+        3_600.0,
+        NetworkLink::cellular_default(),
+    )
+    .run();
+    let mut warm_sim = build(
+        &repo,
+        PolicyKind::DynSimple { k: 2 },
+        8,
+        0.3,
+        Bandwidth::mbps(8),
+        3_600.0,
+        NetworkLink::cellular_default(),
+    );
+    warm_sim.warm_up(2_000, 3);
+    let warm = warm_sim.run();
+    assert!(
+        warm.denial_rate() < cold.denial_rate(),
+        "warm {} vs cold {}",
+        warm.denial_rate(),
+        cold.denial_rate()
+    );
+}

@@ -1,0 +1,161 @@
+//! Property tests for the workload substrate: the Zipf sampler, the
+//! shifted distribution, phase schedules and trace round-trips.
+
+use clipcache::workload::{Pcg64, PhaseSchedule, RequestGenerator, ShiftedZipf, Trace, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zipf_pmf_is_a_distribution(n in 1usize..800, theta in 0.0f64..0.99) {
+        let z = Zipf::new(n, theta);
+        let total: f64 = z.pmf_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..n {
+            prop_assert!(z.pmf(r) >= z.pmf(r + 1), "pmf must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_within_range(n in 1usize..600, theta in 0.0f64..0.99, seed in 0u64..1000) {
+        let z = Zipf::new(n, theta);
+        let mut rng = Pcg64::seed_from_u64(seed);
+        for _ in 0..200 {
+            let r = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+        }
+    }
+
+    #[test]
+    fn shift_is_a_bijection(n in 2usize..600, shift in 0usize..2000) {
+        let d = ShiftedZipf::new(Zipf::new(n, 0.27), shift);
+        let mut seen = vec![false; n];
+        for rank in 1..=n {
+            let clip = d.clip_for_rank(rank);
+            prop_assert!(!seen[clip.index()], "rank collision");
+            seen[clip.index()] = true;
+            prop_assert_eq!(d.rank_of_clip(clip), rank);
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn shifted_frequencies_are_a_permutation(n in 2usize..300, shift in 0usize..1000) {
+        let base = ShiftedZipf::new(Zipf::new(n, 0.27), 0).frequencies();
+        let shifted = ShiftedZipf::new(Zipf::new(n, 0.27), shift).frequencies();
+        let mut a = base;
+        let mut b = shifted;
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedule_total_matches_phase_sum(
+        phases in proptest::collection::vec((1u64..5000, 0usize..600), 1..6)
+    ) {
+        let s = PhaseSchedule::from_pairs(&phases);
+        let expect: u64 = phases.iter().map(|&(n, _)| n).sum();
+        prop_assert_eq!(s.total_requests(), expect);
+        // shift_at agrees with a linear scan.
+        let mut cursor = 0u64;
+        for &(n, g) in &phases {
+            prop_assert_eq!(s.shift_at(cursor + 1), g);
+            prop_assert_eq!(s.shift_at(cursor + n), g);
+            cursor += n;
+        }
+    }
+
+    #[test]
+    fn generator_is_reproducible_and_sized(
+        n in 2usize..300,
+        requests in 1u64..500,
+        shift in 0usize..300,
+        seed in 0u64..10_000,
+    ) {
+        let a: Vec<_> = RequestGenerator::new(n, 0.27, shift, requests, seed).collect();
+        let b: Vec<_> = RequestGenerator::new(n, 0.27, shift, requests, seed).collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len() as u64, requests);
+        for (i, r) in a.iter().enumerate() {
+            prop_assert_eq!(r.at.get(), i as u64 + 1);
+            prop_assert!(r.clip.index() < n);
+        }
+    }
+
+    #[test]
+    fn trace_json_round_trip(
+        n in 2usize..100,
+        requests in 1u64..200,
+        seed in 0u64..10_000,
+    ) {
+        let t = Trace::from_generator(RequestGenerator::new(n, 0.27, 0, requests, seed));
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn locality_generator_invariants(
+        n in 2usize..64,
+        locality in 0.0f64..1.0,
+        window in 1usize..16,
+        requests in 1u64..300,
+        seed in 0u64..1000,
+    ) {
+        use clipcache::workload::locality::StackModelGenerator;
+        let reqs: Vec<_> =
+            StackModelGenerator::new(n, 0.27, locality, window, requests, seed).collect();
+        prop_assert_eq!(reqs.len() as u64, requests);
+        for (i, r) in reqs.iter().enumerate() {
+            prop_assert_eq!(r.at.get(), i as u64 + 1);
+            prop_assert!(r.clip.index() < n);
+        }
+    }
+
+    #[test]
+    fn lognormal_repository_respects_spec(
+        clips in 1usize..200,
+        median_mb in 1u64..500,
+        sigma in 0.1f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        use clipcache::media::ByteSize;
+        use clipcache::workload::synthetic::{lognormal_repository, LognormalSpec};
+        let spec = LognormalSpec {
+            clips,
+            median: ByteSize::mb(median_mb),
+            sigma,
+            floor: ByteSize::mb(1),
+        };
+        let repo = lognormal_repository(spec, seed);
+        prop_assert_eq!(repo.len(), clips);
+        for c in repo.iter() {
+            prop_assert!(c.size >= spec.floor);
+        }
+        // Determinism.
+        prop_assert_eq!(repo, lognormal_repository(spec, seed));
+    }
+
+    #[test]
+    fn pcg_bounded_is_unbiased_in_range(bound in 1u64..1_000_000, seed in 0u64..10_000) {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_bounded(bound) < bound);
+        }
+    }
+}
+
+/// The paper's headline distribution property: with θ = 0.27 over 576
+/// clips, the top 10% of ranks draw the majority of requests.
+#[test]
+fn paper_zipf_head_concentration() {
+    let z = Zipf::paper(576);
+    let head = z.head_mass(58);
+    assert!(
+        head > 0.4,
+        "top 10% of ranks should carry heavy mass, got {head}"
+    );
+    // ... but the distribution is not degenerate.
+    assert!(head < 0.9);
+}
