@@ -1,0 +1,71 @@
+//! Sweep-engine benchmarks: the point-level executor's overhead on
+//! trivial points and its scaling on simulation-shaped points.
+//!
+//! The interesting number is the `jobs` axis of `simulate_points`: at
+//! equal work the executor should approach linear speedup until it runs
+//! out of cores, and the `jobs = 1` row measures the serial fast path
+//! (no threads, no mutexes) against the bare loop.
+
+use clipcache_core::PolicyKind;
+use clipcache_experiments::sweep::run_points;
+use clipcache_media::paper;
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::{RequestGenerator, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_executor_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_overhead");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    let points: Vec<u64> = (0..256).collect();
+    for jobs in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("trivial_points_x256", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    black_box(run_points(&points, jobs, |i, &p| {
+                        p.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64
+                    }))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulation_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    let repo = Arc::new(paper::variable_sized_repository());
+    let trace = Trace::from_generator(RequestGenerator::new(repo.len(), 0.27, 0, 2_000, 42));
+    let config = SimulationConfig::default();
+    let ratios: Vec<f64> = (1..=8).map(|i| i as f64 * 0.05).collect();
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("dynsimple_ratio_points_x8", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    black_box(run_points(&ratios, jobs, |_, &ratio| {
+                        let mut cache = PolicyKind::DynSimple { k: 2 }.build(
+                            Arc::clone(&repo),
+                            repo.cache_capacity_for_ratio(ratio),
+                            1,
+                            None,
+                        );
+                        simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate()
+                    }))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor_overhead, bench_simulation_points);
+criterion_main!(benches);

@@ -49,14 +49,56 @@ impl CacheSnapshot {
         }
     }
 
-    /// Serialize to JSON (the durable on-disk form).
+    /// Serialize to JSON (the durable on-disk form):
+    /// `{"policy":"dynsimple:2","capacity":…,"tick":…,"resident":[…]}`.
+    /// The policy is stored as its [`PolicyKind::spelling`] so the file
+    /// round-trips without serde (stubbed offline, see
+    /// `vendor/README.md`) and stays human-editable.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+        let ids: Vec<String> = self.resident.iter().map(|c| c.get().to_string()).collect();
+        format!(
+            "{{\"policy\":\"{}\",\"capacity\":{},\"tick\":{},\"resident\":[{}]}}",
+            self.policy.spelling(),
+            self.capacity.as_u64(),
+            self.tick.get(),
+            ids.join(",")
+        )
     }
 
-    /// Deserialize from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Deserialize from JSON (the [`to_json`](Self::to_json) shape).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = clipcache_workload::json::parse(json)?;
+        let policy = v
+            .get("policy")
+            .and_then(|p| p.as_str())
+            .ok_or("snapshot needs a `policy` spelling string")?
+            .parse::<PolicyKind>()?;
+        let capacity = v
+            .get("capacity")
+            .and_then(|n| n.as_u64())
+            .ok_or("snapshot needs an integer `capacity`")?;
+        let tick = v
+            .get("tick")
+            .and_then(|n| n.as_u64())
+            .ok_or("snapshot needs an integer `tick`")?;
+        let mut resident = Vec::new();
+        for id in v
+            .get("resident")
+            .and_then(|r| r.as_array())
+            .ok_or("snapshot needs a `resident` id array")?
+        {
+            let id = id
+                .as_u64()
+                .filter(|&id| id >= 1 && id <= u32::MAX as u64)
+                .ok_or("resident ids must be positive 32-bit integers")?;
+            resident.push(ClipId::new(id as u32));
+        }
+        Ok(CacheSnapshot {
+            policy,
+            capacity: ByteSize::bytes(capacity),
+            tick: Timestamp(tick),
+            resident,
+        })
     }
 }
 

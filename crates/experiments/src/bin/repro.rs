@@ -2,13 +2,22 @@
 //!
 //! ```text
 //! repro [--scale <f64>] [--seed <u64>] [--out <dir>] [--jobs <n>]
-//!       [all | fig2 fig3 ...]
+//!       [--custom sweep.json] [all | fig2 fig3 ...]
 //! ```
 //!
 //! Prints each figure as a text table and, when `--out` is given, writes
-//! one CSV per figure into the directory.
+//! one CSV and one Markdown table per figure into the directory.
+//!
+//! `--jobs` sets the worker threads of the point-level sweep engine
+//! (`clipcache_experiments::sweep`). Experiments run one at a time, each
+//! fanning its data points across the pool; every point derives its seed
+//! from the experiment context rather than from thread identity, so the
+//! output is bit-identical at any `--jobs` value. Seeds accept decimal
+//! or `0x`-prefixed hex.
 
-use clipcache_experiments::{run_experiment, ExperimentContext, ALL_EXPERIMENTS};
+use clipcache_experiments::{
+    run_experiment, ExperimentContext, FigureResult, SweepStats, ALL_EXPERIMENTS,
+};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,15 +26,23 @@ struct Args {
     ctx: ExperimentContext,
     out: Option<PathBuf>,
     experiments: Vec<String>,
-    jobs: usize,
     custom: Option<String>,
+}
+
+/// Parse a seed as decimal or `0x`-prefixed hex (CI passes `0x5EED2007`).
+fn parse_u64(v: &str) -> Result<u64, String> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).map_err(|e| e.to_string()),
+        None => v
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string()),
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut ctx = ExperimentContext::default();
     let mut out = None;
     let mut experiments = Vec::new();
-    let mut jobs = 1usize;
     let mut custom: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -36,15 +53,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => {
                 let v = argv.next().ok_or("--seed needs a value")?;
-                ctx.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                ctx.seed = parse_u64(&v).map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--out" => {
                 out = Some(PathBuf::from(argv.next().ok_or("--out needs a value")?));
             }
             "--jobs" => {
                 let v = argv.next().ok_or("--jobs needs a value")?;
-                jobs = v.parse().map_err(|e| format!("bad --jobs: {e}"))?;
-                if jobs == 0 {
+                ctx.jobs = v.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+                if ctx.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
             }
@@ -66,8 +83,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--scale f] [--seed n] [--out dir] [--jobs n] \
-       [--custom sweep.json] [--list] [all | {}]",
+                    "usage: repro [--scale f] [--seed n|0xHEX] [--out dir] \
+       [--jobs n] [--custom sweep.json] [--list] [all | {}]\n\
+       --jobs fans each experiment's data points across n worker \
+       threads; results are bit-identical at any value",
                     ALL_EXPERIMENTS.join(" | ")
                 ));
             }
@@ -83,9 +102,52 @@ fn parse_args() -> Result<Args, String> {
         ctx,
         out,
         experiments,
-        jobs,
         custom,
     })
+}
+
+/// Print a figure (text table, or sparklines when too wide for the
+/// console) and, when `--out` is given, write its CSV and Markdown
+/// files. Shared by the built-in and `--custom` paths.
+fn emit_figures(
+    figs: &[FigureResult],
+    out: Option<&PathBuf>,
+    sink: &mut impl std::io::Write,
+) -> Result<(), String> {
+    for fig in figs {
+        // Hundreds of columns render unreadably; wide figures get
+        // sparklines on the console (the CSV keeps full precision).
+        if fig.x.len() > 24 {
+            let _ = writeln!(sink, "{}", fig.to_sparklines());
+        } else {
+            let _ = writeln!(sink, "{}", fig.to_text_table());
+        }
+        if let Some(dir) = out {
+            let path = dir.join(format!("{}.csv", fig.id));
+            std::fs::write(&path, fig.to_csv())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            let md = dir.join(format!("{}.md", fig.id));
+            std::fs::write(&md, fig.to_markdown())
+                .map_err(|e| format!("cannot write {}: {e}", md.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// The per-experiment summary line: wall clock, plus the sweep engine's
+/// per-point accounting (point count, summed point compute time, and the
+/// realized parallel speedup) when the experiment ran any points.
+fn summary_line(id: &str, secs: f64, stats: &SweepStats) -> String {
+    let points = stats.points();
+    if points == 0 {
+        return format!("[{id} finished in {secs:.1}s]\n");
+    }
+    let busy = stats.busy().as_secs_f64();
+    let realized = if secs > 0.0 { busy / secs } else { 1.0 };
+    format!(
+        "[{id} finished in {secs:.1}s — {points} points, \
+         {busy:.1}s point-compute, {realized:.1}x realized]\n"
+    )
 }
 
 fn main() -> ExitCode {
@@ -102,6 +164,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
     if let Some(path) = &args.custom {
         let json = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -117,19 +181,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match sweep.run() {
+        let ctx = args.ctx.fork();
+        let started = std::time::Instant::now();
+        match sweep.run_with(&ctx) {
             Ok(figs) => {
-                for fig in &figs {
-                    println!("{}", fig.to_text_table());
-                    if let Some(dir) = &args.out {
-                        let _ = std::fs::create_dir_all(dir);
-                        let p = dir.join(format!("{}.csv", fig.id));
-                        if let Err(e) = std::fs::write(&p, fig.to_csv()) {
-                            eprintln!("cannot write {}: {e}", p.display());
-                            return ExitCode::FAILURE;
-                        }
-                    }
+                if let Err(e) = emit_figures(&figs, args.out.as_ref(), &mut lock) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
                 }
+                let _ = writeln!(
+                    lock,
+                    "{}",
+                    summary_line(&sweep.id, started.elapsed().as_secs_f64(), &ctx.stats)
+                );
             }
             Err(e) => {
                 eprintln!("{path}: {e}");
@@ -150,58 +214,22 @@ fn main() -> ExitCode {
         }
     }
 
-    // Run experiments across worker threads (they are independent and
-    // deterministic); print results in submission order.
-    let n = args.experiments.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    type Slot = Option<(Vec<clipcache_experiments::FigureResult>, f64)>;
-    let slot_cells: Vec<std::sync::Mutex<Slot>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..args.jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let id = &args.experiments[i];
-                let started = std::time::Instant::now();
-                let results = run_experiment(id, &args.ctx).expect("validated above");
-                *slot_cells[i].lock().expect("no panics hold this lock") =
-                    Some((results, started.elapsed().as_secs_f64()));
-            });
+    // Experiments run one at a time in submission order; each fans its
+    // own data points across the `--jobs` worker pool (a fork per
+    // experiment keeps the per-point accounting separate).
+    for id in &args.experiments {
+        let ctx = args.ctx.fork();
+        let started = std::time::Instant::now();
+        let results = run_experiment(id, &ctx).expect("validated above");
+        if let Err(e) = emit_figures(&results, args.out.as_ref(), &mut lock) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-    });
-    let stdout = std::io::stdout();
-    let mut lock = stdout.lock();
-    for (i, id) in args.experiments.iter().enumerate() {
-        let (results, secs) = slot_cells[i]
-            .lock()
-            .expect("workers finished")
-            .take()
-            .expect("every slot filled");
-        for fig in &results {
-            // Hundreds of columns render unreadably; wide figures get
-            // sparklines on the console (the CSV keeps full precision).
-            if fig.x.len() > 24 {
-                let _ = writeln!(lock, "{}", fig.to_sparklines());
-            } else {
-                let _ = writeln!(lock, "{}", fig.to_text_table());
-            }
-            if let Some(dir) = &args.out {
-                let path = dir.join(format!("{}.csv", fig.id));
-                if let Err(e) = std::fs::write(&path, fig.to_csv()) {
-                    eprintln!("cannot write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
-                let md = dir.join(format!("{}.md", fig.id));
-                if let Err(e) = std::fs::write(&md, fig.to_markdown()) {
-                    eprintln!("cannot write {}: {e}", md.display());
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        let _ = writeln!(lock, "[{id} finished in {secs:.1}s]\n");
+        let _ = writeln!(
+            lock,
+            "{}",
+            summary_line(id, started.elapsed().as_secs_f64(), &ctx.stats)
+        );
     }
     ExitCode::SUCCESS
 }

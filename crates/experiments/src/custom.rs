@@ -19,42 +19,39 @@
 //! Policies use the registry's command-line spellings
 //! ([`PolicyKind::from_str`](clipcache_core::PolicyKind)); off-line
 //! policies receive the sweep's analytic frequencies automatically.
+//! Configs are parsed with [`crate::json`], so custom sweeps work even
+//! in the offline builds that stub out `serde_json`.
 
+use crate::context::ExperimentContext;
+use crate::json::{self, Json};
 use crate::report::{FigureResult, Series};
 use clipcache_core::PolicyKind;
 use clipcache_media::{paper, ByteSize, Repository};
 use clipcache_sim::runner::{simulate, SimulationConfig};
 use clipcache_workload::synthetic::{lognormal_repository, LognormalSpec};
 use clipcache_workload::{RequestGenerator, ShiftedZipf, Trace, Zipf};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which repository a custom sweep runs against.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "lowercase")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RepoSpec {
     /// The paper's variable-sized pattern.
     Variable {
         /// Clip count (default 576).
-        #[serde(default = "default_clips")]
         clips: usize,
     },
     /// Equal-size clips.
     Equi {
         /// Clip count (default 576).
-        #[serde(default = "default_clips")]
         clips: usize,
         /// Clip size in megabytes (default 1000).
-        #[serde(default = "default_equi_mb")]
         size_mb: u64,
     },
     /// Heavy-tailed lognormal sizes.
     Lognormal {
         /// Clip count (default 576).
-        #[serde(default = "default_clips")]
         clips: usize,
         /// Shape parameter (default 1.8).
-        #[serde(default = "default_sigma")]
         sigma: f64,
     },
 }
@@ -78,8 +75,61 @@ fn default_seed() -> u64 {
     7
 }
 
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| format!("field `{key}` must be a string"))
+}
+
+fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(n) => n
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_usize(v: &Json, key: &str, default: usize) -> Result<usize, String> {
+    opt_u64(v, key, default as u64).map(|n| n as usize)
+}
+
+fn opt_f64(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(n) => n
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+impl RepoSpec {
+    /// Parse from a parsed JSON object: `{ "kind": "...", ... }` with
+    /// per-kind optional fields.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let kind = req_str(v, "kind")?;
+        let clips = opt_usize(v, "clips", default_clips())?;
+        match kind.as_str() {
+            "variable" => Ok(RepoSpec::Variable { clips }),
+            "equi" => Ok(RepoSpec::Equi {
+                clips,
+                size_mb: opt_u64(v, "size_mb", default_equi_mb())?,
+            }),
+            "lognormal" => Ok(RepoSpec::Lognormal {
+                clips,
+                sigma: opt_f64(v, "sigma", default_sigma())?,
+            }),
+            other => Err(format!(
+                "unknown repository kind `{other}` (expected variable, equi, or lognormal)"
+            )),
+        }
+    }
+}
+
 /// A user-defined ratio sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CustomSweep {
     /// Identifier (used for output file names).
     pub id: String,
@@ -91,21 +141,56 @@ pub struct CustomSweep {
     pub policies: Vec<String>,
     /// The `S_T / S_DB` values swept.
     pub ratios: Vec<f64>,
-    /// Requests per data point.
-    #[serde(default = "default_requests")]
+    /// Requests per data point (default 10000).
     pub requests: u64,
-    /// Zipf parameter.
-    #[serde(default = "default_theta")]
+    /// Zipf parameter (default 0.27).
     pub theta: f64,
-    /// Workload seed.
-    #[serde(default = "default_seed")]
+    /// Workload seed (default 7).
     pub seed: u64,
 }
 
 impl CustomSweep {
     /// Parse a sweep from JSON.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        let sweep: CustomSweep = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("a sweep config must be a JSON object".into());
+        }
+        let repository =
+            RepoSpec::from_json_value(v.get("repository").ok_or("missing field `repository`")?)?;
+        let policies = v
+            .get("policies")
+            .ok_or("missing field `policies`")?
+            .as_array()
+            .ok_or("field `policies` must be an array")?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| "field `policies` must contain strings".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let ratios = v
+            .get("ratios")
+            .ok_or("missing field `ratios`")?
+            .as_array()
+            .ok_or("field `ratios` must be an array")?
+            .iter()
+            .map(|r| {
+                r.as_f64()
+                    .ok_or_else(|| "field `ratios` must contain numbers".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let sweep = CustomSweep {
+            id: req_str(&v, "id")?,
+            title: req_str(&v, "title")?,
+            repository,
+            policies,
+            ratios,
+            requests: opt_u64(&v, "requests", default_requests())?,
+            theta: opt_f64(&v, "theta", default_theta())?,
+            seed: opt_u64(&v, "seed", default_seed())?,
+        };
         sweep.validate()?;
         Ok(sweep)
     }
@@ -151,8 +236,20 @@ impl CustomSweep {
         })
     }
 
-    /// Run the sweep: one hit-rate figure and one byte-hit-rate figure.
+    /// Run the sweep serially. Equivalent to [`run_with`](Self::run_with)
+    /// on a default (single-job) context.
     pub fn run(&self) -> Result<Vec<FigureResult>, String> {
+        self.run_with(&ExperimentContext::default())
+    }
+
+    /// Run the sweep on `ctx`'s worker pool: one hit-rate figure and one
+    /// byte-hit-rate figure.
+    ///
+    /// Only `ctx.jobs` and its [`SweepStats`](crate::SweepStats) are
+    /// consulted — the workload is driven entirely by the sweep's own
+    /// `requests`/`theta`/`seed` fields, so the output is bit-identical
+    /// at any job count (and to the serial [`run`](Self::run)).
+    pub fn run_with(&self, ctx: &ExperimentContext) -> Result<Vec<FigureResult>, String> {
         self.validate()?;
         let repo = self.build_repo();
         let trace = Trace::from_generator(RequestGenerator::new(
@@ -164,28 +261,45 @@ impl CustomSweep {
         ));
         let freqs = ShiftedZipf::new(Zipf::new(repo.len(), self.theta), 0).frequencies();
         let config = SimulationConfig::default();
+        let policies: Vec<PolicyKind> = self
+            .policies
+            .iter()
+            .map(|s| s.parse())
+            .collect::<Result<_, String>>()?;
 
-        let mut hit_series = Vec::new();
-        let mut byte_series = Vec::new();
-        for spec in &self.policies {
-            let policy: PolicyKind = spec.parse()?;
-            let mut hits = Vec::with_capacity(self.ratios.len());
-            let mut bytes = Vec::with_capacity(self.ratios.len());
-            for &ratio in &self.ratios {
-                let mut cache = policy
-                    .try_build(
-                        Arc::clone(&repo),
-                        repo.cache_capacity_for_ratio(ratio),
-                        self.seed,
-                        Some(&freqs),
-                    )
-                    .map_err(|e| e.to_string())?;
-                let report = simulate(cache.as_mut(), &repo, trace.requests(), &config);
-                hits.push(report.hit_rate());
-                bytes.push(report.byte_hit_rate());
-            }
-            hit_series.push(Series::new(policy.to_string(), hits));
-            byte_series.push(Series::new(policy.to_string(), bytes));
+        // The (policy, ratio) grid as independent points, row-major by
+        // policy so rows reassemble by chunking.
+        let grid: Vec<(usize, f64)> = (0..policies.len())
+            .flat_map(|pi| self.ratios.iter().map(move |&r| (pi, r)))
+            .collect();
+        let cells = ctx.run_points(&grid, |_, &(pi, ratio)| {
+            policies[pi]
+                .try_build(
+                    Arc::clone(&repo),
+                    repo.cache_capacity_for_ratio(ratio),
+                    self.seed,
+                    Some(&freqs),
+                )
+                .map_err(|e| e.to_string())
+                .map(|mut cache| {
+                    let report = simulate(cache.as_mut(), &repo, trace.requests(), &config);
+                    (report.hit_rate(), report.byte_hit_rate())
+                })
+        });
+        let cells: Vec<(f64, f64)> = cells.into_iter().collect::<Result<_, _>>()?;
+
+        let mut hit_series = Vec::with_capacity(policies.len());
+        let mut byte_series = Vec::with_capacity(policies.len());
+        for (pi, policy) in policies.iter().enumerate() {
+            let row = &cells[pi * self.ratios.len()..(pi + 1) * self.ratios.len()];
+            hit_series.push(Series::new(
+                policy.to_string(),
+                row.iter().map(|c| c.0).collect(),
+            ));
+            byte_series.push(Series::new(
+                policy.to_string(),
+                row.iter().map(|c| c.1).collect(),
+            ));
         }
         let x: Vec<String> = self.ratios.iter().map(|r| r.to_string()).collect();
         Ok(vec![
@@ -242,6 +356,7 @@ mod tests {
     #[test]
     fn rejects_bad_configs() {
         assert!(CustomSweep::from_json("{}").is_err());
+        assert!(CustomSweep::from_json("not json at all").is_err());
         let bad_policy = sample_json().replace("lru-2", "frobnicate");
         assert!(CustomSweep::from_json(&bad_policy)
             .unwrap_err()
@@ -250,16 +365,21 @@ mod tests {
         assert!(CustomSweep::from_json(&bad_ratio)
             .unwrap_err()
             .contains("outside"));
+        let bad_kind = sample_json().replace("lognormal", "frobnical");
+        assert!(CustomSweep::from_json(&bad_kind)
+            .unwrap_err()
+            .contains("frobnical"));
     }
 
     #[test]
-    fn repo_specs_build() {
+    fn repo_specs_build_with_defaults() {
         for repo_json in [
             r#"{ "kind": "variable" }"#,
             r#"{ "kind": "equi", "clips": 10, "size_mb": 100 }"#,
             r#"{ "kind": "lognormal" }"#,
         ] {
-            let spec: RepoSpec = serde_json::from_str(repo_json).unwrap();
+            let v = json::parse(repo_json).unwrap();
+            let spec = RepoSpec::from_json_value(&v).unwrap();
             let sweep = CustomSweep {
                 id: "x".into(),
                 title: "x".into(),
@@ -272,6 +392,9 @@ mod tests {
             };
             assert!(!sweep.build_repo().is_empty());
         }
+        let defaulted =
+            RepoSpec::from_json_value(&json::parse(r#"{ "kind": "variable" }"#).unwrap()).unwrap();
+        assert_eq!(defaulted, RepoSpec::Variable { clips: 576 });
     }
 
     #[test]
@@ -280,5 +403,15 @@ mod tests {
         let sweep = CustomSweep::from_json(&json).unwrap();
         let figs = sweep.run().unwrap();
         assert!(figs[0].series.iter().any(|s| s.name == "Simple"));
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let sweep = CustomSweep::from_json(sample_json()).unwrap();
+        let serial = sweep.run().unwrap();
+        let ctx = ExperimentContext::default().with_jobs(4);
+        let parallel = sweep.run_with(&ctx).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(ctx.stats.points(), 4); // 2 policies x 2 ratios
     }
 }

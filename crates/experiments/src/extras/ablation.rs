@@ -55,22 +55,23 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         requests,
         ctx.sub_seed(0xFA),
     ));
-    let mut counted_equi = Vec::new();
-    let mut literal_equi = Vec::new();
-    let mut counted_var = Vec::new();
-    let mut literal_var = Vec::new();
-    for &ratio in &RATIOS {
+    let igd_cells = ctx.run_points(&RATIOS, |_, &ratio| {
         let cap_e = equi.cache_capacity_for_ratio(ratio);
         let mut a = IgdCache::with_nref_mode(Arc::clone(&equi), cap_e, 1, NrefMode::CountAdmission);
-        counted_equi.push(rate(&mut a, &equi, &trace_e));
+        let counted_e = rate(&mut a, &equi, &trace_e);
         let mut b = IgdCache::with_nref_mode(Arc::clone(&equi), cap_e, 1, NrefMode::LiteralZero);
-        literal_equi.push(rate(&mut b, &equi, &trace_e));
+        let literal_e = rate(&mut b, &equi, &trace_e);
         let cap_v = var0.cache_capacity_for_ratio(ratio);
         let mut c = IgdCache::with_nref_mode(Arc::clone(&var0), cap_v, 1, NrefMode::CountAdmission);
-        counted_var.push(rate(&mut c, &var0, &trace_v0));
+        let counted_v = rate(&mut c, &var0, &trace_v0);
         let mut d = IgdCache::with_nref_mode(Arc::clone(&var0), cap_v, 1, NrefMode::LiteralZero);
-        literal_var.push(rate(&mut d, &var0, &trace_v0));
-    }
+        let literal_v = rate(&mut d, &var0, &trace_v0);
+        (counted_e, literal_e, counted_v, literal_v)
+    });
+    let counted_equi: Vec<f64> = igd_cells.iter().map(|c| c.0).collect();
+    let literal_equi: Vec<f64> = igd_cells.iter().map(|c| c.1).collect();
+    let counted_var: Vec<f64> = igd_cells.iter().map(|c| c.2).collect();
+    let literal_var: Vec<f64> = igd_cells.iter().map(|c| c.3).collect();
     let igd_fig = FigureResult::new(
         "ablation_igd",
         "IGD nref on admission: nref=1 (default) vs the paper's literal nref=0",
@@ -94,16 +95,17 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         requests,
         ctx.sub_seed(0xF9),
     ));
-    let mut two_pass = Vec::new();
-    let mut single_pass = Vec::new();
-    for &ratio in &RATIOS {
+    let dyn_cells = ctx.run_points(&RATIOS, |_, &ratio| {
         let capacity = var.cache_capacity_for_ratio(ratio);
         let mut a = DynSimpleCache::new(Arc::clone(&var), capacity, 2);
-        two_pass.push(rate(&mut a, &var, &trace_v));
+        let two = rate(&mut a, &var, &trace_v);
         let mut b = DynSimpleCache::new(Arc::clone(&var), capacity, 2);
         b.set_eviction_mode(EvictionMode::SinglePass);
-        single_pass.push(rate(&mut b, &var, &trace_v));
-    }
+        let one = rate(&mut b, &var, &trace_v);
+        (two, one)
+    });
+    let two_pass: Vec<f64> = dyn_cells.iter().map(|c| c.0).collect();
+    let single_pass: Vec<f64> = dyn_cells.iter().map(|c| c.1).collect();
     let dyn_fig = FigureResult::new(
         "ablation_dynsimple",
         "DYNSimple victim selection: Figure 4's two-pass vs plain ascending-value",

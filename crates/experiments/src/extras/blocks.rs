@@ -31,18 +31,22 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     ));
     let config = SimulationConfig::default();
 
-    let mut block_vals = Vec::with_capacity(BLOCK_MB.len());
-    for &mb in &BLOCK_MB {
-        let mut cache = PolicyKind::BlockLruK {
-            k: 2,
-            block_bytes: mb * MB,
-        }
-        .build(Arc::clone(&repo), capacity, 1, None);
-        block_vals.push(simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate());
-    }
-    // DYNSimple reference (constant across block sizes).
-    let mut dyn_cache = PolicyKind::DynSimple { k: 2 }.build(Arc::clone(&repo), capacity, 1, None);
-    let dyn_rate = simulate(dyn_cache.as_mut(), &repo, trace.requests(), &config).hit_rate();
+    // One point per block size plus one for the DYNSimple reference
+    // (`None`), all fanned out together.
+    let points: Vec<Option<u64>> = BLOCK_MB.iter().copied().map(Some).chain([None]).collect();
+    let vals = ctx.run_points(&points, |_, &point| {
+        let kind = match point {
+            Some(mb) => PolicyKind::BlockLruK {
+                k: 2,
+                block_bytes: mb * MB,
+            },
+            None => PolicyKind::DynSimple { k: 2 },
+        };
+        let mut cache = kind.build(Arc::clone(&repo), capacity, 1, None);
+        simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate()
+    });
+    let block_vals = vals[..BLOCK_MB.len()].to_vec();
+    let dyn_rate = vals[BLOCK_MB.len()];
 
     vec![FigureResult::new(
         "blocks",

@@ -46,11 +46,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     let total_video = repo.len() as f64 - total_audio;
 
     let lineup = policies();
-    let mut audio_resident = Vec::new();
-    let mut video_resident = Vec::new();
-    let mut audio_hit = Vec::new();
-    let mut video_hit = Vec::new();
-    for policy in &lineup {
+    let cells = ctx.run_points(&lineup, |_, policy| {
         let mut cache = policy.build(Arc::clone(&repo), capacity, 5, Some(&freqs));
         let mut hits = [0u64; 2]; // audio, video
         let mut reqs = [0u64; 2];
@@ -68,19 +64,25 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
             .filter(|&&c| repo.clip(c).media == MediaType::Audio)
             .count() as f64;
         let res_video = resident.len() as f64 - res_audio;
-        audio_resident.push(res_audio / total_audio);
-        video_resident.push(res_video / total_video);
-        audio_hit.push(if reqs[0] == 0 {
-            0.0
-        } else {
-            hits[0] as f64 / reqs[0] as f64
-        });
-        video_hit.push(if reqs[1] == 0 {
-            0.0
-        } else {
-            hits[1] as f64 / reqs[1] as f64
-        });
-    }
+        (
+            res_audio / total_audio,
+            res_video / total_video,
+            if reqs[0] == 0 {
+                0.0
+            } else {
+                hits[0] as f64 / reqs[0] as f64
+            },
+            if reqs[1] == 0 {
+                0.0
+            } else {
+                hits[1] as f64 / reqs[1] as f64
+            },
+        )
+    });
+    let audio_resident: Vec<f64> = cells.iter().map(|c| c.0).collect();
+    let video_resident: Vec<f64> = cells.iter().map(|c| c.1).collect();
+    let audio_hit: Vec<f64> = cells.iter().map(|c| c.2).collect();
+    let video_hit: Vec<f64> = cells.iter().map(|c| c.3).collect();
 
     vec![FigureResult::new(
         "composition",

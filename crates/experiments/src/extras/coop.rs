@@ -26,10 +26,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     let repo = Arc::new(paper::variable_sized_repository_of(96));
     let rounds = ctx.requests(1_000);
 
-    let mut offload = Vec::with_capacity(RADII.len());
-    let mut peer = Vec::with_capacity(RADII.len());
-    let mut throughput = Vec::with_capacity(RADII.len());
-    for &radius in &RADII {
+    let radius_cells = ctx.run_points(&RADII, |_, &radius| {
         let devices: Vec<Device> = (0..DEVICES)
             .map(|i| {
                 let cache = PolicyKind::DynSimple { k: 2 }.build(
@@ -60,10 +57,15 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         };
         let mut sim = CoopRegionSim::new(devices, BaseStation::new(Bandwidth::mbps(8)), config);
         let report = sim.run(rounds);
-        offload.push(report.offload_rate());
-        peer.push(report.peer_hit_rate());
-        throughput.push(report.mean_throughput());
-    }
+        (
+            report.offload_rate(),
+            report.peer_hit_rate(),
+            report.mean_throughput(),
+        )
+    });
+    let offload: Vec<f64> = radius_cells.iter().map(|c| c.0).collect();
+    let peer: Vec<f64> = radius_cells.iter().map(|c| c.1).collect();
+    let throughput: Vec<f64> = radius_cells.iter().map(|c| c.2).collect();
 
     let radius_fig = FigureResult::new(
         "coop",
@@ -80,10 +82,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     // Coordinated placement: partition clip ownership across the region
     // (replicas = number of owners per clip; `greedy` = no partition).
     let replica_axis: [Option<usize>; 5] = [Some(1), Some(2), Some(4), Some(8), None];
-    let mut offload_c = Vec::new();
-    let mut local_c = Vec::new();
-    let mut peer_c = Vec::new();
-    for &replicas in &replica_axis {
+    let replica_cells = ctx.run_points(&replica_axis, |_, &replicas| {
         let devices: Vec<Device> = (0..DEVICES)
             .map(|i| {
                 let inner = PolicyKind::DynSimple { k: 2 }.build(
@@ -120,10 +119,11 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         };
         let mut sim = CoopRegionSim::new(devices, BaseStation::new(Bandwidth::mbps(8)), config);
         let report = sim.run(rounds);
-        offload_c.push(report.offload_rate());
-        peer_c.push(report.peer_hit_rate());
-        local_c.push(report.offload_rate() - report.peer_hit_rate());
-    }
+        (report.offload_rate(), report.peer_hit_rate())
+    });
+    let offload_c: Vec<f64> = replica_cells.iter().map(|c| c.0).collect();
+    let peer_c: Vec<f64> = replica_cells.iter().map(|c| c.1).collect();
+    let local_c: Vec<f64> = replica_cells.iter().map(|c| c.0 - c.1).collect();
     let coordination_fig = FigureResult::new(
         "coop_coordination",
         "Coordinated (partitioned) vs greedy placement at radio radius 8",

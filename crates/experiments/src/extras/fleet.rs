@@ -40,10 +40,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     let repo = Arc::new(paper::variable_sized_repository_of(96));
     let rounds = ctx.requests(1_000);
 
-    let mut throughput = Vec::with_capacity(UPGRADED.len());
-    let mut rejections = Vec::with_capacity(UPGRADED.len());
-    let mut hit_rate = Vec::with_capacity(UPGRADED.len());
-    for &upgraded in &UPGRADED {
+    let cells = ctx.run_points(&UPGRADED, |_, &upgraded| {
         let devices: Vec<Device> = (0..DEVICES)
             .map(|i| {
                 let policy = if i < upgraded {
@@ -75,10 +72,15 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
             .collect();
         let mut region = RegionSim::new(devices, BaseStation::new(Bandwidth::mbps(8)));
         let report = region.run(rounds);
-        throughput.push(report.mean_throughput());
-        rejections.push(report.mean_rejections());
-        hit_rate.push(report.aggregate_hit_rate());
-    }
+        (
+            report.mean_throughput(),
+            report.mean_rejections(),
+            report.aggregate_hit_rate(),
+        )
+    });
+    let throughput: Vec<f64> = cells.iter().map(|c| c.0).collect();
+    let rejections: Vec<f64> = cells.iter().map(|c| c.1).collect();
+    let hit_rate: Vec<f64> = cells.iter().map(|c| c.2).collect();
 
     vec![FigureResult::new(
         "fleet",

@@ -32,14 +32,15 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     let config = SimulationConfig::default();
     let capacity = repo.cache_capacity_for_ratio(0.125);
 
-    let mut dyn_vals = Vec::with_capacity(KS.len());
-    let mut lrusk_vals = Vec::with_capacity(KS.len());
-    for &k in &KS {
+    let pairs = ctx.run_points(&KS, |_, &k| {
         let mut d = PolicyKind::DynSimple { k }.build(Arc::clone(&repo), capacity, 1, None);
-        dyn_vals.push(simulate(d.as_mut(), &repo, trace.requests(), &config).hit_rate());
+        let dyn_hit = simulate(d.as_mut(), &repo, trace.requests(), &config).hit_rate();
         let mut l = PolicyKind::LruSK { k }.build(Arc::clone(&repo), capacity, 1, None);
-        lrusk_vals.push(simulate(l.as_mut(), &repo, trace.requests(), &config).hit_rate());
-    }
+        let lrusk_hit = simulate(l.as_mut(), &repo, trace.requests(), &config).hit_rate();
+        (dyn_hit, lrusk_hit)
+    });
+    let dyn_vals: Vec<f64> = pairs.iter().map(|&(d, _)| d).collect();
+    let lrusk_vals: Vec<f64> = pairs.iter().map(|&(_, l)| l).collect();
 
     vec![FigureResult::new(
         "ksweep",

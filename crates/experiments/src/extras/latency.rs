@@ -33,11 +33,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         ..SimulationConfig::default()
     };
 
-    let mut mean_latency = Vec::with_capacity(RATIOS.len());
-    let mut p95_latency = Vec::with_capacity(RATIOS.len());
-    let mut unavailability = Vec::with_capacity(RATIOS.len());
-    let mut hit_rates = Vec::with_capacity(RATIOS.len());
-    for &ratio in &RATIOS {
+    let cells = ctx.run_points(&RATIOS, |_, &ratio| {
         let mut cache = PolicyKind::DynSimple { k: 2 }.build(
             Arc::clone(&repo),
             repo.cache_capacity_for_ratio(ratio),
@@ -45,11 +41,17 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
             None,
         );
         let report = simulate(cache.as_mut(), &repo, trace.requests(), &config);
-        mean_latency.push(report.latency.mean_secs());
-        p95_latency.push(report.latency.percentile(0.95));
-        unavailability.push(report.latency.unavailability());
-        hit_rates.push(report.hit_rate());
-    }
+        (
+            report.latency.mean_secs(),
+            report.latency.percentile(0.95),
+            report.latency.unavailability(),
+            report.hit_rate(),
+        )
+    });
+    let mean_latency: Vec<f64> = cells.iter().map(|c| c.0).collect();
+    let p95_latency: Vec<f64> = cells.iter().map(|c| c.1).collect();
+    let unavailability: Vec<f64> = cells.iter().map(|c| c.2).collect();
+    let hit_rates: Vec<f64> = cells.iter().map(|c| c.3).collect();
 
     vec![FigureResult::new(
         "latency",

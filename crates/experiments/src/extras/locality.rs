@@ -37,30 +37,41 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     ];
     let config = SimulationConfig::default();
 
-    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for (li, &locality) in LOCALITY.iter().enumerate() {
-        let trace = Trace::from_requests(
+    // Materialize each locality level's trace once (shared across
+    // policies), then fan the (locality, policy) grid out.
+    let locality_indices: Vec<usize> = (0..LOCALITY.len()).collect();
+    let traces: Vec<Trace> = ctx.run_points(&locality_indices, |_, &li| {
+        Trace::from_requests(
             StackModelGenerator::new(
                 repo.len(),
                 THETA,
-                locality,
+                LOCALITY[li],
                 DEPTH_WINDOW,
                 requests,
                 ctx.sub_seed(0xF400 + li as u64),
             )
             .collect(),
-        );
-        for (pi, policy) in policies.iter().enumerate() {
-            let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
-            per_policy[pi]
-                .push(simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate());
-        }
-    }
+        )
+    });
+    let grid: Vec<(usize, usize)> = locality_indices
+        .iter()
+        .flat_map(|&li| (0..policies.len()).map(move |pi| (li, pi)))
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(li, pi)| {
+        let mut cache = policies[pi].build(Arc::clone(&repo), capacity, 1, None);
+        simulate(cache.as_mut(), &repo, traces[li].requests(), &config).hit_rate()
+    });
 
     let series = policies
         .iter()
-        .zip(per_policy)
-        .map(|(p, v)| Series::new(p.to_string(), v))
+        .enumerate()
+        .map(|(pi, p)| {
+            let values = locality_indices
+                .iter()
+                .map(|&li| cells[li * policies.len() + pi])
+                .collect();
+            Series::new(p.to_string(), values)
+        })
         .collect();
     vec![FigureResult::new(
         "locality",

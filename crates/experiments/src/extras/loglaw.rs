@@ -77,11 +77,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         ctx.sub_seed(0xF5),
     ));
 
-    // 1. The log law: hit rate up a geometric ladder.
-    let ladder_rates: Vec<f64> = LADDER
-        .iter()
-        .map(|&r| hit_rate(&repo, PolicyKind::DynSimple { k: 2 }, r, &trace))
-        .collect();
+    // 1. The log law: hit rate up a geometric ladder, one point per rung.
+    let ladder_rates = ctx.run_points(&LADDER, |_, &r| {
+        hit_rate(&repo, PolicyKind::DynSimple { k: 2 }, r, &trace)
+    });
     let log_fig = FigureResult::new(
         "loglaw",
         "Hit rate up a geometric cache-size ladder (log law: equal steps)",
@@ -90,18 +89,18 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         vec![Series::new("DYNSimple(K=2)", ladder_rates)],
     );
 
-    // 2. Equivalent-cache multipliers.
-    let mut multipliers = Vec::with_capacity(ANCHORS.len());
-    let mut dyn_rates = Vec::with_capacity(ANCHORS.len());
-    for &anchor in &ANCHORS {
+    // 2. Equivalent-cache multipliers: each anchor's target measurement
+    // plus its whole bisection is one sequential point.
+    let cells = ctx.run_points(&ANCHORS, |_, &anchor| {
         let target = hit_rate(&repo, PolicyKind::DynSimple { k: 2 }, anchor, &trace);
-        dyn_rates.push(target);
-        let needed = lru2_ratio_for(&repo, &trace, target);
-        multipliers.push(match needed {
+        let multiplier = match lru2_ratio_for(&repo, &trace, target) {
             Some(r) => r / anchor,
             None => f64::INFINITY,
-        });
-    }
+        };
+        (target, multiplier)
+    });
+    let dyn_rates: Vec<f64> = cells.iter().map(|c| c.0).collect();
+    let multipliers: Vec<f64> = cells.iter().map(|c| c.1).collect();
     let eq_fig = FigureResult::new(
         "loglaw_equiv",
         "Cache size LRU-2 needs to match DYNSimple(K=2)'s hit rate",

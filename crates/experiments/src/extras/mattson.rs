@@ -20,23 +20,30 @@ use std::sync::Arc;
 /// The ratio sweep shared with Figure 2.
 pub const RATIOS: [f64; 6] = [0.0125, 0.1, 0.2, 0.3, 0.5, 0.75];
 
-fn curve_pair(repo: &Arc<Repository>, trace: &Trace) -> (Vec<f64>, Vec<f64>) {
-    let mut analyzer = StackDistanceAnalyzer::new(repo);
-    analyzer.record_all(trace.requests());
+fn curve_pair(
+    ctx: &ExperimentContext,
+    repo: &Arc<Repository>,
+    trace: &Trace,
+) -> (Vec<f64>, Vec<f64>) {
     let capacities: Vec<_> = RATIOS
         .iter()
         .map(|&r| repo.cache_capacity_for_ratio(r))
         .collect();
-    let predicted = analyzer.predicted_curve(&capacities);
+    // The one-pass Mattson analysis and the per-capacity LRU
+    // simulations are all independent points.
+    let predicted = ctx
+        .run_points(&[()], |_, _| {
+            let mut analyzer = StackDistanceAnalyzer::new(repo);
+            analyzer.record_all(trace.requests());
+            analyzer.predicted_curve(&capacities)
+        })
+        .remove(0);
 
     let config = SimulationConfig::default();
-    let simulated: Vec<f64> = capacities
-        .iter()
-        .map(|&cap| {
-            let mut cache = PolicyKind::Lru.build(Arc::clone(repo), cap, 1, None);
-            simulate(cache.as_mut(), repo, trace.requests(), &config).hit_rate()
-        })
-        .collect();
+    let simulated = ctx.run_points(&capacities, |_, &cap| {
+        let mut cache = PolicyKind::Lru.build(Arc::clone(repo), cap, 1, None);
+        simulate(cache.as_mut(), repo, trace.requests(), &config).hit_rate()
+    });
     (predicted, simulated)
 }
 
@@ -53,7 +60,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         requests,
         ctx.sub_seed(0xEC),
     ));
-    let (pred_e, sim_e) = curve_pair(&equi, &trace_e);
+    let (pred_e, sim_e) = curve_pair(ctx, &equi, &trace_e);
 
     let var = Arc::new(paper::variable_sized_repository());
     let trace_v = Trace::from_generator(RequestGenerator::new(
@@ -63,7 +70,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         requests,
         ctx.sub_seed(0xED),
     ));
-    let (pred_v, sim_v) = curve_pair(&var, &trace_v);
+    let (pred_v, sim_v) = curve_pair(ctx, &var, &trace_v);
 
     vec![
         FigureResult::new(

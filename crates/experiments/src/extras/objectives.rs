@@ -47,16 +47,18 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     let capacity = repo.cache_capacity_for_ratio(0.125);
 
     let lineup = policies();
-    let mut hit = Vec::new();
-    let mut byte = Vec::new();
-    let mut latency = Vec::new();
-    for policy in &lineup {
+    let cells = ctx.run_points(&lineup, |_, policy| {
         let mut cache = policy.build(Arc::clone(&repo), capacity, 3, None);
         let report = simulate(cache.as_mut(), &repo, trace.requests(), &config);
-        hit.push(report.hit_rate());
-        byte.push(report.byte_hit_rate());
-        latency.push(report.latency.mean_secs());
-    }
+        (
+            report.hit_rate(),
+            report.byte_hit_rate(),
+            report.latency.mean_secs(),
+        )
+    });
+    let hit: Vec<f64> = cells.iter().map(|c| c.0).collect();
+    let byte: Vec<f64> = cells.iter().map(|c| c.1).collect();
+    let latency: Vec<f64> = cells.iter().map(|c| c.2).collect();
 
     vec![FigureResult::new(
         "objectives",

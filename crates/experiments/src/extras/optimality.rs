@@ -42,24 +42,35 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         PolicyKind::LruK { k: 2 },
         PolicyKind::Igd,
     ];
-    let mut min_rates = Vec::with_capacity(RATIOS.len());
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); online.len()];
-    for &ratio in &RATIOS {
+    // The (ratio, contender) grid — contender 0 is Belady's MIN, the
+    // rest are the on-line lineup — fanned out as independent points.
+    let contenders = online.len() + 1;
+    let grid: Vec<(f64, usize)> = RATIOS
+        .iter()
+        .flat_map(|&ratio| (0..contenders).map(move |ci| (ratio, ci)))
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(ratio, ci)| {
         let capacity = repo.cache_capacity_for_ratio(ratio);
-        let mut min = BeladyCache::new(Arc::clone(&repo), capacity, trace.requests());
-        min_rates.push(simulate(&mut min, &repo, trace.requests(), &config).hit_rate());
-        for (pi, policy) in online.iter().enumerate() {
-            let mut cache = policy.build(Arc::clone(&repo), capacity, 1, Some(&freqs));
-            series[pi].push(simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate());
+        if ci == 0 {
+            let mut min = BeladyCache::new(Arc::clone(&repo), capacity, trace.requests());
+            simulate(&mut min, &repo, trace.requests(), &config).hit_rate()
+        } else {
+            let mut cache = online[ci - 1].build(Arc::clone(&repo), capacity, 1, Some(&freqs));
+            simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate()
         }
-    }
+    });
+    let column = |ci: usize| -> Vec<f64> {
+        (0..RATIOS.len())
+            .map(|ri| cells[ri * contenders + ci])
+            .collect()
+    };
 
-    let mut all = vec![Series::new("Belady-MIN (offline optimal)", min_rates)];
+    let mut all = vec![Series::new("Belady-MIN (offline optimal)", column(0))];
     all.extend(
         online
             .iter()
-            .zip(series)
-            .map(|(p, v)| Series::new(p.to_string(), v)),
+            .enumerate()
+            .map(|(pi, p)| Series::new(p.to_string(), column(pi + 1))),
     );
     vec![FigureResult::new(
         "optimality",

@@ -25,8 +25,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     let requests = ctx.requests(10_000);
     let accurate = ShiftedZipf::new(Zipf::new(repo.len(), THETA), 0).frequencies();
 
-    let mut values = Vec::with_capacity(KS.len());
-    for &k in &KS {
+    let values = ctx.run_points(&KS, |_, &k| {
         let mut cache =
             DynSimpleCache::new(Arc::clone(&repo), repo.cache_capacity_for_ratio(0.125), k);
         let gen = RequestGenerator::new(repo.len(), THETA, 0, requests, ctx.sub_seed(0xE1));
@@ -36,8 +35,8 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
             cache.access(req.clip, req.at);
         }
         let estimated = cache.estimated_frequencies(last.next());
-        values.push(estimate_quality(&estimated, &accurate));
-    }
+        estimate_quality(&estimated, &accurate)
+    });
 
     vec![FigureResult::new(
         "quality",

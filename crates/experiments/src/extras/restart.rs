@@ -41,47 +41,51 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     ));
     let capacity = repo.cache_capacity_for_ratio(0.125);
 
-    let mut x: Vec<String> = Vec::new();
-    let mut series = Vec::new();
-    for policy in policies() {
-        // Interrupted run: snapshot at the midpoint, rebuild, resume.
-        let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
-        let mut windows = WindowedSeries::new(100);
-        let mut tick = Timestamp::ZERO;
-        for req in trace.slice(0, half as usize) {
-            tick = req.at;
-            windows.record(cache.access(req.clip, req.at).is_hit());
+    // One point per interrupted policy run, plus one (`None`) for the
+    // uninterrupted control of the strongest policy.
+    let points: Vec<Option<PolicyKind>> = policies().into_iter().map(Some).chain([None]).collect();
+    let series: Vec<Series> = ctx.run_points(&points, |_, &point| match point {
+        Some(policy) => {
+            // Interrupted run: snapshot at the midpoint, rebuild, resume.
+            let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
+            let mut windows = WindowedSeries::new(100);
+            let mut tick = Timestamp::ZERO;
+            for req in trace.slice(0, half as usize) {
+                tick = req.at;
+                windows.record(cache.access(req.clip, req.at).is_hit());
+            }
+            let snap = CacheSnapshot::take(cache.as_ref(), policy, tick);
+            drop(cache); // the reboot
+            let (mut cache, mut tick) =
+                restore(&snap, Arc::clone(&repo), 1, None).expect("online policies restore");
+            for req in trace.slice(half as usize, 2 * half as usize) {
+                tick = tick.next();
+                windows.record(cache.access(req.clip, tick).is_hit());
+            }
+            Series::new(
+                format!("{policy} (restart at {half})"),
+                windows.points().to_vec(),
+            )
         }
-        let snap = CacheSnapshot::take(cache.as_ref(), policy, tick);
-        drop(cache); // the reboot
-        let (mut cache, mut tick) =
-            restore(&snap, Arc::clone(&repo), 1, None).expect("online policies restore");
-        for req in trace.slice(half as usize, 2 * half as usize) {
-            tick = tick.next();
-            windows.record(cache.access(req.clip, tick).is_hit());
+        None => {
+            // Uninterrupted control for the strongest policy.
+            let policy = PolicyKind::DynSimple { k: 2 };
+            let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
+            let mut windows = WindowedSeries::new(100);
+            for req in trace.requests() {
+                windows.record(cache.access(req.clip, req.at).is_hit());
+            }
+            Series::new(format!("{policy} (no restart)"), windows.points().to_vec())
         }
-        if x.is_empty() {
-            x = (1..=windows.points().len())
+    });
+    let x: Vec<String> = series
+        .first()
+        .map(|s| {
+            (1..=s.values.len())
                 .map(|w| (w * 100).to_string())
-                .collect();
-        }
-        series.push(Series::new(
-            format!("{policy} (restart at {half})"),
-            windows.points().to_vec(),
-        ));
-    }
-
-    // Uninterrupted control for the strongest policy.
-    let policy = PolicyKind::DynSimple { k: 2 };
-    let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
-    let mut windows = WindowedSeries::new(100);
-    for req in trace.requests() {
-        windows.record(cache.access(req.clip, req.at).is_hit());
-    }
-    series.push(Series::new(
-        format!("{policy} (no restart)"),
-        windows.points().to_vec(),
-    ));
+                .collect()
+        })
+        .unwrap_or_default();
 
     vec![FigureResult::new(
         "restart",

@@ -29,9 +29,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     let requests = ctx.requests(10_000);
     let capacity = repo.cache_capacity_for_ratio(0.125);
 
-    let mut hit_rates = Vec::with_capacity(HORIZONS.len());
-    let mut peak_meta = Vec::with_capacity(HORIZONS.len());
-    for &horizon in &HORIZONS {
+    let cells = ctx.run_points(&HORIZONS, |_, &horizon| {
         let mut cache = DynSimpleCache::new(Arc::clone(&repo), capacity, 2);
         let gen = RequestGenerator::new(repo.len(), THETA, 0, requests, ctx.sub_seed(0xE9));
         let mut hits = 0u64;
@@ -48,9 +46,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
                 peak = peak.max(cache.history().metadata_bytes());
             }
         }
-        hit_rates.push(hits as f64 / requests as f64);
-        peak_meta.push(peak as f64);
-    }
+        (hits as f64 / requests as f64, peak as f64)
+    });
+    let hit_rates: Vec<f64> = cells.iter().map(|c| c.0).collect();
+    let peak_meta: Vec<f64> = cells.iter().map(|c| c.1).collect();
 
     let x: Vec<String> = HORIZONS
         .iter()

@@ -32,11 +32,13 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     ];
     let config = SimulationConfig::default();
 
-    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for (si, &sigma) in SIGMAS.iter().enumerate() {
+    // Materialize each sigma's repository and trace once (shared across
+    // policies), then fan the (sigma, policy) grid out.
+    let sigma_indices: Vec<usize> = (0..SIGMAS.len()).collect();
+    let worlds = ctx.run_points(&sigma_indices, |_, &si| {
         let repo = Arc::new(lognormal_repository(
             LognormalSpec {
-                sigma,
+                sigma: SIGMAS[si],
                 ..LognormalSpec::default()
             },
             ctx.sub_seed(0xF600 + si as u64),
@@ -48,18 +50,29 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
             requests,
             ctx.sub_seed(0xF700 + si as u64),
         ));
+        (repo, trace)
+    });
+    let grid: Vec<(usize, usize)> = sigma_indices
+        .iter()
+        .flat_map(|&si| (0..policies.len()).map(move |pi| (si, pi)))
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(si, pi)| {
+        let (repo, trace) = &worlds[si];
         let capacity = repo.cache_capacity_for_ratio(0.125);
-        for (pi, policy) in policies.iter().enumerate() {
-            let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
-            per_policy[pi]
-                .push(simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate());
-        }
-    }
+        let mut cache = policies[pi].build(Arc::clone(repo), capacity, 1, None);
+        simulate(cache.as_mut(), repo, trace.requests(), &config).hit_rate()
+    });
 
     let series = policies
         .iter()
-        .zip(per_policy)
-        .map(|(p, v)| Series::new(p.to_string(), v))
+        .enumerate()
+        .map(|(pi, p)| {
+            let values = sigma_indices
+                .iter()
+                .map(|&si| cells[si * policies.len() + pi])
+                .collect();
+            Series::new(p.to_string(), values)
+        })
         .collect();
     vec![FigureResult::new(
         "sizes",

@@ -30,26 +30,37 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     ];
     let config = SimulationConfig::default();
 
-    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for (ti, &theta) in THETAS.iter().enumerate() {
-        let trace = Trace::from_generator(RequestGenerator::new(
+    // Materialize each theta's trace once (shared across policies),
+    // then fan the (theta, policy) grid out as independent points.
+    let theta_indices: Vec<usize> = (0..THETAS.len()).collect();
+    let traces: Vec<Trace> = ctx.run_points(&theta_indices, |_, &ti| {
+        Trace::from_generator(RequestGenerator::new(
             repo.len(),
-            theta,
+            THETAS[ti],
             0,
             requests,
             ctx.sub_seed(0xE3 ^ (ti as u64) << 4),
-        ));
-        for (pi, policy) in policies.iter().enumerate() {
-            let mut cache = policy.build(Arc::clone(&repo), capacity, 1, None);
-            per_policy[pi]
-                .push(simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate());
-        }
-    }
+        ))
+    });
+    let grid: Vec<(usize, usize)> = theta_indices
+        .iter()
+        .flat_map(|&ti| (0..policies.len()).map(move |pi| (ti, pi)))
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(ti, pi)| {
+        let mut cache = policies[pi].build(Arc::clone(&repo), capacity, 1, None);
+        simulate(cache.as_mut(), &repo, traces[ti].requests(), &config).hit_rate()
+    });
 
     let series = policies
         .iter()
-        .zip(per_policy)
-        .map(|(p, v)| Series::new(p.to_string(), v))
+        .enumerate()
+        .map(|(pi, p)| {
+            let values = theta_indices
+                .iter()
+                .map(|&ti| cells[ti * policies.len() + pi])
+                .collect();
+            Series::new(p.to_string(), values)
+        })
         .collect();
     vec![FigureResult::new(
         "skew",

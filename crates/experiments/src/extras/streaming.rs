@@ -30,11 +30,15 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     // One simulated day at full scale; `scale` shortens the horizon.
     let horizon_secs = 24.0 * 3600.0 * ctx.scale.max(0.05);
 
-    let mut denial = Vec::with_capacity(RATIOS.len());
-    let mut concurrent = Vec::with_capacity(RATIOS.len());
-    let mut completed = Vec::with_capacity(RATIOS.len());
-    let mut startup = Vec::with_capacity(RATIOS.len());
-    for &ratio in &RATIOS {
+    // Both panels (cellular-only and the FMC day) sweep the same
+    // ratios with the same caches and workloads; only the connectivity
+    // schedule differs. Fan the full (ratio, schedule) grid out as one
+    // batch of independent points.
+    let grid: Vec<(f64, bool)> = RATIOS
+        .iter()
+        .flat_map(|&ratio| [(ratio, false), (ratio, true)])
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(ratio, fmc)| {
         let caches = (0..DEVICES)
             .map(|i| {
                 PolicyKind::DynSimple { k: 2 }.build(
@@ -56,6 +60,11 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
                 )
             })
             .collect();
+        let schedule = if fmc {
+            ConnectivitySchedule::fmc_day(25)
+        } else {
+            ConnectivitySchedule::always(NetworkLink::cellular_default())
+        };
         let mut sim = StreamingSim::new(
             Arc::clone(&repo),
             BaseStation::new(Bandwidth::mbps(8)),
@@ -65,17 +74,25 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
             },
             caches,
             workloads,
-            ConnectivitySchedule::always(NetworkLink::cellular_default()),
+            schedule,
         );
         // Devices arrive with history: warm each cache on 2,000 requests
         // before simulated time starts.
         sim.warm_up(2_000, ctx.sub_seed(0xF3));
         let report = sim.run();
-        denial.push(report.denial_rate());
-        concurrent.push(report.mean_concurrent_displays());
-        completed.push(report.displays_completed as f64);
-        startup.push(report.mean_startup_secs());
-    }
+        (
+            report.denial_rate(),
+            report.mean_concurrent_displays(),
+            report.displays_completed as f64,
+            report.mean_startup_secs(),
+        )
+    });
+    let cellular: Vec<_> = cells.iter().step_by(2).collect();
+    let fmc: Vec<_> = cells.iter().skip(1).step_by(2).collect();
+    let denial: Vec<f64> = cellular.iter().map(|c| c.0).collect();
+    let concurrent: Vec<f64> = cellular.iter().map(|c| c.1).collect();
+    let completed: Vec<f64> = cellular.iter().map(|c| c.2).collect();
+    let startup: Vec<f64> = cellular.iter().map(|c| c.3).collect();
 
     let cellular_fig = FigureResult::new(
         "streaming",
@@ -94,46 +111,8 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
     // cellular). Wi-Fi misses ride per-device broadband and bypass the
     // shared station, so the same caches deny far less than on
     // cellular-only days — the convergence story of the paper's intro.
-    let mut denial_fmc = Vec::with_capacity(RATIOS.len());
-    let mut startup_fmc = Vec::with_capacity(RATIOS.len());
-    for &ratio in &RATIOS {
-        let caches = (0..DEVICES)
-            .map(|i| {
-                PolicyKind::DynSimple { k: 2 }.build(
-                    Arc::clone(&repo),
-                    repo.cache_capacity_for_ratio(ratio),
-                    ctx.sub_seed(0xF100 + i as u64),
-                    None,
-                )
-            })
-            .collect();
-        let workloads = (0..DEVICES)
-            .map(|i| {
-                RequestGenerator::new(
-                    repo.len(),
-                    THETA,
-                    0,
-                    1_000_000,
-                    ctx.sub_seed(0xF200 + i as u64),
-                )
-            })
-            .collect();
-        let mut sim = StreamingSim::new(
-            Arc::clone(&repo),
-            BaseStation::new(Bandwidth::mbps(8)),
-            StreamingConfig {
-                horizon_secs,
-                ..StreamingConfig::default()
-            },
-            caches,
-            workloads,
-            ConnectivitySchedule::fmc_day(25),
-        );
-        sim.warm_up(2_000, ctx.sub_seed(0xF3));
-        let report = sim.run();
-        denial_fmc.push(report.denial_rate());
-        startup_fmc.push(report.mean_startup_secs());
-    }
+    let denial_fmc: Vec<f64> = fmc.iter().map(|c| c.0).collect();
+    let startup_fmc: Vec<f64> = fmc.iter().map(|c| c.3).collect();
     let fmc_fig = FigureResult::new(
         "streaming_fmc",
         "Same region across the FMC day: Wi-Fi misses bypass the shared station",

@@ -35,24 +35,32 @@ pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
         PolicyKind::Random,
     ];
 
+    // Materialize each replica's trace once (shared by all policies),
+    // then fan the (policy, replica) grid out as independent points.
+    let replica_ids: Vec<usize> = (0..REPLICAS).collect();
+    let traces: Vec<Trace> = ctx.run_points(&replica_ids, |_, &r| {
+        Trace::from_generator(RequestGenerator::new(
+            n,
+            THETA,
+            0,
+            requests,
+            ctx.sub_seed(0xEE00 + r as u64),
+        ))
+    });
+    let grid: Vec<(usize, usize)> = (0..policies.len())
+        .flat_map(|pi| replica_ids.iter().map(move |&r| (pi, r)))
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(pi, r)| {
+        let mut cache = policies[pi].build(Arc::clone(&repo), capacity, r as u64, Some(&freqs));
+        simulate(cache.as_mut(), &repo, traces[r].requests(), &config).hit_rate()
+    });
+
     let mut means = Vec::with_capacity(policies.len());
     let mut sds = Vec::with_capacity(policies.len());
     let mut mins = Vec::with_capacity(policies.len());
     let mut maxs = Vec::with_capacity(policies.len());
-    for policy in &policies {
-        let rates: Vec<f64> = (0..REPLICAS)
-            .map(|r| {
-                let trace = Trace::from_generator(RequestGenerator::new(
-                    n,
-                    THETA,
-                    0,
-                    requests,
-                    ctx.sub_seed(0xEE00 + r as u64),
-                ));
-                let mut cache = policy.build(Arc::clone(&repo), capacity, r as u64, Some(&freqs));
-                simulate(cache.as_mut(), &repo, trace.requests(), &config).hit_rate()
-            })
-            .collect();
+    for pi in 0..policies.len() {
+        let rates = &cells[pi * REPLICAS..(pi + 1) * REPLICAS];
         let mean = rates.iter().sum::<f64>() / REPLICAS as f64;
         let var = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / REPLICAS as f64;
         means.push(mean);

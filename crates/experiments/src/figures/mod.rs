@@ -40,25 +40,40 @@ pub(crate) fn ratio_sweep(
     let freqs = ShiftedZipf::new(Zipf::new(repo.len(), THETA), 0).frequencies();
     let config = SimulationConfig::default();
 
+    // Every (policy, ratio) cell is an independent simulation point:
+    // fresh cache, shared immutable trace/frequencies. Fan the whole
+    // grid out and reassemble rows afterwards — results are identical
+    // at any `ctx.jobs` because each point's seed depends only on
+    // (fig_tag, pi), never on scheduling.
+    let grid: Vec<(usize, f64)> = policies
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| ratios.iter().map(move |&ratio| (pi, ratio)))
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(pi, ratio)| {
+        let capacity = repo.cache_capacity_for_ratio(ratio);
+        let mut cache = policies[pi].build(
+            Arc::clone(repo),
+            capacity,
+            ctx.policy_seed(fig_tag, pi),
+            Some(&freqs),
+        );
+        let report = simulate(cache.as_mut(), repo, trace.requests(), &config);
+        (report.hit_rate(), report.byte_hit_rate())
+    });
+
     let mut hit_series = Vec::with_capacity(policies.len());
     let mut byte_series = Vec::with_capacity(policies.len());
     for (pi, policy) in policies.iter().enumerate() {
-        let mut hits = Vec::with_capacity(ratios.len());
-        let mut bytes = Vec::with_capacity(ratios.len());
-        for &ratio in ratios {
-            let capacity = repo.cache_capacity_for_ratio(ratio);
-            let mut cache = policy.build(
-                Arc::clone(repo),
-                capacity,
-                ctx.sub_seed(fig_tag ^ (pi as u64) << 8),
-                Some(&freqs),
-            );
-            let report = simulate(cache.as_mut(), repo, trace.requests(), &config);
-            hits.push(report.hit_rate());
-            bytes.push(report.byte_hit_rate());
-        }
-        hit_series.push(Series::new(policy.to_string(), hits));
-        byte_series.push(Series::new(policy.to_string(), bytes));
+        let row = &cells[pi * ratios.len()..(pi + 1) * ratios.len()];
+        hit_series.push(Series::new(
+            policy.to_string(),
+            row.iter().map(|&(h, _)| h).collect(),
+        ));
+        byte_series.push(Series::new(
+            policy.to_string(),
+            row.iter().map(|&(_, b)| b).collect(),
+        ));
     }
     (hit_series, byte_series)
 }
@@ -88,13 +103,15 @@ pub(crate) fn adaptivity_sweep(
         ctx.sub_seed(fig_tag),
     ));
 
-    let mut out = Vec::with_capacity(policies.len());
-    for (pi, policy) in policies.iter().enumerate() {
+    // Phases are sequential *within* a policy (one cache lives across
+    // all of them), so the parallel unit here is the policy.
+    let points: Vec<usize> = (0..policies.len()).collect();
+    ctx.run_points(&points, |_, &pi| {
         let phase0_freqs = ShiftedZipf::new(zipf.clone(), shifts[0]).frequencies();
-        let mut cache = policy.build(
+        let mut cache = policies[pi].build(
             Arc::clone(repo),
             repo.cache_capacity_for_ratio(0.125),
-            ctx.sub_seed(fig_tag ^ (pi as u64) << 8),
+            ctx.policy_seed(fig_tag, pi),
             Some(&phase0_freqs),
         );
         let mut values = Vec::with_capacity(shifts.len());
@@ -108,9 +125,8 @@ pub(crate) fn adaptivity_sweep(
             }
             values.push(theoretical_hit_rate(cache.as_ref(), &freqs));
         }
-        out.push(Series::new(policy.to_string(), values));
-    }
-    out
+        Series::new(policies[pi].to_string(), values)
+    })
 }
 
 /// The Figure 6.b / 7.b protocol: a two-phase run with the shift-id
@@ -135,13 +151,13 @@ pub(crate) fn windowed_adaptivity(
     let first_freqs = ShiftedZipf::new(zipf.clone(), scaled[0].1).frequencies();
     let config = SimulationConfig::default();
 
-    let mut out = Vec::with_capacity(policies.len());
-    let mut x: Vec<String> = Vec::new();
-    for (pi, policy) in policies.iter().enumerate() {
-        let mut cache = policy.build(
+    // One point per policy; every policy replays the same trace.
+    let indices: Vec<usize> = (0..policies.len()).collect();
+    let out = ctx.run_points(&indices, |_, &pi| {
+        let mut cache = policies[pi].build(
             Arc::clone(repo),
             repo.cache_capacity_for_ratio(0.125),
-            ctx.sub_seed(fig_tag ^ (pi as u64) << 8),
+            ctx.policy_seed(fig_tag, pi),
             Some(&first_freqs),
         );
         // Off-line oracle: re-inform at each phase boundary. Since
@@ -160,13 +176,16 @@ pub(crate) fn windowed_adaptivity(
             points.extend_from_slice(report.series.points());
             offset += n as usize;
         }
-        if x.is_empty() {
-            x = (1..=points.len())
+        Series::new(policies[pi].to_string(), points)
+    });
+    let x: Vec<String> = out
+        .first()
+        .map(|s| {
+            (1..=s.values.len())
                 .map(|w| format!("{}", w as u64 * 100))
-                .collect();
-        }
-        out.push(Series::new(policy.to_string(), points));
-    }
+                .collect()
+        })
+        .unwrap_or_default();
     (x, out)
 }
 
@@ -231,5 +250,48 @@ mod tests {
         // scale 0.02 → 200 + 200 requests → 4 windows of 100.
         assert_eq!(x.len(), 4);
         assert_eq!(series[0].values.len(), 4);
+    }
+
+    #[test]
+    fn sweeps_are_jobs_invariant() {
+        // The determinism contract: jobs=1 and jobs=4 produce
+        // bit-identical figures, because point seeds derive from
+        // (fig_tag, policy index) and never from thread identity.
+        let repo = Arc::new(paper::variable_sized_repository_of(48));
+        let policies = [
+            PolicyKind::Lru,
+            PolicyKind::Random,
+            PolicyKind::DynSimple { k: 2 },
+        ];
+        let ratios = [0.05, 0.125, 0.25, 0.5];
+        let serial = tiny_ctx();
+        let parallel = serial.fork().with_jobs(4);
+
+        let (h1, b1) = ratio_sweep(&serial, &repo, &policies, &ratios, 10_000, 0x7E5A);
+        let (h4, b4) = ratio_sweep(&parallel, &repo, &policies, &ratios, 10_000, 0x7E5A);
+        assert_eq!(h1, h4);
+        assert_eq!(b1, b4);
+
+        let a1 = adaptivity_sweep(&serial, &repo, &policies, &[0, 7, 14], 5_000, 0x7E5B);
+        let a4 = adaptivity_sweep(&parallel, &repo, &policies, &[0, 7, 14], 5_000, 0x7E5B);
+        assert_eq!(a1, a4);
+
+        let w1 = windowed_adaptivity(
+            &serial,
+            &repo,
+            &policies,
+            &[(10_000, 0), (10_000, 5)],
+            0x7E5C,
+        );
+        let w4 = windowed_adaptivity(
+            &parallel,
+            &repo,
+            &policies,
+            &[(10_000, 0), (10_000, 5)],
+            0x7E5C,
+        );
+        assert_eq!(w1, w4);
+        // Both contexts saw the same point count.
+        assert_eq!(serial.stats.points(), parallel.stats.points());
     }
 }

@@ -27,8 +27,11 @@ pub mod custom;
 pub mod extras;
 pub mod figures;
 pub mod report;
+pub mod sweep;
 
-pub use context::ExperimentContext;
+pub use clipcache_workload::json;
+
+pub use context::{ExperimentContext, SweepStats};
 pub use report::{FigureResult, Series};
 
 /// Every experiment id the `repro` binary understands, in run order.

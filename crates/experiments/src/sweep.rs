@@ -1,0 +1,130 @@
+//! Point-level parallel sweep engine.
+//!
+//! Every figure replays thousands of requests per (policy, parameter)
+//! data point, and the points are mutually independent: each one builds
+//! its own cache, seeds its own randomness from
+//! [`ExperimentContext::sub_seed`](crate::ExperimentContext::sub_seed),
+//! and only reads shared immutable inputs (the repository, a
+//! pre-materialized trace). That makes a sweep embarrassingly parallel
+//! *per point*, not just per figure.
+//!
+//! [`run_points`] fans a slice of points out over scoped worker threads
+//! with a work-stealing atomic cursor and writes each result into the
+//! slot matching its submission index, so the output order — and, since
+//! every point's computation is self-contained and deterministically
+//! seeded, every output *value* — is bit-identical at any `jobs` count.
+//! `repro --jobs 1` and `repro --jobs 64` must produce byte-identical
+//! CSVs; a test below and the CI figure-drift job both pin that.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `points`, fanning out across `jobs` worker threads.
+///
+/// `f` receives each point's submission index and the point itself; the
+/// returned vector preserves submission order regardless of which
+/// worker computed which point. With `jobs <= 1` (or fewer than two
+/// points) everything runs inline on the caller's thread — the serial
+/// path and the parallel path execute the exact same per-point code, so
+/// results cannot depend on `jobs`.
+///
+/// # Panics
+/// Propagates a panic from `f` once the worker scope joins.
+pub fn run_points<I, O, F>(points: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    if jobs <= 1 || points.len() <= 1 {
+        return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(points.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let out = f(i, &points[i]);
+                *slots[i].lock().expect("no panic holds a slot lock") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no panic holds a slot lock")
+                .expect("every slot filled before the scope joins")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_submission_order() {
+        let points: Vec<usize> = (0..37).collect();
+        for jobs in [1, 2, 3, 4, 8, 64] {
+            let out = run_points(&points, jobs, |i, &p| {
+                assert_eq!(i, p);
+                p * 10
+            });
+            assert_eq!(
+                out,
+                (0..37).map(|p| p * 10).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let points: Vec<u64> = (0..100).collect();
+        let f = |_: usize, &p: &u64| {
+            // A little arithmetic with float rounding, to catch any
+            // scheme that would reassociate per-point work.
+            (0..50).fold(p as f64, |acc, k| (acc * 1.000001 + k as f64).sqrt())
+        };
+        let serial = run_points(&points, 1, f);
+        for jobs in [2, 4, 7] {
+            let parallel = run_points(&points, jobs, f);
+            // Bit-identical, not approximately equal.
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.to_bits(), b.to_bits(), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let points: Vec<u32> = (0..257).collect();
+        let out = run_points(&points, 8, |_, &p| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            p
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn empty_and_single_point_sweeps() {
+        let none: Vec<u8> = vec![];
+        assert!(run_points(&none, 4, |_, &p| p).is_empty());
+        assert_eq!(run_points(&[9u8], 4, |_, &p| p), vec![9]);
+    }
+
+    #[test]
+    fn oversubscribed_jobs_are_harmless() {
+        let points: Vec<usize> = (0..3).collect();
+        assert_eq!(run_points(&points, 1000, |_, &p| p + 1), vec![1, 2, 3]);
+    }
+}

@@ -19,7 +19,9 @@
 //!   (needed for the paper's *theoretical hit rate* metric),
 //! * [`generator`] — rank→clip mapping with shift-id, and phase schedules
 //!   that change `g` mid-run (Figures 6 and 7),
-//! * [`trace`] — materialized reference strings with serde round-tripping,
+//! * [`trace`] — materialized reference strings with JSON round-tripping,
+//! * [`json`] — a dependency-free JSON parser backing trace archives,
+//!   cache snapshots and custom sweep configs in offline builds,
 //! * [`stats`] — empirical frequency accounting used to validate the
 //!   sampler and to reproduce the paper's estimate-quality experiment,
 //! * [`reuse`] — Mattson LRU stack-distance analysis: one trace pass
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod json;
 pub mod locality;
 pub mod request;
 pub mod reuse;

@@ -90,14 +90,50 @@ impl Trace {
         }
     }
 
-    /// Serialize to a JSON string.
+    /// Serialize to a JSON string:
+    /// `{"requests":[{"at":1,"clip":5},…]}` — the same shape serde
+    /// derives, but emitted directly so archival works in offline builds
+    /// where `serde_json` is stubbed out (see `vendor/README.md`).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialization cannot fail")
+        let mut out = String::with_capacity(self.requests.len() * 24 + 16);
+        out.push_str("{\"requests\":[");
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"at\":");
+            out.push_str(&r.at.get().to_string());
+            out.push_str(",\"clip\":");
+            out.push_str(&r.clip.get().to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
     }
 
-    /// Deserialize from a JSON string.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Deserialize from a JSON string (the [`to_json`](Self::to_json)
+    /// shape).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = crate::json::parse(json)?;
+        let items = v
+            .get("requests")
+            .ok_or("trace JSON needs a `requests` array")?
+            .as_array()
+            .ok_or("`requests` must be an array")?;
+        let mut requests = Vec::with_capacity(items.len());
+        for item in items {
+            let at = item
+                .get("at")
+                .and_then(|n| n.as_u64())
+                .ok_or("request needs an integer `at`")?;
+            let clip = item
+                .get("clip")
+                .and_then(|n| n.as_u64())
+                .filter(|&id| id >= 1 && id <= u32::MAX as u64)
+                .ok_or("request needs a positive 32-bit `clip` id")?;
+            requests.push(Request::new(Timestamp(at), ClipId::new(clip as u32)));
+        }
+        Ok(Trace { requests })
     }
 
     /// Serialize to the interchange text format: one decimal clip id per

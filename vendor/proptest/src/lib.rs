@@ -1,0 +1,337 @@
+//! Offline mini-implementation of `proptest`.
+//!
+//! The network-less build environments cannot fetch the real crate, so
+//! this stub implements just enough of its API for the workspace's
+//! property tests to *run*: the `proptest!` macro expands each property
+//! into a `#[test]` that samples every strategy deterministically for a
+//! capped number of cases. There is no shrinking and no persistence —
+//! a failure reports the assert, not a minimal counterexample. Builds
+//! against the real crate (swap the workspace dependency back to the
+//! registry) get the full engine with the same sources.
+//!
+//! Supported strategy surface (what the workspace uses):
+//! integer/float `Range`s, `proptest::collection::vec(elem, len_range)`,
+//! tuples of strategies, `any::<bool>()`, `Just`, and
+//! `ProptestConfig::with_cases`.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic sampling RNG (SplitMix64) — fixed seed per test so
+/// offline property runs are reproducible.
+pub struct StubRng(u64);
+
+impl StubRng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        StubRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`0` when the bound is `0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A samplable input source — the stub's analogue of proptest's
+/// `Strategy` (values only, no shrink tree).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StubRng) -> Self::Value;
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StubRng) -> $t {
+                let span = (self.end as u64).saturating_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StubRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(0) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StubRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StubRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StubRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StubRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types `any::<T>()` can produce in the stub.
+pub trait StubArbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn generate(rng: &mut StubRng) -> Self;
+}
+
+impl StubArbitrary for bool {
+    fn generate(rng: &mut StubRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl StubArbitrary for $t {
+            fn generate(rng: &mut StubRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: StubArbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StubRng) -> T {
+        T::generate(rng)
+    }
+}
+
+/// Stub of `proptest::arbitrary::any`.
+pub fn any<T: StubArbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Per-block configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Requested number of cases (the stub caps the executed count).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 16 }
+    }
+}
+
+impl ProptestConfig {
+    /// Stub of `ProptestConfig::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// How many cases the stub actually runs for a configured count: capped
+/// so offline `cargo test` stays fast, floored at one.
+pub fn stub_case_count(configured: u32) -> u32 {
+    configured.clamp(1, 16)
+}
+
+/// Expands each property into a `#[test]` that runs the body over
+/// deterministically sampled inputs. See the crate docs for the
+/// differences from the real engine.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::StubRng::new(0x5EED_0000 ^ config.cases as u64);
+                for case in 0..$crate::stub_case_count(config.cases) {
+                    let mut one = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(e) = one() {
+                        panic!("property {} failed on case {case}: {e:?}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Stub of `prop_assert!`: panics (no shrinking) instead of returning a
+/// `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => {
+        assert!($($tt)*)
+    };
+}
+
+/// Stub of `prop_assert_eq!`; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => {
+        assert_eq!($($tt)*)
+    };
+}
+
+/// Stub of `prop_assert_ne!`; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => {
+        assert_ne!($($tt)*)
+    };
+}
+
+/// Stub of `proptest::test_runner::TestCaseError`, the error type in
+/// `Result`-returning property-test helpers. Never constructed by the
+/// stub assert macros (they panic), but helpers may build and return it.
+#[derive(Debug)]
+pub struct TestCaseError;
+
+pub mod test_runner {
+    //! Mirror of `proptest::test_runner` for the names tests import.
+    pub use crate::TestCaseError;
+}
+
+pub mod collection {
+    //! Mirror of `proptest::collection`.
+    use super::{Strategy, StubRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with sampled length and elements.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Stub of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StubRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = StubRng::new(1);
+        for _ in 0..100 {
+            let v = (3u64..10).sample(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (0.0f64..0.99).sample(&mut rng);
+            assert!((0.0..0.99).contains(&f));
+            let t = (1u64..4, 0usize..2).sample(&mut rng);
+            assert!(t.0 >= 1 && t.0 < 4 && t.1 < 2);
+            let xs = collection::vec(0u32..5, 2..6).sample(&mut rng);
+            assert!(xs.len() >= 2 && xs.len() < 6);
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_actually_runs_bodies(n in 1u64..50, flip in any::<bool>()) {
+            prop_assert!(n >= 1 && n < 50);
+            let _ = flip;
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Offline stub for `rand`. The workspace rolls its own deterministic
+//! PCG (`clipcache_workload::Pcg64`); `rand` is only named as a
+//! dev-dependency and nothing imports it, so the stub is empty.

@@ -1,0 +1,26 @@
+//! Offline stub for `serde`: the trait names exist and are blanket-
+//! implemented for every type, so `#[derive(Serialize, Deserialize)]`
+//! (which emits nothing — see the `serde_derive` stub) and generic
+//! bounds both compile. No actual (de)serialization happens here; the
+//! `serde_json` stub degrades accordingly.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    /// Marker standing in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

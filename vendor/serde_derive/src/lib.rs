@@ -1,0 +1,16 @@
+//! Offline stub for `serde_derive`: the derives accept (and ignore) the
+//! full `#[serde(...)]` attribute grammar and emit no code. The sibling
+//! `serde` stub provides blanket trait impls, so derived types still
+//! satisfy `Serialize`/`Deserialize` bounds.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
