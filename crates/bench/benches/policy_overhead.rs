@@ -5,9 +5,10 @@
 //! Measures the wall time each policy needs to service the paper's
 //! 10,000-request Zipfian trace against the 576-clip repository at
 //! `S_T/S_DB = 0.125`, i.e. the cost of the bookkeeping alone — every
-//! policy sees the identical reference string.
+//! policy sees the identical reference string and the hot loop drives
+//! the zero-allocation `access_into` path with a no-op eviction sink.
 
-use clipcache_core::PolicyKind;
+use clipcache_core::{DiscardEvictions, PolicyKind, PolicySpec, VictimBackend};
 use clipcache_media::paper;
 use clipcache_workload::{RequestGenerator, ShiftedZipf, Trace, Zipf};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -28,33 +29,38 @@ fn bench_policies(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
 
     let lineup = [
-        PolicyKind::Random,
-        PolicyKind::Lru,
-        PolicyKind::Lfu,
-        PolicyKind::LfuDa,
-        PolicyKind::Size,
-        PolicyKind::LruK { k: 2 },
-        PolicyKind::LruSK { k: 2 },
-        PolicyKind::GreedyDual,
-        PolicyKind::GreedyDualNaive,
-        PolicyKind::GreedyDualHeap,
-        PolicyKind::GdFreq,
-        PolicyKind::Igd,
-        PolicyKind::Simple,
-        PolicyKind::DynSimple { k: 2 },
-        PolicyKind::DynSimple { k: 32 },
-        PolicyKind::DynSimpleBypass { k: 2 },
+        PolicySpec::from(PolicyKind::Random),
+        PolicySpec::from(PolicyKind::Lru),
+        PolicySpec::from(PolicyKind::Lfu),
+        PolicySpec::from(PolicyKind::LfuDa),
+        PolicySpec::from(PolicyKind::Size),
+        PolicySpec::from(PolicyKind::LruK { k: 2 }),
+        PolicySpec::from(PolicyKind::LruSK { k: 2 }),
+        PolicySpec::from(PolicyKind::GreedyDual),
+        PolicySpec::from(PolicyKind::GreedyDualNaive),
+        PolicySpec::with_backend(PolicyKind::GreedyDual, VictimBackend::Heap),
+        PolicySpec::with_backend(PolicyKind::Lfu, VictimBackend::Heap),
+        PolicySpec::with_backend(PolicyKind::LruK { k: 2 }, VictimBackend::Heap),
+        PolicySpec::from(PolicyKind::GdFreq),
+        PolicySpec::from(PolicyKind::Igd),
+        PolicySpec::from(PolicyKind::Simple),
+        PolicySpec::from(PolicyKind::DynSimple { k: 2 }),
+        PolicySpec::from(PolicyKind::DynSimple { k: 32 }),
+        PolicySpec::from(PolicyKind::DynSimpleBypass { k: 2 }),
     ];
-    for policy in lineup {
+    for spec in lineup {
         group.bench_with_input(
-            BenchmarkId::from_parameter(policy.to_string()),
-            &policy,
-            |b, policy| {
+            BenchmarkId::from_parameter(spec.spelling()),
+            &spec,
+            |b, spec| {
                 b.iter(|| {
-                    let mut cache = policy.build(Arc::clone(&repo), capacity, 7, Some(&freqs));
+                    let mut cache = spec.build(Arc::clone(&repo), capacity, 7, Some(&freqs));
                     let mut hits = 0u64;
                     for req in trace.iter() {
-                        if cache.access(req.clip, req.at).is_hit() {
+                        if cache
+                            .access_into(req.clip, req.at, &mut DiscardEvictions)
+                            .is_hit()
+                        {
                             hits += 1;
                         }
                     }

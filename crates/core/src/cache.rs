@@ -1,4 +1,11 @@
 //! The `ClipCache` trait: the common interface of every policy.
+//!
+//! The primary entry point is [`ClipCache::access_into`], which reports
+//! evictions through a caller-supplied [`EvictionSink`] so the steady
+//! state allocates nothing: drivers keep one sink (a reusable
+//! `Vec<ClipId>`, an [`EvictionCount`], or [`DiscardEvictions`]) for the
+//! whole run. [`ClipCache::access`] is the allocating compatibility
+//! wrapper returning the classic [`AccessOutcome`].
 
 use clipcache_media::{ByteSize, ClipId};
 use clipcache_workload::Timestamp;
@@ -43,6 +50,62 @@ impl AccessOutcome {
     }
 }
 
+/// The allocation-free outcome of one access: what happened, with the
+/// evicted clips reported through the caller's [`EvictionSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessEvent {
+    /// The clip was cache resident; the request is serviced locally.
+    Hit,
+    /// The clip was not resident.
+    Miss {
+        /// Whether the clip was materialized in the cache afterwards.
+        admitted: bool,
+    },
+}
+
+impl AccessEvent {
+    /// True for a cache hit.
+    #[inline]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessEvent::Hit)
+    }
+}
+
+/// Receives evicted clip ids during [`ClipCache::access_into`], in
+/// eviction order.
+pub trait EvictionSink {
+    /// Record one eviction.
+    fn record_eviction(&mut self, clip: ClipId);
+}
+
+/// Collect evicted ids (clear between accesses to reuse the allocation).
+impl EvictionSink for Vec<ClipId> {
+    #[inline]
+    fn record_eviction(&mut self, clip: ClipId) {
+        self.push(clip);
+    }
+}
+
+/// Count evictions without storing them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionCount(pub usize);
+
+impl EvictionSink for EvictionCount {
+    #[inline]
+    fn record_eviction(&mut self, _clip: ClipId) {
+        self.0 += 1;
+    }
+}
+
+/// Ignore evictions entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardEvictions;
+
+impl EvictionSink for DiscardEvictions {
+    #[inline]
+    fn record_eviction(&mut self, _clip: ClipId) {}
+}
+
 /// A cache of clips driven by a reference string.
 ///
 /// Implementations must maintain `used() ≤ capacity()` at all times and must
@@ -66,10 +129,30 @@ pub trait ClipCache {
     /// which sums the accurate access frequencies of resident clips.
     fn resident_clips(&self) -> Vec<ClipId>;
 
-    /// Service a request for `clip` issued at virtual time `now`.
+    /// Service a request for `clip` issued at virtual time `now`,
+    /// reporting evictions through `evictions`.
     ///
+    /// This is the hot path: implementations must not allocate on hits
+    /// and must reuse internal scratch buffers on misses, so a driver
+    /// that supplies a reusable sink runs allocation-free after warmup.
     /// Timestamps must be strictly increasing across calls.
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome;
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent;
+
+    /// Service a request for `clip`, returning the evicted ids in a
+    /// fresh `Vec` — the allocating convenience wrapper around
+    /// [`ClipCache::access_into`].
+    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+        let mut evicted = Vec::new();
+        match self.access_into(clip, now, &mut evicted) {
+            AccessEvent::Hit => AccessOutcome::Hit,
+            AccessEvent::Miss { admitted } => AccessOutcome::Miss { admitted, evicted },
+        }
+    }
 
     /// Inform the policy of new accurate access frequencies.
     ///
@@ -104,5 +187,23 @@ mod tests {
             evicted: vec![ClipId::new(4)],
         };
         assert_eq!(out.evicted(), &[ClipId::new(4)]);
+    }
+
+    #[test]
+    fn event_helpers_and_sinks() {
+        assert!(AccessEvent::Hit.is_hit());
+        assert!(!AccessEvent::Miss { admitted: true }.is_hit());
+
+        let mut vec_sink: Vec<ClipId> = Vec::new();
+        vec_sink.record_eviction(ClipId::new(2));
+        vec_sink.record_eviction(ClipId::new(5));
+        assert_eq!(vec_sink, vec![ClipId::new(2), ClipId::new(5)]);
+
+        let mut count = EvictionCount::default();
+        count.record_eviction(ClipId::new(1));
+        count.record_eviction(ClipId::new(1));
+        assert_eq!(count.0, 2);
+
+        DiscardEvictions.record_eviction(ClipId::new(9));
     }
 }

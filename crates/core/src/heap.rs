@@ -1,11 +1,21 @@
 //! A lazy-deletion min-heap over `(priority, clip)` pairs.
 //!
-//! GreedyDual-family policies repeatedly need "the resident clip with the
-//! lowest priority". Priorities change on every hit, so a plain
+//! This is the backing store of the [`crate::victim_index::VictimIndex`]
+//! heap backend: every policy whose victim score only changes on accesses to
+//! the scored clip itself (GreedyDual family, LFU/LFU-DA, LRU/MRU/FIFO,
+//! LRU-K, SIZE, Random — see the taxonomy table in [`crate::policies`])
+//! can answer "the resident clip with the lowest priority" from this heap
+//! instead of an O(n) scan. Priorities change on every hit, so a plain
 //! `BinaryHeap` would need decrease-key; instead we push a fresh entry per
 //! update and discard stale entries when they surface (each entry carries
 //! the generation at which it was pushed). This is the classic
 //! lazy-deletion scheme; amortized cost is O(log n) per update.
+//!
+//! The heap is generic over the priority type `P` (default `f64` for the
+//! GreedyDual family): any `PartialOrd + Copy` type whose values are
+//! totally ordered at runtime works, which lets integer/timestamp policies
+//! (LFU, LRU-K, …) encode their full legacy tie-break chain into a
+//! composite tuple priority.
 //!
 //! The paper's conclusion lists "tree-based data structures to minimize the
 //! complexity of identifying a victim" as planned work — this module is
@@ -18,15 +28,15 @@ use std::collections::BinaryHeap;
 
 /// A heap entry: min-ordering on priority, then clip id for determinism.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    priority: f64,
+struct Entry<P> {
+    priority: P,
     clip: ClipId,
     generation: u64,
 }
 
-impl Eq for Entry {}
+impl<P: PartialOrd> Eq for Entry<P> {}
 
-impl Ord for Entry {
+impl<P: PartialOrd> Ord for Entry<P> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap on priority; ties broken by clip id so the
         // heap's behaviour is deterministic.
@@ -38,23 +48,23 @@ impl Ord for Entry {
     }
 }
 
-impl PartialOrd for Entry {
+impl<P: PartialOrd> PartialOrd for Entry<P> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
 /// Min-priority queue over clips with lazy invalidation.
-#[derive(Debug, Clone, Default)]
-pub struct LazyMinHeap {
-    heap: BinaryHeap<Entry>,
+#[derive(Debug, Clone)]
+pub struct LazyMinHeap<P = f64> {
+    heap: BinaryHeap<Entry<P>>,
     /// Current generation per clip index; 0 means "not in the queue".
     current: Vec<u64>,
     generation: u64,
     live: usize,
 }
 
-impl LazyMinHeap {
+impl<P: PartialOrd + Copy> LazyMinHeap<P> {
     /// An empty queue over `n_clips` clip slots.
     pub fn new(n_clips: usize) -> Self {
         LazyMinHeap {
@@ -80,9 +90,12 @@ impl LazyMinHeap {
     /// Insert `clip` or update its priority.
     ///
     /// # Panics
-    /// If `priority` is NaN.
-    pub fn upsert(&mut self, clip: ClipId, priority: f64) {
-        assert!(!priority.is_nan(), "NaN priority for {clip}");
+    /// If `priority` is not comparable with itself (a float NaN).
+    pub fn upsert(&mut self, clip: ClipId, priority: P) {
+        assert!(
+            priority.partial_cmp(&priority) == Some(Ordering::Equal),
+            "NaN priority for {clip}"
+        );
         if self.current[clip.index()] == 0 {
             self.live += 1;
         }
@@ -119,13 +132,13 @@ impl LazyMinHeap {
     }
 
     /// The live minimum `(clip, priority)` without removing it.
-    pub fn peek_min(&mut self) -> Option<(ClipId, f64)> {
+    pub fn peek_min(&mut self) -> Option<(ClipId, P)> {
         self.discard_stale();
         self.heap.peek().map(|e| (e.clip, e.priority))
     }
 
     /// Remove and return the live minimum.
-    pub fn pop_min(&mut self) -> Option<(ClipId, f64)> {
+    pub fn pop_min(&mut self) -> Option<(ClipId, P)> {
         self.discard_stale();
         let entry = self.heap.pop()?;
         self.current[entry.clip.index()] = 0;
@@ -178,7 +191,7 @@ mod tests {
 
     #[test]
     fn remove_absent_is_noop() {
-        let mut h = LazyMinHeap::new(2);
+        let mut h: LazyMinHeap = LazyMinHeap::new(2);
         h.remove(c(1));
         assert!(h.is_empty());
     }
@@ -198,6 +211,19 @@ mod tests {
     #[should_panic(expected = "NaN priority")]
     fn nan_rejected() {
         LazyMinHeap::new(2).upsert(c(1), f64::NAN);
+    }
+
+    #[test]
+    fn composite_tuple_priorities_order_lexicographically() {
+        // Integer policies encode (count, last_ref, id)-style chains as
+        // tuple priorities; the heap must honour the lexicographic order.
+        let mut h: LazyMinHeap<(u64, u64)> = LazyMinHeap::new(4);
+        h.upsert(c(1), (2, 5));
+        h.upsert(c(2), (1, 9));
+        h.upsert(c(3), (1, 3));
+        assert_eq!(h.pop_min(), Some((c(3), (1, 3))));
+        assert_eq!(h.pop_min(), Some((c(2), (1, 9))));
+        assert_eq!(h.pop_min(), Some((c(1), (2, 5))));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! aggregates the same facts per media type; this wrapper exposes them
 //! per clip and for any policy without touching the policy code.
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use clipcache_media::{ByteSize, ClipId};
 use clipcache_workload::Timestamp;
 use serde::{Deserialize, Serialize};
@@ -46,6 +46,9 @@ impl ClipCounters {
 pub struct InstrumentedCache {
     inner: Box<dyn ClipCache>,
     counters: Vec<ClipCounters>,
+    /// Scratch eviction buffer reused across accesses (no steady-state
+    /// allocation on the wrapped access path).
+    scratch: Vec<ClipId>,
 }
 
 impl InstrumentedCache {
@@ -54,6 +57,7 @@ impl InstrumentedCache {
         InstrumentedCache {
             inner,
             counters: vec![ClipCounters::default(); n_clips],
+            scratch: Vec::new(),
         }
     }
 
@@ -112,22 +116,30 @@ impl ClipCache for InstrumentedCache {
         self.inner.inform_frequencies(frequencies);
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
-        let outcome = self.inner.access(clip, now);
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
+        self.scratch.clear();
+        let event = self.inner.access_into(clip, now, &mut self.scratch);
         let c = &mut self.counters[clip.index()];
         c.requests += 1;
-        match &outcome {
-            AccessOutcome::Hit => c.hits += 1,
-            AccessOutcome::Miss { admitted, evicted } => {
-                if *admitted {
+        match event {
+            AccessEvent::Hit => c.hits += 1,
+            AccessEvent::Miss { admitted } => {
+                if admitted {
                     c.admissions += 1;
-                }
-                for v in evicted {
-                    self.counters[v.index()].evictions += 1;
                 }
             }
         }
-        outcome
+        for i in 0..self.scratch.len() {
+            let v = self.scratch[i];
+            self.counters[v.index()].evictions += 1;
+            evictions.record_eviction(v);
+        }
+        event
     }
 }
 

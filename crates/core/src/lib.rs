@@ -44,6 +44,10 @@
 //!   than the entire cache, which are streamed without caching.
 //! * All randomized decisions (Random victims, GreedyDual tie-breaks) come
 //!   from a seeded [`Pcg64`], so runs are deterministic.
+//! * Victim selection runs on a pluggable [`victim_index::VictimIndex`]:
+//!   an O(n) scan (default) or a lazy min-heap, selected per policy via
+//!   [`PolicySpec`] (`<policy>@heap`). The two backends make identical
+//!   eviction decisions; only the lookup cost differs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,8 +60,12 @@ pub mod policies;
 pub mod registry;
 pub mod snapshot;
 pub mod space;
+pub mod victim_index;
 
-pub use cache::{AccessOutcome, ClipCache};
+pub use cache::{
+    AccessEvent, AccessOutcome, ClipCache, DiscardEvictions, EvictionCount, EvictionSink,
+};
 pub use clipcache_media::{ByteSize, Clip, ClipId, Repository};
 pub use clipcache_workload::{Pcg64, Timestamp};
-pub use registry::PolicyKind;
+pub use registry::{PolicyKind, PolicySpec};
+pub use victim_index::{VictimBackend, VictimIndex};

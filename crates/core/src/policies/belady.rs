@@ -12,8 +12,12 @@
 //! The cache is constructed against the exact reference string it will
 //! serve; feeding it any other sequence is a usage error and panics, so a
 //! mis-wired experiment fails loudly instead of producing a fake bound.
+//!
+//! A clip's next-reference distance changes as the trace cursor advances,
+//! so MIN stays on the scan victim-index backend (see the taxonomy in
+//! [`crate::policies`]).
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::space::CacheSpace;
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::{Request, Timestamp};
@@ -76,7 +80,12 @@ impl ClipCache for BeladyCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, _now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        _now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         let i = self.cursor as usize;
         assert!(
             i < self.expected.len() && self.expected[i] == clip,
@@ -90,23 +99,16 @@ impl ClipCache for BeladyCache {
         debug_assert_eq!(front, Some(i as u64));
 
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            return AccessEvent::Hit;
         }
         if !self.space.can_ever_fit(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
         // MIN admission refinement: if the incoming clip is never
         // referenced again, caching it cannot produce a hit — stream it.
         if self.next_reference(clip).is_none() && !self.space.fits_now(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
-        let mut evicted = Vec::new();
         while !self.space.fits_now(clip) {
             // Evict the resident clip referenced furthest in the future
             // (never-again clips first, ties by id for determinism).
@@ -117,13 +119,10 @@ impl ClipCache for BeladyCache {
                 .max_by_key(|&c| (self.next_reference(c).unwrap_or(u64::MAX), c))
                 .expect("eviction requested from an empty cache");
             self.space.remove(victim);
-            evicted.push(victim);
+            evictions.record_eviction(victim);
         }
         self.space.insert(clip);
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted,
-        }
+        AccessEvent::Miss { admitted: true }
     }
 }
 

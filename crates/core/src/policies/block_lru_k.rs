@@ -12,8 +12,11 @@
 //! selection works clip-at-a-time: pick the resident clip with the oldest
 //! K-th reference and peel blocks off it until enough block slots are free
 //! (partial evictions are possible and leave the donor clip un-hittable).
+//! Partial evictions mutate a victim's standing without an access to it,
+//! so BlockLRU-K stays on the scan victim-index backend (see the taxonomy
+//! in [`crate::policies`]).
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::history::ReferenceHistory;
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
@@ -123,21 +126,22 @@ impl ClipCache for BlockLruKCache {
             .collect()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         self.history.record(clip, now);
         if self.contains(clip) {
-            return AccessOutcome::Hit;
+            return AccessEvent::Hit;
         }
         let need = self.blocks_of(clip);
         if need > self.capacity_blocks {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
         let have = self.resident_blocks[clip.index()];
         let mut missing = need - have;
-        let mut evicted = Vec::new();
         while self.free_blocks() < missing {
             let victim = self
                 .victim(clip)
@@ -146,7 +150,7 @@ impl ClipCache for BlockLruKCache {
             self.resident_blocks[victim.index()] -= take;
             self.used_blocks -= take;
             if self.resident_blocks[victim.index()] == 0 {
-                evicted.push(victim);
+                evictions.record_eviction(victim);
             } else {
                 // Partially evicted: no longer hittable, but blocks remain.
             }
@@ -156,16 +160,14 @@ impl ClipCache for BlockLruKCache {
         }
         self.resident_blocks[clip.index()] = need;
         self.used_blocks += missing;
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted,
-        }
+        AccessEvent::Miss { admitted: true }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::AccessOutcome;
     use clipcache_media::{Bandwidth, MediaType, RepositoryBuilder};
 
     /// Clips of 25, 10, 30 MB → with 10 MB blocks: 3, 1, 3 blocks.

@@ -19,8 +19,12 @@
 //! History is kept for non-resident clips too (that is what makes the
 //! estimates work); the paper's proposed metadata-retention rule is exposed
 //! via [`DynSimpleCache::prune_history`].
+//!
+//! The rank key `a(x)/size(x)` ages with the clock and victim selection
+//! is a batched two-pass plan, so DYNSimple stays on the scan victim-index
+//! backend (see the taxonomy in [`crate::policies`]).
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::history::ReferenceHistory;
 use crate::space::CacheSpace;
 use clipcache_media::{ByteSize, ClipId, Repository};
@@ -62,6 +66,10 @@ pub struct DynSimpleCache {
     history: ReferenceHistory,
     admission: DynAdmission,
     eviction: EvictionMode,
+    /// Scratch candidate list reused across misses (no per-miss allocation).
+    candidates: Vec<ClipId>,
+    /// Scratch eviction plan reused across misses.
+    plan: Vec<ClipId>,
 }
 
 impl DynSimpleCache {
@@ -91,6 +99,8 @@ impl DynSimpleCache {
             history: ReferenceHistory::new(n, k),
             admission,
             eviction: EvictionMode::TwoPass,
+            candidates: Vec::new(),
+            plan: Vec::new(),
         }
     }
 
@@ -155,55 +165,60 @@ impl DynSimpleCache {
         self.history.prune_older_than(horizon)
     }
 
-    /// Figure 4's victim selection. Returns the clips to evict, in
-    /// eviction order.
-    fn plan_victims(&self, incoming: ClipId, now: Timestamp) -> Vec<ClipId> {
+    /// Figure 4's victim selection. Fills `self.plan` with the clips to
+    /// evict, in eviction order, reusing the scratch buffers.
+    fn plan_victims(&mut self, incoming: ClipId, now: Timestamp) {
         let need = self.space.size_of(incoming);
         let free = self.space.free();
-        // Pass 1: candidates ascending by f̂/size (ties: lower id first).
-        let mut candidates: Vec<ClipId> = self
-            .space
-            .iter_resident()
-            .filter(|&c| c != incoming)
-            .collect();
-        candidates.sort_by(|&a, &b| {
+        let mut candidates = std::mem::take(&mut self.candidates);
+        let mut plan = std::mem::take(&mut self.plan);
+        candidates.clear();
+        plan.clear();
+        // Pass 1: candidates ascending by f̂/size (ties: lower id first),
+        // over-collected until the incoming clip would fit. The victim set
+        // is a prefix of the sorted candidate list.
+        candidates.extend(self.space.iter_resident().filter(|&c| c != incoming));
+        // Unstable sort: the id tie-break makes the order total, and the
+        // in-place sort keeps the miss path allocation-free.
+        candidates.sort_unstable_by(|&a, &b| {
             self.rank_key(a, now)
                 .partial_cmp(&self.rank_key(b, now))
                 .expect("rank keys are finite")
                 .then_with(|| a.cmp(&b))
         });
-        let mut victims: Vec<ClipId> = Vec::new();
         let mut victim_bytes = ByteSize::ZERO;
+        let mut over_collected = 0;
         for &c in &candidates {
             if free + victim_bytes >= need {
                 break;
             }
-            victims.push(c);
             victim_bytes += self.space.size_of(c);
+            over_collected += 1;
         }
+        candidates.truncate(over_collected);
         // Pass 2: evict descending by size until the clip fits, sparing
         // over-collected small candidates (ties: lower id first). The
         // SinglePass ablation skips the resort and evicts in the pass-1
         // (ascending value) order instead.
         if self.eviction == EvictionMode::TwoPass {
-            victims.sort_by(|&a, &b| {
+            candidates.sort_unstable_by(|&a, &b| {
                 self.space
                     .size_of(b)
                     .cmp(&self.space.size_of(a))
                     .then_with(|| a.cmp(&b))
             });
         }
-        let mut evict = Vec::new();
         let mut freed = free;
-        for &v in &victims {
+        for &v in &candidates {
             if freed >= need {
                 break;
             }
             freed += self.space.size_of(v);
-            evict.push(v);
+            plan.push(v);
         }
         debug_assert!(freed >= need, "victim plan must free enough space");
-        evict
+        self.candidates = candidates;
+        self.plan = plan;
     }
 }
 
@@ -231,41 +246,41 @@ impl ClipCache for DynSimpleCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         self.history.record(clip, now);
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            return AccessEvent::Hit;
         }
         if !self.space.can_ever_fit(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
-        let evicted = self.plan_victims(clip, now);
-        if self.admission == DynAdmission::Bypass && !evicted.is_empty() {
+        self.plan_victims(clip, now);
+        if self.admission == DynAdmission::Bypass && !self.plan.is_empty() {
             // Stream without caching when the incoming clip's estimated
             // value per byte is below the best clip it would displace.
             let incoming_value = self.rank_key(clip, now);
-            let displaced_max = evicted
+            let displaced_max = self
+                .plan
                 .iter()
                 .map(|v| self.rank_key(*v, now))
                 .fold(f64::NEG_INFINITY, f64::max);
             if incoming_value <= displaced_max {
-                return AccessOutcome::Miss {
-                    admitted: false,
-                    evicted: Vec::new(),
-                };
+                return AccessEvent::Miss { admitted: false };
             }
         }
-        for &v in &evicted {
+        let plan = std::mem::take(&mut self.plan);
+        for &v in &plan {
             self.space.remove(v);
+            evictions.record_eviction(v);
         }
+        self.plan = plan;
         self.space.insert(clip);
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted,
-        }
+        AccessEvent::Miss { admitted: true }
     }
 }
 

@@ -10,10 +10,15 @@
 //! evolving access patterns — previously hot clips keep their inflated
 //! priority. IGD fixes this by aging the count with the time since last
 //! reference.
+//!
+//! The score only changes on accesses to the scored clip, so the policy is
+//! heap-eligible: victim selection runs on a [`VictimIndex`] under either
+//! backend with identical decisions (exact ties, uniform RNG draw).
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::policies::greedy_dual::CostModel;
 use crate::space::CacheSpace;
+use crate::victim_index::{TieRule, VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::{Pcg64, Timestamp};
 use std::sync::Arc;
@@ -25,25 +30,37 @@ const GDF_STREAM: u64 = 0x6764_6672; // "gdfr"
 #[derive(Debug, Clone)]
 pub struct GdFreqCache {
     space: CacheSpace,
-    h: Vec<f64>,
+    index: VictimIndex<f64>,
     /// References since admission (resident clips only; reset on eviction).
     nref: Vec<u64>,
     inflation: f64,
     cost: CostModel,
     rng: Pcg64,
+    ties: Vec<ClipId>,
 }
 
 impl GdFreqCache {
-    /// Create an empty GreedyDual-Freq cache (uniform cost).
+    /// Create an empty GreedyDual-Freq cache (uniform cost, scan backend).
     pub fn new(repo: Arc<Repository>, capacity: ByteSize, seed: u64) -> Self {
+        GdFreqCache::with_backend(repo, capacity, seed, VictimBackend::Scan)
+    }
+
+    /// Create with the given victim-index backend.
+    pub fn with_backend(
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        seed: u64,
+        backend: VictimBackend,
+    ) -> Self {
         let n = repo.len();
         GdFreqCache {
             space: CacheSpace::new(repo, capacity),
-            h: vec![0.0; n],
+            index: VictimIndex::new(backend, n),
             nref: vec![0; n],
             inflation: 0.0,
             cost: CostModel::Uniform,
             rng: Pcg64::seed_from_u64_stream(seed, GDF_STREAM),
+            ties: Vec::new(),
         }
     }
 
@@ -63,31 +80,6 @@ impl GdFreqCache {
         self.inflation
             + self.cost.cost(size, c.display_bandwidth) * self.nref[clip.index()] as f64
                 / size.as_f64()
-    }
-
-    fn choose_victim(&mut self, exclude: ClipId) -> (ClipId, f64) {
-        let mut min = f64::INFINITY;
-        let mut ties: Vec<ClipId> = Vec::new();
-        for c in self.space.iter_resident() {
-            if c == exclude {
-                continue;
-            }
-            let p = self.h[c.index()];
-            if p < min {
-                min = p;
-                ties.clear();
-                ties.push(c);
-            } else if p == min {
-                ties.push(c);
-            }
-        }
-        assert!(!ties.is_empty(), "eviction requested from an empty cache");
-        let pick = if ties.len() == 1 {
-            ties[0]
-        } else {
-            ties[self.rng.next_index(ties.len())]
-        };
-        (pick, min)
     }
 }
 
@@ -112,40 +104,44 @@ impl ClipCache for GdFreqCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, _now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        _now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         if self.space.contains(clip) {
             self.nref[clip.index()] += 1;
-            self.h[clip.index()] = self.priority(clip);
-            return AccessOutcome::Hit;
+            let p = self.priority(clip);
+            self.index.upsert(clip, p);
+            return AccessEvent::Hit;
         }
         if !self.space.can_ever_fit(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
-        let mut evicted = Vec::new();
         while !self.space.fits_now(clip) {
-            let (victim, h_min) = self.choose_victim(clip);
+            let (victim, h_min) =
+                self.index
+                    .pop_min_tied(TieRule::EXACT, &mut self.rng, &mut self.ties);
             self.space.remove(victim);
             self.nref[victim.index()] = 0; // forget on eviction
             self.inflation = h_min;
-            evicted.push(victim);
+            evictions.record_eviction(victim);
         }
         self.nref[clip.index()] = 1; // the admitting reference counts
-        self.h[clip.index()] = self.priority(clip);
+        let p = self.priority(clip);
+        self.index.upsert(clip, p);
         self.space.insert(clip);
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted,
-        }
+        AccessEvent::Miss { admitted: true }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::testutil::{assert_invariants, drive, equi_repo, tiny_repo};
+    use crate::policies::testutil::{
+        assert_equivalent_on, assert_invariants, drive, equi_repo, tiny_repo,
+    };
 
     #[test]
     fn frequency_raises_priority() {
@@ -213,5 +209,18 @@ mod tests {
         assert!(!c.contains(ClipId::new(5)));
         assert!(c.contains(ClipId::new(1)));
         assert_invariants(&c, &repo);
+    }
+
+    #[test]
+    fn heap_backend_is_decision_identical() {
+        // Equi-sized: every admission-time priority ties exactly.
+        let repo = equi_repo(6);
+        let trace = [1u32, 2, 3, 4, 5, 6, 2, 2, 4, 1, 6, 5, 3, 3, 1, 2, 6, 4];
+        let mut scan =
+            GdFreqCache::with_backend(Arc::clone(&repo), ByteSize::mb(30), 7, VictimBackend::Scan);
+        let mut heap =
+            GdFreqCache::with_backend(Arc::clone(&repo), ByteSize::mb(30), 7, VictimBackend::Heap);
+        assert_equivalent_on(&mut scan, &mut heap, &trace);
+        assert_eq!(scan.inflation(), heap.inflation());
     }
 }

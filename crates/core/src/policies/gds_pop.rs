@@ -10,10 +10,14 @@
 //!
 //! Popularity `f̂(x)` is estimated online as the clip's share of all
 //! requests seen so far (long-term popularity, per Jin & Bestavros).
+//! Although `f̂` drifts as the denominator grows, a *resident* clip's
+//! stored priority `H` is only rewritten when that clip is accessed —
+//! scores are access-local, so the policy is heap-eligible.
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::policies::greedy_dual::CostModel;
 use crate::space::CacheSpace;
+use crate::victim_index::{TieRule, VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::{Pcg64, Timestamp};
 use std::sync::Arc;
@@ -25,27 +29,39 @@ const GDSP_STREAM: u64 = 0x6764_7370; // "gdsp"
 #[derive(Debug, Clone)]
 pub struct GdsPopularityCache {
     space: CacheSpace,
-    h: Vec<f64>,
+    index: VictimIndex<f64>,
     /// Lifetime request count per clip (kept across evictions).
     counts: Vec<u64>,
     total_requests: u64,
     inflation: f64,
     cost: CostModel,
     rng: Pcg64,
+    ties: Vec<ClipId>,
 }
 
 impl GdsPopularityCache {
-    /// Create an empty GDS-Popularity cache (uniform cost).
+    /// Create an empty GDS-Popularity cache (uniform cost, scan backend).
     pub fn new(repo: Arc<Repository>, capacity: ByteSize, seed: u64) -> Self {
+        GdsPopularityCache::with_backend(repo, capacity, seed, VictimBackend::Scan)
+    }
+
+    /// Create with the given victim-index backend.
+    pub fn with_backend(
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        seed: u64,
+        backend: VictimBackend,
+    ) -> Self {
         let n = repo.len();
         GdsPopularityCache {
             space: CacheSpace::new(repo, capacity),
-            h: vec![0.0; n],
+            index: VictimIndex::new(backend, n),
             counts: vec![0; n],
             total_requests: 0,
             inflation: 0.0,
             cost: CostModel::Uniform,
             rng: Pcg64::seed_from_u64_stream(seed, GDSP_STREAM),
+            ties: Vec::new(),
         }
     }
 
@@ -61,31 +77,6 @@ impl GdsPopularityCache {
     fn base_priority(&self, clip: ClipId) -> f64 {
         let c = self.space.repo().clip(clip);
         self.popularity(clip) * self.cost.cost(c.size, c.display_bandwidth)
-    }
-
-    fn choose_victim(&mut self, exclude: ClipId) -> (ClipId, f64) {
-        let mut min = f64::INFINITY;
-        let mut ties: Vec<ClipId> = Vec::new();
-        for c in self.space.iter_resident() {
-            if c == exclude {
-                continue;
-            }
-            let p = self.h[c.index()];
-            if p < min {
-                min = p;
-                ties.clear();
-                ties.push(c);
-            } else if p == min {
-                ties.push(c);
-            }
-        }
-        assert!(!ties.is_empty(), "eviction requested from an empty cache");
-        let pick = if ties.len() == 1 {
-            ties[0]
-        } else {
-            ties[self.rng.next_index(ties.len())]
-        };
-        (pick, min)
     }
 }
 
@@ -110,39 +101,41 @@ impl ClipCache for GdsPopularityCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, _now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        _now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         self.counts[clip.index()] += 1;
         self.total_requests += 1;
         if self.space.contains(clip) {
-            self.h[clip.index()] = self.inflation + self.base_priority(clip);
-            return AccessOutcome::Hit;
+            let p = self.inflation + self.base_priority(clip);
+            self.index.upsert(clip, p);
+            return AccessEvent::Hit;
         }
         if !self.space.can_ever_fit(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
-        let mut evicted = Vec::new();
         while !self.space.fits_now(clip) {
-            let (victim, h_min) = self.choose_victim(clip);
+            let (victim, h_min) =
+                self.index
+                    .pop_min_tied(TieRule::EXACT, &mut self.rng, &mut self.ties);
             self.space.remove(victim);
             self.inflation = h_min;
-            evicted.push(victim);
+            evictions.record_eviction(victim);
         }
-        self.h[clip.index()] = self.inflation + self.base_priority(clip);
+        let p = self.inflation + self.base_priority(clip);
+        self.index.upsert(clip, p);
         self.space.insert(clip);
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted,
-        }
+        AccessEvent::Miss { admitted: true }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::testutil::{assert_invariants, tiny_repo};
+    use crate::policies::testutil::{assert_equivalent_on, assert_invariants, tiny_repo};
 
     #[test]
     fn popularity_estimates_accumulate() {
@@ -181,5 +174,24 @@ mod tests {
         assert!(!c.contains(ClipId::new(5)));
         assert!(c.popularity(ClipId::new(5)) > 0.0);
         assert_invariants(&c, &repo);
+    }
+
+    #[test]
+    fn heap_backend_is_decision_identical() {
+        let repo = tiny_repo();
+        let trace = [1u32, 2, 3, 1, 4, 5, 2, 2, 5, 1, 3, 4, 4, 1, 5, 2];
+        let mut scan = GdsPopularityCache::with_backend(
+            Arc::clone(&repo),
+            ByteSize::mb(60),
+            9,
+            VictimBackend::Scan,
+        );
+        let mut heap = GdsPopularityCache::with_backend(
+            Arc::clone(&repo),
+            ByteSize::mb(60),
+            9,
+            VictimBackend::Heap,
+        );
+        assert_equivalent_on(&mut scan, &mut heap, &trace);
     }
 }

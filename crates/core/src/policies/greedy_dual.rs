@@ -19,20 +19,35 @@
 //! `L` tie exactly, and GreedyDual "must choose one randomly" — the root
 //! cause of its poor equi-sized hit rate (Figure 3).
 //!
-//! [`GreedyDualHeapCache`] is the tree-accelerated variant the paper's
-//! conclusion calls for: a lazy-deletion heap yields O(log n) victim
-//! selection with a deterministic smallest-id tie-break.
+//! Victim selection runs on a pluggable [`VictimIndex`]: the scan backend
+//! is the paper's O(n) baseline, and [`VictimBackend::Heap`] is the
+//! tree-accelerated variant the paper's conclusion calls for — amortized
+//! O(log n) per eviction with decisions (including the uniform tie draw)
+//! byte-identical to the scan. [`GdMode::Naive`] rescales every resident
+//! score per eviction, so it is scan-only; the registry rejects
+//! `greedydual-naive@heap`.
 
-use crate::cache::{AccessOutcome, ClipCache};
-use crate::heap::LazyMinHeap;
-use crate::policies::admit_with_evictions;
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::space::CacheSpace;
+use crate::victim_index::{TieRule, VictimBackend, VictimIndex};
 use clipcache_media::{Bandwidth, ByteSize, ClipId, Repository};
 use clipcache_workload::{Pcg64, Timestamp};
 use std::sync::Arc;
 
 /// RNG stream constant for GreedyDual tie-breaks.
 const GD_STREAM: u64 = 0x6764_7469; // "gdti"
+
+/// The GreedyDual tie rule: priorities that are equal in exact arithmetic
+/// can differ by a few ulps between the naive and inflation formulations
+/// (their floating-point evaluation orders differ), while genuinely
+/// distinct priorities in this domain differ by many orders of magnitude
+/// more. The relative epsilon keeps the two formulations' decisions — and
+/// their RNG consumption — identical, which the cross-validation property
+/// test relies on.
+const GD_TIES: TieRule = TieRule {
+    rel_eps: 1e-9,
+    rng_on_single: false,
+};
 
 /// How the cost of fetching a clip is modelled.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,37 +123,75 @@ pub enum GdMode {
 #[derive(Debug, Clone)]
 pub struct GreedyDualCache {
     space: CacheSpace,
-    /// Priority per clip index; meaningful only while resident.
-    h: Vec<f64>,
+    /// Priority per resident clip.
+    index: VictimIndex<f64>,
     /// The inflation value `L` (always 0 in naive mode).
     inflation: f64,
     cost: CostModel,
     mode: GdMode,
     rng: Pcg64,
+    ties: Vec<ClipId>,
 }
 
 impl GreedyDualCache {
-    /// Create an empty GreedyDual cache (inflation mode, uniform cost).
+    /// Create an empty GreedyDual cache (inflation mode, uniform cost,
+    /// scan backend).
     pub fn new(repo: Arc<Repository>, capacity: ByteSize, seed: u64) -> Self {
-        GreedyDualCache::with_options(repo, capacity, seed, CostModel::Uniform, GdMode::Inflation)
+        GreedyDualCache::with_options(
+            repo,
+            capacity,
+            seed,
+            CostModel::Uniform,
+            GdMode::Inflation,
+            VictimBackend::Scan,
+        )
     }
 
-    /// Create with an explicit cost model and formulation.
+    /// Create with the given victim-index backend (inflation mode,
+    /// uniform cost).
+    pub fn with_backend(
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        seed: u64,
+        backend: VictimBackend,
+    ) -> Self {
+        GreedyDualCache::with_options(
+            repo,
+            capacity,
+            seed,
+            CostModel::Uniform,
+            GdMode::Inflation,
+            backend,
+        )
+    }
+
+    /// Create with an explicit cost model, formulation and backend.
+    ///
+    /// # Panics
+    /// [`GdMode::Naive`] combined with [`VictimBackend::Heap`]: the naive
+    /// formulation rescales every resident score per eviction, which the
+    /// lazy heap cannot mirror.
     pub fn with_options(
         repo: Arc<Repository>,
         capacity: ByteSize,
         seed: u64,
         cost: CostModel,
         mode: GdMode,
+        backend: VictimBackend,
     ) -> Self {
+        assert!(
+            !(mode == GdMode::Naive && backend == VictimBackend::Heap),
+            "naive GreedyDual is scan-only (bulk rescale per eviction)"
+        );
         let n = repo.len();
         GreedyDualCache {
             space: CacheSpace::new(repo, capacity),
-            h: vec![0.0; n],
+            index: VictimIndex::new(backend, n),
             inflation: 0.0,
             cost,
             mode,
             rng: Pcg64::seed_from_u64_stream(seed, GD_STREAM),
+            ties: Vec::new(),
         }
     }
 
@@ -149,46 +202,7 @@ impl GreedyDualCache {
 
     /// The current priority of a resident clip (None otherwise).
     pub fn priority_of(&self, clip: ClipId) -> Option<f64> {
-        self.space.contains(clip).then(|| self.h[clip.index()])
-    }
-
-    /// Find the victim: the resident clip with minimum `H`, ties broken
-    /// uniformly at random. Scans in id order so the tie list — and hence
-    /// the RNG consumption — is deterministic.
-    ///
-    /// Ties are detected with a relative epsilon: priorities that are
-    /// equal in exact arithmetic can differ by a few ulps between the
-    /// naive and inflation formulations (their floating-point evaluation
-    /// orders differ), while genuinely distinct priorities in this domain
-    /// differ by many orders of magnitude more. The epsilon keeps the two
-    /// formulations' decisions — and their RNG consumption — identical,
-    /// which the cross-validation property test relies on.
-    fn choose_victim(
-        space: &CacheSpace,
-        h: &[f64],
-        rng: &mut Pcg64,
-        exclude: ClipId,
-    ) -> (ClipId, f64) {
-        const REL_EPS: f64 = 1e-9;
-        let mut min = f64::INFINITY;
-        for c in space.iter_resident() {
-            if c == exclude {
-                continue;
-            }
-            min = min.min(h[c.index()]);
-        }
-        assert!(min.is_finite(), "eviction requested from an empty cache");
-        let tie_bound = min + REL_EPS * min.abs().max(f64::MIN_POSITIVE);
-        let ties: Vec<ClipId> = space
-            .iter_resident()
-            .filter(|&c| c != exclude && h[c.index()] <= tie_bound)
-            .collect();
-        let pick = if ties.len() == 1 {
-            ties[0]
-        } else {
-            ties[rng.next_index(ties.len())]
-        };
-        (pick, min)
+        self.index.score_of(clip)
     }
 }
 
@@ -223,125 +237,47 @@ impl ClipCache for GreedyDualCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, _now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        _now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         let c = *self.space.repo().clip(clip);
         let base = self.cost.priority(c.size, c.display_bandwidth);
         if self.space.contains(clip) {
             // Cache hit: restore the priority under the current inflation.
-            self.h[clip.index()] = self.inflation + base;
-            return AccessOutcome::Hit;
+            self.index.upsert(clip, self.inflation + base);
+            return AccessEvent::Hit;
         }
         if !self.space.can_ever_fit(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
-        let mut evicted = Vec::new();
         while !self.space.fits_now(clip) {
-            let (victim, h_min) = Self::choose_victim(&self.space, &self.h, &mut self.rng, clip);
+            let (victim, h_min) = self
+                .index
+                .pop_min_tied(GD_TIES, &mut self.rng, &mut self.ties);
             self.space.remove(victim);
-            evicted.push(victim);
+            evictions.record_eviction(victim);
             match self.mode {
                 GdMode::Inflation => self.inflation = h_min,
-                GdMode::Naive => {
-                    // Subtract H_min from every remaining resident clip.
-                    for c in 0..self.h.len() {
-                        if self.space.contains(ClipId::from_index(c)) {
-                            self.h[c] -= h_min;
-                        }
-                    }
-                }
+                // Subtract H_min from every remaining resident clip.
+                GdMode::Naive => self.index.rescale(|p| p - h_min),
             }
         }
-        self.h[clip.index()] = self.inflation + base;
+        self.index.upsert(clip, self.inflation + base);
         self.space.insert(clip);
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted,
-        }
-    }
-}
-
-/// GreedyDual with heap-accelerated victim selection.
-///
-/// Identical policy semantics to [`GreedyDualCache`] in inflation mode,
-/// except ties break deterministically on the smallest clip id (a heap
-/// cannot sample ties uniformly without degrading to a scan). The paper's
-/// conclusion lists this data-structure upgrade as planned work;
-/// `bench/eviction_scaling` quantifies the win.
-#[derive(Debug, Clone)]
-pub struct GreedyDualHeapCache {
-    space: CacheSpace,
-    heap: LazyMinHeap,
-    inflation: f64,
-    cost: CostModel,
-}
-
-impl GreedyDualHeapCache {
-    /// Create an empty heap-based GreedyDual cache (uniform cost).
-    pub fn new(repo: Arc<Repository>, capacity: ByteSize) -> Self {
-        let n = repo.len();
-        GreedyDualHeapCache {
-            space: CacheSpace::new(repo, capacity),
-            heap: LazyMinHeap::new(n),
-            inflation: 0.0,
-            cost: CostModel::Uniform,
-        }
-    }
-}
-
-impl ClipCache for GreedyDualHeapCache {
-    fn name(&self) -> String {
-        "GreedyDual(heap)".into()
-    }
-
-    fn capacity(&self) -> ByteSize {
-        self.space.capacity()
-    }
-
-    fn used(&self) -> ByteSize {
-        self.space.used()
-    }
-
-    fn contains(&self, clip: ClipId) -> bool {
-        self.space.contains(clip)
-    }
-
-    fn resident_clips(&self) -> Vec<ClipId> {
-        self.space.resident_ids()
-    }
-
-    fn access(&mut self, clip: ClipId, _now: Timestamp) -> AccessOutcome {
-        let c = *self.space.repo().clip(clip);
-        let base = self.cost.priority(c.size, c.display_bandwidth);
-        if self.space.contains(clip) {
-            self.heap.upsert(clip, self.inflation + base);
-            return AccessOutcome::Hit;
-        }
-        let heap = &mut self.heap;
-        let inflation = &mut self.inflation;
-        let outcome = admit_with_evictions(
-            &mut self.space,
-            clip,
-            |_space| {
-                let (victim, h_min) = heap.pop_min().expect("heap mirrors residency");
-                *inflation = h_min;
-                victim
-            },
-            |_| {},
-        );
-        if let AccessOutcome::Miss { admitted: true, .. } = &outcome {
-            self.heap.upsert(clip, *inflation + base);
-        }
-        outcome
+        AccessEvent::Miss { admitted: true }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::testutil::{assert_invariants, drive, equi_repo, tiny_repo};
+    use crate::cache::AccessOutcome;
+    use crate::policies::testutil::{
+        assert_equivalent_on, assert_invariants, drive, equi_repo, tiny_repo,
+    };
 
     #[test]
     fn size_aware_eviction() {
@@ -406,6 +342,7 @@ mod tests {
             9,
             CostModel::Uniform,
             GdMode::Inflation,
+            VictimBackend::Scan,
         );
         let mut naive = GreedyDualCache::with_options(
             Arc::clone(&repo),
@@ -413,6 +350,7 @@ mod tests {
             9,
             CostModel::Uniform,
             GdMode::Naive,
+            VictimBackend::Scan,
         );
         for (i, &id) in trace.iter().enumerate() {
             let a = infl.access(ClipId::new(id), Timestamp(i as u64 + 1));
@@ -423,23 +361,40 @@ mod tests {
     }
 
     #[test]
-    fn heap_variant_matches_scan_on_distinct_priorities() {
-        // With all-distinct sizes there are no ties, so the heap variant
-        // and the scan variant must make identical decisions.
-        let repo = tiny_repo();
-        let trace = [5u32, 4, 3, 2, 1, 5, 4, 3, 2, 1, 2, 4, 1, 3, 5];
-        let mut scan = GreedyDualCache::new(Arc::clone(&repo), ByteSize::mb(80), 1);
-        let mut heap = GreedyDualHeapCache::new(Arc::clone(&repo), ByteSize::mb(80));
-        for (i, &id) in trace.iter().enumerate() {
-            let a = scan.access(ClipId::new(id), Timestamp(i as u64 + 1));
-            let b = heap.access(ClipId::new(id), Timestamp(i as u64 + 1));
-            assert_eq!(a.is_hit(), b.is_hit(), "diverged at request {i}");
-        }
-        let mut r1 = scan.resident_clips();
-        let mut r2 = heap.resident_clips();
-        r1.sort();
-        r2.sort();
-        assert_eq!(r1, r2);
+    fn heap_backend_is_decision_identical_even_on_ties() {
+        // Equi-sized repository: every eviction is a tie, so this
+        // exercises the byte-identical tie draw across backends.
+        let repo = equi_repo(8);
+        let trace = [
+            1u32, 2, 3, 4, 5, 6, 7, 8, 1, 3, 5, 7, 2, 4, 6, 8, 8, 1, 2, 5,
+        ];
+        let mut scan = GreedyDualCache::with_backend(
+            Arc::clone(&repo),
+            ByteSize::mb(30),
+            5,
+            VictimBackend::Scan,
+        );
+        let mut heap = GreedyDualCache::with_backend(
+            Arc::clone(&repo),
+            ByteSize::mb(30),
+            5,
+            VictimBackend::Heap,
+        );
+        assert_equivalent_on(&mut scan, &mut heap, &trace);
+        assert_eq!(scan.inflation(), heap.inflation());
+    }
+
+    #[test]
+    #[should_panic(expected = "scan-only")]
+    fn naive_mode_rejects_heap_backend() {
+        GreedyDualCache::with_options(
+            tiny_repo(),
+            ByteSize::mb(30),
+            1,
+            CostModel::Uniform,
+            GdMode::Naive,
+            VictimBackend::Heap,
+        );
     }
 
     #[test]

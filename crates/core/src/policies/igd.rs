@@ -24,7 +24,7 @@
 //! admitted clip the immediate next victim), and `d₁` is floored at one
 //! tick (a clip referenced at `now` would otherwise divide by zero).
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::policies::greedy_dual::CostModel;
 use crate::space::CacheSpace;
 use clipcache_media::{ByteSize, ClipId, Repository};
@@ -71,6 +71,8 @@ pub struct IgdCache {
     cost: CostModel,
     nref_mode: NrefMode,
     rng: Pcg64,
+    /// Scratch tie list reused across evictions (no per-miss allocation).
+    ties: Vec<ClipId>,
 }
 
 impl IgdCache {
@@ -97,6 +99,7 @@ impl IgdCache {
             cost: CostModel::Uniform,
             nref_mode,
             rng: Pcg64::seed_from_u64_stream(seed, IGD_STREAM),
+            ties: Vec::new(),
         }
     }
 
@@ -122,7 +125,8 @@ impl IgdCache {
 
     fn choose_victim(&mut self, exclude: ClipId, now: Timestamp) -> (ClipId, f64) {
         let mut min = f64::INFINITY;
-        let mut ties: Vec<ClipId> = Vec::new();
+        let mut ties = std::mem::take(&mut self.ties);
+        ties.clear();
         for c in self.space.iter_resident() {
             if c == exclude {
                 continue;
@@ -142,6 +146,7 @@ impl IgdCache {
         } else {
             ties[self.rng.next_index(ties.len())]
         };
+        self.ties = ties;
         (pick, min)
     }
 }
@@ -170,21 +175,22 @@ impl ClipCache for IgdCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         let i = clip.index();
         if self.space.contains(clip) {
             self.nref[i] += 1;
             self.last_ref[i] = now;
             self.l_at_access[i] = self.inflation;
-            return AccessOutcome::Hit;
+            return AccessEvent::Hit;
         }
         if !self.space.can_ever_fit(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
-        let mut evicted = Vec::new();
         while !self.space.fits_now(clip) {
             let (victim, h_min) = self.choose_victim(clip, now);
             self.space.remove(victim);
@@ -192,7 +198,7 @@ impl ClipCache for IgdCache {
                                            // Inflation may only rise: a decayed priority below the
                                            // current L must not deflate future admissions.
             self.inflation = self.inflation.max(h_min);
-            evicted.push(victim);
+            evictions.record_eviction(victim);
         }
         self.nref[i] = match self.nref_mode {
             NrefMode::CountAdmission => 1,
@@ -201,10 +207,7 @@ impl ClipCache for IgdCache {
         self.last_ref[i] = now;
         self.l_at_access[i] = self.inflation;
         self.space.insert(clip);
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted,
-        }
+        AccessEvent::Miss { admitted: true }
     }
 }
 

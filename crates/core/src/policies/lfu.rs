@@ -4,10 +4,15 @@
 //! observed past), which exhibits the classic *cache pollution* problem the
 //! paper attributes to frequency-based techniques: previously popular clips
 //! linger after the access pattern shifts. Ties break least-recently-used.
+//!
+//! A resident clip's `(count, last_ref)` pair only changes when that clip
+//! is accessed, so LFU is heap-eligible: the composite victim key
+//! `(count, last_ref, id)` is stored verbatim in a [`VictimIndex`].
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::policies::admit_with_evictions;
 use crate::space::CacheSpace;
+use crate::victim_index::{VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
 use std::sync::Arc;
@@ -16,16 +21,23 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct LfuCache {
     space: CacheSpace,
+    index: VictimIndex<(u64, Timestamp, ClipId)>,
     counts: Vec<u64>,
     last_ref: Vec<Timestamp>,
 }
 
 impl LfuCache {
-    /// Create an empty LFU cache.
+    /// Create an empty LFU cache (scan backend).
     pub fn new(repo: Arc<Repository>, capacity: ByteSize) -> Self {
+        LfuCache::with_backend(repo, capacity, VictimBackend::Scan)
+    }
+
+    /// Create with the given victim-index backend.
+    pub fn with_backend(repo: Arc<Repository>, capacity: ByteSize, backend: VictimBackend) -> Self {
         let n = repo.len();
         LfuCache {
             space: CacheSpace::new(repo, capacity),
+            index: VictimIndex::new(backend, n),
             counts: vec![0; n],
             last_ref: vec![Timestamp::ZERO; n],
         }
@@ -34,6 +46,10 @@ impl LfuCache {
     /// The lifetime reference count of a clip.
     pub fn count(&self, clip: ClipId) -> u64 {
         self.counts[clip.index()]
+    }
+
+    fn key(&self, clip: ClipId) -> (u64, Timestamp, ClipId) {
+        (self.counts[clip.index()], self.last_ref[clip.index()], clip)
     }
 }
 
@@ -58,33 +74,38 @@ impl ClipCache for LfuCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         self.counts[clip.index()] += 1;
         self.last_ref[clip.index()] = now;
+        let key = self.key(clip);
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            self.index.upsert(clip, key);
+            return AccessEvent::Hit;
         }
-        let counts = &self.counts;
-        let last_ref = &self.last_ref;
-        admit_with_evictions(
+        let index = &mut self.index;
+        let event = admit_with_evictions(
             &mut self.space,
             clip,
-            |space| {
-                space
-                    .iter_resident()
-                    .filter(|&c| c != clip)
-                    .min_by_key(|&c| (counts[c.index()], last_ref[c.index()], c))
-                    .expect("eviction requested from an empty cache")
-            },
+            |_space| index.pop_min().0,
             |_| {},
-        )
+            evictions,
+        );
+        if event == (AccessEvent::Miss { admitted: true }) {
+            self.index.upsert(clip, key);
+        }
+        event
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::testutil::{assert_invariants, equi_repo};
+    use crate::policies::testutil::{assert_equivalent_on, assert_invariants, equi_repo};
 
     #[test]
     fn evicts_least_frequent() {
@@ -131,5 +152,16 @@ mod tests {
         assert!(c.contains(ClipId::new(1)));
         assert!(c.contains(ClipId::new(2)));
         assert_invariants(&c, &repo);
+    }
+
+    #[test]
+    fn heap_backend_is_decision_identical() {
+        let repo = equi_repo(6);
+        let trace = [1u32, 1, 2, 3, 4, 2, 5, 6, 1, 3, 3, 5, 2, 6, 4, 1];
+        let mut scan =
+            LfuCache::with_backend(Arc::clone(&repo), ByteSize::mb(30), VictimBackend::Scan);
+        let mut heap =
+            LfuCache::with_backend(Arc::clone(&repo), ByteSize::mb(30), VictimBackend::Heap);
+        assert_equivalent_on(&mut scan, &mut heap, &trace);
     }
 }

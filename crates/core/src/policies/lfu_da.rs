@@ -12,9 +12,15 @@
 //! shootout example shows LFU-DA recovering from pattern shifts where
 //! plain LFU stays polluted. Note it is *not* size-aware, so it behaves
 //! like LRU-K on the variable-sized repository, not like DYNSimple.
+//!
+//! A resident clip's `H` is rewritten only when that clip is accessed
+//! (inflation affects future admissions, not stored priorities), so the
+//! composite victim key `(H, last_ref, id)` lives in a heap-eligible
+//! [`VictimIndex`].
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::space::CacheSpace;
+use crate::victim_index::{VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
 use std::sync::Arc;
@@ -23,24 +29,25 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct LfuDaCache {
     space: CacheSpace,
-    /// Priority per clip index (valid while resident).
-    h: Vec<f64>,
+    index: VictimIndex<(f64, Timestamp, ClipId)>,
     /// In-cache reference count (reset on eviction, like GreedyDual-Freq).
     count: Vec<u64>,
-    /// Last reference time, for deterministic tie-breaking.
-    last_ref: Vec<Timestamp>,
     inflation: f64,
 }
 
 impl LfuDaCache {
-    /// Create an empty LFU-DA cache.
+    /// Create an empty LFU-DA cache (scan backend).
     pub fn new(repo: Arc<Repository>, capacity: ByteSize) -> Self {
+        LfuDaCache::with_backend(repo, capacity, VictimBackend::Scan)
+    }
+
+    /// Create with the given victim-index backend.
+    pub fn with_backend(repo: Arc<Repository>, capacity: ByteSize, backend: VictimBackend) -> Self {
         let n = repo.len();
         LfuDaCache {
             space: CacheSpace::new(repo, capacity),
-            h: vec![0.0; n],
+            index: VictimIndex::new(backend, n),
             count: vec![0; n],
-            last_ref: vec![Timestamp::ZERO; n],
             inflation: 0.0,
         }
     }
@@ -77,46 +84,33 @@ impl ClipCache for LfuDaCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         let i = clip.index();
-        self.last_ref[i] = now;
         if self.space.contains(clip) {
             self.count[i] += 1;
-            self.h[i] = self.inflation + self.count[i] as f64;
-            return AccessOutcome::Hit;
+            let h = self.inflation + self.count[i] as f64;
+            self.index.upsert(clip, (h, now, clip));
+            return AccessEvent::Hit;
         }
         if !self.space.can_ever_fit(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
-        let mut evicted = Vec::new();
         while !self.space.fits_now(clip) {
-            let victim = self
-                .space
-                .iter_resident()
-                .filter(|&c| c != clip)
-                .min_by(|&a, &b| {
-                    self.h[a.index()]
-                        .partial_cmp(&self.h[b.index()])
-                        .expect("priorities are finite")
-                        .then_with(|| self.last_ref[a.index()].cmp(&self.last_ref[b.index()]))
-                        .then_with(|| a.cmp(&b))
-                })
-                .expect("eviction requested from an empty cache");
-            self.inflation = self.h[victim.index()];
+            let (victim, (h_victim, _, _)) = self.index.pop_min();
+            self.inflation = h_victim;
             self.count[victim.index()] = 0;
             self.space.remove(victim);
-            evicted.push(victim);
+            evictions.record_eviction(victim);
         }
         self.count[i] = 1;
-        self.h[i] = self.inflation + 1.0;
+        self.index.upsert(clip, (self.inflation + 1.0, now, clip));
         self.space.insert(clip);
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted,
-        }
+        AccessEvent::Miss { admitted: true }
     }
 }
 
@@ -124,7 +118,7 @@ impl ClipCache for LfuDaCache {
 mod tests {
     use super::*;
     use crate::policies::lfu::LfuCache;
-    use crate::policies::testutil::{assert_invariants, equi_repo};
+    use crate::policies::testutil::{assert_equivalent_on, assert_invariants, equi_repo};
 
     #[test]
     fn frequency_still_matters() {
@@ -189,5 +183,17 @@ mod tests {
         c.access(ClipId::new(2), Timestamp(6)); // evicts 1
         assert_eq!(c.count(ClipId::new(1)), 0);
         assert!(c.inflation() > 0.0);
+    }
+
+    #[test]
+    fn heap_backend_is_decision_identical() {
+        let repo = equi_repo(5);
+        let trace = [1u32, 2, 1, 3, 4, 5, 2, 2, 3, 1, 5, 4, 4, 3, 1, 2, 5];
+        let mut scan =
+            LfuDaCache::with_backend(Arc::clone(&repo), ByteSize::mb(30), VictimBackend::Scan);
+        let mut heap =
+            LfuDaCache::with_backend(Arc::clone(&repo), ByteSize::mb(30), VictimBackend::Heap);
+        assert_equivalent_on(&mut scan, &mut heap, &trace);
+        assert_eq!(scan.inflation(), heap.inflation());
     }
 }

@@ -4,11 +4,19 @@
 //! degenerate K = 1 case of LRU-K) but are the standard points of
 //! comparison for any replacement study and are exercised by the shootout
 //! example. All three share one implementation parameterized by the
-//! ordering of the victim scan.
+//! ordering of the victim key.
+//!
+//! Recency scores are access-local, so all three variants are
+//! heap-eligible: the victim key is a `(u64, u64)` pair in a
+//! [`VictimIndex`], with MRU's max-order mapped onto the index's
+//! min-order by complementing both components (a strictly monotone
+//! bijection, so the max-(timestamp, id) victim is exactly the
+//! min-(complement, complement) one).
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::policies::admit_with_evictions;
 use crate::space::CacheSpace;
+use crate::victim_index::{VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
 use std::sync::Arc;
@@ -32,6 +40,15 @@ impl RecencyVariant {
             RecencyVariant::Fifo => "FIFO",
         }
     }
+
+    /// The index key for a clip touched (LRU/MRU) or admitted (FIFO) at
+    /// `at`: MRU complements so the most recent sorts first.
+    fn key(self, at: Timestamp, clip: ClipId) -> (u64, u64) {
+        match self {
+            RecencyVariant::Lru | RecencyVariant::Fifo => (at.0, clip.index() as u64),
+            RecencyVariant::Mru => (u64::MAX - at.0, u64::MAX - clip.index() as u64),
+        }
+    }
 }
 
 /// A recency-ordered cache (LRU / MRU / FIFO).
@@ -39,21 +56,28 @@ impl RecencyVariant {
 pub struct RecencyCache {
     space: CacheSpace,
     variant: RecencyVariant,
-    /// Last reference time per clip (LRU/MRU key).
-    last_ref: Vec<Timestamp>,
-    /// Admission time per clip (FIFO key).
-    admitted_at: Vec<Timestamp>,
+    index: VictimIndex<(u64, u64)>,
 }
 
 impl RecencyCache {
-    /// Create an empty cache with the given eviction variant.
+    /// Create an empty cache with the given eviction variant (scan
+    /// backend).
     pub fn new(repo: Arc<Repository>, capacity: ByteSize, variant: RecencyVariant) -> Self {
+        RecencyCache::with_backend(repo, capacity, variant, VictimBackend::Scan)
+    }
+
+    /// Create with the given victim-index backend.
+    pub fn with_backend(
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        variant: RecencyVariant,
+        backend: VictimBackend,
+    ) -> Self {
         let n = repo.len();
         RecencyCache {
             space: CacheSpace::new(repo, capacity),
             variant,
-            last_ref: vec![Timestamp::ZERO; n],
-            admitted_at: vec![Timestamp::ZERO; n],
+            index: VictimIndex::new(backend, n),
         }
     }
 
@@ -84,41 +108,38 @@ impl ClipCache for RecencyCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
-        self.last_ref[clip.index()] = now;
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            // FIFO's key is the admission time: hits don't reorder it.
+            if self.variant != RecencyVariant::Fifo {
+                self.index.upsert(clip, self.variant.key(now, clip));
+            }
+            return AccessEvent::Hit;
         }
-        self.admitted_at[clip.index()] = now;
-        // `self` can't be borrowed inside the closure while `space` is
-        // borrowed mutably, so snapshot what the victim scan needs.
-        let variant = self.variant;
-        let last_ref = &self.last_ref;
-        let admitted_at = &self.admitted_at;
-        admit_with_evictions(
+        let index = &mut self.index;
+        let event = admit_with_evictions(
             &mut self.space,
             clip,
-            |space| {
-                let key = |c: ClipId| match variant {
-                    RecencyVariant::Lru | RecencyVariant::Mru => last_ref[c.index()],
-                    RecencyVariant::Fifo => admitted_at[c.index()],
-                };
-                let iter = space.iter_resident().filter(|&c| c != clip);
-                match variant {
-                    RecencyVariant::Mru => iter.max_by_key(|&c| (key(c), c)),
-                    _ => iter.min_by_key(|&c| (key(c), c)),
-                }
-                .expect("eviction requested from an empty cache")
-            },
+            |_space| index.pop_min().0,
             |_| {},
-        )
+            evictions,
+        );
+        if event == (AccessEvent::Miss { admitted: true }) {
+            self.index.upsert(clip, self.variant.key(now, clip));
+        }
+        event
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::testutil::{assert_invariants, drive, equi_repo};
+    use crate::policies::testutil::{assert_equivalent_on, assert_invariants, drive, equi_repo};
 
     fn cache(variant: RecencyVariant, cap_clips: u64) -> RecencyCache {
         RecencyCache::new(equi_repo(10), ByteSize::mb(10 * cap_clips), variant)
@@ -174,5 +195,30 @@ mod tests {
         assert_invariants(&c, &repo);
         // 35 MB holds at most 3 clips of 10 MB.
         assert!(c.resident_count() <= 3);
+    }
+
+    #[test]
+    fn heap_backend_is_decision_identical_for_all_variants() {
+        let repo = equi_repo(6);
+        let trace = [1u32, 2, 3, 1, 4, 5, 2, 6, 1, 1, 3, 4, 6, 5, 2, 1];
+        for variant in [
+            RecencyVariant::Lru,
+            RecencyVariant::Mru,
+            RecencyVariant::Fifo,
+        ] {
+            let mut scan = RecencyCache::with_backend(
+                Arc::clone(&repo),
+                ByteSize::mb(30),
+                variant,
+                VictimBackend::Scan,
+            );
+            let mut heap = RecencyCache::with_backend(
+                Arc::clone(&repo),
+                ByteSize::mb(30),
+                variant,
+                VictimBackend::Heap,
+            );
+            assert_equivalent_on(&mut scan, &mut heap, &trace);
+        }
     }
 }

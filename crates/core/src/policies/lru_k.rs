@@ -11,11 +11,16 @@
 //! The paper's Section 3.3 shows LRU-2 is "ideal for managing equi-sized
 //! clips" but loses badly on variable-sized repositories because it ignores
 //! clip size (Figure 2.a).
+//!
+//! A resident clip's reference history only changes when that clip is
+//! accessed, so LRU-K (with or without CRP) is heap-eligible: the
+//! composite key `(kth_last, last, id)` is stored in a [`VictimIndex`].
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::history::ReferenceHistory;
 use crate::policies::admit_with_evictions;
 use crate::space::CacheSpace;
+use crate::victim_index::{VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
 use std::sync::Arc;
@@ -25,17 +30,18 @@ use std::sync::Arc;
 pub struct LruKCache {
     space: CacheSpace,
     history: ReferenceHistory,
+    index: VictimIndex<(Timestamp, Timestamp, ClipId)>,
     /// Correlated Reference Period in ticks (0 = off, the paper's use).
     crp: u64,
 }
 
 impl LruKCache {
-    /// Create an empty LRU-K cache.
+    /// Create an empty LRU-K cache (scan backend).
     ///
     /// # Panics
     /// If `k == 0`.
     pub fn new(repo: Arc<Repository>, capacity: ByteSize, k: usize) -> Self {
-        LruKCache::with_crp(repo, capacity, k, 0)
+        LruKCache::with_options(repo, capacity, k, 0, VictimBackend::Scan)
     }
 
     /// Create an LRU-K cache with O'Neil et al.'s *Correlated Reference
@@ -47,10 +53,25 @@ impl LruKCache {
     /// # Panics
     /// If `k == 0`.
     pub fn with_crp(repo: Arc<Repository>, capacity: ByteSize, k: usize, crp: u64) -> Self {
+        LruKCache::with_options(repo, capacity, k, crp, VictimBackend::Scan)
+    }
+
+    /// Create with explicit CRP and victim-index backend.
+    ///
+    /// # Panics
+    /// If `k == 0`.
+    pub fn with_options(
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        k: usize,
+        crp: u64,
+        backend: VictimBackend,
+    ) -> Self {
         let n = repo.len();
         LruKCache {
             space: CacheSpace::new(repo, capacity),
             history: ReferenceHistory::new(n, k),
+            index: VictimIndex::new(backend, n),
             crp,
         }
     }
@@ -68,10 +89,10 @@ impl LruKCache {
     /// The victim-ordering key: clips with < K references sort first
     /// (`kth_last = 0`), then by oldest K-th reference, then by oldest last
     /// reference (the LRU tie-break).
-    fn victim_key(history: &ReferenceHistory, c: ClipId) -> (Timestamp, Timestamp) {
+    fn victim_key(history: &ReferenceHistory, c: ClipId) -> (Timestamp, Timestamp, ClipId) {
         let kth = history.kth_last(c).unwrap_or(Timestamp::ZERO);
         let last = history.last(c).unwrap_or(Timestamp::ZERO);
-        (kth, last)
+        (kth, last, c)
     }
 }
 
@@ -100,31 +121,39 @@ impl ClipCache for LruKCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         self.history.record_with_crp(clip, now, self.crp);
+        let key = Self::victim_key(&self.history, clip);
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            self.index.upsert(clip, key);
+            return AccessEvent::Hit;
         }
-        let history = &self.history;
-        admit_with_evictions(
+        let index = &mut self.index;
+        let event = admit_with_evictions(
             &mut self.space,
             clip,
-            |space| {
-                space
-                    .iter_resident()
-                    .filter(|&c| c != clip)
-                    .min_by_key(|&c| (Self::victim_key(history, c), c))
-                    .expect("eviction requested from an empty cache")
-            },
+            |_space| index.pop_min().0,
             |_| {},
-        )
+            evictions,
+        );
+        if event == (AccessEvent::Miss { admitted: true }) {
+            self.index.upsert(clip, key);
+        }
+        event
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::testutil::{assert_invariants, drive, equi_repo, tiny_repo};
+    use crate::policies::testutil::{
+        assert_equivalent_on, assert_invariants, drive, equi_repo, tiny_repo,
+    };
 
     #[test]
     fn fewer_than_k_references_evicted_first() {
@@ -208,5 +237,28 @@ mod tests {
         c.access(ClipId::new(1), Timestamp(3));
         let out = c.access(ClipId::new(3), Timestamp(4));
         assert_eq!(out.evicted(), &[ClipId::new(2)]);
+    }
+
+    #[test]
+    fn heap_backend_is_decision_identical() {
+        let repo = equi_repo(6);
+        let trace = [1u32, 2, 1, 3, 4, 2, 5, 6, 1, 3, 3, 5, 2, 6, 4, 1, 1, 2];
+        for crp in [0u64, 3] {
+            let mut scan = LruKCache::with_options(
+                Arc::clone(&repo),
+                ByteSize::mb(30),
+                2,
+                crp,
+                VictimBackend::Scan,
+            );
+            let mut heap = LruKCache::with_options(
+                Arc::clone(&repo),
+                ByteSize::mb(30),
+                2,
+                crp,
+                VictimBackend::Heap,
+            );
+            assert_equivalent_on(&mut scan, &mut heap, &trace);
+        }
     }
 }

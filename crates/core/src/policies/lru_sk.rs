@@ -11,9 +11,13 @@
 //!
 //! Section 4.4: with K = 2, LRU-SK and DYNSimple produce "almost
 //! identical" hit rates because their victim rankings coincide (a property
-//! test in `tests/policy_equivalence.rs` verifies the ranking claim).
+//! test in `tests/dynsimple_lrusk_ranking.rs` verifies the ranking claim).
+//!
+//! `d_K` ages with the clock, so the eviction score is time-varying and
+//! LRU-SK stays on the scan victim-index backend (see the taxonomy in
+//! [`crate::policies`]).
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::history::ReferenceHistory;
 use crate::policies::admit_with_evictions;
 use crate::space::CacheSpace;
@@ -87,10 +91,15 @@ impl ClipCache for LruSKCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         self.history.record(clip, now);
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            return AccessEvent::Hit;
         }
         let history = &self.history;
         admit_with_evictions(
@@ -112,6 +121,7 @@ impl ClipCache for LruSKCache {
                     .expect("eviction requested from an empty cache")
             },
             |_| {},
+            evictions,
         )
     }
 }

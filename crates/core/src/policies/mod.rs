@@ -7,24 +7,30 @@
 //!
 //! The paper's footnote 2 taxonomizes greedy techniques as recency-,
 //! frequency-, size-, function-based, or randomized. Where each
-//! implementation sits, and what signal drives its victim choice:
+//! implementation sits, what signal drives its victim choice, and which
+//! [`victim-index backend`](crate::victim_index) it supports — *scan+heap*
+//! means the score is **access-local** (a resident's score changes only
+//! when that clip is accessed, so a heap stays valid between accesses);
+//! *scan only* means the score is **time-varying** (it drifts with the
+//! clock or with other clips' accesses, so every eviction must re-rank):
 //!
-//! | Policy | Taxonomy | Victim signal | History kept off-cache? |
-//! |---|---|---|---|
-//! | `Random` | randomized | uniform | no |
-//! | `LRU` / `MRU` / `FIFO` | recency | last reference / admission | no |
-//! | `LFU` | frequency | lifetime count | count survives eviction |
-//! | `LFU-DA` | frequency + aging | `L + count` | no |
-//! | `SIZE` | size | largest first | no |
-//! | `LRU-K` (± CRP) | recency | K-th-last reference | K timestamps |
-//! | **`LRU-SK`** | recency + size | `d_K · size` | K timestamps |
-//! | `GreedyDual` | function | `L + cost/size` | no |
-//! | `GreedyDual-Freq` | function + frequency | `L + nref/size` | no |
-//! | **`IGD`** | function + aging | `L + nref/(d₁·size)` | no |
-//! | `GDS-Popularity` | function (byte-hit) | `L + f̂·cost` | count survives |
-//! | `Simple` (± bypass) | off-line | oracle `f/size` | oracle |
-//! | **`DYNSimple`** (± bypass) | frequency + size | estimated `f̂/size` | K timestamps |
-//! | `BlockLruK` | recency over blocks | block LRU-K | K timestamps |
+//! | Policy | Taxonomy | Victim signal | History kept off-cache? | Victim index backend |
+//! |---|---|---|---|---|
+//! | `Random` | randomized | uniform | no | scan+heap |
+//! | `LRU` / `MRU` / `FIFO` | recency | last reference / admission | no | scan+heap |
+//! | `LFU` | frequency | lifetime count | count survives eviction | scan+heap |
+//! | `LFU-DA` | frequency + aging | `L + count` | no | scan+heap |
+//! | `SIZE` | size | largest first | no | scan+heap |
+//! | `LRU-K` (± CRP) | recency | K-th-last reference | K timestamps | scan+heap |
+//! | **`LRU-SK`** | recency + size | `d_K · size` | K timestamps | scan only (`d_K` ages with time) |
+//! | `GreedyDual` | function | `L + cost/size` | no | scan+heap (naive mode scan only) |
+//! | `GreedyDual-Freq` | function + frequency | `L + nref/size` | no | scan+heap |
+//! | **`IGD`** | function + aging | `L + nref/(d₁·size)` | no | scan only (`d₁` ages with time) |
+//! | `GDS-Popularity` | function (byte-hit) | `L + f̂·cost` | count survives | scan+heap |
+//! | `Simple` (± bypass) | off-line | oracle `f/size` | oracle | scan only (batch repack) |
+//! | **`DYNSimple`** (± bypass) | frequency + size | estimated `f̂/size` | K timestamps | scan only (rates age with time) |
+//! | `BlockLruK` | recency over blocks | block LRU-K | K timestamps | scan only (partial evictions) |
+//! | `Belady` | clairvoyant | next reference | full future | scan only (trace-driven) |
 //!
 //! Bold rows are the paper's contributions.
 
@@ -44,15 +50,17 @@ pub mod random;
 pub mod simple;
 pub mod size;
 
-use crate::cache::AccessOutcome;
+use crate::cache::{AccessEvent, EvictionSink};
 use crate::space::CacheSpace;
 use clipcache_media::ClipId;
 
 /// The shared miss path: evict victims chosen by `next_victim` until
 /// `incoming` fits, then materialize it.
 ///
-/// Returns the outcome (`admitted = false` iff the clip can never fit).
-/// `on_evict` lets the policy drop its per-clip metadata as victims leave.
+/// Returns the event (`admitted = false` iff the clip can never fit);
+/// evicted ids stream into `sink` in eviction order, so the path
+/// allocates nothing itself. `on_evict` lets the policy drop its
+/// per-clip metadata as victims leave.
 ///
 /// # Panics
 /// If `next_victim` returns a non-resident clip (a policy bug).
@@ -61,26 +69,20 @@ pub(crate) fn admit_with_evictions(
     incoming: ClipId,
     mut next_victim: impl FnMut(&CacheSpace) -> ClipId,
     mut on_evict: impl FnMut(ClipId),
-) -> AccessOutcome {
+    sink: &mut dyn EvictionSink,
+) -> AccessEvent {
     if !space.can_ever_fit(incoming) {
         // Larger than the entire cache: stream without caching.
-        return AccessOutcome::Miss {
-            admitted: false,
-            evicted: Vec::new(),
-        };
+        return AccessEvent::Miss { admitted: false };
     }
-    let mut evicted = Vec::new();
     while !space.fits_now(incoming) {
         let victim = next_victim(space);
         space.remove(victim);
         on_evict(victim);
-        evicted.push(victim);
+        sink.record_eviction(victim);
     }
     space.insert(incoming);
-    AccessOutcome::Miss {
-        admitted: true,
-        evicted,
-    }
+    AccessEvent::Miss { admitted: true }
 }
 
 #[cfg(test)]
@@ -120,11 +122,32 @@ pub(crate) mod testutil {
     }
 
     /// Drive a cache with full requests; returns hits.
-    #[allow(dead_code)] // exercised by some, not all, test configurations
     pub fn drive_requests(cache: &mut dyn ClipCache, reqs: &[Request]) -> usize {
         reqs.iter()
             .filter(|r| cache.access(r.clip, r.at).is_hit())
             .count()
+    }
+
+    /// Replay `clips` against two caches and assert every access outcome
+    /// (including eviction order) and the final residency agree — the
+    /// backend-equivalence harness used by the per-policy scan-vs-heap
+    /// tests.
+    pub fn assert_equivalent_on(a: &mut dyn ClipCache, b: &mut dyn ClipCache, clips: &[u32]) {
+        for (i, &c) in clips.iter().enumerate() {
+            let at = Timestamp(i as u64 + 1);
+            let clip = clipcache_media::ClipId::new(c);
+            let oa = a.access(clip, at);
+            let ob = b.access(clip, at);
+            assert_eq!(
+                oa,
+                ob,
+                "{} vs {} diverge at request {i} ({clip})",
+                a.name(),
+                b.name()
+            );
+        }
+        assert_eq!(a.resident_clips(), b.resident_clips());
+        assert_eq!(a.used(), b.used());
     }
 
     /// Assert the capacity invariant and residency/used consistency.

@@ -2,10 +2,16 @@
 //!
 //! Section 3.3: "As a comparison yard stick, we have included a technique
 //! that chooses victims randomly. This technique is called Random."
+//!
+//! Implemented as the degenerate case of the tied-minimum machinery:
+//! every resident clip scores a constant `0.0`, so the tie set is the
+//! whole residency (in id order, matching `resident_ids()`) and the
+//! uniform draw consumes the RNG exactly as the scan-based implementation
+//! always has — under either victim-index backend.
 
-use crate::cache::{AccessOutcome, ClipCache};
-use crate::policies::admit_with_evictions;
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::space::CacheSpace;
+use crate::victim_index::{TieRule, VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::{Pcg64, Timestamp};
 use std::sync::Arc;
@@ -14,21 +20,44 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct RandomCache {
     space: CacheSpace,
+    index: VictimIndex<f64>,
     rng: Pcg64,
-}
-
-impl RandomCache {
-    /// Create an empty random-replacement cache.
-    pub fn new(repo: Arc<Repository>, capacity: ByteSize, seed: u64) -> Self {
-        RandomCache {
-            space: CacheSpace::new(repo, capacity),
-            rng: Pcg64::seed_from_u64_stream(seed, RAND_STREAM),
-        }
-    }
+    ties: Vec<ClipId>,
 }
 
 /// RNG stream constant decorrelating victim choice from workload RNGs.
 const RAND_STREAM: u64 = 0x7261_6e64; // "rand"
+
+/// Uniform choice over the full residency: zero-width tie band over the
+/// constant score, with the RNG consumed even for a single resident (the
+/// scan implementation always drew an index).
+const RANDOM_TIES: TieRule = TieRule {
+    rel_eps: 0.0,
+    rng_on_single: true,
+};
+
+impl RandomCache {
+    /// Create an empty random-replacement cache (scan backend).
+    pub fn new(repo: Arc<Repository>, capacity: ByteSize, seed: u64) -> Self {
+        RandomCache::with_backend(repo, capacity, seed, VictimBackend::Scan)
+    }
+
+    /// Create with the given victim-index backend.
+    pub fn with_backend(
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        seed: u64,
+        backend: VictimBackend,
+    ) -> Self {
+        let n = repo.len();
+        RandomCache {
+            space: CacheSpace::new(repo, capacity),
+            index: VictimIndex::new(backend, n),
+            rng: Pcg64::seed_from_u64_stream(seed, RAND_STREAM),
+            ties: Vec::new(),
+        }
+    }
+}
 
 impl ClipCache for RandomCache {
     fn name(&self) -> String {
@@ -51,27 +80,36 @@ impl ClipCache for RandomCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, _now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        _now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            return AccessEvent::Hit;
         }
-        let rng = &mut self.rng;
-        admit_with_evictions(
-            &mut self.space,
-            clip,
-            |space| {
-                let residents = space.resident_ids();
-                residents[rng.next_index(residents.len())]
-            },
-            |_| {},
-        )
+        if !self.space.can_ever_fit(clip) {
+            return AccessEvent::Miss { admitted: false };
+        }
+        while !self.space.fits_now(clip) {
+            let (victim, _) = self
+                .index
+                .pop_min_tied(RANDOM_TIES, &mut self.rng, &mut self.ties);
+            self.space.remove(victim);
+            evictions.record_eviction(victim);
+        }
+        self.index.upsert(clip, 0.0);
+        self.space.insert(clip);
+        AccessEvent::Miss { admitted: true }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::testutil::{assert_invariants, drive, tiny_repo};
+    use crate::cache::AccessOutcome;
+    use crate::policies::testutil::{assert_equivalent_on, assert_invariants, drive, tiny_repo};
 
     #[test]
     fn hit_after_admit() {
@@ -114,5 +152,16 @@ mod tests {
         let mut b = RandomCache::new(repo, ByteSize::mb(60), 11);
         assert_eq!(drive(&mut a, &trace), drive(&mut b, &trace));
         assert_eq!(a.resident_clips(), b.resident_clips());
+    }
+
+    #[test]
+    fn heap_backend_is_decision_identical() {
+        let repo = tiny_repo();
+        let trace = [1u32, 2, 3, 4, 5, 1, 3, 5, 2, 4, 1, 2, 3, 5, 4];
+        let mut scan =
+            RandomCache::with_backend(Arc::clone(&repo), ByteSize::mb(60), 11, VictimBackend::Scan);
+        let mut heap =
+            RandomCache::with_backend(Arc::clone(&repo), ByteSize::mb(60), 11, VictimBackend::Heap);
+        assert_equivalent_on(&mut scan, &mut heap, &trace);
     }
 }

@@ -14,8 +14,12 @@
 //!
 //! For evolving-pattern experiments (Figure 6) the oracle frequencies can
 //! be replaced mid-run with [`SimpleCache::set_frequencies`].
+//!
+//! Victim selection is a batched plan over a frequency table that can be
+//! swapped wholesale mid-run, so Simple stays on the scan victim-index
+//! backend (see the taxonomy in [`crate::policies`]).
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::space::CacheSpace;
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
@@ -37,6 +41,8 @@ pub struct SimpleCache {
     /// Byte-freq value per clip: `f(x) / size(x)`.
     byte_freq: Vec<f64>,
     admission: SimpleAdmission,
+    /// Scratch eviction plan reused across misses (no per-miss allocation).
+    plan: Vec<ClipId>,
 }
 
 impl SimpleCache {
@@ -57,6 +63,7 @@ impl SimpleCache {
             space: CacheSpace::new(repo, capacity),
             byte_freq,
             admission,
+            plan: Vec::new(),
         }
     }
 
@@ -91,21 +98,34 @@ impl SimpleCache {
         self.byte_freq[clip.index()]
     }
 
-    /// Resident clips sorted ascending by byte-freq (cheapest victims
-    /// first; ties broken by clip id for determinism).
-    fn victims_cheapest_first(&self, exclude: ClipId) -> Vec<ClipId> {
-        let mut residents: Vec<ClipId> = self
-            .space
-            .iter_resident()
-            .filter(|&c| c != exclude)
-            .collect();
-        residents.sort_by(|&a, &b| {
+    /// Plan the eviction set into `self.plan`: the cheapest byte-freq
+    /// residents (ties broken by clip id for determinism) until the
+    /// incoming clip fits. Reuses the scratch buffer.
+    fn plan_victims(&mut self, incoming: ClipId) {
+        let mut plan = std::mem::take(&mut self.plan);
+        plan.clear();
+        plan.extend(self.space.iter_resident().filter(|&c| c != incoming));
+        // Unstable sort: the id tie-break makes the order total, and the
+        // in-place sort keeps the miss path allocation-free.
+        plan.sort_unstable_by(|&a, &b| {
             self.byte_freq[a.index()]
                 .partial_cmp(&self.byte_freq[b.index()])
                 .expect("byte-freqs are finite")
                 .then_with(|| a.cmp(&b))
         });
-        residents
+        let need = self.space.size_of(incoming);
+        let mut freed = self.space.free();
+        let mut planned = 0;
+        for &victim in &plan {
+            if freed >= need {
+                break;
+            }
+            freed += self.space.size_of(victim);
+            planned += 1;
+        }
+        plan.truncate(planned);
+        debug_assert!(freed >= need, "victim plan must free enough space");
+        self.plan = plan;
     }
 }
 
@@ -137,59 +157,47 @@ impl ClipCache for SimpleCache {
         self.set_frequencies(frequencies);
     }
 
-    fn access(&mut self, clip: ClipId, _now: Timestamp) -> AccessOutcome {
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        _now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            return AccessEvent::Hit;
         }
         if !self.space.can_ever_fit(clip) {
-            return AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            return AccessEvent::Miss { admitted: false };
         }
-        // Plan the eviction set: cheapest byte-freq residents until the
-        // incoming clip fits.
-        let order = self.victims_cheapest_first(clip);
-        let mut planned = Vec::new();
-        let mut freed = self.space.free();
-        let need = self.space.size_of(clip);
-        for &victim in &order {
-            if freed >= need {
-                break;
-            }
-            freed += self.space.size_of(victim);
-            planned.push(victim);
-        }
-        debug_assert!(freed >= need, "victim plan must free enough space");
+        self.plan_victims(clip);
         if self.admission == SimpleAdmission::Bypass {
             // Stream without caching when the incoming clip is worth less
             // than the most valuable clip it would displace.
             let incoming_value = self.byte_freq[clip.index()];
-            let displaced_max = planned
+            let displaced_max = self
+                .plan
                 .iter()
                 .map(|v| self.byte_freq[v.index()])
                 .fold(f64::NEG_INFINITY, f64::max);
-            if !planned.is_empty() && incoming_value <= displaced_max {
-                return AccessOutcome::Miss {
-                    admitted: false,
-                    evicted: Vec::new(),
-                };
+            if !self.plan.is_empty() && incoming_value <= displaced_max {
+                return AccessEvent::Miss { admitted: false };
             }
         }
-        for &victim in &planned {
+        let plan = std::mem::take(&mut self.plan);
+        for &victim in &plan {
             self.space.remove(victim);
+            evictions.record_eviction(victim);
         }
+        self.plan = plan;
         self.space.insert(clip);
-        AccessOutcome::Miss {
-            admitted: true,
-            evicted: planned,
-        }
+        AccessEvent::Miss { admitted: true }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::AccessOutcome;
     use crate::policies::testutil::{assert_invariants, tiny_repo};
 
     /// tiny_repo sizes: 10, 20, 30, 40, 50 MB for clips 1..=5.

@@ -8,29 +8,46 @@
 //! repositories, terrible for byte hit rate — and ignores popularity
 //! entirely, so it cannot adapt to shifts at all beyond its recency
 //! tie-break. Included as the taxonomy's missing corner in the shootout.
+//!
+//! The victim order `(largest size, stalest, largest id)` maps onto the
+//! min-ordered [`VictimIndex`] by wrapping the reversed components in
+//! [`std::cmp::Reverse`]; "stalest" compares identically to "smallest
+//! last-reference time", so the stored key never goes stale and SIZE is
+//! heap-eligible.
 
-use crate::cache::{AccessOutcome, ClipCache};
+use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::policies::admit_with_evictions;
 use crate::space::CacheSpace;
+use crate::victim_index::{VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
+use std::cmp::Reverse;
 use std::sync::Arc;
 
 /// Largest-first eviction.
 #[derive(Debug, Clone)]
 pub struct SizeCache {
     space: CacheSpace,
-    last_ref: Vec<Timestamp>,
+    index: VictimIndex<(Reverse<ByteSize>, Timestamp, Reverse<ClipId>)>,
 }
 
 impl SizeCache {
-    /// Create an empty SIZE cache.
+    /// Create an empty SIZE cache (scan backend).
     pub fn new(repo: Arc<Repository>, capacity: ByteSize) -> Self {
+        SizeCache::with_backend(repo, capacity, VictimBackend::Scan)
+    }
+
+    /// Create with the given victim-index backend.
+    pub fn with_backend(repo: Arc<Repository>, capacity: ByteSize, backend: VictimBackend) -> Self {
         let n = repo.len();
         SizeCache {
             space: CacheSpace::new(repo, capacity),
-            last_ref: vec![Timestamp::ZERO; n],
+            index: VictimIndex::new(backend, n),
         }
+    }
+
+    fn key(&self, clip: ClipId, now: Timestamp) -> (Reverse<ByteSize>, Timestamp, Reverse<ClipId>) {
+        (Reverse(self.space.size_of(clip)), now, Reverse(clip))
     }
 }
 
@@ -55,40 +72,38 @@ impl ClipCache for SizeCache {
         self.space.resident_ids()
     }
 
-    fn access(&mut self, clip: ClipId, now: Timestamp) -> AccessOutcome {
-        self.last_ref[clip.index()] = now;
+    fn access_into(
+        &mut self,
+        clip: ClipId,
+        now: Timestamp,
+        evictions: &mut dyn EvictionSink,
+    ) -> AccessEvent {
+        let key = self.key(clip, now);
         if self.space.contains(clip) {
-            return AccessOutcome::Hit;
+            self.index.upsert(clip, key);
+            return AccessEvent::Hit;
         }
-        let last_ref = &self.last_ref;
-        admit_with_evictions(
+        let index = &mut self.index;
+        let event = admit_with_evictions(
             &mut self.space,
             clip,
-            |space| {
-                space
-                    .iter_resident()
-                    .filter(|&c| c != clip)
-                    .max_by_key(|&c| {
-                        (
-                            space.size_of(c),
-                            // Among equal sizes, evict the stalest:
-                            // larger (now − last_ref) wins, i.e. smaller
-                            // last_ref; invert by subtracting from now.
-                            now.since(last_ref[c.index()]),
-                            c,
-                        )
-                    })
-                    .expect("eviction requested from an empty cache")
-            },
+            |_space| index.pop_min().0,
             |_| {},
-        )
+            evictions,
+        );
+        if event == (AccessEvent::Miss { admitted: true }) {
+            self.index.upsert(clip, key);
+        }
+        event
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::testutil::{assert_invariants, drive, equi_repo, tiny_repo};
+    use crate::policies::testutil::{
+        assert_equivalent_on, assert_invariants, drive, equi_repo, tiny_repo,
+    };
 
     #[test]
     fn evicts_largest_first() {
@@ -122,5 +137,16 @@ mod tests {
         assert!(c.contains(ClipId::new(2)));
         assert!(!c.contains(ClipId::new(5)));
         assert_invariants(&c, &repo);
+    }
+
+    #[test]
+    fn heap_backend_is_decision_identical() {
+        let repo = tiny_repo();
+        let trace = [5u32, 4, 3, 2, 1, 5, 4, 3, 2, 1, 1, 3, 5, 2, 4];
+        let mut scan =
+            SizeCache::with_backend(Arc::clone(&repo), ByteSize::mb(60), VictimBackend::Scan);
+        let mut heap =
+            SizeCache::with_backend(Arc::clone(&repo), ByteSize::mb(60), VictimBackend::Heap);
+        assert_equivalent_on(&mut scan, &mut heap, &trace);
     }
 }

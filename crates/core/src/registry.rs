@@ -2,15 +2,19 @@
 //!
 //! The experiment harness and examples configure runs with a
 //! [`PolicyKind`]; [`PolicyKind::build`] instantiates the matching
-//! [`ClipCache`]. Off-line policies (Simple) additionally need the
-//! workload's accurate frequencies.
+//! [`ClipCache`] on the default scan victim-index backend. A
+//! [`PolicySpec`] pairs a kind with an explicit [`VictimBackend`] —
+//! spelled `<policy>@heap` on the command line — for heap-accelerated
+//! victim selection on the policies whose priorities are access-local
+//! (see the taxonomy in [`crate::policies`]). Off-line policies (Simple)
+//! additionally need the workload's accurate frequencies.
 
 use crate::cache::ClipCache;
 use crate::policies::block_lru_k::BlockLruKCache;
 use crate::policies::dyn_simple::DynSimpleCache;
 use crate::policies::gd_freq::GdFreqCache;
 use crate::policies::gds_pop::GdsPopularityCache;
-use crate::policies::greedy_dual::{GdMode, GreedyDualCache, GreedyDualHeapCache};
+use crate::policies::greedy_dual::{GdMode, GreedyDualCache};
 use crate::policies::igd::IgdCache;
 use crate::policies::lfu::LfuCache;
 use crate::policies::lru::{RecencyCache, RecencyVariant};
@@ -18,6 +22,7 @@ use crate::policies::lru_k::LruKCache;
 use crate::policies::lru_sk::LruSKCache;
 use crate::policies::random::RandomCache;
 use crate::policies::simple::{SimpleAdmission, SimpleCache};
+use crate::victim_index::VictimBackend;
 use clipcache_media::{ByteSize, Repository};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -31,6 +36,12 @@ pub enum BuildError {
         /// The policy that needed them.
         policy: String,
     },
+    /// The heap victim-index backend was requested for a policy whose
+    /// eviction priorities are time-varying (scan-only).
+    UnsupportedBackend {
+        /// The policy that cannot run on the requested backend.
+        policy: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -38,6 +49,13 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::MissingFrequencies { policy } => {
                 write!(f, "{policy} requires oracle frequencies")
+            }
+            BuildError::UnsupportedBackend { policy } => {
+                write!(
+                    f,
+                    "{policy} has time-varying priorities and only supports \
+                     the scan victim-index backend"
+                )
             }
         }
     }
@@ -98,8 +116,6 @@ pub enum PolicyKind {
     },
     /// GreedyDual in Young's naive formulation (for cross-validation).
     GreedyDualNaive,
-    /// GreedyDual with heap-accelerated victim selection.
-    GreedyDualHeap,
     /// GreedyDual-Freq (Cherkasova & Ciardo).
     GdFreq,
     /// GDS-Popularity (Jin & Bestavros) — byte-hit objective.
@@ -151,6 +167,32 @@ impl PolicyKind {
         matches!(self, PolicyKind::Simple | PolicyKind::SimpleBypass)
     }
 
+    /// Whether this policy's eviction priorities are access-local, making
+    /// it eligible for the heap victim-index backend. Time-varying
+    /// policies (IGD, LRU-SK, DYNSimple, BlockLRU-K, the off-line
+    /// oracles, naive GreedyDual) are scan-only — see the taxonomy in
+    /// [`crate::policies`].
+    pub fn supports_heap(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Random
+                | PolicyKind::Lru
+                | PolicyKind::Mru
+                | PolicyKind::Fifo
+                | PolicyKind::Lfu
+                | PolicyKind::LfuDa
+                | PolicyKind::LruK { .. }
+                | PolicyKind::LruKCrp { .. }
+                | PolicyKind::Size
+                | PolicyKind::GreedyDual
+                | PolicyKind::GreedyDualFetchTime { .. }
+                | PolicyKind::GreedyDualPackets
+                | PolicyKind::GreedyDualLatency { .. }
+                | PolicyKind::GdFreq
+                | PolicyKind::GdsPopularity
+        )
+    }
+
     /// Instantiate the policy.
     ///
     /// `seed` feeds any internal randomness (Random victims, GreedyDual
@@ -192,85 +234,7 @@ impl PolicyKind {
         seed: u64,
         frequencies: Option<&[f64]>,
     ) -> Result<Box<dyn ClipCache>, BuildError> {
-        if self.is_offline() && frequencies.is_none() {
-            return Err(BuildError::MissingFrequencies {
-                policy: self.to_string(),
-            });
-        }
-        Ok(match *self {
-            PolicyKind::Random => Box::new(RandomCache::new(repo, capacity, seed)),
-            PolicyKind::Lru => Box::new(RecencyCache::new(repo, capacity, RecencyVariant::Lru)),
-            PolicyKind::Mru => Box::new(RecencyCache::new(repo, capacity, RecencyVariant::Mru)),
-            PolicyKind::Fifo => Box::new(RecencyCache::new(repo, capacity, RecencyVariant::Fifo)),
-            PolicyKind::Lfu => Box::new(LfuCache::new(repo, capacity)),
-            PolicyKind::LfuDa => Box::new(crate::policies::lfu_da::LfuDaCache::new(repo, capacity)),
-            PolicyKind::LruK { k } => Box::new(LruKCache::new(repo, capacity, k)),
-            PolicyKind::LruKCrp { k, crp } => Box::new(LruKCache::with_crp(repo, capacity, k, crp)),
-            PolicyKind::LruSK { k } => Box::new(LruSKCache::new(repo, capacity, k)),
-            PolicyKind::Size => Box::new(crate::policies::size::SizeCache::new(repo, capacity)),
-            PolicyKind::GreedyDual => Box::new(GreedyDualCache::new(repo, capacity, seed)),
-            PolicyKind::GreedyDualFetchTime { mbps } => Box::new(GreedyDualCache::with_options(
-                repo,
-                capacity,
-                seed,
-                crate::policies::greedy_dual::CostModel::FetchTime(
-                    clipcache_media::Bandwidth::mbps(mbps),
-                ),
-                GdMode::Inflation,
-            )),
-            PolicyKind::GreedyDualPackets => Box::new(GreedyDualCache::with_options(
-                repo,
-                capacity,
-                seed,
-                crate::policies::greedy_dual::CostModel::Packets,
-                GdMode::Inflation,
-            )),
-            PolicyKind::GreedyDualLatency { mbps } => Box::new(GreedyDualCache::with_options(
-                repo,
-                capacity,
-                seed,
-                crate::policies::greedy_dual::CostModel::StartupLatency(
-                    clipcache_media::Bandwidth::mbps(mbps),
-                ),
-                GdMode::Inflation,
-            )),
-            PolicyKind::GreedyDualNaive => Box::new(GreedyDualCache::with_options(
-                repo,
-                capacity,
-                seed,
-                crate::policies::greedy_dual::CostModel::Uniform,
-                GdMode::Naive,
-            )),
-            PolicyKind::GreedyDualHeap => Box::new(GreedyDualHeapCache::new(repo, capacity)),
-            PolicyKind::GdFreq => Box::new(GdFreqCache::new(repo, capacity, seed)),
-            PolicyKind::GdsPopularity => Box::new(GdsPopularityCache::new(repo, capacity, seed)),
-            PolicyKind::Igd => Box::new(IgdCache::new(repo, capacity, seed)),
-            PolicyKind::Simple => Box::new(SimpleCache::new(
-                repo,
-                capacity,
-                frequencies.expect("Simple requires oracle frequencies"),
-                SimpleAdmission::Always,
-            )),
-            PolicyKind::SimpleBypass => Box::new(SimpleCache::new(
-                repo,
-                capacity,
-                frequencies.expect("Simple(bypass) requires oracle frequencies"),
-                SimpleAdmission::Bypass,
-            )),
-            PolicyKind::DynSimple { k } => Box::new(DynSimpleCache::new(repo, capacity, k)),
-            PolicyKind::DynSimpleBypass { k } => Box::new(DynSimpleCache::with_admission(
-                repo,
-                capacity,
-                k,
-                crate::policies::dyn_simple::DynAdmission::Bypass,
-            )),
-            PolicyKind::BlockLruK { k, block_bytes } => Box::new(BlockLruKCache::new(
-                repo,
-                capacity,
-                ByteSize::bytes(block_bytes),
-                k,
-            )),
-        })
+        PolicySpec::from(*self).try_build(repo, capacity, seed, frequencies)
     }
 
     /// The canonical command-line spelling — the inverse of
@@ -295,7 +259,6 @@ impl PolicyKind {
             PolicyKind::GreedyDualPackets => "gd-packets".into(),
             PolicyKind::GreedyDualLatency { mbps } => format!("gd-latency:{mbps}"),
             PolicyKind::GreedyDualNaive => "greedydual-naive".into(),
-            PolicyKind::GreedyDualHeap => "greedydual-heap".into(),
             PolicyKind::GdFreq => "gd-freq".into(),
             PolicyKind::GdsPopularity => "gds-popularity".into(),
             PolicyKind::Igd => "igd".into(),
@@ -336,7 +299,6 @@ impl fmt::Display for PolicyKind {
                 write!(f, "GreedyDual(cost=latency@{mbps}Mbps)")
             }
             PolicyKind::GreedyDualNaive => write!(f, "GreedyDual(naive)"),
-            PolicyKind::GreedyDualHeap => write!(f, "GreedyDual(heap)"),
             PolicyKind::GdFreq => write!(f, "GreedyDual-Freq"),
             PolicyKind::GdsPopularity => write!(f, "GDS-Popularity"),
             PolicyKind::Igd => write!(f, "IGD"),
@@ -355,11 +317,14 @@ impl fmt::Display for PolicyKind {
 ///
 /// Accepted forms (case-insensitive): `random`, `lru`, `mru`, `fifo`,
 /// `lfu`, `lfu-da`, `size`, `lru-K` (e.g. `lru-2`), `lru-sK`
-/// (e.g. `lru-s2`), `lru-K:crp=N`, `greedydual`, `greedydual-heap`,
+/// (e.g. `lru-s2`), `lru-K:crp=N`, `greedydual`,
 /// `greedydual-naive`, `gd-freq`, `gds-popularity`, `igd`, `simple`,
 /// `simple-bypass`, `dynsimple:K` (e.g. `dynsimple:2`),
 /// `dynsimple-bypass:K`, `block-lruK:MB` (e.g. `block-lru2:10`; append
 /// `b` for a byte-exact block size), `gd-fetch:Mbps`, `gd-latency:Mbps`.
+///
+/// To select a victim-index backend, parse a [`PolicySpec`] instead: it
+/// accepts the same spellings with an optional `@scan`/`@heap` suffix.
 impl std::str::FromStr for PolicyKind {
     type Err = String;
 
@@ -378,7 +343,6 @@ impl std::str::FromStr for PolicyKind {
             "lfu-da" | "lfuda" => PolicyKind::LfuDa,
             "size" => PolicyKind::Size,
             "greedydual" | "gd" => PolicyKind::GreedyDual,
-            "greedydual-heap" | "gd-heap" => PolicyKind::GreedyDualHeap,
             "greedydual-naive" | "gd-naive" => PolicyKind::GreedyDualNaive,
             "gd-freq" | "greedydual-freq" => PolicyKind::GdFreq,
             "gds-popularity" | "gds-pop" => PolicyKind::GdsPopularity,
@@ -441,6 +405,233 @@ impl std::str::FromStr for PolicyKind {
     }
 }
 
+/// A policy descriptor paired with the victim-index backend to run it on.
+///
+/// The backend is an implementation detail: it never changes a policy's
+/// decisions (the backend-equivalence suite enforces identical outcome
+/// sequences), so [`Display`](fmt::Display) shows the kind alone and a
+/// heap-backed cache reports the same [`ClipCache::name`] as its scan
+/// twin. The parseable [`PolicySpec::spelling`] appends `@heap` when the
+/// heap backend is selected; `@scan` is the default and omitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// The policy to construct.
+    pub kind: PolicyKind,
+    /// The victim-index backend to construct it on.
+    pub backend: VictimBackend,
+}
+
+impl From<PolicyKind> for PolicySpec {
+    fn from(kind: PolicyKind) -> Self {
+        PolicySpec {
+            kind,
+            backend: VictimBackend::Scan,
+        }
+    }
+}
+
+impl PolicySpec {
+    /// Pair a kind with an explicit backend.
+    pub fn with_backend(kind: PolicyKind, backend: VictimBackend) -> Self {
+        PolicySpec { kind, backend }
+    }
+
+    /// The canonical command-line spelling — the kind's spelling with
+    /// `@heap` appended when the heap backend is selected. The inverse of
+    /// [`FromStr`](std::str::FromStr) for every valid spec.
+    pub fn spelling(&self) -> String {
+        match self.backend {
+            VictimBackend::Scan => self.kind.spelling(),
+            VictimBackend::Heap => format!("{}@heap", self.kind.spelling()),
+        }
+    }
+
+    /// Instantiate the policy on the selected backend.
+    ///
+    /// # Panics
+    /// On configuration errors; use [`PolicySpec::try_build`] for a
+    /// fallible variant.
+    pub fn build(
+        &self,
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        seed: u64,
+        frequencies: Option<&[f64]>,
+    ) -> Box<dyn ClipCache> {
+        self.try_build(repo, capacity, seed, frequencies)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Instantiate the policy on the selected backend, reporting
+    /// configuration errors instead of panicking.
+    pub fn try_build(
+        &self,
+        repo: Arc<Repository>,
+        capacity: ByteSize,
+        seed: u64,
+        frequencies: Option<&[f64]>,
+    ) -> Result<Box<dyn ClipCache>, BuildError> {
+        let backend = self.backend;
+        if backend == VictimBackend::Heap && !self.kind.supports_heap() {
+            return Err(BuildError::UnsupportedBackend {
+                policy: self.kind.to_string(),
+            });
+        }
+        if self.kind.is_offline() && frequencies.is_none() {
+            return Err(BuildError::MissingFrequencies {
+                policy: self.kind.to_string(),
+            });
+        }
+        Ok(match self.kind {
+            PolicyKind::Random => {
+                Box::new(RandomCache::with_backend(repo, capacity, seed, backend))
+            }
+            PolicyKind::Lru => Box::new(RecencyCache::with_backend(
+                repo,
+                capacity,
+                RecencyVariant::Lru,
+                backend,
+            )),
+            PolicyKind::Mru => Box::new(RecencyCache::with_backend(
+                repo,
+                capacity,
+                RecencyVariant::Mru,
+                backend,
+            )),
+            PolicyKind::Fifo => Box::new(RecencyCache::with_backend(
+                repo,
+                capacity,
+                RecencyVariant::Fifo,
+                backend,
+            )),
+            PolicyKind::Lfu => Box::new(LfuCache::with_backend(repo, capacity, backend)),
+            PolicyKind::LfuDa => Box::new(crate::policies::lfu_da::LfuDaCache::with_backend(
+                repo, capacity, backend,
+            )),
+            PolicyKind::LruK { k } => {
+                Box::new(LruKCache::with_options(repo, capacity, k, 0, backend))
+            }
+            PolicyKind::LruKCrp { k, crp } => {
+                Box::new(LruKCache::with_options(repo, capacity, k, crp, backend))
+            }
+            PolicyKind::LruSK { k } => Box::new(LruSKCache::new(repo, capacity, k)),
+            PolicyKind::Size => Box::new(crate::policies::size::SizeCache::with_backend(
+                repo, capacity, backend,
+            )),
+            PolicyKind::GreedyDual => {
+                Box::new(GreedyDualCache::with_backend(repo, capacity, seed, backend))
+            }
+            PolicyKind::GreedyDualFetchTime { mbps } => Box::new(GreedyDualCache::with_options(
+                repo,
+                capacity,
+                seed,
+                crate::policies::greedy_dual::CostModel::FetchTime(
+                    clipcache_media::Bandwidth::mbps(mbps),
+                ),
+                GdMode::Inflation,
+                backend,
+            )),
+            PolicyKind::GreedyDualPackets => Box::new(GreedyDualCache::with_options(
+                repo,
+                capacity,
+                seed,
+                crate::policies::greedy_dual::CostModel::Packets,
+                GdMode::Inflation,
+                backend,
+            )),
+            PolicyKind::GreedyDualLatency { mbps } => Box::new(GreedyDualCache::with_options(
+                repo,
+                capacity,
+                seed,
+                crate::policies::greedy_dual::CostModel::StartupLatency(
+                    clipcache_media::Bandwidth::mbps(mbps),
+                ),
+                GdMode::Inflation,
+                backend,
+            )),
+            PolicyKind::GreedyDualNaive => Box::new(GreedyDualCache::with_options(
+                repo,
+                capacity,
+                seed,
+                crate::policies::greedy_dual::CostModel::Uniform,
+                GdMode::Naive,
+                backend,
+            )),
+            PolicyKind::GdFreq => {
+                Box::new(GdFreqCache::with_backend(repo, capacity, seed, backend))
+            }
+            PolicyKind::GdsPopularity => Box::new(GdsPopularityCache::with_backend(
+                repo, capacity, seed, backend,
+            )),
+            PolicyKind::Igd => Box::new(IgdCache::new(repo, capacity, seed)),
+            PolicyKind::Simple => Box::new(SimpleCache::new(
+                repo,
+                capacity,
+                frequencies.expect("Simple requires oracle frequencies"),
+                SimpleAdmission::Always,
+            )),
+            PolicyKind::SimpleBypass => Box::new(SimpleCache::new(
+                repo,
+                capacity,
+                frequencies.expect("Simple(bypass) requires oracle frequencies"),
+                SimpleAdmission::Bypass,
+            )),
+            PolicyKind::DynSimple { k } => Box::new(DynSimpleCache::new(repo, capacity, k)),
+            PolicyKind::DynSimpleBypass { k } => Box::new(DynSimpleCache::with_admission(
+                repo,
+                capacity,
+                k,
+                crate::policies::dyn_simple::DynAdmission::Bypass,
+            )),
+            PolicyKind::BlockLruK { k, block_bytes } => Box::new(BlockLruKCache::new(
+                repo,
+                capacity,
+                ByteSize::bytes(block_bytes),
+                k,
+            )),
+        })
+    }
+}
+
+/// The kind alone: the backend never shows in presentation names, so
+/// figure legends and CSV columns are identical across backends.
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.kind.fmt(f)
+    }
+}
+
+/// Parse a policy spec: any [`PolicyKind`] spelling, with an optional
+/// `@scan`/`@heap` backend suffix (e.g. `greedydual@heap`, `lfu@scan`).
+/// The pre-unification spelling `greedydual-heap` (and `gd-heap`) is
+/// accepted as a legacy alias for `greedydual@heap` so old snapshots
+/// restore. Requesting `@heap` for a scan-only policy is an error.
+impl std::str::FromStr for PolicySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        if t == "greedydual-heap" || t == "gd-heap" {
+            return Ok(PolicySpec::with_backend(
+                PolicyKind::GreedyDual,
+                VictimBackend::Heap,
+            ));
+        }
+        let (kind_part, backend) = match t.rsplit_once('@') {
+            Some((kind_part, backend)) => (kind_part, backend.parse::<VictimBackend>()?),
+            None => (t.as_str(), VictimBackend::Scan),
+        };
+        let kind: PolicyKind = kind_part.parse()?;
+        if backend == VictimBackend::Heap && !kind.supports_heap() {
+            return Err(format!(
+                "policy '{kind_part}' has time-varying priorities and does \
+                 not support the heap victim-index backend"
+            ));
+        }
+        Ok(PolicySpec { kind, backend })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,7 +657,6 @@ mod tests {
             PolicyKind::GreedyDualLatency { mbps: 1 },
             PolicyKind::GreedyDualPackets,
             PolicyKind::GreedyDualNaive,
-            PolicyKind::GreedyDualHeap,
             PolicyKind::GdFreq,
             PolicyKind::GdsPopularity,
             PolicyKind::Igd,
@@ -551,7 +741,6 @@ mod tests {
             PolicyKind::GreedyDualPackets,
             PolicyKind::GreedyDualLatency { mbps: 1 },
             PolicyKind::GreedyDualNaive,
-            PolicyKind::GreedyDualHeap,
             PolicyKind::GdFreq,
             PolicyKind::GdsPopularity,
             PolicyKind::Igd,
@@ -625,5 +814,119 @@ mod tests {
         assert!("nonsense".parse::<PolicyKind>().is_err());
         assert!("lru-x".parse::<PolicyKind>().is_err());
         assert!("block-lru2".parse::<PolicyKind>().is_err());
+    }
+
+    /// Every heap-eligible kind, for the PolicySpec tests below.
+    fn heap_eligible_kinds() -> Vec<PolicyKind> {
+        [
+            PolicyKind::Random,
+            PolicyKind::Lru,
+            PolicyKind::Mru,
+            PolicyKind::Fifo,
+            PolicyKind::Lfu,
+            PolicyKind::LfuDa,
+            PolicyKind::LruK { k: 2 },
+            PolicyKind::LruKCrp { k: 2, crp: 3 },
+            PolicyKind::Size,
+            PolicyKind::GreedyDual,
+            PolicyKind::GreedyDualFetchTime { mbps: 8 },
+            PolicyKind::GreedyDualPackets,
+            PolicyKind::GreedyDualLatency { mbps: 1 },
+            PolicyKind::GdFreq,
+            PolicyKind::GdsPopularity,
+        ]
+        .into_iter()
+        .inspect(|k| assert!(k.supports_heap(), "{k:?} must be heap-eligible"))
+        .collect()
+    }
+
+    #[test]
+    fn policy_spec_spelling_round_trips_on_both_backends() {
+        use crate::victim_index::VictimBackend;
+        for kind in heap_eligible_kinds() {
+            for backend in [VictimBackend::Scan, VictimBackend::Heap] {
+                let spec = PolicySpec::with_backend(kind, backend);
+                assert_eq!(
+                    spec.spelling().parse::<PolicySpec>().as_ref(),
+                    Ok(&spec),
+                    "spelling {:?} must parse back",
+                    spec.spelling()
+                );
+                // The scan spelling stays suffix-free (and byte-identical
+                // to the kind's own spelling).
+                if backend == VictimBackend::Scan {
+                    assert_eq!(spec.spelling(), kind.spelling());
+                } else {
+                    assert!(spec.spelling().ends_with("@heap"));
+                }
+                // Presentation name never encodes the backend.
+                assert_eq!(spec.to_string(), kind.to_string());
+            }
+        }
+        // An explicit @scan suffix is accepted too.
+        assert_eq!(
+            "lfu@scan".parse::<PolicySpec>(),
+            Ok(PolicySpec::from(PolicyKind::Lfu))
+        );
+    }
+
+    #[test]
+    fn legacy_heap_spelling_parses_to_unified_spec() {
+        for legacy in ["greedydual-heap", "gd-heap", " GreedyDual-Heap "] {
+            assert_eq!(
+                legacy.parse::<PolicySpec>(),
+                Ok(PolicySpec::with_backend(
+                    PolicyKind::GreedyDual,
+                    crate::victim_index::VictimBackend::Heap
+                )),
+                "{legacy}"
+            );
+        }
+        // The bare kind no longer knows the heap spelling.
+        assert!("greedydual-heap".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn heap_backend_rejected_for_time_varying_policies() {
+        use crate::victim_index::VictimBackend;
+        assert!("igd@heap".parse::<PolicySpec>().is_err());
+        assert!("dynsimple:2@heap".parse::<PolicySpec>().is_err());
+        assert!("greedydual-naive@heap".parse::<PolicySpec>().is_err());
+        let err = PolicySpec::with_backend(PolicyKind::LruSK { k: 2 }, VictimBackend::Heap)
+            .try_build(tiny_repo(), ByteSize::mb(10), 1, None)
+            .err()
+            .expect("scan-only policy must reject the heap backend");
+        assert!(matches!(err, BuildError::UnsupportedBackend { .. }));
+        assert!(err.to_string().contains("scan victim-index backend"));
+    }
+
+    #[test]
+    fn heap_specs_build_with_scan_identical_names_and_decisions() {
+        use crate::policies::testutil::drive_requests;
+        use crate::victim_index::VictimBackend;
+        use clipcache_media::ClipId;
+        use clipcache_workload::Request;
+        let repo = tiny_repo();
+        let trace: Vec<Request> = [1u32, 2, 3, 1, 4, 5, 1, 2, 3, 5, 4, 2, 1, 3]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Request::new(Timestamp(i as u64 + 1), ClipId::new(c)))
+            .collect();
+        for kind in heap_eligible_kinds() {
+            let mut scan =
+                PolicySpec::from(kind).build(Arc::clone(&repo), ByteSize::mb(60), 1, None);
+            let mut heap = PolicySpec::with_backend(kind, VictimBackend::Heap).build(
+                Arc::clone(&repo),
+                ByteSize::mb(60),
+                1,
+                None,
+            );
+            assert_eq!(scan.name(), heap.name(), "{kind:?}");
+            assert_eq!(heap.name(), kind.to_string(), "{kind:?}");
+            let scan_hits = drive_requests(scan.as_mut(), &trace);
+            let heap_hits = drive_requests(heap.as_mut(), &trace);
+            assert_eq!(scan_hits, heap_hits, "{kind:?}");
+            assert_eq!(scan.resident_clips(), heap.resident_clips(), "{kind:?}");
+        }
     }
 }

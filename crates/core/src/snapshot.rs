@@ -17,7 +17,7 @@
 //! best-effort.
 
 use crate::cache::ClipCache;
-use crate::registry::{BuildError, PolicyKind};
+use crate::registry::{BuildError, PolicySpec};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
 use serde::{Deserialize, Serialize};
@@ -26,8 +26,8 @@ use std::sync::Arc;
 /// A durable snapshot of a cache's contents.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheSnapshot {
-    /// The policy that was running.
-    pub policy: PolicyKind,
+    /// The policy (and victim-index backend) that was running.
+    pub policy: PolicySpec,
     /// The byte capacity.
     pub capacity: ByteSize,
     /// The virtual clock at snapshot time.
@@ -37,12 +37,14 @@ pub struct CacheSnapshot {
 }
 
 impl CacheSnapshot {
-    /// Capture a snapshot of `cache` at virtual time `tick`.
-    pub fn take(cache: &dyn ClipCache, policy: PolicyKind, tick: Timestamp) -> Self {
+    /// Capture a snapshot of `cache` at virtual time `tick`. `policy`
+    /// accepts a bare [`PolicyKind`](crate::registry::PolicyKind) (scan
+    /// backend) or a full [`PolicySpec`].
+    pub fn take(cache: &dyn ClipCache, policy: impl Into<PolicySpec>, tick: Timestamp) -> Self {
         let mut resident = cache.resident_clips();
         resident.sort();
         CacheSnapshot {
-            policy,
+            policy: policy.into(),
             capacity: cache.capacity(),
             tick,
             resident,
@@ -51,9 +53,10 @@ impl CacheSnapshot {
 
     /// Serialize to JSON (the durable on-disk form):
     /// `{"policy":"dynsimple:2","capacity":…,"tick":…,"resident":[…]}`.
-    /// The policy is stored as its [`PolicyKind::spelling`] so the file
-    /// round-trips without serde (stubbed offline, see
-    /// `vendor/README.md`) and stays human-editable.
+    /// The policy is stored as its [`PolicySpec::spelling`] (backend
+    /// suffix included when not scan) so the file round-trips without
+    /// serde (stubbed offline, see `vendor/README.md`) and stays
+    /// human-editable.
     pub fn to_json(&self) -> String {
         let ids: Vec<String> = self.resident.iter().map(|c| c.get().to_string()).collect();
         format!(
@@ -72,7 +75,7 @@ impl CacheSnapshot {
             .get("policy")
             .and_then(|p| p.as_str())
             .ok_or("snapshot needs a `policy` spelling string")?
-            .parse::<PolicyKind>()?;
+            .parse::<PolicySpec>()?;
         let capacity = v
             .get("capacity")
             .and_then(|n| n.as_u64())
@@ -127,6 +130,8 @@ pub fn restore(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::PolicyKind;
+    use crate::victim_index::VictimBackend;
     use clipcache_media::paper;
     use clipcache_workload::RequestGenerator;
 
@@ -181,6 +186,41 @@ mod tests {
         let snap = CacheSnapshot::take(cache.as_ref(), PolicyKind::Lru, tick);
         let back = CacheSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn heap_backend_snapshot_round_trips_and_restores() {
+        let repo = Arc::new(paper::variable_sized_repository_of(24));
+        let spec = PolicySpec::with_backend(PolicyKind::GreedyDual, VictimBackend::Heap);
+        let mut cache = spec.build(
+            Arc::clone(&repo),
+            repo.cache_capacity_for_ratio(0.2),
+            1,
+            None,
+        );
+        let mut last = Timestamp::ZERO;
+        for req in RequestGenerator::new(repo.len(), 0.27, 0, 800, 5) {
+            last = req.at;
+            cache.access(req.clip, req.at);
+        }
+        let snap = CacheSnapshot::take(cache.as_ref(), spec, last);
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"policy\":\"greedydual@heap\""),
+            "backend must be durable: {json}"
+        );
+        let back = CacheSnapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        let (restored, _) = restore(&back, Arc::clone(&repo), 1, None).unwrap();
+        let mut a = cache.resident_clips();
+        let mut b = restored.resident_clips();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "residency must restore exactly on the heap backend");
+        // Legacy snapshots naming the old standalone heap policy restore
+        // onto the unified spec.
+        let legacy = json.replace("greedydual@heap", "greedydual-heap");
+        assert_eq!(CacheSnapshot::from_json(&legacy).unwrap().policy, spec);
     }
 
     #[test]

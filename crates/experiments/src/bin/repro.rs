@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale <f64>] [--seed <u64>] [--out <dir>] [--jobs <n>]
-//!       [--custom sweep.json] [all | fig2 fig3 ...]
+//!       [--backend scan|heap] [--custom sweep.json] [all | fig2 fig3 ...]
 //! ```
 //!
 //! Prints each figure as a text table and, when `--out` is given, writes
@@ -14,6 +14,12 @@
 //! from the experiment context rather than from thread identity, so the
 //! output is bit-identical at any `--jobs` value. Seeds accept decimal
 //! or `0x`-prefixed hex.
+//!
+//! `--backend` selects the victim-index backend (default `scan`). The
+//! two backends make identical eviction decisions, so every figure is
+//! byte-identical either way — CI diffs them to prove it; `heap` only
+//! changes how fast victims are found. Policies with time-varying
+//! priorities always run on scan regardless of the flag.
 
 use clipcache_experiments::{
     run_experiment, ExperimentContext, FigureResult, SweepStats, ALL_EXPERIMENTS,
@@ -65,6 +71,10 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--backend" => {
+                let v = argv.next().ok_or("--backend needs scan or heap")?;
+                ctx.backend = v.parse().map_err(|e| format!("bad --backend: {e}"))?;
+            }
             "--custom" => {
                 let path = argv.next().ok_or("--custom needs a JSON file")?;
                 custom = Some(path);
@@ -84,9 +94,12 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: repro [--scale f] [--seed n|0xHEX] [--out dir] \
-       [--jobs n] [--custom sweep.json] [--list] [all | {}]\n\
+       [--jobs n] [--backend scan|heap] [--custom sweep.json] [--list] \
+       [all | {}]\n\
        --jobs fans each experiment's data points across n worker \
-       threads; results are bit-identical at any value",
+       threads; results are bit-identical at any value\n\
+       --backend picks the victim-index backend; heap accelerates \
+       victim selection without changing any figure",
                     ALL_EXPERIMENTS.join(" | ")
                 ));
             }

@@ -10,10 +10,12 @@
 //! Prints the hit rate, byte hit rate, eviction count and final cache
 //! composition; `--series` additionally prints the per-window hit-rate
 //! series. `--trace` replays a recorded trace (JSON or plain text)
-//! instead of generating one.
+//! instead of generating one. `--policy` accepts every registry spelling
+//! plus an optional `@heap` victim-index suffix (`greedydual@heap`) for
+//! heap-eligible policies.
 
 use clipcache_core::snapshot::{restore, CacheSnapshot};
-use clipcache_core::PolicyKind;
+use clipcache_core::PolicySpec;
 use clipcache_media::{paper, MediaType, Repository};
 use clipcache_sim::runner::{simulate, SimulationConfig};
 use clipcache_workload::locality::StackModelGenerator;
@@ -41,9 +43,10 @@ fn main() -> ExitCode {
         return fail("simulate: trace-driven cache simulation");
     }
 
-    // Comma-separated policies run side by side on the identical trace.
+    // Comma-separated policies run side by side on the identical trace;
+    // any spelling may carry an `@heap` victim-index suffix.
     let policy_spec = flag(&args, "--policy").unwrap_or("dynsimple:2");
-    let mut policies: Vec<PolicyKind> = Vec::new();
+    let mut policies: Vec<PolicySpec> = Vec::new();
     for part in policy_spec.split(',') {
         match part.parse() {
             Ok(p) => policies.push(p),

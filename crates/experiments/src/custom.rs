@@ -17,15 +17,16 @@
 //! ```
 //!
 //! Policies use the registry's command-line spellings
-//! ([`PolicyKind::from_str`](clipcache_core::PolicyKind)); off-line
-//! policies receive the sweep's analytic frequencies automatically.
-//! Configs are parsed with [`crate::json`], so custom sweeps work even
-//! in the offline builds that stub out `serde_json`.
+//! ([`PolicySpec::from_str`](clipcache_core::PolicySpec)), including the
+//! `@heap` victim-index suffix (`"lfu@heap"`); off-line policies receive
+//! the sweep's analytic frequencies automatically. Configs are parsed
+//! with [`crate::json`], so custom sweeps work even in the offline
+//! builds that stub out `serde_json`.
 
 use crate::context::ExperimentContext;
 use crate::json::{self, Json};
 use crate::report::{FigureResult, Series};
-use clipcache_core::PolicyKind;
+use clipcache_core::{PolicySpec, VictimBackend};
 use clipcache_media::{paper, ByteSize, Repository};
 use clipcache_sim::runner::{simulate, SimulationConfig};
 use clipcache_workload::synthetic::{lognormal_repository, LognormalSpec};
@@ -214,7 +215,7 @@ impl CustomSweep {
             return Err("requests must be positive".into());
         }
         for p in &self.policies {
-            p.parse::<PolicyKind>()?;
+            p.parse::<PolicySpec>()?;
         }
         Ok(())
     }
@@ -261,7 +262,7 @@ impl CustomSweep {
         ));
         let freqs = ShiftedZipf::new(Zipf::new(repo.len(), self.theta), 0).frequencies();
         let config = SimulationConfig::default();
-        let policies: Vec<PolicyKind> = self
+        let policies: Vec<PolicySpec> = self
             .policies
             .iter()
             .map(|s| s.parse())
@@ -292,14 +293,14 @@ impl CustomSweep {
         let mut byte_series = Vec::with_capacity(policies.len());
         for (pi, policy) in policies.iter().enumerate() {
             let row = &cells[pi * self.ratios.len()..(pi + 1) * self.ratios.len()];
-            hit_series.push(Series::new(
-                policy.to_string(),
-                row.iter().map(|c| c.0).collect(),
-            ));
-            byte_series.push(Series::new(
-                policy.to_string(),
-                row.iter().map(|c| c.1).collect(),
-            ));
+            // Heap entries keep their `@heap` suffix so a sweep listing
+            // both backends of one policy stays distinguishable.
+            let name = match policy.backend {
+                VictimBackend::Scan => policy.to_string(),
+                VictimBackend::Heap => policy.spelling(),
+            };
+            hit_series.push(Series::new(name.clone(), row.iter().map(|c| c.0).collect()));
+            byte_series.push(Series::new(name, row.iter().map(|c| c.1).collect()));
         }
         let x: Vec<String> = self.ratios.iter().map(|r| r.to_string()).collect();
         Ok(vec![

@@ -165,19 +165,17 @@ impl clipcache_core::ClipCache for PartitionedAdmission {
         self.inner.resident_clips()
     }
 
-    fn access(
+    fn access_into(
         &mut self,
         clip: clipcache_media::ClipId,
         now: clipcache_workload::Timestamp,
-    ) -> clipcache_core::AccessOutcome {
+        evictions: &mut dyn clipcache_core::EvictionSink,
+    ) -> clipcache_core::AccessEvent {
         if !self.owned[clip.index()] && !self.inner.contains(clip) {
-            // Not ours: stream without caching.
-            return clipcache_core::AccessOutcome::Miss {
-                admitted: false,
-                evicted: Vec::new(),
-            };
+            // Not ours: stream without caching (and without evicting).
+            return clipcache_core::AccessEvent::Miss { admitted: false };
         }
-        self.inner.access(clip, now)
+        self.inner.access_into(clip, now, evictions)
     }
 }
 

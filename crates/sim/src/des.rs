@@ -25,7 +25,7 @@
 use crate::latency::{LatencyModel, StartupLatency};
 use crate::network::ConnectivitySchedule;
 use crate::station::{Admission, BaseStation, StreamId};
-use clipcache_core::ClipCache;
+use clipcache_core::{ClipCache, DiscardEvictions};
 use clipcache_media::Repository;
 use clipcache_workload::{RequestGenerator, Timestamp};
 use serde::{Deserialize, Serialize};
@@ -230,7 +230,8 @@ impl StreamingSim {
             let gen = RequestGenerator::new(n, 0.27, 0, requests, seed ^ (i as u64) << 16);
             for req in gen {
                 dev.tick = dev.tick.next();
-                dev.cache.access(req.clip, dev.tick);
+                dev.cache
+                    .access_into(req.clip, dev.tick, &mut DiscardEvictions);
             }
         }
     }
@@ -283,8 +284,10 @@ impl StreamingSim {
                     // transfers any bytes, so nothing can materialize.
                     let (latency, reservation) = if dev.cache.contains(req.clip) {
                         dev.tick = dev.tick.next();
-                        let outcome = dev.cache.access(req.clip, dev.tick);
-                        debug_assert!(outcome.is_hit(), "resident clip must hit");
+                        let event =
+                            dev.cache
+                                .access_into(req.clip, dev.tick, &mut DiscardEvictions);
+                        debug_assert!(event.is_hit(), "resident clip must hit");
                         report.hits += 1;
                         (self.config.latency.cache_hit_latency(&clip), None)
                     } else if !link.is_connected() {
@@ -299,7 +302,8 @@ impl StreamingSim {
                         // cellular base station.
                         report.streamed += 1;
                         dev.tick = dev.tick.next();
-                        dev.cache.access(req.clip, dev.tick);
+                        dev.cache
+                            .access_into(req.clip, dev.tick, &mut DiscardEvictions);
                         (self.config.latency.network_latency(&clip, link), None)
                     } else {
                         match self.station.admit(clip.display_bandwidth) {
@@ -308,7 +312,8 @@ impl StreamingSim {
                                 // Materialize (per the paper's assumption)
                                 // now that the bytes will actually flow.
                                 dev.tick = dev.tick.next();
-                                dev.cache.access(req.clip, dev.tick);
+                                dev.cache
+                                    .access_into(req.clip, dev.tick, &mut DiscardEvictions);
                                 (self.config.latency.network_latency(&clip, link), Some(id))
                             }
                             Admission::Rejected => {

@@ -7,7 +7,7 @@
 use crate::latency::{LatencyModel, StartupLatency};
 use crate::metrics::HitStats;
 use crate::network::ConnectivitySchedule;
-use clipcache_core::{AccessOutcome, ClipCache};
+use clipcache_core::{ClipCache, EvictionCount};
 use clipcache_media::Repository;
 use clipcache_workload::{Request, RequestGenerator};
 use std::sync::Arc;
@@ -61,13 +61,10 @@ impl Device {
         let req = self.workload.next()?;
         self.issued += 1;
         let clip = *self.repo.clip(req.clip);
-        let outcome = self.cache.access(req.clip, req.at);
-        let hit = outcome.is_hit();
-        let evictions = match &outcome {
-            AccessOutcome::Hit => 0,
-            AccessOutcome::Miss { evicted, .. } => evicted.len(),
-        };
-        self.stats.record(hit, clip.size, evictions);
+        let mut evictions = EvictionCount(0);
+        let event = self.cache.access_into(req.clip, req.at, &mut evictions);
+        let hit = event.is_hit();
+        self.stats.record(hit, clip.size, evictions.0);
         let link = self.connectivity.link_at(self.issued);
         let latency = if hit {
             self.latency_model.cache_hit_latency(&clip)

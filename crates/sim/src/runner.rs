@@ -8,7 +8,7 @@
 use crate::latency::{LatencyModel, LatencyStats};
 use crate::metrics::{theoretical_hit_rate, HitStats, WindowedSeries};
 use crate::network::ConnectivitySchedule;
-use clipcache_core::{AccessOutcome, ClipCache};
+use clipcache_core::{ClipCache, EvictionCount};
 use clipcache_media::Repository;
 use clipcache_workload::Request;
 use serde::{Deserialize, Serialize};
@@ -71,16 +71,16 @@ pub fn simulate<'a>(
     let mut series = WindowedSeries::new(config.window);
     let mut latency = LatencyStats::default();
     let mut issued = 0u64;
+    // One counting sink for the whole run: the hot loop never allocates
+    // per-request eviction lists.
+    let mut evictions = EvictionCount(0);
     for req in requests {
         issued += 1;
         let clip = repo.clip(req.clip);
-        let outcome = cache.access(req.clip, req.at);
-        let hit = outcome.is_hit();
-        let evictions = match &outcome {
-            AccessOutcome::Hit => 0,
-            AccessOutcome::Miss { evicted, .. } => evicted.len(),
-        };
-        stats.record(hit, clip.size, evictions);
+        evictions.0 = 0;
+        let event = cache.access_into(req.clip, req.at, &mut evictions);
+        let hit = event.is_hit();
+        stats.record(hit, clip.size, evictions.0);
         series.record(hit);
         if let Some(schedule) = &config.connectivity {
             let lat = if hit {

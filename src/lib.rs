@@ -29,7 +29,10 @@ pub use clipcache_core as core;
 /// assert!(report.hit_rate() > 0.0);
 /// ```
 pub mod prelude {
-    pub use clipcache_core::{AccessOutcome, ClipCache, PolicyKind, Timestamp};
+    pub use clipcache_core::{
+        AccessEvent, AccessOutcome, ClipCache, EvictionSink, PolicyKind, PolicySpec, Timestamp,
+        VictimBackend,
+    };
     pub use clipcache_media::{paper, Bandwidth, ByteSize, Clip, ClipId, Repository};
     pub use clipcache_sim::runner::{simulate, SimulationConfig, SimulationReport};
     pub use clipcache_workload::{Pcg64, Request, RequestGenerator, Trace, Zipf};

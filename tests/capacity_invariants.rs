@@ -8,15 +8,17 @@
 //! * clips larger than the whole cache are never admitted,
 //! * replaying the same trace yields identical outcomes (determinism).
 
-use clipcache::core::{AccessOutcome, ClipCache, PolicyKind};
+use clipcache::core::{AccessOutcome, ClipCache, PolicyKind, PolicySpec, VictimBackend};
 use clipcache::media::{Bandwidth, ByteSize, ClipId, MediaType, Repository, RepositoryBuilder};
 use clipcache::workload::Timestamp;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-/// All policies exercised by the invariant suite.
-fn all_policies() -> Vec<PolicyKind> {
-    vec![
+/// All policies exercised by the invariant suite: every kind on the scan
+/// victim-index backend, plus a heap-backend double for every kind that
+/// supports it.
+fn all_policies() -> Vec<PolicySpec> {
+    let kinds = [
         PolicyKind::Random,
         PolicyKind::Lru,
         PolicyKind::Mru,
@@ -28,7 +30,6 @@ fn all_policies() -> Vec<PolicyKind> {
         PolicyKind::LruSK { k: 2 },
         PolicyKind::GreedyDual,
         PolicyKind::GreedyDualNaive,
-        PolicyKind::GreedyDualHeap,
         PolicyKind::GdFreq,
         PolicyKind::GdsPopularity,
         PolicyKind::Igd,
@@ -40,7 +41,15 @@ fn all_policies() -> Vec<PolicyKind> {
             k: 2,
             block_bytes: 3_000_000,
         },
-    ]
+    ];
+    let mut specs: Vec<PolicySpec> = kinds.iter().copied().map(PolicySpec::from).collect();
+    specs.extend(
+        kinds
+            .iter()
+            .filter(|k| k.supports_heap())
+            .map(|&k| PolicySpec::with_backend(k, VictimBackend::Heap)),
+    );
+    specs
 }
 
 fn build_repo(sizes_mb: &[u64]) -> Arc<Repository> {
@@ -95,7 +104,7 @@ proptest! {
                     .iter()
                     .map(|&c| repo.size_of(c))
                     .sum();
-                if matches!(policy, PolicyKind::BlockLruK { .. }) {
+                if matches!(policy.kind, PolicyKind::BlockLruK { .. }) {
                     prop_assert!(total <= cache.used(), "{}: size accounting", cache.name());
                 } else {
                     prop_assert_eq!(total, cache.used(), "{}: size accounting", cache.name());
@@ -152,7 +161,7 @@ proptest! {
             };
             let a = run(policy.build(Arc::clone(&repo), capacity, seed, Some(&freqs)));
             let b = run(policy.build(Arc::clone(&repo), capacity, seed, Some(&freqs)));
-            prop_assert_eq!(a, b, "{} must be deterministic", policy);
+            prop_assert_eq!(a, b, "{} must be deterministic", policy.spelling());
         }
     }
 }
@@ -161,8 +170,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Snapshot/restore reproduces the exact residency of every policy on
-    /// arbitrary traces (BlockLruK is excluded: block rounding can make a
-    /// byte-exact set unrestorable, as documented in `core::snapshot`).
+    /// arbitrary traces — on both victim-index backends, and through the
+    /// durable JSON form so the `@heap` spelling round-trips (BlockLruK is
+    /// excluded: block rounding can make a byte-exact set unrestorable, as
+    /// documented in `core::snapshot`).
     #[test]
     fn snapshot_restore_reproduces_residency(
         sizes_mb in proptest::collection::vec(1u64..60, 3..8),
@@ -176,7 +187,7 @@ proptest! {
         let capacity = ByteSize::mb(capacity_mb);
         let freqs = uniform_freqs(n);
         for policy in all_policies() {
-            if matches!(policy, PolicyKind::BlockLruK { .. }) {
+            if matches!(policy.kind, PolicyKind::BlockLruK { .. }) {
                 continue;
             }
             let mut cache = policy.build(Arc::clone(&repo), capacity, seed, Some(&freqs));
@@ -185,14 +196,20 @@ proptest! {
                 tick = Timestamp(i as u64 + 1);
                 cache.access(ClipId::from_index(raw % n), tick);
             }
-            let snap = CacheSnapshot::take(cache.as_ref(), policy, tick);
+            let taken = CacheSnapshot::take(cache.as_ref(), policy, tick);
+            // Save-and-reload: the restore must work from the durable
+            // JSON, which carries the backend in the policy spelling.
+            let snap = CacheSnapshot::from_json(&taken.to_json())
+                .expect("snapshot JSON round-trips");
+            prop_assert_eq!(&snap, &taken, "{}: JSON round-trip", policy.spelling());
+            prop_assert_eq!(snap.policy, policy);
             let (restored, next) =
                 restore(&snap, Arc::clone(&repo), seed, Some(&freqs)).expect("restorable");
             let mut a = cache.resident_clips();
             let mut b = restored.resident_clips();
             a.sort();
             b.sort();
-            prop_assert_eq!(a, b, "{}: residency must survive restore", policy);
+            prop_assert_eq!(a, b, "{}: residency must survive restore", policy.spelling());
             prop_assert_eq!(restored.used(), cache.used());
             prop_assert!(next >= tick);
         }

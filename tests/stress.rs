@@ -5,8 +5,8 @@
 //! clips; these tests drive repositories well past the evaluation's 576
 //! clips to verify the implementations stay correct and tractable there.
 
-use clipcache::core::policies::greedy_dual::GreedyDualHeapCache;
-use clipcache::core::{ClipCache, PolicyKind};
+use clipcache::core::policies::greedy_dual::GreedyDualCache;
+use clipcache::core::{ClipCache, PolicyKind, VictimBackend};
 use clipcache::media::{paper, ByteSize};
 use clipcache::workload::{RequestGenerator, Timestamp};
 use std::sync::Arc;
@@ -17,7 +17,8 @@ fn heap_greedy_dual_scales_to_fifty_thousand_clips() {
     let n = 50_000;
     let repo = Arc::new(paper::equi_sized_repository_of(n, ByteSize::mb(10)));
     let capacity = repo.cache_capacity_for_ratio(0.1);
-    let mut cache = GreedyDualHeapCache::new(Arc::clone(&repo), capacity);
+    let mut cache =
+        GreedyDualCache::with_backend(Arc::clone(&repo), capacity, 7, VictimBackend::Heap);
     let started = std::time::Instant::now();
     let mut hits = 0u64;
     for req in RequestGenerator::new(n, 0.27, 0, 200_000, 3) {

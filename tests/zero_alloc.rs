@@ -1,0 +1,130 @@
+//! Steady-state allocation accounting for the sink-based access path.
+//!
+//! The `access_into` rework removed the per-miss `Vec` of evicted clips
+//! and the per-plan scratch vectors from the hot loop: policies own
+//! reusable buffers and callers supply an [`EvictionSink`]. This test
+//! pins that property with a counting global allocator:
+//!
+//! * scan-backend policies make **zero** allocations replaying a trace
+//!   they have already warmed up on (scratch buffers reached capacity,
+//!   sorts are in-place, the sink is a no-op);
+//! * heap-backend policies stay within a small constant (the lazy heap's
+//!   amortized array doublings), never O(requests).
+//!
+//! One `#[test]` only: the default harness runs tests concurrently, and
+//! a second thread would perturb the allocation counter.
+
+use clipcache::core::{ClipCache, DiscardEvictions, PolicyKind, PolicySpec, VictimBackend};
+use clipcache::media::paper;
+use clipcache::workload::{Request, RequestGenerator, Trace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn drive(cache: &mut dyn ClipCache, requests: &[Request]) -> u64 {
+    let mut hits = 0u64;
+    for req in requests {
+        if cache
+            .access_into(req.clip, req.at, &mut DiscardEvictions)
+            .is_hit()
+        {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Allocations performed by `f`.
+fn counting<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+#[test]
+fn steady_state_access_path_does_not_allocate() {
+    let repo = Arc::new(paper::variable_sized_repository_of(64));
+    let capacity = repo.cache_capacity_for_ratio(0.125);
+    let freqs = vec![1.0 / repo.len() as f64; repo.len()];
+    let trace = Trace::from_generator(RequestGenerator::new(repo.len(), 0.27, 0, 2_000, 11));
+    let requests: Vec<Request> = trace.iter().copied().collect();
+
+    // Scan backend, all access-local and scan-only online policies
+    // (Belady needs the trace itself; BlockLruK's block maps grow with
+    // residency churn — both are out of scope for the zero-alloc claim).
+    let scan_lineup = [
+        PolicyKind::Random,
+        PolicyKind::Lru,
+        PolicyKind::Mru,
+        PolicyKind::Fifo,
+        PolicyKind::Lfu,
+        PolicyKind::LfuDa,
+        PolicyKind::Size,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::LruSK { k: 2 },
+        PolicyKind::GreedyDual,
+        PolicyKind::GreedyDualNaive,
+        PolicyKind::GdFreq,
+        PolicyKind::GdsPopularity,
+        PolicyKind::Igd,
+        PolicyKind::Simple,
+        PolicyKind::DynSimple { k: 2 },
+    ];
+    for kind in scan_lineup {
+        let mut cache = kind.build(Arc::clone(&repo), capacity, 7, Some(&freqs));
+        // Warm-up pass: scratch buffers and per-clip histories grow to
+        // their high-water marks here, where allocation is expected.
+        drive(cache.as_mut(), &requests);
+        // Steady state: replaying the identical trace must not allocate.
+        let (allocs, hits) = counting(|| drive(cache.as_mut(), &requests));
+        assert_eq!(
+            allocs, 0,
+            "{kind}: {allocs} allocations in a steady-state replay"
+        );
+        assert!(hits > 0, "{kind}: warmed cache must produce hits");
+    }
+
+    // Heap backend: the lazy heap pushes an entry per score update, so
+    // its backing array doubles amortizedly — a handful of reallocations
+    // per replay is legal, one per request is not.
+    for kind in [
+        PolicyKind::GreedyDual,
+        PolicyKind::Lfu,
+        PolicyKind::LruK { k: 2 },
+    ] {
+        let spec = PolicySpec::with_backend(kind, VictimBackend::Heap);
+        let mut cache = spec.build(Arc::clone(&repo), capacity, 7, Some(&freqs));
+        drive(cache.as_mut(), &requests);
+        let (allocs, _) = counting(|| drive(cache.as_mut(), &requests));
+        assert!(
+            allocs <= 64,
+            "{}: {allocs} allocations over {} requests — the lazy heap \
+             should only pay amortized array growth",
+            spec.spelling(),
+            requests.len()
+        );
+    }
+}
