@@ -1,0 +1,82 @@
+//! Serving-layer throughput: requests per second through the sharded
+//! service core, in process (no sockets — the protocol and TCP costs are
+//! measured by `loadgen` against a live server instead).
+//!
+//! Two axes:
+//! * shard count at a fixed client count — mutex sharding overhead and,
+//!   on multi-core hosts, contention relief;
+//! * client count at a fixed shard count — closed-loop scaling.
+
+use clipcache_core::PolicyKind;
+use clipcache_media::paper;
+use clipcache_serve::{run_load, CacheService, ServiceConfig, Target};
+use clipcache_workload::{RequestGenerator, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_serve(c: &mut Criterion) {
+    let repo = Arc::new(paper::variable_sized_repository_of(100));
+    let trace = Trace::from_generator(RequestGenerator::new(100, 0.27, 0, 20_000, 42));
+    let capacity = repo.cache_capacity_for_ratio(0.25);
+
+    let mut group = c.benchmark_group("serve_throughput_20k_requests");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let service = Arc::new(
+                    CacheService::new(
+                        Arc::clone(&repo),
+                        ServiceConfig {
+                            policy: PolicyKind::Lru.into(),
+                            shards,
+                            capacity,
+                            seed: 7,
+                        },
+                        None,
+                    )
+                    .expect("LRU builds"),
+                );
+                let report =
+                    run_load(&Target::InProcess(service), &repo, &trace, 1).expect("in-process");
+                black_box(report.observed.hits)
+            });
+        });
+    }
+
+    for clients in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let service = Arc::new(
+                        CacheService::new(
+                            Arc::clone(&repo),
+                            ServiceConfig {
+                                policy: PolicyKind::Lru.into(),
+                                shards: 4,
+                                capacity,
+                                seed: 7,
+                            },
+                            None,
+                        )
+                        .expect("LRU builds"),
+                    );
+                    let report = run_load(&Target::InProcess(service), &repo, &trace, clients)
+                        .expect("in-process");
+                    black_box(report.observed.requests())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -110,7 +110,11 @@ impl EvictionSink for DiscardEvictions {
 ///
 /// Implementations must maintain `used() ≤ capacity()` at all times and must
 /// be deterministic given their construction-time seed.
-pub trait ClipCache {
+///
+/// The trait requires `Send` so a `Box<dyn ClipCache>` can move behind a
+/// shard mutex in the concurrent serving layer; every policy is plain
+/// owned data (plus `Arc<Repository>`), so the bound costs nothing.
+pub trait ClipCache: Send {
     /// A human-readable policy name, e.g. `"DYNSimple(K=32)"`.
     fn name(&self) -> String;
 

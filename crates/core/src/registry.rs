@@ -313,6 +313,46 @@ impl fmt::Display for PolicyKind {
     }
 }
 
+/// One canonical example spelling per [`PolicyKind`] variant, in
+/// registry order. The unknown-policy error embeds this list so a typo
+/// surfaces every accepted form; `registry::tests::help_text_in_sync`
+/// proves each entry parses and that every variant is represented.
+pub const SPELLING_EXAMPLES: &[&str] = &[
+    "random",
+    "lru",
+    "mru",
+    "fifo",
+    "lfu",
+    "lfu-da",
+    "lru-2",
+    "lru-2:crp=3",
+    "lru-s2",
+    "size",
+    "greedydual",
+    "gd-fetch:8",
+    "gd-packets",
+    "gd-latency:1",
+    "greedydual-naive",
+    "gd-freq",
+    "gds-popularity",
+    "igd",
+    "simple",
+    "simple-bypass",
+    "dynsimple:2",
+    "dynsimple-bypass:2",
+    "block-lru2:10",
+];
+
+/// The help text the unknown-policy error carries: every valid spelling
+/// (one example per variant) plus the `@heap`/`@scan` backend suffix.
+pub fn spelling_help() -> String {
+    format!(
+        "valid policies: {}; heap-eligible policies also accept an \
+         `@heap` suffix (e.g. `lru@heap`, `greedydual@heap`)",
+        SPELLING_EXAMPLES.join(", ")
+    )
+}
+
 /// Parse a policy from its command-line spelling.
 ///
 /// Accepted forms (case-insensitive): `random`, `lru`, `mru`, `fifo`,
@@ -398,7 +438,7 @@ impl std::str::FromStr for PolicyKind {
                         },
                     }
                 } else {
-                    return Err(format!("unknown policy '{s}'"));
+                    return Err(format!("unknown policy '{s}'; {}", spelling_help()));
                 }
             }
         })
@@ -723,9 +763,12 @@ mod tests {
             .is_ok());
     }
 
-    #[test]
-    fn spelling_round_trips_every_variant() {
-        let kinds = [
+    /// One value per `PolicyKind` variant (plus a second BlockLruK with a
+    /// non-whole-MB block) — the exhaustive list the spelling and
+    /// help-text tests check against. Adding a variant without extending
+    /// this list fails `help_text_in_sync`.
+    fn exhaustive_kinds() -> Vec<PolicyKind> {
+        vec![
             PolicyKind::Random,
             PolicyKind::Lru,
             PolicyKind::Mru,
@@ -756,8 +799,12 @@ mod tests {
                 k: 3,
                 block_bytes: 1_234_567,
             },
-        ];
-        for kind in kinds {
+        ]
+    }
+
+    #[test]
+    fn spelling_round_trips_every_variant() {
+        for kind in exhaustive_kinds() {
             assert_eq!(
                 kind.spelling().parse::<PolicyKind>().as_ref(),
                 Ok(&kind),
@@ -814,6 +861,41 @@ mod tests {
         assert!("nonsense".parse::<PolicyKind>().is_err());
         assert!("lru-x".parse::<PolicyKind>().is_err());
         assert!("block-lru2".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn help_text_in_sync_with_registry() {
+        use std::collections::HashSet;
+        use std::mem::discriminant;
+        // Every example spelling in the help text parses back.
+        let parsed: Vec<PolicyKind> = SPELLING_EXAMPLES
+            .iter()
+            .map(|s| s.parse().unwrap_or_else(|e| panic!("{s}: {e}")))
+            .collect();
+        // Together the examples cover every variant the registry builds,
+        // and name nothing the registry doesn't know.
+        let covered: HashSet<_> = parsed.iter().map(discriminant).collect();
+        let all_kinds = exhaustive_kinds();
+        let all: HashSet<_> = all_kinds.iter().map(discriminant).collect();
+        for kind in &all_kinds {
+            assert!(
+                covered.contains(&discriminant(kind)),
+                "help text lacks a spelling example for {kind:?}"
+            );
+        }
+        assert_eq!(covered, all, "help text names variants the registry lacks");
+
+        // The unknown-policy error carries the full help, @heap hint
+        // included, through both the kind and the spec parser.
+        for err in [
+            "nonsense".parse::<PolicyKind>().unwrap_err(),
+            "nonsense@heap".parse::<PolicySpec>().unwrap_err(),
+        ] {
+            for example in SPELLING_EXAMPLES {
+                assert!(err.contains(example), "error misses '{example}': {err}");
+            }
+            assert!(err.contains("@heap"), "error misses the @heap hint: {err}");
+        }
     }
 
     /// Every heap-eligible kind, for the PolicySpec tests below.

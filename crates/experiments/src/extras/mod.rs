@@ -19,6 +19,7 @@ pub mod quality;
 pub mod region;
 pub mod restart;
 pub mod retention;
+pub mod servebench;
 pub mod sizes;
 pub mod skew;
 pub mod streaming;

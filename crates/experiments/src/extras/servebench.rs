@@ -1,0 +1,141 @@
+//! Serving-layer bench: hit rate of the sharded service vs shard count.
+//!
+//! Splitting one cache budget across independent shards changes what the
+//! policy can do: each shard manages a hash-partition of the catalog
+//! with `1/N` of the bytes. This experiment quantifies that effect for
+//! an on-line recency policy and the paper's DYNSimple, with the serial
+//! simulator (= 1 shard by construction) as the reference line.
+//!
+//! The run is deterministic: one closed-loop client replays the trace in
+//! order, so multi-shard cache state depends only on the routing hash,
+//! never on thread scheduling — the figure is byte-identical at any
+//! `--jobs` value. Wall-clock throughput is *not* reported here (it
+//! would break figure-drift byte-identity); the `loadgen` binary and
+//! EXPERIMENTS.md carry the measured req/s numbers.
+
+use crate::context::ExperimentContext;
+use crate::report::{FigureResult, Series};
+use clipcache_core::{PolicyKind, PolicySpec};
+use clipcache_media::paper;
+use clipcache_serve::{run_load, serial_baseline, CacheService, ServiceConfig, Target};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+/// The shard counts swept.
+pub const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+const CLIPS: usize = 100;
+const RATIO: f64 = 0.25;
+
+fn hit_rate_at(
+    repo: &Arc<clipcache_media::Repository>,
+    policy: PolicySpec,
+    shards: usize,
+    seed: u64,
+    trace: &Trace,
+) -> f64 {
+    let service = Arc::new(
+        CacheService::new(
+            Arc::clone(repo),
+            ServiceConfig {
+                policy,
+                shards,
+                capacity: repo.cache_capacity_for_ratio(RATIO),
+                seed,
+            },
+            None,
+        )
+        .expect("on-line policies build without frequencies"),
+    );
+    run_load(&Target::InProcess(service), repo, trace, 1)
+        .expect("in-process load cannot fail")
+        .observed
+        .hit_rate()
+}
+
+/// Run the shard-count sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository_of(CLIPS));
+    let seed = ctx.sub_seed(0x5E17E);
+    let trace = Trace::from_generator(RequestGenerator::new(
+        CLIPS,
+        0.27,
+        0,
+        ctx.requests(20_000),
+        seed,
+    ));
+    let policies: [(&str, PolicySpec); 2] = [
+        ("LRU service", PolicyKind::Lru.into()),
+        (
+            "DYNSimple(K=2) service",
+            PolicyKind::DynSimple { k: 2 }.into(),
+        ),
+    ];
+
+    // Fan the (shards, policy) grid out as independent points.
+    let grid: Vec<(usize, usize)> = SHARDS
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| (0..policies.len()).map(move |pi| (si, pi)))
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(si, pi)| {
+        hit_rate_at(&repo, policies[pi].1, SHARDS[si], seed, &trace)
+    });
+
+    let serial = serial_baseline(
+        &repo,
+        PolicyKind::Lru.into(),
+        repo.cache_capacity_for_ratio(RATIO),
+        seed,
+        &trace,
+    )
+    .hit_rate();
+
+    let mut series: Vec<Series> = policies
+        .iter()
+        .enumerate()
+        .map(|(pi, (name, _))| {
+            let values = (0..SHARDS.len())
+                .map(|si| cells[si * policies.len() + pi])
+                .collect();
+            Series::new((*name).to_string(), values)
+        })
+        .collect();
+    series.push(Series::new(
+        "serial LRU (reference)".to_string(),
+        vec![serial; SHARDS.len()],
+    ));
+
+    vec![FigureResult::new(
+        "servebench",
+        "Sharded service hit rate vs shard count (1 client, capacity split across shards)",
+        "shards",
+        SHARDS.iter().map(|s| s.to_string()).collect(),
+        series,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shard_equals_the_serial_reference() {
+        let ctx = ExperimentContext::at_scale(0.2);
+        let fig = run(&ctx).remove(0);
+        let service = fig.series_named("LRU service").unwrap();
+        let serial = fig.series_named("serial LRU (reference)").unwrap();
+        // Bit-for-bit: at 1 shard the service *is* the serial simulator.
+        assert_eq!(service.values[0], serial.values[0]);
+    }
+
+    #[test]
+    fn figure_is_jobs_invariant() {
+        let serial_ctx = ExperimentContext::at_scale(0.1);
+        let figs1 = run(&serial_ctx);
+        let mut parallel_ctx = ExperimentContext::at_scale(0.1);
+        parallel_ctx.jobs = 4;
+        let figs4 = run(&parallel_ctx);
+        assert_eq!(figs1[0].to_csv(), figs4[0].to_csv());
+    }
+}

@@ -63,6 +63,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation",
     "restart",
     "fleet",
+    "servebench",
     "optimality",
 ];
 
@@ -97,6 +98,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "restart" => "device restart: snapshot/restore residency, relearn metadata",
         "fleet" => "adoption curve: regional throughput as devices upgrade LRU-2 -> DYNSimple",
         "optimality" => "distance to Belady's clairvoyant MIN on equi-sized clips",
+        "servebench" => "serving layer: sharded-service hit rate vs shard count (serial reference)",
         _ => return None,
     })
 }
@@ -128,6 +130,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<FigureRes
         "composition" => extras::composition::run(ctx),
         "streaming" => extras::streaming::run(ctx),
         "locality" => extras::locality::run(ctx),
+        "servebench" => extras::servebench::run(ctx),
         "loglaw" => extras::loglaw::run(ctx),
         "sizes" => extras::sizes::run(ctx),
         "ablation" => extras::ablation::run(ctx),

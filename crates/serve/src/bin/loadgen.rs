@@ -1,0 +1,251 @@
+//! `loadgen` — closed-loop load harness for the sharded cache service.
+//!
+//! ```text
+//! loadgen [--target inproc|host:port] [--policy spec] [--shards n]
+//!         [--clients n] [--requests n] [--clips n] [--theta f]
+//!         [--ratio f] [--seed n|0xHEX] [--check-serial tol]
+//! ```
+//!
+//! Replays a seeded Zipf trace from `--clients` closed-loop threads
+//! against the in-process service (`--target inproc`, the default) or a
+//! running `serve` front-end, then reports hit rate, throughput and
+//! latency percentiles.
+//!
+//! `--check-serial tol` compares the run's hit statistics against the
+//! serial simulator replaying the same trace (policy seeded like shard 0
+//! of the service). With `tol 0` the counters must match **bit for
+//! bit** — the honest setting for 1 shard + 1 client, where the service
+//! is provably the serial simulator. With `tol > 0` the hit rates must
+//! agree within `tol` — the setting for multi-shard runs, whose split
+//! capacity changes cache state. When the target is TCP, pass the same
+//! `--policy/--shards/--clips/--ratio/--seed` the server was started
+//! with so the baseline matches.
+
+use clipcache_media::paper;
+use clipcache_serve::{run_load, serial_baseline, CacheService, ServiceConfig, Target};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    target: String,
+    policy: clipcache_core::PolicySpec,
+    shards: usize,
+    clients: usize,
+    requests: u64,
+    clips: usize,
+    theta: f64,
+    ratio: f64,
+    seed: u64,
+    check_serial: Option<f64>,
+}
+
+/// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
+fn parse_u64(v: &str) -> Result<u64, String> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).map_err(|e| e.to_string()),
+        None => v
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string()),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        target: "inproc".into(),
+        policy: clipcache_core::PolicyKind::Lru.into(),
+        shards: 4,
+        clients: 4,
+        requests: 100_000,
+        clips: 100,
+        theta: 0.27,
+        ratio: 0.25,
+        seed: 0x5EED_2007,
+        check_serial: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--target" => args.target = argv.next().ok_or("--target needs inproc or host:port")?,
+            "--policy" => {
+                let v = argv.next().ok_or("--policy needs a spec")?;
+                args.policy = v.parse()?;
+            }
+            "--shards" => {
+                let v = argv.next().ok_or("--shards needs a count")?;
+                args.shards = v.parse().map_err(|e| format!("bad --shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--clients" => {
+                let v = argv.next().ok_or("--clients needs a count")?;
+                args.clients = v.parse().map_err(|e| format!("bad --clients: {e}"))?;
+                if args.clients == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+            }
+            "--requests" => {
+                let v = argv.next().ok_or("--requests needs a count")?;
+                args.requests = v.parse().map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--clips" => {
+                let v = argv.next().ok_or("--clips needs a count")?;
+                args.clips = v.parse().map_err(|e| format!("bad --clips: {e}"))?;
+            }
+            "--theta" => {
+                let v = argv.next().ok_or("--theta needs a value")?;
+                args.theta = v.parse().map_err(|e| format!("bad --theta: {e}"))?;
+            }
+            "--ratio" => {
+                let v = argv.next().ok_or("--ratio needs a fraction")?;
+                args.ratio = v.parse().map_err(|e| format!("bad --ratio: {e}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                args.seed = parse_u64(&v).map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--check-serial" => {
+                let v = argv.next().ok_or("--check-serial needs a tolerance")?;
+                let tol: f64 = v.parse().map_err(|e| format!("bad --check-serial: {e}"))?;
+                if !(0.0..=1.0).contains(&tol) {
+                    return Err("--check-serial tolerance must be in [0, 1]".into());
+                }
+                args.check_serial = Some(tol);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loadgen [--target inproc|host:port] [--policy spec] \
+                     [--shards n] [--clients n] [--requests n] [--clips n] \
+                     [--theta f] [--ratio f] [--seed n|0xHEX] [--check-serial tol]\n\
+                     --check-serial 0 demands bit-for-bit equality with the \
+                     serial simulator (valid for --shards 1 --clients 1); \
+                     tol > 0 allows that hit-rate deviation for sharded runs"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let repo = Arc::new(paper::variable_sized_repository_of(args.clips));
+    let capacity = repo.cache_capacity_for_ratio(args.ratio);
+    let trace = Trace::from_generator(RequestGenerator::new(
+        args.clips,
+        args.theta,
+        0,
+        args.requests,
+        args.seed,
+    ));
+
+    let service = if args.target == "inproc" {
+        match CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig {
+                policy: args.policy,
+                shards: args.shards,
+                capacity,
+                seed: args.seed,
+            },
+            None,
+        ) {
+            Ok(s) => Some(Arc::new(s)),
+            Err(e) => {
+                eprintln!("cannot build service: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let target = match &service {
+        Some(s) => Target::InProcess(Arc::clone(s)),
+        None => Target::Tcp(args.target.clone()),
+    };
+
+    let report = match run_load(&target, &repo, &trace, args.clients) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let lat = &report.latency;
+    let us = |n: u64| n as f64 / 1_000.0;
+    println!(
+        "requests={} clients={} shards={} policy={}",
+        report.observed.requests(),
+        report.clients,
+        args.shards,
+        args.policy.spelling()
+    );
+    println!(
+        "hit_rate={:.6} byte_hit_rate={:.6} evictions={}",
+        report.observed.hit_rate(),
+        report.observed.byte_hit_rate(),
+        report.observed.evictions
+    );
+    println!(
+        "elapsed={:.3}s throughput={:.0} req/s",
+        report.elapsed_secs,
+        report.throughput()
+    );
+    println!(
+        "latency_us mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+        lat.mean_nanos() / 1_000.0,
+        us(lat.percentile_nanos(0.5)),
+        us(lat.percentile_nanos(0.95)),
+        us(lat.percentile_nanos(0.99)),
+        us(lat.max_nanos())
+    );
+    if let Some(service) = &service {
+        let server_side = service.stats();
+        if server_side != report.observed {
+            eprintln!("server-side stats disagree with client-observed stats");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(tol) = args.check_serial {
+        let baseline = serial_baseline(&repo, args.policy, capacity, args.seed, &trace);
+        if tol == 0.0 {
+            if report.observed != baseline {
+                eprintln!(
+                    "serial check FAILED: observed {:?} != serial {:?}",
+                    report.observed, baseline
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("serial check passed: bit-for-bit equal");
+        } else {
+            let delta = (report.observed.hit_rate() - baseline.hit_rate()).abs();
+            if delta > tol {
+                eprintln!(
+                    "serial check FAILED: hit rate {:.6} vs serial {:.6} (|Δ|={:.6} > {tol})",
+                    report.observed.hit_rate(),
+                    baseline.hit_rate(),
+                    delta
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "serial check passed: hit rate {:.6} vs serial {:.6} (|Δ|={:.6} ≤ {tol})",
+                report.observed.hit_rate(),
+                baseline.hit_rate(),
+                delta
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,145 @@
+//! `serve` — run the sharded cache service behind a TCP front-end.
+//!
+//! ```text
+//! serve [--addr host:port] [--policy spec] [--shards n] [--clips n]
+//!       [--ratio f] [--seed n|0xHEX]
+//! ```
+//!
+//! Binds, prints `listening on <addr>`, then serves the line protocol
+//! (`GET <clip>`, `STATS`, `SNAPSHOT`, `QUIT`) until stdin reaches EOF
+//! or a `quit` line arrives on stdin — the graceful-shutdown path CI
+//! exercises by driving stdin through a FIFO. The repository is the
+//! paper's variable-sized catalog of `--clips` clips; `--ratio` sets the
+//! total cache budget as a fraction of the repository, split evenly
+//! across `--shards` shards.
+
+use clipcache_media::paper;
+use clipcache_serve::{serve, CacheService, ServiceConfig};
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    policy: clipcache_core::PolicySpec,
+    shards: usize,
+    clips: usize,
+    ratio: f64,
+    seed: u64,
+}
+
+/// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
+fn parse_u64(v: &str) -> Result<u64, String> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).map_err(|e| e.to_string()),
+        None => v
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string()),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".into(),
+        policy: clipcache_core::PolicyKind::Lru.into(),
+        shards: 4,
+        clips: 100,
+        ratio: 0.25,
+        seed: 0x5EED_2007,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = argv.next().ok_or("--addr needs host:port")?,
+            "--policy" => {
+                let v = argv.next().ok_or("--policy needs a spec")?;
+                args.policy = v.parse()?;
+            }
+            "--shards" => {
+                let v = argv.next().ok_or("--shards needs a count")?;
+                args.shards = v.parse().map_err(|e| format!("bad --shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--clips" => {
+                let v = argv.next().ok_or("--clips needs a count")?;
+                args.clips = v.parse().map_err(|e| format!("bad --clips: {e}"))?;
+            }
+            "--ratio" => {
+                let v = argv.next().ok_or("--ratio needs a fraction")?;
+                args.ratio = v.parse().map_err(|e| format!("bad --ratio: {e}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                args.seed = parse_u64(&v).map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: serve [--addr host:port] [--policy spec] [--shards n] \
+                     [--clips n] [--ratio f] [--seed n|0xHEX]\n\
+                     serves until stdin closes or reads a `quit` line"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let repo = Arc::new(paper::variable_sized_repository_of(args.clips));
+    let capacity = repo.cache_capacity_for_ratio(args.ratio);
+    let service = match CacheService::new(
+        Arc::clone(&repo),
+        ServiceConfig {
+            policy: args.policy,
+            shards: args.shards,
+            capacity,
+            seed: args.seed,
+        },
+        None,
+    ) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("cannot build service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match serve(service, &args.addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "listening on {} ({} shards, {} policy, {} clips, {} bytes)",
+        handle.addr(),
+        args.shards,
+        args.policy.spelling(),
+        args.clips,
+        capacity.as_u64()
+    );
+
+    // Serve until stdin closes or says quit, then drain gracefully.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    handle.shutdown();
+    println!("shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,76 @@
+//! A blocking line-protocol client for the TCP front-end.
+
+use crate::protocol::{parse_get, parse_stats};
+use crate::shard::GetOutcome;
+use clipcache_media::ClipId;
+use clipcache_sim::metrics::HitStats;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a serve front-end.
+pub struct TcpCacheClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpCacheClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpCacheClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// One request/reply round trip.
+    fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    fn protocol_err(msg: String) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+    }
+
+    /// `GET <clip>`: access the clip through its shard.
+    pub fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        let reply = self.roundtrip(&format!("GET {}", clip.get()))?;
+        parse_get(&reply).map_err(Self::protocol_err)
+    }
+
+    /// `STATS`: the server's merged hit statistics.
+    pub fn stats(&mut self) -> std::io::Result<HitStats> {
+        let reply = self.roundtrip("STATS")?;
+        parse_stats(&reply).map_err(Self::protocol_err)
+    }
+
+    /// `SNAPSHOT`: the per-shard snapshot JSON array, verbatim.
+    pub fn snapshot_json(&mut self) -> std::io::Result<String> {
+        let reply = self.roundtrip("SNAPSHOT")?;
+        reply
+            .strip_prefix("SNAPSHOT ")
+            .map(str::to_string)
+            .ok_or_else(|| Self::protocol_err(format!("malformed SNAPSHOT reply '{reply}'")))
+    }
+
+    /// `QUIT`: close the session cleanly.
+    pub fn quit(mut self) -> std::io::Result<()> {
+        let reply = self.roundtrip("QUIT")?;
+        if reply == "BYE" {
+            Ok(())
+        } else {
+            Err(Self::protocol_err(format!("expected BYE, got '{reply}'")))
+        }
+    }
+}

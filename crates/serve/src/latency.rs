@@ -1,0 +1,97 @@
+//! Wall-clock request latencies for the load harness.
+//!
+//! Distinct from `clipcache_sim::latency`, which *models* startup delay
+//! in simulated seconds: this module measures real elapsed nanoseconds
+//! around each service call, per client thread, and merges the logs into
+//! the percentiles the load report prints.
+
+/// A log of observed request latencies in nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyLog {
+    samples: Vec<u64>,
+}
+
+impl LatencyLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        LatencyLog::default()
+    }
+
+    /// Record one request's latency.
+    #[inline]
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+    }
+
+    /// Pool another log's samples into this one (order-invariant:
+    /// percentiles sort the pooled samples).
+    pub fn merge(&mut self, other: &LatencyLog) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded requests.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean latency in nanoseconds; 0 when empty.
+    pub fn mean_nanos(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in nanoseconds by the nearest-rank
+    /// method; 0 when empty.
+    pub fn percentile_nanos(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank =
+            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The largest observed latency in nanoseconds; 0 when empty.
+    pub fn max_nanos(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_mean() {
+        let mut log = LatencyLog::new();
+        for n in [50u64, 10, 30, 20, 40] {
+            log.record_nanos(n);
+        }
+        assert_eq!(log.count(), 5);
+        assert_eq!(log.mean_nanos(), 30.0);
+        assert_eq!(log.percentile_nanos(0.5), 30);
+        assert_eq!(log.percentile_nanos(0.99), 50);
+        assert_eq!(log.max_nanos(), 50);
+        assert_eq!(LatencyLog::new().percentile_nanos(0.5), 0);
+    }
+
+    #[test]
+    fn merge_pools_samples() {
+        let mut a = LatencyLog::new();
+        a.record_nanos(1);
+        a.record_nanos(9);
+        let mut b = LatencyLog::new();
+        b.record_nanos(5);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.percentile_nanos(0.5), ba.percentile_nanos(0.5));
+        assert_eq!(ab.percentile_nanos(0.5), 5);
+    }
+}

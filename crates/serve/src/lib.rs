@@ -1,0 +1,45 @@
+//! `clipcache-serve`: a sharded concurrent cache service with a TCP
+//! front-end and a closed-loop load harness.
+//!
+//! The simulator crates answer "which policy wins?"; this crate answers
+//! "what does that policy cost to *serve*?". It lifts a single-threaded
+//! [`ClipCache`](clipcache_core::ClipCache) behind a sharded, mutex-per-
+//! shard service core:
+//!
+//! * [`shard`] — clip→shard routing (SplitMix64), per-shard seeds, and
+//!   the [`Shard`] wrapper (cache + stats + virtual
+//!   clock + reusable eviction sink: the zero-alloc access path).
+//! * [`service`] — [`CacheService`]: `get` /
+//!   `admit` / `stats` / `snapshot` over N shards, deadlock-free by
+//!   construction (one lock per operation).
+//! * [`protocol`] — the line protocol (`GET`/`STATS`/`SNAPSHOT`/`QUIT`)
+//!   and its parsers, shared by server and client.
+//! * [`server`] — a thread-per-connection `std::net` front-end with
+//!   graceful shutdown (`serve` binary).
+//! * [`client`] — a blocking protocol client.
+//! * [`latency`] — wall-clock latency logs with percentile queries.
+//! * [`loadgen`] — the closed-loop harness (`loadgen` binary): M client
+//!   threads replaying round-robin partitions of a seeded trace against
+//!   the in-process service or a TCP address.
+//!
+//! **Equivalence anchor.** One shard + one client reproduces the serial
+//! simulator bit for bit: shard 0 runs the policy with the same derived
+//! seed, ticks the same virtual clock 1, 2, 3, …, and records statistics
+//! with the same `(hit, size, evictions)` calls. Multiple shards change
+//! cache state (capacity is split, each shard sees a sub-stream) and are
+//! compared within tolerance in EXPERIMENTS.md.
+
+pub mod client;
+pub mod latency;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod shard;
+
+pub use client::TcpCacheClient;
+pub use latency::LatencyLog;
+pub use loadgen::{run as run_load, serial_baseline, LoadReport, Target};
+pub use server::{serve, ServerHandle};
+pub use service::{CacheService, ServiceConfig, ServiceError};
+pub use shard::{shard_of, shard_seed, GetOutcome, Shard};

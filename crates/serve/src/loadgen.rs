@@ -1,0 +1,222 @@
+//! The closed-loop load harness.
+//!
+//! [`run`] replays a materialized trace against a target — the in-process
+//! service or a TCP front-end — from `clients` threads. Each client owns
+//! a round-robin partition of the trace and issues its next request only
+//! after the previous reply arrives (closed loop: offered load adapts to
+//! service speed, there is no open-loop queue to overflow). Per-client
+//! [`HitStats`] and [`LatencyLog`]s merge order-invariantly into the
+//! [`LoadReport`].
+//!
+//! With `clients == 1` the replay is the exact trace order, so a 1-shard
+//! in-process run reproduces the serial simulator bit for bit
+//! ([`serial_baseline`] builds that reference).
+
+use crate::client::TcpCacheClient;
+use crate::latency::LatencyLog;
+use crate::service::CacheService;
+use crate::shard::{shard_seed, GetOutcome};
+use clipcache_core::PolicySpec;
+use clipcache_media::{ByteSize, ClipId, Repository};
+use clipcache_sim::metrics::HitStats;
+use clipcache_sim::runner::{simulate, SimulationConfig};
+use clipcache_workload::Trace;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where the load goes.
+#[derive(Clone)]
+pub enum Target {
+    /// Call the service directly (no sockets).
+    InProcess(Arc<CacheService>),
+    /// Speak the line protocol to this address, one connection per
+    /// client thread.
+    Tcp(String),
+}
+
+/// Everything one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Hit statistics observed at the clients (merged across threads).
+    pub observed: HitStats,
+    /// Wall-clock request latencies (merged across threads).
+    pub latency: LatencyLog,
+    /// Wall-clock duration of the whole run in seconds.
+    pub elapsed_secs: f64,
+    /// Client threads used.
+    pub clients: usize,
+}
+
+impl LoadReport {
+    /// Requests completed per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.observed.requests() as f64 / self.elapsed_secs
+    }
+}
+
+/// One client's view of the run.
+struct ClientLog {
+    stats: HitStats,
+    latency: LatencyLog,
+}
+
+fn replay(
+    part: &Trace,
+    repo: &Repository,
+    mut get: impl FnMut(ClipId) -> std::io::Result<GetOutcome>,
+) -> std::io::Result<ClientLog> {
+    let mut stats = HitStats::new();
+    let mut latency = LatencyLog::new();
+    for req in part {
+        let size = repo.size_of(req.clip);
+        let started = Instant::now();
+        let outcome = get(req.clip)?;
+        latency.record_nanos(started.elapsed().as_nanos() as u64);
+        stats.record(outcome.hit, size, outcome.evictions);
+    }
+    Ok(ClientLog { stats, latency })
+}
+
+/// Replay `trace` against `target` from `clients` closed-loop threads.
+///
+/// Client `c` replays partition `c` of
+/// [`Trace::partition_round_robin`]`(clients)`, so the union of issued
+/// requests is exactly the trace regardless of thread count; only the
+/// interleaving (and therefore multi-shard cache state) varies.
+///
+/// # Panics
+/// If `clients == 0`.
+pub fn run(
+    target: &Target,
+    repo: &Arc<Repository>,
+    trace: &Trace,
+    clients: usize,
+) -> std::io::Result<LoadReport> {
+    assert!(clients > 0, "need at least one client");
+    let parts = trace.partition_round_robin(clients);
+    let started = Instant::now();
+    let logs: Vec<std::io::Result<ClientLog>> = if clients == 1 {
+        // Single client: run on this thread — keeps the serial-equivalence
+        // path free of scheduler noise.
+        vec![run_client(target, repo, &parts[0])]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| scope.spawn(|| run_client(target, repo, part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        })
+    };
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let mut observed = HitStats::new();
+    let mut latency = LatencyLog::new();
+    for log in logs {
+        let log = log?;
+        observed.merge(&log.stats);
+        latency.merge(&log.latency);
+    }
+    Ok(LoadReport {
+        observed,
+        latency,
+        elapsed_secs,
+        clients,
+    })
+}
+
+fn run_client(target: &Target, repo: &Repository, part: &Trace) -> std::io::Result<ClientLog> {
+    match target {
+        Target::InProcess(service) => replay(part, repo, |clip| {
+            service
+                .get(clip)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))
+        }),
+        Target::Tcp(addr) => {
+            let mut client = TcpCacheClient::connect(addr.as_str())?;
+            let log = replay(part, repo, |clip| client.get(clip))?;
+            client.quit()?;
+            Ok(log)
+        }
+    }
+}
+
+/// The serial reference: replay `trace` through the plain simulator with
+/// the seed shard 0 of a service would get. A 1-shard, 1-client load run
+/// must produce these exact [`HitStats`].
+pub fn serial_baseline(
+    repo: &Arc<Repository>,
+    policy: PolicySpec,
+    capacity: ByteSize,
+    seed: u64,
+    trace: &Trace,
+) -> HitStats {
+    let mut cache = policy.build(Arc::clone(repo), capacity, shard_seed(seed, 0), None);
+    simulate(
+        cache.as_mut(),
+        repo,
+        trace.requests(),
+        &SimulationConfig::default(),
+    )
+    .stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use clipcache_core::PolicyKind;
+    use clipcache_media::paper;
+    use clipcache_workload::RequestGenerator;
+
+    fn fixture(shards: usize) -> (Arc<Repository>, Arc<CacheService>, Trace) {
+        let repo = Arc::new(paper::variable_sized_repository_of(24));
+        let service = Arc::new(
+            CacheService::new(
+                Arc::clone(&repo),
+                ServiceConfig {
+                    policy: PolicyKind::Lru.into(),
+                    shards,
+                    capacity: repo.cache_capacity_for_ratio(0.25),
+                    seed: 42,
+                },
+                None,
+            )
+            .unwrap(),
+        );
+        let trace = Trace::from_generator(RequestGenerator::new(24, 0.27, 0, 2_000, 9));
+        (repo, service, trace)
+    }
+
+    #[test]
+    fn observed_stats_match_service_stats() {
+        let (repo, service, trace) = fixture(4);
+        let report = run(&Target::InProcess(Arc::clone(&service)), &repo, &trace, 3).unwrap();
+        // Client-observed and server-side counters describe the same
+        // requests, so they agree exactly whatever the interleaving.
+        assert_eq!(report.observed, service.stats());
+        assert_eq!(report.observed.requests(), 2_000);
+        assert_eq!(report.latency.count(), 2_000);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn single_client_single_shard_is_serial() {
+        let (repo, service, trace) = fixture(1);
+        let report = run(&Target::InProcess(Arc::clone(&service)), &repo, &trace, 1).unwrap();
+        let baseline = serial_baseline(
+            &repo,
+            PolicyKind::Lru.into(),
+            repo.cache_capacity_for_ratio(0.25),
+            42,
+            &trace,
+        );
+        assert_eq!(report.observed, baseline);
+        assert_eq!(service.stats(), baseline);
+    }
+}

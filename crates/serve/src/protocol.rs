@@ -1,0 +1,217 @@
+//! The line protocol spoken on the TCP front-end.
+//!
+//! One request per line, one reply line per request (`SNAPSHOT` replies
+//! stay on a single line so clients never need framing beyond
+//! `read_line`). The grammar (also documented in `docs/extending.md`):
+//!
+//! ```text
+//! request   = "GET" SP clip-id | "STATS" | "SNAPSHOT" | "QUIT"
+//! clip-id   = 1*DIGIT                ; ≥ 1
+//!
+//! reply     = "HIT" SP evicted              ; GET, clip was resident
+//!           | "MISS" SP admitted SP evicted ; GET, clip was fetched
+//!           | "STATS" SP "hits=" n SP "misses=" n SP "byte_hits=" n
+//!                     SP "byte_misses=" n SP "evictions=" n
+//!           | "SNAPSHOT" SP json-array      ; one CacheSnapshot per shard
+//!           | "BYE"                         ; QUIT acknowledged
+//!           | "ERR" SP text                 ; malformed request / unknown clip
+//! admitted  = "0" | "1"
+//! evicted   = 1*DIGIT                       ; clips evicted by this access
+//! ```
+
+use crate::shard::GetOutcome;
+use clipcache_media::ClipId;
+use clipcache_sim::metrics::HitStats;
+
+/// A parsed request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Access a clip through its shard.
+    Get(ClipId),
+    /// Report merged hit statistics.
+    Stats,
+    /// Snapshot every shard.
+    Snapshot,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parse one request line (already stripped of the newline).
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    if let Some(rest) = line.strip_prefix("GET ") {
+        let id: u64 = rest
+            .trim()
+            .parse()
+            .map_err(|_| format!("'{}' is not a clip id", rest.trim()))?;
+        if id == 0 || id > u32::MAX as u64 {
+            return Err(format!("clip id {id} out of range"));
+        }
+        return Ok(Command::Get(ClipId::new(id as u32)));
+    }
+    match line {
+        "STATS" => Ok(Command::Stats),
+        "SNAPSHOT" => Ok(Command::Snapshot),
+        "QUIT" => Ok(Command::Quit),
+        "" => Err("empty request".into()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Format a `GET` reply.
+pub fn format_get(outcome: &GetOutcome) -> String {
+    if outcome.hit {
+        format!("HIT {}", outcome.evictions)
+    } else {
+        format!(
+            "MISS {} {}",
+            if outcome.admitted { 1 } else { 0 },
+            outcome.evictions
+        )
+    }
+}
+
+/// Parse a `GET` reply.
+pub fn parse_get(line: &str) -> Result<GetOutcome, String> {
+    let mut words = line.trim().split_ascii_whitespace();
+    let malformed = || format!("malformed GET reply '{}'", line.trim());
+    match words.next() {
+        Some("HIT") => {
+            let evictions = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(malformed)?;
+            Ok(GetOutcome {
+                hit: true,
+                admitted: true,
+                evictions,
+            })
+        }
+        Some("MISS") => {
+            let admitted = match words.next() {
+                Some("0") => false,
+                Some("1") => true,
+                _ => return Err(malformed()),
+            };
+            let evictions = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(malformed)?;
+            Ok(GetOutcome {
+                hit: false,
+                admitted,
+                evictions,
+            })
+        }
+        _ => Err(malformed()),
+    }
+}
+
+/// Format a `STATS` reply.
+pub fn format_stats(stats: &HitStats) -> String {
+    format!(
+        "STATS hits={} misses={} byte_hits={} byte_misses={} evictions={}",
+        stats.hits,
+        stats.misses,
+        stats.byte_hits.as_u64(),
+        stats.byte_misses.as_u64(),
+        stats.evictions
+    )
+}
+
+/// Parse a `STATS` reply.
+pub fn parse_stats(line: &str) -> Result<HitStats, String> {
+    let line = line.trim();
+    let rest = line
+        .strip_prefix("STATS ")
+        .ok_or_else(|| format!("malformed STATS reply '{line}'"))?;
+    let mut stats = HitStats::new();
+    let mut seen = 0u32;
+    for field in rest.split_ascii_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("malformed STATS field '{field}'"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("non-numeric STATS field '{field}'"))?;
+        match key {
+            "hits" => stats.hits = value,
+            "misses" => stats.misses = value,
+            "byte_hits" => stats.byte_hits = clipcache_media::ByteSize::bytes(value),
+            "byte_misses" => stats.byte_misses = clipcache_media::ByteSize::bytes(value),
+            "evictions" => stats.evictions = value,
+            other => return Err(format!("unknown STATS field '{other}'")),
+        }
+        seen += 1;
+    }
+    if seen != 5 {
+        return Err(format!("STATS reply has {seen} fields, expected 5"));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clipcache_media::ByteSize;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(parse_command("GET 17"), Ok(Command::Get(ClipId::new(17))));
+        assert_eq!(parse_command("  GET 3  "), Ok(Command::Get(ClipId::new(3))));
+        assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("SNAPSHOT"), Ok(Command::Snapshot));
+        assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
+    }
+
+    #[test]
+    fn bad_commands_rejected() {
+        assert!(parse_command("GET").is_err());
+        assert!(parse_command("GET zero").is_err());
+        assert!(parse_command("GET 0").is_err());
+        assert!(parse_command("GET 99999999999").is_err());
+        assert!(parse_command("get 1").is_err()); // commands are uppercase
+        assert!(parse_command("").is_err());
+        assert!(parse_command("PUT 1").unwrap_err().contains("PUT"));
+    }
+
+    #[test]
+    fn get_reply_round_trips() {
+        for outcome in [
+            GetOutcome {
+                hit: true,
+                admitted: true,
+                evictions: 0,
+            },
+            GetOutcome {
+                hit: false,
+                admitted: true,
+                evictions: 3,
+            },
+            GetOutcome {
+                hit: false,
+                admitted: false,
+                evictions: 0,
+            },
+        ] {
+            assert_eq!(parse_get(&format_get(&outcome)), Ok(outcome));
+        }
+        assert!(parse_get("HIT").is_err());
+        assert!(parse_get("MISS 2 0").is_err());
+        assert!(parse_get("ERR nope").is_err());
+    }
+
+    #[test]
+    fn stats_reply_round_trips() {
+        let mut stats = HitStats::new();
+        stats.record(true, ByteSize::mb(10), 0);
+        stats.record(false, ByteSize::mb(30), 2);
+        let line = format_stats(&stats);
+        assert_eq!(parse_stats(&line), Ok(stats));
+        assert!(parse_stats("STATS hits=1").is_err());
+        assert!(
+            parse_stats("STATS hits=1 misses=x byte_hits=0 byte_misses=0 evictions=0").is_err()
+        );
+        assert!(parse_stats("nope").is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! The TCP front-end: a thread-per-connection line-protocol server.
+//!
+//! `std::net` only — no async runtime. The accept loop runs on its own
+//! thread; each connection gets a handler thread that polls a shared
+//! shutdown flag between reads (via a short read timeout), so
+//! [`ServerHandle::shutdown`] drains everything within a poll interval.
+//! The blocking `accept` itself is woken by a throwaway connection to
+//! the server's own port — the classic self-pipe trick, TCP edition.
+
+use crate::protocol::{format_get, format_stats, parse_command, Command};
+use crate::service::CacheService;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often connection handlers check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) leaves the threads running for the
+/// process lifetime.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain connection handlers, join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handlers = std::mem::take(&mut *self.connections.lock().expect("handler list"));
+        for t in handlers {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `service` until
+/// [`ServerHandle::shutdown`].
+pub fn serve(service: Arc<CacheService>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let connections = Arc::clone(&connections);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let shutdown = Arc::clone(&shutdown);
+                let handler = std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &service, &shutdown);
+                });
+                connections.lock().expect("handler list").push(handler);
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        connections,
+    })
+}
+
+/// Serve one connection until QUIT, EOF, or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &CacheService,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    // Hand-rolled line buffering: `BufReader::read_line` may hold a
+    // partial line across a timeout error, so we split on '\n' in our
+    // own buffer where partial reads are harmless.
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Drain every complete line already buffered.
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if !respond(&mut stream, service, &line)? {
+                return Ok(());
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Execute one request line; false means the connection should close.
+fn respond(stream: &mut TcpStream, service: &CacheService, line: &str) -> std::io::Result<bool> {
+    let reply = match parse_command(line) {
+        Ok(Command::Get(clip)) => match service.get(clip) {
+            Ok(outcome) => format_get(&outcome),
+            Err(e) => format!("ERR {e}"),
+        },
+        Ok(Command::Stats) => format_stats(&service.stats()),
+        Ok(Command::Snapshot) => {
+            let parts: Vec<String> = service.snapshot().iter().map(|s| s.to_json()).collect();
+            format!("SNAPSHOT [{}]", parts.join(","))
+        }
+        Ok(Command::Quit) => {
+            stream.write_all(b"BYE\n")?;
+            return Ok(false);
+        }
+        Err(e) => format!("ERR {e}"),
+    };
+    stream.write_all(reply.as_bytes())?;
+    stream.write_all(b"\n")?;
+    Ok(true)
+}

@@ -1,0 +1,269 @@
+//! The concurrent service core: N shards behind independent mutexes.
+//!
+//! [`CacheService`] splits a byte budget across [`Shard`]s and routes
+//! each request to the shard owning its clip ([`shard_of`]). Shards
+//! never nest locks — every operation locks exactly one shard, and the
+//! merged views ([`stats`](CacheService::stats),
+//! [`snapshot`](CacheService::snapshot)) lock shards one at a time in
+//! index order — so the service is trivially deadlock-free.
+//!
+//! With one shard the service *is* the serial simulator: same policy
+//! seed (`shard_seed(seed, 0)`), same virtual clock, same statistics
+//! recording. The serial-equivalence test pins this bit for bit.
+
+use crate::shard::{shard_of, shard_seed, GetOutcome, Shard};
+use clipcache_core::registry::BuildError;
+use clipcache_core::snapshot::CacheSnapshot;
+use clipcache_core::PolicySpec;
+use clipcache_media::{ByteSize, ClipId, Repository};
+use clipcache_sim::metrics::HitStats;
+use std::sync::{Arc, Mutex};
+
+/// Construction parameters for a [`CacheService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// The replacement policy every shard runs.
+    pub policy: PolicySpec,
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Total byte budget, split evenly across shards.
+    pub capacity: ByteSize,
+    /// Service seed; shard `i` derives `shard_seed(seed, i)`.
+    pub seed: u64,
+}
+
+/// Errors a service request can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The clip id is not in the repository.
+    UnknownClip(ClipId),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownClip(c) => write!(f, "unknown clip id {}", c.get()),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A sharded, thread-safe cache service.
+pub struct CacheService {
+    repo: Arc<Repository>,
+    shards: Vec<Mutex<Shard>>,
+    policy: PolicySpec,
+}
+
+impl CacheService {
+    /// Build a service: `config.shards` caches, each with
+    /// `capacity / shards` bytes and its own derived seed.
+    ///
+    /// # Panics
+    /// If `config.shards == 0`.
+    pub fn new(
+        repo: Arc<Repository>,
+        config: ServiceConfig,
+        frequencies: Option<&[f64]>,
+    ) -> Result<Self, BuildError> {
+        assert!(config.shards > 0, "a service needs at least one shard");
+        let per_shard = ByteSize::bytes(config.capacity.as_u64() / config.shards as u64);
+        let mut shards = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let cache = config.policy.try_build(
+                Arc::clone(&repo),
+                per_shard,
+                shard_seed(config.seed, i),
+                frequencies,
+            )?;
+            shards.push(Mutex::new(Shard::new(cache)));
+        }
+        Ok(CacheService {
+            repo,
+            shards,
+            policy: config.policy,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The repository served.
+    pub fn repo(&self) -> &Arc<Repository> {
+        &self.repo
+    }
+
+    /// The policy every shard runs.
+    pub fn policy(&self) -> PolicySpec {
+        self.policy
+    }
+
+    fn shard(&self, clip: ClipId) -> &Mutex<Shard> {
+        &self.shards[shard_of(clip, self.shards.len())]
+    }
+
+    /// Service a request: route to the owning shard, access its cache,
+    /// record hit statistics. Locks exactly one shard.
+    pub fn get(&self, clip: ClipId) -> Result<GetOutcome, ServiceError> {
+        let size = self
+            .repo
+            .get(clip)
+            .ok_or(ServiceError::UnknownClip(clip))?
+            .size;
+        let mut shard = self.shard(clip).lock().expect("shard poisoned");
+        Ok(shard.get(clip, size))
+    }
+
+    /// Warm `clip` into its shard without counting it in the hit
+    /// statistics. Returns whether the clip is resident afterwards.
+    pub fn admit(&self, clip: ClipId) -> Result<bool, ServiceError> {
+        if self.repo.get(clip).is_none() {
+            return Err(ServiceError::UnknownClip(clip));
+        }
+        let mut shard = self.shard(clip).lock().expect("shard poisoned");
+        Ok(shard.admit(clip))
+    }
+
+    /// Merged hit statistics across all shards.
+    ///
+    /// Locks shards one at a time (never two at once) and folds with
+    /// [`HitStats::merge`], whose order-invariance makes the result
+    /// independent of the locking order.
+    pub fn stats(&self) -> HitStats {
+        let mut total = HitStats::new();
+        for shard in &self.shards {
+            total.merge(shard.lock().expect("shard poisoned").stats());
+        }
+        total
+    }
+
+    /// Per-shard hit statistics, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<HitStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").stats().clone())
+            .collect()
+    }
+
+    /// Snapshot every shard (one [`CacheSnapshot`] per shard, in shard
+    /// order). Each snapshot is taken under that shard's lock, so it is
+    /// internally consistent; the set is not a global atomic cut —
+    /// requests may land on other shards between snapshots.
+    pub fn snapshot(&self) -> Vec<CacheSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("shard poisoned");
+                CacheSnapshot::take(shard.cache(), self.policy, shard.clock())
+            })
+            .collect()
+    }
+
+    /// Total bytes resident across shards.
+    pub fn used(&self) -> ByteSize {
+        let mut total = 0u64;
+        for s in &self.shards {
+            total += s.lock().expect("shard poisoned").cache().used().as_u64();
+        }
+        ByteSize::bytes(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clipcache_core::PolicyKind;
+    use clipcache_media::paper;
+    use clipcache_workload::{RequestGenerator, Trace};
+
+    fn service(shards: usize, seed: u64) -> CacheService {
+        let repo = Arc::new(paper::variable_sized_repository_of(24));
+        let capacity = repo.cache_capacity_for_ratio(0.25);
+        CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig {
+                policy: PolicyKind::Lru.into(),
+                shards,
+                capacity,
+                seed,
+            },
+            None,
+        )
+        .expect("LRU builds")
+    }
+
+    #[test]
+    fn get_hits_after_miss() {
+        let svc = service(4, 7);
+        let clip = ClipId::new(5);
+        assert!(!svc.get(clip).unwrap().hit);
+        assert!(svc.get(clip).unwrap().hit);
+        let stats = svc.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn unknown_clip_is_an_error() {
+        let svc = service(2, 7);
+        let err = svc.get(ClipId::new(999)).unwrap_err();
+        assert_eq!(err, ServiceError::UnknownClip(ClipId::new(999)));
+        assert!(err.to_string().contains("999"));
+        assert!(svc.admit(ClipId::new(999)).is_err());
+    }
+
+    #[test]
+    fn stats_merge_shard_counters() {
+        let svc = service(4, 7);
+        let trace = Trace::from_generator(RequestGenerator::new(24, 0.27, 0, 500, 11));
+        for req in &trace {
+            svc.get(req.clip).unwrap();
+        }
+        let merged = svc.stats();
+        assert_eq!(merged.requests(), 500);
+        let per_shard = svc.per_shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(HitStats::merged(per_shard.iter()), merged);
+    }
+
+    #[test]
+    fn snapshots_cover_disjoint_clip_sets() {
+        let svc = service(4, 7);
+        let trace = Trace::from_generator(RequestGenerator::new(24, 0.27, 0, 300, 3));
+        for req in &trace {
+            svc.get(req.clip).unwrap();
+        }
+        let snaps = svc.snapshot();
+        assert_eq!(snaps.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for (i, snap) in snaps.iter().enumerate() {
+            for &clip in &snap.resident {
+                assert_eq!(shard_of(clip, 4), i, "clip on the wrong shard");
+                assert!(seen.insert(clip), "clip resident in two shards");
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn capacity_splits_evenly() {
+        let repo = Arc::new(paper::equi_sized_repository_of(16, ByteSize::mb(10)));
+        let svc = CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig {
+                policy: PolicyKind::Lru.into(),
+                shards: 4,
+                capacity: ByteSize::mb(40),
+                seed: 1,
+            },
+            None,
+        )
+        .unwrap();
+        for snap in svc.snapshot() {
+            assert_eq!(snap.capacity, ByteSize::mb(10));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! One shard: a cache, its statistics, and a private virtual clock.
+//!
+//! The service routes each clip id to a fixed shard with
+//! [`shard_of`] (a SplitMix64 hash of the id), so every request for a
+//! given clip serializes on that shard's mutex and the policy inside
+//! never sees concurrent access. Each shard keeps its own virtual clock
+//! ticking 1, 2, 3, … per access — exactly the timestamps the serial
+//! simulator assigns a trace — which is what makes a 1-shard service
+//! reproduce [`clipcache_sim::runner::simulate`] bit for bit.
+
+use clipcache_core::{AccessEvent, ClipCache, EvictionCount};
+use clipcache_media::{ByteSize, ClipId};
+use clipcache_sim::metrics::HitStats;
+use clipcache_workload::Timestamp;
+
+/// SplitMix64 — the finalizer used both to route clips to shards and to
+/// derive per-shard policy seeds.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard a clip lives on. Stable for the lifetime of a service: the
+/// same id always routes to the same shard, so a clip is resident in at
+/// most one shard's cache.
+#[inline]
+pub fn shard_of(clip: ClipId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (splitmix64(clip.get() as u64) % shards as u64) as usize
+}
+
+/// The policy seed for shard `index`, derived from the service seed.
+///
+/// Shard 0 of any service gets `shard_seed(seed, 0)` — the loadgen's
+/// serial baseline uses the same derivation so a 1-shard service and the
+/// serial simulator run byte-identical policy randomness.
+#[inline]
+pub fn shard_seed(seed: u64, index: usize) -> u64 {
+    splitmix64(seed ^ index as u64)
+}
+
+/// The outcome of one service access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetOutcome {
+    /// Whether the clip was resident.
+    pub hit: bool,
+    /// Whether the clip is resident afterwards (always true on a hit).
+    pub admitted: bool,
+    /// Clips evicted by this access.
+    pub evictions: usize,
+}
+
+/// One shard: a policy instance plus its counters, owned behind the
+/// service's per-shard mutex.
+pub struct Shard {
+    cache: Box<dyn ClipCache>,
+    stats: HitStats,
+    clock: u64,
+    // One counting sink per shard, reused for every access: the hot path
+    // allocates nothing (the same discipline as the serial runner).
+    evictions: EvictionCount,
+}
+
+impl Shard {
+    /// Wrap a freshly built cache.
+    pub fn new(cache: Box<dyn ClipCache>) -> Self {
+        Shard {
+            cache,
+            stats: HitStats::new(),
+            clock: 0,
+            evictions: EvictionCount(0),
+        }
+    }
+
+    /// Service a request for `clip` of `size`, recording hit statistics.
+    ///
+    /// Mirrors the serial runner's loop exactly: tick the clock, access
+    /// through the counting sink, record `(hit, size, evictions)`.
+    pub fn get(&mut self, clip: ClipId, size: ByteSize) -> GetOutcome {
+        self.clock += 1;
+        self.evictions.0 = 0;
+        let event = self
+            .cache
+            .access_into(clip, Timestamp(self.clock), &mut self.evictions);
+        let (hit, admitted) = match event {
+            AccessEvent::Hit => (true, true),
+            AccessEvent::Miss { admitted } => (false, admitted),
+        };
+        self.stats.record(hit, size, self.evictions.0);
+        GetOutcome {
+            hit,
+            admitted,
+            evictions: self.evictions.0,
+        }
+    }
+
+    /// Warm `clip` into the shard without touching the hit statistics.
+    ///
+    /// The access still advances the clock and the policy's reference
+    /// history (a warmed clip looks recently used), so `admit` is for
+    /// pre-loading before measurement, not for use mid-run.
+    pub fn admit(&mut self, clip: ClipId) -> bool {
+        self.clock += 1;
+        self.evictions.0 = 0;
+        match self
+            .cache
+            .access_into(clip, Timestamp(self.clock), &mut self.evictions)
+        {
+            AccessEvent::Hit => true,
+            AccessEvent::Miss { admitted } => admitted,
+        }
+    }
+
+    /// The shard's hit statistics so far.
+    pub fn stats(&self) -> &HitStats {
+        &self.stats
+    }
+
+    /// The shard's virtual clock (number of accesses serviced).
+    pub fn clock(&self) -> Timestamp {
+        Timestamp(self.clock)
+    }
+
+    /// The policy instance.
+    pub fn cache(&self) -> &dyn ClipCache {
+        self.cache.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clipcache_core::PolicyKind;
+    use clipcache_media::paper;
+    use std::sync::Arc;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in 1..=8 {
+            for id in 1..200u32 {
+                let s = shard_of(ClipId::new(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(ClipId::new(id), shards));
+            }
+        }
+        // Everything routes to shard 0 when there is only one shard.
+        assert_eq!(shard_of(ClipId::new(17), 1), 0);
+    }
+
+    #[test]
+    fn shard_seeds_differ_per_shard() {
+        let seeds: Vec<u64> = (0..8).map(|i| shard_seed(42, i)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn get_records_stats_and_ticks_clock() {
+        let repo = Arc::new(paper::equi_sized_repository_of(8, ByteSize::mb(10)));
+        let cache = PolicyKind::Lru.build(Arc::clone(&repo), ByteSize::mb(20), 1, None);
+        let mut shard = Shard::new(cache);
+        let clip = ClipId::new(3);
+        let miss = shard.get(clip, repo.size_of(clip));
+        assert!(!miss.hit && miss.admitted && miss.evictions == 0);
+        let hit = shard.get(clip, repo.size_of(clip));
+        assert!(hit.hit);
+        assert_eq!(shard.stats().hits, 1);
+        assert_eq!(shard.stats().misses, 1);
+        assert_eq!(shard.clock(), Timestamp(2));
+    }
+
+    #[test]
+    fn admit_warms_without_stats() {
+        let repo = Arc::new(paper::equi_sized_repository_of(8, ByteSize::mb(10)));
+        let cache = PolicyKind::Lru.build(Arc::clone(&repo), ByteSize::mb(20), 1, None);
+        let mut shard = Shard::new(cache);
+        assert!(shard.admit(ClipId::new(5)));
+        assert_eq!(shard.stats().requests(), 0);
+        // The warmed clip now hits, and only the hit is counted.
+        assert!(shard.get(ClipId::new(5), repo.size_of(ClipId::new(5))).hit);
+        assert_eq!(shard.stats().hits, 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The correctness anchor: a 1-shard, 1-client service run must
+//! reproduce the serial simulator's statistics **bit for bit**, for
+//! every heap-eligible and scan policy alike; multi-shard runs must stay
+//! deterministic and land within a documented tolerance of serial.
+
+use clipcache_core::PolicySpec;
+use clipcache_media::paper;
+use clipcache_serve::{run_load, serial_baseline, CacheService, ServiceConfig, Target};
+use clipcache_sim::metrics::HitStats;
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+const SEED: u64 = 0x5EED_2007;
+
+fn load(policy: PolicySpec, shards: usize, clients: usize, trace: &Trace) -> (HitStats, HitStats) {
+    let repo = Arc::new(paper::variable_sized_repository_of(48));
+    let service = Arc::new(
+        CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig {
+                policy,
+                shards,
+                capacity: repo.cache_capacity_for_ratio(0.25),
+                seed: SEED,
+            },
+            None,
+        )
+        .expect("policy builds"),
+    );
+    let report = run_load(
+        &Target::InProcess(Arc::clone(&service)),
+        &repo,
+        trace,
+        clients,
+    )
+    .expect("in-process load cannot fail");
+    (report.observed, service.stats())
+}
+
+fn baseline(policy: PolicySpec, trace: &Trace) -> HitStats {
+    let repo = Arc::new(paper::variable_sized_repository_of(48));
+    serial_baseline(
+        &repo,
+        policy,
+        repo.cache_capacity_for_ratio(0.25),
+        SEED,
+        trace,
+    )
+}
+
+#[test]
+fn one_shard_one_client_is_bit_for_bit_serial() {
+    let trace = Trace::from_generator(RequestGenerator::new(48, 0.27, 0, 3_000, SEED));
+    // Policies spanning every mechanism family: randomized victim
+    // choice, recency lists, frequency counters, history (LRU-K),
+    // GreedyDual priorities, size ordering, and the paper's DYNSimple —
+    // on both victim-index backends where eligible.
+    let policies: Vec<PolicySpec> = [
+        "random",
+        "lru",
+        "lru@heap",
+        "fifo",
+        "lfu",
+        "lru-2",
+        "size",
+        "greedydual",
+        "greedydual@heap",
+        "dynsimple:2",
+        "igd",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("valid spelling"))
+    .collect();
+    for policy in policies {
+        let (observed, server_side) = load(policy, 1, 1, &trace);
+        let serial = baseline(policy, &trace);
+        assert_eq!(
+            observed,
+            serial,
+            "policy {} diverged from the serial simulator",
+            policy.spelling()
+        );
+        assert_eq!(server_side, serial);
+    }
+}
+
+#[test]
+fn multi_shard_single_client_is_deterministic() {
+    let trace = Trace::from_generator(RequestGenerator::new(48, 0.27, 0, 3_000, SEED));
+    for shards in [2usize, 4, 8] {
+        let policy: PolicySpec = "lru".parse().unwrap();
+        let (first, _) = load(policy, shards, 1, &trace);
+        let (second, _) = load(policy, shards, 1, &trace);
+        assert_eq!(first, second, "shards={shards} run not deterministic");
+    }
+}
+
+#[test]
+fn multi_shard_stays_near_serial() {
+    // Splitting capacity across shards changes cache state in either
+    // direction: partitioning loses global optimality, but it also
+    // isolates hot small clips from large-clip interference (on this
+    // variable-sized catalog sharded LRU *beats* global LRU by up to
+    // ~0.12). The tolerance documents the envelope; EXPERIMENTS.md
+    // records the measured per-shard-count deltas.
+    let trace = Trace::from_generator(RequestGenerator::new(48, 0.27, 0, 10_000, SEED));
+    let policy: PolicySpec = "lru".parse().unwrap();
+    let serial = baseline(policy, &trace);
+    // Measured deltas on this workload: +0.05 (2 shards), +0.12 (4),
+    // +0.17 (8); the envelope gives each a small headroom.
+    for (shards, tolerance) in [(2usize, 0.10), (4, 0.16), (8, 0.21)] {
+        let (observed, _) = load(policy, shards, 1, &trace);
+        assert_eq!(observed.requests(), serial.requests());
+        let delta = (observed.hit_rate() - serial.hit_rate()).abs();
+        assert!(
+            delta < tolerance,
+            "shards={shards}: hit rate {:.4} vs serial {:.4} (|Δ|={delta:.4})",
+            observed.hit_rate(),
+            serial.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn multi_client_requests_are_conserved() {
+    // Whatever the interleaving, every request lands exactly once:
+    // request and byte totals are interleaving-independent even though
+    // hit counts are not.
+    let trace = Trace::from_generator(RequestGenerator::new(48, 0.27, 0, 4_000, SEED));
+    let policy: PolicySpec = "lru".parse().unwrap();
+    let serial = baseline(policy, &trace);
+    for clients in [2usize, 4] {
+        let (observed, server_side) = load(policy, 4, clients, &trace);
+        assert_eq!(observed, server_side);
+        assert_eq!(observed.requests(), 4_000);
+        let total_bytes = observed.byte_hits + observed.byte_misses;
+        assert_eq!(total_bytes, serial.byte_hits + serial.byte_misses);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end tests over real loopback sockets: protocol round trips,
+//! loadgen-over-TCP equivalence with the in-process path, concurrent
+//! connections, and graceful shutdown.
+
+use clipcache_core::snapshot::CacheSnapshot;
+use clipcache_core::PolicyKind;
+use clipcache_media::{paper, ClipId, Repository};
+use clipcache_serve::{run_load, serve, CacheService, ServiceConfig, Target, TcpCacheClient};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+fn start(
+    shards: usize,
+) -> (
+    Arc<Repository>,
+    Arc<CacheService>,
+    clipcache_serve::ServerHandle,
+) {
+    let repo = Arc::new(paper::variable_sized_repository_of(24));
+    let service = Arc::new(
+        CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig {
+                policy: PolicyKind::Lru.into(),
+                shards,
+                capacity: repo.cache_capacity_for_ratio(0.25),
+                seed: 7,
+            },
+            None,
+        )
+        .unwrap(),
+    );
+    let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    (repo, service, handle)
+}
+
+#[test]
+fn protocol_round_trips_over_tcp() {
+    let (_repo, service, handle) = start(2);
+    let mut client = TcpCacheClient::connect(handle.addr()).unwrap();
+
+    let miss = client.get(ClipId::new(3)).unwrap();
+    assert!(!miss.hit && miss.admitted);
+    let hit = client.get(ClipId::new(3)).unwrap();
+    assert!(hit.hit);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats, service.stats());
+
+    // SNAPSHOT is a JSON array with one parseable snapshot per shard.
+    let json = client.snapshot_json().unwrap();
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    let inner = &json[1..json.len() - 1];
+    let parts: Vec<&str> = inner.split("},{").collect();
+    assert_eq!(parts.len(), 2);
+    let first = format!("{}{}", parts[0], if parts.len() > 1 { "}" } else { "" });
+    let snap = CacheSnapshot::from_json(&first).expect("snapshot JSON parses");
+    assert_eq!(snap.policy, PolicyKind::Lru.into());
+
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_err_replies() {
+    use std::io::{BufRead, BufReader, Write};
+    let (_repo, _service, handle) = start(1);
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let mut ask = |line: &str| {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+    assert!(ask("FROB 1").starts_with("ERR "));
+    assert!(ask("GET abc").starts_with("ERR "));
+    // Unknown clip: the repository has 24 clips.
+    assert!(ask("GET 999").starts_with("ERR "));
+    // The connection survives errors.
+    assert_eq!(ask("GET 1"), "MISS 1 0");
+    assert_eq!(ask("QUIT"), "BYE");
+    handle.shutdown();
+}
+
+#[test]
+fn tcp_loadgen_matches_in_process_counters() {
+    let (repo, service, handle) = start(4);
+    let trace = Trace::from_generator(RequestGenerator::new(24, 0.27, 0, 1_000, 5));
+    let report =
+        run_load(&Target::Tcp(handle.addr().to_string()), &repo, &trace, 1).expect("tcp load");
+    // One client: a deterministic request order, so the server's state
+    // equals an in-process replay of the same trace.
+    assert_eq!(report.observed, service.stats());
+    assert_eq!(report.observed.requests(), 1_000);
+    assert_eq!(report.latency.count(), 1_000);
+
+    let repo2 = Arc::new(paper::variable_sized_repository_of(24));
+    let service2 = Arc::new(
+        CacheService::new(
+            Arc::clone(&repo2),
+            ServiceConfig {
+                policy: PolicyKind::Lru.into(),
+                shards: 4,
+                capacity: repo2.cache_capacity_for_ratio(0.25),
+                seed: 7,
+            },
+            None,
+        )
+        .unwrap(),
+    );
+    let inproc = run_load(&Target::InProcess(Arc::clone(&service2)), &repo2, &trace, 1).unwrap();
+    assert_eq!(report.observed, inproc.observed);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_tcp_clients_conserve_requests() {
+    let (repo, service, handle) = start(4);
+    let trace = Trace::from_generator(RequestGenerator::new(24, 0.27, 0, 2_000, 11));
+    let report =
+        run_load(&Target::Tcp(handle.addr().to_string()), &repo, &trace, 4).expect("tcp load");
+    assert_eq!(report.observed.requests(), 2_000);
+    assert_eq!(report.observed, service.stats());
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_graceful_and_idempotent_per_handle() {
+    let (_repo, _service, handle) = start(1);
+    let addr = handle.addr();
+    let mut client = TcpCacheClient::connect(addr).unwrap();
+    assert!(!client.get(ClipId::new(2)).unwrap().hit);
+    client.quit().unwrap();
+    handle.shutdown();
+    // The port no longer accepts new work once shutdown returns.
+    let refused = TcpCacheClient::connect(addr).and_then(|mut c| c.get(ClipId::new(1)));
+    assert!(refused.is_err(), "server still serving after shutdown");
+}

@@ -138,6 +138,22 @@ impl LatencyStats {
         }
     }
 
+    /// Merge another run's latencies into this one.
+    ///
+    /// Counters and the maximum merge exactly in any order; `total_secs`
+    /// is a float sum and therefore order-invariant only up to rounding.
+    /// Percentiles sort the pooled samples, so they are exactly
+    /// order-invariant.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.total_secs += other.total_secs;
+        self.served += other.served;
+        self.unavailable += other.unavailable;
+        if other.max_secs > self.max_secs {
+            self.max_secs = other.max_secs;
+        }
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// The `q`-quantile (0 ≤ q ≤ 1) of served latencies by the
     /// nearest-rank method; 0 when nothing was served.
     pub fn percentile(&self, q: f64) -> f64 {
@@ -243,6 +259,37 @@ mod tests {
         assert_eq!(s.mean_secs(), 3.0);
         assert_eq!(s.max_secs, 4.0);
         assert!((s.unavailability() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_pools_samples_order_invariantly() {
+        let mut a = LatencyStats::default();
+        for v in [2.0, 8.0] {
+            a.record(StartupLatency::Ready(v));
+        }
+        a.record(StartupLatency::Unavailable);
+        let mut b = LatencyStats::default();
+        for v in [4.0, 1.0, 16.0] {
+            b.record(StartupLatency::Ready(v));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Counters, max and (binary-exact values) totals match both ways.
+        assert_eq!(ab.served, 5);
+        assert_eq!(ab.served, ba.served);
+        assert_eq!(ab.unavailable, ba.unavailable);
+        assert_eq!(ab.max_secs, 16.0);
+        assert_eq!(ab.total_secs, ba.total_secs);
+        // Percentiles come from the pooled, sorted samples.
+        assert_eq!(ab.percentile(0.5), ba.percentile(0.5));
+        assert_eq!(ab.percentile(0.5), 4.0);
+        assert_eq!(ab.mean_secs(), 31.0 / 5.0);
+        // Identity element.
+        let mut with_id = ab.clone();
+        with_id.merge(&LatencyStats::default());
+        assert_eq!(with_id, ab);
     }
 
     #[test]

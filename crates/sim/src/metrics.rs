@@ -73,12 +73,42 @@ impl HitStats {
     }
 
     /// Merge another counter set into this one.
+    ///
+    /// Merging is associative and commutative (all fields are integer
+    /// sums), so counters accumulated per shard, per client thread or
+    /// per sweep point merge to the same totals in any order — the
+    /// property the sharded serving layer's `stats()` relies on.
     pub fn merge(&mut self, other: &HitStats) {
         self.hits += other.hits;
         self.misses += other.misses;
         self.byte_hits += other.byte_hits;
         self.byte_misses += other.byte_misses;
         self.evictions += other.evictions;
+    }
+
+    /// Fold any number of counter sets into one (order-invariant).
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a HitStats>) -> HitStats {
+        let mut out = HitStats::new();
+        for s in stats {
+            out.merge(s);
+        }
+        out
+    }
+}
+
+impl std::iter::Sum for HitStats {
+    fn sum<I: Iterator<Item = HitStats>>(iter: I) -> HitStats {
+        let mut out = HitStats::new();
+        for s in iter {
+            out.merge(&s);
+        }
+        out
+    }
+}
+
+impl<'a> std::iter::Sum<&'a HitStats> for HitStats {
+    fn sum<I: Iterator<Item = &'a HitStats>>(iter: I) -> HitStats {
+        HitStats::merged(iter)
     }
 }
 
@@ -213,6 +243,59 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.requests(), 2);
         assert_eq!(a.evictions, 1);
+    }
+
+    /// Three distinct counter sets for the merge-algebra tests.
+    fn abc() -> [HitStats; 3] {
+        let mut a = HitStats::new();
+        a.record(true, ByteSize::mb(1), 0);
+        a.record(false, ByteSize::mb(2), 1);
+        let mut b = HitStats::new();
+        b.record(false, ByteSize::mb(30), 3);
+        let mut c = HitStats::new();
+        c.record(true, ByteSize::mb(7), 0);
+        c.record(true, ByteSize::mb(7), 0);
+        [a, b, c]
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let [a, b, c] = abc();
+        let forward = HitStats::merged([&a, &b, &c]);
+        let backward = HitStats::merged([&c, &b, &a]);
+        let rotated = HitStats::merged([&b, &c, &a]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward, rotated);
+        assert_eq!(forward.requests(), 5);
+        assert_eq!(forward.evictions, 4);
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity() {
+        let [a, b, c] = abc();
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // The zeroed set is the identity.
+        let mut with_id = left.clone();
+        with_id.merge(&HitStats::new());
+        assert_eq!(with_id, left);
+    }
+
+    #[test]
+    fn sum_folds_owned_and_borrowed() {
+        let [a, b, c] = abc();
+        let borrowed: HitStats = [&a, &b, &c].into_iter().sum();
+        let owned: HitStats = abc().into_iter().sum();
+        assert_eq!(borrowed, owned);
+        assert_eq!(borrowed, HitStats::merged([&a, &b, &c]));
     }
 
     #[test]

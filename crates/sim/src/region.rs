@@ -31,9 +31,28 @@ pub struct RoundOutcome {
 }
 
 impl RoundOutcome {
+    /// The all-zero outcome (the identity for [`merge`](Self::merge)).
+    pub const ZERO: RoundOutcome = RoundOutcome {
+        hits: 0,
+        admitted: 0,
+        rejected: 0,
+    };
+
     /// Devices able to display this round.
     pub fn throughput(&self) -> u64 {
         self.hits + self.admitted
+    }
+
+    /// All requests this round.
+    pub fn total(&self) -> u64 {
+        self.hits + self.admitted + self.rejected
+    }
+
+    /// Accumulate another round (order-invariant, associative).
+    pub fn merge(&mut self, other: &RoundOutcome) {
+        self.hits += other.hits;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
     }
 }
 
@@ -47,12 +66,22 @@ pub struct RegionReport {
 }
 
 impl RegionReport {
+    /// All rounds folded into one outcome — the single aggregation the
+    /// report's derived metrics share.
+    pub fn totals(&self) -> RoundOutcome {
+        let mut total = RoundOutcome::ZERO;
+        for r in &self.rounds {
+            total.merge(r);
+        }
+        total
+    }
+
     /// Mean per-round throughput.
     pub fn mean_throughput(&self) -> f64 {
         if self.rounds.is_empty() {
             return 0.0;
         }
-        self.rounds.iter().map(|r| r.throughput()).sum::<u64>() as f64 / self.rounds.len() as f64
+        self.totals().throughput() as f64 / self.rounds.len() as f64
     }
 
     /// Mean per-round rejection count.
@@ -60,21 +89,16 @@ impl RegionReport {
         if self.rounds.is_empty() {
             return 0.0;
         }
-        self.rounds.iter().map(|r| r.rejected).sum::<u64>() as f64 / self.rounds.len() as f64
+        self.totals().rejected as f64 / self.rounds.len() as f64
     }
 
     /// Aggregate hit rate across devices and rounds.
     pub fn aggregate_hit_rate(&self) -> f64 {
-        let hits: u64 = self.rounds.iter().map(|r| r.hits).sum();
-        let total: u64 = self
-            .rounds
-            .iter()
-            .map(|r| r.hits + r.admitted + r.rejected)
-            .sum();
-        if total == 0 {
+        let total = self.totals();
+        if total.total() == 0 {
             0.0
         } else {
-            hits as f64 / total as f64
+            total.hits as f64 / total.total() as f64
         }
     }
 }
@@ -95,11 +119,7 @@ impl RegionSim {
     pub fn run(&mut self, rounds: u64) -> RegionReport {
         let mut outcomes = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
-            let mut out = RoundOutcome {
-                hits: 0,
-                admitted: 0,
-                rejected: 0,
-            };
+            let mut out = RoundOutcome::ZERO;
             let mut reservations = Vec::new();
             for dev in &mut self.devices {
                 let Some(req) = dev.next_request() else {
@@ -217,5 +237,36 @@ mod tests {
         assert_eq!(report.mean_throughput(), 2.0);
         assert_eq!(report.mean_rejections(), 0.0);
         assert_eq!(report.aggregate_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn totals_merge_round_outcomes() {
+        let a = RoundOutcome {
+            hits: 3,
+            admitted: 2,
+            rejected: 1,
+        };
+        let b = RoundOutcome {
+            hits: 1,
+            admitted: 0,
+            rejected: 4,
+        };
+        let report = RegionReport {
+            devices: 6,
+            rounds: vec![a, b],
+        };
+        let total = report.totals();
+        assert_eq!(total.hits, 4);
+        assert_eq!(total.admitted, 2);
+        assert_eq!(total.rejected, 5);
+        assert_eq!(total.total(), 11);
+        // merge is order-invariant with ZERO as the identity.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        ba.merge(&RoundOutcome::ZERO);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, total);
     }
 }

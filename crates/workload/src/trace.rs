@@ -90,6 +90,72 @@ impl Trace {
         }
     }
 
+    /// Split into `n` sub-traces, request `i` going to partition
+    /// `i % n`. Timestamps are preserved, so each partition is itself a
+    /// valid (strictly increasing) trace and
+    /// [`merge_by_time`](Self::merge_by_time) reconstructs the original.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn partition_round_robin(&self, n: usize) -> Vec<Trace> {
+        self.partition_by(n, |i, _| i % n)
+    }
+
+    /// Split into `n` sub-traces with an arbitrary assignment of each
+    /// request to a partition — e.g. by clip-id hash, the routing the
+    /// sharded serving layer uses. `assign` receives the request's index
+    /// and the request; timestamps are preserved.
+    ///
+    /// # Panics
+    /// If `n == 0` or `assign` returns an index `≥ n`.
+    pub fn partition_by(
+        &self,
+        n: usize,
+        mut assign: impl FnMut(usize, &Request) -> usize,
+    ) -> Vec<Trace> {
+        assert!(n > 0, "cannot partition into zero parts");
+        let mut parts = vec![Vec::new(); n];
+        for (i, r) in self.requests.iter().enumerate() {
+            let p = assign(i, r);
+            assert!(p < n, "partition index {p} out of range for {n} parts");
+            parts[p].push(*r);
+        }
+        parts
+            .into_iter()
+            .map(|requests| Trace { requests })
+            .collect()
+    }
+
+    /// Merge partitions back into one trace ordered by timestamp — the
+    /// inverse of [`partition_round_robin`](Self::partition_round_robin)
+    /// and [`partition_by`](Self::partition_by).
+    ///
+    /// # Panics
+    /// If two partitions share a timestamp (the merged sequence would not
+    /// be strictly increasing).
+    pub fn merge_by_time(parts: &[Trace]) -> Trace {
+        let total = parts.iter().map(|p| p.len()).sum();
+        let mut requests = Vec::with_capacity(total);
+        // K-way merge over the (already sorted) partitions.
+        let mut cursors = vec![0usize; parts.len()];
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, part) in parts.iter().enumerate() {
+                let Some(r) = part.requests.get(cursors[i]) else {
+                    continue;
+                };
+                match best {
+                    Some(b) if parts[b].requests[cursors[b]].at <= r.at => {}
+                    _ => best = Some(i),
+                }
+            }
+            let Some(b) = best else { break };
+            requests.push(parts[b].requests[cursors[b]]);
+            cursors[b] += 1;
+        }
+        Trace::from_requests(requests)
+    }
+
     /// Serialize to a JSON string:
     /// `{"requests":[{"at":1,"clip":5},…]}` — the same shape serde
     /// derives, but emitted directly so archival works in offline builds
@@ -279,6 +345,56 @@ mod tests {
         assert!(err.to_string().contains("xyz"));
         let err = Trace::from_plain_text("0\n").unwrap_err();
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn round_robin_partition_and_merge_invert() {
+        let t = Trace::from_clip_ids(ids(&[3, 1, 4, 1, 5, 9, 2, 6]));
+        for n in 1..=4 {
+            let parts = t.partition_round_robin(n);
+            assert_eq!(parts.len(), n);
+            assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), t.len());
+            assert_eq!(Trace::merge_by_time(&parts), t);
+        }
+        // Partition 0 of 3 holds requests 0, 3, 6 with original stamps.
+        let parts = t.partition_round_robin(3);
+        assert_eq!(
+            parts[0].requests()[1],
+            Request::new(Timestamp(4), ClipId::new(1))
+        );
+    }
+
+    #[test]
+    fn partition_by_routes_on_request() {
+        let t = Trace::from_clip_ids(ids(&[3, 1, 4, 1, 5]));
+        // Route by clip-id parity, as a shard router would.
+        let parts = t.partition_by(2, |_, r| (r.clip.get() % 2) as usize);
+        assert_eq!(parts[0].len(), 1); // clip 4
+        assert_eq!(parts[1].len(), 4); // clips 3, 1, 1, 5
+        assert_eq!(parts[0].requests()[0].at, Timestamp(3));
+        assert_eq!(Trace::merge_by_time(&parts), t);
+    }
+
+    #[test]
+    fn partition_handles_empty_parts() {
+        let t = Trace::from_clip_ids(ids(&[2, 2]));
+        let parts = t.partition_by(4, |_, _| 1);
+        assert!(parts[0].is_empty() && parts[2].is_empty() && parts[3].is_empty());
+        assert_eq!(parts[1], t);
+        assert_eq!(Trace::merge_by_time(&parts), t);
+        assert!(Trace::merge_by_time(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn partition_into_zero_rejected() {
+        Trace::from_clip_ids(ids(&[1])).partition_round_robin(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_index_out_of_range_rejected() {
+        Trace::from_clip_ids(ids(&[1])).partition_by(2, |_, _| 5);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Property tests of trace partitioning: a seeded trace is byte-identical
+//! however it is split across shards or client threads, because
+//! partitioning preserves requests (with timestamps) and
+//! `merge_by_time` is its exact inverse.
+//!
+//! The `proptest!` cases draw arbitrary part counts and routings when the
+//! real `proptest` crate is available; the plain `#[test]`s keep a
+//! deterministic grid of the same properties alive under the offline stub
+//! (see `vendor/README.md`).
+
+use clipcache_workload::locality::StackModelGenerator;
+use clipcache_workload::{RequestGenerator, Trace};
+use proptest::prelude::*;
+
+/// SplitMix64 — the same routing hash family the serving layer uses to
+/// pick a shard from a clip id.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn zipf_trace(seed: u64, n: u64) -> Trace {
+    Trace::from_generator(RequestGenerator::new(50, 0.27, 0, n, seed))
+}
+
+fn locality_trace(seed: u64, n: u64) -> Trace {
+    Trace::from_requests(StackModelGenerator::new(50, 0.27, 0.6, 8, n, seed).collect())
+}
+
+/// Partition by shard-routing hash, merge back, and require the original
+/// trace — byte-identical via JSON text, not just structural equality.
+fn assert_partition_invertible(trace: &Trace, parts: usize) {
+    let by_hash = trace.partition_by(parts, |_, r| {
+        (mix(r.clip.get() as u64) % parts as u64) as usize
+    });
+    assert_eq!(by_hash.len(), parts);
+    let merged = Trace::merge_by_time(&by_hash);
+    assert_eq!(&merged, trace);
+    assert_eq!(merged.to_json(), trace.to_json());
+
+    let round_robin = trace.partition_round_robin(parts);
+    assert_eq!(
+        Trace::merge_by_time(&round_robin).to_json(),
+        trace.to_json()
+    );
+}
+
+#[test]
+fn zipf_trace_survives_partitioning_on_a_grid() {
+    for seed in [1u64, 42, 0x5EED_2007] {
+        let trace = zipf_trace(seed, 500);
+        // The seeded generator is deterministic: regenerating yields the
+        // identical bytes regardless of how many workers will replay it.
+        assert_eq!(trace.to_json(), zipf_trace(seed, 500).to_json());
+        for parts in [1usize, 2, 3, 4, 8] {
+            assert_partition_invertible(&trace, parts);
+        }
+    }
+}
+
+#[test]
+fn locality_trace_survives_partitioning_on_a_grid() {
+    for seed in [7u64, 99] {
+        let trace = locality_trace(seed, 400);
+        assert_eq!(trace.to_json(), locality_trace(seed, 400).to_json());
+        for parts in [1usize, 2, 5] {
+            assert_partition_invertible(&trace, parts);
+        }
+    }
+}
+
+#[test]
+fn partitions_preserve_per_clip_order() {
+    // Every partition must see its clips in the original relative order —
+    // the property that makes per-shard replay equivalent to routing a
+    // live request stream.
+    let trace = zipf_trace(3, 300);
+    let parts = trace.partition_by(4, |_, r| (mix(r.clip.get() as u64) % 4) as usize);
+    for part in &parts {
+        for pair in part.requests().windows(2) {
+            assert!(pair[0].at < pair[1].at);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn zipf_partitioning_is_invertible(seed in 0u64..1000, parts in 1usize..9, n in 1u64..300) {
+        let trace = zipf_trace(seed, n);
+        prop_assert_eq!(trace.to_json(), zipf_trace(seed, n).to_json());
+        let split = trace.partition_by(parts, |_, r| (mix(r.clip.get() as u64) % parts as u64) as usize);
+        prop_assert_eq!(Trace::merge_by_time(&split).to_json(), trace.to_json());
+    }
+
+    #[test]
+    fn round_robin_partitioning_is_invertible(seed in 0u64..1000, parts in 1usize..9, n in 0u64..300) {
+        let trace = zipf_trace(seed, n);
+        let split = trace.partition_round_robin(parts);
+        prop_assert_eq!(Trace::merge_by_time(&split).to_json(), trace.to_json());
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`workload`] — deterministic Zipfian request generation and traces,
 //! * [`core`] — the cache-policy library (the paper's contribution),
 //! * [`sim`] — the client/server streaming simulator and metrics,
+//! * [`serve`] — the sharded concurrent cache service, TCP front-end and
+//!   closed-loop load harness,
 //! * [`experiments`] — per-figure experiment harness.
 
 pub use clipcache_core as core;
@@ -39,5 +41,6 @@ pub mod prelude {
 }
 pub use clipcache_experiments as experiments;
 pub use clipcache_media as media;
+pub use clipcache_serve as serve;
 pub use clipcache_sim as sim;
 pub use clipcache_workload as workload;
