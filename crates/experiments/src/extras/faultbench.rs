@@ -1,0 +1,197 @@
+//! Fault bench: effective hit rate vs injected fault rate.
+//!
+//! The chaos harness's headline claim, as a figure: because every
+//! injected fault is recovered by the bounded retry loop, the *effective*
+//! hit rate the clients observe barely moves as the fault rate climbs —
+//! faults cost retries and duplicate server work, not correctness. Two
+//! series inject only lossless wire faults (dropped-before-send
+//! connections, garbage lines, torn writes), which leave the cache state
+//! bit-identical to a clean run; two more add reply loss and shard
+//! poisoning, whose duplicate processing and checkpoint rewinds perturb
+//! cache state slightly. A retry-cost series (retries per 1k requests,
+//! all five kinds) shows what resilience costs instead.
+//!
+//! The run is deterministic and jobs-invariant: one closed-loop client
+//! replays the trace in order and the fault schedule is a pure function
+//! of `(client, request, attempt)`, so the figure is byte-identical at
+//! any `--jobs` value. Nothing wall-clock is reported.
+
+use crate::context::ExperimentContext;
+use crate::report::{FigureResult, Series};
+use clipcache_core::{PolicyKind, PolicySpec};
+use clipcache_media::paper;
+use clipcache_serve::{
+    run_load_with, CacheService, FaultKind, FaultPlan, LoadOptions, RetryPolicy, ServiceConfig,
+    Target,
+};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::sync::Arc;
+
+/// The injected fault rates swept (probability per request attempt).
+pub const RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+
+const CLIPS: usize = 100;
+const RATIO: f64 = 0.25;
+const SHARDS: usize = 2;
+
+struct Cell {
+    hit_rate: f64,
+    retries_per_1k: f64,
+}
+
+fn run_cell(
+    repo: &Arc<clipcache_media::Repository>,
+    policy: PolicySpec,
+    rate: f64,
+    kinds: &[FaultKind],
+    seed: u64,
+    trace: &Trace,
+) -> Cell {
+    let service = Arc::new(
+        CacheService::new(
+            Arc::clone(repo),
+            ServiceConfig {
+                policy,
+                shards: SHARDS,
+                capacity: repo.cache_capacity_for_ratio(RATIO),
+                seed,
+            },
+            None,
+        )
+        .expect("on-line policies build without frequencies"),
+    );
+    let options = LoadOptions {
+        clients: 1,
+        faults: Some(FaultPlan::with_kinds(seed ^ 0xFA017, rate, kinds)),
+        retry: RetryPolicy::default(),
+        read_timeout: None,
+    };
+    let report = run_load_with(&Target::InProcess(service), repo, trace, &options)
+        .expect("in-process chaos load cannot fail");
+    assert!(report.conserved(), "chaos invariant violated in faultbench");
+    Cell {
+        hit_rate: report.observed.hit_rate(),
+        retries_per_1k: report.chaos.retries as f64 * 1_000.0 / report.chaos.delivered as f64,
+    }
+}
+
+/// Run the fault-rate sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<FigureResult> {
+    let repo = Arc::new(paper::variable_sized_repository_of(CLIPS));
+    let seed = ctx.sub_seed(0xFA_17B);
+    let trace = Trace::from_generator(RequestGenerator::new(
+        CLIPS,
+        0.27,
+        0,
+        ctx.requests(20_000),
+        seed,
+    ));
+    let configs: [(&str, PolicySpec, &[FaultKind]); 5] = [
+        (
+            "LRU, lossless faults",
+            PolicyKind::Lru.into(),
+            &FaultKind::LOSSLESS,
+        ),
+        (
+            "DYNSimple(K=2), lossless faults",
+            PolicyKind::DynSimple { k: 2 }.into(),
+            &FaultKind::LOSSLESS,
+        ),
+        ("LRU, all faults", PolicyKind::Lru.into(), &FaultKind::ALL),
+        (
+            "DYNSimple(K=2), all faults",
+            PolicyKind::DynSimple { k: 2 }.into(),
+            &FaultKind::ALL,
+        ),
+        (
+            "LRU retries per 1k requests",
+            PolicyKind::Lru.into(),
+            &FaultKind::ALL,
+        ),
+    ];
+
+    // Fan the (rate, config) grid out as independent points.
+    let grid: Vec<(usize, usize)> = RATES
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, _)| (0..configs.len()).map(move |ci| (ri, ci)))
+        .collect();
+    let cells = ctx.run_points(&grid, |_, &(ri, ci)| {
+        let cell = run_cell(&repo, configs[ci].1, RATES[ri], configs[ci].2, seed, &trace);
+        if ci == configs.len() - 1 {
+            cell.retries_per_1k
+        } else {
+            cell.hit_rate
+        }
+    });
+
+    let series: Vec<Series> = configs
+        .iter()
+        .enumerate()
+        .map(|(ci, (name, _, _))| {
+            let values = (0..RATES.len())
+                .map(|ri| cells[ri * configs.len() + ci])
+                .collect();
+            Series::new((*name).to_string(), values)
+        })
+        .collect();
+
+    vec![FigureResult::new(
+        "faultbench",
+        "Effective hit rate vs injected fault rate (1 client, bounded deterministic retries)",
+        "fault rate",
+        RATES.iter().map(|r| format!("{r}")).collect(),
+        series,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_column_matches_the_clean_service() {
+        let ctx = ExperimentContext::at_scale(0.1);
+        let fig = run(&ctx).remove(0);
+        let lossless = fig.series_named("LRU, lossless faults").unwrap();
+        let all = fig.series_named("LRU, all faults").unwrap();
+        // Rate 0: both fault sets are the clean run, so the columns agree
+        // exactly — the figure's own serial-equivalence anchor.
+        assert_eq!(lossless.values[0], all.values[0]);
+        let retries = fig.series_named("LRU retries per 1k requests").unwrap();
+        assert_eq!(retries.values[0], 0.0, "clean run must not retry");
+    }
+
+    #[test]
+    fn lossless_series_is_flat_in_hit_rate() {
+        // Lossless faults never reach the cache: every column of the
+        // lossless series equals the fault-free column bit for bit.
+        let ctx = ExperimentContext::at_scale(0.1);
+        let fig = run(&ctx).remove(0);
+        let lossless = fig.series_named("LRU, lossless faults").unwrap();
+        for (i, v) in lossless.values.iter().enumerate() {
+            assert_eq!(*v, lossless.values[0], "column {i} drifted");
+        }
+    }
+
+    #[test]
+    fn retry_cost_grows_with_fault_rate() {
+        let ctx = ExperimentContext::at_scale(0.1);
+        let fig = run(&ctx).remove(0);
+        let retries = fig.series_named("LRU retries per 1k requests").unwrap();
+        assert!(
+            retries.values.last().unwrap() > retries.values.first().unwrap(),
+            "retry cost must rise with the fault rate"
+        );
+    }
+
+    #[test]
+    fn figure_is_jobs_invariant() {
+        let serial_ctx = ExperimentContext::at_scale(0.05);
+        let figs1 = run(&serial_ctx);
+        let mut parallel_ctx = ExperimentContext::at_scale(0.05);
+        parallel_ctx.jobs = 4;
+        let figs4 = run(&parallel_ctx);
+        assert_eq!(figs1[0].to_csv(), figs4[0].to_csv());
+    }
+}

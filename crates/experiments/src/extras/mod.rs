@@ -7,6 +7,7 @@ pub mod bypass;
 pub mod composition;
 pub mod coop;
 pub mod equivalence;
+pub mod faultbench;
 pub mod fleet;
 pub mod ksweep;
 pub mod latency;

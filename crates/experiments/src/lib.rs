@@ -64,6 +64,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "restart",
     "fleet",
     "servebench",
+    "faultbench",
     "optimality",
 ];
 
@@ -99,6 +100,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "fleet" => "adoption curve: regional throughput as devices upgrade LRU-2 -> DYNSimple",
         "optimality" => "distance to Belady's clairvoyant MIN on equi-sized clips",
         "servebench" => "serving layer: sharded-service hit rate vs shard count (serial reference)",
+        "faultbench" => "serving layer: effective hit rate vs injected fault rate (chaos harness)",
         _ => return None,
     })
 }
@@ -131,6 +133,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<FigureRes
         "streaming" => extras::streaming::run(ctx),
         "locality" => extras::locality::run(ctx),
         "servebench" => extras::servebench::run(ctx),
+        "faultbench" => extras::faultbench::run(ctx),
         "loglaw" => extras::loglaw::run(ctx),
         "sizes" => extras::sizes::run(ctx),
         "ablation" => extras::ablation::run(ctx),

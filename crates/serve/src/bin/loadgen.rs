@@ -4,12 +4,26 @@
 //! loadgen [--target inproc|host:port] [--policy spec] [--shards n]
 //!         [--clients n] [--requests n] [--clips n] [--theta f]
 //!         [--ratio f] [--seed n|0xHEX] [--check-serial tol]
+//!         [--faults spec] [--retries n] [--backoff-ms n]
+//!         [--chaos-report path]
 //! ```
 //!
 //! Replays a seeded Zipf trace from `--clients` closed-loop threads
 //! against the in-process service (`--target inproc`, the default) or a
 //! running `serve` front-end, then reports hit rate, throughput and
 //! latency percentiles.
+//!
+//! `--faults` switches the replay into chaos mode: the spec (e.g.
+//! `rate=0.02,seed=7,kinds=drop-pre+garbage+torn+poison`) seeds a
+//! deterministic fault schedule; each injected fault is recovered by a
+//! bounded retry loop (`--retries`, default 4) with jitter-free
+//! exponential backoff starting at `--backoff-ms` (default 0). After a
+//! chaos run the delivery invariants are checked (every request's reply
+//! delivered exactly once; hits + misses == delivered) and the run
+//! fails loudly if they don't hold. `--chaos-report path` additionally
+//! writes the deterministic, wall-clock-free chaos summary to `path`
+//! (or stdout with `-`) — two runs with the same flags must produce
+//! byte-identical reports, which CI pins against a committed golden.
 //!
 //! `--check-serial tol` compares the run's hit statistics against the
 //! serial simulator replaying the same trace (policy seeded like shard 0
@@ -22,10 +36,14 @@
 //! with so the baseline matches.
 
 use clipcache_media::paper;
-use clipcache_serve::{run_load, serial_baseline, CacheService, ServiceConfig, Target};
+use clipcache_serve::{
+    run_load_with, serial_baseline, CacheService, FaultPlan, LoadOptions, RetryPolicy,
+    ServiceConfig, Target,
+};
 use clipcache_workload::{RequestGenerator, Trace};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     target: String,
@@ -38,6 +56,9 @@ struct Args {
     ratio: f64,
     seed: u64,
     check_serial: Option<f64>,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
+    chaos_report: Option<String>,
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -62,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
         ratio: 0.25,
         seed: 0x5EED_2007,
         check_serial: None,
+        faults: None,
+        retry: RetryPolicy::default(),
+        chaos_report: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -113,14 +137,38 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.check_serial = Some(tol);
             }
+            "--faults" => {
+                let v = argv
+                    .next()
+                    .ok_or("--faults needs a spec (e.g. rate=0.02)")?;
+                args.faults = Some(FaultPlan::parse(&v).map_err(|e| format!("bad --faults: {e}"))?);
+            }
+            "--retries" => {
+                let v = argv.next().ok_or("--retries needs a count")?;
+                args.retry.max_retries = v.parse().map_err(|e| format!("bad --retries: {e}"))?;
+            }
+            "--backoff-ms" => {
+                let v = argv.next().ok_or("--backoff-ms needs milliseconds")?;
+                let ms: u64 = v.parse().map_err(|e| format!("bad --backoff-ms: {e}"))?;
+                args.retry.base_backoff = Duration::from_millis(ms);
+            }
+            "--chaos-report" => {
+                args.chaos_report = Some(argv.next().ok_or("--chaos-report needs a path or -")?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--target inproc|host:port] [--policy spec] \
                      [--shards n] [--clients n] [--requests n] [--clips n] \
-                     [--theta f] [--ratio f] [--seed n|0xHEX] [--check-serial tol]\n\
+                     [--theta f] [--ratio f] [--seed n|0xHEX] [--check-serial tol] \
+                     [--faults spec] [--retries n] [--backoff-ms n] \
+                     [--chaos-report path|-]\n\
                      --check-serial 0 demands bit-for-bit equality with the \
                      serial simulator (valid for --shards 1 --clients 1); \
-                     tol > 0 allows that hit-rate deviation for sharded runs"
+                     tol > 0 allows that hit-rate deviation for sharded runs\n\
+                     --faults rate=0.02,seed=7,kinds=drop-pre+drop-post+garbage+torn+poison \
+                     injects a deterministic fault schedule recovered by \
+                     --retries (default 4) with jitter-free exponential \
+                     backoff from --backoff-ms (default 0)"
                         .into(),
                 )
             }
@@ -173,7 +221,13 @@ fn main() -> ExitCode {
         None => Target::Tcp(args.target.clone()),
     };
 
-    let report = match run_load(&target, &repo, &trace, args.clients) {
+    let options = LoadOptions {
+        clients: args.clients,
+        faults: args.faults.clone(),
+        retry: args.retry,
+        read_timeout: None,
+    };
+    let report = match run_load_with(&target, &repo, &trace, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("load run failed: {e}");
@@ -209,10 +263,56 @@ fn main() -> ExitCode {
         us(lat.percentile_nanos(0.99)),
         us(lat.max_nanos())
     );
-    if let Some(service) = &service {
+    if args.faults.is_some() {
+        let c = &report.chaos;
+        println!(
+            "chaos injected={} (drop_pre={} drop_post={} garbage={} torn={} poison={}) \
+             retries={} reconnects={} err_replies={} recoveries={}",
+            c.injected(),
+            c.drops_before,
+            c.drops_after,
+            c.garbage,
+            c.torn,
+            c.poisons,
+            c.retries,
+            c.reconnects,
+            c.err_replies,
+            report.recoveries
+        );
+        // The delivery invariants: every request's reply reached its
+        // client exactly once, and each was recorded exactly once.
+        if report.chaos.delivered != args.requests {
+            eprintln!(
+                "chaos invariant FAILED: delivered {} of {} requests",
+                report.chaos.delivered, args.requests
+            );
+            return ExitCode::FAILURE;
+        }
+        if !report.conserved() {
+            eprintln!("chaos invariant FAILED: hits + misses != delivered");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "chaos invariants hold: delivered={} exactly once",
+            c.delivered
+        );
+    } else if let Some(service) = &service {
+        // Clean runs only: under chaos, duplicate processing (lost
+        // replies) and checkpoint rewinds (poison recovery) legitimately
+        // shift the server-side counters, so the client-observed side is
+        // the authoritative one.
         let server_side = service.stats();
         if server_side != report.observed {
             eprintln!("server-side stats disagree with client-observed stats");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.chaos_report {
+        let rendered = report.chaos_report();
+        if path == "-" {
+            print!("{rendered}");
+        } else if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("cannot write chaos report to {path}: {e}");
             return ExitCode::FAILURE;
         }
     }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! serve [--addr host:port] [--policy spec] [--shards n] [--clips n]
-//!       [--ratio f] [--seed n|0xHEX]
+//!       [--ratio f] [--seed n|0xHEX] [--max-conns n]
+//!       [--read-timeout ms] [--chaos]
 //! ```
 //!
 //! Binds, prints `listening on <addr>`, then serves the line protocol
@@ -12,12 +13,18 @@
 //! paper's variable-sized catalog of `--clips` clips; `--ratio` sets the
 //! total cache budget as a fraction of the repository, split evenly
 //! across `--shards` shards.
+//!
+//! Resilience knobs: `--max-conns` refuses connections beyond the limit
+//! with `ERR server busy`; `--read-timeout` reclaims connections idle
+//! for that many milliseconds with `ERR idle timeout`; `--chaos` honors
+//! the `POISON` fault-injection command (refused otherwise).
 
 use clipcache_media::paper;
-use clipcache_serve::{serve, CacheService, ServiceConfig};
+use clipcache_serve::{serve_with, CacheService, ServerConfig, ServiceConfig};
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     addr: String,
@@ -26,6 +33,7 @@ struct Args {
     clips: usize,
     ratio: f64,
     seed: u64,
+    server: ServerConfig,
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -46,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         clips: 100,
         ratio: 0.25,
         seed: 0x5EED_2007,
+        server: ServerConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -74,11 +83,31 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--seed needs a value")?;
                 args.seed = parse_u64(&v).map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--max-conns" => {
+                let v = argv.next().ok_or("--max-conns needs a count")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --max-conns: {e}"))?;
+                if n == 0 {
+                    return Err("--max-conns must be at least 1".into());
+                }
+                args.server.max_conns = Some(n);
+            }
+            "--read-timeout" => {
+                let v = argv.next().ok_or("--read-timeout needs milliseconds")?;
+                let ms: u64 = v.parse().map_err(|e| format!("bad --read-timeout: {e}"))?;
+                if ms == 0 {
+                    return Err("--read-timeout must be at least 1 ms".into());
+                }
+                args.server.read_timeout = Some(Duration::from_millis(ms));
+            }
+            "--chaos" => args.server.chaos = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: serve [--addr host:port] [--policy spec] [--shards n] \
-                     [--clips n] [--ratio f] [--seed n|0xHEX]\n\
-                     serves until stdin closes or reads a `quit` line"
+                     [--clips n] [--ratio f] [--seed n|0xHEX] [--max-conns n] \
+                     [--read-timeout ms] [--chaos]\n\
+                     serves until stdin closes or reads a `quit` line;\n\
+                     --max-conns refuses excess connections with ERR server busy,\n\
+                     --read-timeout reclaims idle connections, --chaos honors POISON"
                         .into(),
                 )
             }
@@ -114,7 +143,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let handle = match serve(service, &args.addr) {
+    let handle = match serve_with(service, &args.addr, args.server) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("cannot bind {}: {e}", args.addr);

@@ -1,11 +1,18 @@
 //! A blocking line-protocol client for the TCP front-end.
+//!
+//! Besides the plain request/reply surface, the client exposes the
+//! hooks the chaos harness drives: an optional per-request read
+//! timeout (a request whose reply never arrives surfaces as a timeout
+//! `io::Error` the retry loop can act on, instead of blocking
+//! forever), raw-byte injection ([`send_raw`](TcpCacheClient::send_raw))
+//! and torn writes ([`get_torn`](TcpCacheClient::get_torn)).
 
-use crate::protocol::{parse_get, parse_stats};
+use crate::protocol::{parse_get, parse_poisoned, parse_stats, ServerStats};
 use crate::shard::GetOutcome;
 use clipcache_media::ClipId;
-use clipcache_sim::metrics::HitStats;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One connection to a serve front-end.
 pub struct TcpCacheClient {
@@ -14,10 +21,21 @@ pub struct TcpCacheClient {
 }
 
 impl TcpCacheClient {
-    /// Connect to a server.
+    /// Connect to a server with no read timeout (replies block forever).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, None)
+    }
+
+    /// Connect to a server; with `read_timeout` set, a reply that takes
+    /// longer surfaces as a `WouldBlock`/`TimedOut` error — the
+    /// client-level timeout the chaos retry loop recovers from.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(read_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(TcpCacheClient {
             reader,
@@ -25,10 +43,7 @@ impl TcpCacheClient {
         })
     }
 
-    /// One request/reply round trip.
-    fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
-        self.writer.write_all(request.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+    fn read_reply(&mut self) -> std::io::Result<String> {
         let mut reply = String::new();
         if self.reader.read_line(&mut reply)? == 0 {
             return Err(std::io::Error::new(
@@ -37,6 +52,13 @@ impl TcpCacheClient {
             ));
         }
         Ok(reply.trim_end().to_string())
+    }
+
+    /// One request/reply round trip.
+    fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.read_reply()
     }
 
     fn protocol_err(msg: String) -> std::io::Error {
@@ -49,10 +71,41 @@ impl TcpCacheClient {
         parse_get(&reply).map_err(Self::protocol_err)
     }
 
-    /// `STATS`: the server's merged hit statistics.
-    pub fn stats(&mut self) -> std::io::Result<HitStats> {
+    /// `GET <clip>` delivered as a torn write: the request line reaches
+    /// the server in two flushed fragments. Wire-identical semantics —
+    /// only the framing is hostile.
+    pub fn get_torn(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        let request = format!("GET {}\n", clip.get());
+        let bytes = request.as_bytes();
+        let split = bytes.len() / 2;
+        self.writer.write_all(&bytes[..split])?;
+        self.writer.flush()?;
+        self.writer.write_all(&bytes[split..])?;
+        let reply = self.read_reply()?;
+        parse_get(&reply).map_err(Self::protocol_err)
+    }
+
+    /// Send one raw line (arbitrary bytes, newline appended) and return
+    /// the server's reply line verbatim. The chaos harness uses this to
+    /// inject garbage and assert the server answers `ERR` instead of
+    /// disconnecting.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<String> {
+        self.writer.write_all(bytes)?;
+        self.writer.write_all(b"\n")?;
+        self.read_reply()
+    }
+
+    /// `STATS`: the server's merged hit statistics and recovery count.
+    pub fn stats(&mut self) -> std::io::Result<ServerStats> {
         let reply = self.roundtrip("STATS")?;
         parse_stats(&reply).map_err(Self::protocol_err)
+    }
+
+    /// `POISON <clip>`: inject a shard-poisoning fault (the server must
+    /// be running with chaos enabled). Returns the poisoned shard.
+    pub fn poison(&mut self, clip: ClipId) -> std::io::Result<usize> {
+        let reply = self.roundtrip(&format!("POISON {}", clip.get()))?;
+        parse_poisoned(&reply).map_err(Self::protocol_err)
     }
 
     /// `SNAPSHOT`: the per-shard snapshot JSON array, verbatim.

@@ -1,0 +1,476 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! Failure is an *input* here, not an accident: a [`FaultPlan`] is a pure
+//! function from `(client, request, attempt)` to "what breaks now",
+//! derived with the same SplitMix64 discipline as shard seeds. Two runs
+//! with the same plan schedule byte-identical faults regardless of
+//! thread interleaving, because the decision never consults a clock, a
+//! socket, or another client's progress.
+//!
+//! Three levels of fault are modeled (the taxonomy in
+//! `docs/extending.md`):
+//!
+//! * **wire** — [`FaultKind::Garbage`] (junk bytes injected into the
+//!   line protocol), [`FaultKind::TornWrite`] (the request arrives in
+//!   fragments), [`FaultKind::DropBeforeSend`] /
+//!   [`FaultKind::DropAfterSend`] (the connection dies before the
+//!   request, or after the reply was computed but before the client
+//!   keeps it — the classic lost-response window);
+//! * **client** — bounded, deterministic retry: [`RetryPolicy`] gives
+//!   exponential backoff with *no jitter*, so the retry schedule is as
+//!   reproducible as the faults that trigger it. `GET` is idempotent at
+//!   the protocol level, which is what makes blind re-send after a lost
+//!   response safe;
+//! * **service** — [`FaultKind::PoisonShard`]: a panic while holding a
+//!   shard mutex, exercising the service's rebuild-from-checkpoint
+//!   recovery path (see `shard::Shard::recover`).
+//!
+//! [`ChaosStats`] counts what was injected and what it cost;
+//! [`chaos_report`](crate::loadgen::LoadReport::chaos_report) renders a
+//! wall-clock-free summary that CI pins against a committed golden.
+
+use crate::shard::splitmix64;
+use std::time::Duration;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The connection drops before the request is written. The server
+    /// never sees the request; the client reconnects and retries.
+    DropBeforeSend,
+    /// The reply is lost in flight: the server processes the request,
+    /// but the client discards the response and retries over a fresh
+    /// connection. The server therefore executes the request twice —
+    /// the duplicate the idempotent-GET retry makes harmless.
+    DropAfterSend,
+    /// A line of garbage bytes (including non-UTF-8) precedes the real
+    /// request. The server must answer `ERR` and keep the connection.
+    Garbage,
+    /// The request line reaches the server in two fragments (torn
+    /// write/read); its line reassembly must cope.
+    TornWrite,
+    /// A panic is injected while the clip's shard mutex is held,
+    /// poisoning it. The next access must recover the shard from its
+    /// checkpoint instead of wedging forever.
+    PoisonShard,
+}
+
+impl FaultKind {
+    /// Every kind, in the order the plan's selector indexes them.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::DropBeforeSend,
+        FaultKind::DropAfterSend,
+        FaultKind::Garbage,
+        FaultKind::TornWrite,
+        FaultKind::PoisonShard,
+    ];
+
+    /// The wire + client kinds — everything except shard poisoning,
+    /// which perturbs service state and is opted into explicitly.
+    pub const WIRE: [FaultKind; 4] = [
+        FaultKind::DropBeforeSend,
+        FaultKind::DropAfterSend,
+        FaultKind::Garbage,
+        FaultKind::TornWrite,
+    ];
+
+    /// The kinds that never reach the service core: the request either
+    /// isn't sent or is rejected at the parser, so a run injecting only
+    /// these kinds is bit-identical to a fault-free run once retried.
+    pub const LOSSLESS: [FaultKind; 3] = [
+        FaultKind::DropBeforeSend,
+        FaultKind::Garbage,
+        FaultKind::TornWrite,
+    ];
+
+    /// The spec spelling (`kinds=` values in `--faults`).
+    pub fn spelling(self) -> &'static str {
+        match self {
+            FaultKind::DropBeforeSend => "drop-pre",
+            FaultKind::DropAfterSend => "drop-post",
+            FaultKind::Garbage => "garbage",
+            FaultKind::TornWrite => "torn",
+            FaultKind::PoisonShard => "poison",
+        }
+    }
+
+    fn from_spelling(s: &str) -> Result<FaultKind, String> {
+        FaultKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.spelling() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown fault kind '{s}' (expected one of drop-pre, drop-post, \
+                     garbage, torn, poison)"
+                )
+            })
+    }
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// `decide(client, request, attempt)` hashes the coordinates with the
+/// plan seed; a fault fires when the hash lands below `rate` (stored in
+/// parts per million so the comparison is exact integer arithmetic),
+/// and the hash's high bits pick which enabled kind. The schedule is a
+/// pure function — no clocks, no shared state — so the same plan
+/// replayed against the same trace partitioning injects the same faults
+/// at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate_ppm: u32,
+    kinds: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// A plan injecting the wire kinds ([`FaultKind::WIRE`]) at `rate`
+    /// (a probability in `[0, 1]`, rounded to parts per million).
+    pub fn new(seed: u64, rate: f64) -> Self {
+        FaultPlan::with_kinds(seed, rate, &FaultKind::WIRE)
+    }
+
+    /// A plan restricted to `kinds` (must be non-empty).
+    ///
+    /// # Panics
+    /// If `kinds` is empty or `rate` is outside `[0, 1]`.
+    pub fn with_kinds(seed: u64, rate: f64, kinds: &[FaultKind]) -> Self {
+        assert!(!kinds.is_empty(), "a fault plan needs at least one kind");
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+        FaultPlan {
+            seed,
+            rate_ppm: (rate * 1_000_000.0).round() as u32,
+            kinds: kinds.to_vec(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault rate in parts per million.
+    pub fn rate_ppm(&self) -> u32 {
+        self.rate_ppm
+    }
+
+    /// Whether the plan can schedule `kind`.
+    pub fn includes(&self, kind: FaultKind) -> bool {
+        self.kinds.contains(&kind)
+    }
+
+    /// The fault (if any) scheduled for `attempt` of `request` on
+    /// `client`. Deterministic: same arguments, same answer, forever.
+    pub fn decide(&self, client: u64, request: u64, attempt: u32) -> Option<FaultKind> {
+        if self.rate_ppm == 0 {
+            return None;
+        }
+        let h = self.mix(client, request, attempt);
+        if h % 1_000_000 >= self.rate_ppm as u64 {
+            return None;
+        }
+        Some(self.kinds[((h / 1_000_000) % self.kinds.len() as u64) as usize])
+    }
+
+    /// A deterministic garbage payload for a scheduled
+    /// [`FaultKind::Garbage`] fault: 1–16 bytes derived from the same
+    /// coordinates, newline-free (so it stays one protocol line) and
+    /// deliberately including invalid UTF-8.
+    pub fn garbage_payload(&self, client: u64, request: u64, attempt: u32) -> Vec<u8> {
+        let mut h = self.mix(client, request, attempt).wrapping_add(1);
+        let len = 1 + (h % 16) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            h = splitmix64(h);
+            let b = (h & 0xFF) as u8;
+            // Keep it a single line; everything else — NULs, 0xFF,
+            // control bytes — is fair game for the parser.
+            bytes.push(if b == b'\n' || b == b'\r' { 0xFE } else { b });
+        }
+        bytes
+    }
+
+    fn mix(&self, client: u64, request: u64, attempt: u32) -> u64 {
+        splitmix64(
+            splitmix64(splitmix64(self.seed ^ 0x00FA_017F_A017 ^ client) ^ request)
+                ^ attempt as u64,
+        )
+    }
+
+    /// Parse a `--faults` spec: comma-separated `key=value` pairs.
+    ///
+    /// ```text
+    /// rate=0.02                       ; wire kinds, seed 0
+    /// rate=0.05,seed=7                ; wire kinds, seed 7
+    /// rate=0.05,seed=7,kinds=drop-pre+poison
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut rate: Option<f64> = None;
+        let mut seed = 0u64;
+        let mut kinds: Vec<FaultKind> = FaultKind::WIRE.to_vec();
+        for field in spec.split(',') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec field '{field}' is not key=value"))?;
+            match key {
+                "rate" => {
+                    let r: f64 = value
+                        .parse()
+                        .map_err(|_| format!("bad fault rate '{value}'"))?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(format!("fault rate {r} outside [0, 1]"));
+                    }
+                    rate = Some(r);
+                }
+                "seed" => {
+                    seed = match value
+                        .strip_prefix("0x")
+                        .or_else(|| value.strip_prefix("0X"))
+                    {
+                        Some(hex) => u64::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad fault seed '{value}'"))?,
+                        None => value
+                            .parse()
+                            .map_err(|_| format!("bad fault seed '{value}'"))?,
+                    };
+                }
+                "kinds" => {
+                    kinds = value
+                        .split('+')
+                        .map(FaultKind::from_spelling)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if kinds.is_empty() {
+                        return Err("kinds= needs at least one fault kind".into());
+                    }
+                }
+                other => return Err(format!("unknown fault spec key '{other}'")),
+            }
+        }
+        let rate = rate.ok_or("fault spec needs rate= (e.g. rate=0.02)")?;
+        Ok(FaultPlan {
+            seed,
+            rate_ppm: (rate * 1_000_000.0).round() as u32,
+            kinds,
+        })
+    }
+
+    /// The canonical spec spelling ([`parse`](Self::parse) inverts it).
+    pub fn spelling(&self) -> String {
+        let kinds: Vec<&str> = self.kinds.iter().map(|k| k.spelling()).collect();
+        format!(
+            "rate={:.6},seed={},kinds={}",
+            self.rate_ppm as f64 / 1_000_000.0,
+            self.seed,
+            kinds.join("+")
+        )
+    }
+}
+
+/// Bounded retry with deterministic (jitter-free) exponential backoff.
+///
+/// Attempt `n` (0-based) that fails waits `base * 2^n` before the next
+/// try. Jitter is deliberately absent: the whole chaos harness trades
+/// the thundering-herd protection jitter buys in production for exact
+/// reproducibility. `max_retries` bounds the *injected* failures per
+/// request too — a plan never schedules more faults for a request than
+/// the client has retries, so every request is eventually delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before retry 1; doubles each retry after that.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retrying after failed attempt `attempt`
+    /// (0-based): `base * 2^attempt`, saturating.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+    }
+}
+
+/// What a chaos run injected and what the client paid for it.
+///
+/// Every field is schedule-independent: counts derive from the fault
+/// plan's pure decisions plus the per-request retry loop, never from
+/// wall-clock time, so merged stats are byte-identical across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections dropped before the request was sent.
+    pub drops_before: u64,
+    /// Replies dropped after the server processed the request.
+    pub drops_after: u64,
+    /// Garbage lines injected into the protocol.
+    pub garbage: u64,
+    /// Requests delivered as torn (fragmented) writes.
+    pub torn: u64,
+    /// Shard-poison faults injected.
+    pub poisons: u64,
+    /// Retries performed (injected faults + real I/O errors).
+    pub retries: u64,
+    /// Reconnections performed.
+    pub reconnects: u64,
+    /// `ERR` replies observed for injected garbage.
+    pub err_replies: u64,
+    /// Requests whose final reply reached the client.
+    pub delivered: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected.
+    pub fn injected(&self) -> u64 {
+        self.drops_before + self.drops_after + self.garbage + self.torn + self.poisons
+    }
+
+    /// Fold another client's counters into this one (order-invariant).
+    pub fn merge(&mut self, other: &ChaosStats) {
+        self.drops_before += other.drops_before;
+        self.drops_after += other.drops_after;
+        self.garbage += other.garbage;
+        self.torn += other.torn;
+        self.poisons += other.poisons;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        self.err_replies += other.err_replies;
+        self.delivered += other.delivered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_bounded() {
+        let plan = FaultPlan::with_kinds(7, 0.05, &FaultKind::ALL);
+        let mut fired = 0u64;
+        for client in 0..4u64 {
+            for request in 0..2_000u64 {
+                let first = plan.decide(client, request, 0);
+                assert_eq!(first, plan.decide(client, request, 0));
+                if first.is_some() {
+                    fired += 1;
+                }
+            }
+        }
+        // 8000 trials at 5%: expect ~400; allow a generous band (the
+        // hash is fixed, so this asserts the chosen constants, not luck).
+        assert!((200..800).contains(&fired), "fired {fired} of 8000");
+    }
+
+    #[test]
+    fn rate_zero_never_fires_and_rate_one_always_fires() {
+        let zero = FaultPlan::new(3, 0.0);
+        let one = FaultPlan::with_kinds(3, 1.0, &[FaultKind::Garbage]);
+        for request in 0..500 {
+            assert_eq!(zero.decide(0, request, 0), None);
+            assert_eq!(one.decide(0, request, 0), Some(FaultKind::Garbage));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::new(1, 0.1);
+        let b = FaultPlan::new(2, 0.1);
+        let schedule = |p: &FaultPlan| -> Vec<Option<FaultKind>> {
+            (0..500).map(|r| p.decide(0, r, 0)).collect()
+        };
+        assert_ne!(schedule(&a), schedule(&b));
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let plan = FaultPlan::parse("rate=0.02,seed=9,kinds=drop-pre+poison").unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.rate_ppm(), 20_000);
+        assert!(plan.includes(FaultKind::PoisonShard));
+        assert!(!plan.includes(FaultKind::Garbage));
+        assert_eq!(FaultPlan::parse(&plan.spelling()).unwrap(), plan);
+        // Defaults: wire kinds, seed 0.
+        let default = FaultPlan::parse("rate=0.5").unwrap();
+        assert!(!default.includes(FaultKind::PoisonShard));
+        assert!(default.includes(FaultKind::TornWrite));
+        // Hex seeds, like every other seed flag in the workspace.
+        assert_eq!(FaultPlan::parse("rate=0,seed=0x10").unwrap().seed(), 16);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for spec in [
+            "",
+            "rate",
+            "rate=nope",
+            "rate=1.5",
+            "rate=-0.1",
+            "seed=3",
+            "rate=0.1,kinds=",
+            "rate=0.1,kinds=frob",
+            "rate=0.1,speed=3",
+        ] {
+            assert!(FaultPlan::parse(spec).is_err(), "spec '{spec}' accepted");
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_deterministic_single_line() {
+        let plan = FaultPlan::new(11, 1.0);
+        for request in 0..200 {
+            let payload = plan.garbage_payload(1, request, 0);
+            assert_eq!(payload, plan.garbage_payload(1, request, 0));
+            assert!(!payload.is_empty() && payload.len() <= 16);
+            assert!(!payload.contains(&b'\n') && !payload.contains(&b'\r'));
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_without_jitter() {
+        let retry = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(2),
+        };
+        assert_eq!(retry.backoff(0), Duration::from_millis(2));
+        assert_eq!(retry.backoff(1), Duration::from_millis(4));
+        assert_eq!(retry.backoff(3), Duration::from_millis(16));
+        assert_eq!(RetryPolicy::default().backoff(7), Duration::ZERO);
+    }
+
+    #[test]
+    fn chaos_stats_merge_is_order_invariant() {
+        let a = ChaosStats {
+            drops_before: 1,
+            garbage: 2,
+            delivered: 10,
+            ..ChaosStats::default()
+        };
+        let b = ChaosStats {
+            drops_after: 3,
+            poisons: 1,
+            retries: 4,
+            delivered: 20,
+            ..ChaosStats::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.injected(), 7);
+        assert_eq!(ab.delivered, 30);
+    }
+}

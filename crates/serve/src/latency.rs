@@ -80,6 +80,77 @@ mod tests {
     }
 
     #[test]
+    fn empty_log_is_all_zeros() {
+        let log = LatencyLog::new();
+        assert_eq!(log.count(), 0);
+        assert_eq!(log.mean_nanos(), 0.0);
+        assert_eq!(log.max_nanos(), 0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(log.percentile_nanos(q), 0);
+        }
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut log = LatencyLog::new();
+        log.record_nanos(17);
+        assert_eq!(log.count(), 1);
+        assert_eq!(log.mean_nanos(), 17.0);
+        assert_eq!(log.max_nanos(), 17);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(log.percentile_nanos(q), 17);
+        }
+    }
+
+    #[test]
+    fn identical_samples_collapse_the_distribution() {
+        let mut log = LatencyLog::new();
+        for _ in 0..100 {
+            log.record_nanos(42);
+        }
+        assert_eq!(log.mean_nanos(), 42.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(log.percentile_nanos(q), 42);
+        }
+        assert_eq!(log.max_nanos(), 42);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded_by_max() {
+        // Nearest-rank on a spread of sizes (including empty and one).
+        let sample_sets: &[&[u64]] = &[
+            &[],
+            &[3],
+            &[9, 1],
+            &[5, 5, 5],
+            &[100, 1, 50, 2, 99, 3, 98, 4],
+            &[u64::MAX, 0, 1],
+        ];
+        for samples in sample_sets {
+            let mut log = LatencyLog::new();
+            for &n in *samples {
+                log.record_nanos(n);
+            }
+            let p50 = log.percentile_nanos(0.5);
+            let p95 = log.percentile_nanos(0.95);
+            let p99 = log.percentile_nanos(0.99);
+            assert!(p50 <= p95, "p50 > p95 for {samples:?}");
+            assert!(p95 <= p99, "p95 > p99 for {samples:?}");
+            assert!(p99 <= log.max_nanos(), "p99 > max for {samples:?}");
+            // q = 1 is exactly the max, and quantiles clamp outside [0, 1].
+            assert_eq!(log.percentile_nanos(1.0), log.max_nanos());
+            assert_eq!(log.percentile_nanos(7.5), log.max_nanos());
+            if !samples.is_empty() {
+                assert_eq!(
+                    log.percentile_nanos(-1.0),
+                    *samples.iter().min().unwrap(),
+                    "q below 0 clamps to the minimum for {samples:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn merge_pools_samples() {
         let mut a = LatencyLog::new();
         a.record_nanos(1);

@@ -11,25 +11,42 @@
 //!   clock + reusable eviction sink: the zero-alloc access path).
 //! * [`service`] — [`CacheService`]: `get` /
 //!   `admit` / `stats` / `snapshot` over N shards, deadlock-free by
-//!   construction (one lock per operation).
-//! * [`protocol`] — the line protocol (`GET`/`STATS`/`SNAPSHOT`/`QUIT`)
-//!   and its parsers, shared by server and client.
+//!   construction (one lock per operation); poisoned shards recover
+//!   from their periodic checkpoint instead of wedging.
+//! * [`protocol`] — the line protocol
+//!   (`GET`/`STATS`/`SNAPSHOT`/`POISON`/`QUIT`) and its parsers, shared
+//!   by server and client. Every parser is total — garbage gets `Err`,
+//!   never a panic.
 //! * [`server`] — a thread-per-connection `std::net` front-end with
-//!   graceful shutdown (`serve` binary).
-//! * [`client`] — a blocking protocol client.
+//!   graceful shutdown (`serve` binary), an admission gate
+//!   (`--max-conns`), per-connection idle timeouts (`--read-timeout`)
+//!   and a line-length cap.
+//! * [`client`] — a blocking protocol client with optional read
+//!   timeouts plus the chaos harness's wire hooks (raw-byte injection,
+//!   torn writes).
 //! * [`latency`] — wall-clock latency logs with percentile queries.
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   schedules wire, client and service faults as a pure function of
+//!   `(client, request, attempt)`; [`RetryPolicy`] bounds the
+//!   jitter-free recovery.
 //! * [`loadgen`] — the closed-loop harness (`loadgen` binary): M client
 //!   threads replaying round-robin partitions of a seeded trace against
-//!   the in-process service or a TCP address.
+//!   the in-process service or a TCP address, optionally through a
+//!   fault plan (`--faults`).
 //!
 //! **Equivalence anchor.** One shard + one client reproduces the serial
 //! simulator bit for bit: shard 0 runs the policy with the same derived
 //! seed, ticks the same virtual clock 1, 2, 3, …, and records statistics
 //! with the same `(hit, size, evictions)` calls. Multiple shards change
 //! cache state (capacity is split, each shard sees a sub-stream) and are
-//! compared within tolerance in EXPERIMENTS.md.
+//! compared within tolerance in EXPERIMENTS.md. The chaos extension of
+//! the anchor: a zero-rate (or absent) fault plan replays on the exact
+//! clean path, and a plan of lossless kinds (`FaultKind::LOSSLESS`)
+//! retried to delivery leaves the statistics bit-identical too —
+//! `tests/chaos.rs` proves both.
 
 pub mod client;
+pub mod fault;
 pub mod latency;
 pub mod loadgen;
 pub mod protocol;
@@ -38,8 +55,12 @@ pub mod service;
 pub mod shard;
 
 pub use client::TcpCacheClient;
+pub use fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
 pub use latency::LatencyLog;
-pub use loadgen::{run as run_load, serial_baseline, LoadReport, Target};
-pub use server::{serve, ServerHandle};
+pub use loadgen::{
+    run as run_load, run_with as run_load_with, serial_baseline, LoadOptions, LoadReport, Target,
+};
+pub use protocol::ServerStats;
+pub use server::{serve, serve_with, ServerConfig, ServerHandle, MAX_LINE_BYTES};
 pub use service::{CacheService, ServiceConfig, ServiceError};
-pub use shard::{shard_of, shard_seed, GetOutcome, Shard};
+pub use shard::{shard_of, shard_seed, GetOutcome, Shard, CHECKPOINT_EVERY};

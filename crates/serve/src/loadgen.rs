@@ -11,9 +11,25 @@
 //! With `clients == 1` the replay is the exact trace order, so a 1-shard
 //! in-process run reproduces the serial simulator bit for bit
 //! ([`serial_baseline`] builds that reference).
+//!
+//! ## Chaos mode
+//!
+//! [`run_with`] threads an optional [`FaultPlan`] through the replay:
+//! each `(client, request, attempt)` consults the plan before touching
+//! the wire, and injected faults (dropped connections, lost replies,
+//! garbage lines, torn writes, shard poisoning) are recovered by a
+//! bounded, deterministic retry loop ([`RetryPolicy`]). The loop
+//! guarantees delivery: a plan never schedules more faults for one
+//! request than the client has retries, so every request's final reply
+//! reaches the client exactly once — the "no lost or duplicated
+//! responses" invariant `tests/chaos.rs` asserts. With no plan (or a
+//! zero rate) the replay takes the exact pre-chaos code path, keeping
+//! the serial-equivalence anchor bit for bit.
 
 use crate::client::TcpCacheClient;
+use crate::fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
 use crate::latency::LatencyLog;
+use crate::protocol::parse_command;
 use crate::service::CacheService;
 use crate::shard::{shard_seed, GetOutcome};
 use clipcache_core::PolicySpec;
@@ -22,7 +38,7 @@ use clipcache_sim::metrics::HitStats;
 use clipcache_sim::runner::{simulate, SimulationConfig};
 use clipcache_workload::Trace;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Where the load goes.
 #[derive(Clone)]
@@ -32,6 +48,41 @@ pub enum Target {
     /// Speak the line protocol to this address, one connection per
     /// client thread.
     Tcp(String),
+}
+
+/// Everything configurable about one load run.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Closed-loop client threads (≥ 1).
+    pub clients: usize,
+    /// The fault schedule; `None` (or a zero-rate plan) replays clean.
+    pub faults: Option<FaultPlan>,
+    /// Retry/backoff discipline for injected faults and real I/O errors.
+    pub retry: RetryPolicy,
+    /// Per-request client read timeout for TCP targets (a reply slower
+    /// than this surfaces as an error the retry loop recovers from).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            clients: 1,
+            faults: None,
+            retry: RetryPolicy::default(),
+            read_timeout: None,
+        }
+    }
+}
+
+impl LoadOptions {
+    /// Clean-replay options for `clients` threads.
+    pub fn clients(clients: usize) -> Self {
+        LoadOptions {
+            clients,
+            ..LoadOptions::default()
+        }
+    }
 }
 
 /// Everything one load run measured.
@@ -45,6 +96,12 @@ pub struct LoadReport {
     pub elapsed_secs: f64,
     /// Client threads used.
     pub clients: usize,
+    /// Chaos counters (all zero for a clean replay).
+    pub chaos: ChaosStats,
+    /// Shard recoveries the *server* performed during the run.
+    pub recoveries: u64,
+    /// The fault plan the run used, if any.
+    pub plan: Option<FaultPlan>,
 }
 
 impl LoadReport {
@@ -55,14 +112,275 @@ impl LoadReport {
         }
         self.observed.requests() as f64 / self.elapsed_secs
     }
+
+    /// The chaos invariant: every request's reply was delivered to the
+    /// issuing client exactly once (no losses, no duplicates), and each
+    /// delivered reply was recorded exactly once in the hit statistics
+    /// (`hits + misses == delivered`).
+    pub fn conserved(&self) -> bool {
+        self.observed.requests() == self.chaos.delivered
+            && self.latency.count() as u64 == self.chaos.delivered
+    }
+
+    /// A deterministic chaos summary: everything the run counted except
+    /// wall-clock quantities, one `key=value` group per line. Two runs
+    /// with the same `(trace, plan, clients)` must render byte-identical
+    /// reports — CI diffs this against a committed golden.
+    pub fn chaos_report(&self) -> String {
+        let plan = match &self.plan {
+            Some(p) => p.spelling(),
+            None => "none".into(),
+        };
+        let c = &self.chaos;
+        format!(
+            "chaos-report v1\n\
+             plan {plan}\n\
+             clients={} delivered={}\n\
+             faults drop_pre={} drop_post={} garbage={} torn={} poison={} injected={}\n\
+             recovery retries={} reconnects={} err_replies={} shard_recoveries={}\n\
+             observed hits={} misses={} byte_hits={} byte_misses={} evictions={}\n\
+             invariant conservation={}\n",
+            self.clients,
+            c.delivered,
+            c.drops_before,
+            c.drops_after,
+            c.garbage,
+            c.torn,
+            c.poisons,
+            c.injected(),
+            c.retries,
+            c.reconnects,
+            c.err_replies,
+            self.recoveries,
+            self.observed.hits,
+            self.observed.misses,
+            self.observed.byte_hits.as_u64(),
+            self.observed.byte_misses.as_u64(),
+            self.observed.evictions,
+            if self.conserved() { "ok" } else { "VIOLATED" },
+        )
+    }
 }
 
 /// One client's view of the run.
 struct ClientLog {
     stats: HitStats,
     latency: LatencyLog,
+    chaos: ChaosStats,
 }
 
+/// The target-specific operations the chaos replay drives. Implementors
+/// reconnect lazily: dropping the connection is cheap, and the next
+/// operation re-establishes it (counting the reconnect).
+trait Transport {
+    fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome>;
+    /// `get` delivered with hostile framing (torn write). In-process
+    /// targets have no wire, so this is a plain `get` there.
+    fn get_torn(&mut self, clip: ClipId) -> std::io::Result<GetOutcome>;
+    /// Inject one line of garbage; returns whether it was answered with
+    /// a structured `ERR` (always true in-process: the parser rejected).
+    fn send_garbage(&mut self, payload: &[u8]) -> std::io::Result<bool>;
+    /// Poison the clip's shard.
+    fn poison(&mut self, clip: ClipId) -> std::io::Result<()>;
+    /// Drop the connection (no-op in-process).
+    fn drop_conn(&mut self);
+    /// Reconnections performed so far.
+    fn reconnects(&self) -> u64;
+}
+
+struct InProcessTransport {
+    service: Arc<CacheService>,
+}
+
+impl Transport for InProcessTransport {
+    fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        self.service
+            .get(clip)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))
+    }
+
+    fn get_torn(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        self.get(clip)
+    }
+
+    fn send_garbage(&mut self, payload: &[u8]) -> std::io::Result<bool> {
+        // No wire to corrupt; feed the garbage to the same parser the
+        // server would use and report whether it was rejected.
+        Ok(parse_command(&String::from_utf8_lossy(payload)).is_err())
+    }
+
+    fn poison(&mut self, clip: ClipId) -> std::io::Result<()> {
+        self.service.poison(clip);
+        Ok(())
+    }
+
+    fn drop_conn(&mut self) {}
+
+    fn reconnects(&self) -> u64 {
+        0
+    }
+}
+
+struct TcpTransport {
+    addr: String,
+    read_timeout: Option<Duration>,
+    client: Option<TcpCacheClient>,
+    reconnects: u64,
+}
+
+impl TcpTransport {
+    fn new(addr: &str, read_timeout: Option<Duration>) -> Self {
+        TcpTransport {
+            addr: addr.to_string(),
+            read_timeout,
+            client: None,
+            reconnects: 0,
+        }
+    }
+
+    fn ensure(&mut self) -> std::io::Result<&mut TcpCacheClient> {
+        if self.client.is_none() {
+            self.client = Some(TcpCacheClient::connect_with(
+                self.addr.as_str(),
+                self.read_timeout,
+            )?);
+            self.reconnects += 1;
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    fn finish(mut self) -> std::io::Result<()> {
+        match self.client.take() {
+            Some(client) => client.quit(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        self.ensure()?.get(clip)
+    }
+
+    fn get_torn(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        self.ensure()?.get_torn(clip)
+    }
+
+    fn send_garbage(&mut self, payload: &[u8]) -> std::io::Result<bool> {
+        let reply = self.ensure()?.send_raw(payload)?;
+        Ok(reply.starts_with("ERR "))
+    }
+
+    fn poison(&mut self, clip: ClipId) -> std::io::Result<()> {
+        self.ensure()?.poison(clip).map(|_| ())
+    }
+
+    fn drop_conn(&mut self) {
+        self.client = None; // closes the socket
+    }
+
+    fn reconnects(&self) -> u64 {
+        // The first connection of the run is establishment, not
+        // recovery.
+        self.reconnects.saturating_sub(1)
+    }
+}
+
+/// Deliver one request through the fault schedule, retrying until the
+/// reply reaches the client.
+///
+/// `attempt` drives the plan (injection stops once the retry budget is
+/// consumed, so delivery is guaranteed); `io_retries` separately bounds
+/// recovery from *real* transport errors so a genuinely dead server
+/// still surfaces as `Err` instead of an infinite loop.
+fn chaos_get(
+    transport: &mut dyn Transport,
+    clip: ClipId,
+    client: u64,
+    request: u64,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    chaos: &mut ChaosStats,
+) -> std::io::Result<GetOutcome> {
+    let mut attempt: u32 = 0;
+    let mut io_retries: u32 = 0;
+    loop {
+        let injected = if attempt <= retry.max_retries {
+            plan.decide(client, request, attempt)
+        } else {
+            None
+        };
+        // Faults that consume this attempt entirely and force a retry.
+        match injected {
+            Some(FaultKind::DropBeforeSend) => {
+                chaos.drops_before += 1;
+                chaos.retries += 1;
+                transport.drop_conn();
+                std::thread::sleep(retry.backoff(attempt));
+                attempt += 1;
+                continue;
+            }
+            Some(FaultKind::DropAfterSend) => {
+                // The server processes the request; the reply is lost in
+                // flight (read and discarded), so the retried GET is the
+                // idempotent duplicate.
+                match transport.get(clip) {
+                    Ok(_) | Err(_) => {}
+                }
+                chaos.drops_after += 1;
+                chaos.retries += 1;
+                transport.drop_conn();
+                std::thread::sleep(retry.backoff(attempt));
+                attempt += 1;
+                continue;
+            }
+            // Faults that precede the real request on this attempt.
+            Some(FaultKind::Garbage) => {
+                chaos.garbage += 1;
+                let payload = plan.garbage_payload(client, request, attempt);
+                match transport.send_garbage(&payload) {
+                    Ok(true) => chaos.err_replies += 1,
+                    Ok(false) => {}
+                    Err(_) => transport.drop_conn(),
+                }
+            }
+            Some(FaultKind::PoisonShard) => {
+                chaos.poisons += 1;
+                // A refusal (chaos-disabled server) is an ERR reply, not
+                // a dead connection; either way the real GET proceeds.
+                let _ = transport.poison(clip);
+            }
+            Some(FaultKind::TornWrite) | None => {}
+        }
+        let result = if injected == Some(FaultKind::TornWrite) {
+            chaos.torn += 1;
+            transport.get_torn(clip)
+        } else {
+            transport.get(clip)
+        };
+        match result {
+            Ok(outcome) => {
+                chaos.delivered += 1;
+                return Ok(outcome);
+            }
+            Err(e) => {
+                // A real transport failure (dead server, timeout,
+                // refused admission): bounded reconnect-and-retry.
+                if io_retries >= retry.max_retries {
+                    return Err(e);
+                }
+                io_retries += 1;
+                chaos.retries += 1;
+                transport.drop_conn();
+                std::thread::sleep(retry.backoff(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// The clean replay: the exact pre-chaos fast path, used whenever no
+/// fault plan is active so the serial-equivalence anchor stays intact.
 fn replay(
     part: &Trace,
     repo: &Repository,
@@ -70,17 +388,59 @@ fn replay(
 ) -> std::io::Result<ClientLog> {
     let mut stats = HitStats::new();
     let mut latency = LatencyLog::new();
+    let mut chaos = ChaosStats::default();
     for req in part {
         let size = repo.size_of(req.clip);
         let started = Instant::now();
         let outcome = get(req.clip)?;
         latency.record_nanos(started.elapsed().as_nanos() as u64);
         stats.record(outcome.hit, size, outcome.evictions);
+        chaos.delivered += 1;
     }
-    Ok(ClientLog { stats, latency })
+    Ok(ClientLog {
+        stats,
+        latency,
+        chaos,
+    })
 }
 
-/// Replay `trace` against `target` from `clients` closed-loop threads.
+/// The chaos replay: every request runs through [`chaos_get`].
+fn replay_chaos(
+    part: &Trace,
+    repo: &Repository,
+    transport: &mut dyn Transport,
+    client: u64,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+) -> std::io::Result<ClientLog> {
+    let mut stats = HitStats::new();
+    let mut latency = LatencyLog::new();
+    let mut chaos = ChaosStats::default();
+    for (index, req) in part.requests().iter().enumerate() {
+        let size = repo.size_of(req.clip);
+        let started = Instant::now();
+        let outcome = chaos_get(
+            transport,
+            req.clip,
+            client,
+            index as u64,
+            plan,
+            retry,
+            &mut chaos,
+        )?;
+        latency.record_nanos(started.elapsed().as_nanos() as u64);
+        stats.record(outcome.hit, size, outcome.evictions);
+    }
+    chaos.reconnects = transport.reconnects();
+    Ok(ClientLog {
+        stats,
+        latency,
+        chaos,
+    })
+}
+
+/// Replay `trace` against `target` from `options.clients` closed-loop
+/// threads, injecting `options.faults` if set.
 ///
 /// Client `c` replays partition `c` of
 /// [`Trace::partition_round_robin`]`(clients)`, so the union of issued
@@ -88,25 +448,27 @@ fn replay(
 /// interleaving (and therefore multi-shard cache state) varies.
 ///
 /// # Panics
-/// If `clients == 0`.
-pub fn run(
+/// If `options.clients == 0`.
+pub fn run_with(
     target: &Target,
     repo: &Arc<Repository>,
     trace: &Trace,
-    clients: usize,
+    options: &LoadOptions,
 ) -> std::io::Result<LoadReport> {
+    let clients = options.clients;
     assert!(clients > 0, "need at least one client");
     let parts = trace.partition_round_robin(clients);
     let started = Instant::now();
     let logs: Vec<std::io::Result<ClientLog>> = if clients == 1 {
         // Single client: run on this thread — keeps the serial-equivalence
         // path free of scheduler noise.
-        vec![run_client(target, repo, &parts[0])]
+        vec![run_client(target, repo, &parts[0], 0, options)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .iter()
-                .map(|part| scope.spawn(|| run_client(target, repo, part)))
+                .enumerate()
+                .map(|(c, part)| scope.spawn(move || run_client(target, repo, part, c, options)))
                 .collect();
             handles
                 .into_iter()
@@ -117,30 +479,88 @@ pub fn run(
     let elapsed_secs = started.elapsed().as_secs_f64();
     let mut observed = HitStats::new();
     let mut latency = LatencyLog::new();
+    let mut chaos = ChaosStats::default();
     for log in logs {
         let log = log?;
         observed.merge(&log.stats);
         latency.merge(&log.latency);
+        chaos.merge(&log.chaos);
     }
+    let recoveries = match target {
+        Target::InProcess(service) => service.recoveries(),
+        Target::Tcp(addr) => {
+            let mut client = TcpCacheClient::connect_with(addr.as_str(), options.read_timeout)?;
+            let recoveries = client.stats()?.recoveries;
+            client.quit()?;
+            recoveries
+        }
+    };
     Ok(LoadReport {
         observed,
         latency,
         elapsed_secs,
         clients,
+        chaos,
+        recoveries,
+        plan: options.faults.clone(),
     })
 }
 
-fn run_client(target: &Target, repo: &Repository, part: &Trace) -> std::io::Result<ClientLog> {
-    match target {
-        Target::InProcess(service) => replay(part, repo, |clip| {
+/// Replay `trace` against `target` from `clients` clean closed-loop
+/// threads (no fault injection) — see [`run_with`].
+pub fn run(
+    target: &Target,
+    repo: &Arc<Repository>,
+    trace: &Trace,
+    clients: usize,
+) -> std::io::Result<LoadReport> {
+    run_with(target, repo, trace, &LoadOptions::clients(clients))
+}
+
+fn run_client(
+    target: &Target,
+    repo: &Repository,
+    part: &Trace,
+    client_index: usize,
+    options: &LoadOptions,
+) -> std::io::Result<ClientLog> {
+    let plan = options.faults.as_ref().filter(|plan| plan.rate_ppm() > 0);
+    match (target, plan) {
+        (Target::InProcess(service), None) => replay(part, repo, |clip| {
             service
                 .get(clip)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))
         }),
-        Target::Tcp(addr) => {
-            let mut client = TcpCacheClient::connect(addr.as_str())?;
+        (Target::Tcp(addr), None) => {
+            let mut client = TcpCacheClient::connect_with(addr.as_str(), options.read_timeout)?;
             let log = replay(part, repo, |clip| client.get(clip))?;
             client.quit()?;
+            Ok(log)
+        }
+        (Target::InProcess(service), Some(plan)) => {
+            let mut transport = InProcessTransport {
+                service: Arc::clone(service),
+            };
+            replay_chaos(
+                part,
+                repo,
+                &mut transport,
+                client_index as u64,
+                plan,
+                &options.retry,
+            )
+        }
+        (Target::Tcp(addr), Some(plan)) => {
+            let mut transport = TcpTransport::new(addr, options.read_timeout);
+            let log = replay_chaos(
+                part,
+                repo,
+                &mut transport,
+                client_index as u64,
+                plan,
+                &options.retry,
+            )?;
+            transport.finish()?;
             Ok(log)
         }
     }
@@ -203,6 +623,9 @@ mod tests {
         assert_eq!(report.observed.requests(), 2_000);
         assert_eq!(report.latency.count(), 2_000);
         assert!(report.throughput() > 0.0);
+        assert_eq!(report.chaos.delivered, 2_000);
+        assert!(report.conserved());
+        assert_eq!(report.recoveries, 0);
     }
 
     #[test]
@@ -218,5 +641,32 @@ mod tests {
         );
         assert_eq!(report.observed, baseline);
         assert_eq!(service.stats(), baseline);
+    }
+
+    #[test]
+    fn zero_rate_plan_is_bit_identical_to_clean_replay() {
+        let (repo, clean_service, trace) = fixture(1);
+        let clean = run(
+            &Target::InProcess(Arc::clone(&clean_service)),
+            &repo,
+            &trace,
+            1,
+        )
+        .unwrap();
+        let (_, chaos_service, _) = fixture(1);
+        let options = LoadOptions {
+            faults: Some(FaultPlan::new(7, 0.0)),
+            ..LoadOptions::default()
+        };
+        let chaotic = run_with(
+            &Target::InProcess(Arc::clone(&chaos_service)),
+            &repo,
+            &trace,
+            &options,
+        )
+        .unwrap();
+        assert_eq!(chaotic.observed, clean.observed);
+        assert_eq!(chaotic.chaos.injected(), 0);
+        assert!(chaotic.conserved());
     }
 }

@@ -6,18 +6,29 @@
 //!
 //! ```text
 //! request   = "GET" SP clip-id | "STATS" | "SNAPSHOT" | "QUIT"
+//!           | "POISON" SP clip-id           ; chaos servers only
 //! clip-id   = 1*DIGIT                ; ≥ 1
 //!
 //! reply     = "HIT" SP evicted              ; GET, clip was resident
 //!           | "MISS" SP admitted SP evicted ; GET, clip was fetched
 //!           | "STATS" SP "hits=" n SP "misses=" n SP "byte_hits=" n
 //!                     SP "byte_misses=" n SP "evictions=" n
+//!                     SP "recoveries=" n
 //!           | "SNAPSHOT" SP json-array      ; one CacheSnapshot per shard
+//!           | "POISONED" SP shard-index     ; POISON acknowledged
 //!           | "BYE"                         ; QUIT acknowledged
-//!           | "ERR" SP text                 ; malformed request / unknown clip
+//!           | "ERR" SP text                 ; malformed request / unknown
+//!                                           ; clip / refused operation
 //! admitted  = "0" | "1"
 //! evicted   = 1*DIGIT                       ; clips evicted by this access
 //! ```
+//!
+//! Every parser in this module is total: any byte sequence (truncated
+//! lines, embedded NULs, garbage from the chaos harness) produces an
+//! `Err`, never a panic — `tests/protocol_props.rs` pounds this with a
+//! malformed-input corpus and random bytes. Malformed *requests* get an
+//! `ERR` reply and the connection stays open; the server never answers
+//! garbage with a disconnect.
 
 use crate::shard::GetOutcome;
 use clipcache_media::ClipId;
@@ -32,22 +43,41 @@ pub enum Command {
     Stats,
     /// Snapshot every shard.
     Snapshot,
+    /// Inject a shard-poisoning fault (chaos-enabled servers only).
+    Poison(ClipId),
     /// Close the connection.
     Quit,
+}
+
+/// Server-side statistics as the `STATS` reply carries them: the merged
+/// hit counters plus the service's poison-recovery count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Merged per-shard hit statistics.
+    pub stats: HitStats,
+    /// Poisoned-shard recoveries performed since startup.
+    pub recoveries: u64,
+}
+
+fn parse_clip_id(raw: &str) -> Result<ClipId, String> {
+    let raw = raw.trim();
+    let id: u64 = raw
+        .parse()
+        .map_err(|_| format!("'{raw}' is not a clip id"))?;
+    if id == 0 || id > u32::MAX as u64 {
+        return Err(format!("clip id {id} out of range"));
+    }
+    Ok(ClipId::new(id as u32))
 }
 
 /// Parse one request line (already stripped of the newline).
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let line = line.trim();
     if let Some(rest) = line.strip_prefix("GET ") {
-        let id: u64 = rest
-            .trim()
-            .parse()
-            .map_err(|_| format!("'{}' is not a clip id", rest.trim()))?;
-        if id == 0 || id > u32::MAX as u64 {
-            return Err(format!("clip id {id} out of range"));
-        }
-        return Ok(Command::Get(ClipId::new(id as u32)));
+        return Ok(Command::Get(parse_clip_id(rest)?));
+    }
+    if let Some(rest) = line.strip_prefix("POISON ") {
+        return Ok(Command::Poison(parse_clip_id(rest)?));
     }
     match line {
         "STATS" => Ok(Command::Stats),
@@ -55,6 +85,17 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "QUIT" => Ok(Command::Quit),
         "" => Err("empty request".into()),
         other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Format a request line (the inverse of [`parse_command`]).
+pub fn format_command(command: &Command) -> String {
+    match command {
+        Command::Get(clip) => format!("GET {}", clip.get()),
+        Command::Stats => "STATS".into(),
+        Command::Snapshot => "SNAPSHOT".into(),
+        Command::Poison(clip) => format!("POISON {}", clip.get()),
+        Command::Quit => "QUIT".into(),
     }
 }
 
@@ -75,17 +116,17 @@ pub fn format_get(outcome: &GetOutcome) -> String {
 pub fn parse_get(line: &str) -> Result<GetOutcome, String> {
     let mut words = line.trim().split_ascii_whitespace();
     let malformed = || format!("malformed GET reply '{}'", line.trim());
-    match words.next() {
+    let outcome = match words.next() {
         Some("HIT") => {
             let evictions = words
                 .next()
                 .and_then(|w| w.parse().ok())
                 .ok_or_else(malformed)?;
-            Ok(GetOutcome {
+            GetOutcome {
                 hit: true,
                 admitted: true,
                 evictions,
-            })
+            }
         }
         Some("MISS") => {
             let admitted = match words.next() {
@@ -97,35 +138,41 @@ pub fn parse_get(line: &str) -> Result<GetOutcome, String> {
                 .next()
                 .and_then(|w| w.parse().ok())
                 .ok_or_else(malformed)?;
-            Ok(GetOutcome {
+            GetOutcome {
                 hit: false,
                 admitted,
                 evictions,
-            })
+            }
         }
-        _ => Err(malformed()),
+        _ => return Err(malformed()),
+    };
+    if words.next().is_some() {
+        return Err(malformed());
     }
+    Ok(outcome)
 }
 
 /// Format a `STATS` reply.
-pub fn format_stats(stats: &HitStats) -> String {
+pub fn format_stats(stats: &ServerStats) -> String {
     format!(
-        "STATS hits={} misses={} byte_hits={} byte_misses={} evictions={}",
-        stats.hits,
-        stats.misses,
-        stats.byte_hits.as_u64(),
-        stats.byte_misses.as_u64(),
-        stats.evictions
+        "STATS hits={} misses={} byte_hits={} byte_misses={} evictions={} recoveries={}",
+        stats.stats.hits,
+        stats.stats.misses,
+        stats.stats.byte_hits.as_u64(),
+        stats.stats.byte_misses.as_u64(),
+        stats.stats.evictions,
+        stats.recoveries
     )
 }
 
 /// Parse a `STATS` reply.
-pub fn parse_stats(line: &str) -> Result<HitStats, String> {
+pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
     let line = line.trim();
     let rest = line
         .strip_prefix("STATS ")
         .ok_or_else(|| format!("malformed STATS reply '{line}'"))?;
     let mut stats = HitStats::new();
+    let mut recoveries = 0;
     let mut seen = 0u32;
     for field in rest.split_ascii_whitespace() {
         let (key, value) = field
@@ -140,14 +187,36 @@ pub fn parse_stats(line: &str) -> Result<HitStats, String> {
             "byte_hits" => stats.byte_hits = clipcache_media::ByteSize::bytes(value),
             "byte_misses" => stats.byte_misses = clipcache_media::ByteSize::bytes(value),
             "evictions" => stats.evictions = value,
+            "recoveries" => recoveries = value,
             other => return Err(format!("unknown STATS field '{other}'")),
         }
         seen += 1;
     }
-    if seen != 5 {
-        return Err(format!("STATS reply has {seen} fields, expected 5"));
+    if seen != 6 {
+        return Err(format!("STATS reply has {seen} fields, expected 6"));
     }
-    Ok(stats)
+    Ok(ServerStats { stats, recoveries })
+}
+
+/// Format a `POISON` acknowledgement.
+pub fn format_poisoned(shard: usize) -> String {
+    format!("POISONED {shard}")
+}
+
+/// Parse a `POISON` acknowledgement, returning the shard index.
+pub fn parse_poisoned(line: &str) -> Result<usize, String> {
+    let line = line.trim();
+    let malformed = || format!("malformed POISONED reply '{line}'");
+    let rest = line.strip_prefix("POISONED ").ok_or_else(malformed)?;
+    let mut words = rest.split_ascii_whitespace();
+    let shard = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(malformed)?;
+    if words.next().is_some() {
+        return Err(malformed());
+    }
+    Ok(shard)
 }
 
 #[cfg(test)]
@@ -162,6 +231,24 @@ mod tests {
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
         assert_eq!(parse_command("SNAPSHOT"), Ok(Command::Snapshot));
         assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
+        assert_eq!(
+            parse_command("POISON 9"),
+            Ok(Command::Poison(ClipId::new(9)))
+        );
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        for command in [
+            Command::Get(ClipId::new(1)),
+            Command::Get(ClipId::new(u32::MAX)),
+            Command::Stats,
+            Command::Snapshot,
+            Command::Poison(ClipId::new(42)),
+            Command::Quit,
+        ] {
+            assert_eq!(parse_command(&format_command(&command)), Ok(command));
+        }
     }
 
     #[test]
@@ -172,6 +259,8 @@ mod tests {
         assert!(parse_command("GET 99999999999").is_err());
         assert!(parse_command("get 1").is_err()); // commands are uppercase
         assert!(parse_command("").is_err());
+        assert!(parse_command("POISON").is_err());
+        assert!(parse_command("POISON 0").is_err());
         assert!(parse_command("PUT 1").unwrap_err().contains("PUT"));
     }
 
@@ -197,6 +286,7 @@ mod tests {
             assert_eq!(parse_get(&format_get(&outcome)), Ok(outcome));
         }
         assert!(parse_get("HIT").is_err());
+        assert!(parse_get("HIT 1 2").is_err());
         assert!(parse_get("MISS 2 0").is_err());
         assert!(parse_get("ERR nope").is_err());
     }
@@ -206,12 +296,33 @@ mod tests {
         let mut stats = HitStats::new();
         stats.record(true, ByteSize::mb(10), 0);
         stats.record(false, ByteSize::mb(30), 2);
-        let line = format_stats(&stats);
-        assert_eq!(parse_stats(&line), Ok(stats));
+        let server = ServerStats {
+            stats,
+            recoveries: 3,
+        };
+        let line = format_stats(&server);
+        assert!(line.contains("recoveries=3"));
+        assert_eq!(parse_stats(&line), Ok(server));
         assert!(parse_stats("STATS hits=1").is_err());
+        assert!(parse_stats(
+            "STATS hits=1 misses=x byte_hits=0 byte_misses=0 evictions=0 recoveries=0"
+        )
+        .is_err());
+        // The old five-field wire format is gone, not silently defaulted.
         assert!(
-            parse_stats("STATS hits=1 misses=x byte_hits=0 byte_misses=0 evictions=0").is_err()
+            parse_stats("STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0").is_err()
         );
         assert!(parse_stats("nope").is_err());
+    }
+
+    #[test]
+    fn poisoned_reply_round_trips() {
+        for shard in [0usize, 3, 17] {
+            assert_eq!(parse_poisoned(&format_poisoned(shard)), Ok(shard));
+        }
+        assert!(parse_poisoned("POISONED").is_err());
+        assert!(parse_poisoned("POISONED x").is_err());
+        assert!(parse_poisoned("POISONED 1 2").is_err());
+        assert!(parse_poisoned("BYE").is_err());
     }
 }

@@ -6,18 +6,60 @@
 //! [`ServerHandle::shutdown`] drains everything within a poll interval.
 //! The blocking `accept` itself is woken by a throwaway connection to
 //! the server's own port — the classic self-pipe trick, TCP edition.
+//!
+//! ## Resilience
+//!
+//! The server's failure contract is *structured refusal, never silent
+//! disconnect*: malformed lines, unknown clips, refused poisons, idle
+//! expiry and admission rejections all produce an `ERR`/protocol reply
+//! before the connection is (at worst) closed. [`ServerConfig`] holds
+//! the knobs:
+//!
+//! * `max_conns` — an admission gate: beyond this many live
+//!   connections, new arrivals get `ERR server busy` and an immediate
+//!   close instead of an unbounded handler-thread pile-up;
+//! * `read_timeout` — per-connection idle budget: a connection that
+//!   sends no complete request for this long gets `ERR idle timeout`
+//!   and is reclaimed, so abandoned sockets cannot pin threads forever;
+//! * `chaos` — gates the `POISON` fault-injection command (off by
+//!   default: production servers refuse it with an `ERR`).
+//!
+//! A request line longer than [`MAX_LINE_BYTES`] is also refused — the
+//! buffer would otherwise grow without bound on a newline-less garbage
+//! flood from a broken (or chaos-injected) peer.
 
-use crate::protocol::{format_get, format_stats, parse_command, Command};
+use crate::protocol::{
+    format_get, format_poisoned, format_stats, parse_command, Command, ServerStats,
+};
 use crate::service::CacheService;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How often connection handlers check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Longest accepted request line (bytes, newline excluded). Longer
+/// lines get `ERR request line too long` and the connection closes.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Server tuning knobs; [`ServerConfig::default`] reproduces the
+/// pre-resilience behavior (no gate, no idle limit, no chaos).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections (`None` = unlimited).
+    /// Excess arrivals are refused with `ERR server busy`.
+    pub max_conns: Option<usize>,
+    /// Idle budget per connection: close (with `ERR idle timeout`)
+    /// when no complete request arrives for this long (`None` = wait
+    /// forever).
+    pub read_timeout: Option<Duration>,
+    /// Whether the `POISON` fault-injection command is honored.
+    pub chaos: bool,
+}
 
 /// A running server. Dropping the handle without calling
 /// [`shutdown`](Self::shutdown) leaves the threads running for the
@@ -50,13 +92,24 @@ impl ServerHandle {
     }
 }
 
-/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `service` until
-/// [`ServerHandle::shutdown`].
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `service` with default
+/// (unlimited, chaos-off) settings until [`ServerHandle::shutdown`].
 pub fn serve(service: Arc<CacheService>, addr: &str) -> std::io::Result<ServerHandle> {
+    serve_with(service, addr, ServerConfig::default())
+}
+
+/// Bind `addr` and serve `service` with explicit [`ServerConfig`]
+/// settings until [`ServerHandle::shutdown`].
+pub fn serve_with(
+    service: Arc<CacheService>,
+    addr: &str,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let active = Arc::new(AtomicUsize::new(0));
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
@@ -66,13 +119,28 @@ pub fn serve(service: Arc<CacheService>, addr: &str) -> std::io::Result<ServerHa
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let Ok(mut stream) = stream else { continue };
+                if let Some(limit) = config.max_conns {
+                    if active.load(Ordering::SeqCst) >= limit {
+                        // Admission gate: refuse with a structured reply
+                        // instead of queueing an unbounded thread.
+                        let _ = stream.write_all(b"ERR server busy\n");
+                        continue;
+                    }
+                }
+                active.fetch_add(1, Ordering::SeqCst);
                 let service = Arc::clone(&service);
                 let shutdown = Arc::clone(&shutdown);
+                let active = Arc::clone(&active);
                 let handler = std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &service, &shutdown);
+                    let _ = handle_connection(stream, &service, &shutdown, config);
+                    active.fetch_sub(1, Ordering::SeqCst);
                 });
-                connections.lock().expect("handler list").push(handler);
+                let mut handlers = connections.lock().expect("handler list");
+                // Reap finished handlers so a long-lived server's list
+                // doesn't grow with every connection ever served.
+                handlers.retain(|h| !h.is_finished());
+                handlers.push(handler);
             }
         })
     };
@@ -85,19 +153,22 @@ pub fn serve(service: Arc<CacheService>, addr: &str) -> std::io::Result<ServerHa
     })
 }
 
-/// Serve one connection until QUIT, EOF, or shutdown.
+/// Serve one connection until QUIT, EOF, idle expiry, or shutdown.
 fn handle_connection(
     mut stream: TcpStream,
     service: &CacheService,
     shutdown: &AtomicBool,
+    config: ServerConfig,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
     // Hand-rolled line buffering: `BufReader::read_line` may hold a
     // partial line across a timeout error, so we split on '\n' in our
-    // own buffer where partial reads are harmless.
+    // own buffer where partial reads are harmless — which is also what
+    // makes torn (fragmented) writes from chaos clients reassemble.
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut idle = Duration::ZERO;
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
@@ -106,14 +177,32 @@ fn handle_connection(
         while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = pending.drain(..=pos).collect();
             let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            if !respond(&mut stream, service, &line)? {
+            idle = Duration::ZERO;
+            if !respond(&mut stream, service, &line, config)? {
                 return Ok(());
             }
         }
+        if pending.len() > MAX_LINE_BYTES {
+            // A newline-less flood; refuse before the buffer grows
+            // without bound.
+            stream.write_all(b"ERR request line too long\n")?;
+            return Ok(());
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()), // EOF
-            Ok(n) => pending.extend_from_slice(&chunk[..n]),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                idle = Duration::ZERO;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                idle += POLL_INTERVAL;
+                if let Some(budget) = config.read_timeout {
+                    if idle >= budget {
+                        stream.write_all(b"ERR idle timeout\n")?;
+                        return Ok(());
+                    }
+                }
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
@@ -121,16 +210,31 @@ fn handle_connection(
 }
 
 /// Execute one request line; false means the connection should close.
-fn respond(stream: &mut TcpStream, service: &CacheService, line: &str) -> std::io::Result<bool> {
+fn respond(
+    stream: &mut TcpStream,
+    service: &CacheService,
+    line: &str,
+    config: ServerConfig,
+) -> std::io::Result<bool> {
     let reply = match parse_command(line) {
         Ok(Command::Get(clip)) => match service.get(clip) {
             Ok(outcome) => format_get(&outcome),
             Err(e) => format!("ERR {e}"),
         },
-        Ok(Command::Stats) => format_stats(&service.stats()),
+        Ok(Command::Stats) => format_stats(&ServerStats {
+            stats: service.stats(),
+            recoveries: service.recoveries(),
+        }),
         Ok(Command::Snapshot) => {
             let parts: Vec<String> = service.snapshot().iter().map(|s| s.to_json()).collect();
             format!("SNAPSHOT [{}]", parts.join(","))
+        }
+        Ok(Command::Poison(clip)) => {
+            if config.chaos {
+                format_poisoned(service.poison(clip))
+            } else {
+                "ERR poison refused (server not started with --chaos)".into()
+            }
         }
         Ok(Command::Quit) => {
             stream.write_all(b"BYE\n")?;

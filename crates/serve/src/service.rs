@@ -10,6 +10,17 @@
 //! With one shard the service *is* the serial simulator: same policy
 //! seed (`shard_seed(seed, 0)`), same virtual clock, same statistics
 //! recording. The serial-equivalence test pins this bit for bit.
+//!
+//! ## Poison recovery
+//!
+//! Every lock acquisition goes through `CacheService::lock_shard`,
+//! which treats a poisoned mutex as a recoverable fault rather than a
+//! reason to panic: the shard is rebuilt from its last checkpoint
+//! ([`Shard::recover`]), the poison flag is cleared, and a service-wide
+//! [`recoveries`](CacheService::recoveries) counter (surfaced in the
+//! `STATS` protocol reply) records that it happened. One panicking
+//! request can therefore no longer wedge a shard for the process
+//! lifetime — the next request heals it.
 
 use crate::shard::{shard_of, shard_seed, GetOutcome, Shard};
 use clipcache_core::registry::BuildError;
@@ -17,7 +28,9 @@ use clipcache_core::snapshot::CacheSnapshot;
 use clipcache_core::PolicySpec;
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_sim::metrics::HitStats;
-use std::sync::{Arc, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Construction parameters for a [`CacheService`].
 #[derive(Debug, Clone, Copy)]
@@ -49,11 +62,16 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Serializes the panic-hook swap in [`CacheService::poison`] so
+/// concurrent injections do not clobber each other's saved hook.
+static POISON_HOOK: Mutex<()> = Mutex::new(());
+
 /// A sharded, thread-safe cache service.
 pub struct CacheService {
     repo: Arc<Repository>,
     shards: Vec<Mutex<Shard>>,
     policy: PolicySpec,
+    recoveries: AtomicU64,
 }
 
 impl CacheService {
@@ -71,18 +89,23 @@ impl CacheService {
         let per_shard = ByteSize::bytes(config.capacity.as_u64() / config.shards as u64);
         let mut shards = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
-            let cache = config.policy.try_build(
+            let seed = shard_seed(config.seed, i);
+            let cache = config
+                .policy
+                .try_build(Arc::clone(&repo), per_shard, seed, frequencies)?;
+            shards.push(Mutex::new(Shard::new(
+                cache,
                 Arc::clone(&repo),
-                per_shard,
-                shard_seed(config.seed, i),
-                frequencies,
-            )?;
-            shards.push(Mutex::new(Shard::new(cache)));
+                config.policy,
+                seed,
+                frequencies.map(<[f64]>::to_vec),
+            )));
         }
         Ok(CacheService {
             repo,
             shards,
             policy: config.policy,
+            recoveries: AtomicU64::new(0),
         })
     }
 
@@ -101,8 +124,34 @@ impl CacheService {
         self.policy
     }
 
-    fn shard(&self, clip: ClipId) -> &Mutex<Shard> {
-        &self.shards[shard_of(clip, self.shards.len())]
+    /// How many poisoned shards have been recovered so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Lock shard `index`, recovering it first if a previous request
+    /// panicked while holding the lock.
+    ///
+    /// Recovery rebuilds the shard from its checkpoint (the panic may
+    /// have interrupted a mutation, so the live cache is not trusted),
+    /// clears the poison flag, and bumps the recovery counter. Requests
+    /// racing for a poisoned lock recover it exactly once: the loser
+    /// blocks on `lock()` until the winner has cleared the flag.
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.recover();
+                self.shards[index].clear_poison();
+                self.recoveries.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    fn lock_clip_shard(&self, clip: ClipId) -> MutexGuard<'_, Shard> {
+        self.lock_shard(shard_of(clip, self.shards.len()))
     }
 
     /// Service a request: route to the owning shard, access its cache,
@@ -113,7 +162,7 @@ impl CacheService {
             .get(clip)
             .ok_or(ServiceError::UnknownClip(clip))?
             .size;
-        let mut shard = self.shard(clip).lock().expect("shard poisoned");
+        let mut shard = self.lock_clip_shard(clip);
         Ok(shard.get(clip, size))
     }
 
@@ -123,8 +172,35 @@ impl CacheService {
         if self.repo.get(clip).is_none() {
             return Err(ServiceError::UnknownClip(clip));
         }
-        let mut shard = self.shard(clip).lock().expect("shard poisoned");
+        let mut shard = self.lock_clip_shard(clip);
         Ok(shard.admit(clip))
+    }
+
+    /// Inject a service-level fault: panic while holding `clip`'s shard
+    /// mutex, leaving it poisoned exactly as a crashed request would.
+    ///
+    /// The next operation touching the shard takes the recovery path.
+    /// Returns the poisoned shard's index. This is the chaos harness's
+    /// entry point (`POISON` protocol command, `loadgen --faults` with
+    /// the `poison` kind) — deliberately public so resilience stays
+    /// testable end to end, and harmless in production terms: the
+    /// injected panic is confined to this call.
+    pub fn poison(&self, clip: ClipId) -> usize {
+        let index = shard_of(clip, self.shards.len());
+        // Silence the default "thread panicked" hook for the injected
+        // panic; the swap is serialized so concurrent injections cannot
+        // lose the real hook.
+        let _swap = POISON_HOOK.lock().unwrap_or_else(|p| p.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // Bound (not `_`) so the guard is held when the panic fires.
+            let _guard = self.shards[index].lock();
+            panic!("injected shard fault");
+        }));
+        std::panic::set_hook(prev);
+        debug_assert!(result.is_err());
+        index
     }
 
     /// Merged hit statistics across all shards.
@@ -134,17 +210,16 @@ impl CacheService {
     /// independent of the locking order.
     pub fn stats(&self) -> HitStats {
         let mut total = HitStats::new();
-        for shard in &self.shards {
-            total.merge(shard.lock().expect("shard poisoned").stats());
+        for i in 0..self.shards.len() {
+            total.merge(self.lock_shard(i).stats());
         }
         total
     }
 
     /// Per-shard hit statistics, in shard order.
     pub fn per_shard_stats(&self) -> Vec<HitStats> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard poisoned").stats().clone())
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).stats().clone())
             .collect()
     }
 
@@ -153,10 +228,9 @@ impl CacheService {
     /// internally consistent; the set is not a global atomic cut —
     /// requests may land on other shards between snapshots.
     pub fn snapshot(&self) -> Vec<CacheSnapshot> {
-        self.shards
-            .iter()
-            .map(|s| {
-                let shard = s.lock().expect("shard poisoned");
+        (0..self.shards.len())
+            .map(|i| {
+                let shard = self.lock_shard(i);
                 CacheSnapshot::take(shard.cache(), self.policy, shard.clock())
             })
             .collect()
@@ -165,8 +239,8 @@ impl CacheService {
     /// Total bytes resident across shards.
     pub fn used(&self) -> ByteSize {
         let mut total = 0u64;
-        for s in &self.shards {
-            total += s.lock().expect("shard poisoned").cache().used().as_u64();
+        for i in 0..self.shards.len() {
+            total += self.lock_shard(i).cache().used().as_u64();
         }
         ByteSize::bytes(total)
     }
@@ -265,5 +339,38 @@ mod tests {
         for snap in svc.snapshot() {
             assert_eq!(snap.capacity, ByteSize::mb(10));
         }
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_keeps_serving() {
+        let svc = service(2, 7);
+        let clip = ClipId::new(5);
+        assert!(!svc.get(clip).unwrap().hit);
+        assert_eq!(svc.recoveries(), 0);
+        let shard = svc.poison(clip);
+        assert_eq!(shard, shard_of(clip, 2));
+        // The next access on the poisoned shard recovers it (the
+        // pre-checkpoint state is empty, so the clip misses again) and
+        // the shard keeps serving.
+        assert!(!svc.get(clip).unwrap().hit);
+        assert_eq!(svc.recoveries(), 1);
+        assert!(svc.get(clip).unwrap().hit);
+        assert_eq!(svc.recoveries(), 1, "recovery happens exactly once");
+    }
+
+    #[test]
+    fn repeated_poisoning_never_wedges() {
+        let svc = service(1, 3);
+        for round in 0..5u32 {
+            let clip = ClipId::new(round % 8 + 1);
+            svc.poison(clip);
+            assert!(svc.get(clip).is_ok(), "round {round} wedged the shard");
+        }
+        assert_eq!(svc.recoveries(), 5);
+        // Merged views also survive a poisoned shard.
+        svc.poison(ClipId::new(1));
+        assert_eq!(svc.stats().requests(), 0, "recovered to empty checkpoint");
+        assert_eq!(svc.recoveries(), 6);
+        assert_eq!(svc.snapshot().len(), 1);
     }
 }

@@ -1,4 +1,5 @@
-//! One shard: a cache, its statistics, and a private virtual clock.
+//! One shard: a cache, its statistics, a private virtual clock, and the
+//! recovery checkpoint that makes mutex poisoning survivable.
 //!
 //! The service routes each clip id to a fixed shard with
 //! [`shard_of`] (a SplitMix64 hash of the id), so every request for a
@@ -7,11 +8,33 @@
 //! ticking 1, 2, 3, … per access — exactly the timestamps the serial
 //! simulator assigns a trace — which is what makes a 1-shard service
 //! reproduce [`clipcache_sim::runner::simulate`] bit for bit.
+//!
+//! ## Checkpoints and poison recovery
+//!
+//! A request that panics while holding the shard mutex poisons it. The
+//! pre-chaos service answered that with `.expect("shard poisoned")` —
+//! one bad request wedged the shard for the process lifetime. Instead,
+//! every shard now refreshes a [`CacheSnapshot`] checkpoint every
+//! [`CHECKPOINT_EVERY`] accesses (plus the statistics at that instant),
+//! and [`Shard::recover`] rebuilds the cache from it with
+//! [`clipcache_core::snapshot::restore`] — the same snapshot/restore
+//! machinery the paper's device-restart path uses, repurposed as the
+//! shard's crash-recovery journal. Recovery is deterministic: the
+//! rebuilt policy is seeded with the shard's original seed, so the same
+//! fault schedule produces the same post-recovery state.
 
-use clipcache_core::{AccessEvent, ClipCache, EvictionCount};
-use clipcache_media::{ByteSize, ClipId};
+use clipcache_core::snapshot::{restore, CacheSnapshot};
+use clipcache_core::{AccessEvent, ClipCache, EvictionCount, PolicySpec};
+use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_sim::metrics::HitStats;
 use clipcache_workload::Timestamp;
+use std::sync::Arc;
+
+/// Accesses between checkpoint refreshes. Small enough that recovery
+/// forgets little (the policy relearns the gap in a few dozen
+/// requests), large enough that the `O(resident)` snapshot copy stays
+/// off the per-request path.
+pub const CHECKPOINT_EVERY: u64 = 128;
 
 /// SplitMix64 — the finalizer used both to route clips to shards and to
 /// derive per-shard policy seeds.
@@ -53,6 +76,12 @@ pub struct GetOutcome {
     pub evictions: usize,
 }
 
+/// The durable-enough state a poisoned shard rebuilds from.
+struct Checkpoint {
+    snapshot: CacheSnapshot,
+    stats: HitStats,
+}
+
 /// One shard: a policy instance plus its counters, owned behind the
 /// service's per-shard mutex.
 pub struct Shard {
@@ -62,16 +91,38 @@ pub struct Shard {
     // One counting sink per shard, reused for every access: the hot path
     // allocates nothing (the same discipline as the serial runner).
     evictions: EvictionCount,
+    // Everything recovery needs to rebuild the cache from scratch.
+    repo: Arc<Repository>,
+    policy: PolicySpec,
+    seed: u64,
+    frequencies: Option<Vec<f64>>,
+    checkpoint: Checkpoint,
 }
 
 impl Shard {
-    /// Wrap a freshly built cache.
-    pub fn new(cache: Box<dyn ClipCache>) -> Self {
+    /// Wrap a freshly built cache, remembering the build inputs so
+    /// [`recover`](Self::recover) can rebuild it after a poisoning.
+    pub fn new(
+        cache: Box<dyn ClipCache>,
+        repo: Arc<Repository>,
+        policy: PolicySpec,
+        seed: u64,
+        frequencies: Option<Vec<f64>>,
+    ) -> Self {
+        let checkpoint = Checkpoint {
+            snapshot: CacheSnapshot::take(cache.as_ref(), policy, Timestamp::ZERO),
+            stats: HitStats::new(),
+        };
         Shard {
             cache,
             stats: HitStats::new(),
             clock: 0,
             evictions: EvictionCount(0),
+            repo,
+            policy,
+            seed,
+            frequencies,
+            checkpoint,
         }
     }
 
@@ -90,6 +141,7 @@ impl Shard {
             AccessEvent::Miss { admitted } => (false, admitted),
         };
         self.stats.record(hit, size, self.evictions.0);
+        self.maybe_checkpoint();
         GetOutcome {
             hit,
             admitted,
@@ -105,13 +157,56 @@ impl Shard {
     pub fn admit(&mut self, clip: ClipId) -> bool {
         self.clock += 1;
         self.evictions.0 = 0;
-        match self
-            .cache
-            .access_into(clip, Timestamp(self.clock), &mut self.evictions)
-        {
-            AccessEvent::Hit => true,
-            AccessEvent::Miss { admitted } => admitted,
+        let admitted =
+            match self
+                .cache
+                .access_into(clip, Timestamp(self.clock), &mut self.evictions)
+            {
+                AccessEvent::Hit => true,
+                AccessEvent::Miss { admitted } => admitted,
+            };
+        self.maybe_checkpoint();
+        admitted
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        if self.clock - self.checkpoint.snapshot.tick.get() >= CHECKPOINT_EVERY {
+            self.checkpoint = Checkpoint {
+                snapshot: CacheSnapshot::take(
+                    self.cache.as_ref(),
+                    self.policy,
+                    Timestamp(self.clock),
+                ),
+                stats: self.stats.clone(),
+            };
         }
+    }
+
+    /// Rebuild the shard from its last checkpoint after its mutex was
+    /// poisoned mid-request.
+    ///
+    /// The in-memory cache may have been caught mid-mutation by the
+    /// panic, so nothing of it is trusted: a fresh policy instance is
+    /// built with the shard's original seed and the checkpoint's
+    /// resident set is re-materialized through
+    /// [`clipcache_core::snapshot::restore`] (residency-exact,
+    /// metadata-approximate — the policy relearns popularity, exactly as
+    /// after a device restart). Statistics and the virtual clock rewind
+    /// to the checkpoint; requests recorded since are forgotten
+    /// server-side, which is why chaos invariants are asserted against
+    /// client-observed counters.
+    pub fn recover(&mut self) {
+        let (cache, tick) = restore(
+            &self.checkpoint.snapshot,
+            Arc::clone(&self.repo),
+            self.seed,
+            self.frequencies.as_deref(),
+        )
+        .expect("checkpoint was built from this exact policy spec");
+        self.cache = cache;
+        self.clock = tick.get();
+        self.stats = self.checkpoint.stats.clone();
+        self.evictions = EvictionCount(0);
     }
 
     /// The shard's hit statistics so far.
@@ -136,6 +231,17 @@ mod tests {
     use clipcache_core::PolicyKind;
     use clipcache_media::paper;
     use std::sync::Arc;
+
+    fn shard_with(
+        policy: PolicyKind,
+        clips: usize,
+        capacity: ByteSize,
+    ) -> (Arc<Repository>, Shard) {
+        let repo = Arc::new(paper::equi_sized_repository_of(clips, ByteSize::mb(10)));
+        let cache = policy.build(Arc::clone(&repo), capacity, 1, None);
+        let shard = Shard::new(cache, Arc::clone(&repo), policy.into(), 1, None);
+        (repo, shard)
+    }
 
     #[test]
     fn routing_is_stable_and_in_range() {
@@ -162,9 +268,7 @@ mod tests {
 
     #[test]
     fn get_records_stats_and_ticks_clock() {
-        let repo = Arc::new(paper::equi_sized_repository_of(8, ByteSize::mb(10)));
-        let cache = PolicyKind::Lru.build(Arc::clone(&repo), ByteSize::mb(20), 1, None);
-        let mut shard = Shard::new(cache);
+        let (repo, mut shard) = shard_with(PolicyKind::Lru, 8, ByteSize::mb(20));
         let clip = ClipId::new(3);
         let miss = shard.get(clip, repo.size_of(clip));
         assert!(!miss.hit && miss.admitted && miss.evictions == 0);
@@ -177,13 +281,57 @@ mod tests {
 
     #[test]
     fn admit_warms_without_stats() {
-        let repo = Arc::new(paper::equi_sized_repository_of(8, ByteSize::mb(10)));
-        let cache = PolicyKind::Lru.build(Arc::clone(&repo), ByteSize::mb(20), 1, None);
-        let mut shard = Shard::new(cache);
+        let (repo, mut shard) = shard_with(PolicyKind::Lru, 8, ByteSize::mb(20));
         assert!(shard.admit(ClipId::new(5)));
         assert_eq!(shard.stats().requests(), 0);
         // The warmed clip now hits, and only the hit is counted.
         assert!(shard.get(ClipId::new(5), repo.size_of(ClipId::new(5))).hit);
         assert_eq!(shard.stats().hits, 1);
+    }
+
+    #[test]
+    fn recover_rewinds_to_checkpoint() {
+        let (repo, mut shard) = shard_with(PolicyKind::Lru, 16, ByteSize::mb(40));
+        // Drive exactly one checkpoint interval: the checkpoint then
+        // holds this state.
+        for i in 0..CHECKPOINT_EVERY {
+            let clip = ClipId::new((i % 4 + 1) as u32);
+            shard.get(clip, repo.size_of(clip));
+        }
+        let at_checkpoint = shard.stats().clone();
+        let resident_at_checkpoint = {
+            let mut r = shard.cache().resident_clips();
+            r.sort();
+            r
+        };
+        // A few more requests past the checkpoint, then a recovery.
+        for i in 0..5u32 {
+            let clip = ClipId::new(i % 16 + 1);
+            shard.get(clip, repo.size_of(clip));
+        }
+        assert_ne!(shard.stats(), &at_checkpoint);
+        shard.recover();
+        assert_eq!(shard.stats(), &at_checkpoint, "stats rewind to checkpoint");
+        let mut resident = shard.cache().resident_clips();
+        resident.sort();
+        assert_eq!(
+            resident, resident_at_checkpoint,
+            "residency restores exactly"
+        );
+        // The clock resumes past the re-materialization ticks, strictly
+        // increasing (never reuses a timestamp the policy already saw).
+        assert!(shard.clock().get() >= CHECKPOINT_EVERY);
+        // The shard keeps serving correctly after recovery.
+        assert!(shard.get(ClipId::new(1), repo.size_of(ClipId::new(1))).hit);
+    }
+
+    #[test]
+    fn recover_on_fresh_shard_is_safe() {
+        let (repo, mut shard) = shard_with(PolicyKind::Lru, 8, ByteSize::mb(20));
+        shard.get(ClipId::new(2), repo.size_of(ClipId::new(2)));
+        shard.recover(); // checkpoint is the empty initial snapshot
+        assert_eq!(shard.stats().requests(), 0);
+        assert!(shard.cache().resident_clips().is_empty());
+        assert!(!shard.get(ClipId::new(2), repo.size_of(ClipId::new(2))).hit);
     }
 }

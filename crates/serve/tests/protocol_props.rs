@@ -1,0 +1,224 @@
+//! Property tests of the line protocol: `parse ∘ serialize == id` for
+//! every command and reply variant, and totality of every parser — any
+//! byte sequence (truncated lines, embedded NULs, oversized clip ids,
+//! raw garbage) produces an `Err`, never a panic.
+//!
+//! The `proptest!` cases draw random inputs when the real `proptest`
+//! crate is available; the plain `#[test]`s keep a deterministic corpus
+//! of the same properties alive under the offline stub (see
+//! `vendor/README.md`).
+
+use clipcache_media::{ByteSize, ClipId};
+use clipcache_serve::protocol::{
+    format_command, format_get, format_poisoned, format_stats, parse_command, parse_get,
+    parse_poisoned, parse_stats, Command, ServerStats,
+};
+use clipcache_serve::shard::GetOutcome;
+use clipcache_sim::metrics::HitStats;
+use proptest::prelude::*;
+
+fn command_from(selector: u8, clip: u32) -> Command {
+    let clip = ClipId::new(clip.max(1));
+    match selector % 5 {
+        0 => Command::Get(clip),
+        1 => Command::Stats,
+        2 => Command::Snapshot,
+        3 => Command::Poison(clip),
+        _ => Command::Quit,
+    }
+}
+
+fn outcome_from(selector: u8, evictions: usize) -> GetOutcome {
+    // The three states the wire can carry: HIT (admitted implied),
+    // MISS admitted, MISS rejected.
+    match selector % 3 {
+        0 => GetOutcome {
+            hit: true,
+            admitted: true,
+            evictions,
+        },
+        1 => GetOutcome {
+            hit: false,
+            admitted: true,
+            evictions,
+        },
+        _ => GetOutcome {
+            hit: false,
+            admitted: false,
+            evictions,
+        },
+    }
+}
+
+fn stats_from(v: [u64; 6]) -> ServerStats {
+    ServerStats {
+        stats: HitStats {
+            hits: v[0],
+            misses: v[1],
+            byte_hits: ByteSize::bytes(v[2]),
+            byte_misses: ByteSize::bytes(v[3]),
+            evictions: v[4],
+        },
+        recoveries: v[5],
+    }
+}
+
+/// Every parser applied to one input; the property under test is only
+/// that none of them panics.
+fn feed_all_parsers(line: &str) {
+    let _ = parse_command(line);
+    let _ = parse_get(line);
+    let _ = parse_stats(line);
+    let _ = parse_poisoned(line);
+}
+
+#[test]
+fn malformed_corpus_is_rejected_not_panicked() {
+    let corpus: &[&str] = &[
+        // Truncated lines.
+        "G",
+        "GE",
+        "GET",
+        "GET ",
+        "STAT",
+        "SNAPSHO",
+        "POISON",
+        "POISON ",
+        "QUI",
+        "HIT",
+        "MISS",
+        "MISS 1",
+        "STATS hits=1",
+        "POISONED",
+        // Embedded NULs.
+        "GET\0 1",
+        "GET \0",
+        "GET 1\0",
+        "\0",
+        "\0\0\0",
+        "STATS\0",
+        // Oversized / out-of-range clip ids.
+        "GET 0",
+        "GET 4294967296",
+        "GET 18446744073709551616",
+        "GET 99999999999999999999999999999999",
+        "POISON 4294967296",
+        // Wrong shapes and trailing junk.
+        "GET 1 2",
+        "GET one",
+        "GET -1",
+        "GET 1.5",
+        "get 1",
+        "HIT x",
+        "HIT 1 2",
+        "MISS 2 0",
+        "MISS 1 1 1",
+        "POISONED x",
+        "POISONED 1 2",
+        "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0", // old 5-field form
+        "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 frobs=0",
+        "STATS hits==1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0",
+        "",
+        "   ",
+        "\t",
+        "ERR something broke",
+        "BYE BYE",
+        "💾 1",
+    ];
+    for line in corpus {
+        assert!(parse_command(line).is_err(), "command accepted: {line:?}");
+        feed_all_parsers(line);
+    }
+    // Replies are not commands and vice versa.
+    assert!(parse_get("STATS").is_err());
+    assert!(parse_stats("HIT 0").is_err());
+    assert!(parse_poisoned("QUIT").is_err());
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_panic() {
+    // A line at (and past) the server's cap, with and without a valid
+    // prefix: the parsers must stay total however big the input is.
+    let huge_digits = format!("GET {}", "9".repeat(clipcache_serve::MAX_LINE_BYTES));
+    assert!(parse_command(&huge_digits).is_err());
+    let huge_junk = "x".repeat(clipcache_serve::MAX_LINE_BYTES + 1);
+    feed_all_parsers(&huge_junk);
+    assert!(parse_command(&huge_junk).is_err());
+}
+
+#[test]
+fn round_trips_on_a_grid() {
+    for selector in 0u8..5 {
+        for clip in [1u32, 2, 1000, u32::MAX] {
+            let command = command_from(selector, clip);
+            assert_eq!(parse_command(&format_command(&command)), Ok(command));
+        }
+    }
+    for selector in 0u8..3 {
+        for evictions in [0usize, 1, 7, usize::MAX] {
+            let outcome = outcome_from(selector, evictions);
+            assert_eq!(parse_get(&format_get(&outcome)), Ok(outcome));
+        }
+    }
+    for shard in [0usize, 1, 63, usize::MAX] {
+        assert_eq!(parse_poisoned(&format_poisoned(shard)), Ok(shard));
+    }
+    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4]);
+    assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
+}
+
+proptest! {
+    #[test]
+    fn commands_round_trip(selector in 0u8..5, clip in 1u32..u32::MAX) {
+        let command = command_from(selector, clip);
+        prop_assert_eq!(parse_command(&format_command(&command)), Ok(command));
+    }
+
+    #[test]
+    fn get_replies_round_trip(selector in 0u8..3, evictions in 0usize..usize::MAX) {
+        let outcome = outcome_from(selector, evictions);
+        prop_assert_eq!(parse_get(&format_get(&outcome)), Ok(outcome));
+    }
+
+    #[test]
+    fn stats_replies_round_trip(
+        hits in 0u64..u64::MAX,
+        misses in 0u64..u64::MAX,
+        byte_hits in 0u64..u64::MAX,
+        byte_misses in 0u64..u64::MAX,
+        evictions in 0u64..u64::MAX,
+        recoveries in 0u64..u64::MAX,
+    ) {
+        let stats = stats_from([hits, misses, byte_hits, byte_misses, evictions, recoveries]);
+        prop_assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
+    }
+
+    #[test]
+    fn poisoned_replies_round_trip(shard in 0usize..usize::MAX) {
+        prop_assert_eq!(parse_poisoned(&format_poisoned(shard)), Ok(shard));
+    }
+
+    #[test]
+    fn parsers_are_total_on_random_bytes(bytes in proptest::collection::vec(0u8..255, 0..64)) {
+        // Arbitrary bytes, decoded the way the server decodes a line.
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        feed_all_parsers(&line);
+    }
+
+    #[test]
+    fn parsers_are_total_on_random_ascii_words(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        // Structured-looking garbage: plausible keywords with random
+        // numerals bolted on.
+        for line in [
+            format!("GET {a}"),
+            format!("GET {a} {b}"),
+            format!("POISON {a}"),
+            format!("HIT {a}"),
+            format!("MISS {} {b}", a % 4),
+            format!("POISONED {a}"),
+            format!("STATS hits={a} misses={b}"),
+        ] {
+            feed_all_parsers(&line);
+        }
+    }
+}

@@ -5,12 +5,17 @@
 use clipcache_core::snapshot::CacheSnapshot;
 use clipcache_core::PolicyKind;
 use clipcache_media::{paper, ClipId, Repository};
-use clipcache_serve::{run_load, serve, CacheService, ServiceConfig, Target, TcpCacheClient};
+use clipcache_serve::{
+    run_load, serve_with, CacheService, ServerConfig, ServiceConfig, Target, TcpCacheClient,
+    MAX_LINE_BYTES,
+};
 use clipcache_workload::{RequestGenerator, Trace};
 use std::sync::Arc;
+use std::time::Duration;
 
-fn start(
+fn start_with(
     shards: usize,
+    config: ServerConfig,
 ) -> (
     Arc<Repository>,
     Arc<CacheService>,
@@ -30,8 +35,18 @@ fn start(
         )
         .unwrap(),
     );
-    let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let handle = serve_with(Arc::clone(&service), "127.0.0.1:0", config).expect("bind loopback");
     (repo, service, handle)
+}
+
+fn start(
+    shards: usize,
+) -> (
+    Arc<Repository>,
+    Arc<CacheService>,
+    clipcache_serve::ServerHandle,
+) {
+    start_with(shards, ServerConfig::default())
 }
 
 #[test]
@@ -45,9 +60,10 @@ fn protocol_round_trips_over_tcp() {
     assert!(hit.hit);
 
     let stats = client.stats().unwrap();
-    assert_eq!(stats.hits, 1);
-    assert_eq!(stats.misses, 1);
-    assert_eq!(stats, service.stats());
+    assert_eq!(stats.stats.hits, 1);
+    assert_eq!(stats.stats.misses, 1);
+    assert_eq!(stats.stats, service.stats());
+    assert_eq!(stats.recoveries, 0);
 
     // SNAPSHOT is a JSON array with one parseable snapshot per shard.
     let json = client.snapshot_json().unwrap();
@@ -127,6 +143,115 @@ fn concurrent_tcp_clients_conserve_requests() {
         run_load(&Target::Tcp(handle.addr().to_string()), &repo, &trace, 4).expect("tcp load");
     assert_eq!(report.observed.requests(), 2_000);
     assert_eq!(report.observed, service.stats());
+    handle.shutdown();
+}
+
+#[test]
+fn admission_gate_refuses_excess_connections_with_structured_err() {
+    use std::io::{BufRead, BufReader};
+    let (_repo, _service, handle) = start_with(
+        1,
+        ServerConfig {
+            max_conns: Some(1),
+            ..ServerConfig::default()
+        },
+    );
+    let mut first = TcpCacheClient::connect(handle.addr()).unwrap();
+    assert!(!first.get(ClipId::new(1)).unwrap().hit);
+    // The gate counts live connections, so the second arrival while the
+    // first is parked gets a refusal line and a close, not a hang.
+    let refused = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(refused);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "ERR server busy");
+    let mut eof = String::new();
+    assert_eq!(
+        reader.read_line(&mut eof).unwrap(),
+        0,
+        "refused conn is closed"
+    );
+    // Capacity frees once the first client leaves.
+    first.quit().unwrap();
+    let mut retry = None;
+    for _ in 0..50 {
+        match TcpCacheClient::connect(handle.addr()).and_then(|mut c| c.get(ClipId::new(1))) {
+            Ok(outcome) => {
+                retry = Some(outcome);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(retry.expect("slot frees after quit").hit);
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reclaimed_with_err_idle_timeout() {
+    use std::io::{BufRead, BufReader};
+    let (_repo, _service, handle) = start_with(
+        1,
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    );
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // Send nothing; the server must evict us with a structured reply.
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "ERR idle timeout");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_request_lines_are_refused() {
+    use std::io::{BufRead, BufReader, Write};
+    let (_repo, _service, handle) = start(1);
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // A newline-less flood past the cap: the server answers ERR and
+    // closes instead of buffering forever.
+    let flood = vec![b'G'; MAX_LINE_BYTES + 4096];
+    stream.write_all(&flood).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "ERR request line too long");
+    handle.shutdown();
+}
+
+#[test]
+fn poison_is_refused_without_chaos_and_honored_with_it() {
+    // Production default: POISON is refused with a structured ERR.
+    let (_repo, service, handle) = start(2);
+    let mut client = TcpCacheClient::connect(handle.addr()).unwrap();
+    assert!(client.poison(ClipId::new(1)).is_err());
+    // The refusal is an ERR reply, not a dead connection.
+    assert!(!client.get(ClipId::new(1)).unwrap().hit);
+    assert_eq!(service.recoveries(), 0);
+    client.quit().unwrap();
+    handle.shutdown();
+
+    // Chaos server: POISON poisons the clip's shard; the next access
+    // recovers it and STATS reports the recovery.
+    let (_repo, service, handle) = start_with(
+        2,
+        ServerConfig {
+            chaos: true,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = TcpCacheClient::connect(handle.addr()).unwrap();
+    assert!(!client.get(ClipId::new(1)).unwrap().hit);
+    let shard = client.poison(ClipId::new(1)).unwrap();
+    assert!(shard < 2);
+    assert!(client.get(ClipId::new(1)).is_ok(), "shard recovered");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(service.recoveries(), 1);
+    client.quit().unwrap();
     handle.shutdown();
 }
 

@@ -1,0 +1,110 @@
+//! Snapshot → restore → snapshot is a fixed point.
+//!
+//! The serving layer leans on this: a poisoned shard rebuilds from its
+//! last `CacheSnapshot` checkpoint (`clipcache-serve`'s recovery path),
+//! and a recovery that *changed* the durable state would compound on
+//! every subsequent fault. So for every heap-eligible policy kind — on
+//! both victim-index backends — restoring a snapshot and snapshotting
+//! the restored cache must reproduce the original snapshot exactly:
+//! same policy spelling, same capacity, same resident set. The JSON
+//! codec must be a fixed point of the same loop
+//! (`from_json ∘ to_json == id`), since the checkpoint may cross a
+//! process boundary as text.
+
+use clipcache::core::snapshot::{restore, CacheSnapshot};
+use clipcache::core::{ClipCache, PolicyKind, PolicySpec, VictimBackend};
+use clipcache::media::{paper, Repository};
+use clipcache::workload::{RequestGenerator, Timestamp};
+use std::sync::Arc;
+
+/// Every policy kind the heap backend supports — mirrors
+/// `backend_equivalence.rs`, the canonical list.
+fn heap_eligible() -> Vec<PolicyKind> {
+    let kinds = vec![
+        PolicyKind::Random,
+        PolicyKind::Lru,
+        PolicyKind::Mru,
+        PolicyKind::Fifo,
+        PolicyKind::Lfu,
+        PolicyKind::LfuDa,
+        PolicyKind::Size,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::LruK { k: 3 },
+        PolicyKind::LruKCrp { k: 2, crp: 3 },
+        PolicyKind::GreedyDual,
+        PolicyKind::GreedyDualFetchTime { mbps: 1 },
+        PolicyKind::GreedyDualPackets,
+        PolicyKind::GreedyDualLatency { mbps: 1 },
+        PolicyKind::GdFreq,
+        PolicyKind::GdsPopularity,
+    ];
+    for k in &kinds {
+        assert!(k.supports_heap(), "{k} must be heap-eligible");
+    }
+    kinds
+}
+
+/// Warm a cache under `spec` with a seeded Zipf trace.
+fn warmed(spec: PolicySpec, repo: &Arc<Repository>) -> (Box<dyn ClipCache>, Timestamp) {
+    let freqs = vec![1.0 / repo.len() as f64; repo.len()];
+    let mut cache = spec.build(
+        Arc::clone(repo),
+        repo.cache_capacity_for_ratio(0.2),
+        7,
+        Some(&freqs),
+    );
+    let mut last = Timestamp::ZERO;
+    for req in RequestGenerator::new(repo.len(), 0.27, 0, 1_200, 11) {
+        last = req.at;
+        cache.access(req.clip, req.at);
+    }
+    (cache, last)
+}
+
+fn assert_fixed_point(spec: PolicySpec, repo: &Arc<Repository>) {
+    let freqs = vec![1.0 / repo.len() as f64; repo.len()];
+    let (cache, tick) = warmed(spec, repo);
+    let first = CacheSnapshot::take(cache.as_ref(), spec, tick);
+
+    // Restore consumes one virtual tick per re-materialized clip; the
+    // state it produces must carry the identical durable facts.
+    let (restored, _next) =
+        restore(&first, Arc::clone(repo), 7, Some(&freqs)).expect("restore builds");
+    let second = CacheSnapshot::take(restored.as_ref(), spec, first.tick);
+    assert_eq!(
+        second,
+        first,
+        "{}: snapshot∘restore must be a fixed point",
+        spec.spelling()
+    );
+    assert_eq!(restored.used(), cache.used(), "{}", spec.spelling());
+
+    // A second hop is free once the first is exact, but run it anyway:
+    // the recovery path may fire repeatedly under chaos.
+    let (restored_again, _) =
+        restore(&second, Arc::clone(repo), 7, Some(&freqs)).expect("re-restore builds");
+    let third = CacheSnapshot::take(restored_again.as_ref(), spec, first.tick);
+    assert_eq!(third, first, "{}: second hop drifted", spec.spelling());
+
+    // And the textual form is a fixed point of the same loop.
+    let json = first.to_json();
+    let decoded = CacheSnapshot::from_json(&json).expect("snapshot JSON parses");
+    assert_eq!(decoded, first, "{}", spec.spelling());
+    assert_eq!(decoded.to_json(), json, "{}", spec.spelling());
+}
+
+#[test]
+fn snapshot_restore_is_a_fixed_point_for_every_heap_eligible_kind_on_scan() {
+    let repo = Arc::new(paper::variable_sized_repository_of(48));
+    for kind in heap_eligible() {
+        assert_fixed_point(PolicySpec::from(kind), &repo);
+    }
+}
+
+#[test]
+fn snapshot_restore_is_a_fixed_point_for_every_heap_eligible_kind_on_heap() {
+    let repo = Arc::new(paper::variable_sized_repository_of(48));
+    for kind in heap_eligible() {
+        assert_fixed_point(PolicySpec::with_backend(kind, VictimBackend::Heap), &repo);
+    }
+}
