@@ -32,12 +32,7 @@ fn bench_serve(c: &mut Criterion) {
                 let service = Arc::new(
                     CacheService::new(
                         Arc::clone(&repo),
-                        ServiceConfig {
-                            policy: PolicyKind::Lru.into(),
-                            shards,
-                            capacity,
-                            seed: 7,
-                        },
+                        ServiceConfig::new(PolicyKind::Lru, shards, capacity, 7),
                         None,
                     )
                     .expect("LRU builds"),
@@ -58,12 +53,7 @@ fn bench_serve(c: &mut Criterion) {
                     let service = Arc::new(
                         CacheService::new(
                             Arc::clone(&repo),
-                            ServiceConfig {
-                                policy: PolicyKind::Lru.into(),
-                                shards: 4,
-                                capacity,
-                                seed: 7,
-                            },
+                            ServiceConfig::new(PolicyKind::Lru, 4, capacity, 7),
                             None,
                         )
                         .expect("LRU builds"),

@@ -23,6 +23,14 @@ use clipcache_workload::Timestamp;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// The snapshot schema version this build writes and understands.
+///
+/// Serialized snapshots carry `"version"` so a binary restoring an
+/// on-disk checkpoint written by a *future* schema fails loudly instead
+/// of restoring garbage. Snapshots without the field (written before
+/// versioning existed) are read as version 1.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
 /// A durable snapshot of a cache's contents.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheSnapshot {
@@ -52,7 +60,7 @@ impl CacheSnapshot {
     }
 
     /// Serialize to JSON (the durable on-disk form):
-    /// `{"policy":"dynsimple:2","capacity":…,"tick":…,"resident":[…]}`.
+    /// `{"version":1,"policy":"dynsimple:2","capacity":…,"tick":…,"resident":[…]}`.
     /// The policy is stored as its [`PolicySpec::spelling`] (backend
     /// suffix included when not scan) so the file round-trips without
     /// serde (stubbed offline, see `vendor/README.md`) and stays
@@ -60,7 +68,8 @@ impl CacheSnapshot {
     pub fn to_json(&self) -> String {
         let ids: Vec<String> = self.resident.iter().map(|c| c.get().to_string()).collect();
         format!(
-            "{{\"policy\":\"{}\",\"capacity\":{},\"tick\":{},\"resident\":[{}]}}",
+            "{{\"version\":{},\"policy\":\"{}\",\"capacity\":{},\"tick\":{},\"resident\":[{}]}}",
+            SNAPSHOT_VERSION,
             self.policy.spelling(),
             self.capacity.as_u64(),
             self.tick.get(),
@@ -69,8 +78,31 @@ impl CacheSnapshot {
     }
 
     /// Deserialize from JSON (the [`to_json`](Self::to_json) shape).
+    ///
+    /// A `version` other than [`SNAPSHOT_VERSION`] is rejected loudly —
+    /// a checkpoint written by a future schema must never be restored as
+    /// if it were understood. Snapshots without the field (pre-versioning
+    /// files) are accepted as version 1.
     pub fn from_json(json: &str) -> Result<Self, String> {
         let v = clipcache_workload::json::parse(json)?;
+        Self::from_value(&v)
+    }
+
+    /// Deserialize from an already-parsed JSON value — the entry point
+    /// for callers that embed a snapshot inside a larger document (the
+    /// serve layer's durable checkpoint files).
+    pub fn from_value(v: &clipcache_workload::json::Json) -> Result<Self, String> {
+        if let Some(version) = v.get("version") {
+            let version = version
+                .as_u64()
+                .ok_or("snapshot `version` must be a non-negative integer")?;
+            if version != SNAPSHOT_VERSION {
+                return Err(format!(
+                    "snapshot version {version} is not supported (this build reads \
+                     version {SNAPSHOT_VERSION}); refusing to restore"
+                ));
+            }
+        }
         let policy = v
             .get("policy")
             .and_then(|p| p.as_str())
@@ -184,8 +216,39 @@ mod tests {
         let repo = Arc::new(paper::variable_sized_repository_of(12));
         let (cache, tick) = warmed(PolicyKind::Lru, &repo);
         let snap = CacheSnapshot::take(cache.as_ref(), PolicyKind::Lru, tick);
-        let back = CacheSnapshot::from_json(&snap.to_json()).unwrap();
+        let json = snap.to_json();
+        assert!(
+            json.starts_with(&format!("{{\"version\":{SNAPSHOT_VERSION},")),
+            "snapshots must declare their schema version: {json}"
+        );
+        let back = CacheSnapshot::from_json(&json).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn unknown_snapshot_versions_are_rejected_loudly() {
+        let repo = Arc::new(paper::variable_sized_repository_of(12));
+        let (cache, tick) = warmed(PolicyKind::Lru, &repo);
+        let json = CacheSnapshot::take(cache.as_ref(), PolicyKind::Lru, tick).to_json();
+        // A future schema bump must fail, not restore garbage.
+        for future in [
+            json.replace("\"version\":1", "\"version\":2"),
+            json.replace("\"version\":1", "\"version\":999"),
+            json.replace("\"version\":1", "\"version\":0"),
+        ] {
+            let err = CacheSnapshot::from_json(&future).unwrap_err();
+            assert!(err.contains("not supported"), "weak rejection: {err}");
+        }
+        // Non-integer versions are malformed, not silently defaulted.
+        assert!(
+            CacheSnapshot::from_json(&json.replace("\"version\":1", "\"version\":\"1\"")).is_err()
+        );
+        // Pre-versioning snapshots (no field) still restore as v1.
+        let legacy = json.replace("\"version\":1,", "");
+        assert_eq!(
+            CacheSnapshot::from_json(&legacy).unwrap(),
+            CacheSnapshot::from_json(&json).unwrap()
+        );
     }
 
     #[test]

@@ -50,12 +50,7 @@ fn run_cell(
     let service = Arc::new(
         CacheService::new(
             Arc::clone(repo),
-            ServiceConfig {
-                policy,
-                shards: SHARDS,
-                capacity: repo.cache_capacity_for_ratio(RATIO),
-                seed,
-            },
+            ServiceConfig::new(policy, SHARDS, repo.cache_capacity_for_ratio(RATIO), seed),
             None,
         )
         .expect("on-line policies build without frequencies"),

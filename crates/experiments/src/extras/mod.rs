@@ -17,6 +17,7 @@ pub mod mattson;
 pub mod objectives;
 pub mod optimality;
 pub mod quality;
+pub mod recoverybench;
 pub mod region;
 pub mod restart;
 pub mod retention;

@@ -37,12 +37,7 @@ fn hit_rate_at(
     let service = Arc::new(
         CacheService::new(
             Arc::clone(repo),
-            ServiceConfig {
-                policy,
-                shards,
-                capacity: repo.cache_capacity_for_ratio(RATIO),
-                seed,
-            },
+            ServiceConfig::new(policy, shards, repo.cache_capacity_for_ratio(RATIO), seed),
             None,
         )
         .expect("on-line policies build without frequencies"),

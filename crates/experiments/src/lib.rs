@@ -65,6 +65,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fleet",
     "servebench",
     "faultbench",
+    "recoverybench",
     "optimality",
 ];
 
@@ -101,6 +102,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "optimality" => "distance to Belady's clairvoyant MIN on equi-sized clips",
         "servebench" => "serving layer: sharded-service hit rate vs shard count (serial reference)",
         "faultbench" => "serving layer: effective hit rate vs injected fault rate (chaos harness)",
+        "recoverybench" => "serving layer: warm (checkpoint+WAL) vs cold restart hit rate",
         _ => return None,
     })
 }
@@ -134,6 +136,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<FigureRes
         "locality" => extras::locality::run(ctx),
         "servebench" => extras::servebench::run(ctx),
         "faultbench" => extras::faultbench::run(ctx),
+        "recoverybench" => extras::recoverybench::run(ctx),
         "loglaw" => extras::loglaw::run(ctx),
         "sizes" => extras::sizes::run(ctx),
         "ablation" => extras::ablation::run(ctx),

@@ -5,7 +5,7 @@
 //!         [--clients n] [--requests n] [--clips n] [--theta f]
 //!         [--ratio f] [--seed n|0xHEX] [--check-serial tol]
 //!         [--faults spec] [--retries n] [--backoff-ms n]
-//!         [--chaos-report path]
+//!         [--chaos-report path] [--data-dir path] [--wal-sync always|off]
 //! ```
 //!
 //! Replays a seeded Zipf trace from `--clients` closed-loop threads
@@ -34,11 +34,19 @@
 //! capacity changes cache state. When the target is TCP, pass the same
 //! `--policy/--shards/--clips/--ratio/--seed` the server was started
 //! with so the baseline matches.
+//!
+//! `--data-dir` (inproc targets only) runs the in-process service
+//! durably — checkpoint + WAL per shard, recovered on open — so
+//! `--check-serial 0` against a fresh data dir proves persistence does
+//! not perturb behavior, the check CI's crash-smoke job runs. A
+//! `--faults` spec carrying `crash=append:N` (etc.) arms the durable
+//! store's deterministic crash point; the process exits 137 when it
+//! fires, exactly like `serve --crash-at`.
 
 use clipcache_media::paper;
 use clipcache_serve::{
-    run_load_with, serial_baseline, CacheService, FaultPlan, LoadOptions, RetryPolicy,
-    ServiceConfig, Target,
+    run_load_with, serial_baseline, CacheService, CrashAction, FaultPlan, LoadOptions,
+    PersistOptions, RetryPolicy, ServiceConfig, Target, WalSync,
 };
 use clipcache_workload::{RequestGenerator, Trace};
 use std::process::ExitCode;
@@ -59,6 +67,8 @@ struct Args {
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
     chaos_report: Option<String>,
+    data_dir: Option<std::path::PathBuf>,
+    wal_sync: WalSync,
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -86,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
         faults: None,
         retry: RetryPolicy::default(),
         chaos_report: None,
+        data_dir: None,
+        wal_sync: WalSync::default(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -155,13 +167,21 @@ fn parse_args() -> Result<Args, String> {
             "--chaos-report" => {
                 args.chaos_report = Some(argv.next().ok_or("--chaos-report needs a path or -")?);
             }
+            "--data-dir" => {
+                let v = argv.next().ok_or("--data-dir needs a path")?;
+                args.data_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--wal-sync" => {
+                let v = argv.next().ok_or("--wal-sync needs always or off")?;
+                args.wal_sync = WalSync::parse(&v)?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--target inproc|host:port] [--policy spec] \
                      [--shards n] [--clients n] [--requests n] [--clips n] \
                      [--theta f] [--ratio f] [--seed n|0xHEX] [--check-serial tol] \
                      [--faults spec] [--retries n] [--backoff-ms n] \
-                     [--chaos-report path|-]\n\
+                     [--chaos-report path|-] [--data-dir path] [--wal-sync always|off]\n\
                      --check-serial 0 demands bit-for-bit equality with the \
                      serial simulator (valid for --shards 1 --clients 1); \
                      tol > 0 allows that hit-rate deviation for sharded runs\n\
@@ -174,6 +194,11 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown argument {other}")),
         }
+    }
+    if args.data_dir.is_some() && args.target != "inproc" {
+        return Err(
+            "--data-dir only applies to --target inproc (persist the server instead)".into(),
+        );
     }
     Ok(args)
 }
@@ -196,17 +221,37 @@ fn main() -> ExitCode {
         args.seed,
     ));
 
+    let config = ServiceConfig::new(args.policy, args.shards, capacity, args.seed);
+    // Whether the durable service recovered prior state: server-side
+    // counters then include a previous run's requests and cannot be
+    // compared against this run's client-observed counters.
+    let mut warm_start = false;
     let service = if args.target == "inproc" {
-        match CacheService::new(
-            Arc::clone(&repo),
-            ServiceConfig {
-                policy: args.policy,
-                shards: args.shards,
-                capacity,
-                seed: args.seed,
-            },
-            None,
-        ) {
+        let built = match &args.data_dir {
+            Some(dir) => {
+                let opts = PersistOptions {
+                    dir: dir.clone(),
+                    sync: args.wal_sync,
+                    crash: args.faults.as_ref().and_then(|p| p.crash()),
+                    on_crash: CrashAction::ExitProcess,
+                };
+                CacheService::open_persistent(Arc::clone(&repo), config, None, &opts)
+                    .map(|(s, report)| {
+                        warm_start = report.checkpoints_loaded > 0 || report.replayed > 0;
+                        println!(
+                            "recovered {} (checkpoints={} wal_replayed={} torn_bytes_dropped={})",
+                            dir.display(),
+                            report.checkpoints_loaded,
+                            report.replayed,
+                            report.torn_bytes_dropped
+                        );
+                        s
+                    })
+                    .map_err(|e| e.to_string())
+            }
+            None => CacheService::new(Arc::clone(&repo), config, None).map_err(|e| e.to_string()),
+        };
+        match built {
             Ok(s) => Some(Arc::new(s)),
             Err(e) => {
                 eprintln!("cannot build service: {e}");
@@ -300,11 +345,14 @@ fn main() -> ExitCode {
         // Clean runs only: under chaos, duplicate processing (lost
         // replies) and checkpoint rewinds (poison recovery) legitimately
         // shift the server-side counters, so the client-observed side is
-        // the authoritative one.
-        let server_side = service.stats();
-        if server_side != report.observed {
-            eprintln!("server-side stats disagree with client-observed stats");
-            return ExitCode::FAILURE;
+        // the authoritative one. A warm durable start also skips: the
+        // recovered counters include a previous run's requests.
+        if !warm_start {
+            let server_side = service.stats();
+            if server_side != report.observed {
+                eprintln!("server-side stats disagree with client-observed stats");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if let Some(path) = &args.chaos_report {

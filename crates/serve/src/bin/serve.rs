@@ -4,6 +4,8 @@
 //! serve [--addr host:port] [--policy spec] [--shards n] [--clips n]
 //!       [--ratio f] [--seed n|0xHEX] [--max-conns n]
 //!       [--read-timeout ms] [--chaos]
+//!       [--data-dir path] [--wal-sync always|off]
+//!       [--checkpoint-every n] [--crash-at kind:N]
 //! ```
 //!
 //! Binds, prints `listening on <addr>`, then serves the line protocol
@@ -18,9 +20,22 @@
 //! with `ERR server busy`; `--read-timeout` reclaims connections idle
 //! for that many milliseconds with `ERR idle timeout`; `--chaos` honors
 //! the `POISON` fault-injection command (refused otherwise).
+//!
+//! Durability knobs: `--data-dir` persists every shard (checkpoint +
+//! WAL) beneath the given directory and recovers whatever a previous
+//! process made durable before listening; `--wal-sync` picks the fsync
+//! policy (`off` flushes to the OS per append — survives `kill -9`;
+//! `always` adds an fsync — survives power loss); `--checkpoint-every`
+//! sets the accesses between checkpoint refreshes; `--crash-at`
+//! (requires `--data-dir`) arms a deterministic crash point
+//! (`append:N`, `torn:N`, `checkpoint:N`) that kills the process with
+//! exit code 137 — the chaos harness's crash-restart loop.
 
 use clipcache_media::paper;
-use clipcache_serve::{serve_with, CacheService, ServerConfig, ServiceConfig};
+use clipcache_serve::{
+    serve_with, CacheService, CrashAction, CrashSpec, PersistOptions, ServerConfig, ServiceConfig,
+    WalSync,
+};
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -34,6 +49,10 @@ struct Args {
     ratio: f64,
     seed: u64,
     server: ServerConfig,
+    data_dir: Option<std::path::PathBuf>,
+    wal_sync: WalSync,
+    checkpoint_every: Option<u64>,
+    crash_at: Option<CrashSpec>,
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -55,6 +74,10 @@ fn parse_args() -> Result<Args, String> {
         ratio: 0.25,
         seed: 0x5EED_2007,
         server: ServerConfig::default(),
+        data_dir: None,
+        wal_sync: WalSync::default(),
+        checkpoint_every: None,
+        crash_at: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -100,19 +123,48 @@ fn parse_args() -> Result<Args, String> {
                 args.server.read_timeout = Some(Duration::from_millis(ms));
             }
             "--chaos" => args.server.chaos = true,
+            "--data-dir" => {
+                let v = argv.next().ok_or("--data-dir needs a path")?;
+                args.data_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--wal-sync" => {
+                let v = argv.next().ok_or("--wal-sync needs always or off")?;
+                args.wal_sync = WalSync::parse(&v)?;
+            }
+            "--checkpoint-every" => {
+                let v = argv.next().ok_or("--checkpoint-every needs a count")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                args.checkpoint_every = Some(n);
+            }
+            "--crash-at" => {
+                let v = argv.next().ok_or("--crash-at needs kind:N")?;
+                args.crash_at = Some(CrashSpec::parse(&v)?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: serve [--addr host:port] [--policy spec] [--shards n] \
                      [--clips n] [--ratio f] [--seed n|0xHEX] [--max-conns n] \
-                     [--read-timeout ms] [--chaos]\n\
+                     [--read-timeout ms] [--chaos] [--data-dir path] \
+                     [--wal-sync always|off] [--checkpoint-every n] [--crash-at kind:N]\n\
                      serves until stdin closes or reads a `quit` line;\n\
                      --max-conns refuses excess connections with ERR server busy,\n\
-                     --read-timeout reclaims idle connections, --chaos honors POISON"
+                     --read-timeout reclaims idle connections, --chaos honors POISON;\n\
+                     --data-dir makes every shard durable (checkpoint + WAL) and\n\
+                     recovers previous state on start, --crash-at arms a\n\
+                     deterministic crash point (append:N, torn:N, checkpoint:N)"
                         .into(),
                 )
             }
             other => return Err(format!("unknown argument {other}")),
         }
+    }
+    if args.crash_at.is_some() && args.data_dir.is_none() {
+        return Err("--crash-at needs --data-dir (crash points live in the durable store)".into());
     }
     Ok(args)
 }
@@ -127,21 +179,42 @@ fn main() -> ExitCode {
     };
     let repo = Arc::new(paper::variable_sized_repository_of(args.clips));
     let capacity = repo.cache_capacity_for_ratio(args.ratio);
-    let service = match CacheService::new(
-        Arc::clone(&repo),
-        ServiceConfig {
-            policy: args.policy,
-            shards: args.shards,
-            capacity,
-            seed: args.seed,
-        },
-        None,
-    ) {
-        Ok(s) => Arc::new(s),
-        Err(e) => {
-            eprintln!("cannot build service: {e}");
-            return ExitCode::FAILURE;
+    let mut config = ServiceConfig::new(args.policy, args.shards, capacity, args.seed);
+    if let Some(every) = args.checkpoint_every {
+        config = config.with_checkpoint_every(every);
+    }
+    let service = match &args.data_dir {
+        Some(dir) => {
+            let opts = PersistOptions {
+                dir: dir.clone(),
+                sync: args.wal_sync,
+                crash: args.crash_at,
+                on_crash: CrashAction::ExitProcess,
+            };
+            match CacheService::open_persistent(Arc::clone(&repo), config, None, &opts) {
+                Ok((s, report)) => {
+                    println!(
+                        "recovered {} (checkpoints={} wal_replayed={} torn_bytes_dropped={})",
+                        dir.display(),
+                        report.checkpoints_loaded,
+                        report.replayed,
+                        report.torn_bytes_dropped
+                    );
+                    Arc::new(s)
+                }
+                Err(e) => {
+                    eprintln!("cannot open data dir {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        None => match CacheService::new(Arc::clone(&repo), config, None) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("cannot build service: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     let handle = match serve_with(service, &args.addr, args.server) {
         Ok(h) => h,

@@ -29,6 +29,7 @@
 //! [`chaos_report`](crate::loadgen::LoadReport::chaos_report) renders a
 //! wall-clock-free summary that CI pins against a committed golden.
 
+use crate::persist::CrashSpec;
 use crate::shard::splitmix64;
 use std::time::Duration;
 
@@ -122,6 +123,7 @@ pub struct FaultPlan {
     seed: u64,
     rate_ppm: u32,
     kinds: Vec<FaultKind>,
+    crash: Option<CrashSpec>,
 }
 
 impl FaultPlan {
@@ -142,7 +144,20 @@ impl FaultPlan {
             seed,
             rate_ppm: (rate * 1_000_000.0).round() as u32,
             kinds: kinds.to_vec(),
+            crash: None,
         }
+    }
+
+    /// Arm a deterministic durable-store crash point (fires only when
+    /// the target service is persistent — see `persist::CrashSpec`).
+    pub fn with_crash(mut self, crash: CrashSpec) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// The armed crash point, if any.
+    pub fn crash(&self) -> Option<CrashSpec> {
+        self.crash
     }
 
     /// The plan's seed.
@@ -204,11 +219,14 @@ impl FaultPlan {
     /// rate=0.02                       ; wire kinds, seed 0
     /// rate=0.05,seed=7                ; wire kinds, seed 7
     /// rate=0.05,seed=7,kinds=drop-pre+poison
+    /// rate=0,crash=append:40          ; no wire faults, crash after
+    ///                                 ; the 40th durable WAL append
     /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut rate: Option<f64> = None;
         let mut seed = 0u64;
         let mut kinds: Vec<FaultKind> = FaultKind::WIRE.to_vec();
+        let mut crash: Option<CrashSpec> = None;
         for field in spec.split(',') {
             let field = field.trim();
             if field.is_empty() {
@@ -248,6 +266,7 @@ impl FaultPlan {
                         return Err("kinds= needs at least one fault kind".into());
                     }
                 }
+                "crash" => crash = Some(CrashSpec::parse(value)?),
                 other => return Err(format!("unknown fault spec key '{other}'")),
             }
         }
@@ -256,18 +275,24 @@ impl FaultPlan {
             seed,
             rate_ppm: (rate * 1_000_000.0).round() as u32,
             kinds,
+            crash,
         })
     }
 
     /// The canonical spec spelling ([`parse`](Self::parse) inverts it).
     pub fn spelling(&self) -> String {
         let kinds: Vec<&str> = self.kinds.iter().map(|k| k.spelling()).collect();
-        format!(
+        let mut spec = format!(
             "rate={:.6},seed={},kinds={}",
             self.rate_ppm as f64 / 1_000_000.0,
             self.seed,
             kinds.join("+")
-        )
+        );
+        if let Some(crash) = self.crash {
+            spec.push_str(",crash=");
+            spec.push_str(&crash.spelling());
+        }
+        spec
     }
 }
 
@@ -408,6 +433,24 @@ mod tests {
         assert!(default.includes(FaultKind::TornWrite));
         // Hex seeds, like every other seed flag in the workspace.
         assert_eq!(FaultPlan::parse("rate=0,seed=0x10").unwrap().seed(), 16);
+    }
+
+    #[test]
+    fn crash_specs_ride_along_and_round_trip() {
+        use crate::persist::CrashPoint;
+        let plan = FaultPlan::parse("rate=0,crash=append:40").unwrap();
+        assert_eq!(
+            plan.crash().map(|c| c.point),
+            Some(CrashPoint::AfterAppend(40))
+        );
+        assert_eq!(FaultPlan::parse(&plan.spelling()).unwrap(), plan);
+        // Plans without a crash point spell exactly as before — the
+        // committed chaos golden depends on it.
+        let plain = FaultPlan::parse("rate=0.02,seed=9").unwrap();
+        assert!(plain.crash().is_none());
+        assert!(!plain.spelling().contains("crash"));
+        assert!(FaultPlan::parse("rate=0,crash=nope").is_err());
+        assert!(FaultPlan::parse("rate=0,crash=append:0").is_err());
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //!   threads replaying round-robin partitions of a seeded trace against
 //!   the in-process service or a TCP address, optionally through a
 //!   fault plan (`--faults`).
+//! * [`persist`] — durable per-shard state (`--data-dir`): periodic
+//!   checkpoints plus a CRC-framed write-ahead log, with deterministic
+//!   crash points (`--crash-at`) so recovery is provable, not hoped-for.
 //!
 //! **Equivalence anchor.** One shard + one client reproduces the serial
 //! simulator bit for bit: shard 0 runs the policy with the same derived
@@ -49,6 +52,7 @@ pub mod client;
 pub mod fault;
 pub mod latency;
 pub mod loadgen;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod service;
@@ -59,6 +63,10 @@ pub use fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
 pub use latency::LatencyLog;
 pub use loadgen::{
     run as run_load, run_with as run_load_with, serial_baseline, LoadOptions, LoadReport, Target,
+};
+pub use persist::{
+    CrashAction, CrashPoint, CrashSpec, DurableCheckpoint, PersistError, PersistOptions,
+    RecoveryReport, ShardStore, WalOp, WalRecord, WalSync,
 };
 pub use protocol::ServerStats;
 pub use server::{serve, serve_with, ServerConfig, ServerHandle, MAX_LINE_BYTES};

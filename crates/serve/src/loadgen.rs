@@ -22,9 +22,14 @@
 //! guarantees delivery: a plan never schedules more faults for one
 //! request than the client has retries, so every request's final reply
 //! reaches the client exactly once — the "no lost or duplicated
-//! responses" invariant `tests/chaos.rs` asserts. With no plan (or a
-//! zero rate) the replay takes the exact pre-chaos code path, keeping
-//! the serial-equivalence anchor bit for bit.
+//! responses" invariant `tests/chaos.rs` asserts. With no plan the
+//! replay takes the exact pre-chaos code path, keeping the
+//! serial-equivalence anchor bit for bit. A zero-rate plan injects
+//! nothing (its stats are bit-identical to a clean run) but still
+//! routes through the retrying transport — that is the restart-
+//! resilient mode: a TCP request caught by a server crash-restart is
+//! retried over a fresh connection and counted exactly once, so
+//! [`LoadReport::conserved`] holds across a `kill -9` + recovery.
 
 use crate::client::TcpCacheClient;
 use crate::fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
@@ -55,7 +60,9 @@ pub enum Target {
 pub struct LoadOptions {
     /// Closed-loop client threads (≥ 1).
     pub clients: usize,
-    /// The fault schedule; `None` (or a zero-rate plan) replays clean.
+    /// The fault schedule; `None` replays clean. A zero-rate plan
+    /// injects nothing but keeps the retrying transport, which makes
+    /// the run resilient to server restarts (`--faults rate=0`).
     pub faults: Option<FaultPlan>,
     /// Retry/backoff discipline for injected faults and real I/O errors.
     pub retry: RetryPolicy,
@@ -524,7 +531,12 @@ fn run_client(
     client_index: usize,
     options: &LoadOptions,
 ) -> std::io::Result<ClientLog> {
-    let plan = options.faults.as_ref().filter(|plan| plan.rate_ppm() > 0);
+    // Any plan — even rate=0 — routes through the retrying chaos
+    // transport: zero-rate injects nothing (bit-identical stats, the
+    // test below pins it) but survives a server restart mid-run via
+    // lazy reconnect + bounded io_retries, with the request counted
+    // exactly once.
+    let plan = options.faults.as_ref();
     match (target, plan) {
         (Target::InProcess(service), None) => replay(part, repo, |clip| {
             service
@@ -599,12 +611,12 @@ mod tests {
         let service = Arc::new(
             CacheService::new(
                 Arc::clone(&repo),
-                ServiceConfig {
-                    policy: PolicyKind::Lru.into(),
+                ServiceConfig::new(
+                    PolicyKind::Lru,
                     shards,
-                    capacity: repo.cache_capacity_for_ratio(0.25),
-                    seed: 42,
-                },
+                    repo.cache_capacity_for_ratio(0.25),
+                    42,
+                ),
                 None,
             )
             .unwrap(),

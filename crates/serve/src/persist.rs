@@ -1,0 +1,1042 @@
+//! Durable per-shard cache state: checkpoints plus a write-ahead log.
+//!
+//! The paper's whole argument is that a cache hit means the clip
+//! survives disconnection — which is only true if the cache itself
+//! survives a crash. This module makes a shard's state durable with the
+//! classic checkpoint + WAL pairing:
+//!
+//! * **Checkpoint** — a [`DurableCheckpoint`] file holding the shard's
+//!   [`CacheSnapshot`] (resident set, policy, capacity, virtual clock),
+//!   its [`HitStats`] and the WAL sequence number it covers, serialized
+//!   through the hand-rolled `workload::json` codec (serde is stubbed
+//!   offline). Checkpoints are written atomically: full tmp file, fsync,
+//!   rename — a crash mid-checkpoint leaves the previous checkpoint
+//!   intact.
+//! * **WAL** — an append-only log of every access since the last
+//!   checkpoint. Each record is length-prefixed and CRC-framed
+//!   ([`crc32`] over the length *and* payload, so a corrupted length
+//!   cannot masquerade as a valid frame). Recovery replays the log
+//!   through the shard's zero-alloc `access_into` path.
+//!
+//! ## The recovery contract
+//!
+//! [`ShardStore::open`] loads the newest valid checkpoint and decodes
+//! the WAL with exactly two failure modes:
+//!
+//! * a **torn tail** — the file ends mid-frame, the signature of a crash
+//!   during an append. The partial record is truncated away and recovery
+//!   proceeds from the last complete record; the dropped byte count is
+//!   reported, never hidden.
+//! * **mid-log corruption** — a complete frame whose CRC does not match,
+//!   or whose sequence breaks the chain. That is bit rot or foul play,
+//!   not a crash artifact, and recovery refuses loudly
+//!   ([`PersistError::Corrupt`]) rather than replaying garbage.
+//!
+//! Recovery is deterministic: the same on-disk bytes produce the same
+//! rebuilt shard, bit for bit, on every attempt — the crash-kill chaos
+//! suite (`tests/crash_recovery.rs`) pins this by recovering twice from
+//! copies of the same directory.
+//!
+//! ## Deterministic crash points
+//!
+//! A [`CrashSpec`] arms the store with a *crash point* — die after the
+//! Nth WAL append, write only half of the Nth append (a torn write), or
+//! die midway through the Nth checkpoint. The store performs the partial
+//! effect, then reports [`PersistError::CrashInjected`]; the service
+//! maps that to `process::exit(137)` in the binaries (`--crash-at`) or
+//! surfaces it to an in-process harness. Crash points count operations
+//! performed *after* recovery, so a crash-restart loop steps
+//! deterministically through the log.
+
+use clipcache_core::snapshot::CacheSnapshot;
+use clipcache_media::{ByteSize, ClipId};
+use clipcache_sim::metrics::HitStats;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// The WAL file inside a shard's directory.
+pub const WAL_FILE: &str = "wal.log";
+/// The checkpoint file inside a shard's directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+/// The scratch name a checkpoint is written to before the atomic rename.
+pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// The durable-checkpoint schema version this build writes and reads.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Bytes in one record's payload: seq (8) + clip (4) + op (1).
+const RECORD_PAYLOAD_BYTES: usize = 13;
+/// Bytes in one record's frame header: length (4) + CRC (4).
+const FRAME_HEADER_BYTES: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `bytes` — the same
+/// polynomial zlib and ethernet use, hand-rolled because the offline
+/// build vendors no checksum crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Streaming CRC-32, so frames can be checked without copying the
+/// length prefix and payload into one buffer.
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u32;
+            for _ in 0..8 {
+                let mask = (self.0 & 1).wrapping_neg();
+                self.0 = (self.0 >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+
+    fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+/// What a logged access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WalOp {
+    /// A counted request (`Shard::get`): replay records hit statistics.
+    Get,
+    /// An uncounted warm-up (`Shard::admit`): replay touches the cache
+    /// but not the statistics.
+    Admit,
+}
+
+impl WalOp {
+    fn to_byte(self) -> u8 {
+        match self {
+            WalOp::Get => 0,
+            WalOp::Admit => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, String> {
+        match b {
+            0 => Ok(WalOp::Get),
+            1 => Ok(WalOp::Admit),
+            other => Err(format!("unknown WAL op byte {other}")),
+        }
+    }
+}
+
+/// One logged access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WalRecord {
+    /// Position in the shard's access stream (1-based, contiguous).
+    pub seq: u64,
+    /// The clip accessed.
+    pub clip: ClipId,
+    /// Whether the access was counted.
+    pub op: WalOp,
+}
+
+impl WalRecord {
+    /// Encode the record as one framed WAL entry:
+    /// `len(4 LE) ‖ crc(4 LE) ‖ payload`, CRC over `len ‖ payload`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = [0u8; RECORD_PAYLOAD_BYTES];
+        payload[..8].copy_from_slice(&self.seq.to_le_bytes());
+        payload[8..12].copy_from_slice(&self.clip.get().to_le_bytes());
+        payload[12] = self.op.to_byte();
+        let len = (RECORD_PAYLOAD_BYTES as u32).to_le_bytes();
+        let mut crc = Crc32::new();
+        crc.update(&len);
+        crc.update(&payload);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES);
+        frame.extend_from_slice(&len);
+        frame.extend_from_slice(&crc.finish().to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+}
+
+/// How [`decode_wal`] found the end of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The log ends exactly on a frame boundary.
+    Clean,
+    /// The log ends mid-frame — a crash interrupted an append. The
+    /// partial record is not replayed; `valid_bytes` is where the log
+    /// should be truncated and `dropped_bytes` what the truncation
+    /// discards.
+    Torn {
+        /// Bytes of complete, valid frames.
+        valid_bytes: u64,
+        /// Trailing bytes of the incomplete frame.
+        dropped_bytes: u64,
+    },
+}
+
+/// Decode a WAL byte stream into records.
+///
+/// An *incomplete* final frame (fewer bytes than its header or declared
+/// length promises) is a torn tail: the complete prefix is returned with
+/// [`WalTail::Torn`]. A *complete* frame that fails its CRC, declares an
+/// unknown layout, or breaks anything else is corruption and fails
+/// loudly — no record after the first invalid byte is ever returned, and
+/// no invalid record is ever silently replayed.
+pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), PersistError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok((records, WalTail::Clean));
+        }
+        let torn = |pos: usize| WalTail::Torn {
+            valid_bytes: pos as u64,
+            dropped_bytes: (bytes.len() - pos) as u64,
+        };
+        if remaining < FRAME_HEADER_BYTES {
+            return Ok((records, torn(pos)));
+        }
+        let len_bytes = &bytes[pos..pos + 4];
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if remaining - FRAME_HEADER_BYTES < len {
+            // The frame promises more bytes than the file holds: an
+            // append died mid-write (or its length prefix was torn).
+            return Ok((records, torn(pos)));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let payload = &bytes[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
+        let mut crc = Crc32::new();
+        crc.update(len_bytes);
+        crc.update(payload);
+        if crc.finish() != stored_crc {
+            return Err(PersistError::Corrupt {
+                offset: pos as u64,
+                reason: "WAL record CRC mismatch".into(),
+            });
+        }
+        if len != RECORD_PAYLOAD_BYTES {
+            return Err(PersistError::Corrupt {
+                offset: pos as u64,
+                reason: format!("WAL record layout {len} bytes is not understood"),
+            });
+        }
+        let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let clip = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+        if clip == 0 {
+            return Err(PersistError::Corrupt {
+                offset: pos as u64,
+                reason: "WAL record names clip id 0".into(),
+            });
+        }
+        let op = WalOp::from_byte(payload[12]).map_err(|reason| PersistError::Corrupt {
+            offset: pos as u64,
+            reason,
+        })?;
+        records.push(WalRecord {
+            seq,
+            clip: ClipId::new(clip),
+            op,
+        });
+        pos += FRAME_HEADER_BYTES + len;
+    }
+}
+
+/// When appends reach the platter.
+///
+/// Either way every append is flushed to the *operating system* before
+/// the call returns, so the log survives a killed process (`kill -9`);
+/// the difference is whether it also survives a power failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalSync {
+    /// `fsync` after every append: survives power loss, costs a device
+    /// round trip per request.
+    Always,
+    /// Flush to the OS page cache only (the default): survives process
+    /// death, trusts the kernel for power loss. Checkpoints still fsync.
+    #[default]
+    Off,
+}
+
+impl WalSync {
+    /// Parse a `--wal-sync` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(WalSync::Always),
+            "off" => Ok(WalSync::Off),
+            other => Err(format!(
+                "unknown --wal-sync '{other}' (expected always or off)"
+            )),
+        }
+    }
+
+    /// The canonical flag spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            WalSync::Always => "always",
+            WalSync::Off => "off",
+        }
+    }
+}
+
+/// A deterministic crash point: where the process dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Die immediately after the Nth WAL append is durable (1-based).
+    AfterAppend(u64),
+    /// The Nth WAL append writes only half its frame, then the process
+    /// dies — the canonical torn write.
+    TornAppend(u64),
+    /// Die midway through writing the Nth durable checkpoint (the tmp
+    /// file is half-written; the rename never happens).
+    MidCheckpoint(u64),
+}
+
+/// A parsed `--crash-at` spec. Counters start at zero when the store is
+/// armed (after recovery), so a crash-restart loop steps forward
+/// deterministically instead of re-dying at the same byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrashSpec {
+    /// Where to die.
+    pub point: CrashPoint,
+}
+
+impl CrashSpec {
+    /// Parse `append:N`, `torn:N` or `checkpoint:N` (N ≥ 1).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, n) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("crash spec '{spec}' is not kind:N"))?;
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("bad crash count '{n}' in '{spec}'"))?;
+        if n == 0 {
+            return Err("crash counts are 1-based; 0 never fires".into());
+        }
+        let point = match kind {
+            "append" => CrashPoint::AfterAppend(n),
+            "torn" => CrashPoint::TornAppend(n),
+            "checkpoint" => CrashPoint::MidCheckpoint(n),
+            other => {
+                return Err(format!(
+                    "unknown crash point '{other}' (expected append, torn or checkpoint)"
+                ))
+            }
+        };
+        Ok(CrashSpec { point })
+    }
+
+    /// The canonical spec spelling ([`parse`](Self::parse) inverts it).
+    pub fn spelling(&self) -> String {
+        match self.point {
+            CrashPoint::AfterAppend(n) => format!("append:{n}"),
+            CrashPoint::TornAppend(n) => format!("torn:{n}"),
+            CrashPoint::MidCheckpoint(n) => format!("checkpoint:{n}"),
+        }
+    }
+}
+
+/// What the service does when an armed crash point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashAction {
+    /// Exit the whole process with code 137 — the same observable as
+    /// `kill -9`, for the binaries (`--crash-at`).
+    ExitProcess,
+    /// Surface [`ServiceError::Crashed`](crate::ServiceError::Crashed)
+    /// to the caller, for in-process crash-restart harnesses.
+    Surface,
+}
+
+/// How a service persists its shards (`CacheService::open_persistent`).
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    /// Root data directory; shard `i` lives in `shard-i/` beneath it.
+    pub dir: PathBuf,
+    /// WAL fsync policy.
+    pub sync: WalSync,
+    /// Deterministic crash point to arm on every shard (each counts its
+    /// own operations), or `None` for normal operation.
+    pub crash: Option<CrashSpec>,
+    /// What a fired crash point does.
+    pub on_crash: CrashAction,
+}
+
+impl PersistOptions {
+    /// Plain persistence in `dir`: default sync, no crash point,
+    /// crashes (if somehow armed later) surfaced to the caller.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        PersistOptions {
+            dir: dir.into(),
+            sync: WalSync::default(),
+            crash: None,
+            on_crash: CrashAction::Surface,
+        }
+    }
+}
+
+/// What recovery found and did, summed over shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL records replayed through the access path.
+    pub replayed: u64,
+    /// Torn-tail bytes truncated away.
+    pub torn_bytes_dropped: u64,
+    /// Shards that had a durable checkpoint to restore.
+    pub checkpoints_loaded: usize,
+}
+
+/// Everything that can go wrong beneath a durable shard.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The filesystem said no.
+    Io(std::io::Error),
+    /// A complete WAL frame failed validation: bit rot, never a crash
+    /// artifact. Recovery refuses rather than replaying garbage.
+    Corrupt {
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// What failed.
+        reason: String,
+    },
+    /// The checkpoint file exists but cannot be trusted (bad version,
+    /// missing fields, policy mismatch with the running config).
+    BadCheckpoint(String),
+    /// The recovered snapshot could not rebuild a cache.
+    Build(String),
+    /// An armed [`CrashSpec`] fired. The binaries turn this into
+    /// `process::exit(137)`; in-process harnesses treat the store as
+    /// dead and recover from disk.
+    CrashInjected,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persistence I/O error: {e}"),
+            PersistError::Corrupt { offset, reason } => {
+                write!(f, "WAL corrupt at byte {offset}: {reason}")
+            }
+            PersistError::BadCheckpoint(reason) => write!(f, "bad checkpoint: {reason}"),
+            PersistError::Build(reason) => write!(f, "cannot rebuild cache: {reason}"),
+            PersistError::CrashInjected => write!(f, "injected crash point fired"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// The durable anchor a shard rebuilds from: its snapshot, the hit
+/// statistics at that instant, and the WAL sequence number the pair
+/// covers (records with larger sequence numbers replay on top).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableCheckpoint {
+    /// The shard's cache snapshot.
+    pub snapshot: CacheSnapshot,
+    /// Hit statistics at checkpoint time.
+    pub stats: HitStats,
+    /// The last WAL sequence number folded into this checkpoint.
+    pub seq: u64,
+}
+
+impl DurableCheckpoint {
+    /// Serialize to the on-disk JSON form. The snapshot is embedded as a
+    /// nested object (carrying its own schema version).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"version\":{},\"seq\":{},\"hits\":{},\"misses\":{},\"byte_hits\":{},\
+             \"byte_misses\":{},\"evictions\":{},\"snapshot\":{}}}",
+            CHECKPOINT_VERSION,
+            self.seq,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.byte_hits.as_u64(),
+            self.stats.byte_misses.as_u64(),
+            self.stats.evictions,
+            self.snapshot.to_json()
+        )
+    }
+
+    /// Deserialize from the [`to_json`](Self::to_json) shape, rejecting
+    /// unknown versions loudly.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = clipcache_workload::json::parse(json)?;
+        let version = v
+            .get("version")
+            .and_then(|n| n.as_u64())
+            .ok_or("checkpoint needs an integer `version`")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {version} is not supported (this build reads \
+                 version {CHECKPOINT_VERSION}); refusing to restore"
+            ));
+        }
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(|n| n.as_u64())
+                .ok_or_else(|| format!("checkpoint needs an integer `{name}`"))
+        };
+        let stats = HitStats {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            byte_hits: ByteSize::bytes(field("byte_hits")?),
+            byte_misses: ByteSize::bytes(field("byte_misses")?),
+            evictions: field("evictions")?,
+        };
+        let snapshot = CacheSnapshot::from_value(
+            v.get("snapshot")
+                .ok_or("checkpoint needs a `snapshot` object")?,
+        )?;
+        Ok(DurableCheckpoint {
+            snapshot,
+            stats,
+            seq: field("seq")?,
+        })
+    }
+}
+
+/// What [`ShardStore::open`] found on disk.
+#[derive(Debug)]
+pub struct DurableState {
+    /// The newest valid checkpoint, if one was ever written.
+    pub checkpoint: Option<DurableCheckpoint>,
+    /// WAL records after the checkpoint, in append order, sequence-
+    /// contiguous.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail truncated away during open (0 for a clean log).
+    pub torn_bytes_dropped: u64,
+}
+
+/// One shard's durable store: the WAL append handle, the checkpoint
+/// writer, and the armed crash point.
+pub struct ShardStore {
+    dir: PathBuf,
+    wal: File,
+    sync: WalSync,
+    /// Next sequence number to append.
+    next_seq: u64,
+    /// Last sequence folded into the durable checkpoint.
+    ckpt_seq: u64,
+    /// Appends performed since the store was opened (crash counting).
+    appends: u64,
+    /// Durable checkpoints written since the store was opened.
+    checkpoints: u64,
+    crash: Option<CrashSpec>,
+    /// A fired crash point leaves the store dead: every later operation
+    /// reports the crash again instead of quietly resuming.
+    dead: bool,
+}
+
+impl ShardStore {
+    /// Open (creating if absent) the store in `dir`, returning the
+    /// durable state to rebuild from.
+    ///
+    /// A stale checkpoint tmp file (crash mid-checkpoint) is removed; a
+    /// torn WAL tail is truncated in place; mid-log corruption and
+    /// untrusted checkpoints fail loudly.
+    pub fn open(dir: &Path, sync: WalSync) -> Result<(ShardStore, DurableState), PersistError> {
+        std::fs::create_dir_all(dir)?;
+        // A tmp file means a checkpoint write died before its rename;
+        // the real checkpoint (if any) is intact, the tmp is garbage.
+        let tmp = dir.join(CHECKPOINT_TMP);
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)?;
+        }
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let checkpoint = if ckpt_path.exists() {
+            let json = std::fs::read_to_string(&ckpt_path)?;
+            Some(DurableCheckpoint::from_json(&json).map_err(PersistError::BadCheckpoint)?)
+        } else {
+            None
+        };
+        let ckpt_seq = checkpoint.as_ref().map_or(0, |c| c.seq);
+
+        let wal_path = dir.join(WAL_FILE);
+        let mut bytes = Vec::new();
+        if wal_path.exists() {
+            File::open(&wal_path)?.read_to_end(&mut bytes)?;
+        }
+        let (records, tail) = decode_wal(&bytes)?;
+        // The log must continue exactly where the checkpoint stopped.
+        let mut expected = ckpt_seq;
+        for (i, rec) in records.iter().enumerate() {
+            expected += 1;
+            if rec.seq != expected {
+                return Err(PersistError::Corrupt {
+                    offset: (i * (FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES)) as u64,
+                    reason: format!(
+                        "WAL sequence broken: record {i} has seq {}, expected {expected}",
+                        rec.seq
+                    ),
+                });
+            }
+        }
+        let torn_bytes_dropped = match tail {
+            WalTail::Clean => 0,
+            WalTail::Torn {
+                valid_bytes,
+                dropped_bytes,
+            } => {
+                // Truncate the partial record so the next open sees a
+                // clean log.
+                let f = OpenOptions::new().write(true).open(&wal_path)?;
+                f.set_len(valid_bytes)?;
+                f.sync_data()?;
+                dropped_bytes
+            }
+        };
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)?;
+        let next_seq = records.last().map_or(ckpt_seq, |r| r.seq) + 1;
+        Ok((
+            ShardStore {
+                dir: dir.to_path_buf(),
+                wal,
+                sync,
+                next_seq,
+                ckpt_seq,
+                appends: 0,
+                checkpoints: 0,
+                crash: None,
+                dead: false,
+            },
+            DurableState {
+                checkpoint,
+                records,
+                torn_bytes_dropped,
+            },
+        ))
+    }
+
+    /// Arm a crash point. Counters start now — recovery-time operations
+    /// performed before arming never count.
+    pub fn arm_crash(&mut self, crash: Option<CrashSpec>) {
+        self.crash = crash;
+        self.appends = 0;
+        self.checkpoints = 0;
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The next sequence number an append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The last sequence folded into the durable checkpoint.
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.ckpt_seq
+    }
+
+    /// Append one access to the WAL, returning its sequence number.
+    ///
+    /// The frame is flushed to the OS before the call returns; with
+    /// [`WalSync::Always`] it is also fsynced. An armed crash point may
+    /// fire here: `torn:N` writes half the frame then dies, `append:N`
+    /// dies after the frame is durable.
+    pub fn append(&mut self, op: WalOp, clip: ClipId) -> Result<u64, PersistError> {
+        if self.dead {
+            return Err(PersistError::CrashInjected);
+        }
+        let record = WalRecord {
+            seq: self.next_seq,
+            clip,
+            op,
+        };
+        let frame = record.encode();
+        if let Some(CrashSpec {
+            point: CrashPoint::TornAppend(n),
+        }) = self.crash
+        {
+            if self.appends + 1 == n {
+                // Half the frame reaches the disk; the process dies
+                // mid-write. Recovery must truncate this tail.
+                self.wal.write_all(&frame[..frame.len() / 2])?;
+                self.wal.flush()?;
+                self.wal.sync_data()?;
+                self.dead = true;
+                return Err(PersistError::CrashInjected);
+            }
+        }
+        self.wal.write_all(&frame)?;
+        self.wal.flush()?;
+        if self.sync == WalSync::Always {
+            self.wal.sync_data()?;
+        }
+        self.appends += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(CrashSpec {
+            point: CrashPoint::AfterAppend(n),
+        }) = self.crash
+        {
+            if self.appends == n {
+                // The record IS durable; the process dies right after.
+                self.wal.sync_data()?;
+                self.dead = true;
+                return Err(PersistError::CrashInjected);
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Write a durable checkpoint atomically, then truncate the WAL it
+    /// subsumes.
+    ///
+    /// Order matters for crash safety: tmp write → fsync → rename →
+    /// WAL truncate. A crash before the rename leaves the old
+    /// checkpoint with the full WAL; a crash after it leaves the new
+    /// checkpoint with a possibly still-untruncated WAL whose records
+    /// the sequence check then skips — never a state that cannot
+    /// recover.
+    pub fn checkpoint(&mut self, ckpt: &DurableCheckpoint) -> Result<(), PersistError> {
+        if self.dead {
+            return Err(PersistError::CrashInjected);
+        }
+        let json = ckpt.to_json();
+        let tmp = self.dir.join(CHECKPOINT_TMP);
+        if let Some(CrashSpec {
+            point: CrashPoint::MidCheckpoint(n),
+        }) = self.crash
+        {
+            if self.checkpoints + 1 == n {
+                // Half the checkpoint reaches the tmp file; the rename
+                // never happens. Recovery must ignore the tmp and keep
+                // the previous checkpoint.
+                let mut f = File::create(&tmp)?;
+                f.write_all(&json.as_bytes()[..json.len() / 2])?;
+                f.sync_data()?;
+                self.dead = true;
+                return Err(PersistError::CrashInjected);
+            }
+        }
+        let mut f = File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_data()?;
+        drop(f);
+        std::fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        // Make the rename itself durable (best effort: not every
+        // filesystem lets you open a directory for sync).
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.wal.set_len(0)?;
+        self.wal.sync_data()?;
+        self.checkpoints += 1;
+        self.ckpt_seq = ckpt.seq;
+        self.next_seq = ckpt.seq + 1;
+        Ok(())
+    }
+
+    /// Mark the store dead, as after a fired crash point: every later
+    /// operation reports [`PersistError::CrashInjected`]. Used when an
+    /// I/O failure leaves disk and memory describing different states —
+    /// refusing further appends beats silently diverging.
+    pub fn kill(&mut self) {
+        self.dead = true;
+    }
+
+    /// Discard every WAL record after the checkpoint — the durable
+    /// counterpart of a poisoned shard's rewind-to-checkpoint, keeping
+    /// disk and memory describing the same state.
+    pub fn rewind_to_checkpoint(&mut self) -> Result<(), PersistError> {
+        if self.dead {
+            return Err(PersistError::CrashInjected);
+        }
+        self.wal.set_len(0)?;
+        self.wal.sync_data()?;
+        self.next_seq = self.ckpt_seq + 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clipcache_core::PolicyKind;
+    use clipcache_media::paper;
+    use clipcache_workload::Timestamp;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("clipcache-persist-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(seq: u64, clip: u32, op: WalOp) -> WalRecord {
+        WalRecord {
+            seq,
+            clip: ClipId::new(clip),
+            op,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE check values (zlib's crc32 agrees).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn records_round_trip_through_the_frame() {
+        let recs = [
+            record(1, 1, WalOp::Get),
+            record(2, u32::MAX, WalOp::Admit),
+            record(u64::MAX, 17, WalOp::Get),
+        ];
+        let mut log = Vec::new();
+        for r in &recs {
+            log.extend_from_slice(&r.encode());
+        }
+        let (decoded, tail) = decode_wal(&log).unwrap();
+        assert_eq!(decoded, recs);
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(decode_wal(&[]).unwrap(), (vec![], WalTail::Clean));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_replayed() {
+        let full = record(1, 3, WalOp::Get).encode();
+        let torn = record(2, 4, WalOp::Get).encode();
+        for cut in 1..torn.len() {
+            let mut log = full.clone();
+            log.extend_from_slice(&torn[..cut]);
+            let (decoded, tail) = decode_wal(&log).unwrap();
+            assert_eq!(decoded.len(), 1, "cut at {cut} must keep the valid prefix");
+            assert_eq!(
+                tail,
+                WalTail::Torn {
+                    valid_bytes: full.len() as u64,
+                    dropped_bytes: cut as u64,
+                },
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_log_corruption_is_loud() {
+        let mut log = Vec::new();
+        for seq in 1..=3 {
+            log.extend_from_slice(&record(seq, seq as u32, WalOp::Get).encode());
+        }
+        // Flip one payload bit in the middle record.
+        let frame = FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES;
+        let mut corrupt = log.clone();
+        corrupt[frame + FRAME_HEADER_BYTES + 2] ^= 0x10;
+        match decode_wal(&corrupt) {
+            Err(PersistError::Corrupt { offset, .. }) => assert_eq!(offset, frame as u64),
+            other => panic!("corruption must be loud, got {other:?}"),
+        }
+        // Flip a CRC bit: same refusal.
+        let mut bad_crc = log;
+        bad_crc[frame + 5] ^= 0x01;
+        assert!(matches!(
+            decode_wal(&bad_crc),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_spec_round_trips_and_rejects_garbage() {
+        for spec in ["append:1", "torn:64", "checkpoint:3"] {
+            let parsed = CrashSpec::parse(spec).unwrap();
+            assert_eq!(parsed.spelling(), spec);
+            assert_eq!(CrashSpec::parse(&parsed.spelling()).unwrap(), parsed);
+        }
+        for bad in [
+            "", "append", "append:", "append:0", "append:x", "frob:1", "torn:-1",
+        ] {
+            assert!(CrashSpec::parse(bad).is_err(), "accepted '{bad}'");
+        }
+        assert_eq!(WalSync::parse("always").unwrap(), WalSync::Always);
+        assert_eq!(WalSync::parse("off").unwrap(), WalSync::Off);
+        assert!(WalSync::parse("sometimes").is_err());
+    }
+
+    fn sample_checkpoint() -> DurableCheckpoint {
+        let repo = Arc::new(paper::equi_sized_repository_of(8, ByteSize::mb(10)));
+        let mut cache = PolicyKind::Lru.build(Arc::clone(&repo), ByteSize::mb(30), 1, None);
+        for i in 1..=3u32 {
+            cache.access(ClipId::new(i), Timestamp(i as u64));
+        }
+        let mut stats = HitStats::new();
+        stats.record(false, ByteSize::mb(10), 0);
+        stats.record(true, ByteSize::mb(10), 1);
+        DurableCheckpoint {
+            snapshot: CacheSnapshot::take(cache.as_ref(), PolicyKind::Lru, Timestamp(3)),
+            stats,
+            seq: 2,
+        }
+    }
+
+    #[test]
+    fn checkpoint_json_round_trips_and_rejects_future_versions() {
+        let ckpt = sample_checkpoint();
+        let json = ckpt.to_json();
+        assert_eq!(DurableCheckpoint::from_json(&json).unwrap(), ckpt);
+        let future = json.replacen("\"version\":1", "\"version\":7", 1);
+        let err = DurableCheckpoint::from_json(&future).unwrap_err();
+        assert!(err.contains("not supported"), "weak rejection: {err}");
+        // A future *snapshot* version nested inside also refuses.
+        let nested = json.replace("\"snapshot\":{\"version\":1", "\"snapshot\":{\"version\":9");
+        assert!(DurableCheckpoint::from_json(&nested).is_err());
+        assert!(DurableCheckpoint::from_json("{}").is_err());
+        assert!(DurableCheckpoint::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn store_persists_appends_and_checkpoints_across_reopens() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let (mut store, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+            assert!(state.checkpoint.is_none());
+            assert!(state.records.is_empty());
+            assert_eq!(store.append(WalOp::Get, ClipId::new(5)).unwrap(), 1);
+            assert_eq!(store.append(WalOp::Admit, ClipId::new(6)).unwrap(), 2);
+        }
+        {
+            let (mut store, state) = ShardStore::open(&dir, WalSync::Always).unwrap();
+            assert_eq!(
+                state.records,
+                vec![record(1, 5, WalOp::Get), record(2, 6, WalOp::Admit)]
+            );
+            assert_eq!(state.torn_bytes_dropped, 0);
+            // Checkpoint subsumes the log.
+            let mut ckpt = sample_checkpoint();
+            ckpt.seq = 2;
+            store.checkpoint(&ckpt).unwrap();
+            assert_eq!(store.append(WalOp::Get, ClipId::new(7)).unwrap(), 3);
+        }
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        let ckpt = state.checkpoint.expect("checkpoint survived");
+        assert_eq!(ckpt.seq, 2);
+        assert_eq!(state.records, vec![record(3, 7, WalOp::Get)]);
+    }
+
+    #[test]
+    fn open_truncates_a_torn_tail_and_reports_it() {
+        let dir = tmp_dir("torn");
+        {
+            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+            store.append(WalOp::Get, ClipId::new(1)).unwrap();
+            store.arm_crash(Some(CrashSpec::parse("torn:1").unwrap()));
+            assert!(matches!(
+                store.append(WalOp::Get, ClipId::new(2)),
+                Err(PersistError::CrashInjected)
+            ));
+            // The store is dead now, like the process it models.
+            assert!(matches!(
+                store.append(WalOp::Get, ClipId::new(3)),
+                Err(PersistError::CrashInjected)
+            ));
+        }
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(state.records, vec![record(1, 1, WalOp::Get)]);
+        assert!(state.torn_bytes_dropped > 0, "the torn tail was dropped");
+        // Second open: the tail is gone, the log is clean.
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(state.torn_bytes_dropped, 0);
+    }
+
+    #[test]
+    fn crash_after_append_keeps_the_record_durable() {
+        let dir = tmp_dir("after-append");
+        {
+            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+            store.arm_crash(Some(CrashSpec::parse("append:2").unwrap()));
+            store.append(WalOp::Get, ClipId::new(1)).unwrap();
+            assert!(matches!(
+                store.append(WalOp::Get, ClipId::new(2)),
+                Err(PersistError::CrashInjected)
+            ));
+        }
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        // Both records survive: append:N dies *after* durability.
+        assert_eq!(state.records.len(), 2);
+        assert_eq!(state.torn_bytes_dropped, 0);
+    }
+
+    #[test]
+    fn crash_mid_checkpoint_keeps_the_old_checkpoint_and_wal() {
+        let dir = tmp_dir("mid-ckpt");
+        let mut first = sample_checkpoint();
+        first.seq = 0;
+        {
+            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+            store.checkpoint(&first).unwrap();
+            store.append(WalOp::Get, ClipId::new(1)).unwrap();
+            store.append(WalOp::Get, ClipId::new(2)).unwrap();
+            store.arm_crash(Some(CrashSpec::parse("checkpoint:1").unwrap()));
+            let mut second = sample_checkpoint();
+            second.seq = 2;
+            assert!(matches!(
+                store.checkpoint(&second),
+                Err(PersistError::CrashInjected)
+            ));
+        }
+        assert!(dir.join(CHECKPOINT_TMP).exists(), "tmp half-written");
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        // The old checkpoint and the full WAL both survive; the torn tmp
+        // is swept away.
+        assert_eq!(state.checkpoint.expect("old checkpoint").seq, 0);
+        assert_eq!(state.records.len(), 2);
+        assert!(!dir.join(CHECKPOINT_TMP).exists());
+    }
+
+    #[test]
+    fn sequence_breaks_are_corruption() {
+        let dir = tmp_dir("seq-break");
+        {
+            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+            store.append(WalOp::Get, ClipId::new(1)).unwrap();
+        }
+        // Forge a record with a gapped sequence number on the end.
+        let mut bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        bytes.extend_from_slice(&record(5, 2, WalOp::Get).encode());
+        std::fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+        assert!(matches!(
+            ShardStore::open(&dir, WalSync::Off),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rewind_discards_post_checkpoint_records() {
+        let dir = tmp_dir("rewind");
+        {
+            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+            let mut ckpt = sample_checkpoint();
+            ckpt.seq = 0;
+            store.checkpoint(&ckpt).unwrap();
+            store.append(WalOp::Get, ClipId::new(1)).unwrap();
+            store.append(WalOp::Get, ClipId::new(2)).unwrap();
+            store.rewind_to_checkpoint().unwrap();
+            // Sequence numbers restart from the checkpoint.
+            assert_eq!(store.append(WalOp::Get, ClipId::new(9)).unwrap(), 1);
+        }
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(state.records, vec![record(1, 9, WalOp::Get)]);
+    }
+}

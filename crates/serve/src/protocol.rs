@@ -13,7 +13,7 @@
 //!           | "MISS" SP admitted SP evicted ; GET, clip was fetched
 //!           | "STATS" SP "hits=" n SP "misses=" n SP "byte_hits=" n
 //!                     SP "byte_misses=" n SP "evictions=" n
-//!                     SP "recoveries=" n
+//!                     SP "recoveries=" n SP "wal_replayed=" n
 //!           | "SNAPSHOT" SP json-array      ; one CacheSnapshot per shard
 //!           | "POISONED" SP shard-index     ; POISON acknowledged
 //!           | "BYE"                         ; QUIT acknowledged
@@ -57,6 +57,9 @@ pub struct ServerStats {
     pub stats: HitStats,
     /// Poisoned-shard recoveries performed since startup.
     pub recoveries: u64,
+    /// WAL records replayed when the durable stores were opened (zero
+    /// for an in-memory server).
+    pub wal_replayed: u64,
 }
 
 fn parse_clip_id(raw: &str) -> Result<ClipId, String> {
@@ -155,13 +158,15 @@ pub fn parse_get(line: &str) -> Result<GetOutcome, String> {
 /// Format a `STATS` reply.
 pub fn format_stats(stats: &ServerStats) -> String {
     format!(
-        "STATS hits={} misses={} byte_hits={} byte_misses={} evictions={} recoveries={}",
+        "STATS hits={} misses={} byte_hits={} byte_misses={} evictions={} recoveries={} \
+         wal_replayed={}",
         stats.stats.hits,
         stats.stats.misses,
         stats.stats.byte_hits.as_u64(),
         stats.stats.byte_misses.as_u64(),
         stats.stats.evictions,
-        stats.recoveries
+        stats.recoveries,
+        stats.wal_replayed
     )
 }
 
@@ -173,6 +178,7 @@ pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
         .ok_or_else(|| format!("malformed STATS reply '{line}'"))?;
     let mut stats = HitStats::new();
     let mut recoveries = 0;
+    let mut wal_replayed = 0;
     let mut seen = 0u32;
     for field in rest.split_ascii_whitespace() {
         let (key, value) = field
@@ -188,14 +194,19 @@ pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
             "byte_misses" => stats.byte_misses = clipcache_media::ByteSize::bytes(value),
             "evictions" => stats.evictions = value,
             "recoveries" => recoveries = value,
+            "wal_replayed" => wal_replayed = value,
             other => return Err(format!("unknown STATS field '{other}'")),
         }
         seen += 1;
     }
-    if seen != 6 {
-        return Err(format!("STATS reply has {seen} fields, expected 6"));
+    if seen != 7 {
+        return Err(format!("STATS reply has {seen} fields, expected 7"));
     }
-    Ok(ServerStats { stats, recoveries })
+    Ok(ServerStats {
+        stats,
+        recoveries,
+        wal_replayed,
+    })
 }
 
 /// Format a `POISON` acknowledgement.
@@ -299,19 +310,27 @@ mod tests {
         let server = ServerStats {
             stats,
             recoveries: 3,
+            wal_replayed: 41,
         };
         let line = format_stats(&server);
         assert!(line.contains("recoveries=3"));
+        assert!(line.contains("wal_replayed=41"));
         assert_eq!(parse_stats(&line), Ok(server));
         assert!(parse_stats("STATS hits=1").is_err());
         assert!(parse_stats(
-            "STATS hits=1 misses=x byte_hits=0 byte_misses=0 evictions=0 recoveries=0"
+            "STATS hits=1 misses=x byte_hits=0 byte_misses=0 evictions=0 recoveries=0 \
+             wal_replayed=0"
         )
         .is_err());
-        // The old five-field wire format is gone, not silently defaulted.
+        // Older wire formats (five and six fields) are gone, not
+        // silently defaulted.
         assert!(
             parse_stats("STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0").is_err()
         );
+        assert!(parse_stats(
+            "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0"
+        )
+        .is_err());
         assert!(parse_stats("nope").is_err());
     }
 

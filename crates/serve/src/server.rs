@@ -224,6 +224,7 @@ fn respond(
         Ok(Command::Stats) => format_stats(&ServerStats {
             stats: service.stats(),
             recoveries: service.recoveries(),
+            wal_replayed: service.wal_replayed(),
         }),
         Ok(Command::Snapshot) => {
             let parts: Vec<String> = service.snapshot().iter().map(|s| s.to_json()).collect();

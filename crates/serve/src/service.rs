@@ -22,7 +22,8 @@
 //! request can therefore no longer wedge a shard for the process
 //! lifetime — the next request heals it.
 
-use crate::shard::{shard_of, shard_seed, GetOutcome, Shard};
+use crate::persist::{CrashAction, PersistError, PersistOptions, RecoveryReport, ShardStore};
+use crate::shard::{shard_of, shard_seed, GetOutcome, Shard, CHECKPOINT_EVERY};
 use clipcache_core::registry::BuildError;
 use clipcache_core::snapshot::CacheSnapshot;
 use clipcache_core::PolicySpec;
@@ -43,6 +44,38 @@ pub struct ServiceConfig {
     pub capacity: ByteSize,
     /// Service seed; shard `i` derives `shard_seed(seed, i)`.
     pub seed: u64,
+    /// Accesses between checkpoint refreshes on every shard
+    /// (`--checkpoint-every`; default [`CHECKPOINT_EVERY`]).
+    pub checkpoint_every: u64,
+}
+
+impl ServiceConfig {
+    /// A config with the default checkpoint cadence
+    /// ([`CHECKPOINT_EVERY`]).
+    pub fn new(
+        policy: impl Into<PolicySpec>,
+        shards: usize,
+        capacity: ByteSize,
+        seed: u64,
+    ) -> Self {
+        ServiceConfig {
+            policy: policy.into(),
+            shards,
+            capacity,
+            seed,
+            checkpoint_every: CHECKPOINT_EVERY,
+        }
+    }
+
+    /// Override the checkpoint cadence.
+    ///
+    /// # Panics
+    /// If `every == 0`.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "checkpoint cadence must be at least 1");
+        self.checkpoint_every = every;
+        self
+    }
 }
 
 /// Errors a service request can produce.
@@ -50,12 +83,20 @@ pub struct ServiceConfig {
 pub enum ServiceError {
     /// The clip id is not in the repository.
     UnknownClip(ClipId),
+    /// The durable store beneath a shard failed (I/O, corruption).
+    Persist(String),
+    /// An armed crash point fired with [`CrashAction::Surface`]; the
+    /// service behaves as a killed process from here on (the binaries
+    /// use [`CrashAction::ExitProcess`] and actually exit, code 137).
+    Crashed,
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::UnknownClip(c) => write!(f, "unknown clip id {}", c.get()),
+            ServiceError::Persist(reason) => write!(f, "durable store failed: {reason}"),
+            ServiceError::Crashed => write!(f, "injected crash point fired"),
         }
     }
 }
@@ -72,6 +113,13 @@ pub struct CacheService {
     shards: Vec<Mutex<Shard>>,
     policy: PolicySpec,
     recoveries: AtomicU64,
+    /// Total WAL records replayed while opening the durable stores
+    /// (zero for an in-memory service or a cold start).
+    wal_replayed: u64,
+    /// What a fired crash point does: the binaries exit the process
+    /// (mimicking `kill -9`), the in-process chaos tests surface
+    /// [`ServiceError::Crashed`] instead.
+    on_crash: CrashAction,
 }
 
 impl CacheService {
@@ -99,6 +147,7 @@ impl CacheService {
                 config.policy,
                 seed,
                 frequencies.map(<[f64]>::to_vec),
+                config.checkpoint_every,
             )));
         }
         Ok(CacheService {
@@ -106,7 +155,48 @@ impl CacheService {
             shards,
             policy: config.policy,
             recoveries: AtomicU64::new(0),
+            wal_replayed: 0,
+            on_crash: CrashAction::Surface,
         })
+    }
+
+    /// Build a *durable* service rooted at `opts.dir`: each shard owns
+    /// `dir/shard-{i}` (checkpoint + WAL), recovering whatever state a
+    /// previous process made durable before attaching.
+    ///
+    /// Recovery per shard: load the newest valid checkpoint, replay the
+    /// WAL tail through the normal access path, truncate a torn final
+    /// record. Mid-log corruption and incompatible checkpoints
+    /// (unknown version, wrong policy/capacity) are loud
+    /// [`PersistError`]s — a durable service never silently starts
+    /// cold over bad state.
+    ///
+    /// If `opts.crash` is set, *every* shard arms the crash point; each
+    /// counts only its own post-recovery operations (deterministic for
+    /// single-shard runs, which is what the crash tests use).
+    pub fn open_persistent(
+        repo: Arc<Repository>,
+        config: ServiceConfig,
+        frequencies: Option<&[f64]>,
+        opts: &PersistOptions,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let mut service = CacheService::new(repo, config, frequencies)
+            .map_err(|e| PersistError::Build(e.to_string()))?;
+        service.on_crash = opts.on_crash;
+        let mut report = RecoveryReport::default();
+        for i in 0..service.shards.len() {
+            let dir = opts.dir.join(format!("shard-{i}"));
+            let (store, state) = ShardStore::open(&dir, opts.sync)?;
+            let shard = service.shards[i].get_mut().expect("no one else holds it");
+            if state.checkpoint.is_some() {
+                report.checkpoints_loaded += 1;
+            }
+            report.torn_bytes_dropped += state.torn_bytes_dropped;
+            report.replayed += shard.attach_store(store, state)?;
+            shard.arm_crash(opts.crash);
+        }
+        service.wal_replayed = report.replayed;
+        Ok((service, report))
     }
 
     /// Number of shards.
@@ -127,6 +217,26 @@ impl CacheService {
     /// How many poisoned shards have been recovered so far.
     pub fn recoveries(&self) -> u64 {
         self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// WAL records replayed when the durable stores were opened (zero
+    /// for an in-memory service; surfaced in the `STATS` reply).
+    pub fn wal_replayed(&self) -> u64 {
+        self.wal_replayed
+    }
+
+    /// Map a shard-level persistence failure to the service error,
+    /// honoring the configured crash action: the binaries die like a
+    /// killed process, in-process harnesses see [`ServiceError::Crashed`].
+    fn persist_failure(&self, err: PersistError) -> ServiceError {
+        match (&err, self.on_crash) {
+            (PersistError::CrashInjected, CrashAction::ExitProcess) => {
+                eprintln!("clipcache-serve: injected crash point fired; exiting");
+                std::process::exit(137);
+            }
+            (PersistError::CrashInjected, CrashAction::Surface) => ServiceError::Crashed,
+            _ => ServiceError::Persist(err.to_string()),
+        }
     }
 
     /// Lock shard `index`, recovering it first if a previous request
@@ -163,7 +273,7 @@ impl CacheService {
             .ok_or(ServiceError::UnknownClip(clip))?
             .size;
         let mut shard = self.lock_clip_shard(clip);
-        Ok(shard.get(clip, size))
+        shard.get(clip, size).map_err(|e| self.persist_failure(e))
     }
 
     /// Warm `clip` into its shard without counting it in the hit
@@ -173,7 +283,7 @@ impl CacheService {
             return Err(ServiceError::UnknownClip(clip));
         }
         let mut shard = self.lock_clip_shard(clip);
-        Ok(shard.admit(clip))
+        shard.admit(clip).map_err(|e| self.persist_failure(e))
     }
 
     /// Inject a service-level fault: panic while holding `clip`'s shard
@@ -258,12 +368,7 @@ mod tests {
         let capacity = repo.cache_capacity_for_ratio(0.25);
         CacheService::new(
             Arc::clone(&repo),
-            ServiceConfig {
-                policy: PolicyKind::Lru.into(),
-                shards,
-                capacity,
-                seed,
-            },
+            ServiceConfig::new(PolicyKind::Lru, shards, capacity, seed),
             None,
         )
         .expect("LRU builds")
@@ -327,12 +432,7 @@ mod tests {
         let repo = Arc::new(paper::equi_sized_repository_of(16, ByteSize::mb(10)));
         let svc = CacheService::new(
             Arc::clone(&repo),
-            ServiceConfig {
-                policy: PolicyKind::Lru.into(),
-                shards: 4,
-                capacity: ByteSize::mb(40),
-                seed: 1,
-            },
+            ServiceConfig::new(PolicyKind::Lru, 4, ByteSize::mb(40), 1),
             None,
         )
         .unwrap();
@@ -356,6 +456,40 @@ mod tests {
         assert_eq!(svc.recoveries(), 1);
         assert!(svc.get(clip).unwrap().hit);
         assert_eq!(svc.recoveries(), 1, "recovery happens exactly once");
+    }
+
+    #[test]
+    fn poison_recovery_works_at_any_checkpoint_cadence() {
+        // Satellite: the cadence is a knob now; recovery must hold at
+        // values other than the default 128 (including the degenerate
+        // checkpoint-every-access setting).
+        for every in [1u64, 5, 1000] {
+            let repo = Arc::new(paper::variable_sized_repository_of(24));
+            let capacity = repo.cache_capacity_for_ratio(0.25);
+            let svc = CacheService::new(
+                Arc::clone(&repo),
+                ServiceConfig::new(PolicyKind::Lru, 1, capacity, 7).with_checkpoint_every(every),
+                None,
+            )
+            .unwrap();
+            for i in 0..12u32 {
+                svc.get(ClipId::new(i % 6 + 1)).unwrap();
+            }
+            let before = svc.stats();
+            svc.poison(ClipId::new(1));
+            // Recovery rolls back to the last checkpoint: at most
+            // `every - 1` requests are lost, never more.
+            svc.get(ClipId::new(1)).unwrap();
+            let after = svc.stats();
+            assert_eq!(svc.recoveries(), 1, "cadence {every}");
+            let floor = before.requests().saturating_sub(every - 1);
+            assert!(
+                after.requests() > floor,
+                "cadence {every}: {} requests after recovery, checkpoint floor {}",
+                after.requests(),
+                floor
+            );
+        }
     }
 
     #[test]

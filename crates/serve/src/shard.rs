@@ -22,7 +22,20 @@
 //! shard's crash-recovery journal. Recovery is deterministic: the
 //! rebuilt policy is seeded with the shard's original seed, so the same
 //! fault schedule produces the same post-recovery state.
+//!
+//! ## Durability
+//!
+//! A shard opened with a data directory ([`Shard::attach_store`], via
+//! `CacheService::open_persistent`) pairs the in-memory checkpoint with
+//! a [`ShardStore`]: every access is appended to the store's write-ahead
+//! log *before* it is applied, and each checkpoint refresh writes the
+//! durable checkpoint first, so disk is never behind what a client was
+//! told. On open, the durable checkpoint is restored and the WAL tail
+//! replays through the same zero-alloc `access_into` path live requests
+//! use — then the shard compacts (fresh checkpoint, truncated log) so
+//! restarts converge instead of replaying ever-longer logs.
 
+use crate::persist::{CrashSpec, DurableCheckpoint, DurableState, PersistError, ShardStore, WalOp};
 use clipcache_core::snapshot::{restore, CacheSnapshot};
 use clipcache_core::{AccessEvent, ClipCache, EvictionCount, PolicySpec};
 use clipcache_media::{ByteSize, ClipId, Repository};
@@ -30,10 +43,11 @@ use clipcache_sim::metrics::HitStats;
 use clipcache_workload::Timestamp;
 use std::sync::Arc;
 
-/// Accesses between checkpoint refreshes. Small enough that recovery
-/// forgets little (the policy relearns the gap in a few dozen
-/// requests), large enough that the `O(resident)` snapshot copy stays
-/// off the per-request path.
+/// Default accesses between checkpoint refreshes (the
+/// `ServiceConfig::checkpoint_every` / `--checkpoint-every` knob).
+/// Small enough that recovery forgets little (the policy relearns the
+/// gap in a few dozen requests), large enough that the `O(resident)`
+/// snapshot copy stays off the per-request path.
 pub const CHECKPOINT_EVERY: u64 = 128;
 
 /// SplitMix64 — the finalizer used both to route clips to shards and to
@@ -97,18 +111,32 @@ pub struct Shard {
     seed: u64,
     frequencies: Option<Vec<f64>>,
     checkpoint: Checkpoint,
+    // Accesses between checkpoint refreshes (the service's knob).
+    checkpoint_every: u64,
+    // The durable store, when the service was opened with a data dir.
+    store: Option<ShardStore>,
+    // WAL records replayed into this shard when its store was attached.
+    wal_replayed: u64,
 }
 
 impl Shard {
     /// Wrap a freshly built cache, remembering the build inputs so
     /// [`recover`](Self::recover) can rebuild it after a poisoning.
+    ///
+    /// # Panics
+    /// If `checkpoint_every == 0`.
     pub fn new(
         cache: Box<dyn ClipCache>,
         repo: Arc<Repository>,
         policy: PolicySpec,
         seed: u64,
         frequencies: Option<Vec<f64>>,
+        checkpoint_every: u64,
     ) -> Self {
+        assert!(
+            checkpoint_every > 0,
+            "checkpoint cadence must be at least 1"
+        );
         let checkpoint = Checkpoint {
             snapshot: CacheSnapshot::take(cache.as_ref(), policy, Timestamp::ZERO),
             stats: HitStats::new(),
@@ -123,14 +151,32 @@ impl Shard {
             seed,
             frequencies,
             checkpoint,
+            checkpoint_every,
+            store: None,
+            wal_replayed: 0,
         }
     }
 
     /// Service a request for `clip` of `size`, recording hit statistics.
     ///
     /// Mirrors the serial runner's loop exactly: tick the clock, access
-    /// through the counting sink, record `(hit, size, evictions)`.
-    pub fn get(&mut self, clip: ClipId, size: ByteSize) -> GetOutcome {
+    /// through the counting sink, record `(hit, size, evictions)`. With
+    /// a store attached the access is WAL-logged *first* — on any
+    /// failure the cache is untouched, so disk never lags a reply the
+    /// client already saw.
+    pub fn get(&mut self, clip: ClipId, size: ByteSize) -> Result<GetOutcome, PersistError> {
+        if let Some(store) = &mut self.store {
+            store.append(WalOp::Get, clip)?;
+        }
+        let outcome = self.apply_get(clip, size);
+        self.maybe_checkpoint()?;
+        Ok(outcome)
+    }
+
+    /// The in-memory half of [`get`](Self::get) — also the WAL replay
+    /// path, which is what makes recovery re-derive exactly the state
+    /// live requests produced.
+    fn apply_get(&mut self, clip: ClipId, size: ByteSize) -> GetOutcome {
         self.clock += 1;
         self.evictions.0 = 0;
         let event = self
@@ -141,7 +187,6 @@ impl Shard {
             AccessEvent::Miss { admitted } => (false, admitted),
         };
         self.stats.record(hit, size, self.evictions.0);
-        self.maybe_checkpoint();
         GetOutcome {
             hit,
             admitted,
@@ -154,32 +199,143 @@ impl Shard {
     /// The access still advances the clock and the policy's reference
     /// history (a warmed clip looks recently used), so `admit` is for
     /// pre-loading before measurement, not for use mid-run.
-    pub fn admit(&mut self, clip: ClipId) -> bool {
-        self.clock += 1;
-        self.evictions.0 = 0;
-        let admitted =
-            match self
-                .cache
-                .access_into(clip, Timestamp(self.clock), &mut self.evictions)
-            {
-                AccessEvent::Hit => true,
-                AccessEvent::Miss { admitted } => admitted,
-            };
-        self.maybe_checkpoint();
-        admitted
+    pub fn admit(&mut self, clip: ClipId) -> Result<bool, PersistError> {
+        if let Some(store) = &mut self.store {
+            store.append(WalOp::Admit, clip)?;
+        }
+        let admitted = self.apply_admit(clip);
+        self.maybe_checkpoint()?;
+        Ok(admitted)
     }
 
-    fn maybe_checkpoint(&mut self) {
-        if self.clock - self.checkpoint.snapshot.tick.get() >= CHECKPOINT_EVERY {
-            self.checkpoint = Checkpoint {
-                snapshot: CacheSnapshot::take(
-                    self.cache.as_ref(),
-                    self.policy,
-                    Timestamp(self.clock),
-                ),
+    /// The in-memory half of [`admit`](Self::admit); also the replay
+    /// path for logged warm-ups.
+    fn apply_admit(&mut self, clip: ClipId) -> bool {
+        self.clock += 1;
+        self.evictions.0 = 0;
+        match self
+            .cache
+            .access_into(clip, Timestamp(self.clock), &mut self.evictions)
+        {
+            AccessEvent::Hit => true,
+            AccessEvent::Miss { admitted } => admitted,
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), PersistError> {
+        if self.clock - self.checkpoint.snapshot.tick.get() >= self.checkpoint_every {
+            self.force_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Refresh both checkpoints — durable first, so a crash mid-write
+    /// leaves the in-memory checkpoint still describing the same state
+    /// recovery will find on disk.
+    fn force_checkpoint(&mut self) -> Result<(), PersistError> {
+        let snapshot = CacheSnapshot::take(self.cache.as_ref(), self.policy, Timestamp(self.clock));
+        if let Some(store) = &mut self.store {
+            let seq = store.next_seq() - 1;
+            store.checkpoint(&DurableCheckpoint {
+                snapshot: snapshot.clone(),
                 stats: self.stats.clone(),
+                seq,
+            })?;
+        }
+        self.checkpoint = Checkpoint {
+            snapshot,
+            stats: self.stats.clone(),
+        };
+        Ok(())
+    }
+
+    /// Attach a durable store, rebuilding the shard from what it found
+    /// on disk. Returns how many WAL records were replayed.
+    ///
+    /// The durable checkpoint (if any) restores exactly like poison
+    /// recovery; the WAL tail then replays through the same zero-alloc
+    /// apply path live requests use. If anything replayed (or a torn
+    /// tail was truncated), the shard compacts — writes a fresh durable
+    /// checkpoint subsuming the log — so repeated crash-restarts step
+    /// forward instead of replaying ever-longer logs. A restart with
+    /// nothing to replay leaves the directory bytes untouched, which is
+    /// what makes back-to-back recoveries bit-identical.
+    pub fn attach_store(
+        &mut self,
+        store: ShardStore,
+        state: DurableState,
+    ) -> Result<u64, PersistError> {
+        if let Some(ckpt) = &state.checkpoint {
+            if ckpt.snapshot.policy != self.policy {
+                return Err(PersistError::BadCheckpoint(format!(
+                    "checkpoint policy {} does not match configured {}",
+                    ckpt.snapshot.policy.spelling(),
+                    self.policy.spelling()
+                )));
+            }
+            if ckpt.snapshot.capacity != self.checkpoint.snapshot.capacity {
+                return Err(PersistError::BadCheckpoint(format!(
+                    "checkpoint capacity {} bytes does not match configured {}",
+                    ckpt.snapshot.capacity.as_u64(),
+                    self.checkpoint.snapshot.capacity.as_u64()
+                )));
+            }
+            let (cache, tick) = restore(
+                &ckpt.snapshot,
+                Arc::clone(&self.repo),
+                self.seed,
+                self.frequencies.as_deref(),
+            )
+            .map_err(|e| PersistError::Build(e.to_string()))?;
+            self.cache = cache;
+            self.clock = tick.get();
+            self.stats = ckpt.stats.clone();
+            self.checkpoint = Checkpoint {
+                snapshot: ckpt.snapshot.clone(),
+                stats: ckpt.stats.clone(),
             };
         }
+        for rec in &state.records {
+            if self.repo.get(rec.clip).is_none() {
+                return Err(PersistError::Corrupt {
+                    offset: 0,
+                    reason: format!(
+                        "WAL record {} names clip {} outside the repository",
+                        rec.seq,
+                        rec.clip.get()
+                    ),
+                });
+            }
+            match rec.op {
+                WalOp::Get => {
+                    let size = self.repo.size_of(rec.clip);
+                    self.apply_get(rec.clip, size);
+                }
+                WalOp::Admit => {
+                    self.apply_admit(rec.clip);
+                }
+            }
+        }
+        let replayed = state.records.len() as u64;
+        self.wal_replayed = replayed;
+        self.store = Some(store);
+        if replayed > 0 || state.torn_bytes_dropped > 0 {
+            self.force_checkpoint()?;
+        }
+        Ok(replayed)
+    }
+
+    /// Arm (or disarm) a deterministic crash point on the attached
+    /// store. No-op for a memory-only shard.
+    pub fn arm_crash(&mut self, crash: Option<CrashSpec>) {
+        if let Some(store) = &mut self.store {
+            store.arm_crash(crash);
+        }
+    }
+
+    /// WAL records replayed into this shard when it was last opened.
+    pub fn wal_replayed(&self) -> u64 {
+        self.wal_replayed
     }
 
     /// Rebuild the shard from its last checkpoint after its mutex was
@@ -207,6 +363,15 @@ impl Shard {
         self.clock = tick.get();
         self.stats = self.checkpoint.stats.clone();
         self.evictions = EvictionCount(0);
+        // Keep the disk in step with the rewind: WAL records after the
+        // checkpoint describe accesses the rebuilt shard never saw. If
+        // even the truncation fails, kill the store — refusing further
+        // appends beats silently diverging from the in-memory state.
+        if let Some(store) = &mut self.store {
+            if store.rewind_to_checkpoint().is_err() {
+                store.kill();
+            }
+        }
     }
 
     /// The shard's hit statistics so far.
@@ -239,7 +404,14 @@ mod tests {
     ) -> (Arc<Repository>, Shard) {
         let repo = Arc::new(paper::equi_sized_repository_of(clips, ByteSize::mb(10)));
         let cache = policy.build(Arc::clone(&repo), capacity, 1, None);
-        let shard = Shard::new(cache, Arc::clone(&repo), policy.into(), 1, None);
+        let shard = Shard::new(
+            cache,
+            Arc::clone(&repo),
+            policy.into(),
+            1,
+            None,
+            CHECKPOINT_EVERY,
+        );
         (repo, shard)
     }
 
@@ -270,9 +442,9 @@ mod tests {
     fn get_records_stats_and_ticks_clock() {
         let (repo, mut shard) = shard_with(PolicyKind::Lru, 8, ByteSize::mb(20));
         let clip = ClipId::new(3);
-        let miss = shard.get(clip, repo.size_of(clip));
+        let miss = shard.get(clip, repo.size_of(clip)).unwrap();
         assert!(!miss.hit && miss.admitted && miss.evictions == 0);
-        let hit = shard.get(clip, repo.size_of(clip));
+        let hit = shard.get(clip, repo.size_of(clip)).unwrap();
         assert!(hit.hit);
         assert_eq!(shard.stats().hits, 1);
         assert_eq!(shard.stats().misses, 1);
@@ -282,10 +454,15 @@ mod tests {
     #[test]
     fn admit_warms_without_stats() {
         let (repo, mut shard) = shard_with(PolicyKind::Lru, 8, ByteSize::mb(20));
-        assert!(shard.admit(ClipId::new(5)));
+        assert!(shard.admit(ClipId::new(5)).unwrap());
         assert_eq!(shard.stats().requests(), 0);
         // The warmed clip now hits, and only the hit is counted.
-        assert!(shard.get(ClipId::new(5), repo.size_of(ClipId::new(5))).hit);
+        assert!(
+            shard
+                .get(ClipId::new(5), repo.size_of(ClipId::new(5)))
+                .unwrap()
+                .hit
+        );
         assert_eq!(shard.stats().hits, 1);
     }
 
@@ -296,7 +473,7 @@ mod tests {
         // holds this state.
         for i in 0..CHECKPOINT_EVERY {
             let clip = ClipId::new((i % 4 + 1) as u32);
-            shard.get(clip, repo.size_of(clip));
+            shard.get(clip, repo.size_of(clip)).unwrap();
         }
         let at_checkpoint = shard.stats().clone();
         let resident_at_checkpoint = {
@@ -307,7 +484,7 @@ mod tests {
         // A few more requests past the checkpoint, then a recovery.
         for i in 0..5u32 {
             let clip = ClipId::new(i % 16 + 1);
-            shard.get(clip, repo.size_of(clip));
+            shard.get(clip, repo.size_of(clip)).unwrap();
         }
         assert_ne!(shard.stats(), &at_checkpoint);
         shard.recover();
@@ -322,16 +499,103 @@ mod tests {
         // increasing (never reuses a timestamp the policy already saw).
         assert!(shard.clock().get() >= CHECKPOINT_EVERY);
         // The shard keeps serving correctly after recovery.
-        assert!(shard.get(ClipId::new(1), repo.size_of(ClipId::new(1))).hit);
+        assert!(
+            shard
+                .get(ClipId::new(1), repo.size_of(ClipId::new(1)))
+                .unwrap()
+                .hit
+        );
     }
 
     #[test]
     fn recover_on_fresh_shard_is_safe() {
         let (repo, mut shard) = shard_with(PolicyKind::Lru, 8, ByteSize::mb(20));
-        shard.get(ClipId::new(2), repo.size_of(ClipId::new(2)));
+        shard
+            .get(ClipId::new(2), repo.size_of(ClipId::new(2)))
+            .unwrap();
         shard.recover(); // checkpoint is the empty initial snapshot
         assert_eq!(shard.stats().requests(), 0);
         assert!(shard.cache().resident_clips().is_empty());
-        assert!(!shard.get(ClipId::new(2), repo.size_of(ClipId::new(2))).hit);
+        assert!(
+            !shard
+                .get(ClipId::new(2), repo.size_of(ClipId::new(2)))
+                .unwrap()
+                .hit
+        );
+    }
+
+    #[test]
+    fn durable_shard_survives_a_reopen() {
+        use crate::persist::{ShardStore, WalSync};
+        let dir =
+            std::env::temp_dir().join(format!("clipcache-shard-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace: Vec<u32> = (0..300u32).map(|i| i * 7 % 16 + 1).collect();
+        // Cadence beyond the trace: the whole run lives in the WAL, so
+        // the first reopen is a pure replay from empty — which must be
+        // bit-identical to a continuous memory-only run.
+        let fresh = |every: u64| {
+            let repo = Arc::new(paper::equi_sized_repository_of(16, ByteSize::mb(10)));
+            let cache = PolicyKind::Lru.build(Arc::clone(&repo), ByteSize::mb(40), 1, None);
+            let shard = Shard::new(
+                cache,
+                Arc::clone(&repo),
+                PolicyKind::Lru.into(),
+                1,
+                None,
+                every,
+            );
+            (repo, shard)
+        };
+        let (repo, mut reference) = fresh(1_000);
+        for &c in &trace {
+            reference
+                .get(ClipId::new(c), repo.size_of(ClipId::new(c)))
+                .unwrap();
+        }
+
+        let (_, mut durable) = fresh(1_000);
+        let (store, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(durable.attach_store(store, state).unwrap(), 0);
+        for &c in &trace {
+            durable
+                .get(ClipId::new(c), repo.size_of(ClipId::new(c)))
+                .unwrap();
+        }
+        // Persistence is invisible to behavior.
+        assert_eq!(durable.stats(), reference.stats());
+        assert_eq!(
+            durable.cache().resident_clips(),
+            reference.cache().resident_clips()
+        );
+        drop(durable);
+
+        // First reopen: pure WAL replay from empty, bit-identical to the
+        // continuous run — residency in the exact same order, not just
+        // the same set.
+        let (_, mut reopened) = fresh(1_000);
+        let (store, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(reopened.attach_store(store, state).unwrap(), 300);
+        assert_eq!(reopened.wal_replayed(), 300);
+        assert_eq!(reopened.stats(), reference.stats(), "stats conserved");
+        assert_eq!(
+            reopened.cache().resident_clips(),
+            reference.cache().resident_clips()
+        );
+        drop(reopened);
+
+        // The reopen compacted (checkpoint subsumes the log): a second
+        // reopen restores from the checkpoint, replays nothing, and
+        // still reports the same stats and residency.
+        let (_, mut again) = fresh(1_000);
+        let (store, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(again.attach_store(store, state).unwrap(), 0, "compacted");
+        assert_eq!(again.stats(), reference.stats());
+        let mut a = again.cache().resident_clips();
+        let mut b = reference.cache().resident_clips();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "residency conserved through the checkpoint");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -36,12 +36,12 @@ fn fixture(shards: usize) -> (Arc<Repository>, Arc<CacheService>, Trace) {
     let service = Arc::new(
         CacheService::new(
             Arc::clone(&repo),
-            ServiceConfig {
-                policy: PolicyKind::Lru.into(),
+            ServiceConfig::new(
+                PolicyKind::Lru,
                 shards,
-                capacity: repo.cache_capacity_for_ratio(0.25),
-                seed: SERVICE_SEED,
-            },
+                repo.cache_capacity_for_ratio(0.25),
+                SERVICE_SEED,
+            ),
             None,
         )
         .unwrap(),

@@ -1,0 +1,411 @@
+//! Crash-kill recovery: deterministic crash points fired in-process
+//! ([`CrashAction::Surface`]), then the service is reopened from the
+//! same data directory and its recovered state is checked against the
+//! last durable point.
+//!
+//! The invariants pinned here (and by CI's crash-smoke job over a real
+//! `kill -9`):
+//!
+//! * after a crash at any deterministic point, recovery lands exactly
+//!   on the last durable state — bit-identical to a continuous run
+//!   when no mid-stream checkpoint was consumed (pure WAL replay
+//!   rebuilds the exact access order);
+//! * a torn final append is truncated, costing exactly the torn
+//!   record and nothing else;
+//! * a crash mid-checkpoint keeps the previous checkpoint and the
+//!   full WAL — the atomic rename never exposes a half-written file;
+//! * recovery is deterministic: two independent recoveries of the
+//!   same directory agree byte-for-byte, on state and on disk;
+//! * counters are conserved across a crash-restart loop: every request
+//!   the durable store acknowledged is counted exactly once.
+
+use clipcache_media::{paper, ByteSize, ClipId, Repository};
+use clipcache_serve::{
+    CacheService, CrashAction, CrashSpec, PersistOptions, ServiceConfig, ServiceError,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SEED: u64 = 41;
+const CLIPS: usize = 16;
+
+fn repo() -> Arc<Repository> {
+    Arc::new(paper::equi_sized_repository_of(CLIPS, ByteSize::mb(10)))
+}
+
+fn config(checkpoint_every: u64) -> ServiceConfig {
+    ServiceConfig::new(clipcache_core::PolicyKind::Lru, 1, ByteSize::mb(40), SEED)
+        .with_checkpoint_every(checkpoint_every)
+}
+
+/// A deterministic trace cycling through the catalog.
+fn trace(len: usize) -> Vec<ClipId> {
+    (0..len)
+        .map(|i| ClipId::new((i * 7 % CLIPS) as u32 + 1))
+        .collect()
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clipcache-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_with_crash(
+    repo: &Arc<Repository>,
+    config: ServiceConfig,
+    dir: &Path,
+    crash: Option<&str>,
+) -> CacheService {
+    let opts = PersistOptions {
+        dir: dir.to_path_buf(),
+        sync: Default::default(),
+        crash: crash.map(|s| CrashSpec::parse(s).unwrap()),
+        on_crash: CrashAction::Surface,
+    };
+    CacheService::open_persistent(Arc::clone(repo), config, None, &opts)
+        .expect("open succeeds")
+        .0
+}
+
+/// Drive `trace` until the armed crash point fires; returns how many
+/// requests completed before the crash surfaced.
+fn drive_until_crash(service: &CacheService, trace: &[ClipId]) -> usize {
+    for (i, &clip) in trace.iter().enumerate() {
+        match service.get(clip) {
+            Ok(_) => {}
+            Err(ServiceError::Crashed) => return i,
+            Err(e) => panic!("unexpected error at request {i}: {e}"),
+        }
+    }
+    panic!(
+        "armed crash point never fired over {} requests",
+        trace.len()
+    );
+}
+
+/// The continuous (never-crashed, memory-only) reference after `n`
+/// requests: the state recovery must land on when it replays a pure
+/// WAL from empty.
+fn reference_after(
+    repo: &Arc<Repository>,
+    cfg: ServiceConfig,
+    trace: &[ClipId],
+    n: usize,
+) -> CacheService {
+    let service = CacheService::new(Arc::clone(repo), cfg, None).unwrap();
+    for &clip in &trace[..n] {
+        service.get(clip).unwrap();
+    }
+    service
+}
+
+fn assert_state_equal(recovered: &CacheService, reference: &CacheService, label: &str) {
+    assert_eq!(recovered.stats(), reference.stats(), "{label}: stats");
+    assert_eq!(
+        recovered.snapshot(),
+        reference.snapshot(),
+        "{label}: snapshot (resident set and order)"
+    );
+}
+
+/// Recursive directory copy (shard dirs are one level of plain files).
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dest = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &dest);
+        } else {
+            std::fs::copy(entry.path(), &dest).unwrap();
+        }
+    }
+}
+
+/// Every file in the two trees, byte for byte.
+fn assert_dirs_identical(a: &Path, b: &Path) {
+    let mut names: Vec<String> = std::fs::read_dir(a)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    let mut other: Vec<String> = std::fs::read_dir(b)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    other.sort();
+    assert_eq!(names, other, "{} vs {}", a.display(), b.display());
+    for name in names {
+        let pa = a.join(&name);
+        let pb = b.join(&name);
+        if pa.is_dir() {
+            assert_dirs_identical(&pa, &pb);
+        } else {
+            assert_eq!(
+                std::fs::read(&pa).unwrap(),
+                std::fs::read(&pb).unwrap(),
+                "file {name} differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_after_nth_append_recovers_exactly_n_requests() {
+    let repo = repo();
+    let dir = scratch_dir("append");
+    // Cadence above the trace length: the crash precedes any durable
+    // checkpoint, so recovery is pure replay from empty and must match
+    // the continuous run bit for bit.
+    let cfg = config(1000);
+    let requests = trace(120);
+    for crash_at in [1usize, 7, 40] {
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = open_with_crash(&repo, cfg, &dir, Some(&format!("append:{crash_at}")));
+        let completed = drive_until_crash(&service, &requests);
+        // AfterAppend(N) fires during the Nth append, *after* the record
+        // is durable: N-1 requests returned to the caller, N are on disk.
+        assert_eq!(completed, crash_at - 1, "requests completed before crash");
+        // Once dead, every later operation surfaces the crash too.
+        assert!(matches!(
+            service.get(requests[0]),
+            Err(ServiceError::Crashed)
+        ));
+        drop(service);
+
+        let recovered = open_with_crash(&repo, cfg, &dir, None);
+        assert_eq!(recovered.wal_replayed(), crash_at as u64);
+        assert_state_equal(
+            &recovered,
+            &reference_after(&repo, cfg, &requests, crash_at),
+            &format!("append:{crash_at}"),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_final_append_costs_exactly_the_torn_record() {
+    let repo = repo();
+    let dir = scratch_dir("torn");
+    let cfg = config(1000);
+    let requests = trace(120);
+    for crash_at in [1usize, 5, 33] {
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = open_with_crash(&repo, cfg, &dir, Some(&format!("torn:{crash_at}")));
+        let completed = drive_until_crash(&service, &requests);
+        assert_eq!(completed, crash_at - 1);
+        drop(service);
+
+        // The torn record never became durable: recovery truncates it
+        // and lands on the previous request's state.
+        let opts = PersistOptions::at(&dir);
+        let (recovered, report) =
+            CacheService::open_persistent(Arc::clone(&repo), cfg, None, &opts).unwrap();
+        assert_eq!(report.replayed, crash_at as u64 - 1);
+        assert!(report.torn_bytes_dropped > 0, "the torn tail was counted");
+        assert_state_equal(
+            &recovered,
+            &reference_after(&repo, cfg, &requests, crash_at - 1),
+            &format!("torn:{crash_at}"),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_checkpoint_keeps_the_full_wal() {
+    let repo = repo();
+    let dir = scratch_dir("midckpt");
+    // Cadence 10: the first durable checkpoint is attempted at clock 10
+    // and dies half-written. No checkpoint was ever completed, so
+    // recovery is still pure replay — and must see all 10 records.
+    let cfg = config(10);
+    let requests = trace(120);
+    let service = open_with_crash(&repo, cfg, &dir, Some("checkpoint:1"));
+    let completed = drive_until_crash(&service, &requests);
+    assert_eq!(completed, 9, "the 10th request died in its checkpoint");
+    drop(service);
+
+    let recovered = open_with_crash(&repo, cfg, &dir, None);
+    assert_eq!(recovered.wal_replayed(), 10);
+    assert_state_equal(
+        &recovered,
+        &reference_after(&repo, cfg, &requests, 10),
+        "checkpoint:1",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_is_deterministic_across_independent_runs() {
+    let repo = repo();
+    let dir = scratch_dir("determinism");
+    let copy_a = scratch_dir("determinism-a");
+    let copy_b = scratch_dir("determinism-b");
+    // Cadence 16 with a crash at append 50: recovery consumes a real
+    // mid-stream checkpoint *and* a WAL tail — the general case.
+    let cfg = config(16);
+    let requests = trace(120);
+    let service = open_with_crash(&repo, cfg, &dir, Some("append:50"));
+    drive_until_crash(&service, &requests);
+    drop(service);
+
+    // Recover the same durable state twice, independently.
+    copy_dir(&dir, &copy_a);
+    copy_dir(&dir, &copy_b);
+    let a = open_with_crash(&repo, cfg, &copy_a, None);
+    let b = open_with_crash(&repo, cfg, &copy_b, None);
+    assert_eq!(a.wal_replayed(), b.wal_replayed());
+    assert_state_equal(&a, &b, "two recoveries of one directory");
+    // Counter conservation: everything the store acknowledged (49
+    // completed + the crashed 50th, already durable) is counted once.
+    assert_eq!(a.stats().requests(), 50);
+    drop(a);
+    drop(b);
+    // Recovery compacted both copies the same way: byte-identical disks.
+    assert_dirs_identical(&copy_a, &copy_b);
+
+    // A recovered, untouched directory reopens with nothing to replay
+    // and does not rewrite itself: back-to-back recoveries are no-ops.
+    let (quiet, report) =
+        CacheService::open_persistent(Arc::clone(&repo), cfg, None, &PersistOptions::at(&copy_a))
+            .unwrap();
+    assert_eq!(report.replayed, 0, "compaction left no WAL tail");
+    assert_eq!(quiet.stats().requests(), 50);
+    drop(quiet);
+    assert_dirs_identical(&copy_a, &copy_b);
+
+    for d in [&dir, &copy_a, &copy_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn crash_restart_loop_conserves_every_acknowledged_request() {
+    let repo = repo();
+    let dir = scratch_dir("loop");
+    // Small cadence so restarts consume real checkpoints; the crash
+    // point re-arms on every reopen, so the loop steps forward.
+    let cfg = config(16);
+    let requests = trace(200);
+    let mut applied = 0usize;
+    let mut restarts = 0usize;
+    let mut service = open_with_crash(&repo, cfg, &dir, Some("append:48"));
+    while applied < requests.len() {
+        match service.get(requests[applied]) {
+            Ok(_) => applied += 1,
+            Err(ServiceError::Crashed) => {
+                // AfterAppend made the crashed request durable before
+                // dying: it counts as applied, exactly once.
+                applied += 1;
+                restarts += 1;
+                service = open_with_crash(&repo, cfg, &dir, Some("append:48"));
+                assert_eq!(
+                    service.stats().requests(),
+                    applied as u64,
+                    "restart {restarts}: recovered counters disagree"
+                );
+            }
+            Err(e) => panic!("unexpected error at request {applied}: {e}"),
+        }
+    }
+    assert!(restarts >= 3, "the loop crashed {restarts} times");
+    assert_eq!(service.stats().requests(), requests.len() as u64);
+    // The survivors' residency is exactly the repository subset a
+    // single shard can hold — no phantom or duplicated clips.
+    let snaps = service.snapshot();
+    assert_eq!(snaps.len(), 1);
+    let mut seen = std::collections::HashSet::new();
+    for &clip in &snaps[0].resident {
+        assert!(clip.get() as usize <= CLIPS, "phantom clip {}", clip.get());
+        assert!(seen.insert(clip), "clip resident twice");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Open a directory expecting refusal; returns the error message.
+fn open_must_fail(repo: &Arc<Repository>, cfg: ServiceConfig, dir: &Path) -> String {
+    match CacheService::open_persistent(Arc::clone(repo), cfg, None, &PersistOptions::at(dir)) {
+        Ok(_) => panic!("open of incompatible state unexpectedly succeeded"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn incompatible_durable_state_is_rejected_loudly() {
+    let repo = repo();
+    let dir = scratch_dir("reject");
+    // Cadence 1 forces a durable checkpoint immediately.
+    let cfg = config(1);
+    let service = open_with_crash(&repo, cfg, &dir, None);
+    for &clip in &trace(10) {
+        service.get(clip).unwrap();
+    }
+    drop(service);
+
+    // Wrong policy: the checkpoint names lru, the new config wants fifo.
+    let fifo = ServiceConfig::new(clipcache_core::PolicyKind::Fifo, 1, ByteSize::mb(40), SEED)
+        .with_checkpoint_every(1);
+    let err = open_must_fail(&repo, fifo, &dir);
+    assert!(err.contains("policy"), "policy mismatch surfaced: {err}");
+
+    // A future checkpoint version is refused, not half-read.
+    let ckpt_path = dir.join("shard-0").join("checkpoint.json");
+    let json = std::fs::read_to_string(&ckpt_path).unwrap();
+    std::fs::write(
+        &ckpt_path,
+        json.replacen("\"version\":1", "\"version\":99", 1),
+    )
+    .unwrap();
+    let err = open_must_fail(&repo, cfg, &dir);
+    assert!(err.contains("version"), "version mismatch surfaced: {err}");
+
+    // Mid-log WAL corruption is a loud error, never a silent cold start.
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = config(1000);
+    let service = open_with_crash(&repo, cfg, &dir, None);
+    for &clip in &trace(10) {
+        service.get(clip).unwrap();
+    }
+    drop(service);
+    let wal_path = dir.join("shard-0").join("wal.log");
+    let mut wal = std::fs::read(&wal_path).unwrap();
+    wal[30] ^= 0x40; // a payload bit in an early record
+    std::fs::write(&wal_path, &wal).unwrap();
+    let err = open_must_fail(&repo, cfg, &dir);
+    assert!(err.contains("corrupt"), "corruption surfaced: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poison_recovery_and_persistence_compose() {
+    let repo = repo();
+    let dir = scratch_dir("poison");
+    // Cadence above the trace: the only checkpoint is the empty tick-0
+    // one, so the poison rewind restarts from empty and the final state
+    // is a pure replay — reopen must reproduce it bit for bit.
+    let cfg = config(1000);
+    let requests = trace(60);
+    let service = open_with_crash(&repo, cfg, &dir, None);
+    for &clip in &requests[..40] {
+        service.get(clip).unwrap();
+    }
+    // Poison the shard mid-run: the next access rebuilds it from the
+    // in-memory checkpoint and rewinds the durable store to match.
+    service.poison(requests[40]);
+    for &clip in &requests[40..] {
+        service.get(clip).unwrap();
+    }
+    assert_eq!(service.recoveries(), 1);
+    let stats_before = service.stats();
+    let snaps_before = service.snapshot();
+    drop(service);
+
+    // The durable state reflects the post-poison timeline exactly.
+    let recovered = open_with_crash(&repo, cfg, &dir, None);
+    assert_eq!(recovered.stats(), stats_before);
+    assert_eq!(recovered.snapshot(), snaps_before);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -50,7 +50,7 @@ fn outcome_from(selector: u8, evictions: usize) -> GetOutcome {
     }
 }
 
-fn stats_from(v: [u64; 6]) -> ServerStats {
+fn stats_from(v: [u64; 7]) -> ServerStats {
     ServerStats {
         stats: HitStats {
             hits: v[0],
@@ -60,6 +60,7 @@ fn stats_from(v: [u64; 6]) -> ServerStats {
             evictions: v[4],
         },
         recoveries: v[5],
+        wal_replayed: v[6],
     }
 }
 
@@ -116,8 +117,10 @@ fn malformed_corpus_is_rejected_not_panicked() {
         "POISONED x",
         "POISONED 1 2",
         "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0", // old 5-field form
+        // Old 6-field form (pre-wal_replayed).
+        "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0",
         "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 frobs=0",
-        "STATS hits==1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0",
+        "STATS hits==1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0 wal_replayed=0",
         "",
         "   ",
         "\t",
@@ -163,7 +166,7 @@ fn round_trips_on_a_grid() {
     for shard in [0usize, 1, 63, usize::MAX] {
         assert_eq!(parse_poisoned(&format_poisoned(shard)), Ok(shard));
     }
-    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4]);
+    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4, 5]);
     assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
 }
 
@@ -188,8 +191,11 @@ proptest! {
         byte_misses in 0u64..u64::MAX,
         evictions in 0u64..u64::MAX,
         recoveries in 0u64..u64::MAX,
+        wal_replayed in 0u64..u64::MAX,
     ) {
-        let stats = stats_from([hits, misses, byte_hits, byte_misses, evictions, recoveries]);
+        let stats = stats_from([
+            hits, misses, byte_hits, byte_misses, evictions, recoveries, wal_replayed,
+        ]);
         prop_assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
     }
 

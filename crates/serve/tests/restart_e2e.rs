@@ -1,0 +1,179 @@
+//! End-to-end crash-kill recovery against the real `serve` binary: a
+//! durable server is started, loaded over TCP, killed with SIGKILL (no
+//! graceful shutdown, no flush hooks — the process just stops), then
+//! restarted on the same data directory. The restarted server must
+//! report every acknowledged request in `STATS` (the WAL is written
+//! before the reply, so an answered request is a durable request), and
+//! an idle restart must leave the directory bytes untouched.
+
+use clipcache_media::ClipId;
+use clipcache_serve::TcpCacheClient;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+struct Server {
+    child: Child,
+    stdin: ChildStdin,
+    // Held open so the server never hits a broken pipe on its own
+    // stdout (it prints a final report at shutdown).
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+    recovery_line: Option<String>,
+}
+
+fn spawn_server(data_dir: &Path, shards: usize) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            &shards.to_string(),
+            "--clips",
+            "24",
+            "--data-dir",
+        ])
+        .arg(data_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("serve binary spawns");
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut recovery_line = None;
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("server stdout readable") == 0 {
+            panic!("server exited before printing its address");
+        }
+        if line.starts_with("recovered ") {
+            recovery_line = Some(line.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after 'listening on'")
+                .to_string();
+        }
+    };
+    Server {
+        child,
+        stdin,
+        stdout: reader,
+        addr,
+        recovery_line,
+    }
+}
+
+impl Server {
+    fn quit(mut self) {
+        self.stdin.write_all(b"quit\n").expect("stdin writable");
+        self.stdin.flush().expect("stdin flushes");
+        let mut rest = String::new();
+        self.stdout
+            .read_to_string(&mut rest)
+            .expect("shutdown output drains");
+        let status = self.child.wait().expect("server exits");
+        assert!(status.success(), "graceful shutdown exits cleanly");
+    }
+
+    /// SIGKILL — the same observable as a power-cut for the process.
+    fn kill(mut self) {
+        self.child.kill().expect("kill delivered");
+        self.child.wait().expect("killed server reaped");
+    }
+}
+
+/// Every WAL and checkpoint byte beneath a data dir, keyed by shard
+/// file, for byte-identity assertions.
+fn dir_contents(dir: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("data dir readable") {
+            let entry = entry.unwrap();
+            let path = entry.path();
+            if entry.file_type().unwrap().is_dir() {
+                stack.push(path);
+            } else {
+                let bytes = std::fs::read(&path).unwrap();
+                files.push((path, bytes));
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn killed_server_recovers_every_acknowledged_request() {
+    let dir = std::env::temp_dir().join(format!("clipcache-restart-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Round 1: load a fresh durable server, then SIGKILL it.
+    let server = spawn_server(&dir, 2);
+    assert!(
+        server
+            .recovery_line
+            .as_deref()
+            .is_some_and(|l| l.contains("wal_replayed=0")),
+        "a cold start recovers nothing: {:?}",
+        server.recovery_line
+    );
+    let mut client = TcpCacheClient::connect(&server.addr).expect("client connects");
+    for i in 0..100u32 {
+        client.get(ClipId::new(i % 24 + 1)).expect("request served");
+    }
+    let before = client.stats().expect("stats served");
+    assert_eq!(before.stats.requests(), 100);
+    assert_eq!(before.wal_replayed, 0);
+    drop(client); // no QUIT — the kill races nothing
+    server.kill();
+
+    // Round 2: restart on the same directory. Every answered request
+    // was WAL'd before its reply, so all 100 must come back.
+    let server = spawn_server(&dir, 2);
+    assert!(
+        server
+            .recovery_line
+            .as_deref()
+            .is_some_and(|l| !l.contains("wal_replayed=0")),
+        "a warm start replays the WAL: {:?}",
+        server.recovery_line
+    );
+    let mut client = TcpCacheClient::connect(&server.addr).expect("client reconnects");
+    let recovered = client.stats().expect("stats served after recovery");
+    assert_eq!(
+        recovered.stats, before.stats,
+        "recovered counters match the last acknowledged state"
+    );
+    assert_eq!(recovered.recoveries, 0, "no poison recoveries happened");
+    assert_eq!(recovered.wal_replayed, 100);
+    // The recovered server keeps serving — and keeps persisting.
+    for i in 0..50u32 {
+        client.get(ClipId::new(i % 24 + 1)).expect("request served");
+    }
+    assert_eq!(client.stats().unwrap().stats.requests(), 150);
+    client.quit().expect("clean disconnect");
+    server.quit();
+
+    // Round 3: graceful restart sees all 150; an idle restart is a
+    // no-op on disk — back-to-back recoveries are byte-identical.
+    let server = spawn_server(&dir, 2);
+    let mut client = TcpCacheClient::connect(&server.addr).expect("client reconnects");
+    assert_eq!(client.stats().unwrap().stats.requests(), 150);
+    client.quit().expect("clean disconnect");
+    server.quit();
+    let settled = dir_contents(&dir);
+    let server = spawn_server(&dir, 2);
+    server.quit();
+    assert_eq!(
+        dir_contents(&dir),
+        settled,
+        "an idle restart must not rewrite durable state"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

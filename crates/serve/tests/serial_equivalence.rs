@@ -17,12 +17,7 @@ fn load(policy: PolicySpec, shards: usize, clients: usize, trace: &Trace) -> (Hi
     let service = Arc::new(
         CacheService::new(
             Arc::clone(&repo),
-            ServiceConfig {
-                policy,
-                shards,
-                capacity: repo.cache_capacity_for_ratio(0.25),
-                seed: SEED,
-            },
+            ServiceConfig::new(policy, shards, repo.cache_capacity_for_ratio(0.25), SEED),
             None,
         )
         .expect("policy builds"),

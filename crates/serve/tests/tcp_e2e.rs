@@ -25,12 +25,12 @@ fn start_with(
     let service = Arc::new(
         CacheService::new(
             Arc::clone(&repo),
-            ServiceConfig {
-                policy: PolicyKind::Lru.into(),
+            ServiceConfig::new(
+                PolicyKind::Lru,
                 shards,
-                capacity: repo.cache_capacity_for_ratio(0.25),
-                seed: 7,
-            },
+                repo.cache_capacity_for_ratio(0.25),
+                7,
+            ),
             None,
         )
         .unwrap(),
@@ -120,12 +120,7 @@ fn tcp_loadgen_matches_in_process_counters() {
     let service2 = Arc::new(
         CacheService::new(
             Arc::clone(&repo2),
-            ServiceConfig {
-                policy: PolicyKind::Lru.into(),
-                shards: 4,
-                capacity: repo2.cache_capacity_for_ratio(0.25),
-                seed: 7,
-            },
+            ServiceConfig::new(PolicyKind::Lru, 4, repo2.cache_capacity_for_ratio(0.25), 7),
             None,
         )
         .unwrap(),
