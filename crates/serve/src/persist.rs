@@ -21,16 +21,23 @@
 //! ## The recovery contract
 //!
 //! [`ShardStore::open`] loads the newest valid checkpoint and decodes
-//! the WAL with exactly two failure modes:
+//! the WAL with exactly two crash artifacts it tolerates and one failure
+//! mode it refuses:
 //!
 //! * a **torn tail** — the file ends mid-frame, the signature of a crash
 //!   during an append. The partial record is truncated away and recovery
 //!   proceeds from the last complete record; the dropped byte count is
 //!   reported, never hidden.
-//! * **mid-log corruption** — a complete frame whose CRC does not match,
-//!   or whose sequence breaks the chain. That is bit rot or foul play,
-//!   not a crash artifact, and recovery refuses loudly
-//!   ([`PersistError::Corrupt`]) rather than replaying garbage.
+//! * a **subsumed prefix** — records with sequence numbers at or below
+//!   the checkpoint's, the signature of a crash between the checkpoint
+//!   rename and the WAL truncation. The checkpoint already folds them
+//!   in, so they are skipped (and the interrupted truncation finished),
+//!   never replayed twice.
+//! * **mid-log corruption** — a complete frame whose CRC or length
+//!   prefix does not match the fixed layout, or whose sequence breaks
+//!   the chain. That is bit rot or foul play, not a crash artifact, and
+//!   recovery refuses loudly ([`PersistError::Corrupt`]) rather than
+//!   replaying garbage.
 //!
 //! Recovery is deterministic: the same on-disk bytes produce the same
 //! rebuilt shard, bit for bit, on every attempt — the crash-kill chaos
@@ -182,10 +189,11 @@ pub enum WalTail {
 ///
 /// An *incomplete* final frame (fewer bytes than its header or declared
 /// length promises) is a torn tail: the complete prefix is returned with
-/// [`WalTail::Torn`]. A *complete* frame that fails its CRC, declares an
-/// unknown layout, or breaks anything else is corruption and fails
-/// loudly — no record after the first invalid byte is ever returned, and
-/// no invalid record is ever silently replayed.
+/// [`WalTail::Torn`]. A frame whose (fully present) length prefix is not
+/// the fixed record layout, whose CRC fails, or that breaks anything
+/// else is corruption and fails loudly — no record after the first
+/// invalid byte is ever returned, no valid frame is ever silently
+/// discarded as a "torn tail", and no invalid record is ever replayed.
 pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), PersistError> {
     let mut records = Vec::new();
     let mut pos = 0usize;
@@ -198,14 +206,29 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), PersistErro
             valid_bytes: pos as u64,
             dropped_bytes: (bytes.len() - pos) as u64,
         };
-        if remaining < FRAME_HEADER_BYTES {
+        if remaining < 4 {
             return Ok((records, torn(pos)));
         }
         let len_bytes = &bytes[pos..pos + 4];
         let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-        if remaining - FRAME_HEADER_BYTES < len {
+        // The length field is the first thing an append writes, so a torn
+        // write can truncate it but never leave it complete-and-wrong.
+        // Records are fixed-size, so a complete length that is not the
+        // one layout is corruption — trusting it would let a flipped bit
+        // masquerade the rest of the log as a "torn tail" and silently
+        // truncate valid frames after it.
+        if len != RECORD_PAYLOAD_BYTES {
+            return Err(PersistError::Corrupt {
+                offset: pos as u64,
+                reason: format!(
+                    "WAL record length {len} is not the fixed \
+                     {RECORD_PAYLOAD_BYTES}-byte layout"
+                ),
+            });
+        }
+        if remaining < FRAME_HEADER_BYTES || remaining - FRAME_HEADER_BYTES < len {
             // The frame promises more bytes than the file holds: an
-            // append died mid-write (or its length prefix was torn).
+            // append died mid-write.
             return Ok((records, torn(pos)));
         }
         let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
@@ -217,12 +240,6 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), PersistErro
             return Err(PersistError::Corrupt {
                 offset: pos as u64,
                 reason: "WAL record CRC mismatch".into(),
-            });
-        }
-        if len != RECORD_PAYLOAD_BYTES {
-            return Err(PersistError::Corrupt {
-                offset: pos as u64,
-                reason: format!("WAL record layout {len} bytes is not understood"),
             });
         }
         let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
@@ -514,6 +531,10 @@ pub struct DurableState {
     pub records: Vec<WalRecord>,
     /// Bytes of torn tail truncated away during open (0 for a clean log).
     pub torn_bytes_dropped: u64,
+    /// WAL records the checkpoint already subsumed (seq ≤ checkpoint
+    /// seq), skipped rather than replayed — nonzero when a crash landed
+    /// between the checkpoint rename and the WAL truncation.
+    pub subsumed_records: u64,
 }
 
 /// One shard's durable store: the WAL append handle, the checkpoint
@@ -565,20 +586,58 @@ impl ShardStore {
         if wal_path.exists() {
             File::open(&wal_path)?.read_to_end(&mut bytes)?;
         }
-        let (records, tail) = decode_wal(&bytes)?;
-        // The log must continue exactly where the checkpoint stopped.
-        let mut expected = ckpt_seq;
-        for (i, rec) in records.iter().enumerate() {
-            expected += 1;
-            if rec.seq != expected {
+        let (mut records, tail) = decode_wal(&bytes)?;
+        // The log must be one contiguous sequence run...
+        for (i, pair) in records.windows(2).enumerate() {
+            if pair[1].seq != pair[0].seq + 1 {
                 return Err(PersistError::Corrupt {
-                    offset: (i * (FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES)) as u64,
+                    offset: ((i + 1) * (FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES)) as u64,
                     reason: format!(
-                        "WAL sequence broken: record {i} has seq {}, expected {expected}",
-                        rec.seq
+                        "WAL sequence broken: record {} has seq {}, expected {}",
+                        i + 1,
+                        pair[1].seq,
+                        pair[0].seq + 1
                     ),
                 });
             }
+        }
+        // ...that reaches back to the checkpoint. Sequence numbers are
+        // 1-based, and a run starting *past* ckpt_seq + 1 means records
+        // were lost — both are corruption. A run starting *at or before*
+        // ckpt_seq is legitimate: a crash between the checkpoint rename
+        // and the WAL truncation leaves records the checkpoint already
+        // subsumes, which recovery skips rather than refusing or
+        // replaying twice.
+        if let Some(first) = records.first() {
+            if first.seq == 0 {
+                return Err(PersistError::Corrupt {
+                    offset: 0,
+                    reason: "WAL record has seq 0 (sequence numbers are 1-based)".into(),
+                });
+            }
+            if first.seq > ckpt_seq + 1 {
+                return Err(PersistError::Corrupt {
+                    offset: 0,
+                    reason: format!(
+                        "WAL starts at seq {} but the checkpoint covers through \
+                         {ckpt_seq}: records {} through {} are missing",
+                        first.seq,
+                        ckpt_seq + 1,
+                        first.seq - 1
+                    ),
+                });
+            }
+        }
+        let subsumed_records = records.iter().take_while(|r| r.seq <= ckpt_seq).count() as u64;
+        records.drain(..subsumed_records as usize);
+        if subsumed_records > 0 && records.is_empty() && tail == WalTail::Clean {
+            // Every record is subsumed — the exact signature of a crash
+            // between rename and truncation. Finish the interrupted
+            // truncation; a crash during *this* set_len only shortens a
+            // log whose every byte is already covered by the checkpoint.
+            let f = OpenOptions::new().write(true).open(&wal_path)?;
+            f.set_len(0)?;
+            f.sync_data()?;
         }
         let torn_bytes_dropped = match tail {
             WalTail::Clean => 0,
@@ -615,6 +674,7 @@ impl ShardStore {
                 checkpoint,
                 records,
                 torn_bytes_dropped,
+                subsumed_records,
             },
         ))
     }
@@ -672,10 +732,13 @@ impl ShardStore {
                 return Err(PersistError::CrashInjected);
             }
         }
-        self.wal.write_all(&frame)?;
-        self.wal.flush()?;
-        if self.sync == WalSync::Always {
-            self.wal.sync_data()?;
+        if let Err(e) = self.write_frame(&frame) {
+            // The frame may be partially on disk; a retried append after
+            // it would decode as garbage. Refuse further operations —
+            // the caller recovers from disk, which truncates the torn
+            // frame — rather than silently diverging.
+            self.dead = true;
+            return Err(e);
         }
         self.appends += 1;
         let seq = self.next_seq;
@@ -694,15 +757,30 @@ impl ShardStore {
         Ok(seq)
     }
 
+    /// The fallible I/O of one append; [`append`](Self::append) kills
+    /// the store if any step fails.
+    fn write_frame(&mut self, frame: &[u8]) -> Result<(), PersistError> {
+        self.wal.write_all(frame)?;
+        self.wal.flush()?;
+        if self.sync == WalSync::Always {
+            self.wal.sync_data()?;
+        }
+        Ok(())
+    }
+
     /// Write a durable checkpoint atomically, then truncate the WAL it
     /// subsumes.
     ///
     /// Order matters for crash safety: tmp write → fsync → rename →
     /// WAL truncate. A crash before the rename leaves the old
     /// checkpoint with the full WAL; a crash after it leaves the new
-    /// checkpoint with a possibly still-untruncated WAL whose records
-    /// the sequence check then skips — never a state that cannot
-    /// recover.
+    /// checkpoint with a possibly still-untruncated WAL whose subsumed
+    /// records [`open`](Self::open) then skips — never a state that
+    /// cannot recover. A non-crash I/O failure partway through kills
+    /// the store: the disk may already name the new checkpoint while
+    /// memory still counts from the old one, and refusing further
+    /// appends beats writing sequence numbers the checkpoint already
+    /// covers.
     pub fn checkpoint(&mut self, ckpt: &DurableCheckpoint) -> Result<(), PersistError> {
         if self.dead {
             return Err(PersistError::CrashInjected);
@@ -724,11 +802,24 @@ impl ShardStore {
                 return Err(PersistError::CrashInjected);
             }
         }
-        let mut f = File::create(&tmp)?;
+        if let Err(e) = self.write_checkpoint(&json, &tmp) {
+            self.dead = true;
+            return Err(e);
+        }
+        self.checkpoints += 1;
+        self.ckpt_seq = ckpt.seq;
+        self.next_seq = ckpt.seq + 1;
+        Ok(())
+    }
+
+    /// The fallible I/O of one checkpoint; [`checkpoint`](Self::checkpoint)
+    /// kills the store if any step fails.
+    fn write_checkpoint(&mut self, json: &str, tmp: &Path) -> Result<(), PersistError> {
+        let mut f = File::create(tmp)?;
         f.write_all(json.as_bytes())?;
         f.sync_data()?;
         drop(f);
-        std::fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        std::fs::rename(tmp, self.dir.join(CHECKPOINT_FILE))?;
         // Make the rename itself durable (best effort: not every
         // filesystem lets you open a directory for sync).
         if let Ok(d) = File::open(&self.dir) {
@@ -736,9 +827,6 @@ impl ShardStore {
         }
         self.wal.set_len(0)?;
         self.wal.sync_data()?;
-        self.checkpoints += 1;
-        self.ckpt_seq = ckpt.seq;
-        self.next_seq = ckpt.seq + 1;
         Ok(())
     }
 
@@ -757,8 +845,12 @@ impl ShardStore {
         if self.dead {
             return Err(PersistError::CrashInjected);
         }
-        self.wal.set_len(0)?;
-        self.wal.sync_data()?;
+        if let Err(e) = self.wal.set_len(0).and_then(|()| self.wal.sync_data()) {
+            // The truncation may be partial: disk no longer matches
+            // either the pre- or post-rewind state. Refuse to continue.
+            self.dead = true;
+            return Err(e.into());
+        }
         self.next_seq = self.ckpt_seq + 1;
         Ok(())
     }
@@ -1019,6 +1111,119 @@ mod tests {
         assert!(matches!(
             ShardStore::open(&dir, WalSync::Off),
             Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn records_subsumed_by_the_checkpoint_are_skipped_on_open() {
+        let dir = tmp_dir("subsumed");
+        let wal_bytes = {
+            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+            store.append(WalOp::Get, ClipId::new(1)).unwrap();
+            store.append(WalOp::Get, ClipId::new(2)).unwrap();
+            let pre_checkpoint = std::fs::read(dir.join(WAL_FILE)).unwrap();
+            let mut ckpt = sample_checkpoint();
+            ckpt.seq = 2;
+            store.checkpoint(&ckpt).unwrap();
+            pre_checkpoint
+        };
+        // Simulate a crash between the checkpoint rename and the WAL
+        // truncation: the subsumed records reappear on disk.
+        std::fs::write(dir.join(WAL_FILE), &wal_bytes).unwrap();
+        let (mut store, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(state.checkpoint.expect("checkpoint intact").seq, 2);
+        assert!(state.records.is_empty(), "subsumed records not replayed");
+        assert_eq!(state.subsumed_records, 2);
+        assert_eq!(state.torn_bytes_dropped, 0);
+        // Open finished the interrupted truncation.
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+        // Appends continue the chain exactly where the checkpoint ends.
+        assert_eq!(store.append(WalOp::Get, ClipId::new(3)).unwrap(), 3);
+        drop(store);
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(state.records, vec![record(3, 3, WalOp::Get)]);
+        assert_eq!(state.subsumed_records, 0);
+
+        // A stale prefix *plus* live records skips only the prefix.
+        let mut mixed = wal_bytes.clone();
+        mixed.extend_from_slice(&record(3, 3, WalOp::Get).encode());
+        std::fs::write(dir.join(WAL_FILE), &mixed).unwrap();
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(state.subsumed_records, 2);
+        assert_eq!(state.records, vec![record(3, 3, WalOp::Get)]);
+
+        // Recovery from a subsumed prefix is deterministic: a second
+        // open of the same bytes agrees.
+        std::fs::write(dir.join(WAL_FILE), &mixed).unwrap();
+        let (_, again) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(again.records, state.records);
+        assert_eq!(again.subsumed_records, state.subsumed_records);
+
+        // A gap after the checkpoint is still corruption (records 3..4
+        // missing), as is a 0 sequence number.
+        std::fs::write(dir.join(WAL_FILE), record(5, 1, WalOp::Get).encode()).unwrap();
+        assert!(matches!(
+            ShardStore::open(&dir, WalSync::Off),
+            Err(PersistError::Corrupt { .. })
+        ));
+        std::fs::write(dir.join(WAL_FILE), record(0, 1, WalOp::Get).encode()).unwrap();
+        assert!(matches!(
+            ShardStore::open(&dir, WalSync::Off),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn inflated_length_prefix_is_corruption_not_a_torn_tail() {
+        let mut log = Vec::new();
+        for seq in 1..=3 {
+            log.extend_from_slice(&record(seq, seq as u32, WalOp::Get).encode());
+        }
+        let frame = FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES;
+        // Inflate the middle record's length so it claims more bytes
+        // than remain: the valid final frame must not be silently
+        // swallowed as a "torn tail".
+        let mut corrupt = log.clone();
+        corrupt[frame + 1] ^= 0x10;
+        match decode_wal(&corrupt) {
+            Err(PersistError::Corrupt { offset, .. }) => assert_eq!(offset, frame as u64),
+            other => panic!("bad length must be loud, got {other:?}"),
+        }
+        // Same for the final frame, and for a deflated length: the
+        // length field is written first, so a complete-but-wrong value
+        // is never a crash artifact.
+        let mut tail = log.clone();
+        tail[2 * frame] ^= 0x02;
+        assert!(matches!(
+            decode_wal(&tail),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn a_failed_checkpoint_kills_the_store() {
+        let dir = tmp_dir("ckpt-io-fail");
+        let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        store.append(WalOp::Get, ClipId::new(1)).unwrap();
+        // Rip the directory out from under the store so the tmp-file
+        // write fails mid-checkpoint.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let mut ckpt = sample_checkpoint();
+        ckpt.seq = 1;
+        assert!(matches!(store.checkpoint(&ckpt), Err(PersistError::Io(_))));
+        // Disk and memory can no longer be reconciled: the store refuses
+        // every later operation instead of silently diverging.
+        assert!(matches!(
+            store.append(WalOp::Get, ClipId::new(2)),
+            Err(PersistError::CrashInjected)
+        ));
+        assert!(matches!(
+            store.checkpoint(&ckpt),
+            Err(PersistError::CrashInjected)
+        ));
+        assert!(matches!(
+            store.rewind_to_checkpoint(),
+            Err(PersistError::CrashInjected)
         ));
     }
 

@@ -319,7 +319,7 @@ impl Shard {
         let replayed = state.records.len() as u64;
         self.wal_replayed = replayed;
         self.store = Some(store);
-        if replayed > 0 || state.torn_bytes_dropped > 0 {
+        if replayed > 0 || state.torn_bytes_dropped > 0 || state.subsumed_records > 0 {
             self.force_checkpoint()?;
         }
         Ok(replayed)

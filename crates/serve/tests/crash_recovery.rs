@@ -239,6 +239,81 @@ fn crash_mid_checkpoint_keeps_the_full_wal() {
 }
 
 #[test]
+fn crash_between_checkpoint_rename_and_wal_truncation_recovers() {
+    use clipcache_serve::persist::{WalOp, WalRecord};
+    let repo = repo();
+    let dir = scratch_dir("rename-window");
+    let control = scratch_dir("rename-window-control");
+    let cfg = config(16);
+    let requests = trace(40);
+    let service = open_with_crash(&repo, cfg, &dir, None);
+    for &clip in &requests {
+        service.get(clip).unwrap();
+    }
+    let stats_before = service.stats();
+    drop(service);
+    // An untouched copy: what recovery looks like had the truncation
+    // completed before the kill.
+    copy_dir(&dir, &control);
+
+    // Reconstruct the on-disk state a kill -9 between the checkpoint
+    // rename and the WAL truncation leaves behind: the renamed
+    // checkpoint covers through seq S, yet records with seq ≤ S are
+    // still at the head of the log. Recovery must skip the subsumed
+    // prefix — not refuse to start, not replay anything twice.
+    let shard_dir = dir.join("shard-0");
+    let ckpt_json = std::fs::read_to_string(shard_dir.join("checkpoint.json")).unwrap();
+    let seq: u64 = ckpt_json
+        .split("\"seq\":")
+        .nth(1)
+        .expect("checkpoint records its seq")
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(seq > 0, "a mid-stream checkpoint was written");
+    let wal_path = shard_dir.join("wal.log");
+    let tail = std::fs::read(&wal_path).unwrap();
+    let mut forged = Vec::new();
+    for s in 1..=seq {
+        forged.extend_from_slice(
+            &WalRecord {
+                seq: s,
+                clip: ClipId::new(1),
+                op: WalOp::Get,
+            }
+            .encode(),
+        );
+    }
+    forged.extend_from_slice(&tail);
+    std::fs::write(&wal_path, &forged).unwrap();
+
+    let opts = PersistOptions::at(&dir);
+    let (recovered, report) =
+        CacheService::open_persistent(Arc::clone(&repo), cfg, None, &opts).unwrap();
+    assert_eq!(
+        recovered.stats(),
+        stats_before,
+        "no request lost or doubled"
+    );
+    assert!(report.replayed < 40, "the subsumed prefix was not replayed");
+    // The subsumed prefix is invisible: recovery lands exactly where a
+    // completed truncation would have.
+    let reference = open_with_crash(&repo, cfg, &control, None);
+    assert_state_equal(&recovered, &reference, "rename-window vs clean reopen");
+    drop(recovered);
+    // The skip is idempotent: a second recovery sees a compacted store.
+    let (again, report) =
+        CacheService::open_persistent(Arc::clone(&repo), cfg, None, &opts).unwrap();
+    assert_eq!(report.replayed, 0, "first recovery compacted the log");
+    assert_eq!(again.stats(), stats_before);
+    for d in [&dir, &control] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
 fn recovery_is_deterministic_across_independent_runs() {
     let repo = repo();
     let dir = scratch_dir("determinism");
