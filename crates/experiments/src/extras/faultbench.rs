@@ -60,6 +60,7 @@ fn run_cell(
         faults: Some(FaultPlan::with_kinds(seed ^ 0xFA017, rate, kinds)),
         retry: RetryPolicy::default(),
         read_timeout: None,
+        ..LoadOptions::default()
     };
     let report = run_load_with(&Target::InProcess(service), repo, trace, &options)
         .expect("in-process chaos load cannot fail");

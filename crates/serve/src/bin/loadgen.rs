@@ -4,6 +4,7 @@
 //! loadgen [--target inproc|host:port] [--policy spec] [--shards n]
 //!         [--clients n] [--requests n] [--clips n] [--theta f]
 //!         [--ratio f] [--seed n|0xHEX] [--check-serial tol]
+//!         [--wire text|binary] [--pipeline n]
 //!         [--faults spec] [--retries n] [--backoff-ms n]
 //!         [--chaos-report path] [--data-dir path] [--wal-sync always|off]
 //! ```
@@ -12,6 +13,15 @@
 //! against the in-process service (`--target inproc`, the default) or a
 //! running `serve` front-end, then reports hit rate, throughput and
 //! latency percentiles.
+//!
+//! TCP targets choose a wire protocol with `--wire` (text lines, the
+//! debuggable default, or length-prefixed binary frames — the fast
+//! path) and a pipeline depth with `--pipeline n`: each client keeps up
+//! to `n` requests in flight per connection, batched into one write per
+//! window. Pipelining changes timing, never results — the server
+//! preserves per-connection order, so `--shards 1 --clients 1
+//! --check-serial 0` passes at any depth. Chaos replays always run
+//! request-at-a-time (fault attribution is per request).
 //!
 //! `--faults` switches the replay into chaos mode: the spec (e.g.
 //! `rate=0.02,seed=7,kinds=drop-pre+garbage+torn+poison`) seeds a
@@ -46,7 +56,7 @@
 use clipcache_media::paper;
 use clipcache_serve::{
     run_load_with, serial_baseline, CacheService, CrashAction, FaultPlan, LoadOptions,
-    PersistOptions, RetryPolicy, ServiceConfig, Target, WalSync,
+    PersistOptions, RetryPolicy, ServiceConfig, Target, WalSync, Wire,
 };
 use clipcache_workload::{RequestGenerator, Trace};
 use std::process::ExitCode;
@@ -69,6 +79,8 @@ struct Args {
     chaos_report: Option<String>,
     data_dir: Option<std::path::PathBuf>,
     wal_sync: WalSync,
+    wire: Wire,
+    pipeline: usize,
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -98,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
         chaos_report: None,
         data_dir: None,
         wal_sync: WalSync::default(),
+        wire: Wire::Text,
+        pipeline: 1,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -175,13 +189,28 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--wal-sync needs always or off")?;
                 args.wal_sync = WalSync::parse(&v)?;
             }
+            "--wire" => {
+                let v = argv.next().ok_or("--wire needs text or binary")?;
+                args.wire = v.parse()?;
+            }
+            "--pipeline" => {
+                let v = argv.next().ok_or("--pipeline needs a depth")?;
+                args.pipeline = v.parse().map_err(|e| format!("bad --pipeline: {e}"))?;
+                if args.pipeline == 0 {
+                    return Err("--pipeline must be at least 1".into());
+                }
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--target inproc|host:port] [--policy spec] \
                      [--shards n] [--clients n] [--requests n] [--clips n] \
                      [--theta f] [--ratio f] [--seed n|0xHEX] [--check-serial tol] \
+                     [--wire text|binary] [--pipeline n] \
                      [--faults spec] [--retries n] [--backoff-ms n] \
                      [--chaos-report path|-] [--data-dir path] [--wal-sync always|off]\n\
+                     --wire binary speaks length-prefixed frames; --pipeline n \
+                     keeps n requests in flight per connection (clean TCP \
+                     replays only; results are depth-invariant)\n\
                      --check-serial 0 demands bit-for-bit equality with the \
                      serial simulator (valid for --shards 1 --clients 1); \
                      tol > 0 allows that hit-rate deviation for sharded runs\n\
@@ -271,6 +300,8 @@ fn main() -> ExitCode {
         faults: args.faults.clone(),
         retry: args.retry,
         read_timeout: None,
+        wire: args.wire,
+        pipeline: args.pipeline,
     };
     let report = match run_load_with(&target, &repo, &trace, &options) {
         Ok(r) => r,

@@ -1,37 +1,97 @@
-//! A blocking line-protocol client for the TCP front-end.
+//! A blocking client for the TCP front-end, speaking either wire
+//! protocol.
+//!
+//! The client defaults to the text line protocol (debuggable, and what
+//! every pre-existing golden pins); [`Wire::Binary`] switches every
+//! request to length-prefixed frames. The interesting addition is
+//! pipelining: [`send_gets`](TcpCacheClient::send_gets) batches many
+//! requests into one write and [`recv_get`](TcpCacheClient::recv_get)
+//! collects the replies one at a time, so a window of requests is in
+//! flight on the connection at once — this is where the epoll
+//! front-end's throughput comes from.
 //!
 //! Besides the plain request/reply surface, the client exposes the
 //! hooks the chaos harness drives: an optional per-request read
 //! timeout (a request whose reply never arrives surfaces as a timeout
 //! `io::Error` the retry loop can act on, instead of blocking
-//! forever), raw-byte injection ([`send_raw`](TcpCacheClient::send_raw))
-//! and torn writes ([`get_torn`](TcpCacheClient::get_torn)).
+//! forever), raw-byte injection ([`send_raw`](TcpCacheClient::send_raw)
+//! for text, [`send_corrupt_frame`](TcpCacheClient::send_corrupt_frame)
+//! for binary) and torn writes ([`get_torn`](TcpCacheClient::get_torn),
+//! which tears a text line or a binary frame across two flushed
+//! writes).
 
-use crate::protocol::{parse_get, parse_poisoned, parse_stats, ServerStats};
+use crate::protocol::{
+    corrupt_length_get_frame, decode_reply, encode_command, parse_get, parse_poisoned, parse_stats,
+    Command, Decoded, Reply, ServerStats,
+};
 use crate::shard::GetOutcome;
 use clipcache_media::ClipId;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Which wire protocol a client speaks. Both land on the same server —
+/// it auto-detects per message — but a single client sticks to one so
+/// its replies are unambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Wire {
+    /// Newline-delimited text (`GET 7`, `HIT …`). The default.
+    #[default]
+    Text,
+    /// Length-prefixed binary frames with batched pipelined writes.
+    Binary,
+}
+
+impl std::str::FromStr for Wire {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(Wire::Text),
+            "binary" => Ok(Wire::Binary),
+            other => Err(format!("unknown wire '{other}' (expected text|binary)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Wire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Wire::Text => "text",
+            Wire::Binary => "binary",
+        })
+    }
+}
+
 /// One connection to a serve front-end.
 pub struct TcpCacheClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    wire: Wire,
+    /// Reassembly buffer for binary frames torn across reads.
+    frame_buf: Vec<u8>,
 }
 
 impl TcpCacheClient {
-    /// Connect to a server with no read timeout (replies block forever).
+    /// Connect speaking text, with no read timeout.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         Self::connect_with(addr, None)
     }
 
-    /// Connect to a server; with `read_timeout` set, a reply that takes
-    /// longer surfaces as a `WouldBlock`/`TimedOut` error — the
+    /// Connect speaking text; with `read_timeout` set, a reply that
+    /// takes longer surfaces as a `WouldBlock`/`TimedOut` error — the
     /// client-level timeout the chaos retry loop recovers from.
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         read_timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        Self::connect_wire(addr, read_timeout, Wire::Text)
+    }
+
+    /// Connect speaking the given wire protocol.
+    pub fn connect_wire(
+        addr: impl ToSocketAddrs,
+        read_timeout: Option<Duration>,
+        wire: Wire,
     ) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -40,7 +100,14 @@ impl TcpCacheClient {
         Ok(TcpCacheClient {
             reader,
             writer: stream,
+            wire,
+            frame_buf: Vec::new(),
         })
+    }
+
+    /// The wire protocol this client speaks.
+    pub fn wire(&self) -> Wire {
+        self.wire
     }
 
     fn read_reply(&mut self) -> std::io::Result<String> {
@@ -54,76 +121,236 @@ impl TcpCacheClient {
         Ok(reply.trim_end().to_string())
     }
 
-    /// One request/reply round trip.
+    /// Read one binary reply frame, reassembling torn prefixes.
+    fn read_reply_frame(&mut self) -> std::io::Result<Reply> {
+        loop {
+            if !self.frame_buf.is_empty() {
+                match decode_reply(&self.frame_buf) {
+                    Ok(Decoded::Frame { value, consumed }) => {
+                        self.frame_buf.drain(..consumed);
+                        return Ok(value);
+                    }
+                    Ok(Decoded::Incomplete) => {}
+                    Err(e) => return Err(Self::protocol_err(format!("corrupt reply frame: {e}"))),
+                }
+            }
+            let chunk = self.reader.fill_buf()?;
+            if chunk.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let n = chunk.len();
+            self.frame_buf.extend_from_slice(chunk);
+            self.reader.consume(n);
+        }
+    }
+
+    /// One request/reply round trip on the text wire.
     fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
         self.writer.write_all(request.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.read_reply()
     }
 
+    /// One request/reply round trip on the binary wire.
+    fn roundtrip_frame(&mut self, command: &Command) -> std::io::Result<Reply> {
+        let mut out = Vec::new();
+        encode_command(command, &mut out);
+        self.writer.write_all(&out)?;
+        self.read_reply_frame()
+    }
+
     fn protocol_err(msg: String) -> std::io::Error {
         std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
     }
 
-    /// `GET <clip>`: access the clip through its shard.
-    pub fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
-        let reply = self.roundtrip(&format!("GET {}", clip.get()))?;
-        parse_get(&reply).map_err(Self::protocol_err)
+    /// Map a decoded reply to the GET outcome, surfacing `ERR` frames
+    /// the same way text `ERR` lines surface (an `InvalidData` error).
+    fn expect_get(reply: Reply) -> std::io::Result<GetOutcome> {
+        match reply {
+            Reply::Get(outcome) => Ok(outcome),
+            Reply::Err(msg) => Err(Self::protocol_err(format!("ERR {msg}"))),
+            other => Err(Self::protocol_err(format!(
+                "expected a GET reply, got {other:?}"
+            ))),
+        }
     }
 
-    /// `GET <clip>` delivered as a torn write: the request line reaches
-    /// the server in two flushed fragments. Wire-identical semantics —
-    /// only the framing is hostile.
+    /// `GET <clip>`: access the clip through its shard.
+    pub fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        match self.wire {
+            Wire::Text => {
+                let reply = self.roundtrip(&format!("GET {}", clip.get()))?;
+                parse_get(&reply).map_err(Self::protocol_err)
+            }
+            Wire::Binary => {
+                let reply = self.roundtrip_frame(&Command::Get(clip))?;
+                Self::expect_get(reply)
+            }
+        }
+    }
+
+    /// Send a batch of `GET` requests in one write — the pipelined
+    /// fast path. Collect exactly one [`recv_get`](Self::recv_get) per
+    /// clip, in order (the server preserves per-connection order).
+    pub fn send_gets(&mut self, clips: &[ClipId]) -> std::io::Result<()> {
+        let mut out = Vec::with_capacity(clips.len() * 16);
+        match self.wire {
+            Wire::Text => {
+                for clip in clips {
+                    out.extend_from_slice(format!("GET {}\n", clip.get()).as_bytes());
+                }
+            }
+            Wire::Binary => {
+                for clip in clips {
+                    encode_command(&Command::Get(*clip), &mut out);
+                }
+            }
+        }
+        self.writer.write_all(&out)
+    }
+
+    /// Receive the next pipelined `GET` reply.
+    pub fn recv_get(&mut self) -> std::io::Result<GetOutcome> {
+        match self.wire {
+            Wire::Text => {
+                let reply = self.read_reply()?;
+                parse_get(&reply).map_err(Self::protocol_err)
+            }
+            Wire::Binary => {
+                let reply = self.read_reply_frame()?;
+                Self::expect_get(reply)
+            }
+        }
+    }
+
+    /// `GET <clip>` delivered as a torn write: the request (line or
+    /// frame) reaches the server in two flushed fragments.
+    /// Wire-identical semantics — only the framing is hostile.
     pub fn get_torn(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
-        let request = format!("GET {}\n", clip.get());
-        let bytes = request.as_bytes();
+        let bytes = match self.wire {
+            Wire::Text => format!("GET {}\n", clip.get()).into_bytes(),
+            Wire::Binary => {
+                let mut out = Vec::new();
+                encode_command(&Command::Get(clip), &mut out);
+                out
+            }
+        };
         let split = bytes.len() / 2;
         self.writer.write_all(&bytes[..split])?;
         self.writer.flush()?;
         self.writer.write_all(&bytes[split..])?;
-        let reply = self.read_reply()?;
-        parse_get(&reply).map_err(Self::protocol_err)
+        match self.wire {
+            Wire::Text => {
+                let reply = self.read_reply()?;
+                parse_get(&reply).map_err(Self::protocol_err)
+            }
+            Wire::Binary => {
+                let reply = self.read_reply_frame()?;
+                Self::expect_get(reply)
+            }
+        }
     }
 
-    /// Send one raw line (arbitrary bytes, newline appended) and return
-    /// the server's reply line verbatim. The chaos harness uses this to
-    /// inject garbage and assert the server answers `ERR` instead of
-    /// disconnecting.
+    /// Send one raw text line (arbitrary bytes, newline appended) and
+    /// return the server's reply line verbatim. The chaos harness uses
+    /// this to inject garbage and assert the server answers `ERR`
+    /// instead of disconnecting.
     pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<String> {
         self.writer.write_all(bytes)?;
         self.writer.write_all(b"\n")?;
         self.read_reply()
     }
 
+    /// Inject a corrupt-length binary frame (valid check byte,
+    /// impossible length) and return the server's `ERR` reply — the
+    /// binary-wire analogue of [`send_raw`](Self::send_raw) garbage.
+    /// The connection must survive: only the 7 header bytes are
+    /// consumed server-side.
+    pub fn send_corrupt_frame(&mut self) -> std::io::Result<String> {
+        self.writer.write_all(&corrupt_length_get_frame())?;
+        match self.read_reply_frame()? {
+            Reply::Err(msg) => Ok(format!("ERR {msg}")),
+            other => Err(Self::protocol_err(format!(
+                "expected an ERR reply to garbage, got {other:?}"
+            ))),
+        }
+    }
+
     /// `STATS`: the server's merged hit statistics and recovery count.
     pub fn stats(&mut self) -> std::io::Result<ServerStats> {
-        let reply = self.roundtrip("STATS")?;
-        parse_stats(&reply).map_err(Self::protocol_err)
+        match self.wire {
+            Wire::Text => {
+                let reply = self.roundtrip("STATS")?;
+                parse_stats(&reply).map_err(Self::protocol_err)
+            }
+            Wire::Binary => match self.roundtrip_frame(&Command::Stats)? {
+                Reply::Stats(stats) => Ok(stats),
+                Reply::Err(msg) => Err(Self::protocol_err(format!("ERR {msg}"))),
+                other => Err(Self::protocol_err(format!(
+                    "expected a STATS reply, got {other:?}"
+                ))),
+            },
+        }
     }
 
     /// `POISON <clip>`: inject a shard-poisoning fault (the server must
     /// be running with chaos enabled). Returns the poisoned shard.
     pub fn poison(&mut self, clip: ClipId) -> std::io::Result<usize> {
-        let reply = self.roundtrip(&format!("POISON {}", clip.get()))?;
-        parse_poisoned(&reply).map_err(Self::protocol_err)
+        match self.wire {
+            Wire::Text => {
+                let reply = self.roundtrip(&format!("POISON {}", clip.get()))?;
+                parse_poisoned(&reply).map_err(Self::protocol_err)
+            }
+            Wire::Binary => match self.roundtrip_frame(&Command::Poison(clip))? {
+                Reply::Poisoned(shard) => Ok(shard as usize),
+                Reply::Err(msg) => Err(Self::protocol_err(format!("ERR {msg}"))),
+                other => Err(Self::protocol_err(format!(
+                    "expected a POISONED reply, got {other:?}"
+                ))),
+            },
+        }
     }
 
     /// `SNAPSHOT`: the per-shard snapshot JSON array, verbatim.
     pub fn snapshot_json(&mut self) -> std::io::Result<String> {
-        let reply = self.roundtrip("SNAPSHOT")?;
-        reply
-            .strip_prefix("SNAPSHOT ")
-            .map(str::to_string)
-            .ok_or_else(|| Self::protocol_err(format!("malformed SNAPSHOT reply '{reply}'")))
+        match self.wire {
+            Wire::Text => {
+                let reply = self.roundtrip("SNAPSHOT")?;
+                reply
+                    .strip_prefix("SNAPSHOT ")
+                    .map(str::to_string)
+                    .ok_or_else(|| {
+                        Self::protocol_err(format!("malformed SNAPSHOT reply '{reply}'"))
+                    })
+            }
+            Wire::Binary => match self.roundtrip_frame(&Command::Snapshot)? {
+                Reply::Snapshot(json) => Ok(json),
+                Reply::Err(msg) => Err(Self::protocol_err(format!("ERR {msg}"))),
+                other => Err(Self::protocol_err(format!(
+                    "expected a SNAPSHOT reply, got {other:?}"
+                ))),
+            },
+        }
     }
 
     /// `QUIT`: close the session cleanly.
     pub fn quit(mut self) -> std::io::Result<()> {
-        let reply = self.roundtrip("QUIT")?;
-        if reply == "BYE" {
-            Ok(())
-        } else {
-            Err(Self::protocol_err(format!("expected BYE, got '{reply}'")))
+        match self.wire {
+            Wire::Text => {
+                let reply = self.roundtrip("QUIT")?;
+                if reply == "BYE" {
+                    Ok(())
+                } else {
+                    Err(Self::protocol_err(format!("expected BYE, got '{reply}'")))
+                }
+            }
+            Wire::Binary => match self.roundtrip_frame(&Command::Quit)? {
+                Reply::Bye => Ok(()),
+                other => Err(Self::protocol_err(format!("expected BYE, got {other:?}"))),
+            },
         }
     }
 }

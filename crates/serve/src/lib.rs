@@ -13,17 +13,22 @@
 //!   `admit` / `stats` / `snapshot` over N shards, deadlock-free by
 //!   construction (one lock per operation); poisoned shards recover
 //!   from their periodic checkpoint instead of wedging.
-//! * [`protocol`] — the line protocol
-//!   (`GET`/`STATS`/`SNAPSHOT`/`POISON`/`QUIT`) and its parsers, shared
-//!   by server and client. Every parser is total — garbage gets `Err`,
-//!   never a panic.
-//! * [`server`] — a thread-per-connection `std::net` front-end with
-//!   graceful shutdown (`serve` binary), an admission gate
-//!   (`--max-conns`), per-connection idle timeouts (`--read-timeout`)
-//!   and a line-length cap.
-//! * [`client`] — a blocking protocol client with optional read
-//!   timeouts plus the chaos harness's wire hooks (raw-byte injection,
-//!   torn writes).
+//! * [`protocol`] — both wire protocols, shared by server and client:
+//!   the text line protocol (`GET`/`STATS`/`SNAPSHOT`/`POISON`/`QUIT`)
+//!   and the length-prefixed binary framing the fast path uses. Every
+//!   parser/decoder is total — garbage gets `Err`, never a panic — and
+//!   frame corruption is loud (structured [`FrameError`], never a
+//!   silent truncation).
+//! * [`server`] — a readiness-based epoll event loop (`serve` binary):
+//!   non-blocking accept, per-connection read/write buffers with
+//!   edge-triggered readiness, request pipelining, per-message
+//!   text/binary auto-detect, graceful shutdown via a wakeup pipe, an
+//!   admission gate (`--max-conns`), per-connection idle timeouts
+//!   (`--read-timeout`) and a line-length cap.
+//! * [`client`] — a blocking protocol client speaking either wire
+//!   ([`Wire`]), with batched pipelined GETs, optional read timeouts,
+//!   plus the chaos harness's wire hooks (raw-byte injection, corrupt
+//!   frames, torn writes).
 //! * [`latency`] — wall-clock latency logs with percentile queries.
 //! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
 //!   schedules wire, client and service faults as a pure function of
@@ -58,7 +63,7 @@ pub mod server;
 pub mod service;
 pub mod shard;
 
-pub use client::TcpCacheClient;
+pub use client::{TcpCacheClient, Wire};
 pub use fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
 pub use latency::LatencyLog;
 pub use loadgen::{
@@ -68,7 +73,7 @@ pub use persist::{
     CrashAction, CrashPoint, CrashSpec, DurableCheckpoint, PersistError, PersistOptions,
     RecoveryReport, ShardStore, WalOp, WalRecord, WalSync,
 };
-pub use protocol::ServerStats;
+pub use protocol::{Decoded, FrameError, Reply, ServerStats, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
 pub use server::{serve, serve_with, ServerConfig, ServerHandle, MAX_LINE_BYTES};
 pub use service::{CacheService, ServiceConfig, ServiceError};
 pub use shard::{shard_of, shard_seed, GetOutcome, Shard, CHECKPOINT_EVERY};

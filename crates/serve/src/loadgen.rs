@@ -31,7 +31,7 @@
 //! retried over a fresh connection and counted exactly once, so
 //! [`LoadReport::conserved`] holds across a `kill -9` + recovery.
 
-use crate::client::TcpCacheClient;
+use crate::client::{TcpCacheClient, Wire};
 use crate::fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
 use crate::latency::LatencyLog;
 use crate::protocol::parse_command;
@@ -69,6 +69,18 @@ pub struct LoadOptions {
     /// Per-request client read timeout for TCP targets (a reply slower
     /// than this surfaces as an error the retry loop recovers from).
     pub read_timeout: Option<Duration>,
+    /// Wire protocol for TCP targets (in-process has no wire). Binary
+    /// is the fast path; text is the debuggable default every
+    /// pre-existing golden was recorded against.
+    pub wire: Wire,
+    /// Pipeline depth for *clean* TCP replays: each client keeps up to
+    /// this many requests in flight on its connection (batched into
+    /// one write per window). Depth 1 is the classic closed loop. The
+    /// chaos replay always runs request-at-a-time regardless — fault
+    /// attribution is per-request. Per-connection reply order is
+    /// preserved by the server, so a 1-shard 1-client pipelined run is
+    /// still bit-identical to the serial simulator.
+    pub pipeline: usize,
 }
 
 impl Default for LoadOptions {
@@ -78,6 +90,8 @@ impl Default for LoadOptions {
             faults: None,
             retry: RetryPolicy::default(),
             read_timeout: None,
+            wire: Wire::Text,
+            pipeline: 1,
         }
     }
 }
@@ -231,15 +245,17 @@ impl Transport for InProcessTransport {
 struct TcpTransport {
     addr: String,
     read_timeout: Option<Duration>,
+    wire: Wire,
     client: Option<TcpCacheClient>,
     reconnects: u64,
 }
 
 impl TcpTransport {
-    fn new(addr: &str, read_timeout: Option<Duration>) -> Self {
+    fn new(addr: &str, read_timeout: Option<Duration>, wire: Wire) -> Self {
         TcpTransport {
             addr: addr.to_string(),
             read_timeout,
+            wire,
             client: None,
             reconnects: 0,
         }
@@ -247,9 +263,10 @@ impl TcpTransport {
 
     fn ensure(&mut self) -> std::io::Result<&mut TcpCacheClient> {
         if self.client.is_none() {
-            self.client = Some(TcpCacheClient::connect_with(
+            self.client = Some(TcpCacheClient::connect_wire(
                 self.addr.as_str(),
                 self.read_timeout,
+                self.wire,
             )?);
             self.reconnects += 1;
         }
@@ -274,7 +291,15 @@ impl Transport for TcpTransport {
     }
 
     fn send_garbage(&mut self, payload: &[u8]) -> std::io::Result<bool> {
-        let reply = self.ensure()?.send_raw(payload)?;
+        let client = self.ensure()?;
+        let reply = match client.wire() {
+            // Text garbage: the plan's payload as one hostile line.
+            Wire::Text => client.send_raw(payload)?,
+            // Binary garbage: a corrupt-length frame (valid check byte,
+            // impossible length) — the recoverable header-corruption
+            // path; the server must resync after exactly the header.
+            Wire::Binary => client.send_corrupt_frame()?,
+        };
         Ok(reply.starts_with("ERR "))
     }
 
@@ -411,6 +436,43 @@ fn replay(
     })
 }
 
+/// The pipelined clean replay: windows of up to `depth` requests are
+/// batched into one write, then the replies are collected in order.
+/// Per-reply latency is measured from the window's send, so it includes
+/// the queueing a deep pipeline creates — that is the honest number.
+///
+/// Because the server preserves per-connection order, the sequence of
+/// (request, outcome) pairs is identical to a depth-1 replay of the
+/// same partition: pipelining changes timing, never results.
+fn replay_pipelined(
+    part: &Trace,
+    repo: &Repository,
+    client: &mut TcpCacheClient,
+    depth: usize,
+) -> std::io::Result<ClientLog> {
+    let mut stats = HitStats::new();
+    let mut latency = LatencyLog::new();
+    let mut chaos = ChaosStats::default();
+    let mut window: Vec<ClipId> = Vec::with_capacity(depth);
+    for batch in part.requests().chunks(depth.max(1)) {
+        window.clear();
+        window.extend(batch.iter().map(|req| req.clip));
+        let started = Instant::now();
+        client.send_gets(&window)?;
+        for req in batch {
+            let outcome = client.recv_get()?;
+            latency.record_nanos(started.elapsed().as_nanos() as u64);
+            stats.record(outcome.hit, repo.size_of(req.clip), outcome.evictions);
+            chaos.delivered += 1;
+        }
+    }
+    Ok(ClientLog {
+        stats,
+        latency,
+        chaos,
+    })
+}
+
 /// The chaos replay: every request runs through [`chaos_get`].
 fn replay_chaos(
     part: &Trace,
@@ -496,7 +558,8 @@ pub fn run_with(
     let recoveries = match target {
         Target::InProcess(service) => service.recoveries(),
         Target::Tcp(addr) => {
-            let mut client = TcpCacheClient::connect_with(addr.as_str(), options.read_timeout)?;
+            let mut client =
+                TcpCacheClient::connect_wire(addr.as_str(), options.read_timeout, options.wire)?;
             let recoveries = client.stats()?.recoveries;
             client.quit()?;
             recoveries
@@ -544,8 +607,13 @@ fn run_client(
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))
         }),
         (Target::Tcp(addr), None) => {
-            let mut client = TcpCacheClient::connect_with(addr.as_str(), options.read_timeout)?;
-            let log = replay(part, repo, |clip| client.get(clip))?;
+            let mut client =
+                TcpCacheClient::connect_wire(addr.as_str(), options.read_timeout, options.wire)?;
+            let log = if options.pipeline > 1 {
+                replay_pipelined(part, repo, &mut client, options.pipeline)?
+            } else {
+                replay(part, repo, |clip| client.get(clip))?
+            };
             client.quit()?;
             Ok(log)
         }
@@ -563,7 +631,7 @@ fn run_client(
             )
         }
         (Target::Tcp(addr), Some(plan)) => {
-            let mut transport = TcpTransport::new(addr, options.read_timeout);
+            let mut transport = TcpTransport::new(addr, options.read_timeout, options.wire);
             let log = replay_chaos(
                 part,
                 repo,

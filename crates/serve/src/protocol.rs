@@ -1,4 +1,14 @@
-//! The line protocol spoken on the TCP front-end.
+//! The wire protocols spoken on the TCP front-end: the debuggable text
+//! line protocol and the length-prefixed binary framing the pipelined
+//! fast path uses.
+//!
+//! Both protocols coexist on one connection: the framer looks at the
+//! next unconsumed byte — [`FRAME_MAGIC`] (0xB5, not valid ASCII, so
+//! never the start of a text command) opens a binary frame, anything
+//! else is a text line. Replies are always spoken in the protocol of
+//! the request they answer, so a mixed session stays unambiguous.
+//!
+//! ## Text protocol
 //!
 //! One request per line, one reply line per request (`SNAPSHOT` replies
 //! stay on a single line so clients never need framing beyond
@@ -23,12 +33,41 @@
 //! evicted   = 1*DIGIT                       ; clips evicted by this access
 //! ```
 //!
+//! ## Binary framing
+//!
+//! ```text
+//! frame   = MAGIC(0xB5) kind(1) len(u32 LE) check(1) payload(len)
+//! check   = MAGIC ^ kind ^ len[0] ^ len[1] ^ len[2] ^ len[3]
+//! ```
+//!
+//! Request kinds: `GET` (payload: clip u32 LE), `STATS`, `SNAPSHOT`,
+//! `POISON` (clip u32 LE), `QUIT`. Reply kinds: `GET` (flags byte —
+//! bit 0 hit, bit 1 admitted — plus evictions u64 LE), `STATS` (seven
+//! u64 LE), `SNAPSHOT` (UTF-8 JSON), `POISONED` (u64 LE), `BYE`, `ERR`
+//! (UTF-8 message). Every request kind has a *fixed* payload length,
+//! which is what makes corruption loud (see below).
+//!
+//! **A corrupted length header is never a silent truncation** —
+//! mirroring the WAL's inflated-length fix: the header check byte makes
+//! any bit flip in the 7-byte header a fatal [`FrameError`], and a
+//! checksum-valid header whose length disagrees with its kind's fixed
+//! size is refused before any payload is awaited. Truncated input is
+//! only ever classified [`Decoded::Incomplete`] when the header itself
+//! validates. Recoverable corruption (a header-only frame with a bogus
+//! length — the chaos harness's binary garbage) consumes exactly the
+//! header and gets a structured `ERR` frame; unrecoverable corruption
+//! (bad check byte, unknown kind — the stream cannot be resynced)
+//! closes the connection after the `ERR`.
+//!
+//! ## Totality
+//!
 //! Every parser in this module is total: any byte sequence (truncated
-//! lines, embedded NULs, garbage from the chaos harness) produces an
-//! `Err`, never a panic — `tests/protocol_props.rs` pounds this with a
-//! malformed-input corpus and random bytes. Malformed *requests* get an
-//! `ERR` reply and the connection stays open; the server never answers
-//! garbage with a disconnect.
+//! lines, embedded NULs, torn frame prefixes, bit-flipped headers,
+//! garbage from the chaos harness) produces an `Err`/`Corrupt`, never a
+//! panic — `tests/protocol_props.rs` pounds this with a malformed-input
+//! corpus and random bytes. Malformed *requests* get an `ERR` reply and
+//! the connection stays open; the server never answers garbage with a
+//! bare disconnect.
 
 use crate::shard::GetOutcome;
 use clipcache_media::ClipId;
@@ -228,6 +267,356 @@ pub fn parse_poisoned(line: &str) -> Result<usize, String> {
         return Err(malformed());
     }
     Ok(shard)
+}
+
+/// First byte of every binary frame. 0xB5 is not valid ASCII (and not
+/// valid UTF-8 as a leading byte), so it can never begin a text command
+/// — the per-message protocol auto-detect hinges on this.
+pub const FRAME_MAGIC: u8 = 0xB5;
+
+/// Bytes in a frame header: magic, kind, length (u32 LE), check.
+pub const FRAME_HEADER_BYTES: usize = 7;
+
+/// Largest accepted variable-length frame payload (`SNAPSHOT`/`ERR`
+/// replies). Request payloads are all fixed-size and tiny.
+pub const MAX_FRAME_PAYLOAD: usize = 16 * 1024 * 1024;
+
+const KIND_GET: u8 = 0x01;
+const KIND_STATS: u8 = 0x02;
+const KIND_SNAPSHOT: u8 = 0x03;
+const KIND_POISON: u8 = 0x04;
+const KIND_QUIT: u8 = 0x05;
+const KIND_R_GET: u8 = 0x81;
+const KIND_R_STATS: u8 = 0x82;
+const KIND_R_SNAPSHOT: u8 = 0x83;
+const KIND_R_POISONED: u8 = 0x84;
+const KIND_R_BYE: u8 = 0x85;
+const KIND_R_ERR: u8 = 0xC0;
+
+/// One reply, protocol-independent: the server builds these and renders
+/// them as a text line or a binary frame depending on how the request
+/// arrived; the binary client decodes frames back into them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Outcome of a `GET`.
+    Get(GetOutcome),
+    /// Merged server statistics.
+    Stats(ServerStats),
+    /// The per-shard snapshot JSON array.
+    Snapshot(String),
+    /// `POISON` acknowledged; the poisoned shard index.
+    Poisoned(u64),
+    /// `QUIT` acknowledged.
+    Bye,
+    /// Structured refusal.
+    Err(String),
+}
+
+/// A frame decoding failure. Always loud: the caller must answer with a
+/// structured `ERR` (and, when `fatal`, close the connection) — never
+/// silently skip bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// Bytes of input this corrupt frame accounts for. Non-fatal errors
+    /// consume exactly this much and the stream stays parseable.
+    pub consumed: usize,
+    /// Whether the stream can still be resynced. A checksum-valid
+    /// header whose length disagrees with its kind's fixed size is
+    /// recoverable (consume the header, keep going — the chaos
+    /// harness's binary garbage takes this path); a corrupt check byte
+    /// or unknown kind is not, because the length cannot be trusted.
+    pub fatal: bool,
+    /// Human-readable reason, surfaced in the `ERR` reply.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+/// Outcome of a decode attempt over a (possibly still growing) buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded<T> {
+    /// The buffer holds a torn prefix of a frame whose header (where
+    /// present) validates; read more bytes and retry.
+    Incomplete,
+    /// One whole frame decoded; `consumed` bytes of the buffer are
+    /// accounted for.
+    Frame { value: T, consumed: usize },
+}
+
+fn frame_check(kind: u8, len: [u8; 4]) -> u8 {
+    FRAME_MAGIC ^ kind ^ len[0] ^ len[1] ^ len[2] ^ len[3]
+}
+
+fn push_header(out: &mut Vec<u8>, kind: u8, len: u32) {
+    let len_bytes = len.to_le_bytes();
+    out.push(FRAME_MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&len_bytes);
+    out.push(frame_check(kind, len_bytes));
+}
+
+/// Append `command` to `out` as one binary frame. Batched pipelining is
+/// just repeated calls before a single write.
+pub fn encode_command(command: &Command, out: &mut Vec<u8>) {
+    match command {
+        Command::Get(clip) => {
+            push_header(out, KIND_GET, 4);
+            out.extend_from_slice(&clip.get().to_le_bytes());
+        }
+        Command::Stats => push_header(out, KIND_STATS, 0),
+        Command::Snapshot => push_header(out, KIND_SNAPSHOT, 0),
+        Command::Poison(clip) => {
+            push_header(out, KIND_POISON, 4);
+            out.extend_from_slice(&clip.get().to_le_bytes());
+        }
+        Command::Quit => push_header(out, KIND_QUIT, 0),
+    }
+}
+
+/// Append `reply` to `out` as one binary frame.
+pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
+    match reply {
+        Reply::Get(outcome) => {
+            push_header(out, KIND_R_GET, 9);
+            let flags = (outcome.hit as u8) | ((outcome.admitted as u8) << 1);
+            out.push(flags);
+            out.extend_from_slice(&(outcome.evictions as u64).to_le_bytes());
+        }
+        Reply::Stats(stats) => {
+            push_header(out, KIND_R_STATS, 56);
+            for v in [
+                stats.stats.hits,
+                stats.stats.misses,
+                stats.stats.byte_hits.as_u64(),
+                stats.stats.byte_misses.as_u64(),
+                stats.stats.evictions,
+                stats.recoveries,
+                stats.wal_replayed,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Reply::Snapshot(json) => {
+            push_header(out, KIND_R_SNAPSHOT, json.len() as u32);
+            out.extend_from_slice(json.as_bytes());
+        }
+        Reply::Poisoned(shard) => {
+            push_header(out, KIND_R_POISONED, 8);
+            out.extend_from_slice(&shard.to_le_bytes());
+        }
+        Reply::Bye => push_header(out, KIND_R_BYE, 0),
+        Reply::Err(msg) => {
+            let msg = &msg.as_bytes()[..msg.len().min(MAX_FRAME_PAYLOAD)];
+            push_header(out, KIND_R_ERR, msg.len() as u32);
+            out.extend_from_slice(msg);
+        }
+    }
+}
+
+/// A header-only `GET` frame with a deliberately impossible length and
+/// a *valid* check byte — the chaos harness's binary garbage. Exercises
+/// the recoverable corrupt-length path: the server answers `ERR` after
+/// consuming exactly the header, and the connection (plus every frame
+/// queued behind the garbage) survives.
+pub fn corrupt_length_get_frame() -> [u8; FRAME_HEADER_BYTES] {
+    let len = (MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes();
+    [
+        FRAME_MAGIC,
+        KIND_GET,
+        len[0],
+        len[1],
+        len[2],
+        len[3],
+        frame_check(KIND_GET, len),
+    ]
+}
+
+/// The fixed payload length for `kind`, or `None` for variable-length
+/// (reply-only) kinds.
+fn fixed_len(kind: u8) -> Option<u32> {
+    match kind {
+        KIND_GET | KIND_POISON => Some(4),
+        KIND_STATS | KIND_SNAPSHOT | KIND_QUIT | KIND_R_BYE => Some(0),
+        KIND_R_GET => Some(9),
+        KIND_R_STATS => Some(56),
+        KIND_R_POISONED => Some(8),
+        KIND_R_SNAPSHOT | KIND_R_ERR => None,
+        _ => Some(0), // unknown kinds are rejected before this matters
+    }
+}
+
+fn corrupt(consumed: usize, fatal: bool, reason: impl Into<String>) -> FrameError {
+    FrameError {
+        consumed,
+        fatal,
+        reason: reason.into(),
+    }
+}
+
+/// Validate the 7-byte header at the start of `buf` and return
+/// `(kind, payload_len)`. `request` restricts the accepted kinds.
+fn decode_header(buf: &[u8], request: bool) -> Result<Decoded<(u8, usize)>, FrameError> {
+    if buf.is_empty() || buf[0] != FRAME_MAGIC {
+        return Err(corrupt(0, true, "not a binary frame"));
+    }
+    if buf.len() < FRAME_HEADER_BYTES {
+        return Ok(Decoded::Incomplete);
+    }
+    let kind = buf[1];
+    let len_bytes = [buf[2], buf[3], buf[4], buf[5]];
+    if buf[6] != frame_check(kind, len_bytes) {
+        // The length cannot be trusted, so neither can any resync.
+        return Err(corrupt(
+            FRAME_HEADER_BYTES,
+            true,
+            "corrupt frame header (check byte mismatch)",
+        ));
+    }
+    let known = if request {
+        matches!(
+            kind,
+            KIND_GET | KIND_STATS | KIND_SNAPSHOT | KIND_POISON | KIND_QUIT
+        )
+    } else {
+        matches!(
+            kind,
+            KIND_R_GET | KIND_R_STATS | KIND_R_SNAPSHOT | KIND_R_POISONED | KIND_R_BYE | KIND_R_ERR
+        )
+    };
+    if !known {
+        return Err(corrupt(
+            FRAME_HEADER_BYTES,
+            true,
+            format!(
+                "unknown {} frame kind 0x{kind:02X}",
+                if request { "request" } else { "reply" }
+            ),
+        ));
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    match fixed_len(kind) {
+        // A fixed-size kind with the wrong length is refused BEFORE any
+        // payload is awaited: a bit-flipped length header must be loud,
+        // never a silent truncation (the WAL's inflated-length rule).
+        Some(expected) if len != expected => Err(corrupt(
+            FRAME_HEADER_BYTES,
+            false,
+            format!("corrupt frame length {len} for kind 0x{kind:02X} (expected {expected})"),
+        )),
+        None if len as usize > MAX_FRAME_PAYLOAD => Err(corrupt(
+            FRAME_HEADER_BYTES,
+            false,
+            format!("frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap"),
+        )),
+        _ => Ok(Decoded::Frame {
+            value: (kind, len as usize),
+            consumed: FRAME_HEADER_BYTES,
+        }),
+    }
+}
+
+/// Decode one request frame from the start of `buf`.
+pub fn decode_command(buf: &[u8]) -> Result<Decoded<Command>, FrameError> {
+    let (kind, len) = match decode_header(buf, true)? {
+        Decoded::Incomplete => return Ok(Decoded::Incomplete),
+        Decoded::Frame { value, .. } => value,
+    };
+    let total = FRAME_HEADER_BYTES + len;
+    if buf.len() < total {
+        return Ok(Decoded::Incomplete);
+    }
+    let payload = &buf[FRAME_HEADER_BYTES..total];
+    let clip = |payload: &[u8]| -> Result<ClipId, FrameError> {
+        let id = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        if id == 0 {
+            return Err(corrupt(total, false, "clip id 0 out of range"));
+        }
+        Ok(ClipId::new(id))
+    };
+    let value = match kind {
+        KIND_GET => Command::Get(clip(payload)?),
+        KIND_POISON => Command::Poison(clip(payload)?),
+        KIND_STATS => Command::Stats,
+        KIND_SNAPSHOT => Command::Snapshot,
+        _ => Command::Quit,
+    };
+    Ok(Decoded::Frame {
+        value,
+        consumed: total,
+    })
+}
+
+/// Decode one reply frame from the start of `buf`.
+pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Reply>, FrameError> {
+    let (kind, len) = match decode_header(buf, false)? {
+        Decoded::Incomplete => return Ok(Decoded::Incomplete),
+        Decoded::Frame { value, .. } => value,
+    };
+    let total = FRAME_HEADER_BYTES + len;
+    if buf.len() < total {
+        return Ok(Decoded::Incomplete);
+    }
+    let payload = &buf[FRAME_HEADER_BYTES..total];
+    let u64_at = |at: usize| {
+        u64::from_le_bytes([
+            payload[at],
+            payload[at + 1],
+            payload[at + 2],
+            payload[at + 3],
+            payload[at + 4],
+            payload[at + 5],
+            payload[at + 6],
+            payload[at + 7],
+        ])
+    };
+    let value = match kind {
+        KIND_R_GET => {
+            let flags = payload[0];
+            if flags & !0b11 != 0 {
+                return Err(corrupt(total, true, "corrupt GET reply flags"));
+            }
+            let hit = flags & 1 != 0;
+            let admitted = flags & 2 != 0;
+            if hit && !admitted {
+                return Err(corrupt(
+                    total,
+                    true,
+                    "corrupt GET reply (hit but not admitted)",
+                ));
+            }
+            Reply::Get(GetOutcome {
+                hit,
+                admitted,
+                evictions: u64_at(1) as usize,
+            })
+        }
+        KIND_R_STATS => Reply::Stats(ServerStats {
+            stats: HitStats {
+                hits: u64_at(0),
+                misses: u64_at(8),
+                byte_hits: clipcache_media::ByteSize::bytes(u64_at(16)),
+                byte_misses: clipcache_media::ByteSize::bytes(u64_at(24)),
+                evictions: u64_at(32),
+            },
+            recoveries: u64_at(40),
+            wal_replayed: u64_at(48),
+        }),
+        KIND_R_SNAPSHOT => Reply::Snapshot(
+            String::from_utf8(payload.to_vec())
+                .map_err(|_| corrupt(total, true, "SNAPSHOT reply is not UTF-8"))?,
+        ),
+        KIND_R_POISONED => Reply::Poisoned(u64_at(0)),
+        KIND_R_BYE => Reply::Bye,
+        _ => Reply::Err(String::from_utf8_lossy(payload).into_owned()),
+    };
+    Ok(Decoded::Frame {
+        value,
+        consumed: total,
+    })
 }
 
 #[cfg(test)]

@@ -1,50 +1,79 @@
-//! The TCP front-end: a thread-per-connection line-protocol server.
+//! The TCP front-end: a readiness-based epoll event loop with request
+//! pipelining.
 //!
-//! `std::net` only — no async runtime. The accept loop runs on its own
-//! thread; each connection gets a handler thread that polls a shared
-//! shutdown flag between reads (via a short read timeout), so
-//! [`ServerHandle::shutdown`] drains everything within a poll interval.
-//! The blocking `accept` itself is woken by a throwaway connection to
-//! the server's own port — the classic self-pipe trick, TCP edition.
+//! One event-loop thread owns everything: a non-blocking listener, a
+//! wakeup pipe, and every live connection's read/write buffers. Sockets
+//! are registered edge-triggered (`EPOLLET`), so each readiness edge is
+//! drained completely — reads accumulate into the connection's input
+//! buffer until `WouldBlock`, *every* complete request already buffered
+//! is executed (that is the server half of pipelining: a client that
+//! batches N requests into one write gets N replies back in one or two
+//! writes), and replies are flushed until `WouldBlock` with `EPOLLOUT`
+//! interest added only while a flush is actually pending.
+//!
+//! Both wire protocols are spoken on every connection, auto-detected
+//! per message: a byte equal to [`FRAME_MAGIC`] opens a length-prefixed
+//! binary frame, anything else is a text line (`GET`/`STATS`/…). Each
+//! reply uses the protocol of its request, so mixed sessions work.
+//!
+//! Shutdown is signalled through the wakeup pipe registered with epoll
+//! — the old "throwaway connection to the server's own port" trick is
+//! gone (it could hang forever when the listener backlog was full).
+//! [`ServerHandle::shutdown`] sets the flag, writes one byte to the
+//! pipe, and joins the loop; the loop drains in-flight pipelined
+//! requests (one final opportunistic read per connection, then every
+//! buffered complete request is executed and its reply flushed) before
+//! closing.
 //!
 //! ## Resilience
 //!
-//! The server's failure contract is *structured refusal, never silent
-//! disconnect*: malformed lines, unknown clips, refused poisons, idle
-//! expiry and admission rejections all produce an `ERR`/protocol reply
-//! before the connection is (at worst) closed. [`ServerConfig`] holds
-//! the knobs:
+//! The failure contract is unchanged from the thread-per-connection
+//! server: *structured refusal, never silent disconnect*. Malformed
+//! text lines and recoverable frame corruption get an `ERR` and the
+//! connection lives; unrecoverable frame corruption (untrusted length)
+//! gets an `ERR` and then the close. [`ServerConfig`] still holds the
+//! knobs:
 //!
-//! * `max_conns` — an admission gate: beyond this many live
-//!   connections, new arrivals get `ERR server busy` and an immediate
-//!   close instead of an unbounded handler-thread pile-up;
-//! * `read_timeout` — per-connection idle budget: a connection that
-//!   sends no complete request for this long gets `ERR idle timeout`
-//!   and is reclaimed, so abandoned sockets cannot pin threads forever;
-//! * `chaos` — gates the `POISON` fault-injection command (off by
-//!   default: production servers refuse it with an `ERR`).
+//! * `max_conns` — admission gate: excess arrivals get `ERR server
+//!   busy` and an immediate close;
+//! * `read_timeout` — idle budget: a connection with no complete
+//!   request for this long gets `ERR idle timeout` and is reclaimed;
+//! * `chaos` — gates the `POISON` fault-injection command.
 //!
-//! A request line longer than [`MAX_LINE_BYTES`] is also refused — the
-//! buffer would otherwise grow without bound on a newline-less garbage
-//! flood from a broken (or chaos-injected) peer.
+//! A text line longer than [`MAX_LINE_BYTES`] is refused (`ERR request
+//! line too long`), and a connection that pipelines requests without
+//! ever reading replies stops being *read* (not dropped) once its
+//! pending reply bytes pass a soft cap — backpressure instead of
+//! unbounded buffering.
 
 use crate::protocol::{
-    format_get, format_poisoned, format_stats, parse_command, Command, ServerStats,
+    decode_command, encode_reply, format_get, format_poisoned, format_stats, parse_command,
+    Command, Decoded, Reply, ServerStats, FRAME_MAGIC,
 };
 use crate::service::CacheService;
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How often connection handlers check the shutdown flag.
+/// Idle-sweep cadence (epoll timeout): how often the loop checks idle
+/// budgets when no traffic arrives.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
-/// Longest accepted request line (bytes, newline excluded). Longer
+/// Longest accepted text request line (bytes, newline excluded). Longer
 /// lines get `ERR request line too long` and the connection closes.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Pending reply bytes beyond which a connection stops being read until
+/// the client drains some replies (pipelining backpressure).
+const WBUF_SOFT_CAP: usize = 4 * 1024 * 1024;
+
+/// Read chunk size for the drain loop.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Server tuning knobs; [`ServerConfig::default`] reproduces the
 /// pre-resilience behavior (no gate, no idle limit, no chaos).
@@ -61,14 +90,129 @@ pub struct ServerConfig {
     pub chaos: bool,
 }
 
+/// Minimal safe wrapper over the vendored epoll shim. Owns the epoll
+/// fd; closed on drop.
+struct Epoll {
+    fd: libc::c_int,
+}
+
+impl Epoll {
+    fn new() -> std::io::Result<Epoll> {
+        let fd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(
+        &self,
+        op: libc::c_int,
+        fd: libc::c_int,
+        events: u32,
+        token: u64,
+    ) -> std::io::Result<()> {
+        let mut ev = libc::epoll_event { events, u64: token };
+        let rc = unsafe { libc::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: libc::c_int, events: u32, token: u64) -> std::io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: libc::c_int, events: u32, token: u64) -> std::io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Wait for readiness, retrying on `EINTR`. `timeout_ms < 0` blocks.
+    fn wait(&self, events: &mut [libc::epoll_event], timeout_ms: i32) -> usize {
+        loop {
+            let n = unsafe {
+                libc::epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len() as libc::c_int,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return n as usize;
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != ErrorKind::Interrupted {
+                // An unusable epoll fd is unrecoverable for the loop;
+                // treat it as "no events" and let the tick logic run —
+                // shutdown still works through the shared flag.
+                return 0;
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+/// The shutdown wakeup: a non-blocking pipe whose read end lives in the
+/// epoll set. Writing one byte wakes the loop immediately — no
+/// connection to the server's own port, no dependence on backlog space.
+struct WakePipe {
+    read_fd: libc::c_int,
+    write_fd: libc::c_int,
+}
+
+impl WakePipe {
+    fn new() -> std::io::Result<WakePipe> {
+        let mut fds = [0 as libc::c_int; 2];
+        let rc = unsafe { libc::pipe2(fds.as_mut_ptr(), libc::O_NONBLOCK | libc::O_CLOEXEC) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    fn wake(&self) {
+        let byte = 1u8;
+        unsafe { libc::write(self.write_fd, (&byte as *const u8).cast(), 1) };
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { libc::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            libc::close(self.read_fd);
+            libc::close(self.write_fd);
+        }
+    }
+}
+
 /// A running server. Dropping the handle without calling
-/// [`shutdown`](Self::shutdown) leaves the threads running for the
+/// [`shutdown`](Self::shutdown) leaves the loop running for the
 /// process lifetime.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    wake: Arc<WakePipe>,
+    loop_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -77,16 +221,12 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, drain connection handlers, join all threads.
+    /// Stop accepting, drain in-flight pipelined requests, flush their
+    /// replies, join the loop thread.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        let handlers = std::mem::take(&mut *self.connections.lock().expect("handler list"));
-        for t in handlers {
+        self.wake.wake();
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
     }
@@ -106,144 +246,455 @@ pub fn serve_with(
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let active = Arc::new(AtomicUsize::new(0));
+    let wake = Arc::new(WakePipe::new()?);
 
-    let accept_thread = {
+    let loop_thread = {
         let shutdown = Arc::clone(&shutdown);
-        let connections = Arc::clone(&connections);
+        let wake = Arc::clone(&wake);
         std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
+            let mut event_loop = match EventLoop::new(listener, service, config, shutdown, wake) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("clipcache-serve: cannot start event loop: {e}");
+                    return;
                 }
-                let Ok(mut stream) = stream else { continue };
-                if let Some(limit) = config.max_conns {
-                    if active.load(Ordering::SeqCst) >= limit {
-                        // Admission gate: refuse with a structured reply
-                        // instead of queueing an unbounded thread.
-                        let _ = stream.write_all(b"ERR server busy\n");
-                        continue;
-                    }
-                }
-                active.fetch_add(1, Ordering::SeqCst);
-                let service = Arc::clone(&service);
-                let shutdown = Arc::clone(&shutdown);
-                let active = Arc::clone(&active);
-                let handler = std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &service, &shutdown, config);
-                    active.fetch_sub(1, Ordering::SeqCst);
-                });
-                let mut handlers = connections.lock().expect("handler list");
-                // Reap finished handlers so a long-lived server's list
-                // doesn't grow with every connection ever served.
-                handlers.retain(|h| !h.is_finished());
-                handlers.push(handler);
-            }
+            };
+            event_loop.run();
         })
     };
 
     Ok(ServerHandle {
         addr: local,
         shutdown,
-        accept_thread: Some(accept_thread),
-        connections,
+        wake,
+        loop_thread: Some(loop_thread),
     })
 }
 
-/// Serve one connection until QUIT, EOF, idle expiry, or shutdown.
-fn handle_connection(
-    mut stream: TcpStream,
-    service: &CacheService,
-    shutdown: &AtomicBool,
+/// Which protocol the connection most recently spoke — unsolicited
+/// server messages (idle timeout) use it so binary clients are not fed
+/// text mid-frame.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    Text,
+    Binary,
+}
+
+/// One connection's state inside the loop.
+struct Conn {
+    stream: TcpStream,
+    /// Unconsumed input bytes (partial lines / torn frame prefixes).
+    rbuf: Vec<u8>,
+    /// Encoded replies not yet written to the socket.
+    wbuf: VecDeque<u8>,
+    /// Close once `wbuf` is flushed (QUIT, fatal protocol error, idle).
+    closing: bool,
+    /// The peer half-closed or errored; no more reads will succeed.
+    eof: bool,
+    /// `EPOLLOUT` currently registered.
+    want_write: bool,
+    /// Completion time of the last full request (idle accounting).
+    last_request: Instant,
+    /// Protocol of the most recent message (for unsolicited replies).
+    wire: Wire,
+}
+
+const LISTENER_TOKEN: u64 = u64::MAX;
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+const BASE_EVENTS: u32 = libc::EPOLLIN | libc::EPOLLRDHUP | libc::EPOLLET;
+
+struct EventLoop {
+    epoll: Epoll,
+    listener: TcpListener,
+    service: Arc<CacheService>,
     config: ServerConfig,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    stream.set_nodelay(true)?;
-    // Hand-rolled line buffering: `BufReader::read_line` may hold a
-    // partial line across a timeout error, so we split on '\n' in our
-    // own buffer where partial reads are harmless — which is also what
-    // makes torn (fragmented) writes from chaos clients reassemble.
-    let mut pending: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let mut idle = Duration::ZERO;
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+    shutdown: Arc<AtomicBool>,
+    wake: Arc<WakePipe>,
+    /// Connection slab indexed by epoll token.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        service: Arc<CacheService>,
+        config: ServerConfig,
+        shutdown: Arc<AtomicBool>,
+        wake: Arc<WakePipe>,
+    ) -> std::io::Result<EventLoop> {
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), libc::EPOLLIN, LISTENER_TOKEN)?;
+        epoll.add(wake.read_fd, libc::EPOLLIN, WAKE_TOKEN)?;
+        Ok(EventLoop {
+            epoll,
+            listener,
+            service,
+            config,
+            shutdown,
+            wake,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events = vec![libc::epoll_event { events: 0, u64: 0 }; 1024];
+        loop {
+            let n = self
+                .epoll
+                .wait(&mut events, POLL_INTERVAL.as_millis() as i32);
+            for ev in events.iter().take(n) {
+                let token = ev.u64;
+                let bits = ev.events;
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKE_TOKEN => self.wake.drain(),
+                    _ => self.conn_ready(token as usize, bits),
+                }
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.drain_and_close_all();
+                return;
+            }
+            self.sweep_idle();
         }
-        // Drain every complete line already buffered.
-        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = pending.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            idle = Duration::ZERO;
-            if !respond(&mut stream, service, &line, config)? {
-                return Ok(());
+    }
+
+    /// Accept until `WouldBlock` (edge-triggered listener).
+    fn accept_ready(&mut self) {
+        loop {
+            let (mut stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if let Some(limit) = self.config.max_conns {
+                if self.live >= limit {
+                    // Admission gate: structured refusal, then close.
+                    let _ = stream.write_all(b"ERR server busy\n");
+                    continue;
+                }
+            }
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue;
+            }
+            let token = match self.free.pop() {
+                Some(t) => t,
+                None => {
+                    self.conns.push(None);
+                    self.conns.len() - 1
+                }
+            };
+            if self
+                .epoll
+                .add(stream.as_raw_fd(), BASE_EVENTS, token as u64)
+                .is_err()
+            {
+                self.free.push(token);
+                continue;
+            }
+            self.conns[token] = Some(Conn {
+                stream,
+                rbuf: Vec::new(),
+                wbuf: VecDeque::new(),
+                closing: false,
+                eof: false,
+                want_write: false,
+                last_request: Instant::now(),
+                wire: Wire::Text,
+            });
+            self.live += 1;
+        }
+    }
+
+    /// Handle readiness on connection `token`.
+    fn conn_ready(&mut self, token: usize, bits: u32) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return; // already closed earlier in this batch
+        };
+        if bits & (libc::EPOLLERR | libc::EPOLLHUP) != 0 {
+            conn.eof = true;
+        }
+        if bits & (libc::EPOLLIN | libc::EPOLLRDHUP) != 0 {
+            Self::read_and_process(conn, &self.service, self.config);
+        }
+        if bits & libc::EPOLLOUT != 0 || !conn.wbuf.is_empty() {
+            Self::flush(conn);
+            // Backpressure release: reply bytes drained, resume
+            // consuming any input that piled up meanwhile.
+            if conn.wbuf.len() < WBUF_SOFT_CAP && !conn.closing {
+                Self::read_and_process(conn, &self.service, self.config);
+                Self::flush(conn);
             }
         }
-        if pending.len() > MAX_LINE_BYTES {
-            // A newline-less flood; refuse before the buffer grows
-            // without bound.
-            stream.write_all(b"ERR request line too long\n")?;
-            return Ok(());
+        self.update_interest(token);
+    }
+
+    /// Drain the socket into `rbuf` (edge-triggered: read to
+    /// `WouldBlock`), then execute every complete buffered request.
+    fn read_and_process(conn: &mut Conn, service: &CacheService, config: ServerConfig) {
+        if conn.closing {
+            return;
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(n) => {
-                pending.extend_from_slice(&chunk[..n]);
-                idle = Duration::ZERO;
+        if conn.wbuf.len() >= WBUF_SOFT_CAP {
+            return; // backpressure: let the client drain replies first
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    if conn.rbuf.len() + conn.wbuf.len() > WBUF_SOFT_CAP {
+                        break; // bounded memory per connection
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.eof = true;
+                    break;
+                }
             }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                idle += POLL_INTERVAL;
-                if let Some(budget) = config.read_timeout {
-                    if idle >= budget {
-                        stream.write_all(b"ERR idle timeout\n")?;
-                        return Ok(());
+        }
+        Self::process_buffered(conn, service, config);
+        if conn.eof && !conn.closing {
+            // Peer is gone (or half-closed after its final request):
+            // flush whatever replies remain, then close.
+            conn.closing = true;
+        }
+    }
+
+    /// Execute every complete request sitting in `rbuf` — the server
+    /// half of pipelining.
+    fn process_buffered(conn: &mut Conn, service: &CacheService, config: ServerConfig) {
+        let mut consumed = 0usize;
+        let mut out: Vec<u8> = Vec::new();
+        while consumed < conn.rbuf.len() && !conn.closing {
+            let rest = &conn.rbuf[consumed..];
+            if rest[0] == FRAME_MAGIC {
+                conn.wire = Wire::Binary;
+                match decode_command(rest) {
+                    Ok(Decoded::Incomplete) => break,
+                    Ok(Decoded::Frame { value, consumed: n }) => {
+                        consumed += n;
+                        conn.last_request = Instant::now();
+                        let (reply, quit) = execute(service, config, Ok(value));
+                        encode_reply(&reply, &mut out);
+                        if quit {
+                            conn.closing = true;
+                        }
+                    }
+                    Err(err) => {
+                        // Loud, structured, never a silent skip: ERR
+                        // frame first, then (for untrusted lengths)
+                        // the close.
+                        consumed += err.consumed;
+                        encode_reply(&Reply::Err(err.reason), &mut out);
+                        if err.fatal {
+                            conn.closing = true;
+                        }
+                    }
+                }
+            } else {
+                conn.wire = Wire::Text;
+                match rest.iter().position(|&b| b == b'\n') {
+                    None => {
+                        if rest.len() > MAX_LINE_BYTES {
+                            // A newline-less flood; refuse before the
+                            // buffer grows without bound.
+                            out.extend_from_slice(b"ERR request line too long\n");
+                            conn.closing = true;
+                        }
+                        break;
+                    }
+                    Some(pos) => {
+                        let line = String::from_utf8_lossy(&rest[..pos]).into_owned();
+                        consumed += pos + 1;
+                        conn.last_request = Instant::now();
+                        let (reply, quit) = execute(service, config, parse_command(&line));
+                        out.extend_from_slice(format_reply_text(&reply).as_bytes());
+                        out.push(b'\n');
+                        if quit {
+                            conn.closing = true;
+                        }
                     }
                 }
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+        }
+        conn.rbuf.drain(..consumed);
+        conn.wbuf.extend(out);
+    }
+
+    /// Write pending reply bytes until `WouldBlock` or empty.
+    fn flush(conn: &mut Conn) {
+        while !conn.wbuf.is_empty() {
+            let (front, _) = conn.wbuf.as_slices();
+            match conn.stream.write(front) {
+                Ok(0) => {
+                    conn.eof = true;
+                    conn.wbuf.clear();
+                    return;
+                }
+                Ok(n) => {
+                    conn.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.eof = true;
+                    conn.wbuf.clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-register `EPOLLOUT` interest to match pending output, and
+    /// close the connection when it is finished.
+    fn update_interest(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        let finished = (conn.closing && conn.wbuf.is_empty()) || (conn.eof && conn.wbuf.is_empty());
+        if finished {
+            self.close_conn(token);
+            return;
+        }
+        let want = !conn.wbuf.is_empty();
+        if want != conn.want_write {
+            let events = if want {
+                BASE_EVENTS | libc::EPOLLOUT
+            } else {
+                BASE_EVENTS
+            };
+            if self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), events, token as u64)
+                .is_ok()
+            {
+                conn.want_write = want;
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.get_mut(token).and_then(Option::take) {
+            // Dropping the stream closes the fd, which removes it from
+            // the epoll set.
+            drop(conn);
+            self.free.push(token);
+            self.live -= 1;
+        }
+    }
+
+    /// Reclaim connections whose idle budget expired.
+    fn sweep_idle(&mut self) {
+        let Some(budget) = self.config.read_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        for token in 0..self.conns.len() {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.closing || now.duration_since(conn.last_request) < budget {
+                continue;
+            }
+            let reply = Reply::Err("idle timeout".into());
+            match conn.wire {
+                Wire::Text => {
+                    conn.wbuf.extend(format_reply_text(&reply).as_bytes());
+                    conn.wbuf.push_back(b'\n');
+                }
+                Wire::Binary => {
+                    let mut out = Vec::new();
+                    encode_reply(&reply, &mut out);
+                    conn.wbuf.extend(out);
+                }
+            }
+            conn.closing = true;
+            Self::flush(conn);
+            self.update_interest(token);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, take one final opportunistic
+    /// read per connection (bytes the peer already sent), execute every
+    /// buffered complete request, and flush all replies with blocking
+    /// writes so in-flight pipelined requests are answered, not dropped.
+    fn drain_and_close_all(&mut self) {
+        for token in 0..self.conns.len() {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            Self::read_and_process(conn, &self.service, self.config);
+            if !conn.wbuf.is_empty() {
+                let _ = conn.stream.set_nonblocking(false);
+                let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(5)));
+                conn.wbuf.make_contiguous();
+                let (rest, _) = conn.wbuf.as_slices();
+                let _ = conn.stream.write_all(rest);
+                conn.wbuf.clear();
+            }
+        }
+        for token in 0..self.conns.len() {
+            self.close_conn(token);
         }
     }
 }
 
-/// Execute one request line; false means the connection should close.
-fn respond(
-    stream: &mut TcpStream,
+/// Execute one parsed (or unparseable) request; the bool means QUIT.
+fn execute(
     service: &CacheService,
-    line: &str,
     config: ServerConfig,
-) -> std::io::Result<bool> {
-    let reply = match parse_command(line) {
+    command: Result<Command, String>,
+) -> (Reply, bool) {
+    let reply = match command {
         Ok(Command::Get(clip)) => match service.get(clip) {
-            Ok(outcome) => format_get(&outcome),
-            Err(e) => format!("ERR {e}"),
+            Ok(outcome) => Reply::Get(outcome),
+            Err(e) => Reply::Err(e.to_string()),
         },
-        Ok(Command::Stats) => format_stats(&ServerStats {
+        Ok(Command::Stats) => Reply::Stats(ServerStats {
             stats: service.stats(),
             recoveries: service.recoveries(),
             wal_replayed: service.wal_replayed(),
         }),
         Ok(Command::Snapshot) => {
             let parts: Vec<String> = service.snapshot().iter().map(|s| s.to_json()).collect();
-            format!("SNAPSHOT [{}]", parts.join(","))
+            Reply::Snapshot(format!("[{}]", parts.join(",")))
         }
         Ok(Command::Poison(clip)) => {
             if config.chaos {
-                format_poisoned(service.poison(clip))
+                Reply::Poisoned(service.poison(clip) as u64)
             } else {
-                "ERR poison refused (server not started with --chaos)".into()
+                Reply::Err("poison refused (server not started with --chaos)".into())
             }
         }
-        Ok(Command::Quit) => {
-            stream.write_all(b"BYE\n")?;
-            return Ok(false);
-        }
-        Err(e) => format!("ERR {e}"),
+        Ok(Command::Quit) => return (Reply::Bye, true),
+        Err(e) => Reply::Err(e),
     };
-    stream.write_all(reply.as_bytes())?;
-    stream.write_all(b"\n")?;
-    Ok(true)
+    (reply, false)
+}
+
+/// Render a reply as its text-protocol line (newline not included).
+fn format_reply_text(reply: &Reply) -> String {
+    match reply {
+        Reply::Get(outcome) => format_get(outcome),
+        Reply::Stats(stats) => format_stats(stats),
+        Reply::Snapshot(json) => format!("SNAPSHOT {json}"),
+        Reply::Poisoned(shard) => format_poisoned(*shard as usize),
+        Reply::Bye => "BYE".into(),
+        Reply::Err(msg) => format!("ERR {msg}"),
+    }
 }

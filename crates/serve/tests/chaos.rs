@@ -56,6 +56,7 @@ fn options(plan: FaultPlan) -> LoadOptions {
         faults: Some(plan),
         retry: RetryPolicy::default(),
         read_timeout: None,
+        ..LoadOptions::default()
     }
 }
 
@@ -171,6 +172,7 @@ fn multiple_clients_conserve_requests_under_faults() {
             faults: Some(plan),
             retry: RetryPolicy::default(),
             read_timeout: None,
+            ..LoadOptions::default()
         },
     )
     .unwrap();

@@ -1,0 +1,282 @@
+//! End-to-end tests of the epoll front-end's new powers: the binary
+//! wire, request pipelining, per-message protocol auto-detect (mixed
+//! text+binary sessions on one connection), mid-pipeline corruption
+//! resync, and graceful shutdown that answers in-flight pipelined
+//! requests instead of dropping them.
+//!
+//! The anchor discipline carries over from `tcp_e2e.rs`: a 1-shard,
+//! 1-client run over the binary pipelined path must stay bit-for-bit
+//! on the serial simulator — pipelining changes timing, never results.
+
+use clipcache_core::PolicyKind;
+use clipcache_media::{paper, ClipId, Repository};
+use clipcache_serve::protocol::{
+    corrupt_length_get_frame, decode_reply, encode_command, Command, Decoded, Reply,
+};
+use clipcache_serve::{
+    run_load_with, serial_baseline, serve_with, CacheService, LoadOptions, ServerConfig,
+    ServiceConfig, Target, TcpCacheClient, Wire,
+};
+use clipcache_workload::{RequestGenerator, Trace};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_with(
+    shards: usize,
+    config: ServerConfig,
+) -> (
+    Arc<Repository>,
+    Arc<CacheService>,
+    clipcache_serve::ServerHandle,
+) {
+    let repo = Arc::new(paper::variable_sized_repository_of(24));
+    let service = Arc::new(
+        CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig::new(
+                PolicyKind::Lru,
+                shards,
+                repo.cache_capacity_for_ratio(0.25),
+                7,
+            ),
+            None,
+        )
+        .unwrap(),
+    );
+    let handle = serve_with(Arc::clone(&service), "127.0.0.1:0", config).expect("bind loopback");
+    (repo, service, handle)
+}
+
+fn start(
+    shards: usize,
+) -> (
+    Arc<Repository>,
+    Arc<CacheService>,
+    clipcache_serve::ServerHandle,
+) {
+    start_with(shards, ServerConfig::default())
+}
+
+fn trace_of(requests: u64) -> Trace {
+    Trace::from_generator(RequestGenerator::new(24, 0.27, 0, requests, 11))
+}
+
+/// Read exactly one binary reply frame from a raw stream.
+fn read_frame(stream: &mut impl Read) -> Reply {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match decode_reply(&buf) {
+            Ok(Decoded::Frame { value, consumed }) => {
+                assert_eq!(consumed, buf.len(), "frame over-read");
+                return value;
+            }
+            Ok(Decoded::Incomplete) | Err(_) if buf.is_empty() => {}
+            Ok(Decoded::Incomplete) => {}
+            Err(e) => panic!("corrupt reply frame: {e:?}"),
+        }
+        stream.read_exact(&mut byte).expect("reply frame bytes");
+        buf.push(byte[0]);
+    }
+}
+
+#[test]
+fn pipelined_binary_run_stays_on_the_serial_anchor() {
+    // The headline invariant: 1 shard + 1 client over the binary
+    // pipelined wire == the serial simulator, bit for bit, at any
+    // depth — the server preserves per-connection order.
+    let (repo, service, handle) = start(1);
+    let trace = trace_of(3_000);
+    let baseline = serial_baseline(
+        &repo,
+        PolicyKind::Lru.into(),
+        repo.cache_capacity_for_ratio(0.25),
+        7,
+        &trace,
+    );
+    let report = run_load_with(
+        &Target::Tcp(handle.addr().to_string()),
+        &repo,
+        &trace,
+        &LoadOptions {
+            wire: Wire::Binary,
+            pipeline: 32,
+            ..LoadOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.observed, baseline);
+    assert_eq!(service.stats(), baseline);
+    assert_eq!(report.latency.count(), 3_000);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_binary_multi_connection_conserves_requests() {
+    let (repo, service, handle) = start(4);
+    let trace = trace_of(4_000);
+    let report = run_load_with(
+        &Target::Tcp(handle.addr().to_string()),
+        &repo,
+        &trace,
+        &LoadOptions {
+            clients: 4,
+            wire: Wire::Binary,
+            pipeline: 8,
+            ..LoadOptions::default()
+        },
+    )
+    .unwrap();
+    // Every request issued exactly once and recorded exactly once,
+    // client- and server-side agreeing, whatever the interleaving.
+    assert_eq!(report.observed.requests(), 4_000);
+    assert_eq!(report.observed, service.stats());
+    assert!(report.conserved());
+    handle.shutdown();
+}
+
+#[test]
+fn mixed_text_and_binary_session_on_one_connection() {
+    // Protocol auto-detect is per message: one connection interleaves
+    // text lines and binary frames freely, and every reply arrives in
+    // the protocol of its request.
+    let (_repo, service, handle) = start(2);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+
+    // Text GET.
+    stream.write_all(b"GET 5\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "MISS 1 0", "text miss reply");
+
+    // Binary GET of the same clip: now a hit, as a frame.
+    let mut frame = Vec::new();
+    encode_command(&Command::Get(ClipId::new(5)), &mut frame);
+    stream.write_all(&frame).unwrap();
+    match read_frame(&mut reader) {
+        Reply::Get(outcome) => assert!(outcome.hit && outcome.admitted),
+        other => panic!("expected a GET reply frame, got {other:?}"),
+    }
+
+    // Text STATS, then binary STATS — identical numbers.
+    line.clear();
+    stream.write_all(b"STATS\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("STATS hits=1 misses=1"), "got {line:?}");
+    let mut frame = Vec::new();
+    encode_command(&Command::Stats, &mut frame);
+    stream.write_all(&frame).unwrap();
+    match read_frame(&mut reader) {
+        Reply::Stats(stats) => {
+            assert_eq!(stats.stats.hits, 1);
+            assert_eq!(stats.stats.misses, 1);
+            assert_eq!(stats.stats, service.stats());
+        }
+        other => panic!("expected a STATS reply frame, got {other:?}"),
+    }
+
+    // A batched mixed pipeline in ONE write: text, binary, text.
+    let mut batch = b"GET 5\n".to_vec();
+    encode_command(&Command::Get(ClipId::new(5)), &mut batch);
+    batch.extend_from_slice(b"GET 5\n");
+    stream.write_all(&batch).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "HIT 0");
+    assert!(matches!(read_frame(&mut reader), Reply::Get(o) if o.hit));
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "HIT 0");
+
+    // Binary QUIT ends the session with a BYE frame.
+    let mut frame = Vec::new();
+    encode_command(&Command::Quit, &mut frame);
+    stream.write_all(&frame).unwrap();
+    assert!(matches!(read_frame(&mut reader), Reply::Bye));
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_frame_mid_pipeline_resyncs_deterministically() {
+    // [valid GET | corrupt-length garbage | valid GET] in one write:
+    // the server answers reply, ERR, reply — the garbage consumes
+    // exactly its header, the queued frame behind it survives.
+    let (_repo, _service, handle) = start(2);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let mut batch = Vec::new();
+    encode_command(&Command::Get(ClipId::new(9)), &mut batch);
+    batch.extend_from_slice(&corrupt_length_get_frame());
+    encode_command(&Command::Get(ClipId::new(9)), &mut batch);
+    stream.write_all(&batch).unwrap();
+
+    assert!(matches!(read_frame(&mut reader), Reply::Get(o) if !o.hit));
+    match read_frame(&mut reader) {
+        Reply::Err(msg) => assert!(msg.contains("corrupt frame length"), "got {msg:?}"),
+        other => panic!("expected ERR for the garbage, got {other:?}"),
+    }
+    assert!(matches!(read_frame(&mut reader), Reply::Get(o) if o.hit));
+
+    // And the connection is still fully alive for a clean client op.
+    let mut client = TcpCacheClient::connect_wire(handle.addr(), None, Wire::Binary).unwrap();
+    assert!(client.get(ClipId::new(9)).unwrap().hit);
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_in_flight_pipelined_requests() {
+    // A window of pipelined requests is on the wire when shutdown is
+    // called; the drain must execute and answer every one of them
+    // before closing — pipelining must not turn shutdown into loss.
+    let (_repo, service, handle) = start(2);
+    let mut client = TcpCacheClient::connect_wire(handle.addr(), None, Wire::Binary).unwrap();
+    let clips: Vec<ClipId> = (1..=16).map(ClipId::new).collect();
+    client.send_gets(&clips).unwrap();
+    // Let the batch land in the server's socket buffer, then shut down
+    // with the replies (possibly) still unclaimed.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+
+    for _ in &clips {
+        client.recv_get().expect("every in-flight request answered");
+    }
+    assert_eq!(service.stats().requests(), 16);
+    // After the answered window the server closes: the next read is EOF.
+    assert!(client.recv_get().is_err());
+}
+
+#[test]
+fn shutdown_wakes_immediately_even_with_a_full_backlog() {
+    // The retired self-connect wakeup hung when the listener backlog
+    // was full; the pipe wakeup must not. Saturate the accept queue
+    // with unaccepted connections beyond the gate, then shut down.
+    let (_repo, _service, handle) = start_with(
+        1,
+        ServerConfig {
+            max_conns: Some(1),
+            ..ServerConfig::default()
+        },
+    );
+    let mut parked = TcpCacheClient::connect(handle.addr()).unwrap();
+    parked.get(ClipId::new(1)).unwrap();
+    // These connections are refused by the admission gate as they are
+    // accepted, plus a few the loop may not have reached yet.
+    let backlog: Vec<TcpStream> = (0..32)
+        .filter_map(|_| TcpStream::connect(handle.addr()).ok())
+        .collect();
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown hung {:?} with a saturated backlog",
+        started.elapsed()
+    );
+    drop(backlog);
+}

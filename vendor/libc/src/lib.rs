@@ -1,0 +1,61 @@
+//! Offline shim for the `libc` crate: the minimal epoll/pipe surface
+//! the serve front-end's event loop needs, nothing more.
+//!
+//! Like every stub under `vendor/` (see `vendor/README.md`), this crate
+//! exists because the build environments have no network access. Unlike
+//! the serde/proptest stubs it is not behaviour-degraded: these are the
+//! real kernel interfaces, declared by hand exactly as the upstream
+//! `libc` crate declares them. Swapping the path dependency for
+//! `libc = "0.2"` on a connected machine changes nothing.
+//!
+//! Everything here is Linux-only (the event loop is `epoll`-based and
+//! gated on `target_os = "linux"` in `clipcache-serve`).
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_void = core::ffi::c_void;
+pub type size_t = usize;
+pub type ssize_t = isize;
+
+/// One epoll readiness record. On x86-64 the kernel declares the struct
+/// packed (12 bytes); other architectures use natural alignment — this
+/// cfg mirrors the upstream `libc` definition bit for bit.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered readiness (report transitions, not levels).
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub const O_NONBLOCK: c_int = 0o4000;
+pub const O_CLOEXEC: c_int = 0o2000000;
+
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    pub fn close(fd: c_int) -> c_int;
+}
