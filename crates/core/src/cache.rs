@@ -15,6 +15,17 @@ use clipcache_workload::Timestamp;
 pub enum AccessOutcome {
     /// The clip was cache resident; the request is serviced locally.
     Hit,
+    /// The head of the clip was resident but its tail was not: display can
+    /// start from the prefix while the tail streams in. Only chunk-granular
+    /// policies over a chunked repository produce this.
+    PrefixHit {
+        /// Resident prefix length at access time, in chunks (≥ 1).
+        resident: u32,
+        /// Total chunk count of the clip.
+        total: u32,
+        /// Clips swapped out to make room for the tail, in eviction order.
+        evicted: Vec<ClipId>,
+    },
     /// The clip was not resident and had to be fetched from the server.
     Miss {
         /// Whether the clip was materialized in the cache afterwards.
@@ -27,10 +38,17 @@ pub enum AccessOutcome {
 }
 
 impl AccessOutcome {
-    /// True for a cache hit.
+    /// True for a full cache hit (a prefix hit is not a full hit).
     #[inline]
     pub fn is_hit(&self) -> bool {
         matches!(self, AccessOutcome::Hit)
+    }
+
+    /// True when display starts from cache-resident bytes immediately
+    /// (a full hit or a prefix hit).
+    #[inline]
+    pub fn starts_display(&self) -> bool {
+        matches!(self, AccessOutcome::Hit | AccessOutcome::PrefixHit { .. })
     }
 
     /// A miss that admitted the clip without evicting anything.
@@ -45,6 +63,7 @@ impl AccessOutcome {
     pub fn evicted(&self) -> &[ClipId] {
         match self {
             AccessOutcome::Hit => &[],
+            AccessOutcome::PrefixHit { evicted, .. } => evicted,
             AccessOutcome::Miss { evicted, .. } => evicted,
         }
     }
@@ -56,6 +75,14 @@ impl AccessOutcome {
 pub enum AccessEvent {
     /// The clip was cache resident; the request is serviced locally.
     Hit,
+    /// The head of the clip was resident but its tail was not; display
+    /// starts from the prefix while the tail streams in.
+    PrefixHit {
+        /// Resident prefix length at access time, in chunks (≥ 1).
+        resident: u32,
+        /// Total chunk count of the clip.
+        total: u32,
+    },
     /// The clip was not resident.
     Miss {
         /// Whether the clip was materialized in the cache afterwards.
@@ -64,10 +91,17 @@ pub enum AccessEvent {
 }
 
 impl AccessEvent {
-    /// True for a cache hit.
+    /// True for a full cache hit (a prefix hit is not a full hit).
     #[inline]
     pub fn is_hit(&self) -> bool {
         matches!(self, AccessEvent::Hit)
+    }
+
+    /// True when display starts from cache-resident bytes immediately
+    /// (a full hit or a prefix hit).
+    #[inline]
+    pub fn starts_display(&self) -> bool {
+        matches!(self, AccessEvent::Hit | AccessEvent::PrefixHit { .. })
     }
 }
 
@@ -154,8 +188,35 @@ pub trait ClipCache: Send {
         let mut evicted = Vec::new();
         match self.access_into(clip, now, &mut evicted) {
             AccessEvent::Hit => AccessOutcome::Hit,
+            AccessEvent::PrefixHit { resident, total } => AccessOutcome::PrefixHit {
+                resident,
+                total,
+                evicted,
+            },
             AccessEvent::Miss { admitted } => AccessOutcome::Miss { admitted, evicted },
         }
+    }
+
+    /// Resident prefix length of `clip` in chunks when the clip is only
+    /// **partially** resident; 0 when absent or fully resident. Whole-clip
+    /// policies never hold partial prefixes (the default); chunk-granular
+    /// policies report their trimmed prefixes here.
+    fn partial_prefix(&self, _clip: ClipId) -> u32 {
+        0
+    }
+
+    /// All partially resident clips as `(clip, resident_prefix_chunks)`,
+    /// in id order. Empty for whole-clip policies (the default).
+    fn partial_clips(&self) -> Vec<(ClipId, u32)> {
+        Vec::new()
+    }
+
+    /// Re-materialize the first `prefix` chunks of `clip` during snapshot
+    /// restore. Whole-clip policies never snapshot partial prefixes, so
+    /// the default re-materializes the full clip via a normal access;
+    /// chunk-granular policies restore the exact prefix.
+    fn restore_prefix(&mut self, clip: ClipId, _prefix: u32, now: Timestamp) {
+        let _ = self.access_into(clip, now, &mut DiscardEvictions);
     }
 
     /// Inform the policy of new accurate access frequencies.

@@ -19,6 +19,9 @@ pub struct ClipCounters {
     pub requests: u64,
     /// Requests serviced from cache.
     pub hits: u64,
+    /// Requests where only a head prefix was resident (display started
+    /// from cache while the tail streamed in). Not counted in `hits`.
+    pub prefix_hits: u64,
     /// Times the clip was materialized.
     pub admissions: u64,
     /// Times the clip was swapped out.
@@ -128,6 +131,7 @@ impl ClipCache for InstrumentedCache {
         c.requests += 1;
         match event {
             AccessEvent::Hit => c.hits += 1,
+            AccessEvent::PrefixHit { .. } => c.prefix_hits += 1,
             AccessEvent::Miss { admitted } => {
                 if admitted {
                     c.admissions += 1;

@@ -10,8 +10,8 @@
 //! `(count, last_ref, id)` is stored verbatim in a [`VictimIndex`].
 
 use crate::cache::{AccessEvent, ClipCache, EvictionSink};
-use crate::policies::admit_with_evictions;
-use crate::space::CacheSpace;
+use crate::policies::{admit_with_evictions, complete_with_evictions, IndexVictims};
+use crate::space::{CacheSpace, Residency};
 use crate::victim_index::{VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
@@ -83,22 +83,54 @@ impl ClipCache for LfuCache {
         self.counts[clip.index()] += 1;
         self.last_ref[clip.index()] = now;
         let key = self.key(clip);
-        if self.space.contains(clip) {
-            self.index.upsert(clip, key);
-            return AccessEvent::Hit;
+        match self.space.residency(clip) {
+            Residency::Full => {
+                self.index.upsert(clip, key);
+                AccessEvent::Hit
+            }
+            Residency::Partial(resident) => {
+                let total = self.space.chunks_of(clip);
+                self.index.remove(clip);
+                complete_with_evictions(
+                    &mut self.space,
+                    clip,
+                    &mut IndexVictims(&mut self.index),
+                    evictions,
+                );
+                self.index.upsert(clip, key);
+                AccessEvent::PrefixHit { resident, total }
+            }
+            Residency::Absent => {
+                let event = admit_with_evictions(
+                    &mut self.space,
+                    clip,
+                    &mut IndexVictims(&mut self.index),
+                    evictions,
+                );
+                if event == (AccessEvent::Miss { admitted: true }) {
+                    self.index.upsert(clip, key);
+                }
+                event
+            }
         }
-        let index = &mut self.index;
-        let event = admit_with_evictions(
-            &mut self.space,
-            clip,
-            |_space| index.pop_min().0,
-            |_| {},
-            evictions,
-        );
-        if event == (AccessEvent::Miss { admitted: true }) {
-            self.index.upsert(clip, key);
+    }
+
+    fn partial_prefix(&self, clip: ClipId) -> u32 {
+        match self.space.residency(clip) {
+            Residency::Partial(p) => p,
+            _ => 0,
         }
-        event
+    }
+
+    fn partial_clips(&self) -> Vec<(ClipId, u32)> {
+        self.space.partials()
+    }
+
+    fn restore_prefix(&mut self, clip: ClipId, prefix: u32, now: Timestamp) {
+        self.counts[clip.index()] += 1;
+        self.last_ref[clip.index()] = now;
+        self.space.insert_prefix(clip, prefix);
+        self.index.upsert(clip, self.key(clip));
     }
 }
 

@@ -14,8 +14,8 @@
 //! min-(complement, complement) one).
 
 use crate::cache::{AccessEvent, ClipCache, EvictionSink};
-use crate::policies::admit_with_evictions;
-use crate::space::CacheSpace;
+use crate::policies::{admit_with_evictions, complete_with_evictions, IndexVictims};
+use crate::space::{CacheSpace, Residency};
 use crate::victim_index::{VictimBackend, VictimIndex};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
@@ -114,25 +114,65 @@ impl ClipCache for RecencyCache {
         now: Timestamp,
         evictions: &mut dyn EvictionSink,
     ) -> AccessEvent {
-        if self.space.contains(clip) {
-            // FIFO's key is the admission time: hits don't reorder it.
-            if self.variant != RecencyVariant::Fifo {
-                self.index.upsert(clip, self.variant.key(now, clip));
+        match self.space.residency(clip) {
+            Residency::Full => {
+                // FIFO's key is the admission time: hits don't reorder it.
+                if self.variant != RecencyVariant::Fifo {
+                    self.index.upsert(clip, self.variant.key(now, clip));
+                }
+                AccessEvent::Hit
             }
-            return AccessEvent::Hit;
+            Residency::Partial(resident) => {
+                let total = self.space.chunks_of(clip);
+                // FIFO keeps the admission-time key across the completion.
+                let key = if self.variant == RecencyVariant::Fifo {
+                    self.index
+                        .score_of(clip)
+                        .expect("partially resident clip must be indexed")
+                } else {
+                    self.variant.key(now, clip)
+                };
+                // Deregister so completion can't pick the clip as its own
+                // victim.
+                self.index.remove(clip);
+                complete_with_evictions(
+                    &mut self.space,
+                    clip,
+                    &mut IndexVictims(&mut self.index),
+                    evictions,
+                );
+                self.index.upsert(clip, key);
+                AccessEvent::PrefixHit { resident, total }
+            }
+            Residency::Absent => {
+                let event = admit_with_evictions(
+                    &mut self.space,
+                    clip,
+                    &mut IndexVictims(&mut self.index),
+                    evictions,
+                );
+                if event == (AccessEvent::Miss { admitted: true }) {
+                    self.index.upsert(clip, self.variant.key(now, clip));
+                }
+                event
+            }
         }
-        let index = &mut self.index;
-        let event = admit_with_evictions(
-            &mut self.space,
-            clip,
-            |_space| index.pop_min().0,
-            |_| {},
-            evictions,
-        );
-        if event == (AccessEvent::Miss { admitted: true }) {
-            self.index.upsert(clip, self.variant.key(now, clip));
+    }
+
+    fn partial_prefix(&self, clip: ClipId) -> u32 {
+        match self.space.residency(clip) {
+            Residency::Partial(p) => p,
+            _ => 0,
         }
-        event
+    }
+
+    fn partial_clips(&self) -> Vec<(ClipId, u32)> {
+        self.space.partials()
+    }
+
+    fn restore_prefix(&mut self, clip: ClipId, prefix: u32, now: Timestamp) {
+        self.space.insert_prefix(clip, prefix);
+        self.index.upsert(clip, self.variant.key(now, clip));
     }
 }
 

@@ -19,8 +19,8 @@
 
 use crate::cache::{AccessEvent, ClipCache, EvictionSink};
 use crate::history::ReferenceHistory;
-use crate::policies::admit_with_evictions;
-use crate::space::CacheSpace;
+use crate::policies::{admit_with_evictions, complete_with_evictions, ScanVictims};
+use crate::space::{CacheSpace, Residency};
 use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_workload::Timestamp;
 use std::sync::Arc;
@@ -98,31 +98,49 @@ impl ClipCache for LruSKCache {
         evictions: &mut dyn EvictionSink,
     ) -> AccessEvent {
         self.history.record(clip, now);
-        if self.space.contains(clip) {
-            return AccessEvent::Hit;
-        }
         let history = &self.history;
-        admit_with_evictions(
-            &mut self.space,
-            clip,
-            |space| {
-                space
-                    .iter_resident()
-                    .filter(|&c| c != clip)
-                    .max_by(|&a, &b| {
-                        let sa = Self::eviction_score(history, space, a, now);
-                        let sb = Self::eviction_score(history, space, b, now);
-                        // Deterministic tie-break: prefer evicting the
-                        // lower id (compare ids reversed under max_by).
-                        sa.partial_cmp(&sb)
-                            .expect("scores are finite")
-                            .then_with(|| b.cmp(&a))
-                    })
-                    .expect("eviction requested from an empty cache")
-            },
-            |_| {},
-            evictions,
-        )
+        let mut source = ScanVictims(|space: &CacheSpace| {
+            space
+                .iter_resident()
+                .filter(|&c| c != clip)
+                .max_by(|&a, &b| {
+                    let sa = Self::eviction_score(history, space, a, now);
+                    let sb = Self::eviction_score(history, space, b, now);
+                    // Deterministic tie-break: prefer evicting the
+                    // lower id (compare ids reversed under max_by).
+                    sa.partial_cmp(&sb)
+                        .expect("scores are finite")
+                        .then_with(|| b.cmp(&a))
+                })
+                .expect("eviction requested from an empty cache")
+        });
+        match self.space.residency(clip) {
+            Residency::Full => AccessEvent::Hit,
+            Residency::Partial(resident) => {
+                let total = self.space.chunks_of(clip);
+                complete_with_evictions(&mut self.space, clip, &mut source, evictions);
+                AccessEvent::PrefixHit { resident, total }
+            }
+            Residency::Absent => {
+                admit_with_evictions(&mut self.space, clip, &mut source, evictions)
+            }
+        }
+    }
+
+    fn partial_prefix(&self, clip: ClipId) -> u32 {
+        match self.space.residency(clip) {
+            Residency::Partial(p) => p,
+            _ => 0,
+        }
+    }
+
+    fn partial_clips(&self) -> Vec<(ClipId, u32)> {
+        self.space.partials()
+    }
+
+    fn restore_prefix(&mut self, clip: ClipId, prefix: u32, now: Timestamp) {
+        self.history.record(clip, now);
+        self.space.insert_prefix(clip, prefix);
     }
 }
 

@@ -52,23 +52,71 @@ pub mod size;
 
 use crate::cache::{AccessEvent, EvictionSink};
 use crate::space::CacheSpace;
+use crate::victim_index::VictimIndex;
 use clipcache_media::ClipId;
 
-/// The shared miss path: evict victims chosen by `next_victim` until
+/// A policy's victim order, as the shared admit/complete skeletons see it.
+///
+/// `peek` must return the current victim **without** dequeuing it — on a
+/// chunked repository a victim is reclaimed one tail chunk at a time, so
+/// a partially trimmed victim must stay ranked for the next miss.
+/// `on_evict` fires only when a victim becomes fully absent and must drop
+/// the policy's victim-index entry (and any per-clip metadata that dies
+/// with eviction).
+pub(crate) trait VictimSource {
+    /// The clip the policy would evict next (must be resident).
+    fn peek(&mut self, space: &CacheSpace) -> ClipId;
+    /// A victim became fully absent.
+    fn on_evict(&mut self, clip: ClipId);
+}
+
+/// [`VictimSource`] over a [`VictimIndex`]: peek the minimum, deregister
+/// on full eviction. Decision-identical to the historical pop-the-minimum
+/// contract (see [`VictimIndex::peek_min`]).
+pub(crate) struct IndexVictims<'a, P: PartialOrd + Copy>(pub &'a mut VictimIndex<P>);
+
+impl<P: PartialOrd + Copy> VictimSource for IndexVictims<'_, P> {
+    fn peek(&mut self, _space: &CacheSpace) -> ClipId {
+        self.0.peek_min().0
+    }
+
+    fn on_evict(&mut self, clip: ClipId) {
+        self.0.remove(clip);
+    }
+}
+
+/// [`VictimSource`] for scan-ranked policies with no index to maintain:
+/// the closure re-ranks residents on every query.
+pub(crate) struct ScanVictims<F: FnMut(&CacheSpace) -> ClipId>(pub F);
+
+impl<F: FnMut(&CacheSpace) -> ClipId> VictimSource for ScanVictims<F> {
+    fn peek(&mut self, space: &CacheSpace) -> ClipId {
+        (self.0)(space)
+    }
+
+    fn on_evict(&mut self, _clip: ClipId) {}
+}
+
+/// The shared miss path: evict victims chosen by `source` until
 /// `incoming` fits, then materialize it.
 ///
-/// Returns the event (`admitted = false` iff the clip can never fit);
-/// evicted ids stream into `sink` in eviction order, so the path
-/// allocates nothing itself. `on_evict` lets the policy drop its
-/// per-clip metadata as victims leave.
+/// Victims are reclaimed **tail-inward, one chunk at a time**
+/// ([`CacheSpace::trim_tail_chunk`]), so on a chunked repository the last
+/// victim may survive as a resident prefix instead of leaving entirely.
+/// On an unchunked repository every clip is one chunk and this degenerates
+/// to exactly the historical whole-clip eviction loop.
+///
+/// Evicted ids (full departures only) stream into `sink` in eviction
+/// order, so the path allocates nothing itself.
+///
+/// Returns the event (`admitted = false` iff the clip can never fit).
 ///
 /// # Panics
-/// If `next_victim` returns a non-resident clip (a policy bug).
+/// If `source` peeks a non-resident clip (a policy bug).
 pub(crate) fn admit_with_evictions(
     space: &mut CacheSpace,
     incoming: ClipId,
-    mut next_victim: impl FnMut(&CacheSpace) -> ClipId,
-    mut on_evict: impl FnMut(ClipId),
+    source: &mut impl VictimSource,
     sink: &mut dyn EvictionSink,
 ) -> AccessEvent {
     if !space.can_ever_fit(incoming) {
@@ -76,13 +124,57 @@ pub(crate) fn admit_with_evictions(
         return AccessEvent::Miss { admitted: false };
     }
     while !space.fits_now(incoming) {
-        let victim = next_victim(space);
-        space.remove(victim);
-        on_evict(victim);
-        sink.record_eviction(victim);
+        let victim = source.peek(space);
+        trim_until(space, victim, |s| s.fits_now(incoming), source, sink);
     }
     space.insert(incoming);
     AccessEvent::Miss { admitted: true }
+}
+
+/// The shared prefix-completion path: evict until `clip`'s missing tail
+/// fits, then extend its partial prefix to full residency.
+///
+/// Same `source` contract as [`admit_with_evictions`]. The caller must
+/// ensure `source` never peeks `clip` itself (policies deregister the
+/// clip from their victim order first). Termination is guaranteed:
+/// `clip` was admitted once, so its full size fits the capacity, and its
+/// resident prefix is never reclaimed here.
+pub(crate) fn complete_with_evictions(
+    space: &mut CacheSpace,
+    clip: ClipId,
+    source: &mut impl VictimSource,
+    sink: &mut dyn EvictionSink,
+) {
+    while !space.tail_fits_now(clip) {
+        let victim = source.peek(space);
+        debug_assert_ne!(
+            victim, clip,
+            "policy chose the completing clip as its own victim"
+        );
+        trim_until(space, victim, |s| s.tail_fits_now(clip), source, sink);
+    }
+    space.complete(clip);
+}
+
+/// Trim `victim` tail-inward until it is gone (then report the eviction)
+/// or `done` is satisfied, whichever comes first.
+fn trim_until(
+    space: &mut CacheSpace,
+    victim: ClipId,
+    done: impl Fn(&CacheSpace) -> bool,
+    source: &mut impl VictimSource,
+    sink: &mut dyn EvictionSink,
+) {
+    loop {
+        if space.trim_tail_chunk(victim) {
+            source.on_evict(victim);
+            sink.record_eviction(victim);
+            return;
+        }
+        if done(space) {
+            return;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,16 +251,28 @@ pub(crate) mod testutil {
             cache.used(),
             cache.capacity()
         );
-        let total: ByteSize = cache
+        let full: ByteSize = cache
             .resident_clips()
             .iter()
             .map(|&c| repo.size_of(c))
             .sum();
+        let partial: ByteSize = cache
+            .partial_clips()
+            .iter()
+            .map(|&(c, p)| repo.prefix_bytes(c, p))
+            .sum();
         assert_eq!(
-            total,
+            full + partial,
             cache.used(),
             "{}: resident sizes disagree with used()",
             cache.name()
         );
+        for (c, p) in cache.partial_clips() {
+            assert!(
+                p > 0 && p < repo.chunks_of(c),
+                "{}: {c} reported partial with out-of-range prefix {p}",
+                cache.name()
+            );
+        }
     }
 }

@@ -26,10 +26,14 @@ use std::sync::Arc;
 /// The snapshot schema version this build writes and understands.
 ///
 /// Serialized snapshots carry `"version"` so a binary restoring an
-/// on-disk checkpoint written by a *future* schema fails loudly instead
-/// of restoring garbage. Snapshots without the field (written before
-/// versioning existed) are read as version 1.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// on-disk checkpoint written by a different schema fails loudly instead
+/// of restoring garbage. Version 2 added chunk-granular residency: the
+/// `resident` list holds fully resident clips and `partial` holds
+/// `[clip, prefix_chunks]` pairs. Version 1 (whole-clip residency, no
+/// `partial` field) is rejected by name, as are snapshots without the
+/// field — a v1 restore under a chunked repository would silently drop
+/// every partial prefix.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// A durable snapshot of a cache's contents.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,8 +44,11 @@ pub struct CacheSnapshot {
     pub capacity: ByteSize,
     /// The virtual clock at snapshot time.
     pub tick: Timestamp,
-    /// The resident clip set, in id order.
+    /// The fully resident clip set, in id order.
     pub resident: Vec<ClipId>,
+    /// Partially resident clips as `(clip, resident_prefix_chunks)`, in
+    /// id order. Empty for whole-clip policies and unchunked repositories.
+    pub partial: Vec<(ClipId, u32)>,
 }
 
 impl CacheSnapshot {
@@ -51,38 +58,47 @@ impl CacheSnapshot {
     pub fn take(cache: &dyn ClipCache, policy: impl Into<PolicySpec>, tick: Timestamp) -> Self {
         let mut resident = cache.resident_clips();
         resident.sort();
+        let mut partial = cache.partial_clips();
+        partial.sort();
         CacheSnapshot {
             policy: policy.into(),
             capacity: cache.capacity(),
             tick,
             resident,
+            partial,
         }
     }
 
     /// Serialize to JSON (the durable on-disk form):
-    /// `{"version":1,"policy":"dynsimple:2","capacity":…,"tick":…,"resident":[…]}`.
+    /// `{"version":2,"policy":"dynsimple:2","capacity":…,"tick":…,"resident":[…],"partial":[[id,chunks],…]}`.
     /// The policy is stored as its [`PolicySpec::spelling`] (backend
     /// suffix included when not scan) so the file round-trips without
     /// serde (stubbed offline, see `vendor/README.md`) and stays
     /// human-editable.
     pub fn to_json(&self) -> String {
         let ids: Vec<String> = self.resident.iter().map(|c| c.get().to_string()).collect();
+        let partials: Vec<String> = self
+            .partial
+            .iter()
+            .map(|(c, p)| format!("[{},{}]", c.get(), p))
+            .collect();
         format!(
-            "{{\"version\":{},\"policy\":\"{}\",\"capacity\":{},\"tick\":{},\"resident\":[{}]}}",
+            "{{\"version\":{},\"policy\":\"{}\",\"capacity\":{},\"tick\":{},\"resident\":[{}],\"partial\":[{}]}}",
             SNAPSHOT_VERSION,
             self.policy.spelling(),
             self.capacity.as_u64(),
             self.tick.get(),
-            ids.join(",")
+            ids.join(","),
+            partials.join(",")
         )
     }
 
     /// Deserialize from JSON (the [`to_json`](Self::to_json) shape).
     ///
-    /// A `version` other than [`SNAPSHOT_VERSION`] is rejected loudly —
-    /// a checkpoint written by a future schema must never be restored as
-    /// if it were understood. Snapshots without the field (pre-versioning
-    /// files) are accepted as version 1.
+    /// A `version` other than [`SNAPSHOT_VERSION`] is rejected loudly,
+    /// naming both versions — a checkpoint written by the whole-clip v1
+    /// schema (or a future one) must never be restored as if it were
+    /// understood. Snapshots without the field are treated as v1.
     pub fn from_json(json: &str) -> Result<Self, String> {
         let v = clipcache_workload::json::parse(json)?;
         Self::from_value(&v)
@@ -92,16 +108,20 @@ impl CacheSnapshot {
     /// for callers that embed a snapshot inside a larger document (the
     /// serve layer's durable checkpoint files).
     pub fn from_value(v: &clipcache_workload::json::Json) -> Result<Self, String> {
-        if let Some(version) = v.get("version") {
-            let version = version
+        let version = match v.get("version") {
+            Some(version) => version
                 .as_u64()
-                .ok_or("snapshot `version` must be a non-negative integer")?;
-            if version != SNAPSHOT_VERSION {
-                return Err(format!(
-                    "snapshot version {version} is not supported (this build reads \
-                     version {SNAPSHOT_VERSION}); refusing to restore"
-                ));
-            }
+                .ok_or("snapshot `version` must be a non-negative integer")?,
+            // Pre-versioning files predate chunk-granular residency: v1.
+            None => 1,
+        };
+        if version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {version} is not supported (this build reads \
+                 version {SNAPSHOT_VERSION}, which added chunk-granular residency; \
+                 version 1 snapshots are whole-clip and cannot express partial \
+                 prefixes); refusing to restore"
+            ));
         }
         let policy = v
             .get("policy")
@@ -128,11 +148,32 @@ impl CacheSnapshot {
                 .ok_or("resident ids must be positive 32-bit integers")?;
             resident.push(ClipId::new(id as u32));
         }
+        let mut partial = Vec::new();
+        for pair in v
+            .get("partial")
+            .and_then(|p| p.as_array())
+            .ok_or("snapshot needs a `partial` [clip, prefix_chunks] array")?
+        {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("partial entries must be [clip, prefix_chunks] pairs")?;
+            let id = pair[0]
+                .as_u64()
+                .filter(|&id| id >= 1 && id <= u32::MAX as u64)
+                .ok_or("partial clip ids must be positive 32-bit integers")?;
+            let chunks = pair[1]
+                .as_u64()
+                .filter(|&p| p >= 1 && p <= u32::MAX as u64)
+                .ok_or("partial prefix lengths must be positive 32-bit integers")?;
+            partial.push((ClipId::new(id as u32), chunks as u32));
+        }
         Ok(CacheSnapshot {
             policy,
             capacity: ByteSize::bytes(capacity),
             tick: Timestamp(tick),
             resident,
+            partial,
         })
     }
 }
@@ -155,6 +196,10 @@ pub fn restore(
     for &clip in &snapshot.resident {
         tick = tick.next();
         cache.access(clip, tick);
+    }
+    for &(clip, prefix) in &snapshot.partial {
+        tick = tick.next();
+        cache.restore_prefix(clip, prefix, tick);
     }
     Ok((cache, tick))
 }
@@ -226,29 +271,82 @@ mod tests {
     }
 
     #[test]
-    fn unknown_snapshot_versions_are_rejected_loudly() {
+    fn other_snapshot_versions_are_rejected_loudly() {
         let repo = Arc::new(paper::variable_sized_repository_of(12));
         let (cache, tick) = warmed(PolicyKind::Lru, &repo);
         let json = CacheSnapshot::take(cache.as_ref(), PolicyKind::Lru, tick).to_json();
-        // A future schema bump must fail, not restore garbage.
-        for future in [
-            json.replace("\"version\":1", "\"version\":2"),
-            json.replace("\"version\":1", "\"version\":999"),
-            json.replace("\"version\":1", "\"version\":0"),
+        // Old (whole-clip v1) and future schemas must both fail by name,
+        // not restore garbage.
+        for other in [
+            json.replace("\"version\":2", "\"version\":1"),
+            json.replace("\"version\":2", "\"version\":999"),
+            json.replace("\"version\":2", "\"version\":0"),
         ] {
-            let err = CacheSnapshot::from_json(&future).unwrap_err();
+            let err = CacheSnapshot::from_json(&other).unwrap_err();
             assert!(err.contains("not supported"), "weak rejection: {err}");
+            assert!(
+                err.contains("version 2"),
+                "rejection must name the supported version: {err}"
+            );
         }
+        // The v1 rejection explains what v1 could not express.
+        let err =
+            CacheSnapshot::from_json(&json.replace("\"version\":2", "\"version\":1")).unwrap_err();
+        assert!(
+            err.contains("whole-clip"),
+            "v1 rejection must say why: {err}"
+        );
         // Non-integer versions are malformed, not silently defaulted.
         assert!(
-            CacheSnapshot::from_json(&json.replace("\"version\":1", "\"version\":\"1\"")).is_err()
+            CacheSnapshot::from_json(&json.replace("\"version\":2", "\"version\":\"2\"")).is_err()
         );
-        // Pre-versioning snapshots (no field) still restore as v1.
-        let legacy = json.replace("\"version\":1,", "");
-        assert_eq!(
-            CacheSnapshot::from_json(&legacy).unwrap(),
-            CacheSnapshot::from_json(&json).unwrap()
+        // Pre-versioning snapshots (no field) read as v1 → rejected too.
+        let legacy = json.replace("\"version\":2,", "");
+        let err = CacheSnapshot::from_json(&legacy).unwrap_err();
+        assert!(
+            err.contains("version 1"),
+            "missing field must read as v1: {err}"
         );
+    }
+
+    #[test]
+    fn partial_prefixes_round_trip_and_restore() {
+        // A chunked repo under LRU: force a partial prefix by admitting a
+        // clip that only fits after trimming a victim's tail.
+        let repo =
+            Arc::new(paper::variable_sized_repository_of(12).with_chunk_size(ByteSize::mb(100)));
+        let spec = PolicySpec::from(PolicyKind::Lru);
+        let mut cache = spec.build(
+            Arc::clone(&repo),
+            repo.cache_capacity_for_ratio(0.2),
+            1,
+            None,
+        );
+        let mut tick = Timestamp::ZERO;
+        for req in RequestGenerator::new(repo.len(), 0.27, 0, 600, 11) {
+            tick = req.at;
+            cache.access(req.clip, req.at);
+        }
+        let snap = CacheSnapshot::take(cache.as_ref(), spec, tick);
+        assert!(
+            !snap.partial.is_empty(),
+            "trace must leave at least one partial prefix for the round-trip to mean anything"
+        );
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"partial\":[["),
+            "partials must serialize: {json}"
+        );
+        let back = CacheSnapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        let (restored, _) = restore(&back, Arc::clone(&repo), 1, None).unwrap();
+        let mut a = cache.resident_clips();
+        let mut b = restored.resident_clips();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "full residency must restore exactly");
+        assert_eq!(restored.partial_clips(), cache.partial_clips());
+        assert_eq!(restored.used(), cache.used());
     }
 
     #[test]

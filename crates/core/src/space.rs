@@ -4,9 +4,27 @@
 //! used" state to [`CacheSpace`], so the capacity invariant lives in exactly
 //! one place. The structure is dense (indexed by [`ClipId::index`]) because
 //! repositories are fixed, known universes of clips.
+//!
+//! Residency is **chunk-granular**: each clip is resident as a *prefix* of
+//! `p` chunks out of its total (see [`Repository::chunks_of`]). Storing the
+//! prefix length — rather than a per-chunk bitmap — makes the prefix-retention
+//! invariant ("never keep chunk `k+1` without chunk `k`") structural: it is
+//! impossible to represent an orphaned tail chunk. Whole-clip caching is the
+//! degenerate case where every clip has exactly one chunk, so `p ∈ {0, 1}`.
 
 use clipcache_media::{ByteSize, ClipId, Repository};
 use std::sync::Arc;
+
+/// How much of a clip is resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// No chunk of the clip is resident.
+    Absent,
+    /// The first `n` chunks are resident (`0 < n < chunks_of(clip)`).
+    Partial(u32),
+    /// Every chunk of the clip is resident.
+    Full,
+}
 
 /// Residency map + byte accounting for one cache.
 #[derive(Debug, Clone)]
@@ -14,7 +32,11 @@ pub struct CacheSpace {
     repo: Arc<Repository>,
     capacity: ByteSize,
     used: ByteSize,
-    resident: Vec<bool>,
+    /// Resident prefix length of each clip, in chunks (0 = absent).
+    prefix: Vec<u32>,
+    /// Total chunk count of each clip (always ≥ 1), precomputed.
+    chunks: Vec<u32>,
+    /// Clips with any residency (partial or full).
     resident_count: usize,
 }
 
@@ -22,11 +44,13 @@ impl CacheSpace {
     /// Create an empty cache over `repo` with byte capacity `capacity`.
     pub fn new(repo: Arc<Repository>, capacity: ByteSize) -> Self {
         let n = repo.len();
+        let chunks = repo.ids().map(|id| repo.chunks_of(id)).collect();
         CacheSpace {
             repo,
             capacity,
             used: ByteSize::ZERO,
-            resident: vec![false; n],
+            prefix: vec![0; n],
+            chunks,
             resident_count: 0,
         }
     }
@@ -61,13 +85,38 @@ impl CacheSpace {
         self.capacity.saturating_sub(self.used)
     }
 
-    /// Whether `clip` is resident.
+    /// Whether `clip` is **fully** resident.
     #[inline]
     pub fn contains(&self, clip: ClipId) -> bool {
-        self.resident[clip.index()]
+        self.prefix[clip.index()] == self.chunks[clip.index()]
     }
 
-    /// Number of resident clips.
+    /// How much of `clip` is resident.
+    #[inline]
+    pub fn residency(&self, clip: ClipId) -> Residency {
+        let p = self.prefix[clip.index()];
+        if p == 0 {
+            Residency::Absent
+        } else if p == self.chunks[clip.index()] {
+            Residency::Full
+        } else {
+            Residency::Partial(p)
+        }
+    }
+
+    /// Resident prefix length of `clip`, in chunks (0 = absent).
+    #[inline]
+    pub fn resident_prefix(&self, clip: ClipId) -> u32 {
+        self.prefix[clip.index()]
+    }
+
+    /// Total chunk count of `clip` (≥ 1).
+    #[inline]
+    pub fn chunks_of(&self, clip: ClipId) -> u32 {
+        self.chunks[clip.index()]
+    }
+
+    /// Number of clips with any residency (partial or full).
     #[inline]
     pub fn resident_count(&self) -> usize {
         self.resident_count
@@ -77,6 +126,18 @@ impl CacheSpace {
     #[inline]
     pub fn size_of(&self, clip: ClipId) -> ByteSize {
         self.repo.size_of(clip)
+    }
+
+    /// Bytes of `clip` currently resident.
+    #[inline]
+    pub fn resident_bytes(&self, clip: ClipId) -> ByteSize {
+        self.repo.prefix_bytes(clip, self.prefix[clip.index()])
+    }
+
+    /// Bytes of `clip` **not** resident (its missing tail).
+    #[inline]
+    pub fn tail_bytes(&self, clip: ClipId) -> ByteSize {
+        self.size_of(clip) - self.resident_bytes(clip)
     }
 
     /// Whether `clip` could ever fit (size ≤ capacity).
@@ -91,33 +152,54 @@ impl CacheSpace {
         self.size_of(clip) <= self.free()
     }
 
-    /// All resident clip ids, in id order.
+    /// Whether `clip`'s missing tail fits in the current free space.
+    #[inline]
+    pub fn tail_fits_now(&self, clip: ClipId) -> bool {
+        self.tail_bytes(clip) <= self.free()
+    }
+
+    /// All **fully** resident clip ids, in id order.
     pub fn resident_ids(&self) -> Vec<ClipId> {
-        self.resident
+        self.prefix
             .iter()
+            .zip(self.chunks.iter())
             .enumerate()
-            .filter(|&(_, &r)| r)
+            .filter(|&(_, (&p, &t))| p == t)
             .map(|(i, _)| ClipId::from_index(i))
             .collect()
     }
 
-    /// Iterate resident clip ids without allocating.
+    /// Iterate clip ids with **any** residency (partial or full) without
+    /// allocating. Victim scans use this: a partially resident clip still
+    /// holds bytes and must stay evictable.
     pub fn iter_resident(&self) -> impl Iterator<Item = ClipId> + '_ {
-        self.resident
+        self.prefix
             .iter()
             .enumerate()
-            .filter(|&(_, &r)| r)
+            .filter(|&(_, &p)| p > 0)
             .map(|(i, _)| ClipId::from_index(i))
     }
 
-    /// Materialize `clip`.
+    /// All partially resident clips as `(clip, resident_prefix)`, in id
+    /// order. Empty for whole-clip policies and unchunked repositories.
+    pub fn partials(&self) -> Vec<(ClipId, u32)> {
+        self.prefix
+            .iter()
+            .zip(self.chunks.iter())
+            .enumerate()
+            .filter(|&(_, (&p, &t))| p > 0 && p < t)
+            .map(|(i, (&p, _))| (ClipId::from_index(i), p))
+            .collect()
+    }
+
+    /// Materialize `clip` in full.
     ///
     /// # Panics
-    /// If the clip is already resident or does not fit in free space —
-    /// policies must evict first; violating this is a policy bug.
+    /// If the clip is already (partially) resident or does not fit in free
+    /// space — policies must evict first; violating this is a policy bug.
     pub fn insert(&mut self, clip: ClipId) {
         assert!(
-            !self.resident[clip.index()],
+            self.prefix[clip.index()] == 0,
             "{clip} inserted while already resident"
         );
         let size = self.size_of(clip);
@@ -126,23 +208,91 @@ impl CacheSpace {
             "{clip} ({size}) exceeds free space ({free})",
             free = self.free()
         );
-        self.resident[clip.index()] = true;
+        self.prefix[clip.index()] = self.chunks[clip.index()];
         self.resident_count += 1;
         self.used += size;
     }
 
-    /// Swap `clip` out.
+    /// Materialize the first `prefix` chunks of `clip` (snapshot restore).
     ///
     /// # Panics
-    /// If the clip is not resident.
+    /// If the clip is already resident, `prefix` is zero or out of range,
+    /// or the prefix bytes do not fit in free space.
+    pub fn insert_prefix(&mut self, clip: ClipId, prefix: u32) {
+        assert!(
+            self.prefix[clip.index()] == 0,
+            "{clip} inserted while already resident"
+        );
+        let total = self.chunks[clip.index()];
+        assert!(
+            prefix > 0 && prefix <= total,
+            "{clip}: prefix {prefix} out of range (1..={total})"
+        );
+        let bytes = self.repo.prefix_bytes(clip, prefix);
+        assert!(
+            bytes <= self.free(),
+            "{clip} prefix ({bytes}) exceeds free space ({free})",
+            free = self.free()
+        );
+        self.prefix[clip.index()] = prefix;
+        self.resident_count += 1;
+        self.used += bytes;
+    }
+
+    /// Swap `clip` out entirely (whatever prefix is resident).
+    ///
+    /// # Panics
+    /// If the clip is not resident at all.
     pub fn remove(&mut self, clip: ClipId) {
         assert!(
-            self.resident[clip.index()],
+            self.prefix[clip.index()] > 0,
             "{clip} evicted while not resident"
         );
-        self.resident[clip.index()] = false;
+        self.used -= self.resident_bytes(clip);
+        self.prefix[clip.index()] = 0;
         self.resident_count -= 1;
-        self.used -= self.size_of(clip);
+    }
+
+    /// Evict the last resident chunk of `clip` (tail-inward trimming).
+    ///
+    /// Returns `true` when the clip is now fully absent.
+    ///
+    /// # Panics
+    /// If the clip is not resident at all.
+    pub fn trim_tail_chunk(&mut self, clip: ClipId) -> bool {
+        let p = self.prefix[clip.index()];
+        assert!(p > 0, "{clip} trimmed while not resident");
+        let freed = self.repo.prefix_bytes(clip, p) - self.repo.prefix_bytes(clip, p - 1);
+        self.used -= freed;
+        self.prefix[clip.index()] = p - 1;
+        if p == 1 {
+            self.resident_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Extend a partial prefix to full residency (tail prefetch landed).
+    ///
+    /// # Panics
+    /// If the clip is not partially resident or the tail does not fit in
+    /// free space — policies must evict first.
+    pub fn complete(&mut self, clip: ClipId) {
+        let p = self.prefix[clip.index()];
+        let total = self.chunks[clip.index()];
+        assert!(
+            p > 0 && p < total,
+            "{clip} completed while not partially resident (prefix {p}/{total})"
+        );
+        let tail = self.tail_bytes(clip);
+        assert!(
+            tail <= self.free(),
+            "{clip} tail ({tail}) exceeds free space ({free})",
+            free = self.free()
+        );
+        self.used += tail;
+        self.prefix[clip.index()] = total;
     }
 }
 
@@ -153,6 +303,13 @@ mod tests {
 
     fn space(cap_gb: u64) -> CacheSpace {
         let repo = Arc::new(paper::variable_sized_repository_of(12));
+        CacheSpace::new(repo, ByteSize::gb(cap_gb))
+    }
+
+    /// Same repo, 100 MB chunks → the multi-GB videos have many chunks.
+    fn chunked_space(cap_gb: u64) -> CacheSpace {
+        let repo =
+            Arc::new(paper::variable_sized_repository_of(12).with_chunk_size(ByteSize::mb(100)));
         CacheSpace::new(repo, ByteSize::gb(cap_gb))
     }
 
@@ -220,5 +377,97 @@ mod tests {
         s.insert(ClipId::new(2));
         assert_eq!(s.resident_ids(), vec![ClipId::new(2), ClipId::new(5)]);
         assert_eq!(s.iter_resident().count(), 2);
+    }
+
+    #[test]
+    fn unchunked_residency_is_binary() {
+        let mut s = space(10);
+        let c = ClipId::new(1);
+        assert_eq!(s.residency(c), Residency::Absent);
+        assert_eq!(s.chunks_of(c), 1);
+        s.insert(c);
+        assert_eq!(s.residency(c), Residency::Full);
+        assert_eq!(s.resident_prefix(c), 1);
+        assert!(s.trim_tail_chunk(c)); // one chunk → trimming == eviction
+        assert_eq!(s.residency(c), Residency::Absent);
+        assert_eq!(s.used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn trim_tail_walks_inward_and_frees_chunk_bytes() {
+        let mut s = chunked_space(10);
+        let c = ClipId::new(1); // 3.5 GB → 35 × 100 MB chunks
+        assert_eq!(s.chunks_of(c), 35);
+        s.insert(c);
+        let full = s.used();
+        assert!(!s.trim_tail_chunk(c));
+        assert_eq!(s.residency(c), Residency::Partial(34));
+        assert_eq!(full - s.used(), ByteSize::mb(100));
+        assert!(!s.contains(c)); // partial ≠ full residency
+        assert_eq!(s.resident_count(), 1); // ...but still holds bytes
+        assert_eq!(s.partials(), vec![(c, 34)]);
+        assert_eq!(s.resident_ids(), vec![]); // full-only view
+        assert_eq!(s.iter_resident().collect::<Vec<_>>(), vec![c]);
+    }
+
+    #[test]
+    fn trim_last_partial_chunk_first() {
+        // 3.5 GB / 100 MB = exactly 35 chunks; clip 3 is 1.8 GB = 18 chunks.
+        // Use a chunk size that doesn't divide the clip: 1.8 GB / 700 MB →
+        // 3 chunks, last one 400 MB.
+        let repo =
+            Arc::new(paper::variable_sized_repository_of(12).with_chunk_size(ByteSize::mb(700)));
+        let mut s = CacheSpace::new(repo, ByteSize::gb(10));
+        let c = ClipId::new(3);
+        assert_eq!(s.chunks_of(c), 3);
+        s.insert(c);
+        let full = s.used();
+        assert!(!s.trim_tail_chunk(c)); // sheds the short 400 MB tail chunk
+        assert_eq!(full - s.used(), s.size_of(c) - ByteSize::mb(1400));
+        assert!(!s.trim_tail_chunk(c)); // sheds a full 700 MB chunk
+        assert!(s.trim_tail_chunk(c)); // sheds the head chunk → gone
+        assert_eq!(s.used(), ByteSize::ZERO);
+        assert_eq!(s.resident_count(), 0);
+    }
+
+    #[test]
+    fn complete_restores_full_residency() {
+        let mut s = chunked_space(10);
+        let c = ClipId::new(1);
+        s.insert(c);
+        s.trim_tail_chunk(c);
+        s.trim_tail_chunk(c);
+        assert_eq!(s.tail_bytes(c), ByteSize::mb(200));
+        assert!(s.tail_fits_now(c));
+        s.complete(c);
+        assert_eq!(s.residency(c), Residency::Full);
+        assert_eq!(s.used(), s.size_of(c));
+    }
+
+    #[test]
+    fn insert_prefix_accounts_prefix_bytes() {
+        let mut s = chunked_space(10);
+        let c = ClipId::new(1);
+        s.insert_prefix(c, 5);
+        assert_eq!(s.residency(c), Residency::Partial(5));
+        assert_eq!(s.used(), ByteSize::mb(500));
+        assert_eq!(s.resident_bytes(c), ByteSize::mb(500));
+        s.remove(c); // remove works on partials too
+        assert_eq!(s.used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_prefix_rejects_overlong_prefix() {
+        let mut s = chunked_space(10);
+        s.insert_prefix(ClipId::new(1), 36); // clip has 35 chunks
+    }
+
+    #[test]
+    #[should_panic(expected = "not partially resident")]
+    fn complete_on_full_clip_panics() {
+        let mut s = chunked_space(10);
+        s.insert(ClipId::new(1));
+        s.complete(ClipId::new(1));
     }
 }

@@ -191,6 +191,41 @@ impl<P: PartialOrd + Copy> VictimIndex<P> {
         }
     }
 
+    /// Return (without removing) the clip with the smallest `(score, id)`.
+    ///
+    /// Decision-identical to [`pop_min`](Self::pop_min) followed by
+    /// re-inserting the same entry: the chunk-trimming admit path peeks
+    /// its victim and deregisters it via [`remove`](Self::remove) only
+    /// once the clip is fully gone, so a partially trimmed victim stays
+    /// ranked for the next miss.
+    ///
+    /// # Panics
+    /// If the index is empty.
+    pub fn peek_min(&mut self) -> (ClipId, P) {
+        match &mut self.heap {
+            Some(heap) => heap
+                .peek_min()
+                .expect("eviction requested from an empty cache"),
+            None => {
+                let mut best: Option<(ClipId, P)> = None;
+                for (i, s) in self.scores.iter().enumerate() {
+                    let Some(p) = s else { continue };
+                    let better = match &best {
+                        None => true,
+                        Some((_, bp)) => {
+                            p.partial_cmp(bp).expect("scores must not be NaN")
+                                == std::cmp::Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some((ClipId::from_index(i), *p));
+                    }
+                }
+                best.expect("eviction requested from an empty cache")
+            }
+        }
+    }
+
     /// Remove and return the clip with the smallest `(score, id)`.
     ///
     /// # Panics
@@ -472,6 +507,36 @@ mod tests {
                 }
             }
             assert_eq!(scan.len(), heap.len());
+        }
+    }
+
+    #[test]
+    fn peek_then_remove_is_decision_identical_to_pop() {
+        // Randomized ops: at every drain step, peek+remove must choose the
+        // same victim as pop_min, on both backends.
+        let mut rng = Pcg64::seed_from_u64(0x9E37);
+        for backend in [VictimBackend::Scan, VictimBackend::Heap] {
+            let mut peeked: VictimIndex<(u64, u64)> = VictimIndex::new(backend, 24);
+            let mut popped: VictimIndex<(u64, u64)> = VictimIndex::new(backend, 24);
+            for _ in 0..2_000 {
+                match rng.next_bounded(3) {
+                    0 | 1 => {
+                        let id = rng.next_bounded(24) as u32 + 1;
+                        let p = (rng.next_bounded(5), id as u64);
+                        peeked.upsert(c(id), p);
+                        popped.upsert(c(id), p);
+                    }
+                    _ => {
+                        if !peeked.is_empty() {
+                            let a = peeked.peek_min();
+                            peeked.remove(a.0);
+                            let b = popped.pop_min();
+                            assert_eq!(a, b, "{backend}");
+                        }
+                    }
+                }
+                assert_eq!(peeked.len(), popped.len());
+            }
         }
     }
 

@@ -16,6 +16,7 @@ pub mod loglaw;
 pub mod mattson;
 pub mod objectives;
 pub mod optimality;
+pub mod prefixbench;
 pub mod quality;
 pub mod recoverybench;
 pub mod region;

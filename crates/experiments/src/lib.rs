@@ -66,6 +66,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "servebench",
     "faultbench",
     "recoverybench",
+    "prefixbench",
     "optimality",
 ];
 
@@ -103,6 +104,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "servebench" => "serving layer: sharded-service hit rate vs shard count (serial reference)",
         "faultbench" => "serving layer: effective hit rate vs injected fault rate (chaos harness)",
         "recoverybench" => "serving layer: warm (checkpoint+WAL) vs cold restart hit rate",
+        "prefixbench" => "chunk layer: prefix caching vs whole-clip at equal byte budgets",
         _ => return None,
     })
 }
@@ -137,6 +139,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<FigureRes
         "servebench" => extras::servebench::run(ctx),
         "faultbench" => extras::faultbench::run(ctx),
         "recoverybench" => extras::recoverybench::run(ctx),
+        "prefixbench" => extras::prefixbench::run(ctx),
         "loglaw" => extras::loglaw::run(ctx),
         "sizes" => extras::sizes::run(ctx),
         "ablation" => extras::ablation::run(ctx),

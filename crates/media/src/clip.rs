@@ -45,6 +45,37 @@ impl fmt::Display for ClipId {
     }
 }
 
+/// The identity of one fixed-size chunk of a clip.
+///
+/// Chunk indexes are **0-based** and count from the head of the clip:
+/// chunk 0 is the first bytes a display session needs, so a cache that
+/// keeps a clip's chunks `0..k` holds a *prefix* that can mask startup
+/// latency while the tail streams in. The chunk length itself is a
+/// repository-wide property ([`crate::Repository::chunk_size`]); an
+/// unchunked repository treats every clip as a single chunk, which is the
+/// degenerate whole-clip case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkId {
+    /// The clip this chunk belongs to.
+    pub clip: ClipId,
+    /// The 0-based chunk index from the head of the clip.
+    pub index: u32,
+}
+
+impl ChunkId {
+    /// Construct a chunk id.
+    #[inline]
+    pub fn new(clip: ClipId, index: u32) -> Self {
+        ChunkId { clip, index }
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.clip, self.index)
+    }
+}
+
 /// The media type of a clip.
 ///
 /// The paper's repository is half audio (300 Kbps display rate) and half

@@ -32,7 +32,7 @@ pub mod repository;
 pub mod units;
 
 pub use catalog::CatalogStats;
-pub use clip::{Clip, ClipId, MediaType};
+pub use clip::{ChunkId, Clip, ClipId, MediaType};
 pub use error::MediaError;
 pub use repository::{Repository, RepositoryBuilder};
 pub use units::{Bandwidth, ByteSize, Duration, GB, KB, MB};

@@ -1,6 +1,14 @@
 //! The clip repository (`S_DB` in the paper's Table 1).
+//!
+//! Beyond the paper's whole-clip model, a repository can be *chunked*
+//! ([`Repository::with_chunk_size`]): every clip is then addressed as a
+//! run of fixed-size chunks ([`ChunkId`]), and caches may keep a clip's
+//! head chunks (a *prefix*) while evicting its tail. An unchunked
+//! repository — the default, and any chunk size at or above the largest
+//! clip — treats each clip as exactly one chunk, which reproduces the
+//! paper's whole-clip behavior bit for bit.
 
-use crate::clip::{Clip, ClipId, MediaType};
+use crate::clip::{ChunkId, Clip, ClipId, MediaType};
 use crate::error::MediaError;
 use crate::units::{Bandwidth, ByteSize, Duration};
 use serde::{Deserialize, Serialize};
@@ -15,6 +23,10 @@ pub struct Repository {
     total_size: ByteSize,
     max_clip_size: ByteSize,
     max_display_bandwidth: Bandwidth,
+    /// Chunk length for chunk-granular residency; `ByteSize::ZERO` means
+    /// unchunked (every clip is a single chunk — whole-clip behavior).
+    #[serde(default)]
+    chunk_size: ByteSize,
 }
 
 impl Repository {
@@ -46,7 +58,18 @@ impl Repository {
             total_size,
             max_clip_size,
             max_display_bandwidth,
+            chunk_size: ByteSize::ZERO,
         })
+    }
+
+    /// Set the chunk length for chunk-granular residency.
+    ///
+    /// `ByteSize::ZERO` means unchunked; any chunk size at or above the
+    /// largest clip is equivalent (every clip is one chunk), so the
+    /// whole-clip model is always the degenerate case of this one.
+    pub fn with_chunk_size(mut self, chunk_size: ByteSize) -> Self {
+        self.chunk_size = chunk_size;
+        self
     }
 
     /// Number of clips (`N` in Table 1).
@@ -114,6 +137,70 @@ impl Repository {
     pub fn cache_capacity_for_ratio(&self, ratio: f64) -> ByteSize {
         self.total_size.scale(ratio)
     }
+
+    /// The repository-wide chunk length. `ByteSize::ZERO` means unchunked.
+    #[inline]
+    pub fn chunk_size(&self) -> ByteSize {
+        self.chunk_size
+    }
+
+    /// True when residency is chunk-granular (a non-zero chunk size was set).
+    #[inline]
+    pub fn is_chunked(&self) -> bool {
+        self.chunk_size != ByteSize::ZERO
+    }
+
+    /// Number of chunks of a clip: `ceil(size / chunk_size)`, and exactly 1
+    /// when unchunked or when the chunk size covers the whole clip.
+    #[inline]
+    pub fn chunks_of(&self, id: ClipId) -> u32 {
+        let size = self.size_of(id).as_u64();
+        let cs = self.chunk_size.as_u64();
+        if cs == 0 {
+            1
+        } else {
+            (size.div_ceil(cs)).max(1) as u32
+        }
+    }
+
+    /// Bytes covered by the first `chunks` chunks of a clip.
+    ///
+    /// The last chunk of a clip may be short, so a full prefix
+    /// (`chunks == chunks_of(id)`) is exactly the clip size.
+    /// Panics if `chunks` exceeds the clip's chunk count.
+    #[inline]
+    pub fn prefix_bytes(&self, id: ClipId, chunks: u32) -> ByteSize {
+        let total = self.chunks_of(id);
+        assert!(
+            chunks <= total,
+            "{id}: prefix of {chunks} chunks exceeds chunk count {total}"
+        );
+        if chunks == total {
+            self.size_of(id)
+        } else {
+            ByteSize::bytes(self.chunk_size.as_u64() * u64::from(chunks))
+        }
+    }
+
+    /// Bytes of one specific chunk (the last chunk may be short).
+    /// Panics if `k` is out of range for the clip.
+    #[inline]
+    pub fn chunk_bytes(&self, id: ClipId, k: u32) -> ByteSize {
+        let total = self.chunks_of(id);
+        assert!(k < total, "{id}: chunk index {k} out of range (< {total})");
+        self.prefix_bytes(id, k + 1) - self.prefix_bytes(id, k)
+    }
+
+    /// Address chunk `k` of a clip. Panics if `k` is out of range.
+    #[inline]
+    pub fn chunk(&self, id: ClipId, k: u32) -> ChunkId {
+        assert!(
+            k < self.chunks_of(id),
+            "{id}: chunk index {k} out of range (< {})",
+            self.chunks_of(id)
+        );
+        ChunkId::new(id, k)
+    }
 }
 
 /// Incremental, validating repository construction.
@@ -132,12 +219,20 @@ impl Repository {
 #[derive(Debug, Default)]
 pub struct RepositoryBuilder {
     clips: Vec<Clip>,
+    chunk_size: ByteSize,
 }
 
 impl RepositoryBuilder {
     /// Start an empty builder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the chunk length for chunk-granular residency
+    /// (see [`Repository::with_chunk_size`]).
+    pub fn chunk_size(mut self, chunk_size: ByteSize) -> Self {
+        self.chunk_size = chunk_size;
+        self
     }
 
     /// Append a clip; the id is assigned sequentially (1-based) and the
@@ -190,7 +285,7 @@ impl RepositoryBuilder {
 
     /// Finalize and validate.
     pub fn build(self) -> Result<Repository, MediaError> {
-        Repository::from_clips(self.clips)
+        Repository::from_clips(self.clips).map(|r| r.with_chunk_size(self.chunk_size))
     }
 }
 
@@ -277,6 +372,60 @@ mod tests {
             .unwrap();
         assert_eq!(r.len(), 4);
         assert!(r.iter().all(|c| c.size == ByteSize::gb(1)));
+    }
+
+    #[test]
+    fn unchunked_repo_is_one_chunk_per_clip() {
+        let r = small_repo();
+        assert!(!r.is_chunked());
+        for id in r.ids() {
+            assert_eq!(r.chunks_of(id), 1);
+            assert_eq!(r.prefix_bytes(id, 1), r.size_of(id));
+            assert_eq!(r.chunk_bytes(id, 0), r.size_of(id));
+            assert_eq!(r.chunk(id, 0), ChunkId::new(id, 0));
+        }
+    }
+
+    #[test]
+    fn chunk_size_at_or_above_largest_clip_is_degenerate() {
+        let r = small_repo().with_chunk_size(ByteSize::gb(2));
+        assert!(r.is_chunked());
+        for id in r.ids() {
+            assert_eq!(r.chunks_of(id), 1);
+            assert_eq!(r.prefix_bytes(id, 1), r.size_of(id));
+        }
+    }
+
+    #[test]
+    fn chunk_geometry_with_short_last_chunk() {
+        // clip#2 is 5 MB; 2 MB chunks → 3 chunks, last one 1 MB.
+        let r = small_repo().with_chunk_size(ByteSize::mb(2));
+        let id = ClipId::new(2);
+        assert_eq!(r.chunks_of(id), 3);
+        assert_eq!(r.prefix_bytes(id, 0), ByteSize::ZERO);
+        assert_eq!(r.prefix_bytes(id, 1), ByteSize::mb(2));
+        assert_eq!(r.prefix_bytes(id, 2), ByteSize::mb(4));
+        assert_eq!(r.prefix_bytes(id, 3), ByteSize::mb(5));
+        assert_eq!(r.chunk_bytes(id, 0), ByteSize::mb(2));
+        assert_eq!(r.chunk_bytes(id, 2), ByteSize::mb(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chunk_index_out_of_range_panics() {
+        let r = small_repo().with_chunk_size(ByteSize::mb(2));
+        let _ = r.chunk_bytes(ClipId::new(2), 3);
+    }
+
+    #[test]
+    fn builder_sets_chunk_size() {
+        let r = RepositoryBuilder::new()
+            .push(MediaType::Audio, ByteSize::mb(5), Bandwidth::kbps(300))
+            .chunk_size(ByteSize::mb(1))
+            .build()
+            .unwrap();
+        assert_eq!(r.chunk_size(), ByteSize::mb(1));
+        assert_eq!(r.chunks_of(ClipId::new(1)), 5);
     }
 
     #[test]

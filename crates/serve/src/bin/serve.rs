@@ -47,6 +47,7 @@ struct Args {
     shards: usize,
     clips: usize,
     ratio: f64,
+    chunk_mb: u64,
     seed: u64,
     server: ServerConfig,
     data_dir: Option<std::path::PathBuf>,
@@ -72,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 4,
         clips: 100,
         ratio: 0.25,
+        chunk_mb: 0,
         seed: 0x5EED_2007,
         server: ServerConfig::default(),
         data_dir: None,
@@ -101,6 +103,12 @@ fn parse_args() -> Result<Args, String> {
             "--ratio" => {
                 let v = argv.next().ok_or("--ratio needs a fraction")?;
                 args.ratio = v.parse().map_err(|e| format!("bad --ratio: {e}"))?;
+            }
+            "--chunk-size" => {
+                let v = argv
+                    .next()
+                    .ok_or("--chunk-size needs megabytes (0 = whole-clip)")?;
+                args.chunk_mb = v.parse().map_err(|e| format!("bad --chunk-size: {e}"))?;
             }
             "--seed" => {
                 let v = argv.next().ok_or("--seed needs a value")?;
@@ -148,10 +156,13 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: serve [--addr host:port] [--policy spec] [--shards n] \
-                     [--clips n] [--ratio f] [--seed n|0xHEX] [--max-conns n] \
+                     [--clips n] [--ratio f] [--chunk-size mb] [--seed n|0xHEX] \
+                     [--max-conns n] \
                      [--read-timeout ms] [--chaos] [--data-dir path] \
                      [--wal-sync always|off] [--checkpoint-every n] [--crash-at kind:N]\n\
                      serves until stdin closes or reads a `quit` line;\n\
+                     --chunk-size n addresses clips as n-MB chunks (prefix \
+                     residency + GETRANGE probes; 0 = whole-clip, the default);\n\
                      --max-conns refuses excess connections with ERR server busy,\n\
                      --read-timeout reclaims idle connections, --chaos honors POISON;\n\
                      --data-dir makes every shard durable (checkpoint + WAL) and\n\
@@ -177,7 +188,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let repo = Arc::new(paper::variable_sized_repository_of(args.clips));
+    let mut repo = paper::variable_sized_repository_of(args.clips);
+    if args.chunk_mb > 0 {
+        repo = repo.with_chunk_size(clipcache_media::ByteSize::mb(args.chunk_mb));
+    }
+    let repo = Arc::new(repo);
     let capacity = repo.cache_capacity_for_ratio(args.ratio);
     let mut config = ServiceConfig::new(args.policy, args.shards, capacity, args.seed);
     if let Some(every) = args.checkpoint_every {

@@ -21,10 +21,10 @@
 //! writes).
 
 use crate::protocol::{
-    corrupt_length_get_frame, decode_reply, encode_command, parse_get, parse_poisoned, parse_stats,
-    Command, Decoded, Reply, ServerStats,
+    corrupt_length_get_frame, decode_reply, encode_command, parse_get, parse_poisoned, parse_range,
+    parse_stats, Command, Decoded, Reply, ServerStats,
 };
-use crate::shard::GetOutcome;
+use crate::shard::{GetOutcome, RangeOutcome};
 use clipcache_media::ClipId;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -189,6 +189,25 @@ impl TcpCacheClient {
                 let reply = self.roundtrip_frame(&Command::Get(clip))?;
                 Self::expect_get(reply)
             }
+        }
+    }
+
+    /// `GETRANGE <clip> <chunk>`: probe chunk residency without
+    /// touching policy state. An out-of-range chunk surfaces as the
+    /// server's `ERR`/`R_ERR`, never a stall.
+    pub fn get_range(&mut self, clip: ClipId, chunk: u32) -> std::io::Result<RangeOutcome> {
+        match self.wire {
+            Wire::Text => {
+                let reply = self.roundtrip(&format!("GETRANGE {} {chunk}", clip.get()))?;
+                parse_range(&reply).map_err(Self::protocol_err)
+            }
+            Wire::Binary => match self.roundtrip_frame(&Command::GetRange(clip, chunk))? {
+                Reply::Range(outcome) => Ok(outcome),
+                Reply::Err(msg) => Err(Self::protocol_err(format!("ERR {msg}"))),
+                other => Err(Self::protocol_err(format!(
+                    "expected a GETRANGE reply, got {other:?}"
+                ))),
+            },
         }
     }
 

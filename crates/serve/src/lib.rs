@@ -76,4 +76,4 @@ pub use persist::{
 pub use protocol::{Decoded, FrameError, Reply, ServerStats, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
 pub use server::{serve, serve_with, ServerConfig, ServerHandle, MAX_LINE_BYTES};
 pub use service::{CacheService, ServiceConfig, ServiceError};
-pub use shard::{shard_of, shard_seed, GetOutcome, Shard, CHECKPOINT_EVERY};
+pub use shard::{shard_of, shard_seed, GetOutcome, RangeOutcome, Shard, CHECKPOINT_EVERY};

@@ -70,10 +70,17 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.json";
 pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 
 /// The durable-checkpoint schema version this build writes and reads.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Version 2 added chunk-granular residency: the embedded snapshot
+/// carries partial prefixes and the stats carry `prefix_hits`.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
-/// Bytes in one record's payload: seq (8) + clip (4) + op (1).
-const RECORD_PAYLOAD_BYTES: usize = 13;
+/// Bytes in one record's payload: seq (8) + clip (4) + chunk (4) + op (1).
+/// Version 1 of the log had no chunk field (13-byte payloads); those
+/// records are rejected by name, never reinterpreted.
+const RECORD_PAYLOAD_BYTES: usize = 17;
+/// The version-1 payload layout (seq + clip + op, no chunk), kept only
+/// so the rejection message can name what it found.
+const V1_RECORD_PAYLOAD_BYTES: usize = 13;
 /// Bytes in one record's frame header: length (4) + CRC (4).
 const FRAME_HEADER_BYTES: usize = 8;
 
@@ -118,6 +125,9 @@ pub enum WalOp {
     /// An uncounted warm-up (`Shard::admit`): replay touches the cache
     /// but not the statistics.
     Admit,
+    /// A chunk-granular residency probe (`Shard::get_range`): the
+    /// record's `chunk` field is meaningful; replay is a state no-op.
+    GetRange,
 }
 
 impl WalOp {
@@ -125,6 +135,7 @@ impl WalOp {
         match self {
             WalOp::Get => 0,
             WalOp::Admit => 1,
+            WalOp::GetRange => 2,
         }
     }
 
@@ -132,6 +143,7 @@ impl WalOp {
         match b {
             0 => Ok(WalOp::Get),
             1 => Ok(WalOp::Admit),
+            2 => Ok(WalOp::GetRange),
             other => Err(format!("unknown WAL op byte {other}")),
         }
     }
@@ -144,6 +156,9 @@ pub struct WalRecord {
     pub seq: u64,
     /// The clip accessed.
     pub clip: ClipId,
+    /// The probed chunk for [`WalOp::GetRange`]; 0 for whole-clip ops
+    /// (and enforced 0 on decode, so a flipped bit is loud).
+    pub chunk: u32,
     /// Whether the access was counted.
     pub op: WalOp,
 }
@@ -155,7 +170,8 @@ impl WalRecord {
         let mut payload = [0u8; RECORD_PAYLOAD_BYTES];
         payload[..8].copy_from_slice(&self.seq.to_le_bytes());
         payload[8..12].copy_from_slice(&self.clip.get().to_le_bytes());
-        payload[12] = self.op.to_byte();
+        payload[12..16].copy_from_slice(&self.chunk.to_le_bytes());
+        payload[16] = self.op.to_byte();
         let len = (RECORD_PAYLOAD_BYTES as u32).to_le_bytes();
         let mut crc = Crc32::new();
         crc.update(&len);
@@ -217,6 +233,21 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), PersistErro
         // one layout is corruption — trusting it would let a flipped bit
         // masquerade the rest of the log as a "torn tail" and silently
         // truncate valid frames after it.
+        if len == V1_RECORD_PAYLOAD_BYTES {
+            // A version-1 log (13-byte payloads: seq + clip + op, no
+            // chunk field). Reinterpreting it under the version-2
+            // layout would shear every field, so refuse by name.
+            return Err(PersistError::Corrupt {
+                offset: pos as u64,
+                reason: format!(
+                    "WAL record uses the version-1 {V1_RECORD_PAYLOAD_BYTES}-byte \
+                     whole-clip layout; this build reads only the version-2 \
+                     {RECORD_PAYLOAD_BYTES}-byte chunk-aware layout — delete the \
+                     old data directory (or replay it with a version-1 build) \
+                     instead of mixing formats"
+                ),
+            });
+        }
         if len != RECORD_PAYLOAD_BYTES {
             return Err(PersistError::Corrupt {
                 offset: pos as u64,
@@ -250,13 +281,24 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), PersistErro
                 reason: "WAL record names clip id 0".into(),
             });
         }
-        let op = WalOp::from_byte(payload[12]).map_err(|reason| PersistError::Corrupt {
+        let chunk = u32::from_le_bytes(payload[12..16].try_into().expect("4 bytes"));
+        let op = WalOp::from_byte(payload[16]).map_err(|reason| PersistError::Corrupt {
             offset: pos as u64,
             reason,
         })?;
+        if op != WalOp::GetRange && chunk != 0 {
+            return Err(PersistError::Corrupt {
+                offset: pos as u64,
+                reason: format!(
+                    "whole-clip WAL record carries nonzero chunk {chunk} (only \
+                     GETRANGE records address chunks)"
+                ),
+            });
+        }
         records.push(WalRecord {
             seq,
             clip: ClipId::new(clip),
+            chunk,
             op,
         });
         pos += FRAME_HEADER_BYTES + len;
@@ -470,12 +512,13 @@ impl DurableCheckpoint {
     /// nested object (carrying its own schema version).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"version\":{},\"seq\":{},\"hits\":{},\"misses\":{},\"byte_hits\":{},\
-             \"byte_misses\":{},\"evictions\":{},\"snapshot\":{}}}",
+            "{{\"version\":{},\"seq\":{},\"hits\":{},\"misses\":{},\"prefix_hits\":{},\
+             \"byte_hits\":{},\"byte_misses\":{},\"evictions\":{},\"snapshot\":{}}}",
             CHECKPOINT_VERSION,
             self.seq,
             self.stats.hits,
             self.stats.misses,
+            self.stats.prefix_hits,
             self.stats.byte_hits.as_u64(),
             self.stats.byte_misses.as_u64(),
             self.stats.evictions,
@@ -494,7 +537,9 @@ impl DurableCheckpoint {
         if version != CHECKPOINT_VERSION {
             return Err(format!(
                 "checkpoint version {version} is not supported (this build reads \
-                 version {CHECKPOINT_VERSION}); refusing to restore"
+                 version {CHECKPOINT_VERSION}, which added chunk-granular residency \
+                 and the prefix_hits counter; version 1 checkpoints are whole-clip); \
+                 refusing to restore"
             ));
         }
         let field = |name: &str| {
@@ -505,6 +550,7 @@ impl DurableCheckpoint {
         let stats = HitStats {
             hits: field("hits")?,
             misses: field("misses")?,
+            prefix_hits: field("prefix_hits")?,
             byte_hits: ByteSize::bytes(field("byte_hits")?),
             byte_misses: ByteSize::bytes(field("byte_misses")?),
             evictions: field("evictions")?,
@@ -702,19 +748,38 @@ impl ShardStore {
         self.ckpt_seq
     }
 
-    /// Append one access to the WAL, returning its sequence number.
+    /// Append one whole-clip access to the WAL, returning its sequence
+    /// number.
     ///
     /// The frame is flushed to the OS before the call returns; with
     /// [`WalSync::Always`] it is also fsynced. An armed crash point may
     /// fire here: `torn:N` writes half the frame then dies, `append:N`
     /// dies after the frame is durable.
+    ///
+    /// # Panics
+    /// If `op` is [`WalOp::GetRange`] — ranged probes carry a chunk and
+    /// go through [`append_range`](Self::append_range).
     pub fn append(&mut self, op: WalOp, clip: ClipId) -> Result<u64, PersistError> {
+        assert!(
+            op != WalOp::GetRange,
+            "GETRANGE records go through append_range"
+        );
+        self.append_record(op, clip, 0)
+    }
+
+    /// Append one chunk-granular residency probe to the WAL.
+    pub fn append_range(&mut self, clip: ClipId, chunk: u32) -> Result<u64, PersistError> {
+        self.append_record(WalOp::GetRange, clip, chunk)
+    }
+
+    fn append_record(&mut self, op: WalOp, clip: ClipId, chunk: u32) -> Result<u64, PersistError> {
         if self.dead {
             return Err(PersistError::CrashInjected);
         }
         let record = WalRecord {
             seq: self.next_seq,
             clip,
+            chunk,
             op,
         };
         let frame = record.encode();
@@ -875,7 +940,17 @@ mod tests {
         WalRecord {
             seq,
             clip: ClipId::new(clip),
+            chunk: 0,
             op,
+        }
+    }
+
+    fn range_record(seq: u64, clip: u32, chunk: u32) -> WalRecord {
+        WalRecord {
+            seq,
+            clip: ClipId::new(clip),
+            chunk,
+            op: WalOp::GetRange,
         }
     }
 
@@ -895,7 +970,9 @@ mod tests {
         let recs = [
             record(1, 1, WalOp::Get),
             record(2, u32::MAX, WalOp::Admit),
-            record(u64::MAX, 17, WalOp::Get),
+            record(3, 17, WalOp::Get),
+            range_record(4, 9, 0),
+            range_record(5, 9, u32::MAX),
         ];
         let mut log = Vec::new();
         for r in &recs {
@@ -905,6 +982,45 @@ mod tests {
         assert_eq!(decoded, recs);
         assert_eq!(tail, WalTail::Clean);
         assert_eq!(decode_wal(&[]).unwrap(), (vec![], WalTail::Clean));
+    }
+
+    #[test]
+    fn v1_records_are_rejected_by_name() {
+        // Hand-build a version-1 frame: 13-byte payload (seq + clip +
+        // op), valid CRC. It must be refused naming the old layout, not
+        // reinterpreted or written off as a torn tail.
+        let mut payload = [0u8; 13];
+        payload[..8].copy_from_slice(&1u64.to_le_bytes());
+        payload[8..12].copy_from_slice(&7u32.to_le_bytes());
+        payload[12] = 0; // v1 Get
+        let len = 13u32.to_le_bytes();
+        let mut crc = Crc32::new();
+        crc.update(&len);
+        crc.update(&payload);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&len);
+        frame.extend_from_slice(&crc.finish().to_le_bytes());
+        frame.extend_from_slice(&payload);
+        match decode_wal(&frame) {
+            Err(PersistError::Corrupt { offset, reason }) => {
+                assert_eq!(offset, 0);
+                assert!(reason.contains("version-1"), "names the version: {reason}");
+                assert!(reason.contains("13-byte"), "names the layout: {reason}");
+            }
+            other => panic!("v1 record must be refused loudly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_clip_records_with_nonzero_chunk_are_corrupt() {
+        let mut forged = record(1, 3, WalOp::Get);
+        forged.chunk = 5;
+        match decode_wal(&forged.encode()) {
+            Err(PersistError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("nonzero chunk"), "{reason}");
+            }
+            other => panic!("nonzero chunk on a Get must be loud, got {other:?}"),
+        }
     }
 
     #[test]
@@ -984,15 +1100,25 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_json_round_trips_and_rejects_future_versions() {
+    fn checkpoint_json_round_trips_and_rejects_other_versions() {
         let ckpt = sample_checkpoint();
         let json = ckpt.to_json();
         assert_eq!(DurableCheckpoint::from_json(&json).unwrap(), ckpt);
-        let future = json.replacen("\"version\":1", "\"version\":7", 1);
+        let future = json.replacen("\"version\":2", "\"version\":7", 1);
         let err = DurableCheckpoint::from_json(&future).unwrap_err();
         assert!(err.contains("not supported"), "weak rejection: {err}");
-        // A future *snapshot* version nested inside also refuses.
-        let nested = json.replace("\"snapshot\":{\"version\":1", "\"snapshot\":{\"version\":9");
+        assert!(
+            err.contains("version 2"),
+            "names what this build reads: {err}"
+        );
+        // A version-1 (whole-clip) checkpoint refuses naming both
+        // versions — never silently restored without prefix state.
+        let v1 = json.replacen("\"version\":2", "\"version\":1", 1);
+        let err = DurableCheckpoint::from_json(&v1).unwrap_err();
+        assert!(err.contains("version 1"), "names the found version: {err}");
+        assert!(err.contains("whole-clip"), "says why: {err}");
+        // An unsupported *snapshot* version nested inside also refuses.
+        let nested = json.replace("\"snapshot\":{\"version\":2", "\"snapshot\":{\"version\":9");
         assert!(DurableCheckpoint::from_json(&nested).is_err());
         assert!(DurableCheckpoint::from_json("{}").is_err());
         assert!(DurableCheckpoint::from_json("not json").is_err());
@@ -1025,6 +1151,29 @@ mod tests {
         let ckpt = state.checkpoint.expect("checkpoint survived");
         assert_eq!(ckpt.seq, 2);
         assert_eq!(state.records, vec![record(3, 7, WalOp::Get)]);
+    }
+
+    #[test]
+    fn range_probes_persist_with_their_chunk() {
+        let dir = tmp_dir("range");
+        {
+            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+            store.append(WalOp::Get, ClipId::new(2)).unwrap();
+            store.append_range(ClipId::new(2), 7).unwrap();
+        }
+        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        assert_eq!(
+            state.records,
+            vec![record(1, 2, WalOp::Get), range_record(2, 2, 7)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "GETRANGE records go through append_range")]
+    fn append_refuses_getrange_ops() {
+        let dir = tmp_dir("append-range-misuse");
+        let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
+        let _ = store.append(WalOp::GetRange, ClipId::new(1));
     }
 
     #[test]

@@ -16,22 +16,34 @@
 //!
 //! ```text
 //! request   = "GET" SP clip-id | "STATS" | "SNAPSHOT" | "QUIT"
+//!           | "GETRANGE" SP clip-id SP chunk ; chunk-granular residency probe
 //!           | "POISON" SP clip-id           ; chaos servers only
 //! clip-id   = 1*DIGIT                ; ≥ 1
+//! chunk     = 1*DIGIT                ; 0-based chunk index
 //!
 //! reply     = "HIT" SP evicted              ; GET, clip was resident
 //!           | "MISS" SP admitted SP evicted ; GET, clip was fetched
-//!           | "STATS" SP "hits=" n SP "misses=" n SP "byte_hits=" n
-//!                     SP "byte_misses=" n SP "evictions=" n
-//!                     SP "recoveries=" n SP "wal_replayed=" n
+//!           | "RHIT" SP resident SP total   ; GETRANGE, chunk resident
+//!           | "RMISS" SP resident SP total  ; GETRANGE, chunk absent
+//!           | "STATS" SP "hits=" n SP "misses=" n SP "prefix_hits=" n
+//!                     SP "byte_hits=" n SP "byte_misses=" n
+//!                     SP "evictions=" n SP "recoveries=" n
+//!                     SP "wal_replayed=" n
 //!           | "SNAPSHOT" SP json-array      ; one CacheSnapshot per shard
 //!           | "POISONED" SP shard-index     ; POISON acknowledged
 //!           | "BYE"                         ; QUIT acknowledged
 //!           | "ERR" SP text                 ; malformed request / unknown
-//!                                           ; clip / refused operation
+//!                                           ; clip / out-of-range chunk /
+//!                                           ; refused operation
 //! admitted  = "0" | "1"
 //! evicted   = 1*DIGIT                       ; clips evicted by this access
+//! resident  = 1*DIGIT                       ; chunks of the head resident
+//! total     = 1*DIGIT                       ; chunks in the clip
 //! ```
+//!
+//! A `GETRANGE` whose chunk index is at or past the clip's chunk count
+//! gets a loud `ERR` naming the index and the valid range — never a
+//! stall, never a fabricated `RMISS`.
 //!
 //! ## Binary framing
 //!
@@ -41,11 +53,13 @@
 //! ```
 //!
 //! Request kinds: `GET` (payload: clip u32 LE), `STATS`, `SNAPSHOT`,
-//! `POISON` (clip u32 LE), `QUIT`. Reply kinds: `GET` (flags byte —
-//! bit 0 hit, bit 1 admitted — plus evictions u64 LE), `STATS` (seven
-//! u64 LE), `SNAPSHOT` (UTF-8 JSON), `POISONED` (u64 LE), `BYE`, `ERR`
-//! (UTF-8 message). Every request kind has a *fixed* payload length,
-//! which is what makes corruption loud (see below).
+//! `POISON` (clip u32 LE), `QUIT`, `GETRANGE` (clip u32 LE + chunk u32
+//! LE). Reply kinds: `GET` (flags byte — bit 0 hit, bit 1 admitted —
+//! plus evictions u64 LE), `RANGE` (hit u8 + resident u32 LE + total
+//! u32 LE), `STATS` (eight u64 LE), `SNAPSHOT` (UTF-8 JSON), `POISONED`
+//! (u64 LE), `BYE`, `ERR` (UTF-8 message). Every request kind has a
+//! *fixed* payload length, which is what makes corruption loud (see
+//! below).
 //!
 //! **A corrupted length header is never a silent truncation** —
 //! mirroring the WAL's inflated-length fix: the header check byte makes
@@ -69,7 +83,7 @@
 //! the connection stays open; the server never answers garbage with a
 //! bare disconnect.
 
-use crate::shard::GetOutcome;
+use crate::shard::{GetOutcome, RangeOutcome};
 use clipcache_media::ClipId;
 use clipcache_sim::metrics::HitStats;
 
@@ -78,6 +92,8 @@ use clipcache_sim::metrics::HitStats;
 pub enum Command {
     /// Access a clip through its shard.
     Get(ClipId),
+    /// Probe whether one chunk of a clip is resident (0-based index).
+    GetRange(ClipId, u32),
     /// Report merged hit statistics.
     Stats,
     /// Snapshot every shard.
@@ -115,6 +131,18 @@ fn parse_clip_id(raw: &str) -> Result<ClipId, String> {
 /// Parse one request line (already stripped of the newline).
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let line = line.trim();
+    if let Some(rest) = line.strip_prefix("GETRANGE ") {
+        let mut words = rest.split_ascii_whitespace();
+        let clip = parse_clip_id(words.next().unwrap_or(""))?;
+        let chunk = words
+            .next()
+            .and_then(|w| w.parse::<u32>().ok())
+            .ok_or_else(|| format!("GETRANGE needs a chunk index: '{line}'"))?;
+        if words.next().is_some() {
+            return Err(format!("trailing words after GETRANGE: '{line}'"));
+        }
+        return Ok(Command::GetRange(clip, chunk));
+    }
     if let Some(rest) = line.strip_prefix("GET ") {
         return Ok(Command::Get(parse_clip_id(rest)?));
     }
@@ -134,6 +162,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
 pub fn format_command(command: &Command) -> String {
     match command {
         Command::Get(clip) => format!("GET {}", clip.get()),
+        Command::GetRange(clip, chunk) => format!("GETRANGE {} {chunk}", clip.get()),
         Command::Stats => "STATS".into(),
         Command::Snapshot => "SNAPSHOT".into(),
         Command::Poison(clip) => format!("POISON {}", clip.get()),
@@ -194,13 +223,51 @@ pub fn parse_get(line: &str) -> Result<GetOutcome, String> {
     Ok(outcome)
 }
 
+/// Format a `GETRANGE` reply.
+pub fn format_range(outcome: &RangeOutcome) -> String {
+    format!(
+        "{} {} {}",
+        if outcome.hit { "RHIT" } else { "RMISS" },
+        outcome.resident,
+        outcome.total
+    )
+}
+
+/// Parse a `GETRANGE` reply.
+pub fn parse_range(line: &str) -> Result<RangeOutcome, String> {
+    let mut words = line.trim().split_ascii_whitespace();
+    let malformed = || format!("malformed GETRANGE reply '{}'", line.trim());
+    let hit = match words.next() {
+        Some("RHIT") => true,
+        Some("RMISS") => false,
+        _ => return Err(malformed()),
+    };
+    let resident: u32 = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(malformed)?;
+    let total: u32 = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(malformed)?;
+    if words.next().is_some() || resident > total {
+        return Err(malformed());
+    }
+    Ok(RangeOutcome {
+        hit,
+        resident,
+        total,
+    })
+}
+
 /// Format a `STATS` reply.
 pub fn format_stats(stats: &ServerStats) -> String {
     format!(
-        "STATS hits={} misses={} byte_hits={} byte_misses={} evictions={} recoveries={} \
-         wal_replayed={}",
+        "STATS hits={} misses={} prefix_hits={} byte_hits={} byte_misses={} evictions={} \
+         recoveries={} wal_replayed={}",
         stats.stats.hits,
         stats.stats.misses,
+        stats.stats.prefix_hits,
         stats.stats.byte_hits.as_u64(),
         stats.stats.byte_misses.as_u64(),
         stats.stats.evictions,
@@ -229,6 +296,7 @@ pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
         match key {
             "hits" => stats.hits = value,
             "misses" => stats.misses = value,
+            "prefix_hits" => stats.prefix_hits = value,
             "byte_hits" => stats.byte_hits = clipcache_media::ByteSize::bytes(value),
             "byte_misses" => stats.byte_misses = clipcache_media::ByteSize::bytes(value),
             "evictions" => stats.evictions = value,
@@ -238,8 +306,8 @@ pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
         }
         seen += 1;
     }
-    if seen != 7 {
-        return Err(format!("STATS reply has {seen} fields, expected 7"));
+    if seen != 8 {
+        return Err(format!("STATS reply has {seen} fields, expected 8"));
     }
     Ok(ServerStats {
         stats,
@@ -286,11 +354,13 @@ const KIND_STATS: u8 = 0x02;
 const KIND_SNAPSHOT: u8 = 0x03;
 const KIND_POISON: u8 = 0x04;
 const KIND_QUIT: u8 = 0x05;
+const KIND_GETRANGE: u8 = 0x06;
 const KIND_R_GET: u8 = 0x81;
 const KIND_R_STATS: u8 = 0x82;
 const KIND_R_SNAPSHOT: u8 = 0x83;
 const KIND_R_POISONED: u8 = 0x84;
 const KIND_R_BYE: u8 = 0x85;
+const KIND_R_RANGE: u8 = 0x86;
 const KIND_R_ERR: u8 = 0xC0;
 
 /// One reply, protocol-independent: the server builds these and renders
@@ -300,6 +370,8 @@ const KIND_R_ERR: u8 = 0xC0;
 pub enum Reply {
     /// Outcome of a `GET`.
     Get(GetOutcome),
+    /// Outcome of a `GETRANGE` residency probe.
+    Range(RangeOutcome),
     /// Merged server statistics.
     Stats(ServerStats),
     /// The per-shard snapshot JSON array.
@@ -367,6 +439,11 @@ pub fn encode_command(command: &Command, out: &mut Vec<u8>) {
             push_header(out, KIND_GET, 4);
             out.extend_from_slice(&clip.get().to_le_bytes());
         }
+        Command::GetRange(clip, chunk) => {
+            push_header(out, KIND_GETRANGE, 8);
+            out.extend_from_slice(&clip.get().to_le_bytes());
+            out.extend_from_slice(&chunk.to_le_bytes());
+        }
         Command::Stats => push_header(out, KIND_STATS, 0),
         Command::Snapshot => push_header(out, KIND_SNAPSHOT, 0),
         Command::Poison(clip) => {
@@ -386,11 +463,18 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
             out.push(flags);
             out.extend_from_slice(&(outcome.evictions as u64).to_le_bytes());
         }
+        Reply::Range(outcome) => {
+            push_header(out, KIND_R_RANGE, 9);
+            out.push(outcome.hit as u8);
+            out.extend_from_slice(&outcome.resident.to_le_bytes());
+            out.extend_from_slice(&outcome.total.to_le_bytes());
+        }
         Reply::Stats(stats) => {
-            push_header(out, KIND_R_STATS, 56);
+            push_header(out, KIND_R_STATS, 64);
             for v in [
                 stats.stats.hits,
                 stats.stats.misses,
+                stats.stats.prefix_hits,
                 stats.stats.byte_hits.as_u64(),
                 stats.stats.byte_misses.as_u64(),
                 stats.stats.evictions,
@@ -440,9 +524,10 @@ pub fn corrupt_length_get_frame() -> [u8; FRAME_HEADER_BYTES] {
 fn fixed_len(kind: u8) -> Option<u32> {
     match kind {
         KIND_GET | KIND_POISON => Some(4),
+        KIND_GETRANGE => Some(8),
         KIND_STATS | KIND_SNAPSHOT | KIND_QUIT | KIND_R_BYE => Some(0),
-        KIND_R_GET => Some(9),
-        KIND_R_STATS => Some(56),
+        KIND_R_GET | KIND_R_RANGE => Some(9),
+        KIND_R_STATS => Some(64),
         KIND_R_POISONED => Some(8),
         KIND_R_SNAPSHOT | KIND_R_ERR => None,
         _ => Some(0), // unknown kinds are rejected before this matters
@@ -479,12 +564,18 @@ fn decode_header(buf: &[u8], request: bool) -> Result<Decoded<(u8, usize)>, Fram
     let known = if request {
         matches!(
             kind,
-            KIND_GET | KIND_STATS | KIND_SNAPSHOT | KIND_POISON | KIND_QUIT
+            KIND_GET | KIND_GETRANGE | KIND_STATS | KIND_SNAPSHOT | KIND_POISON | KIND_QUIT
         )
     } else {
         matches!(
             kind,
-            KIND_R_GET | KIND_R_STATS | KIND_R_SNAPSHOT | KIND_R_POISONED | KIND_R_BYE | KIND_R_ERR
+            KIND_R_GET
+                | KIND_R_RANGE
+                | KIND_R_STATS
+                | KIND_R_SNAPSHOT
+                | KIND_R_POISONED
+                | KIND_R_BYE
+                | KIND_R_ERR
         )
     };
     if !known {
@@ -539,6 +630,10 @@ pub fn decode_command(buf: &[u8]) -> Result<Decoded<Command>, FrameError> {
     };
     let value = match kind {
         KIND_GET => Command::Get(clip(payload)?),
+        KIND_GETRANGE => {
+            let chunk = u32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]);
+            Command::GetRange(clip(payload)?, chunk)
+        }
         KIND_POISON => Command::Poison(clip(payload)?),
         KIND_STATS => Command::Stats,
         KIND_SNAPSHOT => Command::Snapshot,
@@ -594,16 +689,36 @@ pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Reply>, FrameError> {
                 evictions: u64_at(1) as usize,
             })
         }
+        KIND_R_RANGE => {
+            if payload[0] > 1 {
+                return Err(corrupt(total, true, "corrupt GETRANGE reply hit byte"));
+            }
+            let resident = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
+            let chunk_total = u32::from_le_bytes([payload[5], payload[6], payload[7], payload[8]]);
+            if resident > chunk_total {
+                return Err(corrupt(
+                    total,
+                    true,
+                    "corrupt GETRANGE reply (resident prefix exceeds total chunks)",
+                ));
+            }
+            Reply::Range(RangeOutcome {
+                hit: payload[0] == 1,
+                resident,
+                total: chunk_total,
+            })
+        }
         KIND_R_STATS => Reply::Stats(ServerStats {
             stats: HitStats {
                 hits: u64_at(0),
                 misses: u64_at(8),
-                byte_hits: clipcache_media::ByteSize::bytes(u64_at(16)),
-                byte_misses: clipcache_media::ByteSize::bytes(u64_at(24)),
-                evictions: u64_at(32),
+                prefix_hits: u64_at(16),
+                byte_hits: clipcache_media::ByteSize::bytes(u64_at(24)),
+                byte_misses: clipcache_media::ByteSize::bytes(u64_at(32)),
+                evictions: u64_at(40),
             },
-            recoveries: u64_at(40),
-            wal_replayed: u64_at(48),
+            recoveries: u64_at(48),
+            wal_replayed: u64_at(56),
         }),
         KIND_R_SNAPSHOT => Reply::Snapshot(
             String::from_utf8(payload.to_vec())
@@ -635,6 +750,14 @@ mod tests {
             parse_command("POISON 9"),
             Ok(Command::Poison(ClipId::new(9)))
         );
+        assert_eq!(
+            parse_command("GETRANGE 4 17"),
+            Ok(Command::GetRange(ClipId::new(4), 17))
+        );
+        assert_eq!(
+            parse_command("GETRANGE 4 0"),
+            Ok(Command::GetRange(ClipId::new(4), 0))
+        );
     }
 
     #[test]
@@ -642,6 +765,8 @@ mod tests {
         for command in [
             Command::Get(ClipId::new(1)),
             Command::Get(ClipId::new(u32::MAX)),
+            Command::GetRange(ClipId::new(7), 3),
+            Command::GetRange(ClipId::new(1), u32::MAX),
             Command::Stats,
             Command::Snapshot,
             Command::Poison(ClipId::new(42)),
@@ -662,6 +787,40 @@ mod tests {
         assert!(parse_command("POISON").is_err());
         assert!(parse_command("POISON 0").is_err());
         assert!(parse_command("PUT 1").unwrap_err().contains("PUT"));
+        assert!(parse_command("GETRANGE").is_err());
+        assert!(parse_command("GETRANGE 1").is_err());
+        assert!(parse_command("GETRANGE 0 1").is_err());
+        assert!(parse_command("GETRANGE 1 x").is_err());
+        assert!(parse_command("GETRANGE 1 -1").is_err());
+        assert!(parse_command("GETRANGE 1 2 3").is_err());
+    }
+
+    #[test]
+    fn range_reply_round_trips() {
+        for outcome in [
+            RangeOutcome {
+                hit: true,
+                resident: 5,
+                total: 5,
+            },
+            RangeOutcome {
+                hit: true,
+                resident: 2,
+                total: 9,
+            },
+            RangeOutcome {
+                hit: false,
+                resident: 0,
+                total: 35,
+            },
+        ] {
+            assert_eq!(parse_range(&format_range(&outcome)), Ok(outcome));
+        }
+        assert!(parse_range("RHIT").is_err());
+        assert!(parse_range("RHIT 1").is_err());
+        assert!(parse_range("RMISS 1 2 3").is_err());
+        assert!(parse_range("RHIT 6 5").is_err(), "resident beyond total");
+        assert!(parse_range("HIT 0").is_err());
     }
 
     #[test]
@@ -704,15 +863,17 @@ mod tests {
         let line = format_stats(&server);
         assert!(line.contains("recoveries=3"));
         assert!(line.contains("wal_replayed=41"));
+        assert!(line.contains("prefix_hits=0"));
         assert_eq!(parse_stats(&line), Ok(server));
         assert!(parse_stats("STATS hits=1").is_err());
         assert!(parse_stats(
-            "STATS hits=1 misses=x byte_hits=0 byte_misses=0 evictions=0 recoveries=0 \
-             wal_replayed=0"
+            "STATS hits=1 misses=x prefix_hits=0 byte_hits=0 byte_misses=0 evictions=0 \
+             recoveries=0 wal_replayed=0"
         )
         .is_err());
-        // Older wire formats (five and six fields) are gone, not
-        // silently defaulted.
+        // Older wire formats (five through seven fields, including the
+        // pre-chunking one without prefix_hits) are gone, not silently
+        // defaulted.
         assert!(
             parse_stats("STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0").is_err()
         );
@@ -720,7 +881,26 @@ mod tests {
             "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0"
         )
         .is_err());
+        assert!(parse_stats(
+            "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0 \
+             wal_replayed=0"
+        )
+        .is_err());
         assert!(parse_stats("nope").is_err());
+    }
+
+    #[test]
+    fn stats_reply_carries_prefix_hits() {
+        let mut stats = HitStats::new();
+        stats.record_prefix(ByteSize::mb(2), ByteSize::mb(8), 0);
+        let server = ServerStats {
+            stats,
+            recoveries: 0,
+            wal_replayed: 0,
+        };
+        let line = format_stats(&server);
+        assert!(line.contains("prefix_hits=1"));
+        assert_eq!(parse_stats(&line), Ok(server));
     }
 
     #[test]

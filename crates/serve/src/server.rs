@@ -47,8 +47,8 @@
 //! unbounded buffering.
 
 use crate::protocol::{
-    decode_command, encode_reply, format_get, format_poisoned, format_stats, parse_command,
-    Command, Decoded, Reply, ServerStats, FRAME_MAGIC,
+    decode_command, encode_reply, format_get, format_poisoned, format_range, format_stats,
+    parse_command, Command, Decoded, Reply, ServerStats, FRAME_MAGIC,
 };
 use crate::service::CacheService;
 use std::collections::VecDeque;
@@ -665,6 +665,12 @@ fn execute(
             Ok(outcome) => Reply::Get(outcome),
             Err(e) => Reply::Err(e.to_string()),
         },
+        // An out-of-range chunk (or unknown clip) is a loud structured
+        // ERR / R_ERR — the probe never stalls the connection.
+        Ok(Command::GetRange(clip, chunk)) => match service.get_range(clip, chunk) {
+            Ok(outcome) => Reply::Range(outcome),
+            Err(e) => Reply::Err(e.to_string()),
+        },
         Ok(Command::Stats) => Reply::Stats(ServerStats {
             stats: service.stats(),
             recoveries: service.recoveries(),
@@ -691,6 +697,7 @@ fn execute(
 fn format_reply_text(reply: &Reply) -> String {
     match reply {
         Reply::Get(outcome) => format_get(outcome),
+        Reply::Range(outcome) => format_range(outcome),
         Reply::Stats(stats) => format_stats(stats),
         Reply::Snapshot(json) => format!("SNAPSHOT {json}"),
         Reply::Poisoned(shard) => format_poisoned(*shard as usize),

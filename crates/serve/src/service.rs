@@ -23,7 +23,7 @@
 //! lifetime — the next request heals it.
 
 use crate::persist::{CrashAction, PersistError, PersistOptions, RecoveryReport, ShardStore};
-use crate::shard::{shard_of, shard_seed, GetOutcome, Shard, CHECKPOINT_EVERY};
+use crate::shard::{shard_of, shard_seed, GetOutcome, RangeOutcome, Shard, CHECKPOINT_EVERY};
 use clipcache_core::registry::BuildError;
 use clipcache_core::snapshot::CacheSnapshot;
 use clipcache_core::PolicySpec;
@@ -83,6 +83,17 @@ impl ServiceConfig {
 pub enum ServiceError {
     /// The clip id is not in the repository.
     UnknownClip(ClipId),
+    /// A `GETRANGE` probe addressed a chunk index at or past the clip's
+    /// chunk count. Always a loud refusal, never a stall or a silent
+    /// miss: the reply names both the index and the valid range.
+    ChunkOutOfRange {
+        /// The clip probed.
+        clip: ClipId,
+        /// The out-of-range chunk index.
+        chunk: u32,
+        /// How many chunks the clip actually has.
+        total: u32,
+    },
     /// The durable store beneath a shard failed (I/O, corruption).
     Persist(String),
     /// An armed crash point fired with [`CrashAction::Surface`]; the
@@ -95,6 +106,11 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::UnknownClip(c) => write!(f, "unknown clip id {}", c.get()),
+            ServiceError::ChunkOutOfRange { clip, chunk, total } => write!(
+                f,
+                "chunk {chunk} out of range for clip {} ({total} chunks, indices 0..{total})",
+                clip.get()
+            ),
             ServiceError::Persist(reason) => write!(f, "durable store failed: {reason}"),
             ServiceError::Crashed => write!(f, "injected crash point fired"),
         }
@@ -276,6 +292,27 @@ impl CacheService {
         shard.get(clip, size).map_err(|e| self.persist_failure(e))
     }
 
+    /// Probe chunk-granular residency: is `chunk` of `clip` resident?
+    ///
+    /// A pure read of the owning shard's residency — no clock tick, no
+    /// recency update — but WAL-logged like every other request. An
+    /// out-of-range chunk index is refused loudly *before* the shard is
+    /// touched ([`ServiceError::ChunkOutOfRange`]), never answered with
+    /// a stall or a fabricated miss.
+    pub fn get_range(&self, clip: ClipId, chunk: u32) -> Result<RangeOutcome, ServiceError> {
+        if self.repo.get(clip).is_none() {
+            return Err(ServiceError::UnknownClip(clip));
+        }
+        let total = self.repo.chunks_of(clip);
+        if chunk >= total {
+            return Err(ServiceError::ChunkOutOfRange { clip, chunk, total });
+        }
+        let mut shard = self.lock_clip_shard(clip);
+        shard
+            .get_range(clip, chunk)
+            .map_err(|e| self.persist_failure(e))
+    }
+
     /// Warm `clip` into its shard without counting it in the hit
     /// statistics. Returns whether the clip is resident afterwards.
     pub fn admit(&self, clip: ClipId) -> Result<bool, ServiceError> {
@@ -392,6 +429,43 @@ mod tests {
         assert_eq!(err, ServiceError::UnknownClip(ClipId::new(999)));
         assert!(err.to_string().contains("999"));
         assert!(svc.admit(ClipId::new(999)).is_err());
+    }
+
+    #[test]
+    fn get_range_probes_residency_and_rejects_bad_chunks() {
+        let repo = Arc::new(
+            paper::equi_sized_repository_of(8, ByteSize::mb(10)).with_chunk_size(ByteSize::mb(2)),
+        );
+        let svc = CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig::new(PolicyKind::Lru, 1, ByteSize::mb(30), 7),
+            None,
+        )
+        .unwrap();
+        let clip = ClipId::new(3);
+        // Absent: every chunk probe misses, resident prefix is 0 of 5.
+        let probe = svc.get_range(clip, 0).unwrap();
+        assert!(!probe.hit);
+        assert_eq!((probe.resident, probe.total), (0, 5));
+        // Fully resident after a GET: probes hit across the range.
+        svc.get(clip).unwrap();
+        let probe = svc.get_range(clip, 4).unwrap();
+        assert!(probe.hit);
+        assert_eq!((probe.resident, probe.total), (5, 5));
+        // Probes are pure: they counted nothing and ticked nothing.
+        assert_eq!(svc.stats().requests(), 1);
+        // Out-of-range chunk: a loud structured refusal, never a stall.
+        let err = svc.get_range(clip, 5).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::ChunkOutOfRange {
+                clip,
+                chunk: 5,
+                total: 5
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        assert!(svc.get_range(ClipId::new(999), 0).is_err());
     }
 
     #[test]

@@ -90,6 +90,19 @@ pub struct GetOutcome {
     pub evictions: usize,
 }
 
+/// The outcome of one chunk-granular residency probe (`GETRANGE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeOutcome {
+    /// Whether the probed chunk is resident (it lies inside the
+    /// clip's resident prefix).
+    pub hit: bool,
+    /// Chunks of the clip's head currently resident (equal to `total`
+    /// when the whole clip is resident, 0 when absent).
+    pub resident: u32,
+    /// Total chunks in the clip.
+    pub total: u32,
+}
+
 /// The durable-enough state a poisoned shard rebuilds from.
 struct Checkpoint {
     snapshot: CacheSnapshot,
@@ -183,10 +196,24 @@ impl Shard {
             .cache
             .access_into(clip, Timestamp(self.clock), &mut self.evictions);
         let (hit, admitted) = match event {
-            AccessEvent::Hit => (true, true),
-            AccessEvent::Miss { admitted } => (false, admitted),
+            AccessEvent::Hit => {
+                self.stats.record(true, size, self.evictions.0);
+                (true, true)
+            }
+            AccessEvent::PrefixHit { resident, .. } => {
+                // Display starts from the resident prefix while the tail
+                // streams in (and the access completes the clip to full
+                // residency, so it is "admitted" afterwards).
+                let resident_bytes = self.repo.prefix_bytes(clip, resident);
+                self.stats
+                    .record_prefix(resident_bytes, size - resident_bytes, self.evictions.0);
+                (true, true)
+            }
+            AccessEvent::Miss { admitted } => {
+                self.stats.record(false, size, self.evictions.0);
+                (false, admitted)
+            }
         };
-        self.stats.record(hit, size, self.evictions.0);
         GetOutcome {
             hit,
             admitted,
@@ -217,8 +244,39 @@ impl Shard {
             .cache
             .access_into(clip, Timestamp(self.clock), &mut self.evictions)
         {
-            AccessEvent::Hit => true,
+            AccessEvent::Hit | AccessEvent::PrefixHit { .. } => true,
             AccessEvent::Miss { admitted } => admitted,
+        }
+    }
+
+    /// Probe chunk-granular residency: is chunk `chunk` of `clip`
+    /// resident right now? Pure with respect to the policy — no clock
+    /// tick, no recency update, no admission — but WAL-logged like every
+    /// other request so the durable log is a complete account of what
+    /// clients were told (replay applies it as the same no-op).
+    ///
+    /// The caller (the service) has already validated that `chunk` is in
+    /// range for `clip`; this method only reads residency.
+    pub fn get_range(&mut self, clip: ClipId, chunk: u32) -> Result<RangeOutcome, PersistError> {
+        if let Some(store) = &mut self.store {
+            store.append_range(clip, chunk)?;
+        }
+        Ok(self.apply_get_range(clip, chunk))
+    }
+
+    /// The in-memory half of [`get_range`](Self::get_range); also the
+    /// WAL replay path (a no-op on cache state, by design).
+    fn apply_get_range(&mut self, clip: ClipId, chunk: u32) -> RangeOutcome {
+        let total = self.repo.chunks_of(clip);
+        let resident = if self.cache.contains(clip) {
+            total
+        } else {
+            self.cache.partial_prefix(clip)
+        };
+        RangeOutcome {
+            hit: chunk < resident,
+            resident,
+            total,
         }
     }
 
@@ -313,6 +371,22 @@ impl Shard {
                 }
                 WalOp::Admit => {
                     self.apply_admit(rec.clip);
+                }
+                WalOp::GetRange => {
+                    if rec.chunk >= self.repo.chunks_of(rec.clip) {
+                        return Err(PersistError::Corrupt {
+                            offset: 0,
+                            reason: format!(
+                                "WAL record {} probes chunk {} of clip {} which has only \
+                                 {} chunks",
+                                rec.seq,
+                                rec.chunk,
+                                rec.clip.get(),
+                                self.repo.chunks_of(rec.clip)
+                            ),
+                        });
+                    }
+                    self.apply_get_range(rec.clip, rec.chunk);
                 }
             }
         }

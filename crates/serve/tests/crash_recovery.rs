@@ -281,6 +281,7 @@ fn crash_between_checkpoint_rename_and_wal_truncation_recovers() {
             &WalRecord {
                 seq: s,
                 clip: ClipId::new(1),
+                chunk: 0,
                 op: WalOp::Get,
             }
             .encode(),
@@ -429,13 +430,30 @@ fn incompatible_durable_state_is_rejected_loudly() {
     // A future checkpoint version is refused, not half-read.
     let ckpt_path = dir.join("shard-0").join("checkpoint.json");
     let json = std::fs::read_to_string(&ckpt_path).unwrap();
+    assert!(
+        json.contains("\"version\":2"),
+        "checkpoint should be version 2: {json}"
+    );
     std::fs::write(
         &ckpt_path,
-        json.replacen("\"version\":1", "\"version\":99", 1),
+        json.replacen("\"version\":2", "\"version\":99", 1),
     )
     .unwrap();
     let err = open_must_fail(&repo, cfg, &dir);
     assert!(err.contains("version"), "version mismatch surfaced: {err}");
+
+    // A version-1 checkpoint (whole-clip residency, no prefix_hits) is
+    // named explicitly in the refusal.
+    std::fs::write(
+        &ckpt_path,
+        json.replacen("\"version\":2", "\"version\":1", 1),
+    )
+    .unwrap();
+    let err = open_must_fail(&repo, cfg, &dir);
+    assert!(
+        err.contains("version 1") && err.contains("whole-clip"),
+        "v1 rejection names the version and the layout: {err}"
+    );
 
     // Mid-log WAL corruption is a loud error, never a silent cold start.
     let _ = std::fs::remove_dir_all(&dir);

@@ -20,22 +20,39 @@
 use clipcache_media::{ByteSize, ClipId};
 use clipcache_serve::protocol::{
     corrupt_length_get_frame, decode_command, decode_reply, encode_command, encode_reply,
-    format_command, format_get, format_poisoned, format_stats, parse_command, parse_get,
-    parse_poisoned, parse_stats, Command, Decoded, Reply, ServerStats, FRAME_HEADER_BYTES,
-    FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+    format_command, format_get, format_poisoned, format_range, format_stats, parse_command,
+    parse_get, parse_poisoned, parse_range, parse_stats, Command, Decoded, Reply, ServerStats,
+    FRAME_HEADER_BYTES, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
 };
-use clipcache_serve::shard::GetOutcome;
+use clipcache_serve::shard::{GetOutcome, RangeOutcome};
 use clipcache_sim::metrics::HitStats;
 use proptest::prelude::*;
 
 fn command_from(selector: u8, clip: u32) -> Command {
+    let chunk = clip.rotate_left(7);
     let clip = ClipId::new(clip.max(1));
-    match selector % 5 {
+    match selector % 6 {
         0 => Command::Get(clip),
         1 => Command::Stats,
         2 => Command::Snapshot,
         3 => Command::Poison(clip),
+        4 => Command::GetRange(clip, chunk),
         _ => Command::Quit,
+    }
+}
+
+fn range_from(selector: u8, total: u32) -> RangeOutcome {
+    // `resident <= total` always holds on a well-formed wire (the
+    // decoder rejects anything else as corrupt).
+    let resident = match selector % 3 {
+        0 => 0,
+        1 => total / 2,
+        _ => total,
+    };
+    RangeOutcome {
+        hit: selector.is_multiple_of(2),
+        resident,
+        total,
     }
 }
 
@@ -61,11 +78,12 @@ fn outcome_from(selector: u8, evictions: usize) -> GetOutcome {
     }
 }
 
-fn stats_from(v: [u64; 7]) -> ServerStats {
+fn stats_from(v: [u64; 8]) -> ServerStats {
     ServerStats {
         stats: HitStats {
             hits: v[0],
             misses: v[1],
+            prefix_hits: v[7],
             byte_hits: ByteSize::bytes(v[2]),
             byte_misses: ByteSize::bytes(v[3]),
             evictions: v[4],
@@ -80,6 +98,7 @@ fn stats_from(v: [u64; 7]) -> ServerStats {
 fn feed_all_parsers(line: &str) {
     let _ = parse_command(line);
     let _ = parse_get(line);
+    let _ = parse_range(line);
     let _ = parse_stats(line);
     let _ = parse_poisoned(line);
 }
@@ -132,6 +151,32 @@ fn malformed_corpus_is_rejected_not_panicked() {
         "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0",
         "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 frobs=0",
         "STATS hits==1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0 wal_replayed=0",
+        // Old 7-field form (pre-prefix_hits).
+        "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0 wal_replayed=0",
+        // GETRANGE shapes: wrong arity, bad numerals, zero clip,
+        // overflow in either operand.
+        "GETRANGE",
+        "GETRANGE ",
+        "GETRANGE 1",
+        "GETRANGE 1 ",
+        "GETRANGE 1 2 3",
+        "GETRANGE 0 0",
+        "GETRANGE x 1",
+        "GETRANGE 1 x",
+        "GETRANGE -1 0",
+        "GETRANGE 1 -1",
+        "GETRANGE 4294967296 0",
+        "GETRANGE 1 4294967296",
+        "getrange 1 0",
+        // Range-reply shapes, including a resident prefix longer than
+        // the clip (only a corrupt peer can produce that).
+        "RHIT",
+        "RHIT 1",
+        "RHIT 1 2 3",
+        "RHIT 3 2",
+        "RMISS x 1",
+        "RMISS 1 -1",
+        "RHIT 4294967296 4294967296",
         "",
         "   ",
         "\t",
@@ -147,6 +192,9 @@ fn malformed_corpus_is_rejected_not_panicked() {
     assert!(parse_get("STATS").is_err());
     assert!(parse_stats("HIT 0").is_err());
     assert!(parse_poisoned("QUIT").is_err());
+    assert!(parse_range("HIT 0").is_err());
+    assert!(parse_range("GETRANGE 1 0").is_err());
+    assert!(parse_get("RHIT 1 2").is_err());
 }
 
 #[test]
@@ -162,7 +210,7 @@ fn oversized_lines_are_rejected_without_panic() {
 
 #[test]
 fn round_trips_on_a_grid() {
-    for selector in 0u8..5 {
+    for selector in 0u8..6 {
         for clip in [1u32, 2, 1000, u32::MAX] {
             let command = command_from(selector, clip);
             assert_eq!(parse_command(&format_command(&command)), Ok(command));
@@ -174,16 +222,22 @@ fn round_trips_on_a_grid() {
             assert_eq!(parse_get(&format_get(&outcome)), Ok(outcome));
         }
     }
+    for selector in 0u8..6 {
+        for total in [0u32, 1, 7, u32::MAX] {
+            let outcome = range_from(selector, total);
+            assert_eq!(parse_range(&format_range(&outcome)), Ok(outcome));
+        }
+    }
     for shard in [0usize, 1, 63, usize::MAX] {
         assert_eq!(parse_poisoned(&format_poisoned(shard)), Ok(shard));
     }
-    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4, 5]);
+    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4, 5, 6]);
     assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
 }
 
 proptest! {
     #[test]
-    fn commands_round_trip(selector in 0u8..5, clip in 1u32..u32::MAX) {
+    fn commands_round_trip(selector in 0u8..6, clip in 1u32..u32::MAX) {
         let command = command_from(selector, clip);
         prop_assert_eq!(parse_command(&format_command(&command)), Ok(command));
     }
@@ -195,6 +249,12 @@ proptest! {
     }
 
     #[test]
+    fn range_replies_round_trip(selector in 0u8..6, total in 0u32..u32::MAX) {
+        let outcome = range_from(selector, total);
+        prop_assert_eq!(parse_range(&format_range(&outcome)), Ok(outcome));
+    }
+
+    #[test]
     fn stats_replies_round_trip(
         hits in 0u64..u64::MAX,
         misses in 0u64..u64::MAX,
@@ -203,9 +263,11 @@ proptest! {
         evictions in 0u64..u64::MAX,
         recoveries in 0u64..u64::MAX,
         wal_replayed in 0u64..u64::MAX,
+        prefix_hits in 0u64..u64::MAX,
     ) {
         let stats = stats_from([
             hits, misses, byte_hits, byte_misses, evictions, recoveries, wal_replayed,
+            prefix_hits,
         ]);
         prop_assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
     }
@@ -234,6 +296,9 @@ proptest! {
             format!("MISS {} {b}", a % 4),
             format!("POISONED {a}"),
             format!("STATS hits={a} misses={b}"),
+            format!("GETRANGE {a} {b}"),
+            format!("RHIT {a} {b}"),
+            format!("RMISS {a} {b}"),
         ] {
             feed_all_parsers(&line);
         }
@@ -256,20 +321,21 @@ fn encoded_reply(reply: &Reply) -> Vec<u8> {
     out
 }
 
-fn reply_from(selector: u8, evictions: usize, stats: [u64; 7], text: &str) -> Reply {
-    match selector % 6 {
-        0 => Reply::Get(outcome_from(selector / 6, evictions)),
+fn reply_from(selector: u8, evictions: usize, stats: [u64; 8], text: &str) -> Reply {
+    match selector % 7 {
+        0 => Reply::Get(outcome_from(selector / 7, evictions)),
         1 => Reply::Stats(stats_from(stats)),
         2 => Reply::Snapshot(format!("[{text:?}]")),
         3 => Reply::Poisoned(stats[0]),
         4 => Reply::Bye,
+        5 => Reply::Range(range_from(selector / 7, stats[0] as u32)),
         _ => Reply::Err(text.to_string()),
     }
 }
 
 #[test]
 fn frames_round_trip_on_a_grid() {
-    for selector in 0u8..5 {
+    for selector in 0u8..6 {
         for clip in [1u32, 2, 1000, u32::MAX] {
             let command = command_from(selector, clip);
             let bytes = encoded_command(&command);
@@ -282,9 +348,9 @@ fn frames_round_trip_on_a_grid() {
             );
         }
     }
-    for selector in 0u8..18 {
+    for selector in 0u8..21 {
         for evictions in [0usize, 1, 7, usize::MAX] {
-            let reply = reply_from(selector, evictions, [u64::MAX, 0, 1, 2, 3, 4, 5], "boom");
+            let reply = reply_from(selector, evictions, [u64::MAX, 0, 1, 2, 3, 4, 5, 6], "boom");
             let bytes = encoded_reply(&reply);
             assert_eq!(
                 decode_reply(&bytes),
@@ -305,10 +371,16 @@ fn torn_prefixes_decode_incomplete_never_a_short_frame() {
     let frames: Vec<Vec<u8>> = vec![
         encoded_command(&Command::Get(ClipId::new(123456))),
         encoded_command(&Command::Stats),
+        encoded_command(&Command::GetRange(ClipId::new(123456), 17)),
         encoded_reply(&Reply::Get(GetOutcome {
             hit: true,
             admitted: true,
             evictions: 42,
+        })),
+        encoded_reply(&Reply::Range(RangeOutcome {
+            hit: true,
+            resident: 3,
+            total: 9,
         })),
         encoded_reply(&Reply::Snapshot("[{\"shard\":0}]".into())),
         encoded_reply(&Reply::Err("idle timeout".into())),
@@ -397,6 +469,18 @@ fn malformed_frame_corpus_is_rejected_not_panicked() {
     oversized_err[6] =
         FRAME_MAGIC ^ oversized_err[1] ^ too_big[0] ^ too_big[1] ^ too_big[2] ^ too_big[3];
 
+    // A GETRANGE reply whose resident prefix exceeds the clip's total
+    // chunks — only a corrupt peer can emit that, and the decoder must
+    // say so rather than hand the impossible outcome to the client.
+    let mut inverted_range = encoded_reply(&Reply::Range(RangeOutcome {
+        hit: true,
+        resident: 1,
+        total: 5,
+    }));
+    let payload = FRAME_HEADER_BYTES;
+    inverted_range[payload + 1..payload + 5].copy_from_slice(&9u32.to_le_bytes());
+    assert!(decode_reply(&inverted_range).is_err());
+
     // (frame, feeds_command_decoder) — reply frames are hostile input
     // to the request decoder and vice versa.
     let corpus: Vec<(Vec<u8>, &str)> = vec![
@@ -427,7 +511,7 @@ fn malformed_frame_corpus_is_rejected_not_panicked() {
 
 proptest! {
     #[test]
-    fn binary_commands_round_trip(selector in 0u8..5, clip in 1u32..u32::MAX) {
+    fn binary_commands_round_trip(selector in 0u8..6, clip in 1u32..u32::MAX) {
         let command = command_from(selector, clip);
         let bytes = encoded_command(&command);
         let consumed = bytes.len();
@@ -439,7 +523,7 @@ proptest! {
 
     #[test]
     fn binary_replies_round_trip(
-        selector in 0u8..18,
+        selector in 0u8..21,
         evictions in 0usize..usize::MAX,
         word in 0u64..u64::MAX,
         text_seed in 0u64..u64::MAX,
@@ -449,7 +533,7 @@ proptest! {
         let text: String = (0..(text_seed % 48))
             .map(|i| (b' ' + ((text_seed >> (i % 57)) % 95) as u8) as char)
             .collect();
-        let reply = reply_from(selector, evictions, [word, 1, 2, 3, 4, 5, 6], &text);
+        let reply = reply_from(selector, evictions, [word, 1, 2, 3, 4, 5, 6, 7], &text);
         let bytes = encoded_reply(&reply);
         let consumed = bytes.len();
         prop_assert_eq!(

@@ -4,8 +4,10 @@
 //! deterministic and land within a documented tolerance of serial.
 
 use clipcache_core::PolicySpec;
-use clipcache_media::paper;
-use clipcache_serve::{run_load, serial_baseline, CacheService, ServiceConfig, Target};
+use clipcache_media::{paper, ByteSize, Repository};
+use clipcache_serve::{
+    run_load, serial_baseline, serve_with, CacheService, ServerConfig, ServiceConfig, Target,
+};
 use clipcache_sim::metrics::HitStats;
 use clipcache_workload::{RequestGenerator, Trace};
 use std::sync::Arc;
@@ -77,6 +79,103 @@ fn one_shard_one_client_is_bit_for_bit_serial() {
         );
         assert_eq!(server_side, serial);
     }
+}
+
+/// 1-shard 1-client load against `repo`, both in-process and over a
+/// real TCP socket; returns (observed, server-side) for each transport.
+fn load_on(repo: &Arc<Repository>, policy: PolicySpec, trace: &Trace, tcp: bool) -> [HitStats; 2] {
+    let service = Arc::new(
+        CacheService::new(
+            Arc::clone(repo),
+            ServiceConfig::new(policy, 1, repo.cache_capacity_for_ratio(0.25), SEED),
+            None,
+        )
+        .expect("policy builds"),
+    );
+    let target = if tcp {
+        let handle = serve_with(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+            .expect("bind loopback");
+        let report =
+            run_load(&Target::Tcp(handle.addr().to_string()), repo, trace, 1).expect("tcp load");
+        handle.shutdown();
+        return [report.observed, service.stats()];
+    } else {
+        Target::InProcess(Arc::clone(&service))
+    };
+    let report = run_load(&target, repo, trace, 1).expect("in-process load");
+    [report.observed, service.stats()]
+}
+
+#[test]
+fn chunk_size_above_every_clip_is_bit_for_bit_whole_clip() {
+    // The degenerate-chunking anchor: with the chunk size at least as
+    // large as every clip, every clip is one chunk, nothing can trim,
+    // and the chunked build must reproduce the whole-clip anchor bit
+    // for bit — serial, in-process service, and a real TCP run alike.
+    let trace = Trace::from_generator(RequestGenerator::new(48, 0.27, 0, 3_000, SEED));
+    let plain = Arc::new(paper::variable_sized_repository_of(48));
+    let chunked =
+        Arc::new(paper::variable_sized_repository_of(48).with_chunk_size(ByteSize::gb(100)));
+    let capacity = plain.cache_capacity_for_ratio(0.25);
+    for spec in [
+        "lru",
+        "lru@heap",
+        "fifo",
+        "lfu",
+        "lru-2",
+        "size",
+        "dynsimple:2",
+    ] {
+        let policy: PolicySpec = spec.parse().unwrap();
+        let anchor = serial_baseline(&plain, policy, capacity, SEED, &trace);
+        let serial = serial_baseline(&chunked, policy, capacity, SEED, &trace);
+        assert_eq!(serial, anchor, "{spec}: serial chunked diverged");
+        assert_eq!(
+            serial.prefix_hits, 0,
+            "{spec}: degenerate chunks can't split"
+        );
+        let [observed, server_side] = load_on(&chunked, policy, &trace, false);
+        assert_eq!(observed, anchor, "{spec}: in-process chunked diverged");
+        assert_eq!(server_side, anchor);
+    }
+    // The same anchor over a real socket (1 shard, 1 client, TCP).
+    let policy: PolicySpec = "lru".parse().unwrap();
+    let anchor = serial_baseline(&plain, policy, capacity, SEED, &trace);
+    let [observed, server_side] = load_on(&chunked, policy, &trace, true);
+    assert_eq!(observed, anchor, "tcp chunked run diverged from the anchor");
+    assert_eq!(server_side, anchor);
+}
+
+#[test]
+fn chunked_one_shard_service_matches_serial_on_the_same_repo() {
+    // Real chunking: trims happen, prefix hits split bytes. The 1-shard
+    // service must still be the serial simulator bit for bit — the
+    // comparand is the server-side stats (the GET wire reports
+    // whole-clip outcomes, so the client cannot see the byte split, but
+    // its event-level counters must agree).
+    let trace = Trace::from_generator(RequestGenerator::new(48, 0.27, 0, 3_000, SEED));
+    let repo = Arc::new(paper::variable_sized_repository_of(48).with_chunk_size(ByteSize::mb(4)));
+    let capacity = repo.cache_capacity_for_ratio(0.25);
+    let mut saw_prefix_hits = false;
+    for spec in ["lru", "lru@heap", "fifo", "lfu", "lru-2", "size"] {
+        let policy: PolicySpec = spec.parse().unwrap();
+        let serial = serial_baseline(&repo, policy, capacity, SEED, &trace);
+        saw_prefix_hits |= serial.prefix_hits > 0;
+        for tcp in [false, true] {
+            let [observed, server_side] = load_on(&repo, policy, &trace, tcp);
+            assert_eq!(
+                server_side, serial,
+                "{spec} (tcp={tcp}) diverged from serial"
+            );
+            assert_eq!(observed.hits, serial.hits, "{spec} (tcp={tcp})");
+            assert_eq!(observed.misses, serial.misses, "{spec} (tcp={tcp})");
+            assert_eq!(observed.evictions, serial.evictions, "{spec} (tcp={tcp})");
+        }
+    }
+    assert!(
+        saw_prefix_hits,
+        "4 MB chunks under pressure must produce at least one prefix hit"
+    );
 }
 
 #[test]

@@ -4,9 +4,9 @@
 
 use clipcache_core::snapshot::CacheSnapshot;
 use clipcache_core::PolicyKind;
-use clipcache_media::{paper, ClipId, Repository};
+use clipcache_media::{paper, ByteSize, ClipId, Repository};
 use clipcache_serve::{
-    run_load, serve_with, CacheService, ServerConfig, ServiceConfig, Target, TcpCacheClient,
+    run_load, serve_with, CacheService, ServerConfig, ServiceConfig, Target, TcpCacheClient, Wire,
     MAX_LINE_BYTES,
 };
 use clipcache_workload::{RequestGenerator, Trace};
@@ -138,6 +138,60 @@ fn concurrent_tcp_clients_conserve_requests() {
         run_load(&Target::Tcp(handle.addr().to_string()), &repo, &trace, 4).expect("tcp load");
     assert_eq!(report.observed.requests(), 2_000);
     assert_eq!(report.observed, service.stats());
+    handle.shutdown();
+}
+
+#[test]
+fn ranged_get_round_trips_on_both_wires() {
+    // A chunked single-shard server: GETRANGE must report the resident
+    // prefix after a GET, answer out-of-range chunks with a structured
+    // error on a surviving connection, and never touch the hit counters
+    // (the probe is pure).
+    let repo = Arc::new(paper::variable_sized_repository_of(24).with_chunk_size(ByteSize::mb(4)));
+    let service = Arc::new(
+        CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig::new(PolicyKind::Lru, 1, repo.total_size(), 7),
+            None,
+        )
+        .unwrap(),
+    );
+    let handle =
+        serve_with(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    for (wire, clip) in [(Wire::Text, ClipId::new(3)), (Wire::Binary, ClipId::new(4))] {
+        let total = repo.chunks_of(clip);
+        assert!(total > 1, "test clip must span several chunks");
+        let mut client = TcpCacheClient::connect_wire(handle.addr(), None, wire).unwrap();
+        // Absent clip: a valid probe misses with zero resident chunks.
+        let probe = client.get_range(clip, 0).unwrap();
+        assert!(!probe.hit, "{wire:?}: clip not admitted yet");
+        assert_eq!(probe.total, total);
+
+        let before = client.stats().unwrap().stats;
+        // Out-of-range chunk: loud structured error, connection survives.
+        let err = client.get_range(clip, total).unwrap_err();
+        assert!(
+            err.to_string().contains("chunk"),
+            "{wire:?}: error names the chunk: {err}"
+        );
+        // Unknown clip: same loud error shape, same surviving socket.
+        assert!(client.get_range(ClipId::new(999), 0).is_err());
+        // Probes (valid and refused alike) never moved the counters.
+        assert_eq!(
+            client.stats().unwrap().stats,
+            before,
+            "{wire:?}: probe not pure"
+        );
+
+        // Admit the clip (capacity == repo size, nothing evicts), then
+        // every chunk of it must probe resident on this same socket.
+        client.get(clip).unwrap();
+        let after = client.get_range(clip, total - 1).unwrap();
+        assert!(after.hit, "{wire:?}: tail chunk resident after full GET");
+        assert_eq!(after.resident, total);
+        assert_eq!(after.total, total);
+        client.quit().unwrap();
+    }
     handle.shutdown();
 }
 

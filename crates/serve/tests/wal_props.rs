@@ -12,18 +12,24 @@
 use clipcache_serve::persist::{decode_wal, WalOp, WalRecord, WalTail};
 use proptest::prelude::*;
 
-/// Frame layout: len (4) + crc (4) + payload (8 seq + 4 clip + 1 op).
-const FRAME_BYTES: usize = 21;
+/// Frame layout: len (4) + crc (4) + payload (8 seq + 4 clip + 4 chunk
+/// + 1 op) — the version-2 chunk-aware layout.
+const FRAME_BYTES: usize = 25;
 
 fn record_from(seq: u64, clip: u32, op_selector: u8) -> WalRecord {
+    // Whole-clip records carry chunk 0 by construction (the codec
+    // rejects anything else as corrupt); only GETRANGE probes carry a
+    // meaningful chunk index.
+    let (op, chunk) = match op_selector % 3 {
+        0 => (WalOp::Get, 0),
+        1 => (WalOp::Admit, 0),
+        _ => (WalOp::GetRange, clip.rotate_left(11)),
+    };
     WalRecord {
         seq,
         clip: clipcache_media::ClipId::new(clip.max(1)),
-        op: if op_selector.is_multiple_of(2) {
-            WalOp::Get
-        } else {
-            WalOp::Admit
-        },
+        chunk,
+        op,
     }
 }
 
@@ -141,7 +147,7 @@ proptest! {
     fn arbitrary_records_round_trip(
         seq in 0u64..u64::MAX,
         clip in 1u32..u32::MAX,
-        op_selector in 0u8..2,
+        op_selector in 0u8..3,
     ) {
         let record = record_from(seq, clip, op_selector);
         let (decoded, tail) = decode_wal(&record.encode()).unwrap();

@@ -87,8 +87,13 @@ struct StreamingDevice {
 /// Aggregate results of a streaming run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StreamingReport {
-    /// Requests serviced from a device's own cache.
+    /// Requests serviced from a device's own cache — full hits *and*
+    /// prefix hits (display starts from local storage either way).
     pub hits: u64,
+    /// The subset of `hits` where only a head prefix was resident: the
+    /// display started from the prefix while the tail streamed in. Zero
+    /// whenever the repository is unchunked.
+    pub prefix_hits: u64,
     /// Misses admitted and streamed from the base station.
     pub streamed: u64,
     /// Misses rejected for lack of station bandwidth.
@@ -282,6 +287,7 @@ impl StreamingSim {
                     // The cache only sees requests that are actually
                     // serviced: a rejected or unavailable stream never
                     // transfers any bytes, so nothing can materialize.
+                    let resident_prefix = dev.cache.partial_prefix(req.clip);
                     let (latency, reservation) = if dev.cache.contains(req.clip) {
                         dev.tick = dev.tick.next();
                         let event =
@@ -290,6 +296,27 @@ impl StreamingSim {
                         debug_assert!(event.is_hit(), "resident clip must hit");
                         report.hits += 1;
                         (self.config.latency.cache_hit_latency(&clip), None)
+                    } else if resident_prefix > 0 {
+                        // Prefix hit: display starts from the resident
+                        // head immediately — never denied, even offline
+                        // (denial happens only when the prefix itself
+                        // misses). The tail prefetches as a best-effort
+                        // background stream, so it takes no hard station
+                        // reservation: the local prefix absorbs exactly
+                        // the startup jitter that admission control
+                        // exists to protect against.
+                        let resident_bytes = self.repo.prefix_bytes(req.clip, resident_prefix);
+                        dev.tick = dev.tick.next();
+                        dev.cache
+                            .access_into(req.clip, dev.tick, &mut DiscardEvictions);
+                        report.hits += 1;
+                        report.prefix_hits += 1;
+                        (
+                            self.config
+                                .latency
+                                .prefix_latency(&clip, resident_bytes, link),
+                            None,
+                        )
                     } else if !link.is_connected() {
                         report.unavailable += 1;
                         // Give up on this clip; think, then next request.
@@ -507,6 +534,96 @@ mod tests {
         let a = build(4, 0.25, Bandwidth::mbps(8), 3_600.0).run();
         let b = build(4, 0.25, Bandwidth::mbps(8), 3_600.0).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefix_hits_start_displays_and_never_deny() {
+        // Chunked vs whole-clip, same capacity, same intermittent
+        // connectivity. The chunked devices keep head prefixes where the
+        // whole-clip model keeps nothing, so they record prefix hits and
+        // can only improve the denial rate (a prefix hit is never
+        // denied; the whole-clip run would miss, and offline misses are
+        // denials).
+        let run = |chunk: Option<clipcache_media::ByteSize>| {
+            let repo = paper::variable_sized_repository_of(24);
+            let repo = Arc::new(match chunk {
+                Some(c) => repo.with_chunk_size(c),
+                None => repo,
+            });
+            let caches = (0..4)
+                .map(|i| {
+                    PolicyKind::Lru.build(
+                        Arc::clone(&repo),
+                        repo.cache_capacity_for_ratio(0.08),
+                        i as u64,
+                        None,
+                    )
+                })
+                .collect();
+            let workloads = (0..4)
+                .map(|i| RequestGenerator::new(24, 0.27, 0, 100_000, 90 + i as u64))
+                .collect();
+            let mut sim = StreamingSim::new(
+                Arc::clone(&repo),
+                BaseStation::new(Bandwidth::mbps(8)),
+                StreamingConfig {
+                    horizon_secs: 3_600.0 * 4.0,
+                    ..StreamingConfig::default()
+                },
+                caches,
+                workloads,
+                ConnectivitySchedule::new(vec![
+                    crate::network::ConnectivityPhase {
+                        requests: 5,
+                        link: NetworkLink::cellular_default(),
+                    },
+                    crate::network::ConnectivityPhase {
+                        requests: 5,
+                        link: NetworkLink::disconnected(),
+                    },
+                ]),
+            );
+            sim.warm_up(2_000, 13);
+            sim.run()
+        };
+        let whole = run(None);
+        let chunked = run(Some(clipcache_media::ByteSize::mb(4)));
+        assert_eq!(whole.prefix_hits, 0, "unchunked runs have no prefix hits");
+        assert!(chunked.prefix_hits > 0, "trimming must leave live prefixes");
+        assert!(
+            chunked.prefix_hits <= chunked.hits,
+            "prefix hits refine hits"
+        );
+
+        // The structural guarantee, isolated from closed-loop selection
+        // effects: a device holding only a head prefix, fully offline,
+        // still starts every display — zero denials. The whole-clip
+        // model would count every one of these requests unavailable.
+        let repo = Arc::new(
+            paper::variable_sized_repository_of(1)
+                .with_chunk_size(clipcache_media::ByteSize::mb(1)),
+        );
+        let clip = clipcache_media::ClipId::new(1);
+        let total = repo.chunks_of(clip);
+        assert!(total > 1, "test clip must span several chunks");
+        let mut cache = PolicyKind::Lru.build(Arc::clone(&repo), repo.total_size(), 0, None);
+        cache.restore_prefix(clip, total / 2, clipcache_workload::Timestamp::ZERO);
+        let mut sim = StreamingSim::new(
+            Arc::clone(&repo),
+            BaseStation::new(Bandwidth::ZERO),
+            StreamingConfig {
+                horizon_secs: 3_600.0,
+                ..StreamingConfig::default()
+            },
+            vec![cache],
+            vec![RequestGenerator::new(1, 0.27, 0, 100_000, 7)],
+            ConnectivitySchedule::always(NetworkLink::disconnected()),
+        );
+        let report = sim.run();
+        assert!(report.prefix_hits > 0, "offline prefix requests must start");
+        assert_eq!(report.unavailable, 0, "a prefix hit is never denied");
+        assert_eq!(report.rejected, 0);
+        assert!(report.displays_started > 0);
     }
 
     #[test]

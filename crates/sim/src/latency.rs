@@ -89,6 +89,37 @@ impl LatencyModel {
         StartupLatency::Ready(buffered / self.disk_bandwidth.bytes_per_sec())
     }
 
+    /// Latency when a head prefix of `resident_bytes` is already cached
+    /// and only the tail must stream over `link` (a prefix hit).
+    ///
+    /// Display starts from the local prefix, so the question is whether
+    /// the prefix covers the prefetch the link would otherwise demand:
+    ///
+    /// * disconnected — the prefix is displayable from disk either way,
+    ///   so the request starts at cache-hit latency (the tail may
+    ///   starve later; denial happens only when the *prefix itself*
+    ///   misses, which is a plain miss, not a prefix hit);
+    /// * prefix ≥ required prefetch — the slow-link prefetch is already
+    ///   on disk: cache-hit latency;
+    /// * otherwise — admission overhead plus fetching only the
+    ///   *remaining* prefetch bytes at link speed.
+    pub fn prefix_latency(
+        &self,
+        clip: &Clip,
+        resident_bytes: ByteSize,
+        link: NetworkLink,
+    ) -> StartupLatency {
+        if !link.is_connected() {
+            return self.cache_hit_latency(clip);
+        }
+        let needed = self.prefetch_bytes(clip.size, clip.display_bandwidth, link.bandwidth);
+        if resident_bytes >= needed {
+            return self.cache_hit_latency(clip);
+        }
+        let remaining = needed - resident_bytes;
+        StartupLatency::Ready(self.admission_overhead_secs + link.transfer_secs(remaining))
+    }
+
     /// Latency of streaming `clip` over `link` (a cache miss).
     pub fn network_latency(&self, clip: &Clip, link: NetworkLink) -> StartupLatency {
         if !link.is_connected() {
@@ -240,6 +271,39 @@ mod tests {
         // Cellular at 1 Mbps must prefetch 3/4 of 3.6 GB = 2.7 GB at
         // 125 KB/s ≈ 21,600 s — the motivating pain point.
         assert!(cell > 10_000.0);
+    }
+
+    #[test]
+    fn prefix_latency_improves_monotonically_and_caps_at_cache_hit() {
+        let m = LatencyModel::default();
+        let clip = video_clip();
+        let link = NetworkLink::cellular_default();
+        let full_miss = m.network_latency(&clip, link).secs().unwrap();
+        let cache_hit = m.cache_hit_latency(&clip).secs().unwrap();
+        let needed = m.prefetch_bytes(clip.size, clip.display_bandwidth, link.bandwidth);
+        let mut last = full_miss;
+        for frac in [1u64, 2, 4, 8, 32, 64, 64] {
+            let resident = ByteSize::bytes(clip.size.as_u64() * frac / 64);
+            let lat = m.prefix_latency(&clip, resident, link).secs().unwrap();
+            assert!(
+                lat <= last,
+                "latency got worse with more prefix: {lat} > {last}"
+            );
+            assert!(lat < full_miss, "prefix hit no better than a miss");
+            if resident >= needed {
+                assert_eq!(lat, cache_hit, "full prefetch on disk = cache-hit start");
+            }
+            last = lat;
+        }
+    }
+
+    #[test]
+    fn prefix_hit_while_disconnected_still_starts() {
+        let m = LatencyModel::default();
+        let clip = video_clip();
+        let lat = m.prefix_latency(&clip, ByteSize::mb(1), NetworkLink::disconnected());
+        assert_eq!(lat, m.cache_hit_latency(&clip));
+        assert!(lat.secs().is_some(), "prefix display must start offline");
     }
 
     #[test]

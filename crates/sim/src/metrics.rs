@@ -17,10 +17,16 @@ use serde::{Deserialize, Serialize};
 /// Running hit/miss counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HitStats {
-    /// Requests serviced from the cache.
+    /// Requests serviced from the cache — full hits *and* prefix hits
+    /// (either way display starts from local storage).
     pub hits: u64,
     /// Requests that went to the network.
     pub misses: u64,
+    /// The subset of `hits` where only a head prefix was resident: the
+    /// clip started displaying from cache while its tail streamed in.
+    /// Zero whenever the repository is unchunked, which is what keeps
+    /// chunked and whole-clip runs comparable field by field.
+    pub prefix_hits: u64,
     /// Bytes serviced from the cache.
     pub byte_hits: ByteSize,
     /// Bytes fetched over the network (missed bytes).
@@ -44,6 +50,18 @@ impl HitStats {
             self.misses += 1;
             self.byte_misses += size;
         }
+        self.evictions += evictions as u64;
+    }
+
+    /// Record one prefix hit: `resident` bytes came from the cache,
+    /// `tail` bytes streamed over the network while display ran.
+    /// Counted in `hits` (display started locally) and in the
+    /// `prefix_hits` refinement; the byte counters carry the split.
+    pub fn record_prefix(&mut self, resident: ByteSize, tail: ByteSize, evictions: usize) {
+        self.hits += 1;
+        self.prefix_hits += 1;
+        self.byte_hits += resident;
+        self.byte_misses += tail;
         self.evictions += evictions as u64;
     }
 
@@ -81,6 +99,7 @@ impl HitStats {
     pub fn merge(&mut self, other: &HitStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.prefix_hits += other.prefix_hits;
         self.byte_hits += other.byte_hits;
         self.byte_misses += other.byte_misses;
         self.evictions += other.evictions;
@@ -225,6 +244,22 @@ mod tests {
         assert_eq!(s.hit_rate(), 0.5);
         assert!((s.byte_hit_rate() - 0.25).abs() < 1e-12);
         assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn prefix_hits_split_bytes() {
+        let mut s = HitStats::new();
+        s.record_prefix(ByteSize::mb(2), ByteSize::mb(8), 1);
+        assert_eq!(s.hits, 1, "a prefix hit starts display from cache");
+        assert_eq!(s.prefix_hits, 1);
+        assert_eq!(s.requests(), 1);
+        assert_eq!(s.hit_rate(), 1.0);
+        assert_eq!(s.byte_hits, ByteSize::mb(2));
+        assert_eq!(s.byte_misses, ByteSize::mb(8));
+        assert_eq!(s.evictions, 1);
+        let mut t = HitStats::new();
+        t.merge(&s);
+        assert_eq!(t.prefix_hits, 1, "prefix hits merge like any counter");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::latency::{LatencyModel, LatencyStats};
 use crate::metrics::{theoretical_hit_rate, HitStats, WindowedSeries};
 use crate::network::ConnectivitySchedule;
-use clipcache_core::{ClipCache, EvictionCount};
+use clipcache_core::{AccessEvent, ClipCache, EvictionCount};
 use clipcache_media::Repository;
 use clipcache_workload::Request;
 use serde::{Deserialize, Serialize};
@@ -79,18 +79,39 @@ pub fn simulate<'a>(
         let clip = repo.clip(req.clip);
         evictions.0 = 0;
         let event = cache.access_into(req.clip, req.at, &mut evictions);
-        let hit = event.is_hit();
-        stats.record(hit, clip.size, evictions.0);
-        series.record(hit);
-        if let Some(schedule) = &config.connectivity {
-            let lat = if hit {
-                config.latency.cache_hit_latency(clip)
-            } else {
-                config
-                    .latency
-                    .network_latency(clip, schedule.link_at(issued))
-            };
-            latency.record(lat);
+        // Prefix hits start display locally, so they count as hits in
+        // the windowed series and in `stats.hits`; the byte accounting
+        // splits resident head from streamed tail. Unchunked runs never
+        // produce `PrefixHit`, so their reports are field-identical to
+        // the whole-clip model.
+        match event {
+            AccessEvent::PrefixHit { resident, .. } => {
+                let resident_bytes = repo.prefix_bytes(req.clip, resident);
+                stats.record_prefix(resident_bytes, clip.size - resident_bytes, evictions.0);
+                series.record(true);
+                if let Some(schedule) = &config.connectivity {
+                    latency.record(config.latency.prefix_latency(
+                        clip,
+                        resident_bytes,
+                        schedule.link_at(issued),
+                    ));
+                }
+            }
+            _ => {
+                let hit = event.is_hit();
+                stats.record(hit, clip.size, evictions.0);
+                series.record(hit);
+                if let Some(schedule) = &config.connectivity {
+                    let lat = if hit {
+                        config.latency.cache_hit_latency(clip)
+                    } else {
+                        config
+                            .latency
+                            .network_latency(clip, schedule.link_at(issued))
+                    };
+                    latency.record(lat);
+                }
+            }
         }
     }
     SimulationReport {

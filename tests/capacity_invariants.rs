@@ -115,6 +115,12 @@ proptest! {
                         prop_assert!(was_resident, "{}: hit on absent clip", cache.name());
                         prop_assert!(cache.contains(clip));
                     }
+                    AccessOutcome::PrefixHit { .. } => {
+                        // This suite runs unchunked repositories; prefix
+                        // hits exist only under Repository::with_chunk_size
+                        // (tests/chunk_properties.rs covers them).
+                        prop_assert!(false, "{}: prefix hit without chunking", cache.name());
+                    }
                     AccessOutcome::Miss { admitted, evicted } => {
                         prop_assert!(!was_resident, "{}: miss on resident clip", cache.name());
                         prop_assert_eq!(*admitted, cache.contains(clip));

@@ -1,0 +1,214 @@
+//! Property tests for chunk-granular residency.
+//!
+//! Two invariants anchor the chunk model:
+//!
+//! 1. **Whole-clip equivalence.** A chunk size at least as large as every
+//!    clip makes each clip a single chunk, so nothing can trim: every
+//!    policy, on both victim-index backends, must replay any trace with
+//!    the *bit-identical* outcome sequence, residency, and byte usage it
+//!    produces unchunked. Chunking is a strict refinement — turning it
+//!    off is the degenerate case, not a separate code path.
+//!
+//! 2. **Prefix retention.** Under genuine chunking the resident set of a
+//!    clip is always a head-aligned prefix — the trimmer evicts tail
+//!    chunks inward and never orphans chunk `k` while `k+1` is resident.
+//!    Observably: every partial clip reports `0 < prefix < total`, full
+//!    and partial residency are disjoint, and the cache's used-byte
+//!    counter is exactly the sum of full clips plus resident prefixes
+//!    (an orphaned hole would break the byte identity).
+
+use clipcache::core::{AccessOutcome, PolicyKind, PolicySpec, VictimBackend};
+use clipcache::media::{Bandwidth, ByteSize, ClipId, MediaType, Repository, RepositoryBuilder};
+use clipcache::workload::Timestamp;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The full policy taxonomy on its access-local column — every kind the
+/// heap backend supports, mirrored from `backend_equivalence`.
+fn all_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Random,
+        PolicyKind::Lru,
+        PolicyKind::Mru,
+        PolicyKind::Fifo,
+        PolicyKind::Lfu,
+        PolicyKind::LfuDa,
+        PolicyKind::Size,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::LruK { k: 3 },
+        PolicyKind::LruKCrp { k: 2, crp: 3 },
+        PolicyKind::GreedyDual,
+        PolicyKind::GreedyDualFetchTime { mbps: 1 },
+        PolicyKind::GreedyDualPackets,
+        PolicyKind::GreedyDualLatency { mbps: 1 },
+        PolicyKind::GdFreq,
+        PolicyKind::GdsPopularity,
+    ]
+}
+
+fn build_repo(sizes_mb: &[u64], chunk: Option<ByteSize>) -> Arc<Repository> {
+    let mut b = RepositoryBuilder::new();
+    for &mb in sizes_mb {
+        b = b.push(MediaType::Video, ByteSize::mb(mb), Bandwidth::mbps(4));
+    }
+    let repo = b.build().expect("non-empty positive sizes");
+    Arc::new(match chunk {
+        Some(c) => repo.with_chunk_size(c),
+        None => repo,
+    })
+}
+
+fn check_degenerate_chunks_are_whole_clip(
+    sizes_mb: &[u64],
+    capacity: ByteSize,
+    trace: &[usize],
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    // One chunk spans the largest clip, so every clip is one chunk.
+    let chunk = ByteSize::mb(*sizes_mb.iter().max().unwrap());
+    let plain = build_repo(sizes_mb, None);
+    let chunked = build_repo(sizes_mb, Some(chunk));
+    let n = plain.len();
+    for kind in all_policies() {
+        for backend in [VictimBackend::Scan, VictimBackend::Heap] {
+            let spec = PolicySpec::with_backend(kind, backend);
+            let mut whole = spec.build(Arc::clone(&plain), capacity, seed, None);
+            let mut degen = spec.build(Arc::clone(&chunked), capacity, seed, None);
+            for (i, &raw) in trace.iter().enumerate() {
+                let clip = ClipId::from_index(raw % n);
+                let now = Timestamp(i as u64 + 1);
+                let a = whole.access(clip, now);
+                let b = degen.access(clip, now);
+                prop_assert_eq!(
+                    a,
+                    b,
+                    "{}@{:?}: diverged at request {} (clip {})",
+                    kind,
+                    backend,
+                    i,
+                    raw % n
+                );
+                prop_assert!(
+                    !matches!(b, AccessOutcome::PrefixHit { .. }),
+                    "{}@{:?}: single-chunk clips cannot prefix-hit",
+                    kind,
+                    backend
+                );
+            }
+            let mut a = whole.resident_clips();
+            let mut b = degen.resident_clips();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "{}@{:?}: final residency", kind, backend);
+            prop_assert_eq!(
+                whole.used(),
+                degen.used(),
+                "{}@{:?}: used bytes",
+                kind,
+                backend
+            );
+            prop_assert!(
+                degen.partial_clips().is_empty(),
+                "{}@{:?}: degenerate chunking can never hold a partial clip",
+                kind,
+                backend
+            );
+        }
+    }
+    Ok(())
+}
+
+fn check_prefix_retention(
+    sizes_mb: &[u64],
+    capacity: ByteSize,
+    trace: &[usize],
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    // 1 MB chunks against multi-MB clips: trims are frequent.
+    let repo = build_repo(sizes_mb, Some(ByteSize::mb(1)));
+    let n = repo.len();
+    for kind in all_policies() {
+        for backend in [VictimBackend::Scan, VictimBackend::Heap] {
+            let spec = PolicySpec::with_backend(kind, backend);
+            let mut cache = spec.build(Arc::clone(&repo), capacity, seed, None);
+            for (i, &raw) in trace.iter().enumerate() {
+                let clip = ClipId::from_index(raw % n);
+                let event = cache.access(clip, Timestamp(i as u64 + 1));
+                if let AccessOutcome::PrefixHit {
+                    resident, total, ..
+                } = event
+                {
+                    prop_assert!(resident > 0 && resident < total);
+                    prop_assert_eq!(total, repo.chunks_of(clip));
+                }
+                // The retention invariant, checked after every step:
+                // residency is head-aligned prefixes and nothing else.
+                let full = cache.resident_clips();
+                let mut used = ByteSize::ZERO;
+                for &c in &full {
+                    used += repo.clip(c).size;
+                }
+                for (c, prefix) in cache.partial_clips() {
+                    let total = repo.chunks_of(c);
+                    prop_assert!(
+                        prefix > 0 && prefix < total,
+                        "{}@{:?}: partial clip {} holds {}/{} chunks",
+                        kind,
+                        backend,
+                        c.get(),
+                        prefix,
+                        total
+                    );
+                    prop_assert!(
+                        !full.contains(&c),
+                        "{}@{:?}: clip {} both full and partial",
+                        kind,
+                        backend,
+                        c.get()
+                    );
+                    used += repo.prefix_bytes(c, prefix);
+                }
+                // Byte identity: an orphaned chunk (a hole behind a
+                // resident tail) would desynchronize this sum.
+                prop_assert_eq!(
+                    used,
+                    cache.used(),
+                    "{}@{:?}: used bytes must equal full clips + prefixes",
+                    kind,
+                    backend
+                );
+                prop_assert!(cache.used() <= cache.capacity());
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn degenerate_chunking_is_bit_identical_to_whole_clip(
+        sizes_mb in proptest::collection::vec(1u64..40, 3..8),
+        capacity_mb in 5u64..100,
+        trace in proptest::collection::vec(0usize..8, 30..120),
+        seed in 0u64..10_000,
+    ) {
+        check_degenerate_chunks_are_whole_clip(
+            &sizes_mb,
+            ByteSize::mb(capacity_mb),
+            &trace,
+            seed,
+        )?;
+    }
+
+    #[test]
+    fn chunked_residency_is_always_a_head_prefix(
+        sizes_mb in proptest::collection::vec(2u64..24, 3..8),
+        capacity_mb in 4u64..60,
+        trace in proptest::collection::vec(0usize..8, 30..120),
+        seed in 0u64..10_000,
+    ) {
+        check_prefix_retention(&sizes_mb, ByteSize::mb(capacity_mb), &trace, seed)?;
+    }
+}
