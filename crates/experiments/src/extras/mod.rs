@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod blocks;
 pub mod bypass;
+pub mod clusterbench;
 pub mod composition;
 pub mod coop;
 pub mod equivalence;

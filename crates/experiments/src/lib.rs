@@ -67,6 +67,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "faultbench",
     "recoverybench",
     "prefixbench",
+    "clusterbench",
     "optimality",
 ];
 
@@ -105,6 +106,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "faultbench" => "serving layer: effective hit rate vs injected fault rate (chaos harness)",
         "recoverybench" => "serving layer: warm (checkpoint+WAL) vs cold restart hit rate",
         "prefixbench" => "chunk layer: prefix caching vs whole-clip at equal byte budgets",
+        "clusterbench" => "cluster tier: ring-routed hit rate vs N independent caches",
         _ => return None,
     })
 }
@@ -140,6 +142,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<FigureRes
         "faultbench" => extras::faultbench::run(ctx),
         "recoverybench" => extras::recoverybench::run(ctx),
         "prefixbench" => extras::prefixbench::run(ctx),
+        "clusterbench" => extras::clusterbench::run(ctx),
         "loglaw" => extras::loglaw::run(ctx),
         "sizes" => extras::sizes::run(ctx),
         "ablation" => extras::ablation::run(ctx),

@@ -7,6 +7,8 @@
 //!         [--check-serial tol] [--wire text|binary] [--pipeline n]
 //!         [--faults spec] [--retries n] [--backoff-ms n]
 //!         [--chaos-report path] [--data-dir path] [--wal-sync always|off]
+//!         [--peers a,b,c | --cluster-nodes n] [--replication r]
+//!         [--peer-faults spec]
 //! ```
 //!
 //! Replays a seeded Zipf trace from `--clients` closed-loop threads
@@ -45,6 +47,15 @@
 //! `--policy/--shards/--clips/--ratio/--seed` the server was started
 //! with so the baseline matches.
 //!
+//! Cluster modes: `--peers a,b,c` ring-routes every GET across a
+//! running TCP cluster (same member order, `--seed` and `--replication`
+//! as the servers), failing over to replica owners when a member is
+//! down. `--cluster-nodes n` instead builds an in-process n-node
+//! cluster (the deterministic harness `clusterbench` and the cluster
+//! chaos golden use); `--peer-faults spec` injects drop-pre/drop-post/
+//! garbage faults on its modelled peer wire, and the cluster block is
+//! appended to `--chaos-report` output.
+//!
 //! `--data-dir` (inproc targets only) runs the in-process service
 //! durably — checkpoint + WAL per shard, recovered on open — so
 //! `--check-serial 0` against a fresh data dir proves persistence does
@@ -55,8 +66,9 @@
 
 use clipcache_media::paper;
 use clipcache_serve::{
-    run_load_with, serial_baseline, CacheService, CrashAction, FaultPlan, LoadOptions,
-    PersistOptions, RetryPolicy, ServiceConfig, Target, WalSync, Wire,
+    run_load_with, serial_baseline, CacheService, ClusterHarness, ClusterRoute, CrashAction,
+    FaultPlan, LoadOptions, PeerFaults, PersistOptions, RetryPolicy, ServiceConfig, Target,
+    WalSync, Wire,
 };
 use clipcache_workload::{RequestGenerator, Trace};
 use std::process::ExitCode;
@@ -82,6 +94,10 @@ struct Args {
     wal_sync: WalSync,
     wire: Wire,
     pipeline: usize,
+    peers: Vec<String>,
+    cluster_nodes: Option<usize>,
+    replication: usize,
+    peer_faults: Option<FaultPlan>,
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -114,6 +130,10 @@ fn parse_args() -> Result<Args, String> {
         wal_sync: WalSync::default(),
         wire: Wire::Text,
         pipeline: 1,
+        peers: Vec::new(),
+        cluster_nodes: None,
+        replication: 1,
+        peer_faults: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -208,6 +228,44 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--pipeline must be at least 1".into());
                 }
             }
+            "--peers" => {
+                let v = argv
+                    .next()
+                    .ok_or("--peers needs a comma-separated address list")?;
+                args.peers = v
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+                if args.peers.is_empty() {
+                    return Err("--peers needs at least one address".into());
+                }
+            }
+            "--cluster-nodes" => {
+                let v = argv.next().ok_or("--cluster-nodes needs a count")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --cluster-nodes: {e}"))?;
+                if n == 0 {
+                    return Err("--cluster-nodes must be at least 1".into());
+                }
+                args.cluster_nodes = Some(n);
+            }
+            "--replication" => {
+                let v = argv.next().ok_or("--replication needs a count")?;
+                args.replication = v.parse().map_err(|e| format!("bad --replication: {e}"))?;
+                if args.replication == 0 {
+                    return Err("--replication must be at least 1".into());
+                }
+            }
+            "--peer-faults" => {
+                let v = argv
+                    .next()
+                    .ok_or("--peer-faults needs a spec (e.g. rate=0.01,kinds=drop-pre+garbage)")?;
+                let plan = FaultPlan::parse(&v).map_err(|e| format!("bad --peer-faults: {e}"))?;
+                // Validate the kind restriction now so a bad spec fails
+                // at the flag, not mid-run.
+                PeerFaults::new(plan.clone()).map_err(|e| format!("bad --peer-faults: {e}"))?;
+                args.peer_faults = Some(plan);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--target inproc|host:port] [--policy spec] \
@@ -217,6 +275,8 @@ fn parse_args() -> Result<Args, String> {
                      [--wire text|binary] [--pipeline n] \
                      [--faults spec] [--retries n] [--backoff-ms n] \
                      [--chaos-report path|-] [--data-dir path] [--wal-sync always|off]\n\
+                     \x20       [--peers a,b,c | --cluster-nodes n] [--replication r] \
+                     [--peer-faults spec]\n\
                      --wire binary speaks length-prefixed frames; --pipeline n \
                      keeps n requests in flight per connection (clean TCP \
                      replays only; results are depth-invariant)\n\
@@ -226,7 +286,12 @@ fn parse_args() -> Result<Args, String> {
                      --faults rate=0.02,seed=7,kinds=drop-pre+drop-post+garbage+torn+poison \
                      injects a deterministic fault schedule recovered by \
                      --retries (default 4) with jitter-free exponential \
-                     backoff from --backoff-ms (default 0)"
+                     backoff from --backoff-ms (default 0)\n\
+                     --peers ring-routes GETs across a running TCP cluster \
+                     (same member order, --seed and --replication as the \
+                     servers); --cluster-nodes n builds an in-process n-node \
+                     cluster and --peer-faults injects \
+                     drop-pre/drop-post/garbage on its peer wire"
                         .into(),
                 )
             }
@@ -237,6 +302,49 @@ fn parse_args() -> Result<Args, String> {
         return Err(
             "--data-dir only applies to --target inproc (persist the server instead)".into(),
         );
+    }
+    if !args.peers.is_empty() && args.cluster_nodes.is_some() {
+        return Err("--peers (TCP cluster) and --cluster-nodes (in-process) are exclusive".into());
+    }
+    if !args.peers.is_empty() && args.target != "inproc" {
+        return Err("--peers replaces --target; drop the --target flag".into());
+    }
+    let members = if !args.peers.is_empty() {
+        Some(args.peers.len())
+    } else {
+        args.cluster_nodes
+    };
+    match members {
+        Some(n) if args.replication > n => {
+            return Err(format!(
+                "--replication {} exceeds the {n} cluster member(s)",
+                args.replication
+            ));
+        }
+        None => {
+            if args.replication != 1 {
+                return Err("--replication needs --peers or --cluster-nodes".into());
+            }
+            if args.peer_faults.is_some() {
+                return Err("--peer-faults needs --cluster-nodes (in-process peer wire)".into());
+            }
+        }
+        _ => {}
+    }
+    if args.peer_faults.is_some() && args.cluster_nodes.is_none() {
+        return Err("--peer-faults needs --cluster-nodes (in-process peer wire)".into());
+    }
+    if members.is_some() {
+        if args.data_dir.is_some() {
+            return Err("--data-dir does not apply to cluster targets".into());
+        }
+        if args.pipeline > 1 {
+            return Err(
+                "--pipeline cannot be combined with cluster targets: ring routing \
+                 picks a connection per clip, so there is no single pipe to batch into"
+                    .into(),
+            );
+        }
     }
     if args.faults.is_some() && args.pipeline > 1 {
         return Err(
@@ -276,7 +384,9 @@ fn main() -> ExitCode {
     // counters then include a previous run's requests and cannot be
     // compared against this run's client-observed counters.
     let mut warm_start = false;
-    let service = if args.target == "inproc" {
+    let standalone_inproc =
+        args.target == "inproc" && args.peers.is_empty() && args.cluster_nodes.is_none();
+    let service = if standalone_inproc {
         let built = match &args.data_dir {
             Some(dir) => {
                 let opts = PersistOptions {
@@ -311,9 +421,51 @@ fn main() -> ExitCode {
     } else {
         None
     };
-    let target = match &service {
-        Some(s) => Target::InProcess(Arc::clone(s)),
-        None => Target::Tcp(args.target.clone()),
+    // The in-process cluster harness, when --cluster-nodes asked for
+    // one. Node i runs its own full-capacity service seeded seed+i
+    // (distinct shard seeds per node; node 0 of a 1-node cluster is
+    // exactly the standalone service, preserving the serial anchor).
+    let harness = match args.cluster_nodes {
+        Some(n) => {
+            let mut services = Vec::with_capacity(n);
+            for i in 0..n {
+                let config = ServiceConfig::new(
+                    args.policy,
+                    args.shards,
+                    capacity,
+                    args.seed.wrapping_add(i as u64),
+                );
+                match CacheService::new(Arc::clone(&repo), config, None) {
+                    Ok(s) => services.push(Arc::new(s)),
+                    Err(e) => {
+                        eprintln!("cannot build cluster node {i}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let mut h = ClusterHarness::new(args.seed, args.replication, services);
+            if let Some(plan) = &args.peer_faults {
+                h.set_faults(Some(
+                    PeerFaults::new(plan.clone()).expect("validated at parse"),
+                ));
+            }
+            Some(Arc::new(std::sync::Mutex::new(h)))
+        }
+        None => None,
+    };
+    let target = if let Some(harness) = &harness {
+        Target::Cluster(Arc::clone(harness))
+    } else if !args.peers.is_empty() {
+        Target::ClusterTcp(ClusterRoute {
+            peers: args.peers.clone(),
+            replication: args.replication,
+            seed: args.seed,
+        })
+    } else {
+        match &service {
+            Some(s) => Target::InProcess(Arc::clone(s)),
+            None => Target::Tcp(args.target.clone()),
+        }
     };
 
     let options = LoadOptions {
@@ -418,8 +570,28 @@ fn main() -> ExitCode {
             }
         }
     }
+    // The cluster block: harness counters are deterministic and
+    // wall-clock-free, so they print with the summary and extend the
+    // byte-stable chaos report.
+    let cluster_lines = harness.as_ref().map(|h| {
+        let h = h.lock().expect("cluster harness poisoned");
+        let stats = h.stats();
+        if !stats.conservation_ok() {
+            eprintln!("cluster invariant FAILED: delivered != local + peer + miss");
+        }
+        (h.chaos_lines(), stats.conservation_ok())
+    });
+    if let Some((lines, ok)) = &cluster_lines {
+        print!("{lines}");
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(path) = &args.chaos_report {
-        let rendered = report.chaos_report();
+        let mut rendered = report.chaos_report();
+        if let Some((lines, _)) = &cluster_lines {
+            rendered.push_str(lines);
+        }
         if path == "-" {
             print!("{rendered}");
         } else if let Err(e) = std::fs::write(path, &rendered) {

@@ -6,6 +6,7 @@
 //!       [--read-timeout ms] [--chaos]
 //!       [--data-dir path] [--wal-sync always|off]
 //!       [--checkpoint-every n] [--crash-at kind:N]
+//!       [--cluster i --peers a,b,c [--replication r] [--peer-timeout ms]]
 //! ```
 //!
 //! Binds, prints `listening on <addr>`, then serves the line protocol
@@ -30,11 +31,22 @@
 //! (requires `--data-dir`) arms a deterministic crash point
 //! (`append:N`, `torn:N`, `checkpoint:N`) that kills the process with
 //! exit code 137 — the chaos harness's crash-restart loop.
+//!
+//! Cluster knobs: `--cluster i` makes this process member `i` of a
+//! static membership given by `--peers` (a comma-separated address
+//! list, self included, identical on every member); `--replication r`
+//! sets the replica count per clip (default 1). Members peer-fetch
+//! missed clips from the clip's other ring owners (`PEERGET`) before
+//! reporting a miss, after a `VERSION` handshake that refuses skewed
+//! peers by name. `--peer-timeout` bounds each peer probe (connect and
+//! read) in milliseconds — a slow or mutually-busy peer degrades to a
+//! timed-out probe (served as a miss), never a deadlock. If `--addr` is
+//! not given, a cluster member binds its own `--peers` entry.
 
 use clipcache_media::paper;
 use clipcache_serve::{
-    serve_with, CacheService, CrashAction, CrashSpec, PersistOptions, ServerConfig, ServiceConfig,
-    WalSync,
+    serve_with, CacheService, ClusterSpec, CrashAction, CrashSpec, PersistOptions, ServerConfig,
+    ServiceConfig, WalSync,
 };
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -42,7 +54,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
-    addr: String,
+    addr: Option<String>,
     policy: clipcache_core::PolicySpec,
     shards: usize,
     clips: usize,
@@ -54,6 +66,10 @@ struct Args {
     wal_sync: WalSync,
     checkpoint_every: Option<u64>,
     crash_at: Option<CrashSpec>,
+    cluster: Option<usize>,
+    peers: Vec<String>,
+    replication: usize,
+    peer_timeout: Option<Duration>,
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -68,7 +84,7 @@ fn parse_u64(v: &str) -> Result<u64, String> {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        addr: "127.0.0.1:0".into(),
+        addr: None,
         policy: clipcache_core::PolicyKind::Lru.into(),
         shards: 4,
         clips: 100,
@@ -80,11 +96,15 @@ fn parse_args() -> Result<Args, String> {
         wal_sync: WalSync::default(),
         checkpoint_every: None,
         crash_at: None,
+        cluster: None,
+        peers: Vec::new(),
+        replication: 1,
+        peer_timeout: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--addr" => args.addr = argv.next().ok_or("--addr needs host:port")?,
+            "--addr" => args.addr = Some(argv.next().ok_or("--addr needs host:port")?),
             "--policy" => {
                 let v = argv.next().ok_or("--policy needs a spec")?;
                 args.policy = v.parse()?;
@@ -153,6 +173,38 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--crash-at needs kind:N")?;
                 args.crash_at = Some(CrashSpec::parse(&v)?);
             }
+            "--cluster" => {
+                let v = argv.next().ok_or("--cluster needs this node's index")?;
+                args.cluster = Some(v.parse().map_err(|e| format!("bad --cluster: {e}"))?);
+            }
+            "--peers" => {
+                let v = argv
+                    .next()
+                    .ok_or("--peers needs a comma-separated address list")?;
+                args.peers = v
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+                if args.peers.is_empty() {
+                    return Err("--peers needs at least one address".into());
+                }
+            }
+            "--replication" => {
+                let v = argv.next().ok_or("--replication needs a count")?;
+                args.replication = v.parse().map_err(|e| format!("bad --replication: {e}"))?;
+                if args.replication == 0 {
+                    return Err("--replication must be at least 1".into());
+                }
+            }
+            "--peer-timeout" => {
+                let v = argv.next().ok_or("--peer-timeout needs milliseconds")?;
+                let ms: u64 = v.parse().map_err(|e| format!("bad --peer-timeout: {e}"))?;
+                if ms == 0 {
+                    return Err("--peer-timeout must be at least 1 ms".into());
+                }
+                args.peer_timeout = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: serve [--addr host:port] [--policy spec] [--shards n] \
@@ -160,6 +212,8 @@ fn parse_args() -> Result<Args, String> {
                      [--max-conns n] \
                      [--read-timeout ms] [--chaos] [--data-dir path] \
                      [--wal-sync always|off] [--checkpoint-every n] [--crash-at kind:N]\n\
+                     \x20      [--cluster i --peers a,b,c [--replication r] \
+                     [--peer-timeout ms]]\n\
                      serves until stdin closes or reads a `quit` line;\n\
                      --chunk-size n addresses clips as n-MB chunks (prefix \
                      residency + GETRANGE probes; 0 = whole-clip, the default);\n\
@@ -167,7 +221,11 @@ fn parse_args() -> Result<Args, String> {
                      --read-timeout reclaims idle connections, --chaos honors POISON;\n\
                      --data-dir makes every shard durable (checkpoint + WAL) and\n\
                      recovers previous state on start, --crash-at arms a\n\
-                     deterministic crash point (append:N, torn:N, checkpoint:N)"
+                     deterministic crash point (append:N, torn:N, checkpoint:N);\n\
+                     --cluster i joins the static membership in --peers (same list\n\
+                     and --seed on every member) as member i, peer-filling misses\n\
+                     from the clip's other ring owners at --replication r;\n\
+                     --peer-timeout bounds each peer probe (connect and read)"
                         .into(),
                 )
             }
@@ -176,6 +234,27 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.crash_at.is_some() && args.data_dir.is_none() {
         return Err("--crash-at needs --data-dir (crash points live in the durable store)".into());
+    }
+    match args.cluster {
+        Some(me) => {
+            let mut spec = ClusterSpec::new(args.peers.clone(), me, args.replication, args.seed)?;
+            if let Some(timeout) = args.peer_timeout {
+                spec.read_timeout = timeout;
+                spec.connect_timeout = timeout.min(spec.connect_timeout);
+            }
+            args.server.cluster = Some(spec);
+        }
+        None => {
+            if !args.peers.is_empty() {
+                return Err("--peers needs --cluster (this node's member index)".into());
+            }
+            if args.replication != 1 {
+                return Err("--replication needs --cluster".into());
+            }
+            if args.peer_timeout.is_some() {
+                return Err("--peer-timeout needs --cluster".into());
+            }
+        }
     }
     Ok(args)
 }
@@ -231,13 +310,31 @@ fn main() -> ExitCode {
             }
         },
     };
-    let handle = match serve_with(service, &args.addr, args.server) {
+    // A cluster member defaults to binding its own membership entry;
+    // a standalone server keeps the ephemeral-port default.
+    let addr = args
+        .addr
+        .clone()
+        .unwrap_or_else(|| match &args.server.cluster {
+            Some(spec) => spec.peers[spec.me].clone(),
+            None => "127.0.0.1:0".into(),
+        });
+    let cluster = args.server.cluster.clone();
+    let handle = match serve_with(service, &addr, args.server) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("cannot bind {}: {e}", args.addr);
+            eprintln!("cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(spec) = &cluster {
+        println!(
+            "cluster member {}/{} (replication {})",
+            spec.me,
+            spec.peers.len(),
+            spec.replication
+        );
+    }
     println!(
         "listening on {} ({} shards, {} policy, {} clips, {} bytes)",
         handle.addr(),

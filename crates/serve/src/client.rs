@@ -21,8 +21,8 @@
 //! writes).
 
 use crate::protocol::{
-    corrupt_length_get_frame, decode_reply, encode_command, parse_get, parse_poisoned, parse_range,
-    parse_stats, Command, Decoded, Reply, ServerStats,
+    corrupt_length_get_frame, decode_reply, encode_command, parse_get, parse_peer, parse_poisoned,
+    parse_range, parse_stats, parse_version, Command, Decoded, Reply, ServerStats, WireVersions,
 };
 use crate::shard::{GetOutcome, RangeOutcome};
 use clipcache_media::ClipId;
@@ -88,12 +88,58 @@ impl TcpCacheClient {
     }
 
     /// Connect speaking the given wire protocol.
+    ///
+    /// `read_timeout` bounds the *connect* too: a peer that is
+    /// mid-recovery (listening socket up, accept loop not yet draining
+    /// its SYN backlog) used to block the caller indefinitely inside
+    /// `TcpStream::connect`; now the same budget that bounds each reply
+    /// bounds establishment, so lazy reconnects surface a timeout error
+    /// the retry loop can act on. Use
+    /// [`connect_deadline`](Self::connect_deadline) to pick a separate
+    /// connect budget.
     pub fn connect_wire(
         addr: impl ToSocketAddrs,
         read_timeout: Option<Duration>,
         wire: Wire,
     ) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_deadline(addr, read_timeout, read_timeout, wire)
+    }
+
+    /// Connect with independent read and connect budgets (`None` =
+    /// block). The cluster peer pool uses a short connect budget so a
+    /// dead peer costs one bounded probe, not a stalled event loop.
+    pub fn connect_deadline(
+        addr: impl ToSocketAddrs,
+        read_timeout: Option<Duration>,
+        connect_timeout: Option<Duration>,
+        wire: Wire,
+    ) -> std::io::Result<Self> {
+        let stream = match connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(limit) => {
+                // `TcpStream::connect_timeout` takes one resolved
+                // address; try each resolution, keeping the last error.
+                let mut last: Option<std::io::Error> = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, limit) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                })?
+            }
+        };
         stream.set_nodelay(true)?;
         stream.set_read_timeout(read_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -295,6 +341,44 @@ impl TcpCacheClient {
             other => Err(Self::protocol_err(format!(
                 "expected an ERR reply to garbage, got {other:?}"
             ))),
+        }
+    }
+
+    /// `PEERGET <clip>`: a cluster peer-fill probe — the receiving node
+    /// performs a full local access (admitting on a miss) and reports
+    /// whether the clip was already resident there.
+    pub fn peer_get(&mut self, clip: ClipId) -> std::io::Result<bool> {
+        match self.wire {
+            Wire::Text => {
+                let reply = self.roundtrip(&format!("PEERGET {}", clip.get()))?;
+                parse_peer(&reply).map_err(Self::protocol_err)
+            }
+            Wire::Binary => match self.roundtrip_frame(&Command::PeerGet(clip))? {
+                Reply::Peer(had) => Ok(had),
+                Reply::Err(msg) => Err(Self::protocol_err(format!("ERR {msg}"))),
+                other => Err(Self::protocol_err(format!(
+                    "expected a PEERGET reply, got {other:?}"
+                ))),
+            },
+        }
+    }
+
+    /// `VERSION` / `HELLO`: the server's wire and schema versions. The
+    /// cluster handshake compares these against
+    /// [`WireVersions::current`] and refuses skewed peers by name.
+    pub fn version(&mut self) -> std::io::Result<WireVersions> {
+        match self.wire {
+            Wire::Text => {
+                let reply = self.roundtrip("VERSION")?;
+                parse_version(&reply).map_err(Self::protocol_err)
+            }
+            Wire::Binary => match self.roundtrip_frame(&Command::Version)? {
+                Reply::Version(versions) => Ok(versions),
+                Reply::Err(msg) => Err(Self::protocol_err(format!("ERR {msg}"))),
+                other => Err(Self::protocol_err(format!(
+                    "expected a VERSION reply, got {other:?}"
+                ))),
+            },
         }
     }
 

@@ -1,0 +1,779 @@
+//! The cluster tier: static membership, ring placement, peer fill, and
+//! the in-process harness.
+//!
+//! A cluster is N `serve` processes, each running the unmodified epoll
+//! event loop over its own [`CacheService`], joined by nothing more
+//! than a static membership list and a shared seed. There is no
+//! coordinator and no gossip: placement is a pure function of
+//! `(seed, membership, clip)` through [`HashRing`], so every node and
+//! every client computes identical owner sets without talking to
+//! anyone.
+//!
+//! ## Placement and replication
+//!
+//! A clip's owners are the first `R` distinct nodes clockwise from its
+//! ring point ([`ClusterView::owners_for`]). Reads are **read-any**: a
+//! client sends its GET to the first alive owner. Writes (cache fills)
+//! are **write-all-on-miss**: when the handling owner misses locally it
+//! probes every other owner with `PEERGET`, and a `PEERGET` is a full
+//! local access on the receiving node — it admits on miss. After any
+//! miss-handled GET, every reachable owner therefore holds the clip,
+//! which is what makes read-any sound. On a local hit no peer traffic
+//! happens at all, so replicas' recency drifts between fills; that is
+//! deliberate (hits are the common case and must stay single-node
+//! cheap).
+//!
+//! A peer fill that finds the clip on some other owner is reported to
+//! the client as `PHIT` (`GetOutcome::peer`): not a local hit, but not
+//! an origin fetch either. `PEERGET` never recurses — the receiving
+//! node answers from its own shards only — so peer traffic is loop-free
+//! by construction.
+//!
+//! With `R = 1` the probe set (owners minus self) is empty and the
+//! cluster tier adds *zero* work to the request path: a 1-node / R=1
+//! cluster is bit-for-bit the standalone server, which keeps the serial
+//! equivalence anchor intact.
+//!
+//! ## Versioning
+//!
+//! Peers handshake with `VERSION` ([`WireVersions`]) before the first
+//! probe. Any skew — protocol, snapshot, or WAL — marks the peer
+//! terminally skewed (`PeerSlot::Skewed`) and is reported loudly by name;
+//! a skewed peer is never probed again (fail loud, not byzantine).
+//!
+//! ## Fault injection
+//!
+//! The in-process [`ClusterHarness`] replays the same deterministic
+//! chaos discipline as the wire harness: a [`PeerFaults`] plan
+//! (drop-pre / drop-post / garbage only — torn writes and shard poison
+//! make no sense on the modelled peer hop) decides faults as a pure
+//! function of `(handler node, probe sequence)`. A dropped-after-send
+//! probe still executes on the peer — the duplicated access is exactly
+//! the idempotent-GET duplicate the single-node chaos suite already
+//! proves harmless — so the conservation invariant
+//! `delivered = local hits + peer hits + misses` holds at every rate.
+
+use crate::client::TcpCacheClient;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::protocol::WireVersions;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::service::{CacheService, ServiceError};
+use crate::shard::GetOutcome;
+use clipcache_media::ClipId;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default budget for opening a peer connection.
+pub const DEFAULT_PEER_CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Default budget for a peer reply; also bounds how long a mutual-fetch
+/// stall between two busy event loops can last.
+pub const DEFAULT_PEER_READ_TIMEOUT: Duration = Duration::from_millis(1000);
+
+/// Static cluster membership plus this node's place in it.
+///
+/// `peers` lists every member's address **including this node's own**,
+/// in the shared membership order; `me` indexes it. Every member must
+/// be started with an identical list and seed or placement diverges —
+/// there is no runtime agreement protocol to save you.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Every member address, in shared membership order (self included).
+    pub peers: Vec<String>,
+    /// This node's index into `peers`.
+    pub me: usize,
+    /// Replication factor `R` (1 ..= peers.len()).
+    pub replication: usize,
+    /// Ring seed — must equal every other member's.
+    pub seed: u64,
+    /// Vnodes per member on the ring.
+    pub vnodes: usize,
+    /// Budget for opening a peer connection.
+    pub connect_timeout: Duration,
+    /// Budget for a peer reply.
+    pub read_timeout: Duration,
+}
+
+impl ClusterSpec {
+    /// Build and validate a spec with default vnodes and timeouts.
+    pub fn new(
+        peers: Vec<String>,
+        me: usize,
+        replication: usize,
+        seed: u64,
+    ) -> Result<ClusterSpec, String> {
+        if peers.is_empty() {
+            return Err("cluster needs at least one member".into());
+        }
+        if me >= peers.len() {
+            return Err(format!(
+                "self index {me} out of range for {} member(s)",
+                peers.len()
+            ));
+        }
+        if replication == 0 || replication > peers.len() {
+            return Err(format!(
+                "replication factor {replication} must be in 1..={}",
+                peers.len()
+            ));
+        }
+        Ok(ClusterSpec {
+            peers,
+            me,
+            replication,
+            seed,
+            vnodes: DEFAULT_VNODES,
+            connect_timeout: DEFAULT_PEER_CONNECT_TIMEOUT,
+            read_timeout: DEFAULT_PEER_READ_TIMEOUT,
+        })
+    }
+
+    /// The pure-topology view this spec induces.
+    pub fn view(&self) -> ClusterView {
+        ClusterView::with_vnodes(self.seed, self.peers.len(), self.replication, self.vnodes)
+    }
+}
+
+/// Pure cluster topology: the ring plus the replication factor. No
+/// addresses, no sockets — the same view drives the TCP router, the
+/// server-side peer fill, and the in-process harness, which is how
+/// "every party computes identical placement" is enforced by
+/// construction rather than by agreement.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    ring: HashRing,
+    replication: usize,
+}
+
+impl ClusterView {
+    /// A view with the default vnode count.
+    pub fn new(seed: u64, nodes: usize, replication: usize) -> ClusterView {
+        ClusterView::with_vnodes(seed, nodes, replication, DEFAULT_VNODES)
+    }
+
+    /// A view with an explicit vnode count.
+    ///
+    /// # Panics
+    /// If `nodes == 0`, `vnodes == 0`, or `replication` is outside
+    /// `1..=nodes`.
+    pub fn with_vnodes(seed: u64, nodes: usize, replication: usize, vnodes: usize) -> ClusterView {
+        assert!(
+            (1..=nodes).contains(&replication),
+            "replication factor {replication} must be in 1..={nodes}"
+        );
+        ClusterView {
+            ring: HashRing::with_vnodes(seed, nodes, vnodes),
+            replication,
+        }
+    }
+
+    /// Member count.
+    pub fn nodes(&self) -> usize {
+        self.ring.nodes()
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The clip's owner set: primary first, then `R - 1` distinct ring
+    /// successors. Identical on every node and every client.
+    pub fn owners_for(&self, clip: ClipId) -> Vec<usize> {
+        self.ring.owners(u64::from(clip.get()), self.replication)
+    }
+
+    /// The clip's primary owner (`owners_for(clip)[0]`).
+    pub fn primary_of(&self, clip: ClipId) -> usize {
+        self.ring.node_of(u64::from(clip.get()))
+    }
+}
+
+/// A peer slot in the server-side pool.
+enum PeerSlot {
+    /// No live connection; the next probe dials (and handshakes) lazily.
+    Idle,
+    /// Handshaked and usable.
+    Connected(TcpCacheClient),
+    /// Version skew detected — terminal. Never probed again.
+    Skewed,
+}
+
+/// Server-side cluster state owned by the event loop: the lazily
+/// dialled peer pool plus fill counters.
+///
+/// Peer fetches are *blocking* calls made from inside the epoll loop,
+/// bounded by the spec's connect/read timeouts. That is a deliberate
+/// trade: the probe is one tiny frame each way, and the timeout bounds
+/// the worst case (two nodes filling from each other simultaneously
+/// degrade to timeout-paced, not deadlocked — each one's `PEERGET`
+/// queues behind the other's in-flight work and both sides give up
+/// after `read_timeout`).
+pub struct ClusterRuntime {
+    spec: ClusterSpec,
+    view: ClusterView,
+    slots: Vec<PeerSlot>,
+    peer_hits: u64,
+    peer_probes: u64,
+    peer_errors: u64,
+}
+
+impl ClusterRuntime {
+    /// Build the runtime; connections are dialled lazily on first probe.
+    pub fn new(spec: ClusterSpec) -> ClusterRuntime {
+        let view = spec.view();
+        let slots = (0..spec.peers.len()).map(|_| PeerSlot::Idle).collect();
+        ClusterRuntime {
+            spec,
+            view,
+            slots,
+            peer_hits: 0,
+            peer_probes: 0,
+            peer_errors: 0,
+        }
+    }
+
+    /// The topology view (shared with routing clients).
+    pub fn view(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// GETs answered by a peer instead of the origin (`PHIT`s served).
+    pub fn peer_hits(&self) -> u64 {
+        self.peer_hits
+    }
+
+    /// Peer fill after a local miss on `clip`: probe every *other*
+    /// owner with `PEERGET` (which is also the write-all half — each
+    /// probed owner admits on its own miss). Returns whether any peer
+    /// already had the clip. With `R = 1` the probe set is empty and
+    /// this is a no-op returning `false`.
+    pub fn fill(&mut self, clip: ClipId) -> bool {
+        let owners = self.view.owners_for(clip);
+        let me = self.spec.me;
+        let mut filled = false;
+        for &peer in owners.iter().filter(|&&n| n != me) {
+            if self.probe(peer, clip) == Some(true) {
+                filled = true;
+            }
+        }
+        if filled {
+            self.peer_hits += 1;
+        }
+        filled
+    }
+
+    /// One `PEERGET` round trip to `peer`. `None` means the peer was
+    /// unreachable, timed out, or is version-skewed; a transport error
+    /// drops the cached connection so the next probe redials (which is
+    /// how a killed-and-rejoined node is picked back up).
+    fn probe(&mut self, peer: usize, clip: ClipId) -> Option<bool> {
+        self.peer_probes += 1;
+        if matches!(self.slots[peer], PeerSlot::Skewed) {
+            self.peer_errors += 1;
+            return None;
+        }
+        if matches!(self.slots[peer], PeerSlot::Idle) {
+            match self.dial(peer) {
+                Ok(slot) => self.slots[peer] = slot,
+                Err(()) => {
+                    self.peer_errors += 1;
+                    return None;
+                }
+            }
+        }
+        let PeerSlot::Connected(client) = &mut self.slots[peer] else {
+            self.peer_errors += 1;
+            return None;
+        };
+        match client.peer_get(clip) {
+            Ok(had) => Some(had),
+            Err(_) => {
+                self.slots[peer] = PeerSlot::Idle;
+                self.peer_errors += 1;
+                None
+            }
+        }
+    }
+
+    /// Dial and version-handshake `peer`. A failed dial leaves the slot
+    /// retryable; version skew is terminal and loud.
+    fn dial(&self, peer: usize) -> Result<PeerSlot, ()> {
+        let addr = &self.spec.peers[peer];
+        let mut client = TcpCacheClient::connect_deadline(
+            addr,
+            Some(self.spec.read_timeout),
+            Some(self.spec.connect_timeout),
+            crate::client::Wire::Binary,
+        )
+        .map_err(|_| ())?;
+        let theirs = client.version().map_err(|_| ())?;
+        match WireVersions::current().check_matches(&theirs) {
+            Ok(()) => Ok(PeerSlot::Connected(client)),
+            Err(why) => {
+                eprintln!("clipcache-serve: refusing version-skewed peer {addr}: {why}");
+                Ok(PeerSlot::Skewed)
+            }
+        }
+    }
+}
+
+/// A fault plan for the modelled peer wire: drop-pre, drop-post, and
+/// garbage only. Torn writes and shard poison are wire/service faults
+/// that do not exist on the in-process peer hop, so a plan scheduling
+/// them is rejected at construction — a chaos run that silently
+/// no-opped half its faults would overstate coverage.
+#[derive(Debug, Clone)]
+pub struct PeerFaults {
+    plan: FaultPlan,
+}
+
+impl PeerFaults {
+    /// Kinds a peer-wire plan may schedule.
+    pub const KINDS: [FaultKind; 3] = [
+        FaultKind::DropBeforeSend,
+        FaultKind::DropAfterSend,
+        FaultKind::Garbage,
+    ];
+
+    /// Wrap `plan`, rejecting kinds the peer hop cannot express.
+    pub fn new(plan: FaultPlan) -> Result<PeerFaults, String> {
+        for kind in [FaultKind::TornWrite, FaultKind::PoisonShard] {
+            if plan.includes(kind) {
+                return Err(format!(
+                    "peer-wire faults cannot schedule `{}`: only {} apply to the peer hop",
+                    kind.spelling(),
+                    PeerFaults::KINDS
+                        .iter()
+                        .map(|k| k.spelling())
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                ));
+            }
+        }
+        Ok(PeerFaults { plan })
+    }
+
+    /// The underlying plan (for spelling/rate introspection).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The fault (if any) for probe number `probe` issued by `handler`.
+    fn decide(&self, handler: usize, probe: u64) -> Option<FaultKind> {
+        self.plan.decide(handler as u64, probe, 0)
+    }
+}
+
+/// Counters for one cluster replay; every field is client-observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// GETs issued to the cluster.
+    pub requests: u64,
+    /// GETs that produced an outcome (== `requests` unless owners died).
+    pub delivered: u64,
+    /// Served from the handling owner's own shards.
+    pub local_hits: u64,
+    /// Served by a peer fill (`PHIT`).
+    pub peer_hits: u64,
+    /// Missed cluster-wide (origin fetch).
+    pub misses: u64,
+    /// GETs whose primary owner was dead and a successor handled them.
+    pub failovers: u64,
+    /// `PEERGET` probes issued (including faulted ones).
+    pub peer_probes: u64,
+    /// Probes lost to drop-pre / drop-post faults.
+    pub peer_drops: u64,
+    /// Probes preceded by a garbage line (peer answered `ERR`, then
+    /// the real probe proceeded).
+    pub peer_garbage: u64,
+    /// Probes that failed because the peer was dead or errored.
+    pub peer_errors: u64,
+}
+
+impl ClusterStats {
+    /// Client-observed cluster-wide hit rate: `(local + peer) /
+    /// delivered`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        (self.local_hits + self.peer_hits) as f64 / self.delivered as f64
+    }
+
+    /// The conservation invariant: every delivered GET is classified
+    /// exactly once.
+    pub fn conservation_ok(&self) -> bool {
+        self.delivered == self.local_hits + self.peer_hits + self.misses
+    }
+}
+
+/// Errors a cluster GET can hit that a single node cannot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Every owner of the clip is dead.
+    NoOwnerAlive(ClipId),
+    /// The handling owner's service refused the request.
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoOwnerAlive(clip) => {
+                write!(f, "no alive owner for clip {}", clip.get())
+            }
+            ClusterError::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// An in-process cluster: N [`CacheService`]s joined by a
+/// [`ClusterView`], replaying the full routed request path — read-any
+/// owner selection, peer fill, write-all — without sockets. This is
+/// what `clusterbench` measures and what the cluster chaos golden
+/// replays: deterministic (no wall clock, no thread scheduling — one
+/// caller at a time) and `--jobs`-invariant by construction.
+///
+/// [`kill`](Self::kill) / [`revive`](Self::revive) model node failure
+/// and WAL-recovered rejoin: a killed node refuses probes and routes
+/// (its requests fail over to ring successors); a revived node returns
+/// with its pre-kill cache state, exactly like a `--data-dir` node
+/// recovering its checkpoint + WAL.
+pub struct ClusterHarness {
+    view: ClusterView,
+    nodes: Vec<Arc<CacheService>>,
+    alive: Vec<bool>,
+    faults: Option<PeerFaults>,
+    probe_seq: u64,
+    stats: ClusterStats,
+}
+
+impl ClusterHarness {
+    /// Join `services` into a cluster with the given replication factor
+    /// and ring seed.
+    ///
+    /// # Panics
+    /// If `services` is empty or `replication` is outside
+    /// `1..=services.len()`.
+    pub fn new(seed: u64, replication: usize, services: Vec<Arc<CacheService>>) -> ClusterHarness {
+        assert!(!services.is_empty(), "cluster needs at least one node");
+        let view = ClusterView::new(seed, services.len(), replication);
+        let alive = vec![true; services.len()];
+        ClusterHarness {
+            view,
+            nodes: services,
+            alive,
+            faults: None,
+            probe_seq: 0,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Arm (or disarm) deterministic peer-wire faults.
+    pub fn set_faults(&mut self, faults: Option<PeerFaults>) {
+        self.faults = faults;
+    }
+
+    /// The topology view.
+    pub fn view(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// Member count.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Direct access to node `i`'s service (for seeding and for
+    /// server-side conservation checks in tests).
+    pub fn node(&self, i: usize) -> &Arc<CacheService> {
+        &self.nodes[i]
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// SIGKILL node `i`: it stops answering routes and probes.
+    pub fn kill(&mut self, i: usize) {
+        self.alive[i] = false;
+    }
+
+    /// Rejoin node `i` with its recovered (pre-kill) cache state.
+    pub fn revive(&mut self, i: usize) {
+        self.alive[i] = true;
+    }
+
+    /// One routed GET: first alive owner handles it; on a local miss
+    /// every other alive owner is probed (peer fill + write-all), under
+    /// the armed fault plan.
+    pub fn get(&mut self, clip: ClipId) -> Result<GetOutcome, ClusterError> {
+        self.stats.requests += 1;
+        let owners = self.view.owners_for(clip);
+        let Some(handler) = owners.iter().copied().find(|&n| self.alive[n]) else {
+            return Err(ClusterError::NoOwnerAlive(clip));
+        };
+        if handler != owners[0] {
+            self.stats.failovers += 1;
+        }
+        let mut outcome = self.nodes[handler]
+            .get(clip)
+            .map_err(ClusterError::Service)?;
+        if outcome.hit {
+            self.stats.local_hits += 1;
+        } else {
+            let mut filled = false;
+            for &peer in owners.iter().filter(|&&n| n != handler) {
+                if self.probe(handler, peer, clip) == Some(true) {
+                    filled = true;
+                }
+            }
+            if filled {
+                outcome.peer = true;
+                self.stats.peer_hits += 1;
+            } else {
+                self.stats.misses += 1;
+            }
+        }
+        self.stats.delivered += 1;
+        Ok(outcome)
+    }
+
+    /// Poison `clip`'s shard on its first alive owner (chaos parity
+    /// with the single-node harness).
+    pub fn poison(&mut self, clip: ClipId) -> Result<(), ClusterError> {
+        let owners = self.view.owners_for(clip);
+        let Some(handler) = owners.iter().copied().find(|&n| self.alive[n]) else {
+            return Err(ClusterError::NoOwnerAlive(clip));
+        };
+        self.nodes[handler].poison(clip);
+        Ok(())
+    }
+
+    /// One modelled `PEERGET` from `handler` to `peer`, through the
+    /// fault plan. Mirrors [`ClusterRuntime::probe`]: `None` means the
+    /// probe was lost or the peer is dead.
+    fn probe(&mut self, handler: usize, peer: usize, clip: ClipId) -> Option<bool> {
+        if !self.alive[peer] {
+            self.stats.peer_errors += 1;
+            return None;
+        }
+        self.stats.peer_probes += 1;
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.decide(handler, self.probe_seq));
+        self.probe_seq += 1;
+        match fault {
+            Some(FaultKind::DropBeforeSend) => {
+                // Lost before the wire: the peer never sees it.
+                self.stats.peer_drops += 1;
+                return None;
+            }
+            Some(FaultKind::DropAfterSend) => {
+                // The peer executes the access (its half of write-all
+                // still happens) but the reply is lost.
+                let _ = self.nodes[peer].get(clip);
+                self.stats.peer_drops += 1;
+                return None;
+            }
+            Some(FaultKind::Garbage) => {
+                // A garbage line precedes the probe; the peer answers
+                // `ERR` and the real probe proceeds (server-side line
+                // discipline already proves this path).
+                self.stats.peer_garbage += 1;
+            }
+            _ => {}
+        }
+        match self.nodes[peer].get(clip) {
+            Ok(o) => Some(o.hit),
+            Err(_) => {
+                self.stats.peer_errors += 1;
+                None
+            }
+        }
+    }
+
+    /// The cluster block appended to chaos reports: byte-stable,
+    /// wall-clock-free.
+    pub fn chaos_lines(&self) -> String {
+        let s = &self.stats;
+        let plan = match &self.faults {
+            Some(f) => f.plan().spelling(),
+            None => "none".into(),
+        };
+        format!(
+            "cluster nodes={} replication={}\n\
+             peer plan {plan}\n\
+             cluster observed requests={} delivered={} local_hits={} peer_hits={} misses={}\n\
+             peer wire probes={} drops={} garbage={} errors={} failovers={}\n\
+             cluster invariant conservation={}\n",
+            self.nodes.len(),
+            self.view.replication(),
+            s.requests,
+            s.delivered,
+            s.local_hits,
+            s.peer_hits,
+            s.misses,
+            s.peer_probes,
+            s.peer_drops,
+            s.peer_garbage,
+            s.peer_errors,
+            s.failovers,
+            if s.conservation_ok() {
+                "ok"
+            } else {
+                "VIOLATED"
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use clipcache_core::PolicyKind;
+    use clipcache_media::paper;
+
+    fn service(seed: u64) -> Arc<CacheService> {
+        let repo = Arc::new(paper::variable_sized_repository_of(48));
+        let capacity = repo.cache_capacity_for_ratio(0.25);
+        Arc::new(
+            CacheService::new(
+                repo,
+                ServiceConfig::new(PolicyKind::Lru, 1, capacity, seed),
+                None,
+            )
+            .expect("LRU builds"),
+        )
+    }
+
+    fn cluster(n: usize, r: usize) -> ClusterHarness {
+        let services = (0..n).map(|i| service(7 + i as u64)).collect();
+        ClusterHarness::new(0xC1A5, r, services)
+    }
+
+    #[test]
+    fn spec_validates_membership() {
+        let peers = vec!["a:1".to_string(), "b:2".to_string()];
+        assert!(ClusterSpec::new(peers.clone(), 0, 2, 1).is_ok());
+        assert!(ClusterSpec::new(vec![], 0, 1, 1).is_err());
+        assert!(ClusterSpec::new(peers.clone(), 2, 1, 1).is_err());
+        assert!(ClusterSpec::new(peers.clone(), 0, 0, 1).is_err());
+        assert!(ClusterSpec::new(peers, 0, 3, 1).is_err());
+    }
+
+    #[test]
+    fn peer_fill_turns_second_read_into_phit() {
+        let mut c = cluster(3, 2);
+        let clip = ClipId::new(5);
+        let first = c.get(clip).unwrap();
+        assert!(!first.hit);
+        // The fill wrote to every owner; a read handled by any owner
+        // now hits locally.
+        for &owner in &c.view.owners_for(clip) {
+            assert!(c.node(owner).get(clip).unwrap().hit, "owner {owner}");
+        }
+        let stats = c.stats();
+        assert_eq!(stats.misses, 1);
+        assert!(stats.conservation_ok());
+    }
+
+    #[test]
+    fn failover_serves_from_replica_after_kill() {
+        let mut c = cluster(3, 2);
+        let clip = ClipId::new(9);
+        c.get(clip).unwrap(); // fill all owners
+        let owners = c.view.owners_for(clip);
+        c.kill(owners[0]);
+        let outcome = c.get(clip).unwrap();
+        assert!(outcome.hit, "replica owner must serve the clip locally");
+        assert_eq!(c.stats().failovers, 1);
+        c.revive(owners[0]);
+        let outcome = c.get(clip).unwrap();
+        assert!(outcome.hit, "revived primary still holds its state");
+    }
+
+    #[test]
+    fn all_owners_dead_is_a_loud_error() {
+        let mut c = cluster(2, 1);
+        let clip = ClipId::new(3);
+        let owners = c.view.owners_for(clip);
+        assert_eq!(owners.len(), 1);
+        c.kill(owners[0]);
+        assert_eq!(c.get(clip), Err(ClusterError::NoOwnerAlive(clip)));
+        let stats = c.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn replication_one_issues_no_peer_traffic() {
+        let mut c = cluster(3, 1);
+        for id in 1..=40u32 {
+            c.get(ClipId::new(id)).unwrap();
+        }
+        let stats = c.stats();
+        assert_eq!(stats.peer_probes, 0);
+        assert_eq!(stats.peer_hits, 0);
+        assert!(stats.conservation_ok());
+    }
+
+    #[test]
+    fn peer_faults_reject_non_wire_kinds() {
+        let lossless = FaultPlan::with_kinds(1, 0.5, &FaultKind::LOSSLESS);
+        let err = PeerFaults::new(lossless).unwrap_err();
+        assert!(err.contains("torn"), "names the offending kind: {err}");
+        let ok = FaultPlan::with_kinds(1, 0.5, &PeerFaults::KINDS);
+        assert!(PeerFaults::new(ok).is_ok());
+    }
+
+    #[test]
+    fn conservation_holds_under_peer_faults() {
+        let mut c = cluster(3, 3);
+        let plan = FaultPlan::with_kinds(0xFA17, 0.25, &PeerFaults::KINDS);
+        c.set_faults(Some(PeerFaults::new(plan).unwrap()));
+        for round in 0..400u32 {
+            c.get(ClipId::new(round % 48 + 1)).unwrap();
+        }
+        let stats = c.stats();
+        assert_eq!(stats.requests, 400);
+        assert_eq!(stats.delivered, 400);
+        assert!(stats.conservation_ok(), "{stats:?}");
+        assert!(stats.peer_drops > 0, "rate 0.25 must actually fire");
+        assert!(stats.peer_garbage > 0);
+    }
+
+    #[test]
+    fn harness_replay_is_deterministic() {
+        let run = |faults: bool| {
+            let mut c = cluster(3, 2);
+            if faults {
+                let plan = FaultPlan::with_kinds(0xFA17, 0.1, &PeerFaults::KINDS);
+                c.set_faults(Some(PeerFaults::new(plan).unwrap()));
+            }
+            for round in 0..300u32 {
+                c.get(ClipId::new(round * 7 % 48 + 1)).unwrap();
+            }
+            (c.stats(), c.chaos_lines())
+        };
+        assert_eq!(run(false), run(false));
+        assert_eq!(run(true), run(true));
+    }
+
+    #[test]
+    fn chaos_lines_are_byte_stable() {
+        let mut c = cluster(2, 2);
+        c.get(ClipId::new(1)).unwrap();
+        c.get(ClipId::new(1)).unwrap();
+        let lines = c.chaos_lines();
+        assert!(lines.starts_with("cluster nodes=2 replication=2\n"));
+        assert!(lines.contains("peer plan none\n"));
+        assert!(lines.contains("cluster invariant conservation=ok\n"));
+    }
+}

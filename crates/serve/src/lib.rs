@@ -41,6 +41,14 @@
 //! * [`persist`] — durable per-shard state (`--data-dir`): periodic
 //!   checkpoints plus a CRC-framed write-ahead log, with deterministic
 //!   crash points (`--crash-at`) so recovery is provable, not hoped-for.
+//! * [`ring`] — the deterministic consistent-hash ring: SplitMix64
+//!   vnodes, placement a pure function of `(seed, membership, clip)`,
+//!   replica sets as distinct ring successors.
+//! * [`cluster`] — the cluster tier (`serve --cluster`): static
+//!   membership, client-side ring routing with read-any failover,
+//!   server-side peer fill over the binary wire (`PEERGET`) with
+//!   write-all replication, and the in-process [`ClusterHarness`] the
+//!   `clusterbench` experiment and the cluster chaos golden replay.
 //!
 //! **Equivalence anchor.** One shard + one client reproduces the serial
 //! simulator bit for bit: shard 0 runs the policy with the same derived
@@ -54,26 +62,37 @@
 //! `tests/chaos.rs` proves both.
 
 pub mod client;
+pub mod cluster;
 pub mod fault;
 pub mod latency;
 pub mod loadgen;
 pub mod persist;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 pub mod service;
 pub mod shard;
 
 pub use client::{TcpCacheClient, Wire};
+pub use cluster::{
+    ClusterError, ClusterHarness, ClusterRuntime, ClusterSpec, ClusterStats, ClusterView,
+    PeerFaults,
+};
 pub use fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
 pub use latency::LatencyLog;
 pub use loadgen::{
-    run as run_load, run_with as run_load_with, serial_baseline, LoadOptions, LoadReport, Target,
+    run as run_load, run_with as run_load_with, serial_baseline, ClusterRoute, LoadOptions,
+    LoadReport, Target,
 };
 pub use persist::{
     CrashAction, CrashPoint, CrashSpec, DurableCheckpoint, PersistError, PersistOptions,
     RecoveryReport, ShardStore, WalOp, WalRecord, WalSync,
 };
-pub use protocol::{Decoded, FrameError, Reply, ServerStats, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
+pub use protocol::{
+    Decoded, FrameError, Reply, ServerStats, WireVersions, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+    PROTOCOL_VERSION,
+};
+pub use ring::{HashRing, DEFAULT_VNODES};
 pub use server::{serve, serve_with, ServerConfig, ServerHandle, MAX_LINE_BYTES};
 pub use service::{CacheService, ServiceConfig, ServiceError};
 pub use shard::{shard_of, shard_seed, GetOutcome, RangeOutcome, Shard, CHECKPOINT_EVERY};

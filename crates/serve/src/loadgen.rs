@@ -32,6 +32,7 @@
 //! [`LoadReport::conserved`] holds across a `kill -9` + recovery.
 
 use crate::client::{TcpCacheClient, Wire};
+use crate::cluster::{ClusterHarness, ClusterView};
 use crate::fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
 use crate::latency::LatencyLog;
 use crate::protocol::parse_command;
@@ -42,8 +43,30 @@ use clipcache_media::{ByteSize, ClipId, Repository};
 use clipcache_sim::metrics::HitStats;
 use clipcache_sim::runner::{simulate, SimulationConfig};
 use clipcache_workload::Trace;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Ring-routed TCP cluster membership as a load target: the client-side
+/// half of the cluster tier. Every parameter must match the servers'
+/// (same list order, same seed, same replication) — placement is a pure
+/// function of them, so agreement is by construction, never negotiated.
+#[derive(Debug, Clone)]
+pub struct ClusterRoute {
+    /// Every member address, in shared membership order.
+    pub peers: Vec<String>,
+    /// Replication factor `R`: a GET may be served by any of the clip's
+    /// `R` ring owners (read-any), tried in owner order.
+    pub replication: usize,
+    /// The shared ring seed.
+    pub seed: u64,
+}
+
+impl ClusterRoute {
+    /// The topology view this route induces.
+    pub fn view(&self) -> ClusterView {
+        ClusterView::new(self.seed, self.peers.len(), self.replication)
+    }
+}
 
 /// Where the load goes.
 #[derive(Clone)]
@@ -53,6 +76,13 @@ pub enum Target {
     /// Speak the line protocol to this address, one connection per
     /// client thread.
     Tcp(String),
+    /// The in-process cluster harness (ring routing + peer fill without
+    /// sockets). Deterministic with `clients == 1`; multi-client runs
+    /// serialize on the harness lock.
+    Cluster(Arc<Mutex<ClusterHarness>>),
+    /// Ring-route each GET across a TCP cluster, failing over to the
+    /// clip's replica owners when the primary is unreachable.
+    ClusterTcp(ClusterRoute),
 }
 
 /// Everything configurable about one load run.
@@ -318,6 +348,162 @@ impl Transport for TcpTransport {
     }
 }
 
+/// The in-process cluster harness as a transport: the harness already
+/// models routing, failover, and the peer wire, so the transport is a
+/// thin lock-and-forward.
+struct HarnessTransport {
+    harness: Arc<Mutex<ClusterHarness>>,
+}
+
+impl HarnessTransport {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ClusterHarness> {
+        self.harness.lock().expect("cluster harness poisoned")
+    }
+}
+
+impl Transport for HarnessTransport {
+    fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        self.lock()
+            .get(clip)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::NotConnected, e))
+    }
+
+    fn get_torn(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        self.get(clip)
+    }
+
+    fn send_garbage(&mut self, payload: &[u8]) -> std::io::Result<bool> {
+        Ok(parse_command(&String::from_utf8_lossy(payload)).is_err())
+    }
+
+    fn poison(&mut self, clip: ClipId) -> std::io::Result<()> {
+        self.lock()
+            .poison(clip)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::NotConnected, e))
+    }
+
+    fn drop_conn(&mut self) {}
+
+    fn reconnects(&self) -> u64 {
+        0
+    }
+}
+
+/// The ring-routing TCP transport: one lazy connection per cluster
+/// member, each GET sent to the clip's first reachable owner (read-any
+/// failover in owner order). A member that refuses or times out has its
+/// connection dropped; the next request to it redials, which is how a
+/// killed-and-restarted node is picked back up without any membership
+/// churn.
+struct ClusterTcpTransport {
+    route: ClusterRoute,
+    view: ClusterView,
+    read_timeout: Option<Duration>,
+    wire: Wire,
+    conns: Vec<Option<TcpCacheClient>>,
+    /// Members dialled at least once (their first dial is
+    /// establishment, not recovery).
+    dialled: Vec<bool>,
+    reconnects: u64,
+}
+
+impl ClusterTcpTransport {
+    fn new(route: &ClusterRoute, read_timeout: Option<Duration>, wire: Wire) -> Self {
+        let view = route.view();
+        let conns = (0..route.peers.len()).map(|_| None).collect();
+        let dialled = vec![false; route.peers.len()];
+        ClusterTcpTransport {
+            route: route.clone(),
+            view,
+            read_timeout,
+            wire,
+            conns,
+            dialled,
+            reconnects: 0,
+        }
+    }
+
+    fn ensure(&mut self, node: usize) -> std::io::Result<&mut TcpCacheClient> {
+        if self.conns[node].is_none() {
+            self.conns[node] = Some(TcpCacheClient::connect_wire(
+                self.route.peers[node].as_str(),
+                self.read_timeout,
+                self.wire,
+            )?);
+            if self.dialled[node] {
+                self.reconnects += 1;
+            }
+            self.dialled[node] = true;
+        }
+        Ok(self.conns[node].as_mut().expect("just connected"))
+    }
+
+    /// Run `op` against each of `clip`'s owners in order until one
+    /// succeeds; a failed owner's connection is dropped so its next use
+    /// redials.
+    fn on_owners<T>(
+        &mut self,
+        clip: ClipId,
+        mut op: impl FnMut(&mut TcpCacheClient) -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let owners = self.view.owners_for(clip);
+        let mut last: Option<std::io::Error> = None;
+        for &node in &owners {
+            match self.ensure(node).and_then(&mut op) {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    self.conns[node] = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("owner set is never empty"))
+    }
+
+    fn finish(mut self) -> std::io::Result<()> {
+        for conn in &mut self.conns {
+            if let Some(client) = conn.take() {
+                client.quit()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Transport for ClusterTcpTransport {
+    fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        self.on_owners(clip, |client| client.get(clip))
+    }
+
+    fn get_torn(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
+        self.on_owners(clip, |client| client.get_torn(clip))
+    }
+
+    fn send_garbage(&mut self, payload: &[u8]) -> std::io::Result<bool> {
+        // Garbage has no clip to route by; member 0 takes the abuse.
+        let client = self.ensure(0)?;
+        let reply = match client.wire() {
+            Wire::Text => client.send_raw(payload)?,
+            Wire::Binary => client.send_corrupt_frame()?,
+        };
+        Ok(reply.starts_with("ERR "))
+    }
+
+    fn poison(&mut self, clip: ClipId) -> std::io::Result<()> {
+        self.on_owners(clip, |client| client.poison(clip).map(|_| ()))
+    }
+
+    fn drop_conn(&mut self) {
+        for conn in &mut self.conns {
+            *conn = None;
+        }
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+}
+
 /// Deliver one request through the fault schedule, retrying until the
 /// reply reaches the client.
 ///
@@ -426,7 +612,9 @@ fn replay(
         let started = Instant::now();
         let outcome = get(req.clip)?;
         latency.record_nanos(started.elapsed().as_nanos() as u64);
-        stats.record(outcome.hit, size, outcome.evictions);
+        // A peer fill (`PHIT`) is an origin fetch avoided: the client
+        // observes it as a hit. Non-cluster targets never set `peer`.
+        stats.record(outcome.hit || outcome.peer, size, outcome.evictions);
         chaos.delivered += 1;
     }
     Ok(ClientLog {
@@ -462,7 +650,11 @@ fn replay_pipelined(
         for req in batch {
             let outcome = client.recv_get()?;
             latency.record_nanos(started.elapsed().as_nanos() as u64);
-            stats.record(outcome.hit, repo.size_of(req.clip), outcome.evictions);
+            stats.record(
+                outcome.hit || outcome.peer,
+                repo.size_of(req.clip),
+                outcome.evictions,
+            );
             chaos.delivered += 1;
         }
     }
@@ -498,7 +690,7 @@ fn replay_chaos(
             &mut chaos,
         )?;
         latency.record_nanos(started.elapsed().as_nanos() as u64);
-        stats.record(outcome.hit, size, outcome.evictions);
+        stats.record(outcome.hit || outcome.peer, size, outcome.evictions);
     }
     chaos.reconnects = transport.reconnects();
     Ok(ClientLog {
@@ -563,6 +755,27 @@ pub fn run_with(
             let recoveries = client.stats()?.recoveries;
             client.quit()?;
             recoveries
+        }
+        Target::Cluster(harness) => {
+            let harness = harness.lock().expect("cluster harness poisoned");
+            (0..harness.nodes())
+                .map(|i| harness.node(i).recoveries())
+                .sum()
+        }
+        // Cluster-wide recoveries: sum over every member that still
+        // answers (a dead member's count is unknowable — report what
+        // the living cluster performed).
+        Target::ClusterTcp(route) => {
+            let mut total = 0;
+            for addr in &route.peers {
+                if let Ok(mut client) =
+                    TcpCacheClient::connect_wire(addr.as_str(), options.read_timeout, options.wire)
+                {
+                    total += client.stats()?.recoveries;
+                    client.quit()?;
+                }
+            }
+            total
         }
     };
     Ok(LoadReport {
@@ -632,6 +845,48 @@ fn run_client(
         }
         (Target::Tcp(addr), Some(plan)) => {
             let mut transport = TcpTransport::new(addr, options.read_timeout, options.wire);
+            let log = replay_chaos(
+                part,
+                repo,
+                &mut transport,
+                client_index as u64,
+                plan,
+                &options.retry,
+            )?;
+            transport.finish()?;
+            Ok(log)
+        }
+        (Target::Cluster(harness), None) => replay(part, repo, |clip| {
+            harness
+                .lock()
+                .expect("cluster harness poisoned")
+                .get(clip)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::NotConnected, e))
+        }),
+        (Target::Cluster(harness), Some(plan)) => {
+            let mut transport = HarnessTransport {
+                harness: Arc::clone(harness),
+            };
+            replay_chaos(
+                part,
+                repo,
+                &mut transport,
+                client_index as u64,
+                plan,
+                &options.retry,
+            )
+        }
+        // Ring routing picks a connection per clip, so there is no
+        // single pipe to batch into: cluster replays run
+        // request-at-a-time whatever `options.pipeline` says.
+        (Target::ClusterTcp(route), None) => {
+            let mut transport = ClusterTcpTransport::new(route, options.read_timeout, options.wire);
+            let log = replay(part, repo, |clip| transport.get(clip))?;
+            transport.finish()?;
+            Ok(log)
+        }
+        (Target::ClusterTcp(route), Some(plan)) => {
+            let mut transport = ClusterTcpTransport::new(route, options.read_timeout, options.wire);
             let log = replay_chaos(
                 part,
                 repo,

@@ -74,6 +74,12 @@ pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 /// carries partial prefixes and the stats carry `prefix_hits`.
 pub const CHECKPOINT_VERSION: u64 = 2;
 
+/// The WAL record-layout version this build writes and replays.
+/// Version 2 added the chunk field (17-byte payloads); version-1
+/// records are rejected by name, never reinterpreted. Peers compare
+/// this over the wire (`VERSION`/`KIND_HELLO`) before cooperating.
+pub const WAL_VERSION: u64 = 2;
+
 /// Bytes in one record's payload: seq (8) + clip (4) + chunk (4) + op (1).
 /// Version 1 of the log had no chunk field (13-byte payloads); those
 /// records are rejected by name, never reinterpreted.

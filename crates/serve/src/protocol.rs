@@ -17,18 +17,25 @@
 //! ```text
 //! request   = "GET" SP clip-id | "STATS" | "SNAPSHOT" | "QUIT"
 //!           | "GETRANGE" SP clip-id SP chunk ; chunk-granular residency probe
+//!           | "PEERGET" SP clip-id          ; cluster peer fill (local only)
+//!           | "VERSION"                     ; wire/schema version handshake
 //!           | "POISON" SP clip-id           ; chaos servers only
 //! clip-id   = 1*DIGIT                ; ≥ 1
 //! chunk     = 1*DIGIT                ; 0-based chunk index
 //!
 //! reply     = "HIT" SP evicted              ; GET, clip was resident
 //!           | "MISS" SP admitted SP evicted ; GET, clip was fetched
+//!           | "PHIT" SP admitted SP evicted ; GET, local miss filled by a
+//!                                           ; cluster peer (cluster servers
+//!                                           ; only — a cluster hit)
 //!           | "RHIT" SP resident SP total   ; GETRANGE, chunk resident
 //!           | "RMISS" SP resident SP total  ; GETRANGE, chunk absent
+//!           | "RPEER" SP had                ; PEERGET, peer-local outcome
+//!           | "VERSION" SP "proto=" n SP "snapshot=" n SP "wal=" n
 //!           | "STATS" SP "hits=" n SP "misses=" n SP "prefix_hits=" n
 //!                     SP "byte_hits=" n SP "byte_misses=" n
 //!                     SP "evictions=" n SP "recoveries=" n
-//!                     SP "wal_replayed=" n
+//!                     SP "wal_replayed=" n SP "peer_hits=" n
 //!           | "SNAPSHOT" SP json-array      ; one CacheSnapshot per shard
 //!           | "POISONED" SP shard-index     ; POISON acknowledged
 //!           | "BYE"                         ; QUIT acknowledged
@@ -36,10 +43,20 @@
 //!                                           ; clip / out-of-range chunk /
 //!                                           ; refused operation
 //! admitted  = "0" | "1"
+//! had       = "0" | "1"                     ; peer had the clip resident
 //! evicted   = 1*DIGIT                       ; clips evicted by this access
 //! resident  = 1*DIGIT                       ; chunks of the head resident
 //! total     = 1*DIGIT                       ; chunks in the clip
 //! ```
+//!
+//! `PEERGET` is the cluster tier's peer-fill probe: it performs a full
+//! *local* access on the receiving node (admitting on a miss — the
+//! write-all half of read-any/write-all replication) and reports
+//! whether the clip was already resident, but it never recurses into
+//! another peer fetch, which is what keeps peer fill loop-free.
+//! `VERSION` reports the protocol, snapshot, and WAL schema versions so
+//! a version-skewed peer is refused by name during the cluster
+//! handshake instead of failing later with a generic parse error.
 //!
 //! A `GETRANGE` whose chunk index is at or past the clip's chunk count
 //! gets a loud `ERR` naming the index and the valid range — never a
@@ -54,9 +71,11 @@
 //!
 //! Request kinds: `GET` (payload: clip u32 LE), `STATS`, `SNAPSHOT`,
 //! `POISON` (clip u32 LE), `QUIT`, `GETRANGE` (clip u32 LE + chunk u32
-//! LE). Reply kinds: `GET` (flags byte — bit 0 hit, bit 1 admitted —
-//! plus evictions u64 LE), `RANGE` (hit u8 + resident u32 LE + total
-//! u32 LE), `STATS` (eight u64 LE), `SNAPSHOT` (UTF-8 JSON), `POISONED`
+//! LE), `PEER_GET` (clip u32 LE), `HELLO` (empty). Reply kinds: `GET`
+//! (flags byte — bit 0 hit, bit 1 admitted, bit 2 peer-filled — plus
+//! evictions u64 LE), `RANGE` (hit u8 + resident u32 LE + total u32
+//! LE), `PEER` (had u8), `HELLO` (proto + snapshot + wal, three u32
+//! LE), `STATS` (nine u64 LE), `SNAPSHOT` (UTF-8 JSON), `POISONED`
 //! (u64 LE), `BYE`, `ERR` (UTF-8 message). Every request kind has a
 //! *fixed* payload length, which is what makes corruption loud (see
 //! below).
@@ -94,6 +113,12 @@ pub enum Command {
     Get(ClipId),
     /// Probe whether one chunk of a clip is resident (0-based index).
     GetRange(ClipId, u32),
+    /// Cluster peer fill: a full local access on behalf of a peer
+    /// (admits on miss — write-all), reporting whether the clip was
+    /// already resident. Never recurses into another peer fetch.
+    PeerGet(ClipId),
+    /// Report the wire/schema versions (the cluster handshake).
+    Version,
     /// Report merged hit statistics.
     Stats,
     /// Snapshot every shard.
@@ -115,6 +140,61 @@ pub struct ServerStats {
     /// WAL records replayed when the durable stores were opened (zero
     /// for an in-memory server).
     pub wal_replayed: u64,
+    /// Local misses filled from a cluster peer instead of the origin
+    /// (zero for a non-cluster server).
+    pub peer_hits: u64,
+}
+
+/// The wire-visible protocol version. Version 3 added the cluster
+/// verbs (`PEERGET`, `VERSION`/`HELLO`), the `PHIT` reply, and the
+/// `peer_hits` STATS field; version 2 added binary framing and the
+/// chunk-granular verbs; version 1 was the original text protocol.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// The schema versions a node reports during the cluster handshake.
+///
+/// Cooperating peers exchange snapshots of durable state indirectly
+/// (a recovered node replays checkpoints and WALs its peers must be
+/// able to reason about), so all three versions must match before any
+/// peer fill happens; [`WireVersions::check_matches`] names the first
+/// mismatch loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireVersions {
+    /// [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// `clipcache_core::snapshot::SNAPSHOT_VERSION`.
+    pub snapshot: u32,
+    /// [`crate::persist::WAL_VERSION`].
+    pub wal: u32,
+}
+
+impl WireVersions {
+    /// The versions this build speaks.
+    pub fn current() -> Self {
+        WireVersions {
+            protocol: PROTOCOL_VERSION,
+            snapshot: clipcache_core::snapshot::SNAPSHOT_VERSION as u32,
+            wal: crate::persist::WAL_VERSION as u32,
+        }
+    }
+
+    /// Refuse `other` unless every version matches, naming the first
+    /// skewed component and both values.
+    pub fn check_matches(&self, other: &WireVersions) -> Result<(), String> {
+        for (name, ours, theirs) in [
+            ("protocol", self.protocol, other.protocol),
+            ("snapshot", self.snapshot, other.snapshot),
+            ("wal", self.wal, other.wal),
+        ] {
+            if ours != theirs {
+                return Err(format!(
+                    "{name} version skew: peer speaks {name} version {theirs}, \
+                     this build speaks {ours}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn parse_clip_id(raw: &str) -> Result<ClipId, String> {
@@ -146,12 +226,16 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     if let Some(rest) = line.strip_prefix("GET ") {
         return Ok(Command::Get(parse_clip_id(rest)?));
     }
+    if let Some(rest) = line.strip_prefix("PEERGET ") {
+        return Ok(Command::PeerGet(parse_clip_id(rest)?));
+    }
     if let Some(rest) = line.strip_prefix("POISON ") {
         return Ok(Command::Poison(parse_clip_id(rest)?));
     }
     match line {
         "STATS" => Ok(Command::Stats),
         "SNAPSHOT" => Ok(Command::Snapshot),
+        "VERSION" => Ok(Command::Version),
         "QUIT" => Ok(Command::Quit),
         "" => Err("empty request".into()),
         other => Err(format!("unknown command '{other}'")),
@@ -163,6 +247,8 @@ pub fn format_command(command: &Command) -> String {
     match command {
         Command::Get(clip) => format!("GET {}", clip.get()),
         Command::GetRange(clip, chunk) => format!("GETRANGE {} {chunk}", clip.get()),
+        Command::PeerGet(clip) => format!("PEERGET {}", clip.get()),
+        Command::Version => "VERSION".into(),
         Command::Stats => "STATS".into(),
         Command::Snapshot => "SNAPSHOT".into(),
         Command::Poison(clip) => format!("POISON {}", clip.get()),
@@ -170,13 +256,17 @@ pub fn format_command(command: &Command) -> String {
     }
 }
 
-/// Format a `GET` reply.
+/// Format a `GET` reply. A local hit is `HIT`; a local miss is `PHIT`
+/// when a cluster peer filled it (a cluster hit) and `MISS` otherwise —
+/// non-cluster servers never emit `PHIT`, which is what keeps the
+/// single-node degenerate cluster byte-identical to the serial anchor.
 pub fn format_get(outcome: &GetOutcome) -> String {
     if outcome.hit {
         format!("HIT {}", outcome.evictions)
     } else {
         format!(
-            "MISS {} {}",
+            "{} {} {}",
+            if outcome.peer { "PHIT" } else { "MISS" },
             if outcome.admitted { 1 } else { 0 },
             outcome.evictions
         )
@@ -197,9 +287,10 @@ pub fn parse_get(line: &str) -> Result<GetOutcome, String> {
                 hit: true,
                 admitted: true,
                 evictions,
+                peer: false,
             }
         }
-        Some("MISS") => {
+        Some(head @ ("MISS" | "PHIT")) => {
             let admitted = match words.next() {
                 Some("0") => false,
                 Some("1") => true,
@@ -213,6 +304,7 @@ pub fn parse_get(line: &str) -> Result<GetOutcome, String> {
                 hit: false,
                 admitted,
                 evictions,
+                peer: head == "PHIT",
             }
         }
         _ => return Err(malformed()),
@@ -221,6 +313,66 @@ pub fn parse_get(line: &str) -> Result<GetOutcome, String> {
         return Err(malformed());
     }
     Ok(outcome)
+}
+
+/// Format a `PEERGET` reply: whether the peer already held the clip.
+pub fn format_peer(had: bool) -> String {
+    format!("RPEER {}", if had { 1 } else { 0 })
+}
+
+/// Parse a `PEERGET` reply.
+pub fn parse_peer(line: &str) -> Result<bool, String> {
+    let line = line.trim();
+    let malformed = || format!("malformed PEERGET reply '{line}'");
+    let rest = line.strip_prefix("RPEER ").ok_or_else(malformed)?;
+    match rest.trim() {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(malformed()),
+    }
+}
+
+/// Format a `VERSION` reply.
+pub fn format_version(versions: &WireVersions) -> String {
+    format!(
+        "VERSION proto={} snapshot={} wal={}",
+        versions.protocol, versions.snapshot, versions.wal
+    )
+}
+
+/// Parse a `VERSION` reply. Strict like `parse_stats`: exactly the
+/// three known fields, so a future build adding one fails loudly here
+/// instead of silently defaulting.
+pub fn parse_version(line: &str) -> Result<WireVersions, String> {
+    let line = line.trim();
+    let rest = line
+        .strip_prefix("VERSION ")
+        .ok_or_else(|| format!("malformed VERSION reply '{line}'"))?;
+    let mut versions = WireVersions {
+        protocol: 0,
+        snapshot: 0,
+        wal: 0,
+    };
+    let mut seen = 0u32;
+    for field in rest.split_ascii_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("malformed VERSION field '{field}'"))?;
+        let value: u32 = value
+            .parse()
+            .map_err(|_| format!("non-numeric VERSION field '{field}'"))?;
+        match key {
+            "proto" => versions.protocol = value,
+            "snapshot" => versions.snapshot = value,
+            "wal" => versions.wal = value,
+            other => return Err(format!("unknown VERSION field '{other}'")),
+        }
+        seen += 1;
+    }
+    if seen != 3 {
+        return Err(format!("VERSION reply has {seen} fields, expected 3"));
+    }
+    Ok(versions)
 }
 
 /// Format a `GETRANGE` reply.
@@ -264,7 +416,7 @@ pub fn parse_range(line: &str) -> Result<RangeOutcome, String> {
 pub fn format_stats(stats: &ServerStats) -> String {
     format!(
         "STATS hits={} misses={} prefix_hits={} byte_hits={} byte_misses={} evictions={} \
-         recoveries={} wal_replayed={}",
+         recoveries={} wal_replayed={} peer_hits={}",
         stats.stats.hits,
         stats.stats.misses,
         stats.stats.prefix_hits,
@@ -272,7 +424,8 @@ pub fn format_stats(stats: &ServerStats) -> String {
         stats.stats.byte_misses.as_u64(),
         stats.stats.evictions,
         stats.recoveries,
-        stats.wal_replayed
+        stats.wal_replayed,
+        stats.peer_hits
     )
 }
 
@@ -285,6 +438,7 @@ pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
     let mut stats = HitStats::new();
     let mut recoveries = 0;
     let mut wal_replayed = 0;
+    let mut peer_hits = 0;
     let mut seen = 0u32;
     for field in rest.split_ascii_whitespace() {
         let (key, value) = field
@@ -302,17 +456,19 @@ pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
             "evictions" => stats.evictions = value,
             "recoveries" => recoveries = value,
             "wal_replayed" => wal_replayed = value,
+            "peer_hits" => peer_hits = value,
             other => return Err(format!("unknown STATS field '{other}'")),
         }
         seen += 1;
     }
-    if seen != 8 {
-        return Err(format!("STATS reply has {seen} fields, expected 8"));
+    if seen != 9 {
+        return Err(format!("STATS reply has {seen} fields, expected 9"));
     }
     Ok(ServerStats {
         stats,
         recoveries,
         wal_replayed,
+        peer_hits,
     })
 }
 
@@ -355,12 +511,16 @@ const KIND_SNAPSHOT: u8 = 0x03;
 const KIND_POISON: u8 = 0x04;
 const KIND_QUIT: u8 = 0x05;
 const KIND_GETRANGE: u8 = 0x06;
+const KIND_PEER_GET: u8 = 0x07;
+const KIND_HELLO: u8 = 0x08;
 const KIND_R_GET: u8 = 0x81;
 const KIND_R_STATS: u8 = 0x82;
 const KIND_R_SNAPSHOT: u8 = 0x83;
 const KIND_R_POISONED: u8 = 0x84;
 const KIND_R_BYE: u8 = 0x85;
 const KIND_R_RANGE: u8 = 0x86;
+const KIND_R_PEER: u8 = 0x87;
+const KIND_R_HELLO: u8 = 0x88;
 const KIND_R_ERR: u8 = 0xC0;
 
 /// One reply, protocol-independent: the server builds these and renders
@@ -372,6 +532,10 @@ pub enum Reply {
     Get(GetOutcome),
     /// Outcome of a `GETRANGE` residency probe.
     Range(RangeOutcome),
+    /// Outcome of a `PEERGET`: whether the peer already held the clip.
+    Peer(bool),
+    /// The wire/schema versions (`VERSION`/`HELLO` handshake).
+    Version(WireVersions),
     /// Merged server statistics.
     Stats(ServerStats),
     /// The per-shard snapshot JSON array.
@@ -444,6 +608,11 @@ pub fn encode_command(command: &Command, out: &mut Vec<u8>) {
             out.extend_from_slice(&clip.get().to_le_bytes());
             out.extend_from_slice(&chunk.to_le_bytes());
         }
+        Command::PeerGet(clip) => {
+            push_header(out, KIND_PEER_GET, 4);
+            out.extend_from_slice(&clip.get().to_le_bytes());
+        }
+        Command::Version => push_header(out, KIND_HELLO, 0),
         Command::Stats => push_header(out, KIND_STATS, 0),
         Command::Snapshot => push_header(out, KIND_SNAPSHOT, 0),
         Command::Poison(clip) => {
@@ -459,7 +628,8 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
     match reply {
         Reply::Get(outcome) => {
             push_header(out, KIND_R_GET, 9);
-            let flags = (outcome.hit as u8) | ((outcome.admitted as u8) << 1);
+            let flags =
+                (outcome.hit as u8) | ((outcome.admitted as u8) << 1) | ((outcome.peer as u8) << 2);
             out.push(flags);
             out.extend_from_slice(&(outcome.evictions as u64).to_le_bytes());
         }
@@ -469,8 +639,18 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
             out.extend_from_slice(&outcome.resident.to_le_bytes());
             out.extend_from_slice(&outcome.total.to_le_bytes());
         }
+        Reply::Peer(had) => {
+            push_header(out, KIND_R_PEER, 1);
+            out.push(*had as u8);
+        }
+        Reply::Version(versions) => {
+            push_header(out, KIND_R_HELLO, 12);
+            out.extend_from_slice(&versions.protocol.to_le_bytes());
+            out.extend_from_slice(&versions.snapshot.to_le_bytes());
+            out.extend_from_slice(&versions.wal.to_le_bytes());
+        }
         Reply::Stats(stats) => {
-            push_header(out, KIND_R_STATS, 64);
+            push_header(out, KIND_R_STATS, 72);
             for v in [
                 stats.stats.hits,
                 stats.stats.misses,
@@ -480,6 +660,7 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
                 stats.stats.evictions,
                 stats.recoveries,
                 stats.wal_replayed,
+                stats.peer_hits,
             ] {
                 out.extend_from_slice(&v.to_le_bytes());
             }
@@ -523,11 +704,13 @@ pub fn corrupt_length_get_frame() -> [u8; FRAME_HEADER_BYTES] {
 /// (reply-only) kinds.
 fn fixed_len(kind: u8) -> Option<u32> {
     match kind {
-        KIND_GET | KIND_POISON => Some(4),
+        KIND_GET | KIND_POISON | KIND_PEER_GET => Some(4),
         KIND_GETRANGE => Some(8),
-        KIND_STATS | KIND_SNAPSHOT | KIND_QUIT | KIND_R_BYE => Some(0),
+        KIND_STATS | KIND_SNAPSHOT | KIND_QUIT | KIND_HELLO | KIND_R_BYE => Some(0),
         KIND_R_GET | KIND_R_RANGE => Some(9),
-        KIND_R_STATS => Some(64),
+        KIND_R_PEER => Some(1),
+        KIND_R_HELLO => Some(12),
+        KIND_R_STATS => Some(72),
         KIND_R_POISONED => Some(8),
         KIND_R_SNAPSHOT | KIND_R_ERR => None,
         _ => Some(0), // unknown kinds are rejected before this matters
@@ -564,13 +747,22 @@ fn decode_header(buf: &[u8], request: bool) -> Result<Decoded<(u8, usize)>, Fram
     let known = if request {
         matches!(
             kind,
-            KIND_GET | KIND_GETRANGE | KIND_STATS | KIND_SNAPSHOT | KIND_POISON | KIND_QUIT
+            KIND_GET
+                | KIND_GETRANGE
+                | KIND_PEER_GET
+                | KIND_HELLO
+                | KIND_STATS
+                | KIND_SNAPSHOT
+                | KIND_POISON
+                | KIND_QUIT
         )
     } else {
         matches!(
             kind,
             KIND_R_GET
                 | KIND_R_RANGE
+                | KIND_R_PEER
+                | KIND_R_HELLO
                 | KIND_R_STATS
                 | KIND_R_SNAPSHOT
                 | KIND_R_POISONED
@@ -634,7 +826,9 @@ pub fn decode_command(buf: &[u8]) -> Result<Decoded<Command>, FrameError> {
             let chunk = u32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]);
             Command::GetRange(clip(payload)?, chunk)
         }
+        KIND_PEER_GET => Command::PeerGet(clip(payload)?),
         KIND_POISON => Command::Poison(clip(payload)?),
+        KIND_HELLO => Command::Version,
         KIND_STATS => Command::Stats,
         KIND_SNAPSHOT => Command::Snapshot,
         _ => Command::Quit,
@@ -671,11 +865,12 @@ pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Reply>, FrameError> {
     let value = match kind {
         KIND_R_GET => {
             let flags = payload[0];
-            if flags & !0b11 != 0 {
+            if flags & !0b111 != 0 {
                 return Err(corrupt(total, true, "corrupt GET reply flags"));
             }
             let hit = flags & 1 != 0;
             let admitted = flags & 2 != 0;
+            let peer = flags & 4 != 0;
             if hit && !admitted {
                 return Err(corrupt(
                     total,
@@ -683,10 +878,18 @@ pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Reply>, FrameError> {
                     "corrupt GET reply (hit but not admitted)",
                 ));
             }
+            if hit && peer {
+                return Err(corrupt(
+                    total,
+                    true,
+                    "corrupt GET reply (a local hit cannot be peer-filled)",
+                ));
+            }
             Reply::Get(GetOutcome {
                 hit,
                 admitted,
                 evictions: u64_at(1) as usize,
+                peer,
             })
         }
         KIND_R_RANGE => {
@@ -708,6 +911,27 @@ pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Reply>, FrameError> {
                 total: chunk_total,
             })
         }
+        KIND_R_PEER => {
+            if payload[0] > 1 {
+                return Err(corrupt(total, true, "corrupt PEERGET reply byte"));
+            }
+            Reply::Peer(payload[0] == 1)
+        }
+        KIND_R_HELLO => {
+            let u32_at = |at: usize| {
+                u32::from_le_bytes([
+                    payload[at],
+                    payload[at + 1],
+                    payload[at + 2],
+                    payload[at + 3],
+                ])
+            };
+            Reply::Version(WireVersions {
+                protocol: u32_at(0),
+                snapshot: u32_at(4),
+                wal: u32_at(8),
+            })
+        }
         KIND_R_STATS => Reply::Stats(ServerStats {
             stats: HitStats {
                 hits: u64_at(0),
@@ -719,6 +943,7 @@ pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Reply>, FrameError> {
             },
             recoveries: u64_at(48),
             wal_replayed: u64_at(56),
+            peer_hits: u64_at(64),
         }),
         KIND_R_SNAPSHOT => Reply::Snapshot(
             String::from_utf8(payload.to_vec())
@@ -758,6 +983,11 @@ mod tests {
             parse_command("GETRANGE 4 0"),
             Ok(Command::GetRange(ClipId::new(4), 0))
         );
+        assert_eq!(
+            parse_command("PEERGET 12"),
+            Ok(Command::PeerGet(ClipId::new(12)))
+        );
+        assert_eq!(parse_command("VERSION"), Ok(Command::Version));
     }
 
     #[test]
@@ -767,6 +997,8 @@ mod tests {
             Command::Get(ClipId::new(u32::MAX)),
             Command::GetRange(ClipId::new(7), 3),
             Command::GetRange(ClipId::new(1), u32::MAX),
+            Command::PeerGet(ClipId::new(23)),
+            Command::Version,
             Command::Stats,
             Command::Snapshot,
             Command::Poison(ClipId::new(42)),
@@ -793,6 +1025,9 @@ mod tests {
         assert!(parse_command("GETRANGE 1 x").is_err());
         assert!(parse_command("GETRANGE 1 -1").is_err());
         assert!(parse_command("GETRANGE 1 2 3").is_err());
+        assert!(parse_command("PEERGET").is_err());
+        assert!(parse_command("PEERGET 0").is_err());
+        assert!(parse_command("VERSION 2").is_err());
     }
 
     #[test]
@@ -830,24 +1065,79 @@ mod tests {
                 hit: true,
                 admitted: true,
                 evictions: 0,
+                peer: false,
             },
             GetOutcome {
                 hit: false,
                 admitted: true,
                 evictions: 3,
+                peer: false,
             },
             GetOutcome {
                 hit: false,
                 admitted: false,
                 evictions: 0,
+                peer: false,
+            },
+            // Peer-filled: a local miss the cluster turned into a hit.
+            GetOutcome {
+                hit: false,
+                admitted: true,
+                evictions: 2,
+                peer: true,
+            },
+            GetOutcome {
+                hit: false,
+                admitted: false,
+                evictions: 0,
+                peer: true,
             },
         ] {
             assert_eq!(parse_get(&format_get(&outcome)), Ok(outcome));
         }
+        assert!(format_get(&GetOutcome {
+            hit: false,
+            admitted: true,
+            evictions: 1,
+            peer: true,
+        })
+        .starts_with("PHIT "));
         assert!(parse_get("HIT").is_err());
         assert!(parse_get("HIT 1 2").is_err());
         assert!(parse_get("MISS 2 0").is_err());
+        assert!(parse_get("PHIT 2 0").is_err());
+        assert!(parse_get("PHIT").is_err());
         assert!(parse_get("ERR nope").is_err());
+    }
+
+    #[test]
+    fn peer_reply_round_trips() {
+        assert_eq!(parse_peer(&format_peer(true)), Ok(true));
+        assert_eq!(parse_peer(&format_peer(false)), Ok(false));
+        assert!(parse_peer("RPEER").is_err());
+        assert!(parse_peer("RPEER 2").is_err());
+        assert!(parse_peer("HIT 0").is_err());
+    }
+
+    #[test]
+    fn version_reply_round_trips_and_skew_is_named() {
+        let ours = WireVersions::current();
+        assert_eq!(ours.protocol, PROTOCOL_VERSION);
+        let line = format_version(&ours);
+        assert!(line.starts_with("VERSION proto="));
+        assert_eq!(parse_version(&line), Ok(ours));
+        assert!(parse_version("VERSION proto=3").is_err(), "missing fields");
+        assert!(parse_version("VERSION proto=3 snapshot=2 wal=x").is_err());
+        assert!(parse_version("VERSION proto=3 snapshot=2 wal=2 extra=1").is_err());
+        // A skewed peer is refused with the component named.
+        assert!(ours.check_matches(&ours).is_ok());
+        let skewed = WireVersions { wal: 1, ..ours };
+        let err = ours.check_matches(&skewed).unwrap_err();
+        assert!(
+            err.contains("wal version skew"),
+            "names the component: {err}"
+        );
+        assert!(err.contains("version 1"), "names both versions: {err}");
     }
 
     #[test]
@@ -859,20 +1149,22 @@ mod tests {
             stats,
             recoveries: 3,
             wal_replayed: 41,
+            peer_hits: 7,
         };
         let line = format_stats(&server);
         assert!(line.contains("recoveries=3"));
         assert!(line.contains("wal_replayed=41"));
         assert!(line.contains("prefix_hits=0"));
+        assert!(line.contains("peer_hits=7"));
         assert_eq!(parse_stats(&line), Ok(server));
         assert!(parse_stats("STATS hits=1").is_err());
         assert!(parse_stats(
             "STATS hits=1 misses=x prefix_hits=0 byte_hits=0 byte_misses=0 evictions=0 \
-             recoveries=0 wal_replayed=0"
+             recoveries=0 wal_replayed=0 peer_hits=0"
         )
         .is_err());
-        // Older wire formats (five through seven fields, including the
-        // pre-chunking one without prefix_hits) are gone, not silently
+        // Older wire formats (five through eight fields, including the
+        // pre-cluster one without peer_hits) are gone, not silently
         // defaulted.
         assert!(
             parse_stats("STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0").is_err()
@@ -886,6 +1178,11 @@ mod tests {
              wal_replayed=0"
         )
         .is_err());
+        assert!(parse_stats(
+            "STATS hits=1 misses=0 prefix_hits=0 byte_hits=0 byte_misses=0 evictions=0 \
+             recoveries=0 wal_replayed=0"
+        )
+        .is_err());
         assert!(parse_stats("nope").is_err());
     }
 
@@ -897,6 +1194,7 @@ mod tests {
             stats,
             recoveries: 0,
             wal_replayed: 0,
+            peer_hits: 0,
         };
         let line = format_stats(&server);
         assert!(line.contains("prefix_hits=1"));

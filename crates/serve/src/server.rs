@@ -46,9 +46,11 @@
 //! pending reply bytes pass a soft cap — backpressure instead of
 //! unbounded buffering.
 
+use crate::cluster::{ClusterRuntime, ClusterSpec};
 use crate::protocol::{
-    decode_command, encode_reply, format_get, format_poisoned, format_range, format_stats,
-    parse_command, Command, Decoded, Reply, ServerStats, FRAME_MAGIC,
+    decode_command, encode_reply, format_get, format_peer, format_poisoned, format_range,
+    format_stats, format_version, parse_command, Command, Decoded, Reply, ServerStats,
+    WireVersions, FRAME_MAGIC,
 };
 use crate::service::CacheService;
 use std::collections::VecDeque;
@@ -77,7 +79,7 @@ const READ_CHUNK: usize = 64 * 1024;
 
 /// Server tuning knobs; [`ServerConfig::default`] reproduces the
 /// pre-resilience behavior (no gate, no idle limit, no chaos).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServerConfig {
     /// Maximum concurrently served connections (`None` = unlimited).
     /// Excess arrivals are refused with `ERR server busy`.
@@ -88,6 +90,10 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Whether the `POISON` fault-injection command is honored.
     pub chaos: bool,
+    /// Cluster membership (`--cluster`): when set, GET misses trigger a
+    /// peer fill across the clip's other ring owners before the miss is
+    /// reported.
+    pub cluster: Option<ClusterSpec>,
 }
 
 /// Minimal safe wrapper over the vendored epoll shim. Owns the epoll
@@ -311,6 +317,8 @@ struct EventLoop {
     listener: TcpListener,
     service: Arc<CacheService>,
     config: ServerConfig,
+    /// Peer pool + fill counters when the node is a cluster member.
+    cluster: Option<ClusterRuntime>,
     shutdown: Arc<AtomicBool>,
     wake: Arc<WakePipe>,
     /// Connection slab indexed by epoll token.
@@ -330,11 +338,13 @@ impl EventLoop {
         let epoll = Epoll::new()?;
         epoll.add(listener.as_raw_fd(), libc::EPOLLIN, LISTENER_TOKEN)?;
         epoll.add(wake.read_fd, libc::EPOLLIN, WAKE_TOKEN)?;
+        let cluster = config.cluster.clone().map(ClusterRuntime::new);
         Ok(EventLoop {
             epoll,
             listener,
             service,
             config,
+            cluster,
             shutdown,
             wake,
             conns: Vec::new(),
@@ -423,14 +433,14 @@ impl EventLoop {
             conn.eof = true;
         }
         if bits & (libc::EPOLLIN | libc::EPOLLRDHUP) != 0 {
-            Self::read_and_process(conn, &self.service, self.config);
+            Self::read_and_process(conn, &self.service, &self.config, &mut self.cluster);
         }
         if bits & libc::EPOLLOUT != 0 || !conn.wbuf.is_empty() {
             Self::flush(conn);
             // Backpressure release: reply bytes drained, resume
             // consuming any input that piled up meanwhile.
             if conn.wbuf.len() < WBUF_SOFT_CAP && !conn.closing {
-                Self::read_and_process(conn, &self.service, self.config);
+                Self::read_and_process(conn, &self.service, &self.config, &mut self.cluster);
                 Self::flush(conn);
             }
         }
@@ -439,7 +449,12 @@ impl EventLoop {
 
     /// Drain the socket into `rbuf` (edge-triggered: read to
     /// `WouldBlock`), then execute every complete buffered request.
-    fn read_and_process(conn: &mut Conn, service: &CacheService, config: ServerConfig) {
+    fn read_and_process(
+        conn: &mut Conn,
+        service: &CacheService,
+        config: &ServerConfig,
+        cluster: &mut Option<ClusterRuntime>,
+    ) {
         if conn.closing {
             return;
         }
@@ -467,7 +482,7 @@ impl EventLoop {
                 }
             }
         }
-        Self::process_buffered(conn, service, config);
+        Self::process_buffered(conn, service, config, cluster);
         if conn.eof && !conn.closing {
             // Peer is gone (or half-closed after its final request):
             // flush whatever replies remain, then close.
@@ -477,7 +492,12 @@ impl EventLoop {
 
     /// Execute every complete request sitting in `rbuf` — the server
     /// half of pipelining.
-    fn process_buffered(conn: &mut Conn, service: &CacheService, config: ServerConfig) {
+    fn process_buffered(
+        conn: &mut Conn,
+        service: &CacheService,
+        config: &ServerConfig,
+        cluster: &mut Option<ClusterRuntime>,
+    ) {
         let mut consumed = 0usize;
         let mut out: Vec<u8> = Vec::new();
         while consumed < conn.rbuf.len() && !conn.closing {
@@ -489,7 +509,7 @@ impl EventLoop {
                     Ok(Decoded::Frame { value, consumed: n }) => {
                         consumed += n;
                         conn.last_request = Instant::now();
-                        let (reply, quit) = execute(service, config, Ok(value));
+                        let (reply, quit) = execute(service, config, cluster, Ok(value));
                         encode_reply(&reply, &mut out);
                         if quit {
                             conn.closing = true;
@@ -522,7 +542,7 @@ impl EventLoop {
                         let line = String::from_utf8_lossy(&rest[..pos]).into_owned();
                         consumed += pos + 1;
                         conn.last_request = Instant::now();
-                        let (reply, quit) = execute(service, config, parse_command(&line));
+                        let (reply, quit) = execute(service, config, cluster, parse_command(&line));
                         out.extend_from_slice(format_reply_text(&reply).as_bytes());
                         out.push(b'\n');
                         if quit {
@@ -638,7 +658,7 @@ impl EventLoop {
             let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
                 continue;
             };
-            Self::read_and_process(conn, &self.service, self.config);
+            Self::read_and_process(conn, &self.service, &self.config, &mut self.cluster);
             if !conn.wbuf.is_empty() {
                 let _ = conn.stream.set_nonblocking(false);
                 let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(5)));
@@ -657,14 +677,34 @@ impl EventLoop {
 /// Execute one parsed (or unparseable) request; the bool means QUIT.
 fn execute(
     service: &CacheService,
-    config: ServerConfig,
+    config: &ServerConfig,
+    cluster: &mut Option<ClusterRuntime>,
     command: Result<Command, String>,
 ) -> (Reply, bool) {
     let reply = match command {
         Ok(Command::Get(clip)) => match service.get(clip) {
-            Ok(outcome) => Reply::Get(outcome),
+            Ok(mut outcome) => {
+                // Cluster peer fill: a local miss consults the clip's
+                // other ring owners before being reported. `fill` is a
+                // no-op for R = 1 (empty probe set), so a degenerate
+                // cluster stays byte-identical to a standalone server.
+                if !outcome.hit {
+                    if let Some(cluster) = cluster.as_mut() {
+                        outcome.peer = cluster.fill(clip);
+                    }
+                }
+                Reply::Get(outcome)
+            }
             Err(e) => Reply::Err(e.to_string()),
         },
+        // A PEERGET is a full local access — the probing owner's
+        // write-all half — but never recurses into another peer fill:
+        // answering from local shards only keeps peer traffic loop-free.
+        Ok(Command::PeerGet(clip)) => match service.get(clip) {
+            Ok(outcome) => Reply::Peer(outcome.hit),
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Ok(Command::Version) => Reply::Version(WireVersions::current()),
         // An out-of-range chunk (or unknown clip) is a loud structured
         // ERR / R_ERR — the probe never stalls the connection.
         Ok(Command::GetRange(clip, chunk)) => match service.get_range(clip, chunk) {
@@ -675,6 +715,7 @@ fn execute(
             stats: service.stats(),
             recoveries: service.recoveries(),
             wal_replayed: service.wal_replayed(),
+            peer_hits: cluster.as_ref().map_or(0, |c| c.peer_hits()),
         }),
         Ok(Command::Snapshot) => {
             let parts: Vec<String> = service.snapshot().iter().map(|s| s.to_json()).collect();
@@ -697,6 +738,8 @@ fn execute(
 fn format_reply_text(reply: &Reply) -> String {
     match reply {
         Reply::Get(outcome) => format_get(outcome),
+        Reply::Peer(had) => format_peer(*had),
+        Reply::Version(versions) => format_version(versions),
         Reply::Range(outcome) => format_range(outcome),
         Reply::Stats(stats) => format_stats(stats),
         Reply::Snapshot(json) => format!("SNAPSHOT {json}"),

@@ -88,6 +88,10 @@ pub struct GetOutcome {
     pub admitted: bool,
     /// Clips evicted by this access.
     pub evictions: usize,
+    /// Whether a local miss was filled from a cluster peer (a cluster
+    /// hit). Always `false` at the shard layer — only the cluster tier
+    /// sets it, after a `PEERGET` probe found the clip on a replica.
+    pub peer: bool,
 }
 
 /// The outcome of one chunk-granular residency probe (`GETRANGE`).
@@ -218,6 +222,7 @@ impl Shard {
             hit,
             admitted,
             evictions: self.evictions.0,
+            peer: false,
         }
     }
 

@@ -57,28 +57,37 @@ fn range_from(selector: u8, total: u32) -> RangeOutcome {
 }
 
 fn outcome_from(selector: u8, evictions: usize) -> GetOutcome {
-    // The three states the wire can carry: HIT (admitted implied),
-    // MISS admitted, MISS rejected.
-    match selector % 3 {
+    // The four states the wire can carry: HIT (admitted implied),
+    // MISS admitted, MISS rejected, PHIT (peer-filled miss).
+    match selector % 4 {
         0 => GetOutcome {
             hit: true,
             admitted: true,
             evictions,
+            peer: false,
         },
         1 => GetOutcome {
             hit: false,
             admitted: true,
             evictions,
+            peer: false,
         },
-        _ => GetOutcome {
+        2 => GetOutcome {
             hit: false,
             admitted: false,
             evictions,
+            peer: false,
+        },
+        _ => GetOutcome {
+            hit: false,
+            admitted: true,
+            evictions,
+            peer: true,
         },
     }
 }
 
-fn stats_from(v: [u64; 8]) -> ServerStats {
+fn stats_from(v: [u64; 9]) -> ServerStats {
     ServerStats {
         stats: HitStats {
             hits: v[0],
@@ -90,6 +99,7 @@ fn stats_from(v: [u64; 8]) -> ServerStats {
         },
         recoveries: v[5],
         wal_replayed: v[6],
+        peer_hits: v[8],
     }
 }
 
@@ -216,7 +226,7 @@ fn round_trips_on_a_grid() {
             assert_eq!(parse_command(&format_command(&command)), Ok(command));
         }
     }
-    for selector in 0u8..3 {
+    for selector in 0u8..4 {
         for evictions in [0usize, 1, 7, usize::MAX] {
             let outcome = outcome_from(selector, evictions);
             assert_eq!(parse_get(&format_get(&outcome)), Ok(outcome));
@@ -231,7 +241,7 @@ fn round_trips_on_a_grid() {
     for shard in [0usize, 1, 63, usize::MAX] {
         assert_eq!(parse_poisoned(&format_poisoned(shard)), Ok(shard));
     }
-    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4, 5, 6]);
+    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4, 5, 6, 7]);
     assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
 }
 
@@ -243,7 +253,7 @@ proptest! {
     }
 
     #[test]
-    fn get_replies_round_trip(selector in 0u8..3, evictions in 0usize..usize::MAX) {
+    fn get_replies_round_trip(selector in 0u8..4, evictions in 0usize..usize::MAX) {
         let outcome = outcome_from(selector, evictions);
         prop_assert_eq!(parse_get(&format_get(&outcome)), Ok(outcome));
     }
@@ -264,10 +274,11 @@ proptest! {
         recoveries in 0u64..u64::MAX,
         wal_replayed in 0u64..u64::MAX,
         prefix_hits in 0u64..u64::MAX,
+        peer_hits in 0u64..u64::MAX,
     ) {
         let stats = stats_from([
             hits, misses, byte_hits, byte_misses, evictions, recoveries, wal_replayed,
-            prefix_hits,
+            prefix_hits, peer_hits,
         ]);
         prop_assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
     }
@@ -321,7 +332,7 @@ fn encoded_reply(reply: &Reply) -> Vec<u8> {
     out
 }
 
-fn reply_from(selector: u8, evictions: usize, stats: [u64; 8], text: &str) -> Reply {
+fn reply_from(selector: u8, evictions: usize, stats: [u64; 9], text: &str) -> Reply {
     match selector % 7 {
         0 => Reply::Get(outcome_from(selector / 7, evictions)),
         1 => Reply::Stats(stats_from(stats)),
@@ -350,7 +361,12 @@ fn frames_round_trip_on_a_grid() {
     }
     for selector in 0u8..21 {
         for evictions in [0usize, 1, 7, usize::MAX] {
-            let reply = reply_from(selector, evictions, [u64::MAX, 0, 1, 2, 3, 4, 5, 6], "boom");
+            let reply = reply_from(
+                selector,
+                evictions,
+                [u64::MAX, 0, 1, 2, 3, 4, 5, 6, 7],
+                "boom",
+            );
             let bytes = encoded_reply(&reply);
             assert_eq!(
                 decode_reply(&bytes),
@@ -376,6 +392,7 @@ fn torn_prefixes_decode_incomplete_never_a_short_frame() {
             hit: true,
             admitted: true,
             evictions: 42,
+            peer: false,
         })),
         encoded_reply(&Reply::Range(RangeOutcome {
             hit: true,
@@ -533,7 +550,7 @@ proptest! {
         let text: String = (0..(text_seed % 48))
             .map(|i| (b' ' + ((text_seed >> (i % 57)) % 95) as u8) as char)
             .collect();
-        let reply = reply_from(selector, evictions, [word, 1, 2, 3, 4, 5, 6, 7], &text);
+        let reply = reply_from(selector, evictions, [word, 1, 2, 3, 4, 5, 6, 7, 8], &text);
         let bytes = encoded_reply(&reply);
         let consumed = bytes.len();
         prop_assert_eq!(
