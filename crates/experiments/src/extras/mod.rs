@@ -29,3 +29,4 @@ pub mod skew;
 pub mod streaming;
 pub mod table1;
 pub mod variance;
+pub mod walbench;

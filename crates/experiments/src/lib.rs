@@ -66,6 +66,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "servebench",
     "faultbench",
     "recoverybench",
+    "walbench",
     "prefixbench",
     "clusterbench",
     "optimality",
@@ -105,6 +106,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "servebench" => "serving layer: sharded-service hit rate vs shard count (serial reference)",
         "faultbench" => "serving layer: effective hit rate vs injected fault rate (chaos harness)",
         "recoverybench" => "serving layer: warm (checkpoint+WAL) vs cold restart hit rate",
+        "walbench" => "serving layer: reopen work (replay/bytes/segments) vs WAL history",
         "prefixbench" => "chunk layer: prefix caching vs whole-clip at equal byte budgets",
         "clusterbench" => "cluster tier: ring-routed hit rate vs N independent caches",
         _ => return None,
@@ -141,6 +143,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<FigureRes
         "servebench" => extras::servebench::run(ctx),
         "faultbench" => extras::faultbench::run(ctx),
         "recoverybench" => extras::recoverybench::run(ctx),
+        "walbench" => extras::walbench::run(ctx),
         "prefixbench" => extras::prefixbench::run(ctx),
         "clusterbench" => extras::clusterbench::run(ctx),
         "loglaw" => extras::loglaw::run(ctx),

@@ -68,7 +68,7 @@ use clipcache_media::paper;
 use clipcache_serve::{
     run_load_with, serial_baseline, CacheService, ClusterHarness, ClusterRoute, CrashAction,
     FaultPlan, LoadOptions, PeerFaults, PersistOptions, RetryPolicy, ServiceConfig, Target,
-    WalSync, Wire,
+    WalSync, WalTuning, Wire,
 };
 use clipcache_workload::{RequestGenerator, Trace};
 use std::process::ExitCode;
@@ -92,6 +92,7 @@ struct Args {
     chaos_report: Option<String>,
     data_dir: Option<std::path::PathBuf>,
     wal_sync: WalSync,
+    tuning: WalTuning,
     wire: Wire,
     pipeline: usize,
     peers: Vec<String>,
@@ -128,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
         chaos_report: None,
         data_dir: None,
         wal_sync: WalSync::default(),
+        tuning: WalTuning::default(),
         wire: Wire::Text,
         pipeline: 1,
         peers: Vec::new(),
@@ -217,6 +219,23 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--wal-sync needs always or off")?;
                 args.wal_sync = WalSync::parse(&v)?;
             }
+            "--commit-window-us" => {
+                let v = argv
+                    .next()
+                    .ok_or("--commit-window-us needs microseconds (0 = fsync per record)")?;
+                let us: u64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --commit-window-us: {e}"))?;
+                args.tuning.commit_window = Duration::from_micros(us);
+            }
+            "--segment-bytes" => {
+                let v = argv.next().ok_or("--segment-bytes needs a byte count")?;
+                let n: u64 = v.parse().map_err(|e| format!("bad --segment-bytes: {e}"))?;
+                if n == 0 {
+                    return Err("--segment-bytes must be at least 1".into());
+                }
+                args.tuning.segment_bytes = n;
+            }
             "--wire" => {
                 let v = argv.next().ok_or("--wire needs text or binary")?;
                 args.wire = v.parse()?;
@@ -274,7 +293,8 @@ fn parse_args() -> Result<Args, String> {
                      [--check-serial tol] \
                      [--wire text|binary] [--pipeline n] \
                      [--faults spec] [--retries n] [--backoff-ms n] \
-                     [--chaos-report path|-] [--data-dir path] [--wal-sync always|off]\n\
+                     [--chaos-report path|-] [--data-dir path] [--wal-sync always|off] \
+                     [--commit-window-us n] [--segment-bytes n]\n\
                      \x20       [--peers a,b,c | --cluster-nodes n] [--replication r] \
                      [--peer-faults spec]\n\
                      --wire binary speaks length-prefixed frames; --pipeline n \
@@ -301,6 +321,11 @@ fn parse_args() -> Result<Args, String> {
     if args.data_dir.is_some() && args.target != "inproc" {
         return Err(
             "--data-dir only applies to --target inproc (persist the server instead)".into(),
+        );
+    }
+    if args.tuning != WalTuning::default() && args.data_dir.is_none() {
+        return Err(
+            "--commit-window-us / --segment-bytes need --data-dir (they tune the WAL)".into(),
         );
     }
     if !args.peers.is_empty() && args.cluster_nodes.is_some() {
@@ -394,6 +419,7 @@ fn main() -> ExitCode {
                     sync: args.wal_sync,
                     crash: args.faults.as_ref().and_then(|p| p.crash()),
                     on_crash: CrashAction::ExitProcess,
+                    tuning: args.tuning,
                 };
                 CacheService::open_persistent(Arc::clone(&repo), config, None, &opts)
                     .map(|(s, report)| {

@@ -46,7 +46,7 @@
 use clipcache_media::paper;
 use clipcache_serve::{
     serve_with, CacheService, ClusterSpec, CrashAction, CrashSpec, PersistOptions, ServerConfig,
-    ServiceConfig, WalSync,
+    ServiceConfig, WalSync, WalTuning,
 };
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -64,6 +64,7 @@ struct Args {
     server: ServerConfig,
     data_dir: Option<std::path::PathBuf>,
     wal_sync: WalSync,
+    tuning: WalTuning,
     checkpoint_every: Option<u64>,
     crash_at: Option<CrashSpec>,
     cluster: Option<usize>,
@@ -94,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         server: ServerConfig::default(),
         data_dir: None,
         wal_sync: WalSync::default(),
+        tuning: WalTuning::default(),
         checkpoint_every: None,
         crash_at: None,
         cluster: None,
@@ -159,6 +161,23 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--wal-sync needs always or off")?;
                 args.wal_sync = WalSync::parse(&v)?;
             }
+            "--commit-window-us" => {
+                let v = argv
+                    .next()
+                    .ok_or("--commit-window-us needs microseconds (0 = fsync per record)")?;
+                let us: u64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --commit-window-us: {e}"))?;
+                args.tuning.commit_window = Duration::from_micros(us);
+            }
+            "--segment-bytes" => {
+                let v = argv.next().ok_or("--segment-bytes needs a byte count")?;
+                let n: u64 = v.parse().map_err(|e| format!("bad --segment-bytes: {e}"))?;
+                if n == 0 {
+                    return Err("--segment-bytes must be at least 1".into());
+                }
+                args.tuning.segment_bytes = n;
+            }
             "--checkpoint-every" => {
                 let v = argv.next().ok_or("--checkpoint-every needs a count")?;
                 let n: u64 = v
@@ -211,7 +230,8 @@ fn parse_args() -> Result<Args, String> {
                      [--clips n] [--ratio f] [--chunk-size mb] [--seed n|0xHEX] \
                      [--max-conns n] \
                      [--read-timeout ms] [--chaos] [--data-dir path] \
-                     [--wal-sync always|off] [--checkpoint-every n] [--crash-at kind:N]\n\
+                     [--wal-sync always|off] [--commit-window-us n] \
+                     [--segment-bytes n] [--checkpoint-every n] [--crash-at kind:N]\n\
                      \x20      [--cluster i --peers a,b,c [--replication r] \
                      [--peer-timeout ms]]\n\
                      serves until stdin closes or reads a `quit` line;\n\
@@ -219,9 +239,13 @@ fn parse_args() -> Result<Args, String> {
                      residency + GETRANGE probes; 0 = whole-clip, the default);\n\
                      --max-conns refuses excess connections with ERR server busy,\n\
                      --read-timeout reclaims idle connections, --chaos honors POISON;\n\
-                     --data-dir makes every shard durable (checkpoint + WAL) and\n\
-                     recovers previous state on start, --crash-at arms a\n\
-                     deterministic crash point (append:N, torn:N, checkpoint:N);\n\
+                     --data-dir makes every shard durable (checkpoint + segmented\n\
+                     WAL) and recovers previous state on start; --commit-window-us\n\
+                     batches concurrent WAL fsyncs under --wal-sync always (0 =\n\
+                     one fsync per record), --segment-bytes sets the WAL\n\
+                     segment-roll threshold; --crash-at arms a deterministic crash\n\
+                     point (append:N, torn:N, checkpoint:N, seal:N,\n\
+                     segment-roll:N);\n\
                      --cluster i joins the static membership in --peers (same list\n\
                      and --seed on every member) as member i, peer-filling misses\n\
                      from the clip's other ring owners at --replication r;\n\
@@ -234,6 +258,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.crash_at.is_some() && args.data_dir.is_none() {
         return Err("--crash-at needs --data-dir (crash points live in the durable store)".into());
+    }
+    if args.tuning != WalTuning::default() && args.data_dir.is_none() {
+        return Err(
+            "--commit-window-us / --segment-bytes need --data-dir (they tune the WAL)".into(),
+        );
     }
     match args.cluster {
         Some(me) => {
@@ -284,6 +313,7 @@ fn main() -> ExitCode {
                 sync: args.wal_sync,
                 crash: args.crash_at,
                 on_crash: CrashAction::ExitProcess,
+                tuning: args.tuning,
             };
             match CacheService::open_persistent(Arc::clone(&repo), config, None, &opts) {
                 Ok((s, report)) => {

@@ -39,8 +39,10 @@
 //!   the in-process service or a TCP address, optionally through a
 //!   fault plan (`--faults`).
 //! * [`persist`] — durable per-shard state (`--data-dir`): periodic
-//!   checkpoints plus a CRC-framed write-ahead log, with deterministic
-//!   crash points (`--crash-at`) so recovery is provable, not hoped-for.
+//!   checkpoints plus a segmented, CRC-framed write-ahead log
+//!   (`--segment-bytes`) with group-committed fsyncs
+//!   (`--commit-window-us`) and deterministic crash points
+//!   (`--crash-at`) so recovery is provable, not hoped-for.
 //! * [`ring`] — the deterministic consistent-hash ring: SplitMix64
 //!   vnodes, placement a pure function of `(seed, membership, clip)`,
 //!   replica sets as distinct ring successors.
@@ -85,8 +87,9 @@ pub use loadgen::{
     LoadReport, Target,
 };
 pub use persist::{
-    CrashAction, CrashPoint, CrashSpec, DurableCheckpoint, PersistError, PersistOptions,
-    RecoveryReport, ShardStore, WalOp, WalRecord, WalSync,
+    decode_segment, segment_file_name, CommitTicket, CrashAction, CrashPoint, CrashSpec,
+    DurableCheckpoint, PersistError, PersistOptions, RecoveryReport, SegmentEnd, ShardStore, WalOp,
+    WalRecord, WalSync, WalTuning, DEFAULT_SEGMENT_BYTES,
 };
 pub use protocol::{
     Decoded, FrameError, Reply, ServerStats, WireVersions, FRAME_MAGIC, MAX_FRAME_PAYLOAD,

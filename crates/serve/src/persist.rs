@@ -1,4 +1,5 @@
-//! Durable per-shard cache state: checkpoints plus a write-ahead log.
+//! Durable per-shard cache state: checkpoints plus a segmented,
+//! group-committed write-ahead log.
 //!
 //! The paper's whole argument is that a cache hit means the clip
 //! survives disconnection — which is only true if the cache itself
@@ -13,29 +14,65 @@
 //!   rename — a crash mid-checkpoint leaves the previous checkpoint
 //!   intact.
 //! * **WAL** — an append-only log of every access since the last
-//!   checkpoint. Each record is length-prefixed and CRC-framed
-//!   ([`crc32`] over the length *and* payload, so a corrupted length
-//!   cannot masquerade as a valid frame). Recovery replays the log
-//!   through the shard's zero-alloc `access_into` path.
+//!   checkpoint, kept as fixed-size numbered **segments**
+//!   (`wal.000001.log`, `wal.000002.log`, …). Each record is
+//!   length-prefixed and CRC-framed ([`crc32`] over the length *and*
+//!   payload, so a corrupted length cannot masquerade as a valid
+//!   frame). Recovery replays the log through the shard's zero-alloc
+//!   `access_into` path.
+//!
+//! ## Segments
+//!
+//! Every segment starts with a 24-byte header (magic, [`WAL_VERSION`],
+//! its own segment number — so a renamed file or a version-skewed log
+//! is refused by name, never reinterpreted). Exactly one segment is
+//! *active* (appended to); once it reaches `--segment-bytes` it is
+//! **sealed** — a [`SEAL_MARK`] footer naming the last sequence number
+//! and a CRC over *every* byte of the segment is fsynced onto the end —
+//! and a fresh successor segment is created. Sealed segments are
+//! immutable and fully durable; a single flipped bit anywhere in one
+//! fails the footer CRC loudly. A checkpoint subsumes all of them, so
+//! checkpointing deletes the sealed segments outright and truncates the
+//! active segment back to its bare header: disk usage and replay cost
+//! stay bounded no matter how long the shard runs.
+//!
+//! ## Group commit
+//!
+//! With `--wal-sync always` and a nonzero commit window, an append
+//! writes its frame and returns a [`CommitTicket`] instead of paying a
+//! private fsync. The caller releases the shard lock, then waits on the
+//! ticket: the first waiter becomes the *leader*, gives later appends
+//! up to the window to pile in (leaving early once the queue
+//! quiesces), then issues **one** fsync that makes every rider durable
+//! at once. A request is acknowledged only after its batch lands — an
+//! acked request is still a durable request, the batching only changes
+//! *when* the fsync happens, never what bytes reach the disk. A zero
+//! window is exactly the old behavior: one inline fsync per record,
+//! byte-identical on disk.
 //!
 //! ## The recovery contract
 //!
 //! [`ShardStore::open`] loads the newest valid checkpoint and decodes
-//! the WAL with exactly two crash artifacts it tolerates and one failure
-//! mode it refuses:
+//! the segments oldest-to-newest, tolerating exactly the artifacts a
+//! crash can leave and refusing everything else:
 //!
-//! * a **torn tail** — the file ends mid-frame, the signature of a crash
-//!   during an append. The partial record is truncated away and recovery
-//!   proceeds from the last complete record; the dropped byte count is
-//!   reported, never hidden.
-//! * a **subsumed prefix** — records with sequence numbers at or below
-//!   the checkpoint's, the signature of a crash between the checkpoint
-//!   rename and the WAL truncation. The checkpoint already folds them
-//!   in, so they are skipped (and the interrupted truncation finished),
-//!   never replayed twice.
-//! * **mid-log corruption** — a complete frame whose CRC or length
-//!   prefix does not match the fixed layout, or whose sequence breaks
-//!   the chain. That is bit rot or foul play, not a crash artifact, and
+//! * a **torn tail** — the newest segment ends mid-frame (or
+//!   mid-footer, or even mid-header), the signature of a crash during a
+//!   write. The partial bytes are truncated away and recovery proceeds
+//!   from the last complete record; the dropped byte count is reported,
+//!   never hidden.
+//! * a **subsumed prefix** — records (or whole sealed segments) with
+//!   sequence numbers at or below the checkpoint's, the signature of a
+//!   crash between the checkpoint rename and the segment cleanup. The
+//!   checkpoint already folds them in, so they are skipped (and the
+//!   interrupted cleanup finished), never replayed twice.
+//! * a **sealed newest segment** — a crash in the roll window, after
+//!   the seal fsync but before the successor segment was created.
+//!   Recovery opens a fresh successor; nothing was lost.
+//! * **corruption** — a complete frame whose CRC or length prefix does
+//!   not match the fixed layout, a sequence break, a failed seal-footer
+//!   CRC, a gap in the segment numbering, or a pre-segment single-file
+//!   `wal.log`. That is bit rot or foul play, not a crash artifact, and
 //!   recovery refuses loudly ([`PersistError::Corrupt`]) rather than
 //!   replaying garbage.
 //!
@@ -47,13 +84,15 @@
 //! ## Deterministic crash points
 //!
 //! A [`CrashSpec`] arms the store with a *crash point* — die after the
-//! Nth WAL append, write only half of the Nth append (a torn write), or
-//! die midway through the Nth checkpoint. The store performs the partial
-//! effect, then reports [`PersistError::CrashInjected`]; the service
-//! maps that to `process::exit(137)` in the binaries (`--crash-at`) or
-//! surfaces it to an in-process harness. Crash points count operations
-//! performed *after* recovery, so a crash-restart loop steps
-//! deterministically through the log.
+//! Nth WAL append, write only half of the Nth append (a torn write),
+//! die midway through the Nth checkpoint, write only half of the Nth
+//! seal footer (`seal:N`), or die after the Nth seal lands but before
+//! the successor segment exists (`segment-roll:N`). The store performs
+//! the partial effect, then reports [`PersistError::CrashInjected`];
+//! the service maps that to `process::exit(137)` in the binaries
+//! (`--crash-at`) or surfaces it to an in-process harness. Crash points
+//! count operations performed *after* recovery, so a crash-restart loop
+//! steps deterministically through the log.
 
 use clipcache_core::snapshot::CacheSnapshot;
 use clipcache_media::{ByteSize, ClipId};
@@ -61,9 +100,13 @@ use clipcache_sim::metrics::HitStats;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-/// The WAL file inside a shard's directory.
-pub const WAL_FILE: &str = "wal.log";
+/// The single-file WAL name used before the log was segmented. Found
+/// on disk it is refused by name — this build neither reads nor
+/// silently migrates the old layout.
+pub const LEGACY_WAL_FILE: &str = "wal.log";
 /// The checkpoint file inside a shard's directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.json";
 /// The scratch name a checkpoint is written to before the atomic rename.
@@ -76,9 +119,23 @@ pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// The WAL record-layout version this build writes and replays.
 /// Version 2 added the chunk field (17-byte payloads); version-1
-/// records are rejected by name, never reinterpreted. Peers compare
-/// this over the wire (`VERSION`/`KIND_HELLO`) before cooperating.
+/// records are rejected by name, never reinterpreted. Every segment
+/// header carries this version, and peers compare it over the wire
+/// (`VERSION`/`KIND_HELLO`) before cooperating.
 pub const WAL_VERSION: u64 = 2;
+
+/// Magic bytes opening every WAL segment header.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"CLIPWAL\0";
+/// Bytes in a segment header: magic (8) + version (8) + segment no (8).
+pub const SEGMENT_HEADER_BYTES: usize = 24;
+/// Bytes in a seal footer: mark (4) + last seq (8) + CRC (4).
+pub const SEGMENT_FOOTER_BYTES: usize = 16;
+/// The length-field value that marks a seal footer instead of a record.
+/// Record frames always declare the one fixed payload length, so the
+/// mark can never be confused with a valid frame.
+pub const SEAL_MARK: u32 = 0xFFFF_FFFF;
+/// Default segment-roll threshold (`--segment-bytes`).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
 
 /// Bytes in one record's payload: seq (8) + clip (4) + chunk (4) + op (1).
 /// Version 1 of the log had no chunk field (13-byte payloads); those
@@ -90,6 +147,11 @@ const V1_RECORD_PAYLOAD_BYTES: usize = 13;
 /// Bytes in one record's frame header: length (4) + CRC (4).
 const FRAME_HEADER_BYTES: usize = 8;
 
+/// How long a group-commit leader sleeps per poll while it waits for
+/// more riders. Fixed (not a fraction of the window) so a larger
+/// window never adds latency once the queue quiesces.
+const COMMIT_SLICE: Duration = Duration::from_micros(50);
+
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `bytes` — the same
 /// polynomial zlib and ethernet use, hand-rolled because the offline
 /// build vendors no checksum crate.
@@ -100,7 +162,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// Streaming CRC-32, so frames can be checked without copying the
-/// length prefix and payload into one buffer.
+/// length prefix and payload into one buffer, and the active segment
+/// can keep a running digest for its eventual seal footer.
+#[derive(Clone)]
 struct Crc32(u32);
 
 impl Crc32 {
@@ -121,6 +185,45 @@ impl Crc32 {
     fn finish(self) -> u32 {
         !self.0
     }
+}
+
+/// The file name of WAL segment `no` (1-based): `wal.000001.log`, …
+pub fn segment_file_name(no: u64) -> String {
+    format!("wal.{no:06}.log")
+}
+
+/// Parse a segment number back out of a `wal.NNNNNN.log` file name.
+fn parse_segment_no(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal.")?.strip_suffix(".log")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The 24-byte header opening segment `no`: magic, [`WAL_VERSION`],
+/// and the segment's own number (so a renamed or copied file is loud).
+pub fn segment_header(no: u64) -> [u8; SEGMENT_HEADER_BYTES] {
+    let mut h = [0u8; SEGMENT_HEADER_BYTES];
+    h[..8].copy_from_slice(&SEGMENT_MAGIC);
+    h[8..16].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h[16..24].copy_from_slice(&no.to_le_bytes());
+    h
+}
+
+/// The 16-byte seal footer for a segment whose on-disk bytes (header
+/// plus frames) are `segment`: `SEAL_MARK ‖ last_seq ‖ crc`, with the
+/// CRC taken over every preceding byte *including* the mark and seq —
+/// one flipped bit anywhere in a sealed segment fails the check.
+pub fn seal_footer(segment: &[u8], last_seq: u64) -> [u8; SEGMENT_FOOTER_BYTES] {
+    let mut f = [0u8; SEGMENT_FOOTER_BYTES];
+    f[..4].copy_from_slice(&SEAL_MARK.to_le_bytes());
+    f[4..12].copy_from_slice(&last_seq.to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(segment);
+    crc.update(&f[..12]);
+    f[12..].copy_from_slice(&crc.finish().to_le_bytes());
+    f
 }
 
 /// What a logged access did.
@@ -207,7 +310,104 @@ pub enum WalTail {
     },
 }
 
-/// Decode a WAL byte stream into records.
+/// One step of frame decoding at `pos`.
+enum FrameStep {
+    /// A complete, valid record; the second field is the next position.
+    Record(WalRecord, usize),
+    /// The bytes end mid-frame: a torn write, not corruption.
+    Torn,
+}
+
+/// Decode the frame starting at `pos`, validating length, CRC and
+/// payload invariants. Absolute offsets (including any segment header
+/// before the frames) land in the error messages unchanged.
+fn decode_frame(bytes: &[u8], pos: usize) -> Result<FrameStep, PersistError> {
+    let remaining = bytes.len() - pos;
+    if remaining < 4 {
+        return Ok(FrameStep::Torn);
+    }
+    let len_bytes = &bytes[pos..pos + 4];
+    let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+    // The length field is the first thing an append writes, so a torn
+    // write can truncate it but never leave it complete-and-wrong.
+    // Records are fixed-size, so a complete length that is not the
+    // one layout is corruption — trusting it would let a flipped bit
+    // masquerade the rest of the log as a "torn tail" and silently
+    // truncate valid frames after it.
+    if len == V1_RECORD_PAYLOAD_BYTES {
+        // A version-1 log (13-byte payloads: seq + clip + op, no
+        // chunk field). Reinterpreting it under the version-2
+        // layout would shear every field, so refuse by name.
+        return Err(PersistError::Corrupt {
+            offset: pos as u64,
+            reason: format!(
+                "WAL record uses the version-1 {V1_RECORD_PAYLOAD_BYTES}-byte \
+                 whole-clip layout; this build reads only the version-2 \
+                 {RECORD_PAYLOAD_BYTES}-byte chunk-aware layout — delete the \
+                 old data directory (or replay it with a version-1 build) \
+                 instead of mixing formats"
+            ),
+        });
+    }
+    if len != RECORD_PAYLOAD_BYTES {
+        return Err(PersistError::Corrupt {
+            offset: pos as u64,
+            reason: format!(
+                "WAL record length {len} is not the fixed \
+                 {RECORD_PAYLOAD_BYTES}-byte layout"
+            ),
+        });
+    }
+    if remaining < FRAME_HEADER_BYTES || remaining - FRAME_HEADER_BYTES < len {
+        // The frame promises more bytes than the file holds: an
+        // append died mid-write.
+        return Ok(FrameStep::Torn);
+    }
+    let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    let payload = &bytes[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
+    let mut crc = Crc32::new();
+    crc.update(len_bytes);
+    crc.update(payload);
+    if crc.finish() != stored_crc {
+        return Err(PersistError::Corrupt {
+            offset: pos as u64,
+            reason: "WAL record CRC mismatch".into(),
+        });
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let clip = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+    if clip == 0 {
+        return Err(PersistError::Corrupt {
+            offset: pos as u64,
+            reason: "WAL record names clip id 0".into(),
+        });
+    }
+    let chunk = u32::from_le_bytes(payload[12..16].try_into().expect("4 bytes"));
+    let op = WalOp::from_byte(payload[16]).map_err(|reason| PersistError::Corrupt {
+        offset: pos as u64,
+        reason,
+    })?;
+    if op != WalOp::GetRange && chunk != 0 {
+        return Err(PersistError::Corrupt {
+            offset: pos as u64,
+            reason: format!(
+                "whole-clip WAL record carries nonzero chunk {chunk} (only \
+                 GETRANGE records address chunks)"
+            ),
+        });
+    }
+    Ok(FrameStep::Record(
+        WalRecord {
+            seq,
+            clip: ClipId::new(clip),
+            chunk,
+            op,
+        },
+        pos + FRAME_HEADER_BYTES + len,
+    ))
+}
+
+/// Decode a bare WAL frame stream (no segment header) into records.
 ///
 /// An *incomplete* final frame (fewer bytes than its header or declared
 /// length promises) is a torn tail: the complete prefix is returned with
@@ -219,95 +419,164 @@ pub enum WalTail {
 pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), PersistError> {
     let mut records = Vec::new();
     let mut pos = 0usize;
+    while pos < bytes.len() {
+        match decode_frame(bytes, pos)? {
+            FrameStep::Record(record, next) => {
+                records.push(record);
+                pos = next;
+            }
+            FrameStep::Torn => {
+                return Ok((
+                    records,
+                    WalTail::Torn {
+                        valid_bytes: pos as u64,
+                        dropped_bytes: (bytes.len() - pos) as u64,
+                    },
+                ));
+            }
+        }
+    }
+    Ok((records, WalTail::Clean))
+}
+
+/// How [`decode_segment`] found the end of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentEnd {
+    /// No seal footer: the segment is (or was) the active one. The tail
+    /// says whether it ends on a frame boundary or mid-write; a torn
+    /// tail with `valid_bytes` shorter than the header means even the
+    /// header never finished (a crash during segment creation).
+    Unsealed(WalTail),
+    /// A valid seal footer: the segment is immutable and fully durable.
+    Sealed {
+        /// The sequence number the footer names as the segment's last.
+        last_seq: u64,
+    },
+}
+
+/// Decode one on-disk segment (header, frames, optional seal footer).
+///
+/// `no` is the number the file name claims; the header must agree.
+/// Torn artifacts (short header, mid-frame tail, partial footer) come
+/// back as [`SegmentEnd::Unsealed`] with a torn tail for the caller to
+/// truncate — only ever legitimate on the *newest* segment. Everything
+/// else that fails validation is loud corruption, including a single
+/// flipped bit anywhere in a sealed segment (the footer CRC covers
+/// every byte).
+pub fn decode_segment(bytes: &[u8], no: u64) -> Result<(Vec<WalRecord>, SegmentEnd), PersistError> {
+    if bytes.len() < SEGMENT_HEADER_BYTES {
+        // The segment was created but its header never finished: a
+        // crash artifact, only tolerable on the newest segment.
+        return Ok((
+            Vec::new(),
+            SegmentEnd::Unsealed(WalTail::Torn {
+                valid_bytes: 0,
+                dropped_bytes: bytes.len() as u64,
+            }),
+        ));
+    }
+    if bytes[..8] != SEGMENT_MAGIC {
+        return Err(PersistError::Corrupt {
+            offset: 0,
+            reason: "segment header magic mismatch (not a clipcache WAL segment)".into(),
+        });
+    }
+    let version = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if version != WAL_VERSION {
+        return Err(PersistError::Corrupt {
+            offset: 8,
+            reason: format!(
+                "segment header names WAL version {version}; this build reads \
+                 only version {WAL_VERSION} (which added chunk-granular \
+                 records) — replay the log with the build that wrote it \
+                 instead of mixing formats"
+            ),
+        });
+    }
+    let header_no = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    if header_no != no {
+        return Err(PersistError::Corrupt {
+            offset: 16,
+            reason: format!(
+                "segment header names segment {header_no} but the file is \
+                 named {} — renamed or copied?",
+                segment_file_name(no)
+            ),
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = SEGMENT_HEADER_BYTES;
     loop {
         let remaining = bytes.len() - pos;
         if remaining == 0 {
-            return Ok((records, WalTail::Clean));
+            return Ok((records, SegmentEnd::Unsealed(WalTail::Clean)));
         }
-        let torn = |pos: usize| WalTail::Torn {
-            valid_bytes: pos as u64,
-            dropped_bytes: (bytes.len() - pos) as u64,
-        };
-        if remaining < 4 {
-            return Ok((records, torn(pos)));
+        if remaining >= 4
+            && u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) == SEAL_MARK
+        {
+            if remaining < SEGMENT_FOOTER_BYTES {
+                // The seal itself tore: the records before it are fine,
+                // the segment simply stays unsealed.
+                return Ok((
+                    records,
+                    SegmentEnd::Unsealed(WalTail::Torn {
+                        valid_bytes: pos as u64,
+                        dropped_bytes: remaining as u64,
+                    }),
+                ));
+            }
+            let last_seq = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8"));
+            let stored = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4"));
+            if crc32(&bytes[..pos + 12]) != stored {
+                return Err(PersistError::Corrupt {
+                    offset: pos as u64,
+                    reason: "sealed segment CRC mismatch (a bit flipped somewhere \
+                             in the segment)"
+                        .into(),
+                });
+            }
+            match records.last() {
+                None => {
+                    return Err(PersistError::Corrupt {
+                        offset: pos as u64,
+                        reason: "sealed segment holds no records".into(),
+                    })
+                }
+                Some(r) if r.seq != last_seq => {
+                    return Err(PersistError::Corrupt {
+                        offset: pos as u64,
+                        reason: format!(
+                            "seal footer names last seq {last_seq} but the \
+                             segment ends at seq {}",
+                            r.seq
+                        ),
+                    })
+                }
+                Some(_) => {}
+            }
+            if remaining > SEGMENT_FOOTER_BYTES {
+                return Err(PersistError::Corrupt {
+                    offset: (pos + SEGMENT_FOOTER_BYTES) as u64,
+                    reason: "bytes after the seal footer".into(),
+                });
+            }
+            return Ok((records, SegmentEnd::Sealed { last_seq }));
         }
-        let len_bytes = &bytes[pos..pos + 4];
-        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-        // The length field is the first thing an append writes, so a torn
-        // write can truncate it but never leave it complete-and-wrong.
-        // Records are fixed-size, so a complete length that is not the
-        // one layout is corruption — trusting it would let a flipped bit
-        // masquerade the rest of the log as a "torn tail" and silently
-        // truncate valid frames after it.
-        if len == V1_RECORD_PAYLOAD_BYTES {
-            // A version-1 log (13-byte payloads: seq + clip + op, no
-            // chunk field). Reinterpreting it under the version-2
-            // layout would shear every field, so refuse by name.
-            return Err(PersistError::Corrupt {
-                offset: pos as u64,
-                reason: format!(
-                    "WAL record uses the version-1 {V1_RECORD_PAYLOAD_BYTES}-byte \
-                     whole-clip layout; this build reads only the version-2 \
-                     {RECORD_PAYLOAD_BYTES}-byte chunk-aware layout — delete the \
-                     old data directory (or replay it with a version-1 build) \
-                     instead of mixing formats"
-                ),
-            });
+        match decode_frame(bytes, pos)? {
+            FrameStep::Record(record, next) => {
+                records.push(record);
+                pos = next;
+            }
+            FrameStep::Torn => {
+                return Ok((
+                    records,
+                    SegmentEnd::Unsealed(WalTail::Torn {
+                        valid_bytes: pos as u64,
+                        dropped_bytes: remaining as u64,
+                    }),
+                ));
+            }
         }
-        if len != RECORD_PAYLOAD_BYTES {
-            return Err(PersistError::Corrupt {
-                offset: pos as u64,
-                reason: format!(
-                    "WAL record length {len} is not the fixed \
-                     {RECORD_PAYLOAD_BYTES}-byte layout"
-                ),
-            });
-        }
-        if remaining < FRAME_HEADER_BYTES || remaining - FRAME_HEADER_BYTES < len {
-            // The frame promises more bytes than the file holds: an
-            // append died mid-write.
-            return Ok((records, torn(pos)));
-        }
-        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        let payload = &bytes[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
-        let mut crc = Crc32::new();
-        crc.update(len_bytes);
-        crc.update(payload);
-        if crc.finish() != stored_crc {
-            return Err(PersistError::Corrupt {
-                offset: pos as u64,
-                reason: "WAL record CRC mismatch".into(),
-            });
-        }
-        let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-        let clip = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
-        if clip == 0 {
-            return Err(PersistError::Corrupt {
-                offset: pos as u64,
-                reason: "WAL record names clip id 0".into(),
-            });
-        }
-        let chunk = u32::from_le_bytes(payload[12..16].try_into().expect("4 bytes"));
-        let op = WalOp::from_byte(payload[16]).map_err(|reason| PersistError::Corrupt {
-            offset: pos as u64,
-            reason,
-        })?;
-        if op != WalOp::GetRange && chunk != 0 {
-            return Err(PersistError::Corrupt {
-                offset: pos as u64,
-                reason: format!(
-                    "whole-clip WAL record carries nonzero chunk {chunk} (only \
-                     GETRANGE records address chunks)"
-                ),
-            });
-        }
-        records.push(WalRecord {
-            seq,
-            clip: ClipId::new(clip),
-            chunk,
-            op,
-        });
-        pos += FRAME_HEADER_BYTES + len;
     }
 }
 
@@ -318,11 +587,13 @@ pub fn decode_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, WalTail), PersistErro
 /// the difference is whether it also survives a power failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WalSync {
-    /// `fsync` after every append: survives power loss, costs a device
-    /// round trip per request.
+    /// `fsync` before a request is acknowledged: survives power loss.
+    /// With a zero commit window that is one fsync per append; with a
+    /// nonzero window, concurrent appends share one batched fsync.
     Always,
     /// Flush to the OS page cache only (the default): survives process
-    /// death, trusts the kernel for power loss. Checkpoints still fsync.
+    /// death, trusts the kernel for power loss. Checkpoints and seal
+    /// footers still fsync.
     #[default]
     Off,
 }
@@ -359,6 +630,13 @@ pub enum CrashPoint {
     /// Die midway through writing the Nth durable checkpoint (the tmp
     /// file is half-written; the rename never happens).
     MidCheckpoint(u64),
+    /// The Nth seal writes only half its footer, then the process dies.
+    /// Recovery truncates the partial footer; the segment stays active.
+    TornSeal(u64),
+    /// Die after the Nth seal footer is durable but before the
+    /// successor segment is created — a crash in the roll window.
+    /// Recovery finds the newest segment sealed and opens a successor.
+    SegmentRoll(u64),
 }
 
 /// A parsed `--crash-at` spec. Counters start at zero when the store is
@@ -371,7 +649,8 @@ pub struct CrashSpec {
 }
 
 impl CrashSpec {
-    /// Parse `append:N`, `torn:N` or `checkpoint:N` (N ≥ 1).
+    /// Parse `append:N`, `torn:N`, `checkpoint:N`, `seal:N` or
+    /// `segment-roll:N` (N ≥ 1).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let (kind, n) = spec
             .split_once(':')
@@ -386,9 +665,12 @@ impl CrashSpec {
             "append" => CrashPoint::AfterAppend(n),
             "torn" => CrashPoint::TornAppend(n),
             "checkpoint" => CrashPoint::MidCheckpoint(n),
+            "seal" => CrashPoint::TornSeal(n),
+            "segment-roll" => CrashPoint::SegmentRoll(n),
             other => {
                 return Err(format!(
-                    "unknown crash point '{other}' (expected append, torn or checkpoint)"
+                    "unknown crash point '{other}' (expected append, torn, \
+                     checkpoint, seal or segment-roll)"
                 ))
             }
         };
@@ -401,6 +683,8 @@ impl CrashSpec {
             CrashPoint::AfterAppend(n) => format!("append:{n}"),
             CrashPoint::TornAppend(n) => format!("torn:{n}"),
             CrashPoint::MidCheckpoint(n) => format!("checkpoint:{n}"),
+            CrashPoint::TornSeal(n) => format!("seal:{n}"),
+            CrashPoint::SegmentRoll(n) => format!("segment-roll:{n}"),
         }
     }
 }
@@ -416,6 +700,26 @@ pub enum CrashAction {
     Surface,
 }
 
+/// Tuning knobs for the segmented WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalTuning {
+    /// Roll to a fresh segment once the active one reaches this many
+    /// bytes (`--segment-bytes`).
+    pub segment_bytes: u64,
+    /// Group-commit batch window (`--commit-window-us`); zero means one
+    /// inline fsync per append under [`WalSync::Always`].
+    pub commit_window: Duration,
+}
+
+impl Default for WalTuning {
+    fn default() -> Self {
+        WalTuning {
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            commit_window: Duration::ZERO,
+        }
+    }
+}
+
 /// How a service persists its shards (`CacheService::open_persistent`).
 #[derive(Debug, Clone)]
 pub struct PersistOptions {
@@ -428,17 +732,20 @@ pub struct PersistOptions {
     pub crash: Option<CrashSpec>,
     /// What a fired crash point does.
     pub on_crash: CrashAction,
+    /// Segment size and commit-window tuning.
+    pub tuning: WalTuning,
 }
 
 impl PersistOptions {
-    /// Plain persistence in `dir`: default sync, no crash point,
-    /// crashes (if somehow armed later) surfaced to the caller.
+    /// Plain persistence in `dir`: default sync and tuning, no crash
+    /// point, crashes (if somehow armed later) surfaced to the caller.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
         PersistOptions {
             dir: dir.into(),
             sync: WalSync::default(),
             crash: None,
             on_crash: CrashAction::Surface,
+            tuning: WalTuning::default(),
         }
     }
 }
@@ -579,22 +886,293 @@ pub struct DurableState {
     /// The newest valid checkpoint, if one was ever written.
     pub checkpoint: Option<DurableCheckpoint>,
     /// WAL records after the checkpoint, in append order, sequence-
-    /// contiguous.
+    /// contiguous across all segments.
     pub records: Vec<WalRecord>,
     /// Bytes of torn tail truncated away during open (0 for a clean log).
     pub torn_bytes_dropped: u64,
     /// WAL records the checkpoint already subsumed (seq ≤ checkpoint
     /// seq), skipped rather than replayed — nonzero when a crash landed
-    /// between the checkpoint rename and the WAL truncation.
+    /// between the checkpoint rename and the segment cleanup.
     pub subsumed_records: u64,
 }
 
-/// One shard's durable store: the WAL append handle, the checkpoint
-/// writer, and the armed crash point.
+/// Shared state of one shard's group-commit queue.
+struct CommitState {
+    /// Highest sequence number written (flushed to the OS).
+    written: u64,
+    /// Highest sequence number known durable (fsynced, sealed, or
+    /// folded into a durable checkpoint).
+    durable: u64,
+    /// A rider is currently running the batched fsync.
+    leader: bool,
+    /// Bumped by a rewind: tickets from earlier epochs error out, since
+    /// their sequence numbers may be reissued after the rewind.
+    epoch: u64,
+    /// A batched fsync failed (or the store was killed): nothing more
+    /// will become durable, pending riders must not hang.
+    poisoned: bool,
+    /// The active segment's file handle — what the leader fsyncs. Every
+    /// written-but-unsynced record lives either here or in an
+    /// already-sealed (already-durable) segment, so one `sync_data`
+    /// covers the whole batch.
+    file: Arc<File>,
+}
+
+/// A per-shard group-commit queue: appends note their writes under the
+/// shard lock, then wait for durability *outside* it so concurrent
+/// appends can ride one batched fsync.
+struct CommitQueue {
+    window: Duration,
+    state: Mutex<CommitState>,
+    cv: Condvar,
+}
+
+impl CommitQueue {
+    fn new(window: Duration, durable_through: u64, file: Arc<File>) -> Arc<CommitQueue> {
+        Arc::new(CommitQueue {
+            window,
+            state: Mutex::new(CommitState {
+                written: durable_through,
+                durable: durable_through,
+                leader: false,
+                epoch: 0,
+                poisoned: false,
+                file,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Lock the state, recovering from a poisoned mutex (the data is a
+    /// handful of counters, always internally consistent).
+    fn lock(&self) -> MutexGuard<'_, CommitState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn note_write(&self, seq: u64) {
+        let mut st = self.lock();
+        st.written = st.written.max(seq);
+    }
+
+    fn note_durable(&self, seq: u64) {
+        let mut st = self.lock();
+        st.durable = st.durable.max(seq);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn swap_file(&self, file: Arc<File>) {
+        self.lock().file = file;
+    }
+
+    /// A rewind discarded every record after `reset_to`: error out
+    /// pending riders (their sequence numbers will be reissued) and
+    /// restart the counters.
+    fn rewound(&self, reset_to: u64) {
+        let mut st = self.lock();
+        st.epoch += 1;
+        st.written = reset_to;
+        st.durable = reset_to;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Nothing more will become durable: wake every pending rider with
+    /// an error instead of letting them hang.
+    fn poison(&self) {
+        self.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Block until `seq` (from `epoch`) is durable. The first
+    /// non-durable waiter becomes the leader: it gives later appends up
+    /// to the commit window to pile in — leaving early once a poll
+    /// slice passes with no new writes — then issues one fsync for the
+    /// whole batch.
+    fn wait_durable(&self, epoch: u64, seq: u64) -> Result<(), PersistError> {
+        let mut st = self.lock();
+        loop {
+            if st.epoch != epoch {
+                return Err(PersistError::Io(std::io::Error::other(
+                    "append discarded by a rewind before its batched fsync landed",
+                )));
+            }
+            if st.durable >= seq {
+                return Ok(());
+            }
+            if st.poisoned {
+                return Err(PersistError::Io(std::io::Error::other(
+                    "commit queue poisoned: a batched fsync failed or the store died",
+                )));
+            }
+            if st.leader {
+                st = match self.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                continue;
+            }
+            st.leader = true;
+            let deadline = Instant::now() + self.window;
+            loop {
+                let seen = st.written;
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                drop(st);
+                std::thread::sleep(COMMIT_SLICE.min(deadline - now));
+                st = self.lock();
+                if st.written == seen || st.epoch != epoch {
+                    // The batch quiesced (or the world changed under
+                    // us): fsync now, don't burn the rest of the window.
+                    break;
+                }
+            }
+            let target = st.written;
+            let file = Arc::clone(&st.file);
+            drop(st);
+            let synced = file.sync_data();
+            st = self.lock();
+            st.leader = false;
+            match synced {
+                Ok(()) => {
+                    if st.epoch == epoch {
+                        st.durable = st.durable.max(target);
+                    }
+                }
+                Err(_) => st.poisoned = true,
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A claim check for a group-committed append: [`wait`](Self::wait)
+/// blocks until the record's batched fsync lands (or fails). Wait
+/// *after* releasing the shard lock, so concurrent appends can ride the
+/// same batch — waiting under the lock serializes the queue and buys
+/// nothing.
+pub struct CommitTicket {
+    queue: Arc<CommitQueue>,
+    epoch: u64,
+    seq: u64,
+}
+
+impl CommitTicket {
+    /// Block until the append this ticket was issued for is durable.
+    pub fn wait(self) -> Result<(), PersistError> {
+        self.queue.wait_durable(self.epoch, self.seq)
+    }
+}
+
+/// The segment currently being appended to.
+struct ActiveSegment {
+    /// Shared with the commit queue, which fsyncs it from rider threads.
+    file: Arc<File>,
+    /// This segment's number (its header and file name agree).
+    no: u64,
+    /// Bytes on disk (header + complete frames).
+    len: u64,
+    /// Running CRC over every byte on disk, extended per append so the
+    /// seal footer never re-reads the file.
+    crc: Crc32,
+    /// Sequence number of the last record in this segment (0 if none).
+    last_seq: u64,
+    /// Records on disk in this segment.
+    records: u64,
+}
+
+/// Create segment `no` in `dir`: header written, flushed, fsynced. The
+/// handle is opened in append mode so truncation and appends compose.
+fn create_segment(dir: &Path, no: u64) -> Result<ActiveSegment, PersistError> {
+    let path = dir.join(segment_file_name(no));
+    let file = OpenOptions::new().create(true).append(true).open(&path)?;
+    file.set_len(0)?;
+    let header = segment_header(no);
+    let mut f: &File = &file;
+    f.write_all(&header)?;
+    f.flush()?;
+    file.sync_data()?;
+    // Make the file name itself durable (best effort: not every
+    // filesystem lets you open a directory for sync).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    Ok(ActiveSegment {
+        file: Arc::new(file),
+        no,
+        len: SEGMENT_HEADER_BYTES as u64,
+        crc,
+        last_seq: 0,
+        records: 0,
+    })
+}
+
+/// List `dir`'s WAL segments as `(number, path)`, sorted by number.
+/// A pre-segment single-file `wal.log` or an unparseable `wal.*.log`
+/// name is refused loudly.
+fn scan_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if name == LEGACY_WAL_FILE {
+            return Err(PersistError::Corrupt {
+                offset: 0,
+                reason: format!(
+                    "found a pre-segment single-file '{LEGACY_WAL_FILE}'; this \
+                     build reads only segmented logs ({}…) — replay it with \
+                     the build that wrote it or delete the data directory \
+                     instead of mixing layouts",
+                    segment_file_name(1)
+                ),
+            });
+        }
+        if let Some(no) = parse_segment_no(&name) {
+            if no == 0 {
+                return Err(PersistError::Corrupt {
+                    offset: 0,
+                    reason: "segment number 0 (numbering is 1-based)".into(),
+                });
+            }
+            found.push((no, entry.path()));
+        } else if name.starts_with("wal.") && name.ends_with(".log") {
+            return Err(PersistError::Corrupt {
+                offset: 0,
+                reason: format!("unrecognized WAL file name '{name}'"),
+            });
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// One shard's durable store: the active segment's append handle, its
+/// sealed predecessors, the checkpoint writer, the group-commit queue
+/// and the armed crash point.
 pub struct ShardStore {
     dir: PathBuf,
-    wal: File,
     sync: WalSync,
+    /// Roll threshold: seal the active segment once it reaches this.
+    segment_bytes: u64,
+    /// Group-commit batch window; zero = inline fsync per append.
+    window: Duration,
+    active: ActiveSegment,
+    /// The lowest segment number still on disk; sealed predecessors of
+    /// the active segment are `oldest_no..active.no`.
+    oldest_no: u64,
+    queue: Arc<CommitQueue>,
     /// Next sequence number to append.
     next_seq: u64,
     /// Last sequence folded into the durable checkpoint.
@@ -603,6 +1181,8 @@ pub struct ShardStore {
     appends: u64,
     /// Durable checkpoints written since the store was opened.
     checkpoints: u64,
+    /// Segment seals performed since the store was opened.
+    seals: u64,
     crash: Option<CrashSpec>,
     /// A fired crash point leaves the store dead: every later operation
     /// reports the crash again instead of quietly resuming.
@@ -610,13 +1190,27 @@ pub struct ShardStore {
 }
 
 impl ShardStore {
+    /// Open (creating if absent) the store in `dir` with default
+    /// tuning, returning the durable state to rebuild from.
+    pub fn open(dir: &Path, sync: WalSync) -> Result<(ShardStore, DurableState), PersistError> {
+        Self::open_tuned(dir, sync, WalTuning::default())
+    }
+
     /// Open (creating if absent) the store in `dir`, returning the
     /// durable state to rebuild from.
     ///
     /// A stale checkpoint tmp file (crash mid-checkpoint) is removed; a
-    /// torn WAL tail is truncated in place; mid-log corruption and
-    /// untrusted checkpoints fail loudly.
-    pub fn open(dir: &Path, sync: WalSync) -> Result<(ShardStore, DurableState), PersistError> {
+    /// torn tail on the newest segment is truncated in place; sealed
+    /// segments fully subsumed by the checkpoint are deleted (finishing
+    /// an interrupted checkpoint cleanup); a sealed *newest* segment
+    /// (crash in the roll window) gets a fresh successor. Mid-log
+    /// corruption, version skew, numbering gaps, a pre-segment
+    /// `wal.log` and untrusted checkpoints all fail loudly.
+    pub fn open_tuned(
+        dir: &Path,
+        sync: WalSync,
+        tuning: WalTuning,
+    ) -> Result<(ShardStore, DurableState), PersistError> {
         std::fs::create_dir_all(dir)?;
         // A tmp file means a checkpoint write died before its rename;
         // the real checkpoint (if any) is intact, the tmp is garbage.
@@ -633,17 +1227,60 @@ impl ShardStore {
         };
         let ckpt_seq = checkpoint.as_ref().map_or(0, |c| c.seq);
 
-        let wal_path = dir.join(WAL_FILE);
-        let mut bytes = Vec::new();
-        if wal_path.exists() {
-            File::open(&wal_path)?.read_to_end(&mut bytes)?;
+        let listed = scan_segments(dir)?;
+        for pair in listed.windows(2) {
+            if pair[1].0 != pair[0].0 + 1 {
+                return Err(PersistError::Corrupt {
+                    offset: 0,
+                    reason: format!(
+                        "WAL segment numbering has a gap: {} is followed by {} \
+                         (a middle segment is missing)",
+                        segment_file_name(pair[0].0),
+                        segment_file_name(pair[1].0)
+                    ),
+                });
+            }
         }
-        let (mut records, tail) = decode_wal(&bytes)?;
-        // The log must be one contiguous sequence run...
+        // Decode every segment; only the newest may be unsealed or torn.
+        struct Decoded {
+            no: u64,
+            path: PathBuf,
+            bytes: Vec<u8>,
+            records: Vec<WalRecord>,
+            end: SegmentEnd,
+        }
+        let mut segs = Vec::with_capacity(listed.len());
+        for (i, (no, path)) in listed.iter().enumerate() {
+            let mut bytes = Vec::new();
+            File::open(path)?.read_to_end(&mut bytes)?;
+            let (records, end) = decode_segment(&bytes, *no)?;
+            if i + 1 != listed.len() {
+                if let SegmentEnd::Unsealed(_) = end {
+                    return Err(PersistError::Corrupt {
+                        offset: 0,
+                        reason: format!(
+                            "segment {} is not sealed but a later segment \
+                             follows it",
+                            segment_file_name(*no)
+                        ),
+                    });
+                }
+            }
+            segs.push(Decoded {
+                no: *no,
+                path: path.clone(),
+                bytes,
+                records,
+                end,
+            });
+        }
+
+        // The concatenated log must be one contiguous sequence run...
+        let mut records: Vec<WalRecord> = segs.iter().flat_map(|s| s.records.clone()).collect();
         for (i, pair) in records.windows(2).enumerate() {
             if pair[1].seq != pair[0].seq + 1 {
                 return Err(PersistError::Corrupt {
-                    offset: ((i + 1) * (FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES)) as u64,
+                    offset: 0,
                     reason: format!(
                         "WAL sequence broken: record {} has seq {}, expected {}",
                         i + 1,
@@ -657,7 +1294,7 @@ impl ShardStore {
         // 1-based, and a run starting *past* ckpt_seq + 1 means records
         // were lost — both are corruption. A run starting *at or before*
         // ckpt_seq is legitimate: a crash between the checkpoint rename
-        // and the WAL truncation leaves records the checkpoint already
+        // and the segment cleanup leaves records the checkpoint already
         // subsumes, which recovery skips rather than refusing or
         // replaying twice.
         if let Some(first) = records.first() {
@@ -682,43 +1319,123 @@ impl ShardStore {
         }
         let subsumed_records = records.iter().take_while(|r| r.seq <= ckpt_seq).count() as u64;
         records.drain(..subsumed_records as usize);
-        if subsumed_records > 0 && records.is_empty() && tail == WalTail::Clean {
-            // Every record is subsumed — the exact signature of a crash
-            // between rename and truncation. Finish the interrupted
-            // truncation; a crash during *this* set_len only shortens a
-            // log whose every byte is already covered by the checkpoint.
-            let f = OpenOptions::new().write(true).open(&wal_path)?;
-            f.set_len(0)?;
-            f.sync_data()?;
-        }
-        let torn_bytes_dropped = match tail {
-            WalTail::Clean => 0,
-            WalTail::Torn {
-                valid_bytes,
-                dropped_bytes,
-            } => {
-                // Truncate the partial record so the next open sees a
-                // clean log.
-                let f = OpenOptions::new().write(true).open(&wal_path)?;
-                f.set_len(valid_bytes)?;
-                f.sync_data()?;
-                dropped_bytes
+
+        // Finish any checkpoint cleanup a crash interrupted: a sealed
+        // segment whose every record the checkpoint covers is garbage.
+        let mut oldest_no = None;
+        for s in &segs {
+            if let SegmentEnd::Sealed { last_seq } = s.end {
+                if last_seq <= ckpt_seq {
+                    std::fs::remove_file(&s.path)?;
+                    continue;
+                }
             }
+            if oldest_no.is_none() {
+                oldest_no = Some(s.no);
+            }
+        }
+
+        let mut torn_bytes_dropped = 0;
+        let active = match segs.last() {
+            None => create_segment(dir, 1)?,
+            Some(s) => match s.end {
+                SegmentEnd::Sealed { .. } => {
+                    // A crash in the roll window: the seal landed, the
+                    // successor was never created. Open one now. (If the
+                    // sealed segment was fully subsumed it is already
+                    // deleted above; the numbering still moves forward.)
+                    create_segment(dir, s.no + 1)?
+                }
+                SegmentEnd::Unsealed(tail) => {
+                    let file = OpenOptions::new().create(true).append(true).open(&s.path)?;
+                    let disk_len;
+                    let (mut on_disk_records, mut on_disk_last) = (
+                        s.records.len() as u64,
+                        s.records.last().map_or(0, |r| r.seq),
+                    );
+                    match tail {
+                        WalTail::Torn {
+                            valid_bytes,
+                            dropped_bytes,
+                        } if (valid_bytes as usize) < SEGMENT_HEADER_BYTES => {
+                            // Even the header never finished (a crash
+                            // during segment creation): rewrite it.
+                            file.set_len(0)?;
+                            let header = segment_header(s.no);
+                            let mut f: &File = &file;
+                            f.write_all(&header)?;
+                            f.flush()?;
+                            file.sync_data()?;
+                            torn_bytes_dropped = dropped_bytes;
+                            disk_len = SEGMENT_HEADER_BYTES as u64;
+                        }
+                        WalTail::Torn {
+                            valid_bytes,
+                            dropped_bytes,
+                        } => {
+                            // Truncate the partial record (or partial
+                            // seal footer) so the next open sees a
+                            // clean segment.
+                            file.set_len(valid_bytes)?;
+                            file.sync_data()?;
+                            torn_bytes_dropped = dropped_bytes;
+                            disk_len = valid_bytes;
+                        }
+                        WalTail::Clean => {
+                            if on_disk_records > 0 && on_disk_last <= ckpt_seq {
+                                // Every record is subsumed — the exact
+                                // signature of a crash between the
+                                // checkpoint rename and the cleanup.
+                                // Finish the interrupted truncation; a
+                                // crash during *this* set_len only
+                                // shortens a log whose every byte the
+                                // checkpoint already covers.
+                                file.set_len(SEGMENT_HEADER_BYTES as u64)?;
+                                file.sync_data()?;
+                                disk_len = SEGMENT_HEADER_BYTES as u64;
+                                on_disk_records = 0;
+                                on_disk_last = 0;
+                            } else {
+                                disk_len = s.bytes.len() as u64;
+                            }
+                        }
+                    }
+                    let mut crc = Crc32::new();
+                    if disk_len as usize <= s.bytes.len() {
+                        crc.update(&s.bytes[..disk_len as usize]);
+                    } else {
+                        // Only reachable on the rewritten-header path,
+                        // where the bytes on disk are the fresh header.
+                        crc.update(&segment_header(s.no));
+                    }
+                    ActiveSegment {
+                        file: Arc::new(file),
+                        no: s.no,
+                        len: disk_len,
+                        crc,
+                        last_seq: on_disk_last,
+                        records: on_disk_records,
+                    }
+                }
+            },
         };
-        let wal = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&wal_path)?;
+        let oldest_no = oldest_no.unwrap_or(active.no).min(active.no);
         let next_seq = records.last().map_or(ckpt_seq, |r| r.seq) + 1;
+        let queue = CommitQueue::new(tuning.commit_window, next_seq - 1, Arc::clone(&active.file));
         Ok((
             ShardStore {
                 dir: dir.to_path_buf(),
-                wal,
                 sync,
+                segment_bytes: tuning.segment_bytes,
+                window: tuning.commit_window,
+                active,
+                oldest_no,
+                queue,
                 next_seq,
                 ckpt_seq,
                 appends: 0,
                 checkpoints: 0,
+                seals: 0,
                 crash: None,
                 dead: false,
             },
@@ -737,6 +1454,7 @@ impl ShardStore {
         self.crash = crash;
         self.appends = 0;
         self.checkpoints = 0;
+        self.seals = 0;
     }
 
     /// The directory this store persists into.
@@ -754,13 +1472,43 @@ impl ShardStore {
         self.ckpt_seq
     }
 
+    /// The active segment's number and the lowest segment number still
+    /// on disk — `(oldest, active)`.
+    pub fn segment_span(&self) -> (u64, u64) {
+        (self.oldest_no, self.active.no)
+    }
+
+    /// Whether appends ride the group-commit queue (sync `always` with
+    /// a nonzero commit window).
+    fn group_commit(&self) -> bool {
+        self.sync == WalSync::Always && !self.window.is_zero()
+    }
+
+    /// The ticket to wait on for `seq` to become durable, if this store
+    /// group-commits. `None` means the append is already as durable as
+    /// the sync policy makes it (inline fsync, or no fsync at all).
+    pub fn commit_ticket(&self, seq: u64) -> Option<CommitTicket> {
+        if !self.group_commit() {
+            return None;
+        }
+        Some(CommitTicket {
+            queue: Arc::clone(&self.queue),
+            epoch: self.queue.current_epoch(),
+            seq,
+        })
+    }
+
     /// Append one whole-clip access to the WAL, returning its sequence
     /// number.
     ///
     /// The frame is flushed to the OS before the call returns; with
-    /// [`WalSync::Always`] it is also fsynced. An armed crash point may
-    /// fire here: `torn:N` writes half the frame then dies, `append:N`
-    /// dies after the frame is durable.
+    /// [`WalSync::Always`] it is also fsynced — inline when the commit
+    /// window is zero, else by the batched fsync the returned sequence
+    /// number's [`commit_ticket`](Self::commit_ticket) waits on. An
+    /// armed crash point may fire here: `torn:N` writes half the frame
+    /// then dies, `append:N` dies after the frame is durable, and
+    /// `seal:N` / `segment-roll:N` fire if this append fills the
+    /// segment.
     ///
     /// # Panics
     /// If `op` is [`WalOp::GetRange`] — ranged probes carry a chunk and
@@ -796,9 +1544,16 @@ impl ShardStore {
             if self.appends + 1 == n {
                 // Half the frame reaches the disk; the process dies
                 // mid-write. Recovery must truncate this tail.
-                self.wal.write_all(&frame[..frame.len() / 2])?;
-                self.wal.flush()?;
-                self.wal.sync_data()?;
+                let mut f: &File = &self.active.file;
+                f.write_all(&frame[..frame.len() / 2])?;
+                f.flush()?;
+                self.active.file.sync_data()?;
+                // That fsync also made every earlier record in the
+                // segment durable: release any riders before the store
+                // goes dead.
+                if self.group_commit() {
+                    self.queue.note_durable(self.active.last_seq);
+                }
                 self.dead = true;
                 return Err(PersistError::CrashInjected);
             }
@@ -808,8 +1563,15 @@ impl ShardStore {
             // it would decode as garbage. Refuse further operations —
             // the caller recovers from disk, which truncates the torn
             // frame — rather than silently diverging.
-            self.dead = true;
+            self.kill();
             return Err(e);
+        }
+        self.active.len += frame.len() as u64;
+        self.active.crc.update(&frame);
+        self.active.last_seq = record.seq;
+        self.active.records += 1;
+        if self.group_commit() {
+            self.queue.note_write(record.seq);
         }
         self.appends += 1;
         let seq = self.next_seq;
@@ -820,38 +1582,117 @@ impl ShardStore {
         {
             if self.appends == n {
                 // The record IS durable; the process dies right after.
-                self.wal.sync_data()?;
+                self.active.file.sync_data()?;
+                if self.group_commit() {
+                    self.queue.note_durable(seq);
+                }
                 self.dead = true;
                 return Err(PersistError::CrashInjected);
             }
+        }
+        if self.active.len >= self.segment_bytes {
+            self.roll()?;
         }
         Ok(seq)
     }
 
     /// The fallible I/O of one append; [`append`](Self::append) kills
-    /// the store if any step fails.
+    /// the store if any step fails. Inline fsync happens only with a
+    /// zero commit window — otherwise the batched fsync owns it.
     fn write_frame(&mut self, frame: &[u8]) -> Result<(), PersistError> {
-        self.wal.write_all(frame)?;
-        self.wal.flush()?;
-        if self.sync == WalSync::Always {
-            self.wal.sync_data()?;
+        let mut f: &File = &self.active.file;
+        f.write_all(frame)?;
+        f.flush()?;
+        if self.sync == WalSync::Always && self.window.is_zero() {
+            self.active.file.sync_data()?;
         }
         Ok(())
     }
 
-    /// Write a durable checkpoint atomically, then truncate the WAL it
-    /// subsumes.
+    /// Seal the active segment (footer write + fsync) and open its
+    /// successor. The `seal:N` and `segment-roll:N` crash points fire
+    /// here.
+    fn roll(&mut self) -> Result<(), PersistError> {
+        let mut footer = [0u8; SEGMENT_FOOTER_BYTES];
+        footer[..4].copy_from_slice(&SEAL_MARK.to_le_bytes());
+        footer[4..12].copy_from_slice(&self.active.last_seq.to_le_bytes());
+        let mut crc = self.active.crc.clone();
+        crc.update(&footer[..12]);
+        footer[12..].copy_from_slice(&crc.finish().to_le_bytes());
+        if let Some(CrashSpec {
+            point: CrashPoint::TornSeal(n),
+        }) = self.crash
+        {
+            if self.seals + 1 == n {
+                // Half the footer reaches the disk; the process dies
+                // mid-seal. Recovery truncates the partial footer and
+                // the segment stays active.
+                let mut f: &File = &self.active.file;
+                f.write_all(&footer[..SEGMENT_FOOTER_BYTES / 2])?;
+                f.flush()?;
+                self.active.file.sync_data()?;
+                // The partial-footer fsync still made every record in
+                // the segment durable.
+                if self.group_commit() {
+                    self.queue.note_durable(self.active.last_seq);
+                }
+                self.dead = true;
+                return Err(PersistError::CrashInjected);
+            }
+        }
+        let sealed = {
+            let mut f: &File = &self.active.file;
+            f.write_all(&footer)
+                .and_then(|()| f.flush())
+                .and_then(|()| self.active.file.sync_data())
+        };
+        if let Err(e) = sealed {
+            self.kill();
+            return Err(e.into());
+        }
+        self.seals += 1;
+        // The seal fsync made every record in this segment durable.
+        if self.group_commit() {
+            self.queue.note_durable(self.active.last_seq);
+        }
+        if let Some(CrashSpec {
+            point: CrashPoint::SegmentRoll(n),
+        }) = self.crash
+        {
+            if self.seals == n {
+                // The seal is durable; the successor segment is never
+                // created. Recovery opens one.
+                self.dead = true;
+                return Err(PersistError::CrashInjected);
+            }
+        }
+        match create_segment(&self.dir, self.active.no + 1) {
+            Ok(next) => {
+                self.active = next;
+                self.queue.swap_file(Arc::clone(&self.active.file));
+                Ok(())
+            }
+            Err(e) => {
+                self.kill();
+                Err(e)
+            }
+        }
+    }
+
+    /// Write a durable checkpoint atomically, then drop the log it
+    /// subsumes: sealed segments are deleted outright, the active
+    /// segment is truncated back to its bare header.
     ///
     /// Order matters for crash safety: tmp write → fsync → rename →
-    /// WAL truncate. A crash before the rename leaves the old
-    /// checkpoint with the full WAL; a crash after it leaves the new
-    /// checkpoint with a possibly still-untruncated WAL whose subsumed
-    /// records [`open`](Self::open) then skips — never a state that
-    /// cannot recover. A non-crash I/O failure partway through kills
-    /// the store: the disk may already name the new checkpoint while
-    /// memory still counts from the old one, and refusing further
-    /// appends beats writing sequence numbers the checkpoint already
-    /// covers.
+    /// segment cleanup. A crash before the rename leaves the old
+    /// checkpoint with the full log; a crash after it leaves the new
+    /// checkpoint with possibly still-undeleted segments whose subsumed
+    /// records [`open`](Self::open) then skips (and whose cleanup it
+    /// finishes) — never a state that cannot recover. A non-crash I/O
+    /// failure partway through kills the store: the disk may already
+    /// name the new checkpoint while memory still counts from the old
+    /// one, and refusing further appends beats writing sequence numbers
+    /// the checkpoint already covers.
     pub fn checkpoint(&mut self, ckpt: &DurableCheckpoint) -> Result<(), PersistError> {
         if self.dead {
             return Err(PersistError::CrashInjected);
@@ -869,17 +1710,22 @@ impl ShardStore {
                 let mut f = File::create(&tmp)?;
                 f.write_all(&json.as_bytes()[..json.len() / 2])?;
                 f.sync_data()?;
-                self.dead = true;
+                self.kill();
                 return Err(PersistError::CrashInjected);
             }
         }
         if let Err(e) = self.write_checkpoint(&json, &tmp) {
-            self.dead = true;
+            self.kill();
             return Err(e);
         }
         self.checkpoints += 1;
         self.ckpt_seq = ckpt.seq;
         self.next_seq = ckpt.seq + 1;
+        // Everything the checkpoint covers is durable via the
+        // checkpoint itself: release any riders still in the window.
+        if self.group_commit() {
+            self.queue.note_durable(ckpt.seq);
+        }
         Ok(())
     }
 
@@ -896,507 +1742,62 @@ impl ShardStore {
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all();
         }
-        self.wal.set_len(0)?;
-        self.wal.sync_data()?;
+        self.drop_subsumed()?;
+        Ok(())
+    }
+
+    /// Delete every sealed segment and truncate the active one back to
+    /// its bare header — the log is empty afterward. Only called when a
+    /// durable checkpoint (or a rewind target) covers every record.
+    fn drop_subsumed(&mut self) -> Result<(), PersistError> {
+        // Oldest first, so a crash partway leaves a contiguous suffix.
+        for no in self.oldest_no..self.active.no {
+            std::fs::remove_file(self.dir.join(segment_file_name(no)))?;
+        }
+        self.oldest_no = self.active.no;
+        self.active.file.set_len(SEGMENT_HEADER_BYTES as u64)?;
+        self.active.file.sync_data()?;
+        let header = segment_header(self.active.no);
+        self.active.len = SEGMENT_HEADER_BYTES as u64;
+        self.active.crc = Crc32::new();
+        self.active.crc.update(&header);
+        self.active.last_seq = 0;
+        self.active.records = 0;
         Ok(())
     }
 
     /// Mark the store dead, as after a fired crash point: every later
     /// operation reports [`PersistError::CrashInjected`]. Used when an
     /// I/O failure leaves disk and memory describing different states —
-    /// refusing further appends beats silently diverging.
+    /// refusing further appends beats silently diverging. Pending
+    /// group-commit riders are woken with an error, never left hanging.
     pub fn kill(&mut self) {
         self.dead = true;
+        self.queue.poison();
     }
 
     /// Discard every WAL record after the checkpoint — the durable
     /// counterpart of a poisoned shard's rewind-to-checkpoint, keeping
-    /// disk and memory describing the same state.
+    /// disk and memory describing the same state. Pending group-commit
+    /// riders error out (their records are gone; their sequence numbers
+    /// will be reissued).
     pub fn rewind_to_checkpoint(&mut self) -> Result<(), PersistError> {
         if self.dead {
             return Err(PersistError::CrashInjected);
         }
-        if let Err(e) = self.wal.set_len(0).and_then(|()| self.wal.sync_data()) {
-            // The truncation may be partial: disk no longer matches
+        if let Err(e) = self.drop_subsumed() {
+            // The cleanup may be partial: disk no longer matches
             // either the pre- or post-rewind state. Refuse to continue.
-            self.dead = true;
-            return Err(e.into());
+            self.kill();
+            return Err(e);
         }
         self.next_seq = self.ckpt_seq + 1;
+        if self.group_commit() {
+            self.queue.rewound(self.ckpt_seq);
+        }
         Ok(())
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use clipcache_core::PolicyKind;
-    use clipcache_media::paper;
-    use clipcache_workload::Timestamp;
-    use std::sync::Arc;
-
-    fn tmp_dir(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("clipcache-persist-{}-{tag}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
-    }
-
-    fn record(seq: u64, clip: u32, op: WalOp) -> WalRecord {
-        WalRecord {
-            seq,
-            clip: ClipId::new(clip),
-            chunk: 0,
-            op,
-        }
-    }
-
-    fn range_record(seq: u64, clip: u32, chunk: u32) -> WalRecord {
-        WalRecord {
-            seq,
-            clip: ClipId::new(clip),
-            chunk,
-            op: WalOp::GetRange,
-        }
-    }
-
-    #[test]
-    fn crc32_matches_known_vectors() {
-        // The standard IEEE check values (zlib's crc32 agrees).
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(
-            crc32(b"The quick brown fox jumps over the lazy dog"),
-            0x414F_A339
-        );
-    }
-
-    #[test]
-    fn records_round_trip_through_the_frame() {
-        let recs = [
-            record(1, 1, WalOp::Get),
-            record(2, u32::MAX, WalOp::Admit),
-            record(3, 17, WalOp::Get),
-            range_record(4, 9, 0),
-            range_record(5, 9, u32::MAX),
-        ];
-        let mut log = Vec::new();
-        for r in &recs {
-            log.extend_from_slice(&r.encode());
-        }
-        let (decoded, tail) = decode_wal(&log).unwrap();
-        assert_eq!(decoded, recs);
-        assert_eq!(tail, WalTail::Clean);
-        assert_eq!(decode_wal(&[]).unwrap(), (vec![], WalTail::Clean));
-    }
-
-    #[test]
-    fn v1_records_are_rejected_by_name() {
-        // Hand-build a version-1 frame: 13-byte payload (seq + clip +
-        // op), valid CRC. It must be refused naming the old layout, not
-        // reinterpreted or written off as a torn tail.
-        let mut payload = [0u8; 13];
-        payload[..8].copy_from_slice(&1u64.to_le_bytes());
-        payload[8..12].copy_from_slice(&7u32.to_le_bytes());
-        payload[12] = 0; // v1 Get
-        let len = 13u32.to_le_bytes();
-        let mut crc = Crc32::new();
-        crc.update(&len);
-        crc.update(&payload);
-        let mut frame = Vec::new();
-        frame.extend_from_slice(&len);
-        frame.extend_from_slice(&crc.finish().to_le_bytes());
-        frame.extend_from_slice(&payload);
-        match decode_wal(&frame) {
-            Err(PersistError::Corrupt { offset, reason }) => {
-                assert_eq!(offset, 0);
-                assert!(reason.contains("version-1"), "names the version: {reason}");
-                assert!(reason.contains("13-byte"), "names the layout: {reason}");
-            }
-            other => panic!("v1 record must be refused loudly, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn whole_clip_records_with_nonzero_chunk_are_corrupt() {
-        let mut forged = record(1, 3, WalOp::Get);
-        forged.chunk = 5;
-        match decode_wal(&forged.encode()) {
-            Err(PersistError::Corrupt { reason, .. }) => {
-                assert!(reason.contains("nonzero chunk"), "{reason}");
-            }
-            other => panic!("nonzero chunk on a Get must be loud, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn torn_tail_is_truncated_not_replayed() {
-        let full = record(1, 3, WalOp::Get).encode();
-        let torn = record(2, 4, WalOp::Get).encode();
-        for cut in 1..torn.len() {
-            let mut log = full.clone();
-            log.extend_from_slice(&torn[..cut]);
-            let (decoded, tail) = decode_wal(&log).unwrap();
-            assert_eq!(decoded.len(), 1, "cut at {cut} must keep the valid prefix");
-            assert_eq!(
-                tail,
-                WalTail::Torn {
-                    valid_bytes: full.len() as u64,
-                    dropped_bytes: cut as u64,
-                },
-                "cut at {cut}"
-            );
-        }
-    }
-
-    #[test]
-    fn mid_log_corruption_is_loud() {
-        let mut log = Vec::new();
-        for seq in 1..=3 {
-            log.extend_from_slice(&record(seq, seq as u32, WalOp::Get).encode());
-        }
-        // Flip one payload bit in the middle record.
-        let frame = FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES;
-        let mut corrupt = log.clone();
-        corrupt[frame + FRAME_HEADER_BYTES + 2] ^= 0x10;
-        match decode_wal(&corrupt) {
-            Err(PersistError::Corrupt { offset, .. }) => assert_eq!(offset, frame as u64),
-            other => panic!("corruption must be loud, got {other:?}"),
-        }
-        // Flip a CRC bit: same refusal.
-        let mut bad_crc = log;
-        bad_crc[frame + 5] ^= 0x01;
-        assert!(matches!(
-            decode_wal(&bad_crc),
-            Err(PersistError::Corrupt { .. })
-        ));
-    }
-
-    #[test]
-    fn crash_spec_round_trips_and_rejects_garbage() {
-        for spec in ["append:1", "torn:64", "checkpoint:3"] {
-            let parsed = CrashSpec::parse(spec).unwrap();
-            assert_eq!(parsed.spelling(), spec);
-            assert_eq!(CrashSpec::parse(&parsed.spelling()).unwrap(), parsed);
-        }
-        for bad in [
-            "", "append", "append:", "append:0", "append:x", "frob:1", "torn:-1",
-        ] {
-            assert!(CrashSpec::parse(bad).is_err(), "accepted '{bad}'");
-        }
-        assert_eq!(WalSync::parse("always").unwrap(), WalSync::Always);
-        assert_eq!(WalSync::parse("off").unwrap(), WalSync::Off);
-        assert!(WalSync::parse("sometimes").is_err());
-    }
-
-    fn sample_checkpoint() -> DurableCheckpoint {
-        let repo = Arc::new(paper::equi_sized_repository_of(8, ByteSize::mb(10)));
-        let mut cache = PolicyKind::Lru.build(Arc::clone(&repo), ByteSize::mb(30), 1, None);
-        for i in 1..=3u32 {
-            cache.access(ClipId::new(i), Timestamp(i as u64));
-        }
-        let mut stats = HitStats::new();
-        stats.record(false, ByteSize::mb(10), 0);
-        stats.record(true, ByteSize::mb(10), 1);
-        DurableCheckpoint {
-            snapshot: CacheSnapshot::take(cache.as_ref(), PolicyKind::Lru, Timestamp(3)),
-            stats,
-            seq: 2,
-        }
-    }
-
-    #[test]
-    fn checkpoint_json_round_trips_and_rejects_other_versions() {
-        let ckpt = sample_checkpoint();
-        let json = ckpt.to_json();
-        assert_eq!(DurableCheckpoint::from_json(&json).unwrap(), ckpt);
-        let future = json.replacen("\"version\":2", "\"version\":7", 1);
-        let err = DurableCheckpoint::from_json(&future).unwrap_err();
-        assert!(err.contains("not supported"), "weak rejection: {err}");
-        assert!(
-            err.contains("version 2"),
-            "names what this build reads: {err}"
-        );
-        // A version-1 (whole-clip) checkpoint refuses naming both
-        // versions — never silently restored without prefix state.
-        let v1 = json.replacen("\"version\":2", "\"version\":1", 1);
-        let err = DurableCheckpoint::from_json(&v1).unwrap_err();
-        assert!(err.contains("version 1"), "names the found version: {err}");
-        assert!(err.contains("whole-clip"), "says why: {err}");
-        // An unsupported *snapshot* version nested inside also refuses.
-        let nested = json.replace("\"snapshot\":{\"version\":2", "\"snapshot\":{\"version\":9");
-        assert!(DurableCheckpoint::from_json(&nested).is_err());
-        assert!(DurableCheckpoint::from_json("{}").is_err());
-        assert!(DurableCheckpoint::from_json("not json").is_err());
-    }
-
-    #[test]
-    fn store_persists_appends_and_checkpoints_across_reopens() {
-        let dir = tmp_dir("roundtrip");
-        {
-            let (mut store, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-            assert!(state.checkpoint.is_none());
-            assert!(state.records.is_empty());
-            assert_eq!(store.append(WalOp::Get, ClipId::new(5)).unwrap(), 1);
-            assert_eq!(store.append(WalOp::Admit, ClipId::new(6)).unwrap(), 2);
-        }
-        {
-            let (mut store, state) = ShardStore::open(&dir, WalSync::Always).unwrap();
-            assert_eq!(
-                state.records,
-                vec![record(1, 5, WalOp::Get), record(2, 6, WalOp::Admit)]
-            );
-            assert_eq!(state.torn_bytes_dropped, 0);
-            // Checkpoint subsumes the log.
-            let mut ckpt = sample_checkpoint();
-            ckpt.seq = 2;
-            store.checkpoint(&ckpt).unwrap();
-            assert_eq!(store.append(WalOp::Get, ClipId::new(7)).unwrap(), 3);
-        }
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        let ckpt = state.checkpoint.expect("checkpoint survived");
-        assert_eq!(ckpt.seq, 2);
-        assert_eq!(state.records, vec![record(3, 7, WalOp::Get)]);
-    }
-
-    #[test]
-    fn range_probes_persist_with_their_chunk() {
-        let dir = tmp_dir("range");
-        {
-            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-            store.append(WalOp::Get, ClipId::new(2)).unwrap();
-            store.append_range(ClipId::new(2), 7).unwrap();
-        }
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        assert_eq!(
-            state.records,
-            vec![record(1, 2, WalOp::Get), range_record(2, 2, 7)]
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "GETRANGE records go through append_range")]
-    fn append_refuses_getrange_ops() {
-        let dir = tmp_dir("append-range-misuse");
-        let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        let _ = store.append(WalOp::GetRange, ClipId::new(1));
-    }
-
-    #[test]
-    fn open_truncates_a_torn_tail_and_reports_it() {
-        let dir = tmp_dir("torn");
-        {
-            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-            store.append(WalOp::Get, ClipId::new(1)).unwrap();
-            store.arm_crash(Some(CrashSpec::parse("torn:1").unwrap()));
-            assert!(matches!(
-                store.append(WalOp::Get, ClipId::new(2)),
-                Err(PersistError::CrashInjected)
-            ));
-            // The store is dead now, like the process it models.
-            assert!(matches!(
-                store.append(WalOp::Get, ClipId::new(3)),
-                Err(PersistError::CrashInjected)
-            ));
-        }
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        assert_eq!(state.records, vec![record(1, 1, WalOp::Get)]);
-        assert!(state.torn_bytes_dropped > 0, "the torn tail was dropped");
-        // Second open: the tail is gone, the log is clean.
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        assert_eq!(state.torn_bytes_dropped, 0);
-    }
-
-    #[test]
-    fn crash_after_append_keeps_the_record_durable() {
-        let dir = tmp_dir("after-append");
-        {
-            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-            store.arm_crash(Some(CrashSpec::parse("append:2").unwrap()));
-            store.append(WalOp::Get, ClipId::new(1)).unwrap();
-            assert!(matches!(
-                store.append(WalOp::Get, ClipId::new(2)),
-                Err(PersistError::CrashInjected)
-            ));
-        }
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        // Both records survive: append:N dies *after* durability.
-        assert_eq!(state.records.len(), 2);
-        assert_eq!(state.torn_bytes_dropped, 0);
-    }
-
-    #[test]
-    fn crash_mid_checkpoint_keeps_the_old_checkpoint_and_wal() {
-        let dir = tmp_dir("mid-ckpt");
-        let mut first = sample_checkpoint();
-        first.seq = 0;
-        {
-            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-            store.checkpoint(&first).unwrap();
-            store.append(WalOp::Get, ClipId::new(1)).unwrap();
-            store.append(WalOp::Get, ClipId::new(2)).unwrap();
-            store.arm_crash(Some(CrashSpec::parse("checkpoint:1").unwrap()));
-            let mut second = sample_checkpoint();
-            second.seq = 2;
-            assert!(matches!(
-                store.checkpoint(&second),
-                Err(PersistError::CrashInjected)
-            ));
-        }
-        assert!(dir.join(CHECKPOINT_TMP).exists(), "tmp half-written");
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        // The old checkpoint and the full WAL both survive; the torn tmp
-        // is swept away.
-        assert_eq!(state.checkpoint.expect("old checkpoint").seq, 0);
-        assert_eq!(state.records.len(), 2);
-        assert!(!dir.join(CHECKPOINT_TMP).exists());
-    }
-
-    #[test]
-    fn sequence_breaks_are_corruption() {
-        let dir = tmp_dir("seq-break");
-        {
-            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-            store.append(WalOp::Get, ClipId::new(1)).unwrap();
-        }
-        // Forge a record with a gapped sequence number on the end.
-        let mut bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
-        bytes.extend_from_slice(&record(5, 2, WalOp::Get).encode());
-        std::fs::write(dir.join(WAL_FILE), &bytes).unwrap();
-        assert!(matches!(
-            ShardStore::open(&dir, WalSync::Off),
-            Err(PersistError::Corrupt { .. })
-        ));
-    }
-
-    #[test]
-    fn records_subsumed_by_the_checkpoint_are_skipped_on_open() {
-        let dir = tmp_dir("subsumed");
-        let wal_bytes = {
-            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-            store.append(WalOp::Get, ClipId::new(1)).unwrap();
-            store.append(WalOp::Get, ClipId::new(2)).unwrap();
-            let pre_checkpoint = std::fs::read(dir.join(WAL_FILE)).unwrap();
-            let mut ckpt = sample_checkpoint();
-            ckpt.seq = 2;
-            store.checkpoint(&ckpt).unwrap();
-            pre_checkpoint
-        };
-        // Simulate a crash between the checkpoint rename and the WAL
-        // truncation: the subsumed records reappear on disk.
-        std::fs::write(dir.join(WAL_FILE), &wal_bytes).unwrap();
-        let (mut store, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        assert_eq!(state.checkpoint.expect("checkpoint intact").seq, 2);
-        assert!(state.records.is_empty(), "subsumed records not replayed");
-        assert_eq!(state.subsumed_records, 2);
-        assert_eq!(state.torn_bytes_dropped, 0);
-        // Open finished the interrupted truncation.
-        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
-        // Appends continue the chain exactly where the checkpoint ends.
-        assert_eq!(store.append(WalOp::Get, ClipId::new(3)).unwrap(), 3);
-        drop(store);
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        assert_eq!(state.records, vec![record(3, 3, WalOp::Get)]);
-        assert_eq!(state.subsumed_records, 0);
-
-        // A stale prefix *plus* live records skips only the prefix.
-        let mut mixed = wal_bytes.clone();
-        mixed.extend_from_slice(&record(3, 3, WalOp::Get).encode());
-        std::fs::write(dir.join(WAL_FILE), &mixed).unwrap();
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        assert_eq!(state.subsumed_records, 2);
-        assert_eq!(state.records, vec![record(3, 3, WalOp::Get)]);
-
-        // Recovery from a subsumed prefix is deterministic: a second
-        // open of the same bytes agrees.
-        std::fs::write(dir.join(WAL_FILE), &mixed).unwrap();
-        let (_, again) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        assert_eq!(again.records, state.records);
-        assert_eq!(again.subsumed_records, state.subsumed_records);
-
-        // A gap after the checkpoint is still corruption (records 3..4
-        // missing), as is a 0 sequence number.
-        std::fs::write(dir.join(WAL_FILE), record(5, 1, WalOp::Get).encode()).unwrap();
-        assert!(matches!(
-            ShardStore::open(&dir, WalSync::Off),
-            Err(PersistError::Corrupt { .. })
-        ));
-        std::fs::write(dir.join(WAL_FILE), record(0, 1, WalOp::Get).encode()).unwrap();
-        assert!(matches!(
-            ShardStore::open(&dir, WalSync::Off),
-            Err(PersistError::Corrupt { .. })
-        ));
-    }
-
-    #[test]
-    fn inflated_length_prefix_is_corruption_not_a_torn_tail() {
-        let mut log = Vec::new();
-        for seq in 1..=3 {
-            log.extend_from_slice(&record(seq, seq as u32, WalOp::Get).encode());
-        }
-        let frame = FRAME_HEADER_BYTES + RECORD_PAYLOAD_BYTES;
-        // Inflate the middle record's length so it claims more bytes
-        // than remain: the valid final frame must not be silently
-        // swallowed as a "torn tail".
-        let mut corrupt = log.clone();
-        corrupt[frame + 1] ^= 0x10;
-        match decode_wal(&corrupt) {
-            Err(PersistError::Corrupt { offset, .. }) => assert_eq!(offset, frame as u64),
-            other => panic!("bad length must be loud, got {other:?}"),
-        }
-        // Same for the final frame, and for a deflated length: the
-        // length field is written first, so a complete-but-wrong value
-        // is never a crash artifact.
-        let mut tail = log.clone();
-        tail[2 * frame] ^= 0x02;
-        assert!(matches!(
-            decode_wal(&tail),
-            Err(PersistError::Corrupt { .. })
-        ));
-    }
-
-    #[test]
-    fn a_failed_checkpoint_kills_the_store() {
-        let dir = tmp_dir("ckpt-io-fail");
-        let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        store.append(WalOp::Get, ClipId::new(1)).unwrap();
-        // Rip the directory out from under the store so the tmp-file
-        // write fails mid-checkpoint.
-        std::fs::remove_dir_all(&dir).unwrap();
-        let mut ckpt = sample_checkpoint();
-        ckpt.seq = 1;
-        assert!(matches!(store.checkpoint(&ckpt), Err(PersistError::Io(_))));
-        // Disk and memory can no longer be reconciled: the store refuses
-        // every later operation instead of silently diverging.
-        assert!(matches!(
-            store.append(WalOp::Get, ClipId::new(2)),
-            Err(PersistError::CrashInjected)
-        ));
-        assert!(matches!(
-            store.checkpoint(&ckpt),
-            Err(PersistError::CrashInjected)
-        ));
-        assert!(matches!(
-            store.rewind_to_checkpoint(),
-            Err(PersistError::CrashInjected)
-        ));
-    }
-
-    #[test]
-    fn rewind_discards_post_checkpoint_records() {
-        let dir = tmp_dir("rewind");
-        {
-            let (mut store, _) = ShardStore::open(&dir, WalSync::Off).unwrap();
-            let mut ckpt = sample_checkpoint();
-            ckpt.seq = 0;
-            store.checkpoint(&ckpt).unwrap();
-            store.append(WalOp::Get, ClipId::new(1)).unwrap();
-            store.append(WalOp::Get, ClipId::new(2)).unwrap();
-            store.rewind_to_checkpoint().unwrap();
-            // Sequence numbers restart from the checkpoint.
-            assert_eq!(store.append(WalOp::Get, ClipId::new(9)).unwrap(), 1);
-        }
-        let (_, state) = ShardStore::open(&dir, WalSync::Off).unwrap();
-        assert_eq!(state.records, vec![record(1, 9, WalOp::Get)]);
-    }
-}
+mod tests;

@@ -202,7 +202,7 @@ impl CacheService {
         let mut report = RecoveryReport::default();
         for i in 0..service.shards.len() {
             let dir = opts.dir.join(format!("shard-{i}"));
-            let (store, state) = ShardStore::open(&dir, opts.sync)?;
+            let (store, state) = ShardStore::open_tuned(&dir, opts.sync, opts.tuning)?;
             let shard = service.shards[i].get_mut().expect("no one else holds it");
             if state.checkpoint.is_some() {
                 report.checkpoints_loaded += 1;
@@ -281,7 +281,9 @@ impl CacheService {
     }
 
     /// Service a request: route to the owning shard, access its cache,
-    /// record hit statistics. Locks exactly one shard.
+    /// record hit statistics. Locks exactly one shard; under group
+    /// commit the durability wait happens *after* the lock is released,
+    /// so concurrent requests on the shard ride one batched fsync.
     pub fn get(&self, clip: ClipId) -> Result<GetOutcome, ServiceError> {
         let size = self
             .repo
@@ -289,7 +291,12 @@ impl CacheService {
             .ok_or(ServiceError::UnknownClip(clip))?
             .size;
         let mut shard = self.lock_clip_shard(clip);
-        shard.get(clip, size).map_err(|e| self.persist_failure(e))
+        let (outcome, ticket) = shard.get(clip, size).map_err(|e| self.persist_failure(e))?;
+        drop(shard);
+        if let Some(ticket) = ticket {
+            ticket.wait().map_err(|e| self.persist_failure(e))?;
+        }
+        Ok(outcome)
     }
 
     /// Probe chunk-granular residency: is `chunk` of `clip` resident?
@@ -308,9 +315,14 @@ impl CacheService {
             return Err(ServiceError::ChunkOutOfRange { clip, chunk, total });
         }
         let mut shard = self.lock_clip_shard(clip);
-        shard
+        let (outcome, ticket) = shard
             .get_range(clip, chunk)
-            .map_err(|e| self.persist_failure(e))
+            .map_err(|e| self.persist_failure(e))?;
+        drop(shard);
+        if let Some(ticket) = ticket {
+            ticket.wait().map_err(|e| self.persist_failure(e))?;
+        }
+        Ok(outcome)
     }
 
     /// Warm `clip` into its shard without counting it in the hit
@@ -320,7 +332,12 @@ impl CacheService {
             return Err(ServiceError::UnknownClip(clip));
         }
         let mut shard = self.lock_clip_shard(clip);
-        shard.admit(clip).map_err(|e| self.persist_failure(e))
+        let (admitted, ticket) = shard.admit(clip).map_err(|e| self.persist_failure(e))?;
+        drop(shard);
+        if let Some(ticket) = ticket {
+            ticket.wait().map_err(|e| self.persist_failure(e))?;
+        }
+        Ok(admitted)
     }
 
     /// Inject a service-level fault: panic while holding `clip`'s shard

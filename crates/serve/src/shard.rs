@@ -35,7 +35,9 @@
 //! use — then the shard compacts (fresh checkpoint, truncated log) so
 //! restarts converge instead of replaying ever-longer logs.
 
-use crate::persist::{CrashSpec, DurableCheckpoint, DurableState, PersistError, ShardStore, WalOp};
+use crate::persist::{
+    CommitTicket, CrashSpec, DurableCheckpoint, DurableState, PersistError, ShardStore, WalOp,
+};
 use clipcache_core::snapshot::{restore, CacheSnapshot};
 use clipcache_core::{AccessEvent, ClipCache, EvictionCount, PolicySpec};
 use clipcache_media::{ByteSize, ClipId, Repository};
@@ -180,14 +182,24 @@ impl Shard {
     /// through the counting sink, record `(hit, size, evictions)`. With
     /// a store attached the access is WAL-logged *first* — on any
     /// failure the cache is untouched, so disk never lags a reply the
-    /// client already saw.
-    pub fn get(&mut self, clip: ClipId, size: ByteSize) -> Result<GetOutcome, PersistError> {
+    /// client already saw. Under group commit the returned
+    /// [`CommitTicket`] must be waited on *after* releasing the shard
+    /// mutex (and before acking the client), so concurrent requests can
+    /// ride the same batched fsync; `None` means the append is already
+    /// as durable as the sync policy promises.
+    pub fn get(
+        &mut self,
+        clip: ClipId,
+        size: ByteSize,
+    ) -> Result<(GetOutcome, Option<CommitTicket>), PersistError> {
+        let mut ticket = None;
         if let Some(store) = &mut self.store {
-            store.append(WalOp::Get, clip)?;
+            let seq = store.append(WalOp::Get, clip)?;
+            ticket = store.commit_ticket(seq);
         }
         let outcome = self.apply_get(clip, size);
         self.maybe_checkpoint()?;
-        Ok(outcome)
+        Ok((outcome, ticket))
     }
 
     /// The in-memory half of [`get`](Self::get) — also the WAL replay
@@ -231,13 +243,15 @@ impl Shard {
     /// The access still advances the clock and the policy's reference
     /// history (a warmed clip looks recently used), so `admit` is for
     /// pre-loading before measurement, not for use mid-run.
-    pub fn admit(&mut self, clip: ClipId) -> Result<bool, PersistError> {
+    pub fn admit(&mut self, clip: ClipId) -> Result<(bool, Option<CommitTicket>), PersistError> {
+        let mut ticket = None;
         if let Some(store) = &mut self.store {
-            store.append(WalOp::Admit, clip)?;
+            let seq = store.append(WalOp::Admit, clip)?;
+            ticket = store.commit_ticket(seq);
         }
         let admitted = self.apply_admit(clip);
         self.maybe_checkpoint()?;
-        Ok(admitted)
+        Ok((admitted, ticket))
     }
 
     /// The in-memory half of [`admit`](Self::admit); also the replay
@@ -262,11 +276,17 @@ impl Shard {
     ///
     /// The caller (the service) has already validated that `chunk` is in
     /// range for `clip`; this method only reads residency.
-    pub fn get_range(&mut self, clip: ClipId, chunk: u32) -> Result<RangeOutcome, PersistError> {
+    pub fn get_range(
+        &mut self,
+        clip: ClipId,
+        chunk: u32,
+    ) -> Result<(RangeOutcome, Option<CommitTicket>), PersistError> {
+        let mut ticket = None;
         if let Some(store) = &mut self.store {
-            store.append_range(clip, chunk)?;
+            let seq = store.append_range(clip, chunk)?;
+            ticket = store.commit_ticket(seq);
         }
-        Ok(self.apply_get_range(clip, chunk))
+        Ok((self.apply_get_range(clip, chunk), ticket))
     }
 
     /// The in-memory half of [`get_range`](Self::get_range); also the
@@ -521,9 +541,9 @@ mod tests {
     fn get_records_stats_and_ticks_clock() {
         let (repo, mut shard) = shard_with(PolicyKind::Lru, 8, ByteSize::mb(20));
         let clip = ClipId::new(3);
-        let miss = shard.get(clip, repo.size_of(clip)).unwrap();
+        let (miss, _) = shard.get(clip, repo.size_of(clip)).unwrap();
         assert!(!miss.hit && miss.admitted && miss.evictions == 0);
-        let hit = shard.get(clip, repo.size_of(clip)).unwrap();
+        let (hit, _) = shard.get(clip, repo.size_of(clip)).unwrap();
         assert!(hit.hit);
         assert_eq!(shard.stats().hits, 1);
         assert_eq!(shard.stats().misses, 1);
@@ -533,13 +553,14 @@ mod tests {
     #[test]
     fn admit_warms_without_stats() {
         let (repo, mut shard) = shard_with(PolicyKind::Lru, 8, ByteSize::mb(20));
-        assert!(shard.admit(ClipId::new(5)).unwrap());
+        assert!(shard.admit(ClipId::new(5)).unwrap().0);
         assert_eq!(shard.stats().requests(), 0);
         // The warmed clip now hits, and only the hit is counted.
         assert!(
             shard
                 .get(ClipId::new(5), repo.size_of(ClipId::new(5)))
                 .unwrap()
+                .0
                 .hit
         );
         assert_eq!(shard.stats().hits, 1);
@@ -582,6 +603,7 @@ mod tests {
             shard
                 .get(ClipId::new(1), repo.size_of(ClipId::new(1)))
                 .unwrap()
+                .0
                 .hit
         );
     }
@@ -599,6 +621,7 @@ mod tests {
             !shard
                 .get(ClipId::new(2), repo.size_of(ClipId::new(2)))
                 .unwrap()
+                .0
                 .hit
         );
     }

@@ -21,7 +21,8 @@
 
 use clipcache_media::{paper, ByteSize, ClipId, Repository};
 use clipcache_serve::{
-    CacheService, CrashAction, CrashSpec, PersistOptions, ServiceConfig, ServiceError,
+    segment_file_name, CacheService, CrashAction, CrashSpec, PersistOptions, ServiceConfig,
+    ServiceError, WalTuning,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -57,15 +58,37 @@ fn open_with_crash(
     dir: &Path,
     crash: Option<&str>,
 ) -> CacheService {
+    open_tuned_with_crash(repo, config, dir, crash, WalTuning::default())
+}
+
+fn open_tuned_with_crash(
+    repo: &Arc<Repository>,
+    config: ServiceConfig,
+    dir: &Path,
+    crash: Option<&str>,
+    tuning: WalTuning,
+) -> CacheService {
     let opts = PersistOptions {
         dir: dir.to_path_buf(),
         sync: Default::default(),
         crash: crash.map(|s| CrashSpec::parse(s).unwrap()),
         on_crash: CrashAction::Surface,
+        tuning,
     };
     CacheService::open_persistent(Arc::clone(repo), config, None, &opts)
         .expect("open succeeds")
         .0
+}
+
+/// Segments sized to hold exactly four 25-byte records after the
+/// 24-byte header: every fourth append fills the segment and rolls it
+/// on the way out. Small enough that short traces cross several
+/// segment boundaries.
+fn four_record_segments() -> WalTuning {
+    WalTuning {
+        segment_bytes: 124,
+        ..WalTuning::default()
+    }
 }
 
 /// Drive `trace` until the armed crash point fires; returns how many
@@ -273,9 +296,10 @@ fn crash_between_checkpoint_rename_and_wal_truncation_recovers() {
         .parse()
         .unwrap();
     assert!(seq > 0, "a mid-stream checkpoint was written");
-    let wal_path = shard_dir.join("wal.log");
-    let tail = std::fs::read(&wal_path).unwrap();
-    let mut forged = Vec::new();
+    let wal_path = shard_dir.join(segment_file_name(1));
+    let existing = std::fs::read(&wal_path).unwrap();
+    let (header, tail) = existing.split_at(clipcache_serve::persist::SEGMENT_HEADER_BYTES);
+    let mut forged = header.to_vec();
     for s in 1..=seq {
         forged.extend_from_slice(
             &WalRecord {
@@ -287,7 +311,7 @@ fn crash_between_checkpoint_rename_and_wal_truncation_recovers() {
             .encode(),
         );
     }
-    forged.extend_from_slice(&tail);
+    forged.extend_from_slice(tail);
     std::fs::write(&wal_path, &forged).unwrap();
 
     let opts = PersistOptions::at(&dir);
@@ -463,9 +487,11 @@ fn incompatible_durable_state_is_rejected_loudly() {
         service.get(clip).unwrap();
     }
     drop(service);
-    let wal_path = dir.join("shard-0").join("wal.log");
+    let wal_path = dir.join("shard-0").join(segment_file_name(1));
     let mut wal = std::fs::read(&wal_path).unwrap();
-    wal[30] ^= 0x40; // a payload bit in an early record
+    // A payload bit in the first record, just past the segment header
+    // and the frame header.
+    wal[clipcache_serve::persist::SEGMENT_HEADER_BYTES + 10] ^= 0x40;
     std::fs::write(&wal_path, &wal).unwrap();
     let err = open_must_fail(&repo, cfg, &dir);
     assert!(err.contains("corrupt"), "corruption surfaced: {err}");
@@ -501,4 +527,112 @@ fn poison_recovery_and_persistence_compose() {
     assert_eq!(recovered.stats(), stats_before);
     assert_eq!(recovered.snapshot(), snaps_before);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The segment files currently in a shard directory, sorted.
+fn segment_files(shard_dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(shard_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.starts_with("wal.") && n.ends_with(".log"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn crash_at_a_segment_boundary_loses_no_durable_record() {
+    let repo = repo();
+    let dir = scratch_dir("boundary");
+    let cfg = config(1000);
+    let requests = trace(120);
+    // With four-record segments, the Nth seal (and the Nth roll) fires
+    // inside the 4N-th append: that request dies, but the footer (or
+    // partial-footer) fsync already made its record durable — same
+    // accounting as `append:4N`.
+    for (crash, n) in [
+        ("seal:1", 1u64),
+        ("seal:3", 3),
+        ("segment-roll:1", 1),
+        ("segment-roll:3", 3),
+    ] {
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = open_tuned_with_crash(&repo, cfg, &dir, Some(crash), four_record_segments());
+        let completed = drive_until_crash(&service, &requests);
+        let durable = 4 * n as usize;
+        assert_eq!(completed, durable - 1, "{crash}: requests before death");
+        assert!(matches!(
+            service.get(requests[0]),
+            Err(ServiceError::Crashed)
+        ));
+        drop(service);
+
+        let recovered = open_tuned_with_crash(&repo, cfg, &dir, None, four_record_segments());
+        assert_eq!(recovered.wal_replayed(), durable as u64, "{crash}: replay");
+        assert_state_equal(
+            &recovered,
+            &reference_after(&repo, cfg, &requests, durable),
+            crash,
+        );
+        drop(recovered);
+        // Replay > 0 made recovery compact: exactly one live (active)
+        // segment remains, and for a post-seal crash it is the
+        // successor the dying process never got to create.
+        let live = segment_files(&dir.join("shard-0"));
+        assert_eq!(live.len(), 1, "{crash}: compacted to one segment: {live:?}");
+        if crash.starts_with("segment-roll") {
+            assert_eq!(live[0], segment_file_name(n + 1), "{crash}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn double_recovery_of_a_multi_segment_log_is_idempotent() {
+    let repo = repo();
+    let dir = scratch_dir("multiseg");
+    let copy_a = scratch_dir("multiseg-a");
+    let copy_b = scratch_dir("multiseg-b");
+    let cfg = config(1000);
+    let requests = trace(120);
+    // Crash at append 11 with four-record segments: segments 1 and 2
+    // are sealed, segment 3 holds the live tail — recovery flattens a
+    // genuinely multi-segment log.
+    let service =
+        open_tuned_with_crash(&repo, cfg, &dir, Some("append:11"), four_record_segments());
+    drive_until_crash(&service, &requests);
+    drop(service);
+    assert_eq!(
+        segment_files(&dir.join("shard-0")),
+        vec![
+            segment_file_name(1),
+            segment_file_name(2),
+            segment_file_name(3)
+        ],
+        "the crash left a multi-segment log"
+    );
+
+    copy_dir(&dir, &copy_a);
+    copy_dir(&dir, &copy_b);
+    let a = open_tuned_with_crash(&repo, cfg, &copy_a, None, four_record_segments());
+    let b = open_tuned_with_crash(&repo, cfg, &copy_b, None, four_record_segments());
+    assert_eq!(a.wal_replayed(), 11);
+    assert_eq!(b.wal_replayed(), 11);
+    assert_state_equal(&a, &b, "two recoveries of a multi-segment log");
+    assert_eq!(a.stats().requests(), 11);
+    drop(a);
+    drop(b);
+    assert_dirs_identical(&copy_a, &copy_b);
+
+    // And the recovered directory is a fixed point: reopening replays
+    // nothing and rewrites nothing.
+    let quiet = open_tuned_with_crash(&repo, cfg, &copy_a, None, four_record_segments());
+    assert_eq!(quiet.wal_replayed(), 0);
+    assert_eq!(quiet.stats().requests(), 11);
+    drop(quiet);
+    assert_dirs_identical(&copy_a, &copy_b);
+
+    for d in [&dir, &copy_a, &copy_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
 }

@@ -167,6 +167,25 @@ fn killed_server_recovers_every_acknowledged_request() {
     client.quit().expect("clean disconnect");
     server.quit();
     let settled = dir_contents(&dir);
+    // The settled listing is the segmented layout: every shard holds
+    // numbered `wal.NNNNNN.log` segments plus its checkpoint — never
+    // the retired single-file `wal.log`.
+    for shard in ["shard-0", "shard-1"] {
+        let shard_dir = dir.join(shard);
+        let names: Vec<&str> = settled
+            .iter()
+            .filter(|(p, _)| p.parent() == Some(shard_dir.as_path()))
+            .map(|(p, _)| p.file_name().unwrap().to_str().unwrap())
+            .collect();
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with("wal.") && n.ends_with(".log") && *n != "wal.log"),
+            "{shard} has a numbered WAL segment: {names:?}"
+        );
+        assert!(names.contains(&"checkpoint.json"), "{shard}: {names:?}");
+        assert!(!names.contains(&"wal.log"), "{shard} kept a legacy wal.log");
+    }
     let server = spawn_server(&dir, 2);
     server.quit();
     assert_eq!(
