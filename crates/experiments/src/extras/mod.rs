@@ -7,6 +7,7 @@ pub mod bypass;
 pub mod clusterbench;
 pub mod composition;
 pub mod coop;
+pub mod degradebench;
 pub mod equivalence;
 pub mod faultbench;
 pub mod fleet;

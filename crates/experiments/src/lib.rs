@@ -69,6 +69,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "walbench",
     "prefixbench",
     "clusterbench",
+    "degradebench",
     "optimality",
 ];
 
@@ -109,6 +110,7 @@ pub fn describe(id: &str) -> Option<&'static str> {
         "walbench" => "serving layer: reopen work (replay/bytes/segments) vs WAL history",
         "prefixbench" => "chunk layer: prefix caching vs whole-clip at equal byte budgets",
         "clusterbench" => "cluster tier: ring-routed hit rate vs N independent caches",
+        "degradebench" => "cluster tier: hit rate + modeled stall vs dead peers, breakers on/off",
         _ => return None,
     })
 }
@@ -146,6 +148,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<Vec<FigureRes
         "walbench" => extras::walbench::run(ctx),
         "prefixbench" => extras::prefixbench::run(ctx),
         "clusterbench" => extras::clusterbench::run(ctx),
+        "degradebench" => extras::degradebench::run(ctx),
         "loglaw" => extras::loglaw::run(ctx),
         "sizes" => extras::sizes::run(ctx),
         "ablation" => extras::ablation::run(ctx),

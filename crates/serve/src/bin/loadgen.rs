@@ -5,10 +5,10 @@
 //!         [--clients n] [--requests n] [--clips n] [--theta f]
 //!         [--ratio f] [--chunk-size mb] [--seed n|0xHEX]
 //!         [--check-serial tol] [--wire text|binary] [--pipeline n]
-//!         [--faults spec] [--retries n] [--backoff-ms n]
+//!         [--faults spec] [--retries n] [--backoff-ms n] [--max-backoff-ms n]
 //!         [--chaos-report path] [--data-dir path] [--wal-sync always|off]
 //!         [--peers a,b,c | --cluster-nodes n] [--replication r]
-//!         [--peer-faults spec]
+//!         [--peer-faults spec] [--kill-span node:from:to]
 //! ```
 //!
 //! Replays a seeded Zipf trace from `--clients` closed-loop threads
@@ -29,7 +29,8 @@
 //! `rate=0.02,seed=7,kinds=drop-pre+garbage+torn+poison`) seeds a
 //! deterministic fault schedule; each injected fault is recovered by a
 //! bounded retry loop (`--retries`, default 4) with jitter-free
-//! exponential backoff starting at `--backoff-ms` (default 0). After a
+//! exponential backoff starting at `--backoff-ms` (default 0) and
+//! capped at `--max-backoff-ms` (default unbounded). After a
 //! chaos run the delivery invariants are checked (every request's reply
 //! delivered exactly once; hits + misses == delivered) and the run
 //! fails loudly if they don't hold. `--chaos-report path` additionally
@@ -54,7 +55,11 @@
 //! cluster (the deterministic harness `clusterbench` and the cluster
 //! chaos golden use); `--peer-faults spec` injects drop-pre/drop-post/
 //! garbage faults on its modelled peer wire, and the cluster block is
-//! appended to `--chaos-report` output.
+//! appended to `--chaos-report` output. `--kill-span node:from:to`
+//! (repeatable, harness only, `--clients 1`) kills `node` before
+//! request `from` and revives it before request `to` — a deterministic
+//! member outage that exercises the per-peer circuit breakers and
+//! hinted handoff, rendered as the report's `degraded` block.
 //!
 //! `--data-dir` (inproc targets only) runs the in-process service
 //! durably — checkpoint + WAL per shard, recovered on open — so
@@ -99,6 +104,9 @@ struct Args {
     cluster_nodes: Option<usize>,
     replication: usize,
     peer_faults: Option<FaultPlan>,
+    /// Deterministic harness kill/revive windows: `(node, from, to)`
+    /// kills `node` before request `from` and revives it before `to`.
+    kill_spans: Vec<(usize, u64, u64)>,
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -136,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
         cluster_nodes: None,
         replication: 1,
         peer_faults: None,
+        kill_spans: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -207,6 +216,32 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--backoff-ms needs milliseconds")?;
                 let ms: u64 = v.parse().map_err(|e| format!("bad --backoff-ms: {e}"))?;
                 args.retry.base_backoff = Duration::from_millis(ms);
+            }
+            "--max-backoff-ms" => {
+                let v = argv.next().ok_or("--max-backoff-ms needs milliseconds")?;
+                let ms: u64 = v.parse().map_err(|e| format!("bad --max-backoff-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--max-backoff-ms must be at least 1".into());
+                }
+                args.retry.max_backoff = Duration::from_millis(ms);
+            }
+            "--kill-span" => {
+                let v = argv
+                    .next()
+                    .ok_or("--kill-span needs node:from:to (e.g. 1:100:500)")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                let [node, from, to] = parts.as_slice() else {
+                    return Err(format!("bad --kill-span '{v}': expected node:from:to"));
+                };
+                let node: usize = node
+                    .parse()
+                    .map_err(|e| format!("bad --kill-span node: {e}"))?;
+                let from = parse_u64(from).map_err(|e| format!("bad --kill-span from: {e}"))?;
+                let to = parse_u64(to).map_err(|e| format!("bad --kill-span to: {e}"))?;
+                if from >= to {
+                    return Err(format!("bad --kill-span '{v}': from must precede to"));
+                }
+                args.kill_spans.push((node, from, to));
             }
             "--chaos-report" => {
                 args.chaos_report = Some(argv.next().ok_or("--chaos-report needs a path or -")?);
@@ -292,11 +327,11 @@ fn parse_args() -> Result<Args, String> {
                      [--theta f] [--ratio f] [--chunk-size mb] [--seed n|0xHEX] \
                      [--check-serial tol] \
                      [--wire text|binary] [--pipeline n] \
-                     [--faults spec] [--retries n] [--backoff-ms n] \
+                     [--faults spec] [--retries n] [--backoff-ms n] [--max-backoff-ms n] \
                      [--chaos-report path|-] [--data-dir path] [--wal-sync always|off] \
                      [--commit-window-us n] [--segment-bytes n]\n\
                      \x20       [--peers a,b,c | --cluster-nodes n] [--replication r] \
-                     [--peer-faults spec]\n\
+                     [--peer-faults spec] [--kill-span node:from:to]\n\
                      --wire binary speaks length-prefixed frames; --pipeline n \
                      keeps n requests in flight per connection (clean TCP \
                      replays only; results are depth-invariant)\n\
@@ -306,12 +341,15 @@ fn parse_args() -> Result<Args, String> {
                      --faults rate=0.02,seed=7,kinds=drop-pre+drop-post+garbage+torn+poison \
                      injects a deterministic fault schedule recovered by \
                      --retries (default 4) with jitter-free exponential \
-                     backoff from --backoff-ms (default 0)\n\
+                     backoff from --backoff-ms (default 0), capped at \
+                     --max-backoff-ms\n\
                      --peers ring-routes GETs across a running TCP cluster \
                      (same member order, --seed and --replication as the \
                      servers); --cluster-nodes n builds an in-process n-node \
-                     cluster and --peer-faults injects \
-                     drop-pre/drop-post/garbage on its peer wire"
+                     cluster, --peer-faults injects \
+                     drop-pre/drop-post/garbage on its peer wire, and \
+                     --kill-span node:from:to (repeatable, --clients 1) \
+                     kills and revives a node at exact request counts"
                         .into(),
                 )
             }
@@ -358,6 +396,24 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.peer_faults.is_some() && args.cluster_nodes.is_none() {
         return Err("--peer-faults needs --cluster-nodes (in-process peer wire)".into());
+    }
+    if !args.kill_spans.is_empty() {
+        let Some(n) = args.cluster_nodes else {
+            return Err("--kill-span needs --cluster-nodes (in-process harness)".into());
+        };
+        for &(node, _, _) in &args.kill_spans {
+            if node >= n {
+                return Err(format!("--kill-span node {node} exceeds the {n} cluster node(s)"));
+            }
+        }
+        if args.clients != 1 {
+            return Err(
+                "--kill-span needs --clients 1: the schedule is keyed on the \
+                 harness's global request counter, which only a single client \
+                 reaches deterministically"
+                    .into(),
+            );
+        }
     }
     if members.is_some() {
         if args.data_dir.is_some() {
@@ -474,6 +530,10 @@ fn main() -> ExitCode {
                 h.set_faults(Some(
                     PeerFaults::new(plan.clone()).expect("validated at parse"),
                 ));
+            }
+            for &(node, from, to) in &args.kill_spans {
+                h.schedule_kill(node, from);
+                h.schedule_revive(node, to);
             }
             Some(Arc::new(std::sync::Mutex::new(h)))
         }

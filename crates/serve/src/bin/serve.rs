@@ -6,7 +6,8 @@
 //!       [--read-timeout ms] [--chaos]
 //!       [--data-dir path] [--wal-sync always|off]
 //!       [--checkpoint-every n] [--crash-at kind:N]
-//!       [--cluster i --peers a,b,c [--replication r] [--peer-timeout ms]]
+//!       [--cluster i --peers a,b,c [--replication r] [--peer-timeout ms]
+//!        [--peer-connect-timeout ms] [--peer-read-timeout ms]]
 //! ```
 //!
 //! Binds, prints `listening on <addr>`, then serves the line protocol
@@ -38,10 +39,12 @@
 //! sets the replica count per clip (default 1). Members peer-fetch
 //! missed clips from the clip's other ring owners (`PEERGET`) before
 //! reporting a miss, after a `VERSION` handshake that refuses skewed
-//! peers by name. `--peer-timeout` bounds each peer probe (connect and
-//! read) in milliseconds — a slow or mutually-busy peer degrades to a
-//! timed-out probe (served as a miss), never a deadlock. If `--addr` is
-//! not given, a cluster member binds its own `--peers` entry.
+//! peers by name. `--peer-connect-timeout` and `--peer-read-timeout`
+//! bound the two halves of each peer probe in milliseconds — a slow or
+//! mutually-busy peer degrades to a timed-out probe (served as a miss),
+//! never a deadlock; `--peer-timeout` is the coarse alias that sets
+//! both, and the specific flags override it. If `--addr` is not given,
+//! a cluster member binds its own `--peers` entry.
 
 use clipcache_media::paper;
 use clipcache_serve::{
@@ -71,6 +74,17 @@ struct Args {
     peers: Vec<String>,
     replication: usize,
     peer_timeout: Option<Duration>,
+    peer_connect_timeout: Option<Duration>,
+    peer_read_timeout: Option<Duration>,
+}
+
+/// Parse a peer-timeout flag value as whole milliseconds (at least 1).
+fn parse_timeout_ms(flag: &str, v: &str) -> Result<Duration, String> {
+    let ms: u64 = v.parse().map_err(|e| format!("bad {flag}: {e}"))?;
+    if ms == 0 {
+        return Err(format!("{flag} must be at least 1 ms"));
+    }
+    Ok(Duration::from_millis(ms))
 }
 
 /// Parse a seed as decimal or `0x`-prefixed hex (matches `repro`).
@@ -102,6 +116,8 @@ fn parse_args() -> Result<Args, String> {
         peers: Vec::new(),
         replication: 1,
         peer_timeout: None,
+        peer_connect_timeout: None,
+        peer_read_timeout: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -218,11 +234,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--peer-timeout" => {
                 let v = argv.next().ok_or("--peer-timeout needs milliseconds")?;
-                let ms: u64 = v.parse().map_err(|e| format!("bad --peer-timeout: {e}"))?;
-                if ms == 0 {
-                    return Err("--peer-timeout must be at least 1 ms".into());
-                }
-                args.peer_timeout = Some(Duration::from_millis(ms));
+                args.peer_timeout = Some(parse_timeout_ms("--peer-timeout", &v)?);
+            }
+            "--peer-connect-timeout" => {
+                let v = argv
+                    .next()
+                    .ok_or("--peer-connect-timeout needs milliseconds")?;
+                args.peer_connect_timeout = Some(parse_timeout_ms("--peer-connect-timeout", &v)?);
+            }
+            "--peer-read-timeout" => {
+                let v = argv
+                    .next()
+                    .ok_or("--peer-read-timeout needs milliseconds")?;
+                args.peer_read_timeout = Some(parse_timeout_ms("--peer-read-timeout", &v)?);
             }
             "--help" | "-h" => {
                 return Err(
@@ -233,7 +257,8 @@ fn parse_args() -> Result<Args, String> {
                      [--wal-sync always|off] [--commit-window-us n] \
                      [--segment-bytes n] [--checkpoint-every n] [--crash-at kind:N]\n\
                      \x20      [--cluster i --peers a,b,c [--replication r] \
-                     [--peer-timeout ms]]\n\
+                     [--peer-timeout ms] [--peer-connect-timeout ms] \
+                     [--peer-read-timeout ms]]\n\
                      serves until stdin closes or reads a `quit` line;\n\
                      --chunk-size n addresses clips as n-MB chunks (prefix \
                      residency + GETRANGE probes; 0 = whole-clip, the default);\n\
@@ -249,7 +274,9 @@ fn parse_args() -> Result<Args, String> {
                      --cluster i joins the static membership in --peers (same list\n\
                      and --seed on every member) as member i, peer-filling misses\n\
                      from the clip's other ring owners at --replication r;\n\
-                     --peer-timeout bounds each peer probe (connect and read)"
+                     --peer-timeout bounds each peer probe (sets both the\n\
+                     connect and read bounds); --peer-connect-timeout /\n\
+                     --peer-read-timeout set one side and override the alias"
                         .into(),
                 )
             }
@@ -267,9 +294,17 @@ fn parse_args() -> Result<Args, String> {
     match args.cluster {
         Some(me) => {
             let mut spec = ClusterSpec::new(args.peers.clone(), me, args.replication, args.seed)?;
+            // `--peer-timeout` is the coarse alias: it sets both bounds.
+            // The specific flags override whichever side they name.
             if let Some(timeout) = args.peer_timeout {
+                spec.connect_timeout = timeout;
                 spec.read_timeout = timeout;
-                spec.connect_timeout = timeout.min(spec.connect_timeout);
+            }
+            if let Some(timeout) = args.peer_connect_timeout {
+                spec.connect_timeout = timeout;
+            }
+            if let Some(timeout) = args.peer_read_timeout {
+                spec.read_timeout = timeout;
             }
             args.server.cluster = Some(spec);
         }
@@ -282,6 +317,12 @@ fn parse_args() -> Result<Args, String> {
             }
             if args.peer_timeout.is_some() {
                 return Err("--peer-timeout needs --cluster".into());
+            }
+            if args.peer_connect_timeout.is_some() {
+                return Err("--peer-connect-timeout needs --cluster".into());
+            }
+            if args.peer_read_timeout.is_some() {
+                return Err("--peer-read-timeout needs --cluster".into());
             }
         }
     }

@@ -62,6 +62,20 @@ impl std::fmt::Display for Wire {
     }
 }
 
+/// The message carried by the `io::Error` a governor `BUSY` shed maps
+/// to; match it with [`is_busy_error`].
+const BUSY_ERROR: &str = "server shed the request (BUSY)";
+
+/// Whether an error from [`TcpCacheClient::get`] /
+/// [`recv_get`](TcpCacheClient::recv_get) is the server's governor
+/// shedding the request. Busy is retryable-after-backoff on the *same*
+/// connection — it is neither a timeout (`WouldBlock`/`TimedOut`, which
+/// the chaos loop treats as a possible lost write) nor a protocol error
+/// (`InvalidData`, which is a reason to redial).
+pub fn is_busy_error(err: &std::io::Error) -> bool {
+    err.kind() == std::io::ErrorKind::Other && err.to_string().contains(BUSY_ERROR)
+}
+
 /// One connection to a serve front-end.
 pub struct TcpCacheClient {
     reader: BufReader<TcpStream>,
@@ -212,11 +226,17 @@ impl TcpCacheClient {
         std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
     }
 
+    fn busy_err() -> std::io::Error {
+        std::io::Error::other(BUSY_ERROR)
+    }
+
     /// Map a decoded reply to the GET outcome, surfacing `ERR` frames
-    /// the same way text `ERR` lines surface (an `InvalidData` error).
+    /// the same way text `ERR` lines surface (an `InvalidData` error)
+    /// and `BUSY` sheds as the error [`is_busy_error`] recognizes.
     fn expect_get(reply: Reply) -> std::io::Result<GetOutcome> {
         match reply {
             Reply::Get(outcome) => Ok(outcome),
+            Reply::Busy => Err(Self::busy_err()),
             Reply::Err(msg) => Err(Self::protocol_err(format!("ERR {msg}"))),
             other => Err(Self::protocol_err(format!(
                 "expected a GET reply, got {other:?}"
@@ -224,12 +244,22 @@ impl TcpCacheClient {
         }
     }
 
-    /// `GET <clip>`: access the clip through its shard.
+    /// Parse a text GET reply line, mapping `BUSY` to the shed error.
+    fn parse_get_line(reply: &str) -> std::io::Result<GetOutcome> {
+        if reply == "BUSY" {
+            return Err(Self::busy_err());
+        }
+        parse_get(reply).map_err(Self::protocol_err)
+    }
+
+    /// `GET <clip>`: access the clip through its shard. A governor shed
+    /// surfaces as the error [`is_busy_error`] recognizes; the
+    /// connection stays usable — retry after a backoff, don't redial.
     pub fn get(&mut self, clip: ClipId) -> std::io::Result<GetOutcome> {
         match self.wire {
             Wire::Text => {
                 let reply = self.roundtrip(&format!("GET {}", clip.get()))?;
-                parse_get(&reply).map_err(Self::protocol_err)
+                Self::parse_get_line(&reply)
             }
             Wire::Binary => {
                 let reply = self.roundtrip_frame(&Command::Get(clip))?;
@@ -282,7 +312,7 @@ impl TcpCacheClient {
         match self.wire {
             Wire::Text => {
                 let reply = self.read_reply()?;
-                parse_get(&reply).map_err(Self::protocol_err)
+                Self::parse_get_line(&reply)
             }
             Wire::Binary => {
                 let reply = self.read_reply_frame()?;
@@ -310,7 +340,7 @@ impl TcpCacheClient {
         match self.wire {
             Wire::Text => {
                 let reply = self.read_reply()?;
-                parse_get(&reply).map_err(Self::protocol_err)
+                Self::parse_get_line(&reply)
             }
             Wire::Binary => {
                 let reply = self.read_reply_frame()?;

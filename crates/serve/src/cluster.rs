@@ -41,6 +41,26 @@
 //! terminally skewed (`PeerSlot::Skewed`) and is reported loudly by name;
 //! a skewed peer is never probed again (fail loud, not byzantine).
 //!
+//! ## Degraded mode: breakers and hinted handoff
+//!
+//! Every peer sits behind a [`PeerBreaker`] — a **count-based** circuit
+//! breaker (Closed → Open after [`BREAKER_FAILURE_THRESHOLD`]
+//! consecutive failures → HalfOpen probe after
+//! [`BREAKER_PROBE_INTERVAL`] skipped attempts → Closed on success).
+//! The schedule consults no clock: breaker state is a pure function of
+//! the failure/success sequence, so a killed member costs at most K
+//! timeouts before misses degrade to local-only fills, and the replay
+//! stays deterministic like everything else.
+//!
+//! While a peer's breaker is Open its half of write-all is not simply
+//! dropped: the handler enqueues a bounded per-peer **hint**
+//! ([`HANDOFF_QUEUE_LIMIT`] clips, oldest dropped first, duplicates
+//! collapsed) and replays the queue over the wire as soon as a probe
+//! to that peer succeeds again — restoring replica coverage after a
+//! revive without any coordinator. The harness mirrors the same
+//! machinery so `degradebench` and the degraded chaos golden replay it
+//! bit for bit.
+//!
 //! ## Fault injection
 //!
 //! The in-process [`ClusterHarness`] replays the same deterministic
@@ -60,6 +80,7 @@ use crate::ring::{HashRing, DEFAULT_VNODES};
 use crate::service::{CacheService, ServiceError};
 use crate::shard::GetOutcome;
 use clipcache_media::ClipId;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,6 +90,144 @@ pub const DEFAULT_PEER_CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
 /// Default budget for a peer reply; also bounds how long a mutual-fetch
 /// stall between two busy event loops can last.
 pub const DEFAULT_PEER_READ_TIMEOUT: Duration = Duration::from_millis(1000);
+
+/// Consecutive probe failures before a peer's breaker trips Open.
+pub const BREAKER_FAILURE_THRESHOLD: u32 = 3;
+
+/// Probe attempts skipped while Open before the breaker lets one
+/// HalfOpen probe through. Count-based on purpose: a wall-clock
+/// cool-down would make breaker state depend on timing and break the
+/// deterministic-replay contract every other subsystem keeps.
+pub const BREAKER_PROBE_INTERVAL: u64 = 8;
+
+/// Per-peer hint-queue bound. The queue drops its *oldest* hint when
+/// full — the newest misses are the ones a reviving replica most needs
+/// — and collapses duplicate clips, so it holds at most
+/// `HANDOFF_QUEUE_LIMIT` distinct clips per peer.
+pub const HANDOFF_QUEUE_LIMIT: usize = 128;
+
+/// Circuit-breaker state for one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every probe is admitted.
+    Closed,
+    /// Tripped: probes are skipped (and their write-all half hinted)
+    /// until `BREAKER_PROBE_INTERVAL` attempts have been skipped.
+    Open,
+    /// One probe in flight to test the peer; its outcome decides
+    /// Closed (success) or Open again (failure).
+    HalfOpen,
+}
+
+/// A deterministic, count-based circuit breaker for one peer.
+///
+/// Closed → Open after `failure_threshold` *consecutive* failures;
+/// Open → HalfOpen after `probe_interval` skipped attempts; HalfOpen →
+/// Closed on a successful probe, back to Open on a failed one. No
+/// wall clock anywhere: the state after any call sequence is a pure
+/// function of that sequence (`tests/breaker_props.rs` pins it), which
+/// keeps cluster replays byte-identical.
+///
+/// Usage discipline: call [`admit`](Self::admit) before each probe
+/// attempt; iff it returns `true`, perform the probe and report the
+/// outcome with [`record`](Self::record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    skipped: u64,
+    failure_threshold: u32,
+    probe_interval: u64,
+    opens: u64,
+}
+
+impl Default for PeerBreaker {
+    fn default() -> PeerBreaker {
+        PeerBreaker::new(BREAKER_FAILURE_THRESHOLD, BREAKER_PROBE_INTERVAL)
+    }
+}
+
+impl PeerBreaker {
+    /// A Closed breaker with explicit thresholds.
+    ///
+    /// # Panics
+    /// If `failure_threshold` or `probe_interval` is zero (a breaker
+    /// that trips on nothing, or never re-probes, is a config bug).
+    pub fn new(failure_threshold: u32, probe_interval: u64) -> PeerBreaker {
+        assert!(failure_threshold > 0, "failure threshold must be >= 1");
+        assert!(probe_interval > 0, "probe interval must be >= 1");
+        PeerBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            skipped: 0,
+            failure_threshold,
+            probe_interval,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Cumulative trips into Open (from Closed or HalfOpen).
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Gate one probe attempt. `true` means probe now (and then call
+    /// [`record`](Self::record)); `false` means skip — the peer is Open
+    /// and the skip was counted toward the next HalfOpen probe.
+    pub fn admit(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.skipped += 1;
+                if self.skipped >= self.probe_interval {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of an admitted probe.
+    pub fn record(&mut self, ok: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                if ok {
+                    self.consecutive_failures = 0;
+                } else {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.failure_threshold {
+                        self.trip();
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                } else {
+                    self.trip();
+                }
+            }
+            // `record` without a `true` from `admit` is a caller bug,
+            // but stay total: an Open breaker ignores stray outcomes.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.skipped = 0;
+        self.consecutive_failures = 0;
+        self.opens += 1;
+    }
+}
 
 /// Static cluster membership plus this node's place in it.
 ///
@@ -213,23 +372,35 @@ pub struct ClusterRuntime {
     spec: ClusterSpec,
     view: ClusterView,
     slots: Vec<PeerSlot>,
+    breakers: Vec<PeerBreaker>,
+    hints: Vec<VecDeque<ClipId>>,
     peer_hits: u64,
     peer_probes: u64,
     peer_errors: u64,
+    breaker_skipped: u64,
+    handoff_queued: u64,
+    handoff_dropped: u64,
+    handoff_replayed: u64,
 }
 
 impl ClusterRuntime {
     /// Build the runtime; connections are dialled lazily on first probe.
     pub fn new(spec: ClusterSpec) -> ClusterRuntime {
         let view = spec.view();
-        let slots = (0..spec.peers.len()).map(|_| PeerSlot::Idle).collect();
+        let n = spec.peers.len();
         ClusterRuntime {
             spec,
             view,
-            slots,
+            slots: (0..n).map(|_| PeerSlot::Idle).collect(),
+            breakers: vec![PeerBreaker::default(); n],
+            hints: vec![VecDeque::new(); n],
             peer_hits: 0,
             peer_probes: 0,
             peer_errors: 0,
+            breaker_skipped: 0,
+            handoff_queued: 0,
+            handoff_dropped: 0,
+            handoff_replayed: 0,
         }
     }
 
@@ -243,24 +414,90 @@ impl ClusterRuntime {
         self.peer_hits
     }
 
+    /// Peers whose breaker is currently Open (`STATS breaker_open=`).
+    pub fn breaker_open(&self) -> u64 {
+        self.breakers
+            .iter()
+            .filter(|b| b.state() == BreakerState::Open)
+            .count() as u64
+    }
+
+    /// Hints replayed onto healed peers (`STATS handoff_replayed=`).
+    pub fn handoff_replayed(&self) -> u64 {
+        self.handoff_replayed
+    }
+
     /// Peer fill after a local miss on `clip`: probe every *other*
     /// owner with `PEERGET` (which is also the write-all half — each
     /// probed owner admits on its own miss). Returns whether any peer
     /// already had the clip. With `R = 1` the probe set is empty and
     /// this is a no-op returning `false`.
+    ///
+    /// Each probe is gated by the peer's [`PeerBreaker`]: an Open peer
+    /// is skipped (its write-all half queued as a hint) instead of
+    /// paying the connect timeout, and the first successful probe after
+    /// a revive replays the hint queue before anything else.
     pub fn fill(&mut self, clip: ClipId) -> bool {
         let owners = self.view.owners_for(clip);
         let me = self.spec.me;
         let mut filled = false;
         for &peer in owners.iter().filter(|&&n| n != me) {
-            if self.probe(peer, clip) == Some(true) {
+            if !self.breakers[peer].admit() {
+                self.breaker_skipped += 1;
+                self.queue_hint(peer, clip);
+                continue;
+            }
+            let result = self.probe(peer, clip);
+            self.breakers[peer].record(result.is_some());
+            if result == Some(true) {
                 filled = true;
+            }
+            if result.is_some() && !self.hints[peer].is_empty() {
+                self.replay_hints(peer);
             }
         }
         if filled {
             self.peer_hits += 1;
         }
         filled
+    }
+
+    /// Remember the write-all half the Open `peer` just missed. Bounded
+    /// (drop-oldest) and duplicate-free.
+    fn queue_hint(&mut self, peer: usize, clip: ClipId) {
+        let queue = &mut self.hints[peer];
+        if queue.contains(&clip) {
+            return;
+        }
+        if queue.len() == HANDOFF_QUEUE_LIMIT {
+            queue.pop_front();
+            self.handoff_dropped += 1;
+        }
+        queue.push_back(clip);
+        self.handoff_queued += 1;
+    }
+
+    /// Replay `peer`'s hint queue over the live connection. A mid-replay
+    /// transport error stops the drain (remaining hints stay queued for
+    /// the next successful probe) and counts as a breaker failure.
+    fn replay_hints(&mut self, peer: usize) {
+        while let Some(&clip) = self.hints[peer].front() {
+            let PeerSlot::Connected(client) = &mut self.slots[peer] else {
+                return;
+            };
+            match client.peer_get(clip) {
+                Ok(_) => {
+                    self.hints[peer].pop_front();
+                    self.handoff_replayed += 1;
+                }
+                Err(_) => {
+                    self.slots[peer] = PeerSlot::Idle;
+                    self.peer_errors += 1;
+                    self.breakers[peer].record(false);
+                    return;
+                }
+            }
+        }
     }
 
     /// One `PEERGET` round trip to `peer`. `None` means the peer was
@@ -389,6 +626,17 @@ pub struct ClusterStats {
     pub peer_garbage: u64,
     /// Probes that failed because the peer was dead or errored.
     pub peer_errors: u64,
+    /// Breaker trips into Open (cumulative, across all handler→peer
+    /// pairs).
+    pub breaker_opens: u64,
+    /// Probe attempts skipped because the peer's breaker was Open.
+    pub breaker_skipped: u64,
+    /// Write-all halves queued as hints for Open peers.
+    pub handoff_queued: u64,
+    /// Hints replayed onto healed peers.
+    pub handoff_replayed: u64,
+    /// Hints dropped because a peer's queue was full (oldest first).
+    pub handoff_dropped: u64,
 }
 
 impl ClusterStats {
@@ -449,6 +697,15 @@ pub struct ClusterHarness {
     faults: Option<PeerFaults>,
     probe_seq: u64,
     stats: ClusterStats,
+    /// Per handler→peer breaker, indexed `handler * nodes + peer` —
+    /// each member tracks its own view of every peer's health, exactly
+    /// like N independent [`ClusterRuntime`]s would.
+    breakers: Vec<PeerBreaker>,
+    /// Per handler→peer hint queue, same indexing.
+    hints: Vec<VecDeque<ClipId>>,
+    /// Deterministic kill/revive points: `(request index, node, alive)`
+    /// applied before routing that request.
+    schedule: Vec<(u64, usize, bool)>,
 }
 
 impl ClusterHarness {
@@ -460,15 +717,18 @@ impl ClusterHarness {
     /// `1..=services.len()`.
     pub fn new(seed: u64, replication: usize, services: Vec<Arc<CacheService>>) -> ClusterHarness {
         assert!(!services.is_empty(), "cluster needs at least one node");
-        let view = ClusterView::new(seed, services.len(), replication);
-        let alive = vec![true; services.len()];
+        let n = services.len();
+        let view = ClusterView::new(seed, n, replication);
         ClusterHarness {
             view,
             nodes: services,
-            alive,
+            alive: vec![true; n],
             faults: None,
             probe_seq: 0,
             stats: ClusterStats::default(),
+            breakers: vec![PeerBreaker::default(); n * n],
+            hints: vec![VecDeque::new(); n * n],
+            schedule: Vec::new(),
         }
     }
 
@@ -508,10 +768,49 @@ impl ClusterHarness {
         self.alive[i] = true;
     }
 
+    /// Node `i`'s breaker as seen from `handler` (for tests and the
+    /// degradebench experiment).
+    pub fn breaker(&self, handler: usize, peer: usize) -> &PeerBreaker {
+        &self.breakers[handler * self.nodes.len() + peer]
+    }
+
+    /// Replace every handler→peer breaker with fresh ones at the given
+    /// thresholds. Call before traffic: `degradebench`'s breaker-off
+    /// control arm passes `u32::MAX` so no failure run ever trips (the
+    /// pre-breaker cluster, every dead probe paid in full).
+    pub fn set_breaker_tuning(&mut self, failure_threshold: u32, probe_interval: u64) {
+        let n = self.nodes.len();
+        self.breakers = vec![PeerBreaker::new(failure_threshold, probe_interval); n * n];
+    }
+
+    /// Schedule a deterministic kill of node `i` applied before the
+    /// `at_request`-th GET (0-based). Drives `loadgen --kill-span`.
+    pub fn schedule_kill(&mut self, i: usize, at_request: u64) {
+        assert!(i < self.nodes.len(), "node {i} out of range");
+        self.schedule.push((at_request, i, false));
+    }
+
+    /// Schedule a deterministic revive of node `i` applied before the
+    /// `at_request`-th GET (0-based).
+    pub fn schedule_revive(&mut self, i: usize, at_request: u64) {
+        assert!(i < self.nodes.len(), "node {i} out of range");
+        self.schedule.push((at_request, i, true));
+    }
+
     /// One routed GET: first alive owner handles it; on a local miss
     /// every other alive owner is probed (peer fill + write-all), under
     /// the armed fault plan.
     pub fn get(&mut self, clip: ClipId) -> Result<GetOutcome, ClusterError> {
+        let seq = self.stats.requests;
+        let mut i = 0;
+        while i < self.schedule.len() {
+            if self.schedule[i].0 <= seq {
+                let (_, node, up) = self.schedule.remove(i);
+                self.alive[node] = up;
+            } else {
+                i += 1;
+            }
+        }
         self.stats.requests += 1;
         let owners = self.view.owners_for(clip);
         let Some(handler) = owners.iter().copied().find(|&n| self.alive[n]) else {
@@ -528,8 +827,26 @@ impl ClusterHarness {
         } else {
             let mut filled = false;
             for &peer in owners.iter().filter(|&&n| n != handler) {
+                let slot = handler * self.nodes.len() + peer;
+                if !self.breakers[slot].admit() {
+                    self.stats.breaker_skipped += 1;
+                    self.queue_hint(slot, clip);
+                    continue;
+                }
+                // The breaker tracks peer *liveness*: a drop fault is a
+                // lost reply from a live peer (the wire discipline the
+                // retry loop already covers), not evidence the peer is
+                // down — counting it would make breaker state depend on
+                // the fault plan even in healthy clusters.
+                let up = self.alive[peer];
+                let opens_before = self.breakers[slot].opens();
                 if self.probe(handler, peer, clip) == Some(true) {
                     filled = true;
+                }
+                self.breakers[slot].record(up);
+                self.stats.breaker_opens += self.breakers[slot].opens() - opens_before;
+                if up && !self.hints[slot].is_empty() {
+                    self.replay_hints(slot, peer);
                 }
             }
             if filled {
@@ -541,6 +858,32 @@ impl ClusterHarness {
         }
         self.stats.delivered += 1;
         Ok(outcome)
+    }
+
+    /// Remember the write-all half the Open peer missed (bounded,
+    /// drop-oldest, duplicate-free) — [`ClusterRuntime::queue_hint`]'s
+    /// in-process mirror.
+    fn queue_hint(&mut self, slot: usize, clip: ClipId) {
+        let queue = &mut self.hints[slot];
+        if queue.contains(&clip) {
+            return;
+        }
+        if queue.len() == HANDOFF_QUEUE_LIMIT {
+            queue.pop_front();
+            self.stats.handoff_dropped += 1;
+        }
+        queue.push_back(clip);
+        self.stats.handoff_queued += 1;
+    }
+
+    /// Replay a healed peer's hint queue: each hint is a full local
+    /// access on the peer (admit-on-miss), restoring the replica
+    /// coverage the Open window skipped.
+    fn replay_hints(&mut self, slot: usize, peer: usize) {
+        while let Some(clip) = self.hints[slot].pop_front() {
+            let _ = self.nodes[peer].get(clip);
+            self.stats.handoff_replayed += 1;
+        }
     }
 
     /// Poison `clip`'s shard on its first alive owner (chaos parity
@@ -599,7 +942,9 @@ impl ClusterHarness {
     }
 
     /// The cluster block appended to chaos reports: byte-stable,
-    /// wall-clock-free.
+    /// wall-clock-free. Runs that never degraded (no breaker trip, no
+    /// hint traffic) render exactly the pre-breaker block, so the
+    /// healthy-cluster goldens stay byte-identical.
     pub fn chaos_lines(&self) -> String {
         let s = &self.stats;
         let plan = match &self.faults {
@@ -611,7 +956,7 @@ impl ClusterHarness {
              peer plan {plan}\n\
              cluster observed requests={} delivered={} local_hits={} peer_hits={} misses={}\n\
              peer wire probes={} drops={} garbage={} errors={} failovers={}\n\
-             cluster invariant conservation={}\n",
+             {}cluster invariant conservation={}\n",
             self.nodes.len(),
             self.view.replication(),
             s.requests,
@@ -624,11 +969,31 @@ impl ClusterHarness {
             s.peer_garbage,
             s.peer_errors,
             s.failovers,
+            self.degraded_lines(),
             if s.conservation_ok() {
                 "ok"
             } else {
                 "VIOLATED"
             },
+        )
+    }
+
+    /// The `degraded` block: breaker and handoff counters, rendered
+    /// only when a breaker actually tripped or a hint was queued — the
+    /// zero-degradation path stays byte-identical to the old report.
+    pub fn degraded_lines(&self) -> String {
+        let s = &self.stats;
+        if s.breaker_opens == 0 && s.breaker_skipped == 0 && s.handoff_queued == 0 {
+            return String::new();
+        }
+        format!(
+            "degraded breaker_opens={} probes_skipped={} handoff_queued={} \
+             handoff_replayed={} handoff_dropped={}\n",
+            s.breaker_opens,
+            s.breaker_skipped,
+            s.handoff_queued,
+            s.handoff_replayed,
+            s.handoff_dropped,
         )
     }
 }
@@ -775,5 +1140,149 @@ mod tests {
         assert!(lines.starts_with("cluster nodes=2 replication=2\n"));
         assert!(lines.contains("peer plan none\n"));
         assert!(lines.contains("cluster invariant conservation=ok\n"));
+        assert!(
+            !lines.contains("degraded"),
+            "a healthy run must not grow a degraded block: {lines}"
+        );
+    }
+
+    #[test]
+    fn breaker_counts_failures_not_clocks() {
+        let mut b = PeerBreaker::new(3, 4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..2 {
+            assert!(b.admit());
+            b.record(false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "K-1 failures stay Closed");
+        assert!(b.admit());
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open, "Kth consecutive failure trips");
+        assert_eq!(b.opens(), 1);
+        for _ in 0..3 {
+            assert!(!b.admit(), "Open skips M-1 attempts");
+        }
+        assert!(b.admit(), "Mth attempt is the HalfOpen probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        for _ in 0..3 {
+            assert!(!b.admit());
+        }
+        assert!(b.admit());
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed, "successful probe heals");
+        assert_eq!(b.opens(), 2);
+        // A success anywhere resets the consecutive-failure count.
+        for ok in [false, false, true, false, false] {
+            assert!(b.admit());
+            b.record(ok);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn kill_trips_breaker_then_revive_replays_hints() {
+        // The satellite pin: kill → K misses → Open → revive →
+        // HalfOpen → Closed, with the Open window's write-all halves
+        // handed back to the revived peer.
+        let mut c = cluster(3, 2);
+        for round in 0..200u32 {
+            c.get(ClipId::new(round % 48 + 1)).unwrap();
+        }
+        assert_eq!(c.stats().breaker_opens, 0, "healthy cluster never trips");
+        c.kill(2);
+        for round in 0..400u32 {
+            c.get(ClipId::new(round * 5 % 48 + 1)).unwrap();
+        }
+        let mid = c.stats();
+        assert!(mid.breaker_opens > 0, "{mid:?}");
+        assert!(mid.breaker_skipped > 0, "Open must skip probes: {mid:?}");
+        assert!(mid.handoff_queued > 0, "skipped fills must hint: {mid:?}");
+        assert_eq!(mid.handoff_replayed, 0, "nothing replays onto a corpse");
+        assert!(
+            (0..2).any(|h| c.breaker(h, 2).state() == BreakerState::Open),
+            "some survivor holds node 2 Open"
+        );
+        c.revive(2);
+        for round in 0..400u32 {
+            c.get(ClipId::new(round * 11 % 48 + 1)).unwrap();
+        }
+        let end = c.stats();
+        assert!(end.handoff_replayed > 0, "heal must replay hints: {end:?}");
+        assert!(
+            end.peer_hits > mid.peer_hits,
+            "peer fills must resume after heal: {end:?}"
+        );
+        for h in 0..2 {
+            assert_eq!(
+                c.breaker(h, 2).state(),
+                BreakerState::Closed,
+                "survivor {h} heals its breaker"
+            );
+        }
+        assert!(end.conservation_ok(), "{end:?}");
+    }
+
+    #[test]
+    fn hint_queue_is_bounded() {
+        // 400 distinct missing clips against one dead replica must
+        // overflow the 128-clip queue (drop-oldest) and replay at most
+        // the bound after revive.
+        let repo = Arc::new(paper::variable_sized_repository_of(400));
+        let services = (0..2)
+            .map(|i| {
+                let capacity = repo.cache_capacity_for_ratio(0.25);
+                Arc::new(
+                    CacheService::new(
+                        Arc::clone(&repo),
+                        ServiceConfig::new(PolicyKind::Lru, 1, capacity, 7 + i as u64),
+                        None,
+                    )
+                    .expect("LRU builds"),
+                )
+            })
+            .collect();
+        let mut c = ClusterHarness::new(0xC1A5, 2, services);
+        c.kill(1);
+        for id in 1..=400u32 {
+            c.get(ClipId::new(id)).unwrap();
+        }
+        let s = c.stats();
+        assert!(
+            s.handoff_dropped > 0,
+            "400 distinct hints must overflow the {HANDOFF_QUEUE_LIMIT}-clip bound: {s:?}"
+        );
+        c.revive(1);
+        for id in 1..=64u32 {
+            c.get(ClipId::new(id)).unwrap();
+        }
+        let s = c.stats();
+        assert!(s.handoff_replayed > 0, "{s:?}");
+        assert!(s.handoff_replayed <= HANDOFF_QUEUE_LIMIT as u64, "{s:?}");
+    }
+
+    #[test]
+    fn scheduled_kill_revive_is_deterministic() {
+        // The schedule behind `loadgen --kill-span`: same (trace,
+        // schedule) ⇒ byte-identical stats and chaos block, and the
+        // degraded lines actually render.
+        let run = || {
+            let mut c = cluster(3, 2);
+            c.schedule_kill(1, 100);
+            c.schedule_revive(1, 500);
+            for round in 0..800u32 {
+                c.get(ClipId::new(round * 7 % 48 + 1)).unwrap();
+            }
+            (c.stats(), c.chaos_lines())
+        };
+        assert_eq!(run(), run());
+        let (stats, lines) = run();
+        assert!(stats.breaker_opens > 0, "{stats:?}");
+        assert!(stats.conservation_ok(), "{stats:?}");
+        assert!(
+            lines.contains("degraded breaker_opens="),
+            "degraded block must render in a kill run: {lines}"
+        );
     }
 }

@@ -310,6 +310,10 @@ pub struct RetryPolicy {
     pub max_retries: u32,
     /// Backoff before retry 1; doubles each retry after that.
     pub base_backoff: Duration,
+    /// Ceiling on any single backoff (`--max-backoff-ms`). Unbounded
+    /// doubling sleeps absurdly long at high attempt counts; the cap
+    /// turns the growth sequence into `min(base * 2^n, max_backoff)`.
+    pub max_backoff: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -317,16 +321,18 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 4,
             base_backoff: Duration::ZERO,
+            max_backoff: Duration::MAX,
         }
     }
 }
 
 impl RetryPolicy {
     /// The backoff before retrying after failed attempt `attempt`
-    /// (0-based): `base * 2^attempt`, saturating.
+    /// (0-based): `min(base * 2^attempt, max_backoff)`, saturating.
     pub fn backoff(&self, attempt: u32) -> Duration {
         self.base_backoff
             .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_backoff)
     }
 }
 
@@ -353,6 +359,10 @@ pub struct ChaosStats {
     pub reconnects: u64,
     /// `ERR` replies observed for injected garbage.
     pub err_replies: u64,
+    /// `BUSY` sheds received from an overloaded server's governor; each
+    /// one backed off *without* dropping the connection (the server is
+    /// alive, just loaded — redialing would add to its burden).
+    pub busy_backoffs: u64,
     /// Requests whose final reply reached the client.
     pub delivered: u64,
 }
@@ -373,6 +383,7 @@ impl ChaosStats {
         self.retries += other.retries;
         self.reconnects += other.reconnects;
         self.err_replies += other.err_replies;
+        self.busy_backoffs += other.busy_backoffs;
         self.delivered += other.delivered;
     }
 }
@@ -486,11 +497,39 @@ mod tests {
         let retry = RetryPolicy {
             max_retries: 5,
             base_backoff: Duration::from_millis(2),
+            ..RetryPolicy::default()
         };
         assert_eq!(retry.backoff(0), Duration::from_millis(2));
         assert_eq!(retry.backoff(1), Duration::from_millis(4));
         assert_eq!(retry.backoff(3), Duration::from_millis(16));
         assert_eq!(RetryPolicy::default().backoff(7), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_growth_is_clamped_by_the_cap() {
+        let retry = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+        };
+        // The growth sequence 2, 4, 8 then pins at the cap — including
+        // the shift-saturating tail where 2^n alone would overflow.
+        let grown: Vec<Duration> = (0..6).map(|n| retry.backoff(n)).collect();
+        assert_eq!(
+            grown,
+            [2, 4, 8, 10, 10, 10]
+                .map(Duration::from_millis)
+                .to_vec()
+        );
+        assert_eq!(retry.backoff(40), Duration::from_millis(10));
+        assert_eq!(retry.backoff(u32::MAX), Duration::from_millis(10));
+        // The default cap is "no cap": the pre-cap sequence is intact.
+        let uncapped = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(uncapped.backoff(9), Duration::from_millis(1024));
     }
 
     #[test]

@@ -75,10 +75,11 @@ pub mod server;
 pub mod service;
 pub mod shard;
 
-pub use client::{TcpCacheClient, Wire};
+pub use client::{is_busy_error, TcpCacheClient, Wire};
 pub use cluster::{
-    ClusterError, ClusterHarness, ClusterRuntime, ClusterSpec, ClusterStats, ClusterView,
-    PeerFaults,
+    BreakerState, ClusterError, ClusterHarness, ClusterRuntime, ClusterSpec, ClusterStats,
+    ClusterView, PeerBreaker, PeerFaults, BREAKER_FAILURE_THRESHOLD, BREAKER_PROBE_INTERVAL,
+    HANDOFF_QUEUE_LIMIT,
 };
 pub use fault::{ChaosStats, FaultKind, FaultPlan, RetryPolicy};
 pub use latency::LatencyLog;
@@ -96,6 +97,8 @@ pub use protocol::{
     PROTOCOL_VERSION,
 };
 pub use ring::{HashRing, DEFAULT_VNODES};
-pub use server::{serve, serve_with, ServerConfig, ServerHandle, MAX_LINE_BYTES};
+pub use server::{
+    serve, serve_with, GovernorConfig, LoadTier, ServerConfig, ServerHandle, MAX_LINE_BYTES,
+};
 pub use service::{CacheService, ServiceConfig, ServiceError};
 pub use shard::{shard_of, shard_seed, GetOutcome, RangeOutcome, Shard, CHECKPOINT_EVERY};

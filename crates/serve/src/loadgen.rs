@@ -177,19 +177,29 @@ impl LoadReport {
     /// wall-clock quantities, one `key=value` group per line. Two runs
     /// with the same `(trace, plan, clients)` must render byte-identical
     /// reports — CI diffs this against a committed golden.
+    ///
+    /// The `degraded` line appears only when the run actually degraded
+    /// (the client received governor `BUSY` sheds), so every report
+    /// from a non-degraded run — including all pre-existing goldens —
+    /// renders byte-identically to before the line existed.
     pub fn chaos_report(&self) -> String {
         let plan = match &self.plan {
             Some(p) => p.spelling(),
             None => "none".into(),
         };
         let c = &self.chaos;
+        let degraded = if c.busy_backoffs > 0 {
+            format!("degraded busy_backoffs={}\n", c.busy_backoffs)
+        } else {
+            String::new()
+        };
         format!(
             "chaos-report v1\n\
              plan {plan}\n\
              clients={} delivered={}\n\
              faults drop_pre={} drop_post={} garbage={} torn={} poison={} injected={}\n\
              recovery retries={} reconnects={} err_replies={} shard_recoveries={}\n\
-             observed hits={} misses={} byte_hits={} byte_misses={} evictions={}\n\
+             {degraded}observed hits={} misses={} byte_hits={} byte_misses={} evictions={}\n\
              invariant conservation={}\n",
             self.clients,
             c.delivered,
@@ -589,7 +599,14 @@ fn chaos_get(
                 }
                 io_retries += 1;
                 chaos.retries += 1;
-                transport.drop_conn();
+                if crate::client::is_busy_error(&e) {
+                    // A governor shed: the server is alive, just loaded.
+                    // Keep the connection (redialing adds to its burden)
+                    // and back off before the idempotent re-send.
+                    chaos.busy_backoffs += 1;
+                } else {
+                    transport.drop_conn();
+                }
                 std::thread::sleep(retry.backoff(attempt));
                 attempt += 1;
             }

@@ -36,9 +36,13 @@
 //!                     SP "byte_hits=" n SP "byte_misses=" n
 //!                     SP "evictions=" n SP "recoveries=" n
 //!                     SP "wal_replayed=" n SP "peer_hits=" n
+//!                     SP "handoff_replayed=" n SP "breaker_open=" n
+//!                     SP "shed=" n
 //!           | "SNAPSHOT" SP json-array      ; one CacheSnapshot per shard
 //!           | "POISONED" SP shard-index     ; POISON acknowledged
 //!           | "BYE"                         ; QUIT acknowledged
+//!           | "BUSY"                        ; GET shed by the overload
+//!                                           ; governor — retry with backoff
 //!           | "ERR" SP text                 ; malformed request / unknown
 //!                                           ; clip / out-of-range chunk /
 //!                                           ; refused operation
@@ -75,10 +79,10 @@
 //! (flags byte — bit 0 hit, bit 1 admitted, bit 2 peer-filled — plus
 //! evictions u64 LE), `RANGE` (hit u8 + resident u32 LE + total u32
 //! LE), `PEER` (had u8), `HELLO` (proto + snapshot + wal, three u32
-//! LE), `STATS` (nine u64 LE), `SNAPSHOT` (UTF-8 JSON), `POISONED`
-//! (u64 LE), `BYE`, `ERR` (UTF-8 message). Every request kind has a
-//! *fixed* payload length, which is what makes corruption loud (see
-//! below).
+//! LE), `STATS` (twelve u64 LE), `SNAPSHOT` (UTF-8 JSON), `POISONED`
+//! (u64 LE), `BYE`, `BUSY` (empty — the governor's shed reply), `ERR`
+//! (UTF-8 message). Every request kind has a *fixed* payload length,
+//! which is what makes corruption loud (see below).
 //!
 //! **A corrupted length header is never a silent truncation** —
 //! mirroring the WAL's inflated-length fix: the header check byte makes
@@ -143,13 +147,23 @@ pub struct ServerStats {
     /// Local misses filled from a cluster peer instead of the origin
     /// (zero for a non-cluster server).
     pub peer_hits: u64,
+    /// Hinted-handoff replays onto healed peers (zero for a
+    /// non-cluster server).
+    pub handoff_replayed: u64,
+    /// Peers this node currently holds Open behind a circuit breaker
+    /// (zero for a non-cluster server).
+    pub breaker_open: u64,
+    /// GETs shed with `BUSY` by the overload governor.
+    pub shed: u64,
 }
 
-/// The wire-visible protocol version. Version 3 added the cluster
+/// The wire-visible protocol version. Version 4 added the degraded-mode
+/// surface — the `BUSY` shed reply and the `handoff_replayed` /
+/// `breaker_open` / `shed` STATS fields; version 3 added the cluster
 /// verbs (`PEERGET`, `VERSION`/`HELLO`), the `PHIT` reply, and the
 /// `peer_hits` STATS field; version 2 added binary framing and the
 /// chunk-granular verbs; version 1 was the original text protocol.
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// The schema versions a node reports during the cluster handshake.
 ///
@@ -416,7 +430,7 @@ pub fn parse_range(line: &str) -> Result<RangeOutcome, String> {
 pub fn format_stats(stats: &ServerStats) -> String {
     format!(
         "STATS hits={} misses={} prefix_hits={} byte_hits={} byte_misses={} evictions={} \
-         recoveries={} wal_replayed={} peer_hits={}",
+         recoveries={} wal_replayed={} peer_hits={} handoff_replayed={} breaker_open={} shed={}",
         stats.stats.hits,
         stats.stats.misses,
         stats.stats.prefix_hits,
@@ -425,7 +439,10 @@ pub fn format_stats(stats: &ServerStats) -> String {
         stats.stats.evictions,
         stats.recoveries,
         stats.wal_replayed,
-        stats.peer_hits
+        stats.peer_hits,
+        stats.handoff_replayed,
+        stats.breaker_open,
+        stats.shed
     )
 }
 
@@ -436,9 +453,7 @@ pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
         .strip_prefix("STATS ")
         .ok_or_else(|| format!("malformed STATS reply '{line}'"))?;
     let mut stats = HitStats::new();
-    let mut recoveries = 0;
-    let mut wal_replayed = 0;
-    let mut peer_hits = 0;
+    let mut server = ServerStats::default();
     let mut seen = 0u32;
     for field in rest.split_ascii_whitespace() {
         let (key, value) = field
@@ -454,22 +469,21 @@ pub fn parse_stats(line: &str) -> Result<ServerStats, String> {
             "byte_hits" => stats.byte_hits = clipcache_media::ByteSize::bytes(value),
             "byte_misses" => stats.byte_misses = clipcache_media::ByteSize::bytes(value),
             "evictions" => stats.evictions = value,
-            "recoveries" => recoveries = value,
-            "wal_replayed" => wal_replayed = value,
-            "peer_hits" => peer_hits = value,
+            "recoveries" => server.recoveries = value,
+            "wal_replayed" => server.wal_replayed = value,
+            "peer_hits" => server.peer_hits = value,
+            "handoff_replayed" => server.handoff_replayed = value,
+            "breaker_open" => server.breaker_open = value,
+            "shed" => server.shed = value,
             other => return Err(format!("unknown STATS field '{other}'")),
         }
         seen += 1;
     }
-    if seen != 9 {
-        return Err(format!("STATS reply has {seen} fields, expected 9"));
+    if seen != 12 {
+        return Err(format!("STATS reply has {seen} fields, expected 12"));
     }
-    Ok(ServerStats {
-        stats,
-        recoveries,
-        wal_replayed,
-        peer_hits,
-    })
+    server.stats = stats;
+    Ok(server)
 }
 
 /// Format a `POISON` acknowledgement.
@@ -521,6 +535,7 @@ const KIND_R_BYE: u8 = 0x85;
 const KIND_R_RANGE: u8 = 0x86;
 const KIND_R_PEER: u8 = 0x87;
 const KIND_R_HELLO: u8 = 0x88;
+const KIND_R_BUSY: u8 = 0x89;
 const KIND_R_ERR: u8 = 0xC0;
 
 /// One reply, protocol-independent: the server builds these and renders
@@ -544,6 +559,11 @@ pub enum Reply {
     Poisoned(u64),
     /// `QUIT` acknowledged.
     Bye,
+    /// The overload governor shed this `GET`: the server is past its
+    /// high watermark and the client should back off and retry —
+    /// unlike `Err`, the request was well-formed and the connection
+    /// stays healthy.
+    Busy,
     /// Structured refusal.
     Err(String),
 }
@@ -650,7 +670,7 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
             out.extend_from_slice(&versions.wal.to_le_bytes());
         }
         Reply::Stats(stats) => {
-            push_header(out, KIND_R_STATS, 72);
+            push_header(out, KIND_R_STATS, 96);
             for v in [
                 stats.stats.hits,
                 stats.stats.misses,
@@ -661,6 +681,9 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
                 stats.recoveries,
                 stats.wal_replayed,
                 stats.peer_hits,
+                stats.handoff_replayed,
+                stats.breaker_open,
+                stats.shed,
             ] {
                 out.extend_from_slice(&v.to_le_bytes());
             }
@@ -674,6 +697,7 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
             out.extend_from_slice(&shard.to_le_bytes());
         }
         Reply::Bye => push_header(out, KIND_R_BYE, 0),
+        Reply::Busy => push_header(out, KIND_R_BUSY, 0),
         Reply::Err(msg) => {
             let msg = &msg.as_bytes()[..msg.len().min(MAX_FRAME_PAYLOAD)];
             push_header(out, KIND_R_ERR, msg.len() as u32);
@@ -706,11 +730,11 @@ fn fixed_len(kind: u8) -> Option<u32> {
     match kind {
         KIND_GET | KIND_POISON | KIND_PEER_GET => Some(4),
         KIND_GETRANGE => Some(8),
-        KIND_STATS | KIND_SNAPSHOT | KIND_QUIT | KIND_HELLO | KIND_R_BYE => Some(0),
+        KIND_STATS | KIND_SNAPSHOT | KIND_QUIT | KIND_HELLO | KIND_R_BYE | KIND_R_BUSY => Some(0),
         KIND_R_GET | KIND_R_RANGE => Some(9),
         KIND_R_PEER => Some(1),
         KIND_R_HELLO => Some(12),
-        KIND_R_STATS => Some(72),
+        KIND_R_STATS => Some(96),
         KIND_R_POISONED => Some(8),
         KIND_R_SNAPSHOT | KIND_R_ERR => None,
         _ => Some(0), // unknown kinds are rejected before this matters
@@ -767,6 +791,7 @@ fn decode_header(buf: &[u8], request: bool) -> Result<Decoded<(u8, usize)>, Fram
                 | KIND_R_SNAPSHOT
                 | KIND_R_POISONED
                 | KIND_R_BYE
+                | KIND_R_BUSY
                 | KIND_R_ERR
         )
     };
@@ -944,6 +969,9 @@ pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Reply>, FrameError> {
             recoveries: u64_at(48),
             wal_replayed: u64_at(56),
             peer_hits: u64_at(64),
+            handoff_replayed: u64_at(72),
+            breaker_open: u64_at(80),
+            shed: u64_at(88),
         }),
         KIND_R_SNAPSHOT => Reply::Snapshot(
             String::from_utf8(payload.to_vec())
@@ -951,6 +979,7 @@ pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Reply>, FrameError> {
         ),
         KIND_R_POISONED => Reply::Poisoned(u64_at(0)),
         KIND_R_BYE => Reply::Bye,
+        KIND_R_BUSY => Reply::Busy,
         _ => Reply::Err(String::from_utf8_lossy(payload).into_owned()),
     };
     Ok(Decoded::Frame {
@@ -1150,22 +1179,28 @@ mod tests {
             recoveries: 3,
             wal_replayed: 41,
             peer_hits: 7,
+            handoff_replayed: 5,
+            breaker_open: 1,
+            shed: 13,
         };
         let line = format_stats(&server);
         assert!(line.contains("recoveries=3"));
         assert!(line.contains("wal_replayed=41"));
         assert!(line.contains("prefix_hits=0"));
         assert!(line.contains("peer_hits=7"));
+        assert!(line.contains("handoff_replayed=5"));
+        assert!(line.contains("breaker_open=1"));
+        assert!(line.contains("shed=13"));
         assert_eq!(parse_stats(&line), Ok(server));
         assert!(parse_stats("STATS hits=1").is_err());
         assert!(parse_stats(
             "STATS hits=1 misses=x prefix_hits=0 byte_hits=0 byte_misses=0 evictions=0 \
-             recoveries=0 wal_replayed=0 peer_hits=0"
+             recoveries=0 wal_replayed=0 peer_hits=0 handoff_replayed=0 breaker_open=0 shed=0"
         )
         .is_err());
-        // Older wire formats (five through eight fields, including the
-        // pre-cluster one without peer_hits) are gone, not silently
-        // defaulted.
+        // Older wire formats (five through nine fields, including the
+        // pre-governor one without the degraded counters) are gone, not
+        // silently defaulted.
         assert!(
             parse_stats("STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0").is_err()
         );
@@ -1183,6 +1218,11 @@ mod tests {
              recoveries=0 wal_replayed=0"
         )
         .is_err());
+        assert!(parse_stats(
+            "STATS hits=1 misses=0 prefix_hits=0 byte_hits=0 byte_misses=0 evictions=0 \
+             recoveries=0 wal_replayed=0 peer_hits=0"
+        )
+        .is_err());
         assert!(parse_stats("nope").is_err());
     }
 
@@ -1192,13 +1232,29 @@ mod tests {
         stats.record_prefix(ByteSize::mb(2), ByteSize::mb(8), 0);
         let server = ServerStats {
             stats,
-            recoveries: 0,
-            wal_replayed: 0,
-            peer_hits: 0,
+            ..ServerStats::default()
         };
         let line = format_stats(&server);
         assert!(line.contains("prefix_hits=1"));
         assert_eq!(parse_stats(&line), Ok(server));
+    }
+
+    #[test]
+    fn busy_reply_encodes_as_an_empty_frame() {
+        let mut out = Vec::new();
+        encode_reply(&Reply::Busy, &mut out);
+        assert_eq!(out.len(), FRAME_HEADER_BYTES, "BUSY carries no payload");
+        assert_eq!(
+            decode_reply(&out),
+            Ok(Decoded::Frame {
+                value: Reply::Busy,
+                consumed: FRAME_HEADER_BYTES,
+            })
+        );
+        // Torn prefixes of a BUSY frame are Incomplete, never garbage.
+        for cut in 1..FRAME_HEADER_BYTES {
+            assert_eq!(decode_reply(&out[..cut]), Ok(Decoded::Incomplete));
+        }
     }
 
     #[test]

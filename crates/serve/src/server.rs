@@ -45,6 +45,20 @@
 //! ever reading replies stops being *read* (not dropped) once its
 //! pending reply bytes pass a soft cap — backpressure instead of
 //! unbounded buffering.
+//!
+//! ## The overload governor
+//!
+//! Between "healthy" and "stop reading" sits a two-tier governor
+//! ([`GovernorConfig`]) keyed on the same quantity as the soft cap:
+//! pending reply bytes, per connection and summed across the loop.
+//! Past the first watermark GET misses stop probing cluster peers
+//! (local-only serving — the blocking peer RTT is the single most
+//! expensive thing the loop can do under pressure); past the second
+//! the server sheds GETs outright with a `BUSY` reply the loadgen's
+//! retry loop backs off from. `STATS`, `PEERGET` and the other cheap
+//! verbs are never shed — `PEERGET` is how the *cluster* heals, and
+//! shedding it would cascade one node's overload into cluster-wide
+//! misses. Shed GETs count in `STATS shed=`.
 
 use crate::cluster::{ClusterRuntime, ClusterSpec};
 use crate::protocol::{
@@ -77,6 +91,69 @@ const WBUF_SOFT_CAP: usize = 4 * 1024 * 1024;
 /// Read chunk size for the drain loop.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// The governor's answer for one request, from cheapest service to
+/// cheapest refusal. Ordering matters: `Normal < LocalOnly < Shed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LoadTier {
+    /// Below every watermark: full service, peer fills allowed.
+    Normal,
+    /// Past the first watermark: GETs are served from local shards
+    /// only — no peer probes, so no blocking peer RTT in the loop.
+    LocalOnly,
+    /// Past the second watermark: GETs are refused with [`Reply::Busy`]
+    /// before touching the cache; everything else is still served.
+    Shed,
+}
+
+/// Overload watermarks, all in pending-reply bytes — the same quantity
+/// the [`WBUF_SOFT_CAP`] backpressure uses, measured per connection and
+/// summed across every live connection. A request is classified by the
+/// *worst* of its per-connection and global readings, so one pathological
+/// pipeliner degrades itself first and the whole loop only under
+/// genuine aggregate pressure. Pure and count-free: the tier is a
+/// function of buffer sizes at classification time, never of the clock.
+#[derive(Debug, Clone)]
+pub struct GovernorConfig {
+    /// Per-connection pending bytes at which GETs go local-only.
+    pub conn_local_only: usize,
+    /// Per-connection pending bytes at which GETs are shed.
+    pub conn_shed: usize,
+    /// Global pending bytes at which GETs go local-only.
+    pub global_local_only: usize,
+    /// Global pending bytes at which GETs are shed.
+    pub global_shed: usize,
+}
+
+impl Default for GovernorConfig {
+    /// Defaults sit inside the soft cap: a connection degrades at a
+    /// quarter of [`WBUF_SOFT_CAP`] (1 MiB) and sheds at three quarters
+    /// (3 MiB) — before backpressure stops reading it entirely — while
+    /// the global watermarks (8 MiB / 32 MiB) only trip when many
+    /// connections are saturated at once.
+    fn default() -> GovernorConfig {
+        GovernorConfig {
+            conn_local_only: WBUF_SOFT_CAP / 4,
+            conn_shed: 3 * (WBUF_SOFT_CAP / 4),
+            global_local_only: 2 * WBUF_SOFT_CAP,
+            global_shed: 8 * WBUF_SOFT_CAP,
+        }
+    }
+}
+
+impl GovernorConfig {
+    /// Classify one request given the connection's pending reply bytes
+    /// and the loop-wide sum. Monotone in both arguments.
+    pub fn tier(&self, conn_pending: usize, global_pending: usize) -> LoadTier {
+        if conn_pending >= self.conn_shed || global_pending >= self.global_shed {
+            LoadTier::Shed
+        } else if conn_pending >= self.conn_local_only || global_pending >= self.global_local_only {
+            LoadTier::LocalOnly
+        } else {
+            LoadTier::Normal
+        }
+    }
+}
+
 /// Server tuning knobs; [`ServerConfig::default`] reproduces the
 /// pre-resilience behavior (no gate, no idle limit, no chaos).
 #[derive(Debug, Clone, Default)]
@@ -94,6 +171,8 @@ pub struct ServerConfig {
     /// peer fill across the clip's other ring owners before the miss is
     /// reported.
     pub cluster: Option<ClusterSpec>,
+    /// Overload watermarks for the two-tier governor.
+    pub governor: GovernorConfig,
 }
 
 /// Minimal safe wrapper over the vendored epoll shim. Owns the epoll
@@ -325,6 +404,8 @@ struct EventLoop {
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     live: usize,
+    /// GETs refused with `BUSY` by the governor (reported in `STATS`).
+    shed: u64,
 }
 
 impl EventLoop {
@@ -350,7 +431,19 @@ impl EventLoop {
             conns: Vec::new(),
             free: Vec::new(),
             live: 0,
+            shed: 0,
         })
+    }
+
+    /// Loop-wide pending reply bytes: the governor's global reading.
+    /// Recomputed at each readiness event, not tracked incrementally —
+    /// the slab is small and the sum is cheap next to a socket write.
+    fn pending_bytes(&self) -> usize {
+        self.conns
+            .iter()
+            .flatten()
+            .map(|conn| conn.wbuf.len())
+            .sum()
     }
 
     fn run(&mut self) {
@@ -426,6 +519,10 @@ impl EventLoop {
 
     /// Handle readiness on connection `token`.
     fn conn_ready(&mut self, token: usize, bits: u32) {
+        // Global pending bytes are snapshotted once per readiness event;
+        // requests executed inside this event add their own replies on
+        // top of the snapshot (see `process_buffered`).
+        let global = self.pending_bytes();
         let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
             return; // already closed earlier in this batch
         };
@@ -433,14 +530,28 @@ impl EventLoop {
             conn.eof = true;
         }
         if bits & (libc::EPOLLIN | libc::EPOLLRDHUP) != 0 {
-            Self::read_and_process(conn, &self.service, &self.config, &mut self.cluster);
+            Self::read_and_process(
+                conn,
+                &self.service,
+                &self.config,
+                &mut self.cluster,
+                &mut self.shed,
+                global,
+            );
         }
         if bits & libc::EPOLLOUT != 0 || !conn.wbuf.is_empty() {
             Self::flush(conn);
             // Backpressure release: reply bytes drained, resume
             // consuming any input that piled up meanwhile.
             if conn.wbuf.len() < WBUF_SOFT_CAP && !conn.closing {
-                Self::read_and_process(conn, &self.service, &self.config, &mut self.cluster);
+                Self::read_and_process(
+                    conn,
+                    &self.service,
+                    &self.config,
+                    &mut self.cluster,
+                    &mut self.shed,
+                    global,
+                );
                 Self::flush(conn);
             }
         }
@@ -454,6 +565,8 @@ impl EventLoop {
         service: &CacheService,
         config: &ServerConfig,
         cluster: &mut Option<ClusterRuntime>,
+        shed: &mut u64,
+        global: usize,
     ) {
         if conn.closing {
             return;
@@ -482,7 +595,7 @@ impl EventLoop {
                 }
             }
         }
-        Self::process_buffered(conn, service, config, cluster);
+        Self::process_buffered(conn, service, config, cluster, shed, global);
         if conn.eof && !conn.closing {
             // Peer is gone (or half-closed after its final request):
             // flush whatever replies remain, then close.
@@ -497,10 +610,18 @@ impl EventLoop {
         service: &CacheService,
         config: &ServerConfig,
         cluster: &mut Option<ClusterRuntime>,
+        shed: &mut u64,
+        global: usize,
     ) {
         let mut consumed = 0usize;
         let mut out: Vec<u8> = Vec::new();
         while consumed < conn.rbuf.len() && !conn.closing {
+            // Classify under the replies already produced this batch,
+            // so a pipelined flood trips the governor mid-batch instead
+            // of after the batch has bought 4 MiB of output.
+            let tier = config
+                .governor
+                .tier(conn.wbuf.len() + out.len(), global + out.len());
             let rest = &conn.rbuf[consumed..];
             if rest[0] == FRAME_MAGIC {
                 conn.wire = Wire::Binary;
@@ -509,7 +630,7 @@ impl EventLoop {
                     Ok(Decoded::Frame { value, consumed: n }) => {
                         consumed += n;
                         conn.last_request = Instant::now();
-                        let (reply, quit) = execute(service, config, cluster, Ok(value));
+                        let (reply, quit) = execute(service, config, cluster, tier, shed, Ok(value));
                         encode_reply(&reply, &mut out);
                         if quit {
                             conn.closing = true;
@@ -542,7 +663,8 @@ impl EventLoop {
                         let line = String::from_utf8_lossy(&rest[..pos]).into_owned();
                         consumed += pos + 1;
                         conn.last_request = Instant::now();
-                        let (reply, quit) = execute(service, config, cluster, parse_command(&line));
+                        let (reply, quit) =
+                            execute(service, config, cluster, tier, shed, parse_command(&line));
                         out.extend_from_slice(format_reply_text(&reply).as_bytes());
                         out.push(b'\n');
                         if quit {
@@ -655,10 +777,18 @@ impl EventLoop {
     /// writes so in-flight pipelined requests are answered, not dropped.
     fn drain_and_close_all(&mut self) {
         for token in 0..self.conns.len() {
+            let global = self.pending_bytes();
             let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
                 continue;
             };
-            Self::read_and_process(conn, &self.service, &self.config, &mut self.cluster);
+            Self::read_and_process(
+                conn,
+                &self.service,
+                &self.config,
+                &mut self.cluster,
+                &mut self.shed,
+                global,
+            );
             if !conn.wbuf.is_empty() {
                 let _ = conn.stream.set_nonblocking(false);
                 let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(5)));
@@ -679,24 +809,39 @@ fn execute(
     service: &CacheService,
     config: &ServerConfig,
     cluster: &mut Option<ClusterRuntime>,
+    tier: LoadTier,
+    shed: &mut u64,
     command: Result<Command, String>,
 ) -> (Reply, bool) {
     let reply = match command {
-        Ok(Command::Get(clip)) => match service.get(clip) {
-            Ok(mut outcome) => {
-                // Cluster peer fill: a local miss consults the clip's
-                // other ring owners before being reported. `fill` is a
-                // no-op for R = 1 (empty probe set), so a degenerate
-                // cluster stays byte-identical to a standalone server.
-                if !outcome.hit {
-                    if let Some(cluster) = cluster.as_mut() {
-                        outcome.peer = cluster.fill(clip);
-                    }
-                }
-                Reply::Get(outcome)
+        Ok(Command::Get(clip)) => {
+            // The shed tier refuses before touching the cache — the
+            // point is to spend nothing on the request. Only GETs shed:
+            // STATS/VERSION must stay observable under overload and
+            // PEERGET is how the rest of the cluster heals.
+            if tier == LoadTier::Shed {
+                *shed += 1;
+                return (Reply::Busy, false);
             }
-            Err(e) => Reply::Err(e.to_string()),
-        },
+            match service.get(clip) {
+                Ok(mut outcome) => {
+                    // Cluster peer fill: a local miss consults the clip's
+                    // other ring owners before being reported. `fill` is a
+                    // no-op for R = 1 (empty probe set), so a degenerate
+                    // cluster stays byte-identical to a standalone server.
+                    // The local-only tier skips the fill entirely: a peer
+                    // RTT is the most expensive thing the loop can buy
+                    // while already behind on writes.
+                    if !outcome.hit && tier == LoadTier::Normal {
+                        if let Some(cluster) = cluster.as_mut() {
+                            outcome.peer = cluster.fill(clip);
+                        }
+                    }
+                    Reply::Get(outcome)
+                }
+                Err(e) => Reply::Err(e.to_string()),
+            }
+        }
         // A PEERGET is a full local access — the probing owner's
         // write-all half — but never recurses into another peer fill:
         // answering from local shards only keeps peer traffic loop-free.
@@ -716,6 +861,9 @@ fn execute(
             recoveries: service.recoveries(),
             wal_replayed: service.wal_replayed(),
             peer_hits: cluster.as_ref().map_or(0, |c| c.peer_hits()),
+            handoff_replayed: cluster.as_ref().map_or(0, |c| c.handoff_replayed()),
+            breaker_open: cluster.as_ref().map_or(0, |c| c.breaker_open()),
+            shed: *shed,
         }),
         Ok(Command::Snapshot) => {
             let parts: Vec<String> = service.snapshot().iter().map(|s| s.to_json()).collect();
@@ -744,7 +892,93 @@ fn format_reply_text(reply: &Reply) -> String {
         Reply::Stats(stats) => format_stats(stats),
         Reply::Snapshot(json) => format!("SNAPSHOT {json}"),
         Reply::Poisoned(shard) => format_poisoned(*shard as usize),
+        Reply::Busy => "BUSY".into(),
         Reply::Bye => "BYE".into(),
         Reply::Err(msg) => format!("ERR {msg}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_is_monotone_in_both_watermark_axes() {
+        let gov = GovernorConfig::default();
+        assert_eq!(gov.tier(0, 0), LoadTier::Normal);
+        assert_eq!(gov.tier(gov.conn_local_only - 1, 0), LoadTier::Normal);
+        assert_eq!(gov.tier(gov.conn_local_only, 0), LoadTier::LocalOnly);
+        assert_eq!(gov.tier(gov.conn_shed - 1, 0), LoadTier::LocalOnly);
+        assert_eq!(gov.tier(gov.conn_shed, 0), LoadTier::Shed);
+        assert_eq!(gov.tier(0, gov.global_local_only), LoadTier::LocalOnly);
+        assert_eq!(gov.tier(0, gov.global_shed), LoadTier::Shed);
+        // The worst axis wins.
+        assert_eq!(gov.tier(gov.conn_shed, gov.global_local_only), LoadTier::Shed);
+        assert_eq!(gov.tier(gov.conn_local_only, gov.global_shed), LoadTier::Shed);
+        // And the tiers are ordered so callers can compare.
+        assert!(LoadTier::Normal < LoadTier::LocalOnly);
+        assert!(LoadTier::LocalOnly < LoadTier::Shed);
+    }
+
+    #[test]
+    fn shed_tier_refuses_gets_cheaply_and_counts_them() {
+        use clipcache_core::PolicyKind;
+        use clipcache_media::paper;
+        use crate::service::ServiceConfig;
+
+        let repo = Arc::new(paper::variable_sized_repository_of(24));
+        let capacity = repo.cache_capacity_for_ratio(0.25);
+        let service = CacheService::new(
+            Arc::clone(&repo),
+            ServiceConfig::new(PolicyKind::Lru, 1, capacity, 7),
+            None,
+        )
+        .expect("LRU builds");
+        let config = ServerConfig::default();
+        let mut cluster = None;
+        let mut shed = 0u64;
+
+        // Shed: BUSY, no cache access, counter moves.
+        let (reply, quit) = execute(
+            &service,
+            &config,
+            &mut cluster,
+            LoadTier::Shed,
+            &mut shed,
+            Ok(Command::Get(clipcache_media::ClipId::new(1))),
+        );
+        assert!(matches!(reply, Reply::Busy));
+        assert!(!quit);
+        assert_eq!(shed, 1);
+        assert_eq!(service.stats().requests(), 0, "shed GETs never touch shards");
+
+        // STATS is served at every tier and reports the shed count.
+        let (reply, _) = execute(
+            &service,
+            &config,
+            &mut cluster,
+            LoadTier::Shed,
+            &mut shed,
+            Ok(Command::Stats),
+        );
+        match reply {
+            Reply::Stats(stats) => assert_eq!(stats.shed, 1),
+            other => panic!("expected STATS, got {other:?}"),
+        }
+
+        // Local-only and normal tiers still serve the GET.
+        for tier in [LoadTier::LocalOnly, LoadTier::Normal] {
+            let (reply, _) = execute(
+                &service,
+                &config,
+                &mut cluster,
+                tier,
+                &mut shed,
+                Ok(Command::Get(clipcache_media::ClipId::new(1))),
+            );
+            assert!(matches!(reply, Reply::Get(_)));
+        }
+        assert_eq!(shed, 1, "served GETs do not move the shed counter");
+        assert_eq!(service.stats().requests(), 2);
     }
 }

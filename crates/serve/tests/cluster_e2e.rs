@@ -219,6 +219,22 @@ fn three_member_cluster_loses_no_acked_request_across_sigkill() {
             .expect("failover request acked");
     }
 
+    // The degraded mode is visible in STATS: enough probes into the
+    // dead member failed that at least one survivor's breaker for it
+    // is Open, and the skipped write-all halves are queued as hints
+    // (nothing replayed yet — there is no live peer to replay onto).
+    let degraded: Vec<_> = (0..2)
+        .map(|n| clients[n].as_mut().unwrap().stats().expect("stats acked"))
+        .collect();
+    assert!(
+        degraded.iter().any(|s| s.breaker_open >= 1),
+        "a survivor trips its breaker for the dead member: {degraded:?}"
+    );
+    assert!(
+        degraded.iter().all(|s| s.handoff_replayed == 0),
+        "nothing can replay while the member is dead: {degraded:?}"
+    );
+
     // Phase 3: the killed member rejoins on its durable directory.
     let rejoined = spawn_member(2, &peers, 2, Some(&dirs[2]));
     assert!(
@@ -238,10 +254,37 @@ fn three_member_cluster_loses_no_acked_request_across_sigkill() {
     assert!(after.wal_replayed > 0, "rejoin was a real recovery");
     nodes[2] = Some(rejoined);
 
+    // Phase 4: keep routing around member 2 (clients discover a revive
+    // lazily, via their own failed probes — exactly what a real
+    // read-any client does). Every miss on a survivor for a clip
+    // co-owned by member 2 counts toward its breaker's HalfOpen probe;
+    // the first probe that reaches the revived member replays that
+    // survivor's hint queue.
+    for i in 600..900u32 {
+        let clip = clip_at(i);
+        let n = route(&view, &alive, clip);
+        clients[n]
+            .as_mut()
+            .unwrap()
+            .get(clip)
+            .expect("post-heal request acked");
+    }
+    let healed: Vec<_> = (0..2)
+        .map(|n| clients[n].as_mut().unwrap().stats().expect("stats acked"))
+        .collect();
+    assert!(
+        healed.iter().map(|s| s.handoff_replayed).sum::<u64>() > 0,
+        "the healed member receives the hinted handoff: {healed:?}"
+    );
+    assert!(
+        healed.iter().all(|s| s.breaker_open == 0),
+        "successful probes close the survivors' breakers: {healed:?}"
+    );
+
     // And it serves in the ring again, peer-filling what it missed
     // while dead.
     let alive = [true, true, true];
-    for i in 600..700u32 {
+    for i in 900..1000u32 {
         let clip = clip_at(i);
         if route(&view, &alive, clip) == 2 {
             client.get(clip).expect("rejoined member serves");

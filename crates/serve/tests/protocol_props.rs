@@ -87,7 +87,7 @@ fn outcome_from(selector: u8, evictions: usize) -> GetOutcome {
     }
 }
 
-fn stats_from(v: [u64; 9]) -> ServerStats {
+fn stats_from(v: [u64; 12]) -> ServerStats {
     ServerStats {
         stats: HitStats {
             hits: v[0],
@@ -100,6 +100,9 @@ fn stats_from(v: [u64; 9]) -> ServerStats {
         recoveries: v[5],
         wal_replayed: v[6],
         peer_hits: v[8],
+        handoff_replayed: v[9],
+        breaker_open: v[10],
+        shed: v[11],
     }
 }
 
@@ -163,6 +166,8 @@ fn malformed_corpus_is_rejected_not_panicked() {
         "STATS hits==1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0 wal_replayed=0",
         // Old 7-field form (pre-prefix_hits).
         "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0 wal_replayed=0",
+        // Old 9-field form (pre-degraded-mode counters).
+        "STATS hits=1 misses=0 byte_hits=0 byte_misses=0 evictions=0 recoveries=0 wal_replayed=0 prefix_hits=0 peer_hits=0",
         // GETRANGE shapes: wrong arity, bad numerals, zero clip,
         // overflow in either operand.
         "GETRANGE",
@@ -241,7 +246,7 @@ fn round_trips_on_a_grid() {
     for shard in [0usize, 1, 63, usize::MAX] {
         assert_eq!(parse_poisoned(&format_poisoned(shard)), Ok(shard));
     }
-    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4, 5, 6, 7]);
+    let stats = stats_from([u64::MAX, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
     assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
 }
 
@@ -275,10 +280,13 @@ proptest! {
         wal_replayed in 0u64..u64::MAX,
         prefix_hits in 0u64..u64::MAX,
         peer_hits in 0u64..u64::MAX,
+        handoff_replayed in 0u64..u64::MAX,
+        breaker_open in 0u64..u64::MAX,
+        shed in 0u64..u64::MAX,
     ) {
         let stats = stats_from([
             hits, misses, byte_hits, byte_misses, evictions, recoveries, wal_replayed,
-            prefix_hits, peer_hits,
+            prefix_hits, peer_hits, handoff_replayed, breaker_open, shed,
         ]);
         prop_assert_eq!(parse_stats(&format_stats(&stats)), Ok(stats));
     }
@@ -332,7 +340,7 @@ fn encoded_reply(reply: &Reply) -> Vec<u8> {
     out
 }
 
-fn reply_from(selector: u8, evictions: usize, stats: [u64; 9], text: &str) -> Reply {
+fn reply_from(selector: u8, evictions: usize, stats: [u64; 12], text: &str) -> Reply {
     match selector % 7 {
         0 => Reply::Get(outcome_from(selector / 7, evictions)),
         1 => Reply::Stats(stats_from(stats)),
@@ -364,7 +372,7 @@ fn frames_round_trip_on_a_grid() {
             let reply = reply_from(
                 selector,
                 evictions,
-                [u64::MAX, 0, 1, 2, 3, 4, 5, 6, 7],
+                [u64::MAX, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
                 "boom",
             );
             let bytes = encoded_reply(&reply);
@@ -550,7 +558,7 @@ proptest! {
         let text: String = (0..(text_seed % 48))
             .map(|i| (b' ' + ((text_seed >> (i % 57)) % 95) as u8) as char)
             .collect();
-        let reply = reply_from(selector, evictions, [word, 1, 2, 3, 4, 5, 6, 7, 8], &text);
+        let reply = reply_from(selector, evictions, [word, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11], &text);
         let bytes = encoded_reply(&reply);
         let consumed = bytes.len();
         prop_assert_eq!(
